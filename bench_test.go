@@ -1,0 +1,508 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the Cologne paper's evaluation (section 6). Each benchmark prints the
+// paper's metric through b.ReportMetric, so `go test -bench=. -benchmem`
+// produces the full experiment grid; the cmd/ binaries print the same data
+// as readable series. EXPERIMENTS.md records paper-vs-measured values.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/acloud"
+	"repro/internal/analysis"
+	"repro/internal/codegen"
+	"repro/internal/colog"
+	"repro/internal/core"
+	"repro/internal/followsun"
+	"repro/internal/programs"
+	"repro/internal/solver"
+	"repro/internal/wireless"
+)
+
+// ---------------------------------------------------------------- Table 2
+
+// BenchmarkTable2CodeCompactness measures compilation of the five bundled
+// protocols into imperative C++ and reports the paper's Table 2 metrics:
+// Colog rule count and generated LOC.
+func BenchmarkTable2CodeCompactness(b *testing.B) {
+	for _, e := range programs.Table2Entries() {
+		e := e
+		b.Run(e.Name, func(b *testing.B) {
+			var rules, loc int
+			for i := 0; i < b.N; i++ {
+				res := e.Analyze()
+				src := codegen.Generate(e.Name, res)
+				rules = res.Program.NumRules()
+				loc = codegen.CountLines(src)
+			}
+			b.ReportMetric(float64(rules), "colog-rules")
+			b.ReportMetric(float64(loc), "generated-LOC")
+			b.ReportMetric(float64(loc)/float64(rules), "LOC/rule")
+		})
+	}
+}
+
+// ------------------------------------------------------------- Figures 2-3
+
+func acloudBenchParams() acloud.Params {
+	p := acloud.BenchParams()
+	p.VMsPerHost = 10
+	p.Hours = 1
+	p.SolverMaxNodes = 2500
+	p.SolverMaxTime = 500 * time.Millisecond
+	p.Trace.Customers = 30
+	p.Trace.TotalPPs = 200
+	return p
+}
+
+// BenchmarkFigure2ACloudStdev replays the trace for each policy and reports
+// the Figure 2 metric: mean CPU standard deviation (and its percentage of
+// the Default policy's).
+func BenchmarkFigure2ACloudStdev(b *testing.B) {
+	p := acloudBenchParams()
+	base, err := acloud.Run(p, acloud.Default)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []acloud.Policy{acloud.Default, acloud.Heuristic, acloud.ACloud, acloud.ACloudM} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			var res *acloud.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = acloud.Run(p, pol)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanStdev, "cpu-stddev")
+			b.ReportMetric(100*res.MeanStdev/base.MeanStdev, "pct-of-default")
+		})
+	}
+}
+
+// BenchmarkFigure3ACloudMigrations reports the Figure 3 metric: mean VM
+// migrations per interval, for the unconstrained and capped policies.
+func BenchmarkFigure3ACloudMigrations(b *testing.B) {
+	p := acloudBenchParams()
+	for _, pol := range []acloud.Policy{acloud.Heuristic, acloud.ACloud, acloud.ACloudM} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			var res *acloud.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = acloud.Run(p, pol)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanMigrations, "migrations/interval")
+		})
+	}
+}
+
+// ------------------------------------------------------------- Figures 4-5
+
+func followSunBenchParams(n int) followsun.Params {
+	p := followsun.DefaultParams(n)
+	p.DemandMax = 6
+	p.SolverMaxNodes = 8000
+	return p
+}
+
+// BenchmarkFigure4FollowTheSunCost runs the distributed negotiation for
+// each network size and reports the Figure 4 metrics: total cost reduction
+// and convergence (virtual) time.
+func BenchmarkFigure4FollowTheSunCost(b *testing.B) {
+	for _, n := range []int{2, 4, 6, 8, 10} {
+		n := n
+		b.Run(fmt.Sprintf("dcs=%d", n), func(b *testing.B) {
+			var res *followsun.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = followsun.Run(followSunBenchParams(n))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ReductionPct, "cost-reduction-%")
+			b.ReportMetric(res.ConvergenceTime.Seconds(), "convergence-s")
+		})
+	}
+}
+
+// BenchmarkFigure5FollowTheSunBandwidth reports the Figure 5 metric:
+// per-node communication overhead in KB/s, per network size.
+func BenchmarkFigure5FollowTheSunBandwidth(b *testing.B) {
+	for _, n := range []int{2, 4, 6, 8, 10} {
+		n := n
+		b.Run(fmt.Sprintf("dcs=%d", n), func(b *testing.B) {
+			var res *followsun.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = followsun.Run(followSunBenchParams(n))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.PerNodeKBps, "KB/s/node")
+		})
+	}
+}
+
+// ------------------------------------------------------------- Figures 6-7
+
+func wirelessBenchParams() wireless.Params {
+	p := wireless.DefaultParams()
+	p.SolverMaxNodes = 8000
+	p.Passes = 2
+	p.Rates = []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2}
+	return p
+}
+
+// BenchmarkFigure6WirelessThroughput runs every protocol on the 30-node
+// grid and reports the Figure 6 metric: aggregate throughput at the highest
+// offered rate.
+func BenchmarkFigure6WirelessThroughput(b *testing.B) {
+	p := wirelessBenchParams()
+	protos := []wireless.Protocol{
+		wireless.OneInterface, wireless.IdenticalCh, wireless.Centralized,
+		wireless.Distributed, wireless.CrossLayer,
+	}
+	for _, proto := range protos {
+		proto := proto
+		b.Run(proto.String(), func(b *testing.B) {
+			var res *wireless.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = wireless.Run(p, proto)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			last := len(res.ThroughputMbps) - 1
+			b.ReportMetric(res.ThroughputMbps[last], "peak-Mbps")
+			b.ReportMetric(float64(res.Interference), "interference-pairs")
+		})
+	}
+}
+
+// BenchmarkFigure7WirelessPolicies runs the Cross-layer protocol under the
+// Figure 7 policy variants and reports peak throughput.
+func BenchmarkFigure7WirelessPolicies(b *testing.B) {
+	base := wirelessBenchParams()
+	variants := []struct {
+		name string
+		mut  func(*wireless.Params)
+	}{
+		{"2hop", func(*wireless.Params) {}},
+		{"restricted-channels", func(q *wireless.Params) { q.RestrictedChannels = true }},
+		{"restricted+1hop", func(q *wireless.Params) {
+			q.RestrictedChannels = true
+			q.TwoHopCost = false
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			q := base
+			v.mut(&q)
+			var res *wireless.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = wireless.Run(q, wireless.CrossLayer)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.ThroughputMbps[len(res.ThroughputMbps)-1], "peak-Mbps")
+		})
+	}
+}
+
+// -------------------------------------------------- section 6 text metrics
+
+// BenchmarkACloudCompile measures Colog compilation (parse + static
+// analysis + plan generation); the paper reports ~0.5 s for ACloud.
+func BenchmarkACloudCompile(b *testing.B) {
+	e := programs.ACloud(true, 3)
+	for i := 0; i < b.N; i++ {
+		res := e.Analyze()
+		if _, err := core.NewNode("bench", res, e.Config, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFollowSunPerLinkCOP measures one per-link negotiation COP
+// (ground + solve + materialize); the paper reports <0.5 s.
+func BenchmarkFollowSunPerLinkCOP(b *testing.B) {
+	p := followSunBenchParams(4)
+	res, err := followsun.Run(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.MeanSolveTime.Seconds()*1000, "ms/solve")
+	// Re-run whole negotiations to time the solve path end to end.
+	for i := 0; i < b.N; i++ {
+		if _, err := followsun.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFollowSunMigrationCap compares total migrations with and without
+// the d11/c3 cap (the paper reports a 24% reduction on average).
+func BenchmarkFollowSunMigrationCap(b *testing.B) {
+	p := followSunBenchParams(6)
+	free, err := followsun.Run(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.MaxMigrates = 3
+	var capped *followsun.Result
+	for i := 0; i < b.N; i++ {
+		capped, err = followsun.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(free.TotalMigrations), "migrations-uncapped")
+	b.ReportMetric(float64(capped.TotalMigrations), "migrations-capped")
+}
+
+// BenchmarkWirelessConvergence reports the protocols' convergence times
+// (paper: Centralized <30 s wall, Distributed ~40 s, Cross-layer ~80 s of
+// testbed time; ours are virtual time for the distributed protocols).
+func BenchmarkWirelessConvergence(b *testing.B) {
+	p := wirelessBenchParams()
+	for _, proto := range []wireless.Protocol{wireless.Centralized, wireless.Distributed, wireless.CrossLayer} {
+		proto := proto
+		b.Run(proto.String(), func(b *testing.B) {
+			var res *wireless.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = wireless.Run(p, proto)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Convergence.Seconds(), "convergence-s")
+			b.ReportMetric(res.PerNodeKBps, "KB/s/node")
+		})
+	}
+}
+
+// ------------------------------------------------------------ micro-benches
+
+// BenchmarkEngineInsertFixpoint measures raw incremental evaluation: one
+// insert driving a three-rule pipeline with an aggregate.
+func BenchmarkEngineInsertFixpoint(b *testing.B) {
+	src := `
+r1 hot(V,H,C) <- vm(V,H,C), C>50.
+r2 perHost(H,SUM<C>) <- hot(V,H,C).
+r3 alert(H) <- perHost(H,C), C>200.
+`
+	prog, err := colog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := mustNode(b, src)
+	_ = prog
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm := colog.StringVal(fmt.Sprintf("vm%d", i%1000))
+		host := colog.StringVal(fmt.Sprintf("h%d", i%16))
+		if err := node.Insert("vm", vm, host, colog.IntVal(int64(40+i%60))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverACloudModel measures one grounding+solve of the ACloud COP
+// at 48 VMs x 4 hosts.
+func BenchmarkSolverACloudModel(b *testing.B) {
+	e := programs.ACloud(false, 0)
+	cfg := e.Config
+	cfg.SolverMaxNodes = 2000
+	cfg.SolverPropagate = true
+	res := e.Analyze()
+	node, err := core.NewNode("bench", res, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for h := 0; h < 4; h++ {
+		node.Insert("host", colog.StringVal(fmt.Sprintf("h%d", h)), colog.IntVal(0), colog.IntVal(0))
+		node.Insert("hostMemThres", colog.StringVal(fmt.Sprintf("h%d", h)), colog.IntVal(1<<20))
+	}
+	for v := 0; v < 48; v++ {
+		node.Insert("vmRaw", colog.StringVal(fmt.Sprintf("vm%d", v)),
+			colog.IntVal(int64(25+v%60)), colog.IntVal(512))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := node.Solve(core.SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseAnalyze measures the language front end on the largest
+// bundled program.
+func BenchmarkParseAnalyze(b *testing.B) {
+	e := programs.FollowSunDistributed(20)
+	for i := 0; i < b.N; i++ {
+		prog, err := colog.Parse(e.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := colog.Parse(prog.String()); err != nil {
+			b.Fatal(err)
+		}
+		_ = e.Analyze()
+	}
+}
+
+// --------------------------------------------------------------- ablations
+
+// BenchmarkAblationLinearPropagation measures the dedicated linear
+// propagator's effect on an assignment COP (DESIGN.md design choice:
+// selections compiled to constraints still need linear bounds reasoning to
+// prune).
+func BenchmarkAblationLinearPropagation(b *testing.B) {
+	build := func() *solver.Model {
+		m := solver.NewModel()
+		nI, nB := 10, 3
+		loads := make([]*solver.Expr, nB)
+		rows := make([][]*solver.Expr, nI)
+		for i := 0; i < nI; i++ {
+			rows[i] = make([]*solver.Expr, nB)
+			rowSum := make([]*solver.Expr, nB)
+			for j := 0; j < nB; j++ {
+				v := m.BoolVar("x")
+				rows[i][j] = m.Mul(m.VarExpr(v), m.ConstInt(int64(10+i*3)))
+				rowSum[j] = m.VarExpr(v)
+			}
+			m.Require(m.Eq(m.Sum(rowSum...), m.Const(1)))
+		}
+		for j := 0; j < nB; j++ {
+			col := make([]*solver.Expr, nI)
+			for i := 0; i < nI; i++ {
+				col[i] = rows[i][j]
+			}
+			loads[j] = m.Sum(col...)
+		}
+		m.Minimize(m.StdDev(loads...))
+		return m
+	}
+	for _, variant := range []struct {
+		name    string
+		disable bool
+	}{{"with-linear", false}, {"without-linear", true}} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			var nodes int64
+			for i := 0; i < b.N; i++ {
+				sol := build().Solve(solver.Options{
+					DisableLinear: variant.disable, MaxNodes: 200000,
+				})
+				nodes = sol.Stats.Nodes
+			}
+			b.ReportMetric(float64(nodes), "search-nodes")
+		})
+	}
+}
+
+// BenchmarkAblationWarmStart measures the warm-start hint's effect on the
+// ACloud COP (DESIGN.md design choice: anytime B&B from the current
+// placement).
+func BenchmarkAblationWarmStart(b *testing.B) {
+	setup := func() *core.Node {
+		e := programs.ACloud(false, 0)
+		cfg := e.Config
+		cfg.SolverMaxNodes = 3000
+		cfg.SolverPropagate = true
+		node, err := core.NewNode("bench", e.Analyze(), cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for h := 0; h < 4; h++ {
+			node.Insert("host", colog.StringVal(fmt.Sprintf("h%d", h)), colog.IntVal(0), colog.IntVal(0))
+			node.Insert("hostMemThres", colog.StringVal(fmt.Sprintf("h%d", h)), colog.IntVal(1<<20))
+		}
+		for v := 0; v < 32; v++ {
+			node.Insert("vmRaw", colog.StringVal(fmt.Sprintf("vm%02d", v)),
+				colog.IntVal(int64(25+(v*7)%60)), colog.IntVal(512))
+		}
+		return node
+	}
+	lptHint := func(pred string, vals []colog.Value) (int64, bool) {
+		// Spread round-robin as a crude warm start.
+		if vals[0].S[2:] >= "16" == (vals[1].S == "h1" || vals[1].S == "h3") {
+			return 1, true
+		}
+		return 0, true
+	}
+	for _, variant := range []struct {
+		name string
+		hint func(string, []colog.Value) (int64, bool)
+	}{{"with-hint", lptHint}, {"without-hint", nil}} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			node := setup()
+			var obj float64
+			for i := 0; i < b.N; i++ {
+				res, err := node.Solve(core.SolveOptions{Hint: variant.hint})
+				if err != nil {
+					b.Fatal(err)
+				}
+				obj = res.Objective
+			}
+			b.ReportMetric(obj, "objective")
+		})
+	}
+}
+
+// BenchmarkAblationJoinIndex measures the hash join index against full
+// scans by timing a join-heavy insert workload (the index is built lazily;
+// scanning is forced by a rule whose join has no bound columns).
+func BenchmarkAblationJoinIndex(b *testing.B) {
+	// indexed: join on bound H; scan: cross join (no bound columns).
+	for _, variant := range []struct{ name, src string }{
+		{"indexed-join", `r1 pair(V,W) <- vm(V,H), vm2(W,H).`},
+		{"cross-join", `r1 pair(V,W) <- vm(V,H), vm2(W,H2).`},
+	} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			node := mustNode(b, variant.src)
+			for i := 0; i < 400; i++ {
+				node.Insert("vm2", colog.StringVal(fmt.Sprintf("w%d", i)),
+					colog.StringVal(fmt.Sprintf("h%d", i%20)))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				node.Insert("vm", colog.StringVal(fmt.Sprintf("v%d", i)),
+					colog.StringVal(fmt.Sprintf("h%d", i%20)))
+			}
+		})
+	}
+}
+
+func mustNode(b *testing.B, src string) *core.Node {
+	b.Helper()
+	prog, err := colog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ares, err := analysis.Analyze(prog, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node, err := core.NewNode("bench", ares, core.Config{}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return node
+}

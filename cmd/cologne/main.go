@@ -1,0 +1,154 @@
+// Command cologne runs a Colog program on a single Cologne instance:
+// parse, analyze, load facts, optionally invoke the constraint solver, and
+// dump the resulting tables. It is the quickest way to experiment with the
+// language:
+//
+//	cologne -solve program.colog
+//	cologne -param max_migrates=3 -solve -dump assign program.colog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/colog"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		solve    = flag.Bool("solve", false, "invoke the constraint solver after loading facts")
+		dump     = flag.String("dump", "", "comma-separated tables to print (default: all non-empty)")
+		maxTime  = flag.Duration("solver-max-time", 10*time.Second, "SOLVER_MAX_TIME budget")
+		maxNodes = flag.Int64("solver-max-nodes", 0, "search node budget (0 = unlimited)")
+		report   = flag.Bool("report", false, "print the static analysis report before running")
+	)
+	var params paramFlags
+	flag.Var(&params, "param", "bind a parameter, e.g. -param max_migrates=3 (repeatable)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cologne [flags] program.colog\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	prog, err := colog.Parse(string(src))
+	if err != nil {
+		fail("%v", err)
+	}
+	res, err := analysis.Analyze(prog, params.vals)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *report {
+		printReport(res)
+	}
+	cfg := core.Config{
+		Params:          params.vals,
+		SolverMaxTime:   *maxTime,
+		SolverMaxNodes:  *maxNodes,
+		SolverPropagate: true,
+	}
+	node, err := core.NewNode("local", res, cfg, nil)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *solve {
+		sres, err := node.Solve(core.SolveOptions{})
+		if err != nil {
+			fail("solve: %v", err)
+		}
+		fmt.Printf("solve: status=%s objective=%g vars=%d constraints=%d nodes=%d time=%v\n",
+			sres.Status, sres.Objective, sres.NumVars, sres.NumCons,
+			sres.Stats.Nodes, sres.Stats.Elapsed.Round(time.Microsecond))
+	}
+	printTables(node, *dump)
+}
+
+func printReport(res *analysis.Result) {
+	fmt.Printf("distributed: %v\n", res.Distributed)
+	fmt.Printf("tables:\n")
+	var names []string
+	for n := range res.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ti := res.Tables[n]
+		kind := "regular"
+		if ti.IsSolver() {
+			kind = "solver"
+		}
+		fmt.Printf("  %-24s arity=%d loc=%d %s\n", n, ti.Arity, ti.LocCol, kind)
+	}
+	fmt.Printf("rules:\n")
+	for i, r := range res.Program.Rules {
+		fmt.Printf("  [%-17s] %s\n", res.Classes[i], r)
+	}
+	fmt.Println()
+}
+
+func printTables(node *core.Node, dump string) {
+	var names []string
+	if dump != "" {
+		names = strings.Split(dump, ",")
+	} else {
+		names = node.TableNames()
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		rows := node.Rows(name)
+		if len(rows) == 0 && dump == "" {
+			continue
+		}
+		for _, row := range rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Printf("%s(%s).\n", name, strings.Join(parts, ","))
+		}
+	}
+}
+
+type paramFlags struct {
+	vals map[string]colog.Value
+}
+
+func (p *paramFlags) String() string { return "" }
+
+func (p *paramFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected name=value, got %q", s)
+	}
+	if p.vals == nil {
+		p.vals = map[string]colog.Value{}
+	}
+	if iv, err := strconv.ParseInt(v, 10, 64); err == nil {
+		p.vals[k] = colog.IntVal(iv)
+	} else if fv, err := strconv.ParseFloat(v, 64); err == nil {
+		p.vals[k] = colog.FloatVal(fv)
+	} else {
+		p.vals[k] = colog.StringVal(v)
+	}
+	return nil
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cologne: "+format+"\n", args...)
+	os.Exit(1)
+}

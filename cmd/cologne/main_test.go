@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/colog"
+)
+
+func TestParamFlagsSet(t *testing.T) {
+	var p paramFlags
+	if err := p.Set("max_migrates=3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("cost_thres=1.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("region=us-east"); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.vals["max_migrates"]; v.Kind != colog.KindInt || v.I != 3 {
+		t.Fatalf("int param = %v", v)
+	}
+	if v := p.vals["cost_thres"]; v.Kind != colog.KindFloat || v.F != 1.5 {
+		t.Fatalf("float param = %v", v)
+	}
+	if v := p.vals["region"]; v.Kind != colog.KindString || v.S != "us-east" {
+		t.Fatalf("string param = %v", v)
+	}
+}
+
+func TestParamFlagsRejectsMalformed(t *testing.T) {
+	var p paramFlags
+	if err := p.Set("no-equals-sign"); err == nil {
+		t.Fatal("malformed param accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// ACloud example: run the paper's section 4.2 load-balancing COP on a small
+// cloud — ten VMs on three hosts — first unconstrained, then with the
+// migration cap of the ACloud(M) policy, showing how a two-rule policy
+// change alters the optimization (the customizability argument of the
+// paper).
+//
+//	go run ./examples/acloud
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/colog"
+	"repro/internal/core"
+	"repro/internal/programs"
+)
+
+func main() {
+	fmt.Println("== ACloud: unconstrained load balancing ==")
+	run(programs.ACloud(false, 0), false)
+	fmt.Println()
+	fmt.Println("== ACloud(M): at most 2 migrations ==")
+	run(programs.ACloud(true, 2), true)
+}
+
+func run(entry programs.Entry, withOrigin bool) {
+	cfg := entry.Config
+	cfg.SolverPropagate = true
+	node, err := core.NewNode("cloud", entry.Analyze(), cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hosts := []string{"h0", "h1", "h2"}
+	for _, h := range hosts {
+		must(node.Insert("host", colog.StringVal(h), colog.IntVal(0), colog.IntVal(0)))
+		must(node.Insert("hostMemThres", colog.StringVal(h), colog.IntVal(16384)))
+	}
+	// Ten VMs, all currently packed onto h0 — a badly imbalanced start.
+	cpus := []int64{95, 85, 75, 70, 60, 55, 45, 40, 35, 25}
+	for i, cpu := range cpus {
+		vm := fmt.Sprintf("vm%d", i)
+		must(node.Insert("vmRaw", colog.StringVal(vm), colog.IntVal(cpu), colog.IntVal(1024)))
+		if withOrigin {
+			must(node.Insert("origin", colog.StringVal(vm), colog.StringVal("h0")))
+		}
+	}
+
+	sres, err := node.Solve(core.SolveOptions{
+		// Warm-start every VM on its current host.
+		Hint: func(pred string, vals []colog.Value) (int64, bool) {
+			if vals[1].S == "h0" {
+				return 1, true
+			}
+			return 0, true
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("status=%s  CPU stddev=%.2f  searched %d nodes\n",
+		sres.Status, sres.Objective, sres.Stats.Nodes)
+
+	loads := map[string]int64{}
+	migrations := 0
+	for _, a := range sres.Assignments {
+		if a.Vals[2].I != 1 {
+			continue
+		}
+		host := a.Vals[1].S
+		vmIdx := 0
+		fmt.Sscanf(a.Vals[0].S, "vm%d", &vmIdx)
+		loads[host] += cpus[vmIdx]
+		if host != "h0" {
+			migrations++
+		}
+	}
+	for _, h := range hosts {
+		fmt.Printf("  %s: total CPU %3d%%\n", h, loads[h])
+	}
+	fmt.Printf("  migrations away from h0: %d\n", migrations)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Follow-the-Sun example: two Cologne instances — data centers "west" and
+// "east" — negotiate a VM migration over a real transport using the
+// distributed Colog program of section 4.3. The demand sits near east, so
+// the optimizer moves VMs there, bounded by east's capacity; both nodes'
+// curVm tables are updated through the network by rules r2/r3.
+//
+//	go run ./examples/followsun
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/colog"
+	"repro/internal/core"
+	"repro/internal/programs"
+	"repro/internal/transport"
+)
+
+func main() {
+	entry := programs.FollowSunDistributed(1 << 20)
+	ares := entry.Analyze()
+	tr := transport.NewLoopback()
+
+	mkNode := func(name string) *core.Node {
+		cfg := entry.Config
+		cfg.SolverPropagate = true
+		n, err := core.NewNode(name, ares, cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n
+	}
+	west := mkNode("west")
+	east := mkNode("east")
+
+	// Shared facts: the migration range, the inter-DC link, demand site "d".
+	for _, n := range []*core.Node{west, east} {
+		for v := int64(-8); v <= 8; v++ {
+			must(n.Insert("migRange", colog.IntVal(v)))
+		}
+		must(n.Insert("dc", colog.StringVal(n.Addr), colog.StringVal("d")))
+		must(n.Insert("opCost", colog.StringVal(n.Addr), colog.IntVal(10)))
+	}
+	must(west.Insert("link", colog.StringVal("west"), colog.StringVal("east")))
+	must(east.Insert("link", colog.StringVal("east"), colog.StringVal("west")))
+	must(west.Insert("migCost", colog.StringVal("west"), colog.StringVal("east"), colog.IntVal(2)))
+	must(east.Insert("migCost", colog.StringVal("east"), colog.StringVal("west"), colog.IntVal(2)))
+
+	// The workload: 8 VMs at west, demand served cheaply from east.
+	must(west.Insert("curVm", colog.StringVal("west"), colog.StringVal("d"), colog.IntVal(8)))
+	must(east.Insert("curVm", colog.StringVal("east"), colog.StringVal("d"), colog.IntVal(0)))
+	must(west.Insert("commCost", colog.StringVal("west"), colog.StringVal("d"), colog.IntVal(90)))
+	must(east.Insert("commCost", colog.StringVal("east"), colog.StringVal("d"), colog.IntVal(5)))
+	must(west.Insert("resource", colog.StringVal("west"), colog.IntVal(20)))
+	must(east.Insert("resource", colog.StringVal("east"), colog.IntVal(5)))
+
+	show := func(stage string) {
+		fmt.Printf("%s:\n", stage)
+		for _, n := range []*core.Node{west, east} {
+			for _, row := range n.Rows("curVm") {
+				if row[0].S == n.Addr {
+					fmt.Printf("  curVm(%s, %s) = %s VMs\n", row[0].S, row[1].S, row[2])
+				}
+			}
+		}
+	}
+	show("before negotiation")
+
+	// West initiates the link negotiation and runs its local COP; the
+	// migration decision propagates to east through rules r2/r3.
+	must(west.Insert("setLink", colog.StringVal("west"), colog.StringVal("east")))
+	res, err := west.Solve(core.SolveOptions{
+		Hint: func(string, []colog.Value) (int64, bool) { return 0, true },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("negotiation: status=%s local objective=%.0f\n", res.Status, res.Objective)
+	for _, a := range res.Assignments {
+		fmt.Printf("  migVm(%s -> %s, demand %s) = %s VMs\n",
+			a.Vals[0].S, a.Vals[1].S, a.Vals[2].S, a.Vals[3])
+	}
+	show("after negotiation")
+	fmt.Println("east's capacity (5) bounds the migration despite demand for all 8.")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package acloud
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyParams keeps unit tests fast.
+func tinyParams() Params {
+	p := BenchParams()
+	p.VMsPerHost = 6
+	p.Hours = 0.5 // 3 intervals
+	p.SolverMaxNodes = 1500
+	p.SolverMaxTime = 200 * time.Millisecond
+	p.Trace.Customers = 12
+	p.Trace.TotalPPs = 60
+	return p
+}
+
+func TestRunDefault(t *testing.T) {
+	res, err := Run(tinyParams(), Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AvgStdev) != 3 {
+		t.Fatalf("intervals = %d, want 3", len(res.AvgStdev))
+	}
+	if res.MeanMigrations != 0 {
+		t.Fatalf("Default migrated %v times", res.MeanMigrations)
+	}
+}
+
+func TestRunHeuristicReducesImbalance(t *testing.T) {
+	p := tinyParams()
+	def, err := Run(p, Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heu, err := Run(p, Heuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heu.MeanStdev >= def.MeanStdev {
+		t.Fatalf("Heuristic stddev %.2f not below Default %.2f", heu.MeanStdev, def.MeanStdev)
+	}
+	if heu.MeanMigrations == 0 {
+		t.Fatal("Heuristic performed no migrations")
+	}
+}
+
+func TestRunACloudBeatsDefault(t *testing.T) {
+	p := tinyParams()
+	def, err := Run(p, Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := Run(p, ACloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.MeanStdev >= def.MeanStdev {
+		t.Fatalf("ACloud stddev %.2f not below Default %.2f", ac.MeanStdev, def.MeanStdev)
+	}
+}
+
+func TestRunACloudMRespectsCap(t *testing.T) {
+	p := tinyParams()
+	p.MaxMigrates = 2
+	res, err := Run(p, ACloudM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := int(p.MaxMigrates) * p.DCs
+	for i, m := range res.Migrations {
+		if m > cap {
+			t.Fatalf("interval %d migrated %d VMs, cap %d", i, m, cap)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Default.String() != "Default" || Heuristic.String() != "Heuristic" ||
+		ACloud.String() != "ACloud" || ACloudM.String() != "ACloud (M)" {
+		t.Fatal("Policy.String broken")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	p := tinyParams()
+	a, err := Run(p, Heuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, Heuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.AvgStdev {
+		if a.AvgStdev[i] != b.AvgStdev[i] {
+			t.Fatalf("run not deterministic at interval %d", i)
+		}
+	}
+}
+
+func TestStddevHelper(t *testing.T) {
+	if stddev(nil) != 0 {
+		t.Fatal("stddev(nil) != 0")
+	}
+	if s := stddev([]float64{2, 4}); s != 1 {
+		t.Fatalf("stddev({2,4}) = %v", s)
+	}
+}

@@ -1,0 +1,354 @@
+// Package analysis implements the compile-time phases the Cologne paper
+// describes in section 5: parameter binding, solver-table identification
+// (5.2), rule classification into regular Datalog / solver derivation /
+// solver constraint rules, safety and join validation (5.3), dependency
+// stratification, and the localization rewrite for distributed rules (5.5).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/colog"
+)
+
+// RuleClass is the classification a Colog rule receives during static
+// analysis (the paper prefixes rules r/d/c accordingly).
+type RuleClass int
+
+const (
+	// RegularRule is a plain (distributed) Datalog rule.
+	RegularRule RuleClass = iota
+	// SolverDerivationRule derives new solver variables from existing ones
+	// (head is a solver table, arrow <-).
+	SolverDerivationRule
+	// SolverConstraintRule restricts solver attribute values (arrow ->).
+	SolverConstraintRule
+)
+
+// String names the class like the paper's rule label prefixes.
+func (c RuleClass) String() string {
+	switch c {
+	case SolverDerivationRule:
+		return "solver-derivation"
+	case SolverConstraintRule:
+		return "solver-constraint"
+	default:
+		return "regular"
+	}
+}
+
+// TableInfo is the schema inferred for one predicate.
+type TableInfo struct {
+	Name        string
+	Arity       int
+	SolverAttrs []bool // positions holding solver attributes
+	LocCol      int    // location-specifier column, -1 if none
+}
+
+// IsSolver reports whether any attribute is a solver attribute.
+func (t *TableInfo) IsSolver() bool {
+	for _, b := range t.SolverAttrs {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the outcome of static analysis. Program is a rewritten deep copy
+// of the input: parameters bound, distributed rules localized.
+type Result struct {
+	Program *colog.Program
+	Tables  map[string]*TableInfo
+	// Classes is parallel to Program.Rules.
+	Classes []RuleClass
+	// SolverOrder lists indices into Program.Rules of solver derivation
+	// rules in dependency (evaluation) order.
+	SolverOrder []int
+	// Distributed reports whether the program uses location specifiers.
+	Distributed bool
+	// Rewritten maps generated shipping-rule labels to the label of the
+	// distributed rule they were split from.
+	Rewritten map[string]string
+}
+
+// Class returns the class of rule r (which must be in Result.Program.Rules).
+func (r *Result) Class(rule *colog.Rule) RuleClass {
+	for i, rr := range r.Program.Rules {
+		if rr == rule {
+			return r.Classes[i]
+		}
+	}
+	return RegularRule
+}
+
+// Error is a semantic analysis error.
+type Error struct {
+	Rule string // rule label or predicate, may be empty
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Rule != "" {
+		return fmt.Sprintf("analysis: rule %s: %s", e.Rule, e.Msg)
+	}
+	return "analysis: " + e.Msg
+}
+
+func aerrf(rule, format string, args ...interface{}) *Error {
+	return &Error{Rule: rule, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Analyze runs all static phases over prog. params binds named parameters
+// (lowercase identifiers like max_migrates, or capitalized ones like
+// F_mindiff) to constants. The input program is not modified.
+func Analyze(prog *colog.Program, params map[string]colog.Value) (*Result, error) {
+	p := cloneProgram(prog)
+	bindParams(p, params)
+
+	res := &Result{Program: p, Tables: map[string]*TableInfo{}, Rewritten: map[string]string{}}
+
+	if err := collectTables(res); err != nil {
+		return nil, err
+	}
+	res.Distributed = programDistributed(p)
+	if res.Distributed {
+		if err := localize(res); err != nil {
+			return nil, err
+		}
+		// New tmp tables appeared.
+		if err := collectTables(res); err != nil {
+			return nil, err
+		}
+	}
+	if err := inferSolverTables(res); err != nil {
+		return nil, err
+	}
+	classify(res)
+	if err := validate(res); err != nil {
+		return nil, err
+	}
+	if err := orderSolverRules(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func cloneProgram(p *colog.Program) *colog.Program {
+	out := &colog.Program{}
+	if p.Goal != nil {
+		g := *p.Goal
+		g.Atom = p.Goal.Atom.Clone()
+		out.Goal = &g
+	}
+	for _, v := range p.Vars {
+		vd := *v
+		vd.Decl = v.Decl.Clone()
+		vd.ForAll = v.ForAll.Clone()
+		if v.Domain != nil {
+			d := *v.Domain
+			if v.Domain.Explicit != nil {
+				d.Explicit = append([]int64(nil), v.Domain.Explicit...)
+			}
+			vd.Domain = &d
+		}
+		out.Vars = append(out.Vars, &vd)
+	}
+	for _, r := range p.Rules {
+		out.Rules = append(out.Rules, r.Clone())
+	}
+	for _, f := range p.Facts {
+		out.Facts = append(out.Facts, &colog.Fact{Atom: f.Atom.Clone(), Pos: f.Pos})
+	}
+	return out
+}
+
+// bindParams substitutes parameter terms (and free variables whose names are
+// registered parameters, like F_mindiff) with constants, in place.
+func bindParams(p *colog.Program, params map[string]colog.Value) {
+	if len(params) == 0 {
+		return
+	}
+	sub := func(t colog.Term) colog.Term { return substParam(t, params) }
+	for _, r := range p.Rules {
+		substAtom(r.Head, params)
+		for _, l := range r.Body {
+			switch x := l.(type) {
+			case *colog.AtomLit:
+				substAtom(x.Atom, params)
+			case *colog.CondLit:
+				x.Expr = sub(x.Expr)
+			case *colog.AssignLit:
+				x.Expr = sub(x.Expr)
+			}
+		}
+	}
+}
+
+func substAtom(a *colog.Atom, params map[string]colog.Value) {
+	for i, t := range a.Args {
+		a.Args[i] = substParam(t, params)
+	}
+}
+
+func substParam(t colog.Term, params map[string]colog.Value) colog.Term {
+	switch x := t.(type) {
+	case *colog.ParamTerm:
+		if v, ok := params[x.Name]; ok {
+			return &colog.ConstTerm{Val: v}
+		}
+		return x
+	case *colog.VarTerm:
+		if v, ok := params[x.Name]; ok && !x.Loc {
+			return &colog.ConstTerm{Val: v}
+		}
+		return x
+	case *colog.BinTerm:
+		x.L = substParam(x.L, params)
+		x.R = substParam(x.R, params)
+		return x
+	case *colog.NegTerm:
+		x.X = substParam(x.X, params)
+		return x
+	case *colog.NotTerm:
+		x.X = substParam(x.X, params)
+		return x
+	case *colog.AbsTerm:
+		x.X = substParam(x.X, params)
+		return x
+	case *colog.FuncTerm:
+		for i, a := range x.Args {
+			x.Args[i] = substParam(a, params)
+		}
+		return x
+	default:
+		return t
+	}
+}
+
+// collectTables gathers arity and location-column information for every
+// predicate, checking consistency across uses.
+func collectTables(res *Result) error {
+	res.Tables = map[string]*TableInfo{}
+	record := func(a *colog.Atom, where string) error {
+		ti, ok := res.Tables[a.Pred]
+		if !ok {
+			ti = &TableInfo{
+				Name: a.Pred, Arity: len(a.Args),
+				SolverAttrs: make([]bool, len(a.Args)), LocCol: a.LocArg(),
+			}
+			res.Tables[a.Pred] = ti
+			return nil
+		}
+		if ti.Arity != len(a.Args) {
+			return aerrf(where, "predicate %s used with arity %d and %d", a.Pred, ti.Arity, len(a.Args))
+		}
+		if lc := a.LocArg(); lc >= 0 {
+			if ti.LocCol >= 0 && ti.LocCol != lc {
+				return aerrf(where, "predicate %s has location specifier at columns %d and %d", a.Pred, ti.LocCol, lc)
+			}
+			ti.LocCol = lc
+		}
+		return nil
+	}
+	var err error
+	walkAtoms(res.Program, func(a *colog.Atom, where string) {
+		if err == nil {
+			err = record(a, where)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Domain tables referenced only from "domain <table>" clauses are
+	// single-column value pools (e.g. availChannel).
+	for _, vd := range res.Program.Vars {
+		if vd.Domain == nil || vd.Domain.FromTable == "" {
+			continue
+		}
+		name := vd.Domain.FromTable
+		if _, ok := res.Tables[name]; !ok {
+			res.Tables[name] = &TableInfo{
+				Name: name, Arity: 1, SolverAttrs: make([]bool, 1), LocCol: -1,
+			}
+		}
+	}
+	return nil
+}
+
+func walkAtoms(p *colog.Program, f func(a *colog.Atom, where string)) {
+	if p.Goal != nil {
+		f(p.Goal.Atom, "goal")
+	}
+	for _, v := range p.Vars {
+		f(v.Decl, "var")
+		f(v.ForAll, "var")
+	}
+	for _, r := range p.Rules {
+		where := r.Label
+		if where == "" {
+			where = r.Head.Pred
+		}
+		f(r.Head, where)
+		for _, l := range r.Body {
+			if al, ok := l.(*colog.AtomLit); ok {
+				f(al.Atom, where)
+			}
+		}
+	}
+	for _, fc := range p.Facts {
+		f(fc.Atom, fc.Atom.Pred)
+	}
+}
+
+func programDistributed(p *colog.Program) bool {
+	dist := false
+	walkAtoms(p, func(a *colog.Atom, _ string) {
+		if a.LocArg() >= 0 {
+			dist = true
+		}
+	})
+	return dist
+}
+
+// termVars appends the names of all variables in t to dst.
+func termVars(t colog.Term, dst []string) []string {
+	switch x := t.(type) {
+	case *colog.VarTerm:
+		return append(dst, x.Name)
+	case *colog.AggTerm:
+		return append(dst, x.Over)
+	case *colog.BinTerm:
+		return termVars(x.R, termVars(x.L, dst))
+	case *colog.NegTerm:
+		return termVars(x.X, dst)
+	case *colog.NotTerm:
+		return termVars(x.X, dst)
+	case *colog.AbsTerm:
+		return termVars(x.X, dst)
+	case *colog.FuncTerm:
+		for _, a := range x.Args {
+			dst = termVars(a, dst)
+		}
+		return dst
+	default:
+		return dst
+	}
+}
+
+func atomVars(a *colog.Atom, dst []string) []string {
+	for _, t := range a.Args {
+		dst = termVars(t, dst)
+	}
+	return dst
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

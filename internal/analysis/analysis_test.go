@@ -1,0 +1,393 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/colog"
+)
+
+const acloudSrc = `
+goal minimize C in hostStdevCpu(C).
+var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+
+r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2).
+d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), C==V*Cpu.
+d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem), hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+c1 assignCount(Vid,V) -> V==1.
+d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), M==V*Mem.
+c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+`
+
+func analyzeOK(t *testing.T, src string, params map[string]colog.Value) *Result {
+	t.Helper()
+	prog, err := colog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(prog, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestACloudSolverTables reproduces the worked example in section 5.2: the
+// solver tables must be exactly assign, hostCpu, hostStdevCpu, assignCount,
+// hostMem.
+func TestACloudSolverTables(t *testing.T) {
+	res := analyzeOK(t, acloudSrc, nil)
+	wantSolver := map[string]bool{
+		"assign": true, "hostCpu": true, "hostStdevCpu": true,
+		"assignCount": true, "hostMem": true,
+	}
+	for name, ti := range res.Tables {
+		if got := ti.IsSolver(); got != wantSolver[name] {
+			t.Errorf("table %s: IsSolver = %v, want %v", name, got, wantSolver[name])
+		}
+	}
+	// Specific attribute positions: V in assign(Vid,Hid,V) is position 2.
+	if sa := res.Tables["assign"].SolverAttrs; !sa[2] || sa[0] || sa[1] {
+		t.Errorf("assign solver attrs = %v, want only position 2", sa)
+	}
+	if sa := res.Tables["hostCpu"].SolverAttrs; !sa[1] || sa[0] {
+		t.Errorf("hostCpu solver attrs = %v, want only position 1", sa)
+	}
+}
+
+// TestACloudClassification reproduces section 5.2's classification: d1-d4
+// solver derivations, c1/c2 solver constraints, r1 regular.
+func TestACloudClassification(t *testing.T) {
+	res := analyzeOK(t, acloudSrc, nil)
+	want := map[string]RuleClass{
+		"r1": RegularRule,
+		"d1": SolverDerivationRule, "d2": SolverDerivationRule,
+		"d3": SolverDerivationRule, "d4": SolverDerivationRule,
+		"c1": SolverConstraintRule, "c2": SolverConstraintRule,
+	}
+	for i, r := range res.Program.Rules {
+		if got := res.Classes[i]; got != want[r.Label] {
+			t.Errorf("rule %s: class = %v, want %v", r.Label, got, want[r.Label])
+		}
+	}
+}
+
+func TestACloudSolverOrder(t *testing.T) {
+	res := analyzeOK(t, acloudSrc, nil)
+	// d2 consumes hostCpu produced by d1, so d1 must precede d2.
+	pos := map[string]int{}
+	for oi, ri := range res.SolverOrder {
+		pos[res.Program.Rules[ri].Label] = oi
+	}
+	if pos["d1"] > pos["d2"] {
+		t.Errorf("solver order: d1 at %d must precede d2 at %d", pos["d1"], pos["d2"])
+	}
+	if len(res.SolverOrder) != 4 {
+		t.Errorf("solver order covers %d rules, want 4", len(res.SolverOrder))
+	}
+}
+
+const migrationExtension = `
+d5 migrate(Vid,Hid1,Hid2,C) <- assign(Vid,Hid1,V), origin(Vid,Hid2), Hid1!=Hid2, (V==1)==(C==1).
+d6 migrateCount(SUM<C>) <- migrate(Vid,Hid1,Hid2,C).
+c3 migrateCount(C) -> C<=max_migrates.
+`
+
+// TestReifiedPropagation checks that solver-ness crosses the reified
+// (V==1)==(C==1) idiom of ACloud rule d5.
+func TestReifiedPropagation(t *testing.T) {
+	res := analyzeOK(t, acloudSrc+migrationExtension, map[string]colog.Value{
+		"max_migrates": colog.IntVal(3),
+	})
+	if !res.Tables["migrate"].IsSolver() {
+		t.Error("migrate should be a solver table (C reified from V)")
+	}
+	if !res.Tables["migrateCount"].IsSolver() {
+		t.Error("migrateCount should be a solver table")
+	}
+	// max_migrates must have been substituted.
+	for _, r := range res.Program.Rules {
+		if r.Label != "c3" {
+			continue
+		}
+		cond := r.Body[0].(*colog.CondLit)
+		bin := cond.Expr.(*colog.BinTerm)
+		c, ok := bin.R.(*colog.ConstTerm)
+		if !ok || c.Val.I != 3 {
+			t.Errorf("c3 parameter not bound: %v", cond.Expr)
+		}
+	}
+}
+
+const followSunSrc = `
+goal minimize C in aggCost(@X,C).
+var migVm(@X,Y,D,R) forall toMigVm(@X,Y,D) domain [-60,60].
+
+r1 toMigVm(@X,Y,D) <- setLink(@X,Y), dc(@X,D).
+d1 nextVm(@X,D,R) <- curVm(@X,D,R1), migVm(@X,Y,D,R2), R==R1-R2.
+d2 nborNextVm(@X,Y,D,R) <- link(@Y,X), curVm(@Y,D,R1), migVm(@X,Y,D,R2), R==R1+R2.
+d3 aggCommCost(@X,SUM<Cost>) <- nextVm(@X,D,R), commCost(@X,D,C), Cost==R*C.
+d4 aggOpCost(@X,SUM<Cost>) <- nextVm(@X,D,R), opCost(@X,C), Cost==R*C.
+d7 aggMigCost(@X,SUMABS<Cost>) <- migVm(@X,Y,D,R), migCost(@X,Y,C), Cost==R*C.
+d8 aggCost(@X,C) <- aggCommCost(@X,C1), aggOpCost(@X,C2), aggMigCost(@X,C3), C==C1+C2+C3.
+d9 aggNextVm(@X,SUM<R>) <- nextVm(@X,D,R).
+c1 aggNextVm(@X,R1) -> resource(@X,R2), R1<=R2.
+c2 aggNborNextVm(@X,Y,R1) -> link(@Y,X), resource(@Y,R2), R1<=R2.
+d10 aggNborNextVm(@X,Y,SUM<R>) <- nborNextVm(@X,Y,D,R).
+r2 migVm(@Y,X,D,R2) <- setLink(@X,Y), migVm(@X,Y,D,R1), R2:=-R1.
+r3 curVm(@X,D,R) <- curVm(@X,D,R1), migVm(@X,Y,D,R2), R:=R1-R2.
+`
+
+// TestLocalizationRewriteD2 reproduces the paper's section 5.5 example: the
+// distributed solver derivation d2 must split into a regular shipping rule
+// (d21) and a local solver derivation (d22).
+func TestLocalizationRewriteD2(t *testing.T) {
+	res := analyzeOK(t, followSunSrc, nil)
+	var ship, local *colog.Rule
+	for _, r := range res.Program.Rules {
+		if strings.HasPrefix(r.Label, "d2_ship") {
+			ship = r
+		}
+		if r.Label == "d2_local" {
+			local = r
+		}
+	}
+	if ship == nil || local == nil {
+		t.Fatalf("d2 not rewritten; rules: %v", labels(res.Program))
+	}
+	// Shipping rule: tmp(@X, ...) <- link(@Y,X), curVm(@Y,D,R1).
+	if ship.Head.LocVar() != "X" {
+		t.Errorf("shipping head location = %q, want X", ship.Head.LocVar())
+	}
+	if len(ship.Body) != 2 {
+		t.Errorf("shipping body = %v, want the two @Y atoms", ship.Body)
+	}
+	for _, l := range ship.Body {
+		if al, ok := l.(*colog.AtomLit); !ok || al.Atom.LocVar() != "Y" {
+			t.Errorf("shipping body atom %v not at @Y", l)
+		}
+	}
+	// Shipped attributes include D and R1 (used by the local rule).
+	shipVarNames := map[string]bool{}
+	for _, a := range ship.Head.Args {
+		if v, ok := a.(*colog.VarTerm); ok {
+			shipVarNames[v.Name] = true
+		}
+	}
+	for _, want := range []string{"X", "Y", "D", "R1"} {
+		if !shipVarNames[want] {
+			t.Errorf("shipping head %v missing attribute %s", ship.Head, want)
+		}
+	}
+	// The local rule keeps migVm and the condition, and the rewrite result
+	// must classify: shipping = regular, local = solver derivation.
+	if res.Class(ship) != RegularRule {
+		t.Errorf("shipping rule class = %v, want regular", res.Class(ship))
+	}
+	if res.Class(local) != SolverDerivationRule {
+		t.Errorf("local rule class = %v, want solver derivation", res.Class(local))
+	}
+	// Rewritten bookkeeping.
+	if res.Rewritten[ship.Label] != "d2" || res.Rewritten[local.Label] != "d2" {
+		t.Errorf("Rewritten map = %v", res.Rewritten)
+	}
+}
+
+// TestLocalizationConstraintC2: the distributed constraint rule c2 must also
+// be localized, with the local part remaining a constraint rule.
+func TestLocalizationConstraintC2(t *testing.T) {
+	res := analyzeOK(t, followSunSrc, nil)
+	var local *colog.Rule
+	for _, r := range res.Program.Rules {
+		if r.Label == "c2_local" {
+			local = r
+		}
+	}
+	if local == nil {
+		t.Fatalf("c2 not rewritten; rules: %v", labels(res.Program))
+	}
+	if local.Kind != colog.KindConstraint {
+		t.Error("localized c2 lost its constraint kind")
+	}
+	if res.Class(local) != SolverConstraintRule {
+		t.Errorf("c2_local class = %v", res.Class(local))
+	}
+}
+
+// TestFollowSunRegularRules: r2 and r3 consume the solver's materialized
+// output through := and must stay regular.
+func TestFollowSunRegularRules(t *testing.T) {
+	res := analyzeOK(t, followSunSrc, nil)
+	for i, r := range res.Program.Rules {
+		if r.Label == "r2" || r.Label == "r3" || r.Label == "r1" {
+			if res.Classes[i] != RegularRule {
+				t.Errorf("rule %s: class = %v, want regular", r.Label, res.Classes[i])
+			}
+		}
+	}
+	if !res.Distributed {
+		t.Error("Follow-the-Sun should be detected as distributed")
+	}
+}
+
+func TestCentralizedProgramNotDistributed(t *testing.T) {
+	res := analyzeOK(t, acloudSrc, nil)
+	if res.Distributed {
+		t.Error("ACloud (centralized) misdetected as distributed")
+	}
+}
+
+func TestJoinOnSolverAttrRejected(t *testing.T) {
+	src := `
+var assign(Vid,V) forall toAssign(Vid).
+r1 toAssign(Vid) <- vm(Vid).
+d1 bad(Vid) <- assign(Vid,V), other(V).
+`
+	prog, err := colog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, nil); err == nil {
+		t.Fatal("expected join-on-solver-attribute error")
+	} else if !strings.Contains(err.Error(), "solver attribute") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestConstraintWithoutSolverTableRejected(t *testing.T) {
+	src := `c1 load(X) -> X<=5.`
+	prog, err := colog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, nil); err == nil {
+		t.Fatal("expected constraint-without-solver-table error")
+	}
+}
+
+func TestUnsafeRuleRejected(t *testing.T) {
+	src := `r1 p(X,Y) <- q(X).`
+	prog, err := colog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, nil); err == nil {
+		t.Fatal("expected unsafe-rule error")
+	}
+}
+
+func TestArityMismatchRejected(t *testing.T) {
+	src := `
+r1 p(X) <- q(X).
+r2 s(X) <- q(X,Y).
+`
+	prog, err := colog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, nil); err == nil {
+		t.Fatal("expected arity mismatch error")
+	}
+}
+
+func TestAggregateRecursionRejected(t *testing.T) {
+	src := `
+r1 total(SUM<X>) <- item(X).
+r2 item(X) <- total(X).
+`
+	prog, err := colog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, nil); err == nil {
+		t.Fatal("expected aggregate recursion error")
+	}
+}
+
+func TestVarDeclWithoutSolverVarRejected(t *testing.T) {
+	src := `
+var assign(Vid) forall toAssign(Vid).
+r1 toAssign(Vid) <- vm(Vid).
+`
+	prog, err := colog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, nil); err == nil {
+		t.Fatal("expected no-solver-variable error")
+	}
+}
+
+func TestMissingConnectingAtomRejected(t *testing.T) {
+	// Remote group at @Y never binds X, so the rewrite cannot ship.
+	src := `r1 p(@X,C) <- q(@X,D), s(@Y,C), t(@X,D,Y).`
+	prog, err := colog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(prog, nil); err == nil {
+		t.Fatal("expected missing-connecting-atom error")
+	} else if !strings.Contains(err.Error(), "connecting atom") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRecursiveRegularRulesAllowed(t *testing.T) {
+	// Classic transitive closure must pass analysis.
+	src := `
+r1 path(X,Y) <- edge(X,Y).
+r2 path(X,Z) <- path(X,Y), edge(Y,Z).
+`
+	res := analyzeOK(t, src, nil)
+	if len(res.Program.Rules) != 2 {
+		t.Fatalf("rules = %d", len(res.Program.Rules))
+	}
+}
+
+func TestParamBindingUppercase(t *testing.T) {
+	// F_mindiff parses as a variable; binding must turn it into a constant.
+	src := `
+var assign(X,C) forall link(X).
+d1 cost(X,C) <- assign(X,C1), (C==1)==(C1<F_mindiff).
+`
+	res := analyzeOK(t, src, map[string]colog.Value{"F_mindiff": colog.IntVal(5)})
+	d1 := res.Program.RuleByLabel("d1")
+	s := d1.String()
+	if strings.Contains(s, "F_mindiff") {
+		t.Fatalf("F_mindiff not substituted: %s", s)
+	}
+	if !strings.Contains(s, "5") {
+		t.Fatalf("constant missing: %s", s)
+	}
+}
+
+func TestAnalyzeDoesNotMutateInput(t *testing.T) {
+	prog, err := colog.Parse(followSunSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := prog.String()
+	if _, err := Analyze(prog, map[string]colog.Value{"x": colog.IntVal(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if prog.String() != before {
+		t.Fatal("Analyze mutated its input program")
+	}
+}
+
+func TestRuleClassString(t *testing.T) {
+	if RegularRule.String() != "regular" ||
+		SolverDerivationRule.String() != "solver-derivation" ||
+		SolverConstraintRule.String() != "solver-constraint" {
+		t.Fatal("RuleClass.String broken")
+	}
+}
+
+func labels(p *colog.Program) []string {
+	var out []string
+	for _, r := range p.Rules {
+		out = append(out, r.Label)
+	}
+	return out
+}

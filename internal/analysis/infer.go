@@ -1,0 +1,383 @@
+package analysis
+
+import (
+	"repro/internal/colog"
+)
+
+// inferSolverTables implements the paper's section 5.2: starting from the
+// variables introduced by var declarations, propagate "solver-ness" through
+// rules until fixpoint. An attribute is a solver attribute when its value is
+// only determined by the constraint solver.
+//
+// Propagation crosses == equalities and comparisons (declarative bindings
+// compiled into Gecode constraints) but NOT := assignments: following the
+// paper's use (rules r2/r3 of Follow-the-Sun), := consumes the solver's
+// materialized output after optimization, so rules using it stay regular.
+func inferSolverTables(res *Result) error {
+	// Seed from var declarations: declared attributes not bound by the
+	// forall table are fresh solver variables.
+	for _, vd := range res.Program.Vars {
+		ti := res.Tables[vd.Decl.Pred]
+		if ti == nil {
+			continue
+		}
+		forallVars := map[string]bool{}
+		for _, v := range atomVars(vd.ForAll, nil) {
+			forallVars[v] = true
+		}
+		nSolver := 0
+		for i, arg := range vd.Decl.Args {
+			v, ok := arg.(*colog.VarTerm)
+			if !ok {
+				return aerrf("var", "declaration %s has non-variable argument %s", vd.Decl, arg)
+			}
+			if !forallVars[v.Name] {
+				ti.SolverAttrs[i] = true
+				nSolver++
+			}
+		}
+		if nSolver == 0 {
+			return aerrf("var", "declaration %s introduces no solver variable (every attribute is bound by %s)", vd.Decl, vd.ForAll.Pred)
+		}
+	}
+
+	// Fixpoint propagation through derivation rules.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range res.Program.Rules {
+			if r.Kind != colog.KindDerivation {
+				continue
+			}
+			solverVars := ruleSolverVars(res, r)
+			if len(solverVars) == 0 {
+				continue
+			}
+			ti := res.Tables[r.Head.Pred]
+			for i, arg := range r.Head.Args {
+				mark := false
+				switch t := arg.(type) {
+				case *colog.VarTerm:
+					mark = solverVars[t.Name]
+				case *colog.AggTerm:
+					mark = solverVars[t.Over]
+				}
+				if mark && !ti.SolverAttrs[i] {
+					ti.SolverAttrs[i] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ruleSolverVars computes, for one rule, the set of variables whose values
+// depend on solver variables: variables at solver attribute positions of
+// body atoms, extended transitively through expression literals (== bindings
+// and comparisons), but not through := assignments.
+func ruleSolverVars(res *Result, r *colog.Rule) map[string]bool {
+	solver := map[string]bool{}
+	bound := map[string]bool{} // variables bound at regular atom positions
+	collect := func(a *colog.Atom) {
+		ti := res.Tables[a.Pred]
+		for i, arg := range a.Args {
+			v, ok := arg.(*colog.VarTerm)
+			if !ok {
+				continue
+			}
+			if ti != nil && i < len(ti.SolverAttrs) && ti.SolverAttrs[i] {
+				solver[v.Name] = true
+			} else {
+				bound[v.Name] = true
+			}
+		}
+	}
+	for _, l := range r.Body {
+		if al, ok := l.(*colog.AtomLit); ok {
+			collect(al.Atom)
+		}
+	}
+	// For constraint rules the head is also a source of bindings.
+	if r.Kind == colog.KindConstraint {
+		collect(r.Head)
+	}
+	// Transitive closure through condition literals: any unbound variable
+	// sharing a condition with a solver variable is solver-dependent
+	// (covers C==V*Cpu and the reified (C==1)==(V==1) idiom).
+	for changed := true; changed; {
+		changed = false
+		for _, l := range r.Body {
+			cond, ok := l.(*colog.CondLit)
+			if !ok {
+				continue
+			}
+			vars := termVars(cond.Expr, nil)
+			hasSolver := false
+			for _, v := range vars {
+				if solver[v] {
+					hasSolver = true
+					break
+				}
+			}
+			if !hasSolver {
+				continue
+			}
+			for _, v := range vars {
+				if !solver[v] && !bound[v] {
+					solver[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return solver
+}
+
+// classify assigns each rule its class per section 5.2: constraint rules by
+// syntax (->), derivation rules by whether their head became a solver table,
+// everything else regular.
+func classify(res *Result) {
+	res.Classes = make([]RuleClass, len(res.Program.Rules))
+	for i, r := range res.Program.Rules {
+		if r.Kind == colog.KindConstraint {
+			res.Classes[i] = SolverConstraintRule
+			continue
+		}
+		// A derivation rule is a solver derivation when its head receives a
+		// solver-dependent value. Rules like Follow-the-Sun's r2/r3, whose
+		// heads are fed through := assignments from the solver's
+		// materialized output, remain regular.
+		solverVars := ruleSolverVars(res, r)
+		res.Classes[i] = RegularRule
+		for _, arg := range r.Head.Args {
+			switch t := arg.(type) {
+			case *colog.VarTerm:
+				if solverVars[t.Name] {
+					res.Classes[i] = SolverDerivationRule
+				}
+			case *colog.AggTerm:
+				if solverVars[t.Over] {
+					res.Classes[i] = SolverDerivationRule
+				}
+			}
+		}
+	}
+}
+
+// validate enforces the paper's restrictions: constraint rules must involve
+// solver tables; joins on solver attributes are prohibited (section 5.3);
+// rule heads must be safe; aggregates may only appear in heads.
+func validate(res *Result) error {
+	for i, r := range res.Program.Rules {
+		label := ruleName(r)
+		// No aggregates in body atoms.
+		for _, l := range r.Body {
+			al, ok := l.(*colog.AtomLit)
+			if !ok {
+				continue
+			}
+			for _, arg := range al.Atom.Args {
+				if _, isAgg := arg.(*colog.AggTerm); isAgg {
+					return aerrf(label, "aggregate in body atom %s; aggregates are only allowed in rule heads", al.Atom)
+				}
+			}
+		}
+		if res.Classes[i] == SolverConstraintRule {
+			involves := res.Tables[r.Head.Pred].IsSolver()
+			for _, l := range r.Body {
+				if al, ok := l.(*colog.AtomLit); ok && res.Tables[al.Atom.Pred].IsSolver() {
+					involves = true
+				}
+			}
+			if !involves {
+				return aerrf(label, "constraint rule involves no solver table")
+			}
+		}
+		// Joins on solver attributes are prohibited everywhere (section 5.3),
+		// not just in solver rules.
+		if err := checkNoSolverJoin(res, r, label); err != nil {
+			return err
+		}
+		if r.Kind == colog.KindDerivation {
+			if err := checkSafety(r, label); err != nil {
+				return err
+			}
+		}
+	}
+	return checkAggregateRecursion(res)
+}
+
+// checkNoSolverJoin rejects joins on solver attributes: a variable occupying
+// a solver attribute position may not occur in any other atom argument.
+func checkNoSolverJoin(res *Result, r *colog.Rule, label string) error {
+	occurrences := map[string]int{}
+	solverOcc := map[string]int{}
+	scan := func(a *colog.Atom) {
+		ti := res.Tables[a.Pred]
+		for i, arg := range a.Args {
+			v, ok := arg.(*colog.VarTerm)
+			if !ok {
+				continue
+			}
+			occurrences[v.Name]++
+			if ti != nil && i < len(ti.SolverAttrs) && ti.SolverAttrs[i] {
+				solverOcc[v.Name]++
+			}
+		}
+	}
+	for _, l := range r.Body {
+		if al, ok := l.(*colog.AtomLit); ok {
+			scan(al.Atom)
+		}
+	}
+	if r.Kind == colog.KindConstraint {
+		scan(r.Head)
+		// In constraint rules a variable repeated across solver attribute
+		// positions is an equality constraint, not a join (the wireless
+		// channel-symmetry idiom assign(X,Y,C) -> assign(Y,X,C)). Only
+		// mixing solver and regular positions is rejected.
+		for v, n := range solverOcc {
+			if occurrences[v] > n {
+				return aerrf(label, "variable %s joins on a solver attribute; joins on solver attributes are prohibited", v)
+			}
+		}
+		return nil
+	}
+	for v, n := range solverOcc {
+		if occurrences[v] > n || n > 1 {
+			return aerrf(label, "variable %s joins on a solver attribute; joins on solver attributes are prohibited", v)
+		}
+	}
+	return nil
+}
+
+// checkSafety requires every head variable to appear somewhere in the body.
+func checkSafety(r *colog.Rule, label string) error {
+	bodyVars := map[string]bool{}
+	for _, l := range r.Body {
+		switch x := l.(type) {
+		case *colog.AtomLit:
+			for _, v := range atomVars(x.Atom, nil) {
+				bodyVars[v] = true
+			}
+		case *colog.CondLit:
+			for _, v := range termVars(x.Expr, nil) {
+				bodyVars[v] = true
+			}
+		case *colog.AssignLit:
+			bodyVars[x.Var] = true
+			for _, v := range termVars(x.Expr, nil) {
+				bodyVars[v] = true
+			}
+		}
+	}
+	for _, v := range atomVars(r.Head, nil) {
+		if !bodyVars[v] {
+			return aerrf(label, "unsafe rule: head variable %s does not appear in the body", v)
+		}
+	}
+	return nil
+}
+
+// checkAggregateRecursion rejects recursion through aggregate heads, which
+// has no well-defined incremental semantics.
+func checkAggregateRecursion(res *Result) error {
+	deps := map[string]map[string]bool{} // head pred -> body preds
+	aggHeads := map[string]bool{}
+	for _, r := range res.Program.Rules {
+		if r.Kind != colog.KindDerivation {
+			continue
+		}
+		if r.Head.HasAggregate() {
+			aggHeads[r.Head.Pred] = true
+		}
+		m := deps[r.Head.Pred]
+		if m == nil {
+			m = map[string]bool{}
+			deps[r.Head.Pred] = m
+		}
+		for _, l := range r.Body {
+			if al, ok := l.(*colog.AtomLit); ok {
+				m[al.Atom.Pred] = true
+			}
+		}
+	}
+	for pred := range aggHeads {
+		if reaches(deps, pred, pred, map[string]bool{}) {
+			return aerrf(pred, "aggregate head %s is recursive; recursion through aggregates is not supported", pred)
+		}
+	}
+	return nil
+}
+
+func reaches(deps map[string]map[string]bool, from, to string, seen map[string]bool) bool {
+	for next := range deps[from] {
+		if next == to {
+			return true
+		}
+		if !seen[next] {
+			seen[next] = true
+			if reaches(deps, next, to, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// orderSolverRules topologically orders solver derivation rules by table
+// dependencies, the order the grounder evaluates them in. Cycles among
+// solver rules are rejected.
+func orderSolverRules(res *Result) error {
+	idxs := []int{}
+	headOf := map[string][]int{} // table -> rule indices producing it
+	for i, c := range res.Classes {
+		if c == SolverDerivationRule {
+			idxs = append(idxs, i)
+			pred := res.Program.Rules[i].Head.Pred
+			headOf[pred] = append(headOf[pred], i)
+		}
+	}
+	// Edges: producer -> consumer.
+	adj := map[int][]int{}
+	indeg := map[int]int{}
+	for _, i := range idxs {
+		indeg[i] = indeg[i] // ensure key exists
+		for _, l := range res.Program.Rules[i].Body {
+			al, ok := l.(*colog.AtomLit)
+			if !ok {
+				continue
+			}
+			for _, j := range headOf[al.Atom.Pred] {
+				if j == i {
+					return aerrf(ruleName(res.Program.Rules[i]), "solver derivation rule is self-recursive")
+				}
+				adj[j] = append(adj[j], i)
+				indeg[i]++
+			}
+		}
+	}
+	queue := []int{}
+	for _, i := range idxs {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, j := range adj[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(order) != len(idxs) {
+		return aerrf("", "cyclic dependency among solver derivation rules")
+	}
+	res.SolverOrder = order
+	return nil
+}

@@ -1,0 +1,90 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/programs"
+)
+
+func TestGenerateACloud(t *testing.T) {
+	e := programs.ACloud(false, 0)
+	src := Generate(e.Name, e.Analyze())
+	for _, frag := range []string{
+		"class AssignTable", "Gecode::BAB", "Rule", "InvokeSolver",
+		"CologneSpace", "int main",
+	} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("generated code missing %q", frag)
+		}
+	}
+}
+
+func TestCountLines(t *testing.T) {
+	src := `
+// comment
+int x = 1;
+
+/* block
+   comment */
+int y = 2; /* trailing */
+`
+	if got := CountLines(src); got != 2 {
+		t.Fatalf("CountLines = %d, want 2", got)
+	}
+}
+
+// TestTable2Ratios reproduces the shape of the paper's Table 2: every
+// protocol's generated imperative code must be far larger than its Colog
+// source — the paper reports roughly two orders of magnitude.
+func TestTable2Ratios(t *testing.T) {
+	for _, e := range programs.Table2Entries() {
+		res := e.Analyze()
+		nRules := res.Program.NumRules()
+		loc := CountLines(Generate(e.Name, res))
+		ratio := float64(loc) / float64(nRules)
+		t.Logf("%-30s %3d rules -> %5d LOC (ratio %.0fx)", e.Name, nRules, loc, ratio)
+		if ratio < 15 {
+			t.Errorf("%s: LOC ratio %.1fx is implausibly low", e.Name, ratio)
+		}
+		if loc < 300 {
+			t.Errorf("%s: generated only %d LOC", e.Name, loc)
+		}
+	}
+}
+
+// TestDistributedLargerThanCentralized mirrors the ordering in Table 2.
+func TestDistributedLargerThanCentralized(t *testing.T) {
+	entries := programs.Table2Entries()
+	locOf := func(e programs.Entry) int {
+		return CountLines(Generate(e.Name, e.Analyze()))
+	}
+	ftsC, ftsD := locOf(entries[1]), locOf(entries[2])
+	if ftsD <= ftsC {
+		t.Errorf("FtS distributed LOC (%d) should exceed centralized (%d)", ftsD, ftsC)
+	}
+	wC, wD := locOf(entries[3]), locOf(entries[4])
+	if wD <= wC {
+		t.Errorf("wireless distributed LOC (%d) should exceed centralized (%d)", wD, wC)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	e := programs.FollowSunDistributed(20)
+	a := Generate(e.Name, e.Analyze())
+	b := Generate(e.Name, e.Analyze())
+	if a != b {
+		t.Fatal("Generate is not deterministic")
+	}
+}
+
+func TestNetworkLayerOnlyForDistributed(t *testing.T) {
+	cent := programs.ACloud(false, 0)
+	if strings.Contains(Generate(cent.Name, cent.Analyze()), "Marshal") {
+		t.Error("centralized program should not emit network marshaling")
+	}
+	dist := programs.FollowSunDistributed(20)
+	if !strings.Contains(Generate(dist.Name, dist.Analyze()), "Marshal") {
+		t.Error("distributed program must emit network marshaling")
+	}
+}

@@ -1,0 +1,597 @@
+package colog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValueKind tags constant literal types.
+type ValueKind int
+
+const (
+	// KindInt is a 64-bit integer.
+	KindInt ValueKind = iota
+	// KindFloat is a 64-bit float.
+	KindFloat
+	// KindString is a string (also used for node addresses).
+	KindString
+	// KindBool is a boolean.
+	KindBool
+)
+
+// Value is a constant literal value appearing in facts, rules, or parameter
+// bindings.
+type Value struct {
+	Kind ValueKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// IntVal, FloatVal, StringVal and BoolVal construct constant values.
+func IntVal(v int64) Value     { return Value{Kind: KindInt, I: v} }
+func FloatVal(v float64) Value { return Value{Kind: KindFloat, F: v} }
+func StringVal(v string) Value { return Value{Kind: KindString, S: v} }
+func BoolVal(v bool) Value     { return Value{Kind: KindBool, B: v} }
+
+// Num returns the numeric value as float64 (ints widen; bools are 0/1).
+func (v Value) Num() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	case KindBool:
+		if v.B {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+// Equal compares two values; ints and floats compare numerically.
+func (v Value) Equal(o Value) bool {
+	if v.IsNumeric() && o.IsNumeric() {
+		return v.Num() == o.Num()
+	}
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindString:
+		return v.S == o.S
+	case KindBool:
+		return v.B == o.B
+	}
+	return false
+}
+
+// String renders the value as Colog source.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KindString:
+		return fmt.Sprintf("%q", v.S)
+	case KindBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// Key returns a map-key representation of the value.
+func (v Value) Key() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("i%d", v.I)
+	case KindFloat:
+		return fmt.Sprintf("f%g", v.F)
+	case KindString:
+		return "s" + v.S
+	case KindBool:
+		if v.B {
+			return "b1"
+		}
+		return "b0"
+	}
+	return "?"
+}
+
+// BinOp enumerates binary operators in Colog expressions.
+type BinOp int
+
+// Binary operator values, in increasing precedence groups.
+const (
+	OpOr BinOp = iota
+	OpAnd
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+var binOpNames = map[BinOp]string{
+	OpOr: "||", OpAnd: "&&", OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+}
+
+// String returns the operator's surface syntax.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether the operator yields a boolean from numerics.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// IsLogical reports whether the operator combines booleans.
+func (op BinOp) IsLogical() bool { return op == OpOr || op == OpAnd }
+
+// Term is a node of a Colog expression or an atom argument.
+type Term interface {
+	fmt.Stringer
+	isTerm()
+}
+
+// VarTerm is a Datalog variable (capitalized identifier). Loc marks a
+// location specifier (@X).
+type VarTerm struct {
+	Name string
+	Loc  bool
+}
+
+func (t *VarTerm) isTerm() {}
+func (t *VarTerm) String() string {
+	if t.Loc {
+		return "@" + t.Name
+	}
+	return t.Name
+}
+
+// ConstTerm is a literal constant.
+type ConstTerm struct {
+	Val Value
+	Loc bool // @"addr" constant location
+}
+
+func (t *ConstTerm) isTerm() {}
+func (t *ConstTerm) String() string {
+	if t.Loc {
+		return "@" + t.Val.String()
+	}
+	return t.Val.String()
+}
+
+// ParamTerm is a lowercase identifier used in expression position: a named
+// parameter such as max_migrates, bound by the runtime before execution.
+type ParamTerm struct {
+	Name string
+}
+
+func (t *ParamTerm) isTerm()        {}
+func (t *ParamTerm) String() string { return t.Name }
+
+// AggTerm is an aggregate argument in a rule head, e.g. SUM<C>.
+type AggTerm struct {
+	Func AggFunc
+	Over string // aggregated variable name
+}
+
+func (t *AggTerm) isTerm()        {}
+func (t *AggTerm) String() string { return fmt.Sprintf("%s<%s>", t.Func, t.Over) }
+
+// AggFunc enumerates Colog aggregate functions.
+type AggFunc int
+
+// Aggregate functions supported by Colog rule heads.
+const (
+	AggSum AggFunc = iota
+	AggSumAbs
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+	AggStdev
+	AggUnique
+)
+
+var aggNames = map[AggFunc]string{
+	AggSum: "SUM", AggSumAbs: "SUMABS", AggCount: "COUNT", AggMin: "MIN",
+	AggMax: "MAX", AggAvg: "AVG", AggStdev: "STDEV", AggUnique: "UNIQUE",
+}
+
+// String returns the Colog keyword for the aggregate.
+func (f AggFunc) String() string { return aggNames[f] }
+
+// ParseAggFunc resolves an aggregate keyword; ok is false if unknown.
+func ParseAggFunc(name string) (AggFunc, bool) {
+	for f, n := range aggNames {
+		if n == name {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// BinTerm is a binary expression.
+type BinTerm struct {
+	Op   BinOp
+	L, R Term
+}
+
+func (t *BinTerm) isTerm() {}
+func (t *BinTerm) String() string {
+	return fmt.Sprintf("(%s%s%s)", t.L, t.Op, t.R)
+}
+
+// NegTerm is unary minus.
+type NegTerm struct {
+	X Term
+}
+
+func (t *NegTerm) isTerm()        {}
+func (t *NegTerm) String() string { return fmt.Sprintf("(-%s)", t.X) }
+
+// NotTerm is logical negation.
+type NotTerm struct {
+	X Term
+}
+
+func (t *NotTerm) isTerm()        {}
+func (t *NotTerm) String() string { return fmt.Sprintf("(!%s)", t.X) }
+
+// AbsTerm is |x|.
+type AbsTerm struct {
+	X Term
+}
+
+func (t *AbsTerm) isTerm()        {}
+func (t *AbsTerm) String() string { return fmt.Sprintf("|%s|", t.X) }
+
+// FuncTerm is a function call f_name(args...), e.g. f_max(A,B).
+type FuncTerm struct {
+	Name string
+	Args []Term
+}
+
+func (t *FuncTerm) isTerm() {}
+func (t *FuncTerm) String() string {
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", t.Name, strings.Join(parts, ","))
+}
+
+// Atom is a predicate with argument terms, e.g. migVm(@X,Y,D,R).
+type Atom struct {
+	Pred string
+	Args []Term
+	Pos  Pos
+}
+
+// LocArg returns the index of the argument carrying the location specifier,
+// or -1 when the atom has none.
+func (a *Atom) LocArg() int {
+	for i, arg := range a.Args {
+		switch t := arg.(type) {
+		case *VarTerm:
+			if t.Loc {
+				return i
+			}
+		case *ConstTerm:
+			if t.Loc {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// LocVar returns the name of the location variable, or "" if the atom has no
+// variable location specifier.
+func (a *Atom) LocVar() string {
+	if i := a.LocArg(); i >= 0 {
+		if v, ok := a.Args[i].(*VarTerm); ok {
+			return v.Name
+		}
+	}
+	return ""
+}
+
+// HasAggregate reports whether any argument is an aggregate term.
+func (a *Atom) HasAggregate() bool {
+	for _, arg := range a.Args {
+		if _, ok := arg.(*AggTerm); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the atom.
+func (a *Atom) Clone() *Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = CloneTerm(t)
+	}
+	return &Atom{Pred: a.Pred, Args: args, Pos: a.Pos}
+}
+
+func (a *Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Pred, strings.Join(parts, ","))
+}
+
+// CloneTerm deep-copies a term tree.
+func CloneTerm(t Term) Term {
+	switch x := t.(type) {
+	case *VarTerm:
+		c := *x
+		return &c
+	case *ConstTerm:
+		c := *x
+		return &c
+	case *ParamTerm:
+		c := *x
+		return &c
+	case *AggTerm:
+		c := *x
+		return &c
+	case *BinTerm:
+		return &BinTerm{Op: x.Op, L: CloneTerm(x.L), R: CloneTerm(x.R)}
+	case *NegTerm:
+		return &NegTerm{X: CloneTerm(x.X)}
+	case *NotTerm:
+		return &NotTerm{X: CloneTerm(x.X)}
+	case *AbsTerm:
+		return &AbsTerm{X: CloneTerm(x.X)}
+	case *FuncTerm:
+		args := make([]Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = CloneTerm(a)
+		}
+		return &FuncTerm{Name: x.Name, Args: args}
+	}
+	panic(fmt.Sprintf("colog: CloneTerm on unknown term %T", t))
+}
+
+// Literal is one element of a rule body: an atom, a boolean condition, or an
+// assignment.
+type Literal interface {
+	fmt.Stringer
+	isLiteral()
+}
+
+// AtomLit wraps an atom used as a body literal.
+type AtomLit struct {
+	Atom *Atom
+}
+
+func (l *AtomLit) isLiteral()     {}
+func (l *AtomLit) String() string { return l.Atom.String() }
+
+// CondLit is a boolean expression literal, e.g. C==V*Cpu or Hid1!=Hid2.
+type CondLit struct {
+	Expr Term
+	Pos  Pos
+}
+
+func (l *CondLit) isLiteral()     {}
+func (l *CondLit) String() string { return l.Expr.String() }
+
+// AssignLit is an assignment literal, e.g. R2:=-R1.
+type AssignLit struct {
+	Var  string
+	Expr Term
+	Pos  Pos
+}
+
+func (l *AssignLit) isLiteral()     {}
+func (l *AssignLit) String() string { return fmt.Sprintf("%s:=%s", l.Var, l.Expr) }
+
+// RuleKind distinguishes the two rule arrows.
+type RuleKind int
+
+const (
+	// KindDerivation is head <- body (Datalog or solver derivation).
+	KindDerivation RuleKind = iota
+	// KindConstraint is head -> body (solver constraint rule).
+	KindConstraint
+)
+
+// Rule is a Colog rule. Classification into regular / solver derivation /
+// solver constraint happens in the analysis package.
+type Rule struct {
+	Label string // optional, e.g. "r1", "d2", "c3"
+	Kind  RuleKind
+	Head  *Atom
+	Body  []Literal
+	Pos   Pos
+}
+
+func (r *Rule) String() string {
+	arrow := "<-"
+	if r.Kind == KindConstraint {
+		arrow = "->"
+	}
+	parts := make([]string, len(r.Body))
+	for i, l := range r.Body {
+		parts[i] = l.String()
+	}
+	label := ""
+	if r.Label != "" {
+		label = r.Label + " "
+	}
+	return fmt.Sprintf("%s%s %s %s.", label, r.Head, arrow, strings.Join(parts, ", "))
+}
+
+// Clone deep-copies a rule.
+func (r *Rule) Clone() *Rule {
+	body := make([]Literal, len(r.Body))
+	for i, l := range r.Body {
+		switch x := l.(type) {
+		case *AtomLit:
+			body[i] = &AtomLit{Atom: x.Atom.Clone()}
+		case *CondLit:
+			body[i] = &CondLit{Expr: CloneTerm(x.Expr), Pos: x.Pos}
+		case *AssignLit:
+			body[i] = &AssignLit{Var: x.Var, Expr: CloneTerm(x.Expr), Pos: x.Pos}
+		}
+	}
+	return &Rule{Label: r.Label, Kind: r.Kind, Head: r.Head.Clone(), Body: body, Pos: r.Pos}
+}
+
+// GoalDecl is the program's optimization goal:
+// goal minimize C in aggCost(@X,C).
+type GoalDecl struct {
+	Sense   GoalSense
+	VarName string // the objective variable, "" for satisfy
+	Atom    *Atom  // the table holding the objective
+	Pos     Pos
+}
+
+// GoalSense is the optimization direction.
+type GoalSense int
+
+// Goal senses.
+const (
+	GoalMinimize GoalSense = iota
+	GoalMaximize
+	GoalSatisfy
+)
+
+// String returns the Colog keyword.
+func (s GoalSense) String() string {
+	switch s {
+	case GoalMinimize:
+		return "minimize"
+	case GoalMaximize:
+		return "maximize"
+	default:
+		return "satisfy"
+	}
+}
+
+func (g *GoalDecl) String() string {
+	if g.Sense == GoalSatisfy {
+		return fmt.Sprintf("goal satisfy %s.", g.Atom)
+	}
+	return fmt.Sprintf("goal %s %s in %s.", g.Sense, g.VarName, g.Atom)
+}
+
+// DomainSpec is the optional domain clause of a var declaration.
+type DomainSpec struct {
+	// Range domain [Lo,Hi] when Explicit is nil; otherwise the explicit
+	// value set.
+	Lo, Hi   int64
+	Explicit []int64
+	// FromTable, when non-empty, draws the candidate values from the single
+	// column of the named table at solve time (e.g. availChannel).
+	FromTable string
+}
+
+func (d *DomainSpec) String() string {
+	if d == nil {
+		return ""
+	}
+	if d.FromTable != "" {
+		return fmt.Sprintf(" domain %s", d.FromTable)
+	}
+	if d.Explicit != nil {
+		parts := make([]string, len(d.Explicit))
+		for i, v := range d.Explicit {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		return fmt.Sprintf(" domain {%s}", strings.Join(parts, ","))
+	}
+	return fmt.Sprintf(" domain [%d,%d]", d.Lo, d.Hi)
+}
+
+// VarDecl declares solver variables:
+// var assign(Vid,Hid,V) forall toAssign(Vid,Hid) [domain ...].
+type VarDecl struct {
+	Decl   *Atom // solver table pattern; exactly one attribute is the new solver variable
+	ForAll *Atom // binding table
+	Domain *DomainSpec
+	Pos    Pos
+}
+
+func (v *VarDecl) String() string {
+	return fmt.Sprintf("var %s forall %s%s.", v.Decl, v.ForAll, v.Domain)
+}
+
+// Fact is a ground atom asserted in the program text.
+type Fact struct {
+	Atom *Atom
+	Pos  Pos
+}
+
+func (f *Fact) String() string { return f.Atom.String() + "." }
+
+// Program is a parsed Colog program.
+type Program struct {
+	Goal  *GoalDecl
+	Vars  []*VarDecl
+	Rules []*Rule
+	Facts []*Fact
+}
+
+// String renders the program as Colog source.
+func (p *Program) String() string {
+	var b strings.Builder
+	if p.Goal != nil {
+		b.WriteString(p.Goal.String())
+		b.WriteByte('\n')
+	}
+	for _, v := range p.Vars {
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	for _, f := range p.Facts {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// NumRules returns the rule count plus declarations, the unit Table 2 counts
+// as "Colog rules".
+func (p *Program) NumRules() int {
+	n := len(p.Rules) + len(p.Vars)
+	if p.Goal != nil {
+		n++
+	}
+	return n
+}
+
+// RuleByLabel finds a rule by its label, or nil.
+func (p *Program) RuleByLabel(label string) *Rule {
+	for _, r := range p.Rules {
+		if r.Label == label {
+			return r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package colog
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer turns Colog source text into a token stream.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the entire input, returning the token list (terminated by a
+// TokEOF token) or the first error encountered.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peek2() rune {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *Lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *Lexer) here() Pos { return Pos{lx.line, lx.col} }
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsSpace(r):
+			lx.advance()
+		case r == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '#':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peek2() == '*':
+			start := lx.here()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.here()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := lx.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		return lx.lexIdent(pos), nil
+	case unicode.IsDigit(r):
+		return lx.lexNumber(pos)
+	case r == '"':
+		return lx.lexString(pos)
+	}
+	lx.advance()
+	two := func(next rune, k2 TokenKind, k1 TokenKind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: k2, Pos: pos}
+		}
+		return Token{Kind: k1, Pos: pos}
+	}
+	switch r {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case '.':
+		return Token{Kind: TokPeriod, Pos: pos}, nil
+	case '@':
+		return Token{Kind: TokAt, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '|':
+		return two('|', TokOrOr, TokBar), nil
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: TokAndAnd, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character %q (did you mean &&?)", "&")
+	case '-':
+		return two('>', TokRArrow, TokMinus), nil
+	case '<':
+		switch lx.peek() {
+		case '-':
+			lx.advance()
+			return Token{Kind: TokLArrow, Pos: pos}, nil
+		case '=':
+			lx.advance()
+			return Token{Kind: TokLe, Pos: pos}, nil
+		}
+		return Token{Kind: TokLt, Pos: pos}, nil
+	case '>':
+		return two('=', TokGe, TokGt), nil
+	case '=':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: TokEq, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character %q (did you mean ==?)", "=")
+	case '!':
+		return two('=', TokNe, TokNot), nil
+	case ':':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: TokAssign, Pos: pos}, nil
+		}
+		if lx.peek() == '-' { // classic Datalog :- accepted as <-
+			lx.advance()
+			return Token{Kind: TokLArrow, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character %q", ":")
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(r))
+}
+
+func (lx *Lexer) lexIdent(pos Pos) Token {
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			b.WriteRune(r)
+			lx.advance()
+		} else {
+			break
+		}
+	}
+	text := b.String()
+	if k, ok := keywords[text]; ok {
+		return Token{Kind: k, Text: text, Pos: pos}
+	}
+	first := []rune(text)[0]
+	if unicode.IsUpper(first) {
+		return Token{Kind: TokVar, Text: text, Pos: pos}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: pos}
+}
+
+func (lx *Lexer) lexNumber(pos Pos) (Token, error) {
+	var b strings.Builder
+	kind := TokInt
+	for lx.pos < len(lx.src) && unicode.IsDigit(lx.peek()) {
+		b.WriteRune(lx.advance())
+	}
+	// A '.' is a decimal point only when followed by a digit; otherwise it
+	// terminates the statement.
+	if lx.peek() == '.' && unicode.IsDigit(lx.peek2()) {
+		kind = TokFloat
+		b.WriteRune(lx.advance())
+		for lx.pos < len(lx.src) && unicode.IsDigit(lx.peek()) {
+			b.WriteRune(lx.advance())
+		}
+	}
+	return Token{Kind: kind, Text: b.String(), Pos: pos}, nil
+}
+
+func (lx *Lexer) lexString(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated string literal")
+		}
+		r := lx.advance()
+		if r == '"' {
+			return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+		}
+		if r == '\\' {
+			if lx.pos >= len(lx.src) {
+				return Token{}, errf(pos, "unterminated string escape")
+			}
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return Token{}, errf(pos, "unknown escape \\%c", esc)
+			}
+			continue
+		}
+		b.WriteRune(r)
+	}
+}

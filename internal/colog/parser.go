@@ -1,0 +1,587 @@
+package colog
+
+import (
+	"strconv"
+)
+
+// Parser builds a Program AST from a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete Colog program from source text.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseProgram()
+}
+
+// MustParse parses src and panics on error; intended for embedding the
+// paper's canonical programs as package-level constants.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+func (p *Parser) at(k TokenKind) bool {
+	return p.cur().Kind == k
+}
+
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		switch p.cur().Kind {
+		case TokGoal:
+			g, err := p.parseGoal()
+			if err != nil {
+				return nil, err
+			}
+			if prog.Goal != nil {
+				return nil, errf(g.Pos, "duplicate goal declaration")
+			}
+			prog.Goal = g
+		case TokVarKw:
+			v, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Vars = append(prog.Vars, v)
+		case TokIdent:
+			if err := p.parseRuleOrFact(prog); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errf(p.cur().Pos, "expected statement, found %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+// parseGoal parses: goal minimize C in table(...). | goal satisfy table(...).
+func (p *Parser) parseGoal() (*GoalDecl, error) {
+	kw, _ := p.expect(TokGoal)
+	g := &GoalDecl{Pos: kw.Pos}
+	switch p.cur().Kind {
+	case TokMinimize:
+		g.Sense = GoalMinimize
+	case TokMaximize:
+		g.Sense = GoalMaximize
+	case TokSatisfy:
+		g.Sense = GoalSatisfy
+	default:
+		return nil, errf(p.cur().Pos, "expected minimize, maximize or satisfy, found %s", p.cur())
+	}
+	p.advance()
+	if g.Sense != GoalSatisfy {
+		v, err := p.expect(TokVar)
+		if err != nil {
+			return nil, err
+		}
+		g.VarName = v.Text
+		if _, err := p.expect(TokIn); err != nil {
+			return nil, err
+		}
+	}
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	g.Atom = atom
+	if _, err := p.expect(TokPeriod); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseVarDecl parses: var decl(...) forall table(...) [domain ...] .
+func (p *Parser) parseVarDecl() (*VarDecl, error) {
+	kw, _ := p.expect(TokVarKw)
+	decl := &VarDecl{Pos: kw.Pos}
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	decl.Decl = atom
+	if _, err := p.expect(TokForall); err != nil {
+		return nil, err
+	}
+	fa, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	decl.ForAll = fa
+	if p.at(TokDomain) {
+		p.advance()
+		spec, err := p.parseDomainSpec()
+		if err != nil {
+			return nil, err
+		}
+		decl.Domain = spec
+	}
+	if _, err := p.expect(TokPeriod); err != nil {
+		return nil, err
+	}
+	return decl, nil
+}
+
+func (p *Parser) parseDomainSpec() (*DomainSpec, error) {
+	switch p.cur().Kind {
+	case TokLBracket:
+		p.advance()
+		lo, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseSignedInt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		if hi < lo {
+			return nil, errf(p.cur().Pos, "empty domain [%d,%d]", lo, hi)
+		}
+		return &DomainSpec{Lo: lo, Hi: hi}, nil
+	case TokLBrace:
+		p.advance()
+		var vals []int64
+		for {
+			v, err := p.parseSignedInt()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if p.at(TokComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		return &DomainSpec{Explicit: vals}, nil
+	case TokIdent:
+		t := p.advance()
+		return &DomainSpec{FromTable: t.Text}, nil
+	}
+	return nil, errf(p.cur().Pos, "expected domain specification, found %s", p.cur())
+}
+
+func (p *Parser) parseSignedInt() (int64, error) {
+	neg := false
+	if p.at(TokMinus) {
+		p.advance()
+		neg = true
+	}
+	t, err := p.expect(TokInt)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, errf(t.Pos, "invalid integer %q", t.Text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// parseRuleOrFact handles statements starting with a lowercase identifier:
+// an optional rule label, then a head atom, then <-, -> or . (fact).
+func (p *Parser) parseRuleOrFact(prog *Program) error {
+	label := ""
+	if p.at(TokIdent) && p.peek().Kind == TokIdent {
+		label = p.advance().Text
+	}
+	head, err := p.parseAtom()
+	if err != nil {
+		return err
+	}
+	switch p.cur().Kind {
+	case TokPeriod:
+		p.advance()
+		if label != "" {
+			return errf(head.Pos, "fact %s cannot carry a rule label", head.Pred)
+		}
+		for _, a := range head.Args {
+			if _, ok := a.(*ConstTerm); !ok {
+				return errf(head.Pos, "fact %s has non-constant argument %s", head.Pred, a)
+			}
+		}
+		prog.Facts = append(prog.Facts, &Fact{Atom: head, Pos: head.Pos})
+		return nil
+	case TokLArrow, TokRArrow:
+		kind := KindDerivation
+		if p.cur().Kind == TokRArrow {
+			kind = KindConstraint
+		}
+		p.advance()
+		body, err := p.parseBody()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(TokPeriod); err != nil {
+			return err
+		}
+		prog.Rules = append(prog.Rules, &Rule{
+			Label: label, Kind: kind, Head: head, Body: body, Pos: head.Pos,
+		})
+		return nil
+	}
+	return errf(p.cur().Pos, "expected <-, -> or . after atom, found %s", p.cur())
+}
+
+func (p *Parser) parseBody() ([]Literal, error) {
+	var body []Literal
+	for {
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, lit)
+		if p.at(TokComma) {
+			p.advance()
+			continue
+		}
+		return body, nil
+	}
+}
+
+// parseLiteral parses one body element: an atom, an assignment (Var := expr),
+// or a boolean condition.
+func (p *Parser) parseLiteral() (Literal, error) {
+	// Atom: identifier followed by '('.
+	if p.at(TokIdent) && p.peek().Kind == TokLParen {
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &AtomLit{Atom: atom}, nil
+	}
+	// Assignment: Var := expr.
+	if p.at(TokVar) && p.peek().Kind == TokAssign {
+		v := p.advance()
+		p.advance() // :=
+		expr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignLit{Var: v.Text, Expr: expr, Pos: v.Pos}, nil
+	}
+	pos := p.cur().Pos
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondLit{Expr: expr, Pos: pos}, nil
+}
+
+// parseAtom parses pred(arg, ...) where each argument may carry a location
+// specifier (@X) or be an aggregate (SUM<C>) or an expression.
+func (p *Parser) parseAtom() (*Atom, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	atom := &Atom{Pred: name.Text, Pos: name.Pos}
+	if p.at(TokRParen) {
+		p.advance()
+		return atom, nil
+	}
+	for {
+		arg, err := p.parseAtomArg()
+		if err != nil {
+			return nil, err
+		}
+		atom.Args = append(atom.Args, arg)
+		if p.at(TokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return atom, nil
+}
+
+func (p *Parser) parseAtomArg() (Term, error) {
+	// Location specifier.
+	if p.at(TokAt) {
+		p.advance()
+		switch p.cur().Kind {
+		case TokVar:
+			t := p.advance()
+			return &VarTerm{Name: t.Text, Loc: true}, nil
+		case TokString:
+			t := p.advance()
+			return &ConstTerm{Val: StringVal(t.Text), Loc: true}, nil
+		case TokIdent:
+			t := p.advance()
+			return &ConstTerm{Val: StringVal(t.Text), Loc: true}, nil
+		}
+		return nil, errf(p.cur().Pos, "expected location after @, found %s", p.cur())
+	}
+	// Aggregate: AGGNAME < Var >.
+	if p.at(TokVar) {
+		if f, ok := ParseAggFunc(p.cur().Text); ok && p.peek().Kind == TokLt {
+			save := p.pos
+			p.advance() // agg name
+			p.advance() // <
+			if p.at(TokVar) && p.peek().Kind == TokGt {
+				over := p.advance().Text
+				p.advance() // >
+				return &AggTerm{Func: f, Over: over}, nil
+			}
+			// Not an aggregate after all (e.g. a variable named SUM compared
+			// with something); rewind and parse as expression.
+			p.pos = save
+		}
+	}
+	return p.parseExpr()
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	expr   := and { '||' and }
+//	and    := cmp { '&&' cmp }
+//	cmp    := add { (==|!=|<|<=|>|>=) add }
+//	add    := mul { (+|-) mul }
+//	mul    := unary { (*|/) unary }
+//	unary  := '-' unary | '!' unary | primary
+//	primary:= number | string | Var | param | f(args) | '(' expr ')' | '|' expr '|'
+func (p *Parser) parseExpr() (Term, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Term, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOrOr) {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinTerm{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Term, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAndAnd) {
+		p.advance()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinTerm{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[TokenKind]BinOp{
+	TokEq: OpEq, TokNe: OpNe, TokLt: OpLt, TokLe: OpLe, TokGt: OpGt, TokGe: OpGe,
+}
+
+func (p *Parser) parseCmp() (Term, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := cmpOps[p.cur().Kind]
+		if !ok {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinTerm{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseAdd() (Term, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		op := OpAdd
+		if p.at(TokMinus) {
+			op = OpSub
+		}
+		p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinTerm{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMul() (Term, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokStar) || p.at(TokSlash) {
+		op := OpMul
+		if p.at(TokSlash) {
+			op = OpDiv
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinTerm{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (Term, error) {
+	switch p.cur().Kind {
+	case TokMinus:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal into a constant.
+		if c, ok := x.(*ConstTerm); ok && c.Val.IsNumeric() && !c.Loc {
+			if c.Val.Kind == KindInt {
+				return &ConstTerm{Val: IntVal(-c.Val.I)}, nil
+			}
+			return &ConstTerm{Val: FloatVal(-c.Val.F)}, nil
+		}
+		return &NegTerm{X: x}, nil
+	case TokNot:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotTerm{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Term, error) {
+	switch p.cur().Kind {
+	case TokInt:
+		t := p.advance()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "invalid integer %q", t.Text)
+		}
+		return &ConstTerm{Val: IntVal(v)}, nil
+	case TokFloat:
+		t := p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "invalid float %q", t.Text)
+		}
+		return &ConstTerm{Val: FloatVal(v)}, nil
+	case TokString:
+		t := p.advance()
+		return &ConstTerm{Val: StringVal(t.Text)}, nil
+	case TokVar:
+		t := p.advance()
+		return &VarTerm{Name: t.Text}, nil
+	case TokIdent:
+		t := p.advance()
+		if t.Text == "true" {
+			return &ConstTerm{Val: BoolVal(true)}, nil
+		}
+		if t.Text == "false" {
+			return &ConstTerm{Val: BoolVal(false)}, nil
+		}
+		// Function call in expression position: f_max(A,B).
+		if p.at(TokLParen) {
+			p.advance()
+			var args []Term
+			if !p.at(TokRParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.at(TokComma) {
+						p.advance()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &FuncTerm{Name: t.Text, Args: args}, nil
+		}
+		return &ParamTerm{Name: t.Text}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokBar:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokBar); err != nil {
+			return nil, err
+		}
+		return &AbsTerm{X: e}, nil
+	}
+	return nil, errf(p.cur().Pos, "expected expression, found %s", p.cur())
+}

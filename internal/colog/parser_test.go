@@ -1,0 +1,389 @@
+package colog
+
+import (
+	"strings"
+	"testing"
+)
+
+// The ACloud program exactly as printed in section 4.2 of the paper.
+const acloudSrc = `
+goal minimize C in hostStdevCpu(C).
+var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+
+r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem),
+    host(Hid,Cpu2,Mem2).
+d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V),
+    vm(Vid,Cpu,Mem), C==V*Cpu.
+d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem),
+    hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+c1 assignCount(Vid,V) -> V==1.
+d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V),
+    vm(Vid,Cpu,Mem), M==V*Mem.
+c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+`
+
+func TestParseACloud(t *testing.T) {
+	prog, err := Parse(acloudSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Goal == nil || prog.Goal.Sense != GoalMinimize || prog.Goal.VarName != "C" {
+		t.Fatalf("goal parsed wrong: %v", prog.Goal)
+	}
+	if prog.Goal.Atom.Pred != "hostStdevCpu" {
+		t.Fatalf("goal atom = %s", prog.Goal.Atom.Pred)
+	}
+	if len(prog.Vars) != 1 {
+		t.Fatalf("got %d var decls, want 1", len(prog.Vars))
+	}
+	vd := prog.Vars[0]
+	if vd.Decl.Pred != "assign" || vd.ForAll.Pred != "toAssign" {
+		t.Fatalf("var decl parsed wrong: %v", vd)
+	}
+	if len(prog.Rules) != 7 {
+		t.Fatalf("got %d rules, want 7", len(prog.Rules))
+	}
+	wantLabels := []string{"r1", "d1", "d2", "d3", "c1", "d4", "c2"}
+	for i, r := range prog.Rules {
+		if r.Label != wantLabels[i] {
+			t.Errorf("rule %d label = %q, want %q", i, r.Label, wantLabels[i])
+		}
+	}
+	if prog.Rules[4].Kind != KindConstraint || prog.Rules[6].Kind != KindConstraint {
+		t.Error("c1/c2 not parsed as constraint rules")
+	}
+	if prog.Rules[1].Kind != KindDerivation {
+		t.Error("d1 not parsed as derivation rule")
+	}
+	// d1's head aggregate.
+	agg, ok := prog.Rules[1].Head.Args[1].(*AggTerm)
+	if !ok || agg.Func != AggSum || agg.Over != "C" {
+		t.Fatalf("d1 head aggregate = %v", prog.Rules[1].Head.Args[1])
+	}
+	// d2's STDEV aggregate.
+	agg2, ok := prog.Rules[2].Head.Args[0].(*AggTerm)
+	if !ok || agg2.Func != AggStdev {
+		t.Fatalf("d2 head aggregate = %v", prog.Rules[2].Head.Args[0])
+	}
+	// d1's expression literal C==V*Cpu.
+	last := prog.Rules[1].Body[len(prog.Rules[1].Body)-1]
+	cond, ok := last.(*CondLit)
+	if !ok {
+		t.Fatalf("d1 last literal = %T, want CondLit", last)
+	}
+	bin, ok := cond.Expr.(*BinTerm)
+	if !ok || bin.Op != OpEq {
+		t.Fatalf("d1 condition = %v", cond.Expr)
+	}
+}
+
+// The distributed Follow-the-Sun program from section 4.3 (rules r1-r3,
+// d1-d11, c1-c4), including location specifiers and SUMABS.
+const followSunSrc = `
+goal minimize C in aggCost(@X,C).
+var migVm(@X,Y,D,R) forall toMigVm(@X,Y,D) domain [-60,60].
+
+r1 toMigVm(@X,Y,D) <- setLink(@X,Y), dc(@X,D).
+d1 nextVm(@X,D,R) <- curVm(@X,D,R1), migVm(@X,Y,D,R2), R==R1-R2.
+d2 nborNextVm(@X,Y,D,R) <- link(@Y,X), curVm(@Y,D,R1),
+   migVm(@X,Y,D,R2), R==R1+R2.
+d3 aggCommCost(@X,SUM<Cost>) <- nextVm(@X,D,R), commCost(@X,D,C), Cost==R*C.
+d4 aggOpCost(@X,SUM<Cost>) <- nextVm(@X,D,R), opCost(@X,C), Cost==R*C.
+d5 nborAggCommCost(@X,SUM<Cost>) <- link(@Y,X), commCost(@Y,D,C),
+   nborNextVm(@X,Y,D,R), Cost==R*C.
+d6 nborAggOpCost(@X,SUM<Cost>) <- link(@Y,X), opCost(@Y,C),
+   nborNextVm(@X,Y,D,R), Cost==R*C.
+d7 aggMigCost(@X,SUMABS<Cost>) <- migVm(@X,Y,D,R), migCost(@X,Y,C), Cost==R*C.
+d8 aggCost(@X,C) <- aggCommCost(@X,C1), aggOpCost(@X,C2), aggMigCost(@X,C3),
+   nborAggCommCost(@X,C4), nborAggOpCost(@X,C5), C==C1+C2+C3+C4+C5.
+d9 aggNextVm(@X,SUM<R>) <- nextVm(@X,D,R).
+c1 aggNextVm(@X,R1) -> resource(@X,R2), R1<=R2.
+d10 aggNborNextVm(@X,Y,SUM<R>) <- nborNextVm(@X,Y,D,R).
+c2 aggNborNextVm(@X,Y,R1) -> link(@Y,X), resource(@Y,R2), R1<=R2.
+r2 migVm(@Y,X,D,R2) <- setLink(@X,Y), migVm(@X,Y,D,R1), R2:=-R1.
+r3 curVm(@X,D,R) <- curVm(@X,D,R1), migVm(@X,Y,D,R2), R:=R1-R2.
+d11 aggMigVm(@X,Y,SUMABS<R>) <- migVm(@X,Y,D,R).
+c3 aggMigVm(@X,Y,R) -> R<=max_migrates.
+c4 aggCost(@X,C) -> originCost(@X,C2), C<=cost_thres*C2.
+`
+
+func TestParseFollowTheSun(t *testing.T) {
+	prog, err := Parse(followSunSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 18 {
+		t.Fatalf("got %d rules, want 18", len(prog.Rules))
+	}
+	// Location specifiers.
+	r1 := prog.RuleByLabel("r1")
+	if r1 == nil {
+		t.Fatal("r1 missing")
+	}
+	if r1.Head.LocVar() != "X" {
+		t.Fatalf("r1 head location = %q, want X", r1.Head.LocVar())
+	}
+	d2 := prog.RuleByLabel("d2")
+	bodyAtom := d2.Body[0].(*AtomLit).Atom
+	if bodyAtom.Pred != "link" || bodyAtom.LocVar() != "Y" {
+		t.Fatalf("d2 first body atom = %v", bodyAtom)
+	}
+	// r2's assignment literal R2:=-R1.
+	r2 := prog.RuleByLabel("r2")
+	asn, ok := r2.Body[len(r2.Body)-1].(*AssignLit)
+	if !ok || asn.Var != "R2" {
+		t.Fatalf("r2 assignment = %v", r2.Body[len(r2.Body)-1])
+	}
+	if _, ok := asn.Expr.(*NegTerm); !ok {
+		t.Fatalf("r2 assignment rhs = %T, want NegTerm", asn.Expr)
+	}
+	// d7's SUMABS aggregate.
+	d7 := prog.RuleByLabel("d7")
+	agg, ok := d7.Head.Args[1].(*AggTerm)
+	if !ok || agg.Func != AggSumAbs {
+		t.Fatalf("d7 aggregate = %v", d7.Head.Args[1])
+	}
+	// c3's parameter max_migrates.
+	c3 := prog.RuleByLabel("c3")
+	cond := c3.Body[0].(*CondLit)
+	bin := cond.Expr.(*BinTerm)
+	if _, ok := bin.R.(*ParamTerm); !ok {
+		t.Fatalf("c3 rhs = %T, want ParamTerm", bin.R)
+	}
+	// Domain clause.
+	if prog.Vars[0].Domain == nil || prog.Vars[0].Domain.Lo != -60 || prog.Vars[0].Domain.Hi != 60 {
+		t.Fatalf("domain = %v", prog.Vars[0].Domain)
+	}
+}
+
+// Wireless centralized channel selection from appendix A.2, including the
+// reified interference cost and the UNIQUE aggregate.
+const wirelessSrc = `
+goal minimize C in totalCost(C).
+var assign(X,Y,C) forall link(X,Y) domain {1,6,11}.
+
+d1 cost(X,Y,Z,C) <- assign(X,Y,C1), assign(X,Z,C2),
+   Y!=Z, (C==1)==(|C1-C2|<F_mindiff).
+d2 totalCost(SUM<C>) <- cost(X,Y,Z,C).
+c1 assign(X,Y,C) -> primaryUser(X,C2), C!=C2.
+c2 assign(X,Y,C) -> assign(Y,X,C).
+d3 uniqueChannel(X,UNIQUE<C>) <- assign(X,Y,C).
+c3 uniqueChannel(X,Count) -> numInterface(X,K), Count<=K.
+`
+
+func TestParseWireless(t *testing.T) {
+	prog, err := Parse(wirelessSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 6 {
+		t.Fatalf("got %d rules, want 6", len(prog.Rules))
+	}
+	// The reified condition (C==1)==(|C1-C2|<F_mindiff).
+	d1 := prog.RuleByLabel("d1")
+	cond := d1.Body[len(d1.Body)-1].(*CondLit)
+	top, ok := cond.Expr.(*BinTerm)
+	if !ok || top.Op != OpEq {
+		t.Fatalf("d1 reified condition = %v", cond.Expr)
+	}
+	inner, ok := top.R.(*BinTerm)
+	if !ok || inner.Op != OpLt {
+		t.Fatalf("d1 inner comparison = %v", top.R)
+	}
+	if _, ok := inner.L.(*AbsTerm); !ok {
+		t.Fatalf("d1 abs = %T", inner.L)
+	}
+	// F_mindiff is an uppercase parameter, parsed as a variable term and
+	// bound later by the runtime.
+	if vt, ok := inner.R.(*VarTerm); !ok || vt.Name != "F_mindiff" {
+		t.Fatalf("F_mindiff = %v", inner.R)
+	}
+	// Domain set {1,6,11}.
+	d := prog.Vars[0].Domain
+	if d == nil || len(d.Explicit) != 3 || d.Explicit[1] != 6 {
+		t.Fatalf("domain = %v", d)
+	}
+	// UNIQUE aggregate.
+	d3 := prog.RuleByLabel("d3")
+	agg := d3.Head.Args[1].(*AggTerm)
+	if agg.Func != AggUnique {
+		t.Fatalf("d3 aggregate = %v", agg)
+	}
+}
+
+func TestParseFacts(t *testing.T) {
+	prog, err := Parse(`
+vm("vm1", 50, 1024).
+vm("vm2", 30, 2048).
+host("h1", 0, 32768).
+weight(0.5).
+flag(true).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Facts) != 5 {
+		t.Fatalf("got %d facts, want 5", len(prog.Facts))
+	}
+	f0 := prog.Facts[0].Atom
+	if f0.Pred != "vm" || len(f0.Args) != 3 {
+		t.Fatalf("fact 0 = %v", f0)
+	}
+	c := f0.Args[0].(*ConstTerm)
+	if c.Val.Kind != KindString || c.Val.S != "vm1" {
+		t.Fatalf("fact arg = %v", c.Val)
+	}
+	if w := prog.Facts[3].Atom.Args[0].(*ConstTerm); w.Val.Kind != KindFloat || w.Val.F != 0.5 {
+		t.Fatalf("float fact = %v", w.Val)
+	}
+	if b := prog.Facts[4].Atom.Args[0].(*ConstTerm); b.Val.Kind != KindBool || !b.Val.B {
+		t.Fatalf("bool fact = %v", b.Val)
+	}
+}
+
+func TestParseNegativeFactArg(t *testing.T) {
+	prog, err := Parse(`delta("a", -5).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Facts[0].Atom.Args[1].(*ConstTerm)
+	if c.Val.I != -5 {
+		t.Fatalf("negative literal = %v", c.Val)
+	}
+}
+
+func TestParseGoalSatisfy(t *testing.T) {
+	prog, err := Parse(`goal satisfy assign(X,C).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Goal.Sense != GoalSatisfy || prog.Goal.VarName != "" {
+		t.Fatalf("goal = %v", prog.Goal)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`goal minimize C hostStdevCpu(C).`,       // missing in
+		`r1 p(X) <- q(X)`,                        // missing period
+		`p(X <- q(X).`,                           // unbalanced paren
+		`var assign(V) domain [1,0] forall t(V)`, // clauses out of order
+		`goal minimize C in t(C). goal minimize D in u(D).`, // duplicate goal
+		`r1 p("unterminated) <- q(X).`,
+		`p(X) :< q(X).`,
+		`fact(X).`,           // fact with variable
+		`lbl fact(1).`,       // labeled fact
+		`p(1) = q(2).`,       // stray =
+		`r1 p(X) <- q(X), .`, // empty literal
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d (%q): expected error, got none", i, src)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, src := range []string{acloudSrc, followSunSrc, wirelessSrc} {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := p1.String()
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nprinted:\n%s", err, printed)
+		}
+		if p2.String() != printed {
+			t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", printed, p2.String())
+		}
+	}
+}
+
+func TestParseCommentStyles(t *testing.T) {
+	prog, err := Parse(`
+// line comment
+# hash comment
+/* block
+   comment */
+p(1). // trailing
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Facts) != 1 {
+		t.Fatalf("facts = %d, want 1", len(prog.Facts))
+	}
+}
+
+func TestParseClassicDatalogArrow(t *testing.T) {
+	prog, err := Parse(`r1 path(X,Y) :- edge(X,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 || prog.Rules[0].Kind != KindDerivation {
+		t.Fatalf("classic arrow not accepted: %v", prog.Rules)
+	}
+}
+
+func TestParseZeroArityAtomRejectedAsFact(t *testing.T) {
+	prog, err := Parse(`r1 trigger() <- tick().`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Rules[0].Head.Pred != "trigger" || len(prog.Rules[0].Head.Args) != 0 {
+		t.Fatalf("zero-arity atom = %v", prog.Rules[0].Head)
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !IntVal(3).Equal(FloatVal(3)) {
+		t.Error("numeric cross-kind equality broken")
+	}
+	if IntVal(3).Equal(StringVal("3")) {
+		t.Error("int should not equal string")
+	}
+	if StringVal("a").Key() == StringVal("b").Key() {
+		t.Error("Key collision")
+	}
+	if IntVal(-1).Num() != -1 || BoolVal(true).Num() != 1 {
+		t.Error("Num broken")
+	}
+	if s := FloatVal(2.5).String(); s != "2.5" {
+		t.Errorf("FloatVal.String = %q", s)
+	}
+	if s := StringVal("x").String(); s != `"x"` {
+		t.Errorf("StringVal.String = %q", s)
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := Lex("p(X)\n  <- q(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("first token pos = %v", toks[0].Pos)
+	}
+	// The arrow is on line 2.
+	var arrow *Token
+	for i := range toks {
+		if toks[i].Kind == TokLArrow {
+			arrow = &toks[i]
+		}
+	}
+	if arrow == nil || arrow.Pos.Line != 2 {
+		t.Fatalf("arrow pos = %v", arrow)
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("p(X) <-")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "colog:") {
+		t.Fatalf("error = %q, want colog: prefix", err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package colog implements the Colog declarative policy language from the
+// Cologne paper: distributed Datalog (NDlog-style @ location specifiers)
+// extended with goal/var declarations, solver derivation rules (<-) and
+// solver constraint rules (->), aggregates, and arithmetic/boolean
+// expressions over solver attributes.
+package colog
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind int
+
+const (
+	// TokEOF marks end of input.
+	TokEOF TokenKind = iota
+	// TokIdent is a lowercase identifier: predicate names, constants,
+	// parameters (e.g. max_migrates).
+	TokIdent
+	// TokVar is an uppercase identifier: Datalog variables and aggregate
+	// function names.
+	TokVar
+	// TokInt and TokFloat are numeric literals, TokString a double-quoted
+	// string literal.
+	TokInt
+	TokFloat
+	TokString
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokComma    // ,
+	TokPeriod   // .
+	TokAt       // @
+	TokLArrow   // <-
+	TokRArrow   // ->
+	TokAssign   // :=
+	TokEq       // ==
+	TokNe       // !=
+	TokLt       // <
+	TokLe       // <=
+	TokGt       // >
+	TokGe       // >=
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokBar      // |
+	TokAndAnd   // &&
+	TokOrOr     // ||
+	TokNot      // !
+	TokLBracket // [
+	TokRBracket // ]
+	TokLBrace   // {
+	TokRBrace   // }
+	// Keywords.
+	TokGoal     // goal
+	TokVarKw    // var
+	TokMinimize // minimize
+	TokMaximize // maximize
+	TokSatisfy  // satisfy
+	TokIn       // in
+	TokForall   // forall
+	TokDomain   // domain
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokVar: "variable", TokInt: "integer",
+	TokFloat: "float", TokString: "string", TokLParen: "(", TokRParen: ")",
+	TokComma: ",", TokPeriod: ".", TokAt: "@", TokLArrow: "<-", TokRArrow: "->",
+	TokAssign: ":=", TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=",
+	TokGt: ">", TokGe: ">=", TokPlus: "+", TokMinus: "-", TokStar: "*",
+	TokSlash: "/", TokBar: "|", TokAndAnd: "&&", TokOrOr: "||", TokNot: "!",
+	TokLBracket: "[", TokRBracket: "]", TokLBrace: "{", TokRBrace: "}",
+	TokGoal: "goal", TokVarKw: "var", TokMinimize: "minimize",
+	TokMaximize: "maximize", TokSatisfy: "satisfy", TokIn: "in",
+	TokForall: "forall", TokDomain: "domain",
+}
+
+// String returns a printable token kind name.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]TokenKind{
+	"goal": TokGoal, "var": TokVarKw, "minimize": TokMinimize,
+	"maximize": TokMaximize, "satisfy": TokSatisfy, "in": TokIn,
+	"forall": TokForall, "domain": TokDomain,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source position and literal text.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokVar, TokInt, TokFloat, TokString:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// SyntaxError is a lexical or parse error with position information.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("colog: %s: %s", e.Pos, e.Msg)
+}
+
+func errf(pos Pos, format string, args ...interface{}) *SyntaxError {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

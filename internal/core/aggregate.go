@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/colog"
+)
+
+// aggState maintains the incremental view of one aggregate rule: per group,
+// the multiset of contributed values and the currently emitted head tuple.
+// On every body-match delta the aggregate is recomputed and the head tuple
+// replaced (delete old, insert new) — the incremental view maintenance the
+// paper inherits from declarative networking.
+type aggState struct {
+	fn     colog.AggFunc
+	groups map[string]*aggGroup
+}
+
+type aggGroup struct {
+	groupVals []colog.Value // head arguments except the aggregate position
+	items     map[string]*aggItem
+	total     int
+	emitted   *Tuple // head tuple currently visible, nil if none
+}
+
+type aggItem struct {
+	val   colog.Value
+	count int
+}
+
+// updateAggregate folds one body match (sign +1/-1) into the rule's
+// aggregate state and re-emits the group's head tuple.
+func (n *Node) updateAggregate(p *plan, env map[string]colog.Value, sign int) error {
+	if len(p.headAggs) != 1 {
+		return everrf(ruleName(p.rule), "exactly one aggregate per head is supported, got %d", len(p.headAggs))
+	}
+	aggPos := p.headAggs[0]
+	aggTerm := p.rule.Head.Args[aggPos].(*colog.AggTerm)
+
+	st := n.aggs[p.ruleIdx]
+	if st == nil {
+		st = &aggState{fn: aggTerm.Func, groups: map[string]*aggGroup{}}
+		n.aggs[p.ruleIdx] = st
+	}
+
+	// Group key: all head arguments except the aggregate.
+	groupVals := make([]colog.Value, 0, len(p.rule.Head.Args)-1)
+	for i, arg := range p.rule.Head.Args {
+		if i == aggPos {
+			continue
+		}
+		v, err := evalGround(arg, env)
+		if err != nil {
+			return everrf(ruleName(p.rule), "aggregate group argument %d: %v", i, err)
+		}
+		groupVals = append(groupVals, v)
+	}
+	aggVal, ok := env[aggTerm.Over]
+	if !ok {
+		return everrf(ruleName(p.rule), "aggregate variable %s unbound", aggTerm.Over)
+	}
+
+	gk := valsKey(groupVals)
+	g := st.groups[gk]
+	if g == nil {
+		if sign < 0 {
+			return nil // retracting from an empty group
+		}
+		g = &aggGroup{groupVals: groupVals, items: map[string]*aggItem{}}
+		st.groups[gk] = g
+	}
+	ik := aggVal.Key()
+	item := g.items[ik]
+	if sign > 0 {
+		if item == nil {
+			g.items[ik] = &aggItem{val: aggVal, count: 1}
+		} else {
+			item.count++
+		}
+		g.total++
+	} else {
+		if item == nil {
+			return nil
+		}
+		item.count--
+		g.total--
+		if item.count <= 0 {
+			delete(g.items, ik)
+		}
+	}
+
+	// Re-emit.
+	var newTuple *Tuple
+	if g.total > 0 {
+		out, err := computeAggregate(st.fn, g.items)
+		if err != nil {
+			return everrf(ruleName(p.rule), "aggregate: %v", err)
+		}
+		vals := make([]colog.Value, len(p.rule.Head.Args))
+		gi := 0
+		for i := range p.rule.Head.Args {
+			if i == aggPos {
+				vals[i] = out
+			} else {
+				vals[i] = g.groupVals[gi]
+				gi++
+			}
+		}
+		t := Tuple{p.rule.Head.Pred, vals}
+		newTuple = &t
+	}
+	if g.emitted != nil && newTuple != nil && g.emitted.Key() == newTuple.Key() {
+		return nil // value unchanged
+	}
+	if g.emitted != nil {
+		if err := n.route(*g.emitted, -1); err != nil {
+			return err
+		}
+		g.emitted = nil
+	}
+	if newTuple != nil {
+		if err := n.route(*newTuple, +1); err != nil {
+			return err
+		}
+		g.emitted = newTuple
+	} else {
+		delete(st.groups, gk)
+	}
+	return nil
+}
+
+// computeAggregate folds a multiset into a single value.
+func computeAggregate(fn colog.AggFunc, items map[string]*aggItem) (colog.Value, error) {
+	switch fn {
+	case colog.AggCount:
+		n := 0
+		for _, it := range items {
+			n += it.count
+		}
+		return colog.IntVal(int64(n)), nil
+	case colog.AggUnique:
+		return colog.IntVal(int64(len(items))), nil
+	}
+
+	allInt := true
+	var vals []colog.Value
+	var counts []int
+	for _, it := range items {
+		if !it.val.IsNumeric() {
+			return colog.Value{}, everrf(fn.String(), "non-numeric value %s", it.val)
+		}
+		if it.val.Kind != colog.KindInt {
+			allInt = false
+		}
+		vals = append(vals, it.val)
+		counts = append(counts, it.count)
+	}
+	switch fn {
+	case colog.AggSum:
+		if allInt {
+			var s int64
+			for i, v := range vals {
+				s += v.I * int64(counts[i])
+			}
+			return colog.IntVal(s), nil
+		}
+		s := 0.0
+		for i, v := range vals {
+			s += v.Num() * float64(counts[i])
+		}
+		return colog.FloatVal(s), nil
+	case colog.AggSumAbs:
+		if allInt {
+			var s int64
+			for i, v := range vals {
+				a := v.I
+				if a < 0 {
+					a = -a
+				}
+				s += a * int64(counts[i])
+			}
+			return colog.IntVal(s), nil
+		}
+		s := 0.0
+		for i, v := range vals {
+			s += math.Abs(v.Num()) * float64(counts[i])
+		}
+		return colog.FloatVal(s), nil
+	case colog.AggMin, colog.AggMax:
+		best := vals[0]
+		for _, v := range vals[1:] {
+			if (fn == colog.AggMin && v.Num() < best.Num()) || (fn == colog.AggMax && v.Num() > best.Num()) {
+				best = v
+			}
+		}
+		return best, nil
+	case colog.AggAvg:
+		s, n := 0.0, 0
+		for i, v := range vals {
+			s += v.Num() * float64(counts[i])
+			n += counts[i]
+		}
+		return colog.FloatVal(s / float64(n)), nil
+	case colog.AggStdev:
+		s, sq, n := 0.0, 0.0, 0
+		for i, v := range vals {
+			x := v.Num()
+			s += x * float64(counts[i])
+			sq += x * x * float64(counts[i])
+			n += counts[i]
+		}
+		mean := s / float64(n)
+		variance := sq/float64(n) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		return colog.FloatVal(math.Sqrt(variance)), nil
+	}
+	return colog.Value{}, everrf(fn.String(), "unsupported aggregate")
+}
+
+// sortedVals is a test helper ordering a value multiset deterministically.
+func sortedVals(items map[string]*aggItem) []colog.Value {
+	keys := make([]string, 0, len(items))
+	for k := range items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]colog.Value, 0, len(keys))
+	for _, k := range keys {
+		for i := 0; i < items[k].count; i++ {
+			out = append(out, items[k].val)
+		}
+	}
+	return out
+}

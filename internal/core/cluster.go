@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/colog"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Cluster manages a set of Cologne instances executing one analyzed program
+// over a shared transport — the paper's distributed deployment mode. It
+// bundles the wiring the experiment harnesses need: node construction, fact
+// routing by location attribute, and (in simulation mode) time advancement.
+type Cluster struct {
+	nodes map[string]*Node
+	order []string
+	res   *analysis.Result
+	sched *sim.Scheduler
+	tr    transport.Transport
+}
+
+// NewSimCluster builds a cluster of the given node addresses over a
+// simulated network with the given one-way latency. The scheduler is
+// returned for experiment-driven time control via Cluster.Scheduler.
+func NewSimCluster(addrs []string, res *analysis.Result, cfg Config, latency time.Duration) (*Cluster, error) {
+	sched := sim.NewScheduler()
+	return newCluster(addrs, res, cfg, sched, transport.NewSim(sched, latency))
+}
+
+// NewUDPCluster builds a cluster over real UDP sockets (the paper's
+// implementation mode). Call Close when done.
+func NewUDPCluster(addrs []string, res *analysis.Result, cfg Config) (*Cluster, error) {
+	return newCluster(addrs, res, cfg, nil, transport.NewUDP())
+}
+
+func newCluster(addrs []string, res *analysis.Result, cfg Config, sched *sim.Scheduler, tr transport.Transport) (*Cluster, error) {
+	c := &Cluster{
+		nodes: map[string]*Node{},
+		res:   res,
+		sched: sched,
+		tr:    tr,
+	}
+	for _, addr := range addrs {
+		if _, dup := c.nodes[addr]; dup {
+			return nil, fmt.Errorf("core: duplicate cluster address %q", addr)
+		}
+		n, err := NewNode(addr, res, cfg, tr)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[addr] = n
+		c.order = append(c.order, addr)
+	}
+	sort.Strings(c.order)
+	return c, nil
+}
+
+// Node returns the instance at addr, or nil.
+func (c *Cluster) Node(addr string) *Node { return c.nodes[addr] }
+
+// Addrs lists the cluster's node addresses, sorted.
+func (c *Cluster) Addrs() []string { return append([]string(nil), c.order...) }
+
+// Scheduler returns the simulation scheduler (nil for UDP clusters).
+func (c *Cluster) Scheduler() *sim.Scheduler { return c.sched }
+
+// Transport returns the underlying transport (for byte counters).
+func (c *Cluster) Transport() transport.Transport { return c.tr }
+
+// Insert routes a fact to the node named by the table's location attribute;
+// tables without a location column reject cluster-level inserts.
+func (c *Cluster) Insert(pred string, vals ...colog.Value) error {
+	n, err := c.owner(pred, vals)
+	if err != nil {
+		return err
+	}
+	return n.Insert(pred, vals...)
+}
+
+// Delete routes a retraction like Insert.
+func (c *Cluster) Delete(pred string, vals ...colog.Value) error {
+	n, err := c.owner(pred, vals)
+	if err != nil {
+		return err
+	}
+	return n.Delete(pred, vals...)
+}
+
+func (c *Cluster) owner(pred string, vals []colog.Value) (*Node, error) {
+	ti := c.res.Tables[pred]
+	if ti == nil {
+		return nil, everrf(pred, "unknown predicate")
+	}
+	if ti.LocCol < 0 {
+		return nil, everrf(pred, "predicate has no location attribute; insert on a specific node instead")
+	}
+	if ti.LocCol >= len(vals) {
+		return nil, everrf(pred, "arity mismatch")
+	}
+	addr := locAddr(vals[ti.LocCol])
+	n := c.nodes[addr]
+	if n == nil {
+		return nil, everrf(pred, "no cluster node at %q", addr)
+	}
+	return n, nil
+}
+
+// Settle advances simulated time until the network drains (no pending
+// events) or the step budget is exhausted. For UDP clusters it sleeps
+// briefly instead.
+func (c *Cluster) Settle() {
+	if c.sched != nil {
+		c.sched.RunUntilIdle(1_000_000)
+		return
+	}
+	time.Sleep(50 * time.Millisecond)
+}
+
+// SolveAll runs a COP at every node in address order, settling the network
+// between solves; it returns the per-node results.
+func (c *Cluster) SolveAll(opts SolveOptions) (map[string]*SolveResult, error) {
+	out := map[string]*SolveResult{}
+	for _, addr := range c.order {
+		res, err := c.nodes[addr].Solve(opts)
+		if err != nil {
+			return out, fmt.Errorf("core: solve at %s: %w", addr, err)
+		}
+		out[addr] = res
+		c.Settle()
+	}
+	return out, nil
+}
+
+// Rows gathers a table's rows from every node, tagged by address.
+func (c *Cluster) Rows(pred string) map[string][][]colog.Value {
+	out := map[string][][]colog.Value{}
+	for _, addr := range c.order {
+		if rows := c.nodes[addr].Rows(pred); len(rows) > 0 {
+			out[addr] = rows
+		}
+	}
+	return out
+}
+
+// Close releases transport resources (UDP sockets).
+func (c *Cluster) Close() error {
+	if c.tr != nil {
+		return c.tr.Close()
+	}
+	return nil
+}

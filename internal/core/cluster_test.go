@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+const clusterSrc = `
+d0 remoteSum(@X,SUM<R>) <- link(@Y,X), data(@Y,R), probe(@X).
+r1 echo(@Y,R) <- link(@X,Y), data(@X,R).
+`
+
+func TestSimClusterDistributedAggregation(t *testing.T) {
+	res := mustAnalyze(t, clusterSrc, nil)
+	c, err := NewSimCluster([]string{"a", "b", "c"}, res, Config{}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b and c feed a.
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.Insert("probe", sval("a")))
+	must(c.Insert("link", sval("b"), sval("a")))
+	must(c.Insert("link", sval("c"), sval("a")))
+	must(c.Insert("data", sval("b"), ival(4)))
+	must(c.Insert("data", sval("c"), ival(6)))
+	c.Settle()
+	if !c.Node("a").Contains("remoteSum", sval("a"), ival(10)) {
+		t.Fatalf("aggregate missing:\n%s", c.Node("a").Dump())
+	}
+	// Retraction over the simulated network.
+	must(c.Delete("data", sval("c"), ival(6)))
+	c.Settle()
+	if !c.Node("a").Contains("remoteSum", sval("a"), ival(4)) {
+		t.Fatalf("aggregate not maintained after remote delete:\n%s", c.Node("a").Dump())
+	}
+}
+
+func TestClusterRoutesByLocation(t *testing.T) {
+	res := mustAnalyze(t, clusterSrc, nil)
+	c, err := NewSimCluster([]string{"a", "b"}, res, Config{}, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("data", sval("b"), ival(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Node("b").Rows("data")) != 1 || len(c.Node("a").Rows("data")) != 0 {
+		t.Fatal("fact routed to wrong node")
+	}
+	if err := c.Insert("data", sval("nope"), ival(1)); err == nil {
+		t.Fatal("expected error for unknown location")
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	res := mustAnalyze(t, clusterSrc, nil)
+	if _, err := NewSimCluster([]string{"a", "a"}, res, Config{}, 0); err == nil {
+		t.Fatal("duplicate address accepted")
+	}
+	c, err := NewSimCluster([]string{"a"}, res, Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("nosuch", sval("a")); err == nil {
+		t.Fatal("unknown predicate accepted")
+	}
+	if got := c.Addrs(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Addrs = %v", got)
+	}
+}
+
+func TestUDPClusterEcho(t *testing.T) {
+	res := mustAnalyze(t, clusterSrc, nil)
+	c, err := NewUDPCluster([]string{"u1", "u2"}, res, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Insert("link", sval("u1"), sval("u2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("data", sval("u1"), ival(9)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Node("u2").Contains("echo", sval("u2"), ival(9)) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("echo tuple never arrived over UDP:\n%s", c.Node("u2").Dump())
+}
+
+func TestClusterRowsGathers(t *testing.T) {
+	res := mustAnalyze(t, clusterSrc, nil)
+	c, err := NewSimCluster([]string{"a", "b"}, res, Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert("data", sval("a"), ival(1))
+	c.Insert("data", sval("b"), ival(2))
+	all := c.Rows("data")
+	if len(all) != 2 || len(all["a"]) != 1 || len(all["b"]) != 1 {
+		t.Fatalf("Rows = %v", all)
+	}
+}
+
+// TestConcurrentInsertsUDP hammers a two-node UDP cluster from several
+// goroutines; the per-node mutex must keep every table consistent.
+func TestConcurrentInsertsUDP(t *testing.T) {
+	res := mustAnalyze(t, clusterSrc, nil)
+	c, err := NewUDPCluster([]string{"ca", "cb"}, res, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Insert("link", sval("ca"), sval("cb"))
+	var wg sync.WaitGroup
+	const workers, perWorker = 4, 25
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := c.Node("ca").Insert("data", sval("ca"), ival(int64(w*1000+i))); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(c.Node("ca").Rows("data")); got != workers*perWorker {
+		t.Fatalf("data rows = %d, want %d", got, workers*perWorker)
+	}
+	// Echo rule ships each data row to cb; wait for delivery.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(c.Node("cb").Rows("echo")) == workers*perWorker {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("echo rows = %d, want %d", len(c.Node("cb").Rows("echo")), workers*perWorker)
+}

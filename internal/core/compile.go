@@ -1,0 +1,264 @@
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/colog"
+)
+
+// stepKind enumerates the operators of a compiled rule plan.
+type stepKind int
+
+const (
+	stepJoin   stepKind = iota // join a body atom against its table
+	stepFilter                 // evaluate a boolean condition
+	stepBind                   // definitional equality Var == expr
+	stepAssign                 // Var := expr
+)
+
+// planStep is one operator in a delta rule plan.
+type planStep struct {
+	kind      stepKind
+	atom      *colog.Atom // stepJoin
+	cond      colog.Term  // stepFilter
+	bindVar   string      // stepBind / stepAssign
+	expr      colog.Term  // stepBind / stepAssign rhs
+	isTrigger bool        // stepJoin for the delta position (bound from the delta tuple)
+	// boundCols are the join atom's argument positions already bound when
+	// this step runs (constants or previously bound variables); non-empty
+	// sets drive an index probe instead of a table scan.
+	boundCols []int
+}
+
+// plan is a compiled delta rule: when a tuple of the trigger predicate
+// changes, the remaining steps run in order, producing head tuples. This is
+// the dataflow of pipelined semi-naive evaluation — one plan per (rule, body
+// atom) pair.
+type plan struct {
+	rule     *colog.Rule
+	ruleIdx  int
+	trigger  *colog.Atom
+	steps    []planStep
+	headAggs []int // head argument positions that are aggregates (empty for plain heads)
+}
+
+// compileRules builds the delta plans for all regular rules of the analyzed
+// program, indexed by trigger predicate.
+func compileRules(res *analysis.Result) (map[string][]*plan, error) {
+	plans := map[string][]*plan{}
+	for ri, r := range res.Program.Rules {
+		if res.Classes[ri] != analysis.RegularRule {
+			continue // solver rules are executed by the grounder
+		}
+		var atoms []*colog.Atom
+		for _, l := range r.Body {
+			if al, ok := l.(*colog.AtomLit); ok {
+				atoms = append(atoms, al.Atom)
+			}
+		}
+		if len(atoms) == 0 {
+			return nil, everrf(ruleName(r), "rule has no body atoms")
+		}
+		for ti := range atoms {
+			p, err := compilePlan(r, ri, atoms, ti)
+			if err != nil {
+				return nil, err
+			}
+			plans[p.trigger.Pred] = append(plans[p.trigger.Pred], p)
+		}
+	}
+	return plans, nil
+}
+
+// compilePlan orders the rule body for one trigger position: the trigger
+// atom binds first, then remaining literals are scheduled greedily —
+// joins preferring atoms sharing bound variables, conditions and
+// assignments as soon as their inputs are bound, definitional equalities
+// when exactly one side is a single unbound variable.
+func compilePlan(r *colog.Rule, ruleIdx int, atoms []*colog.Atom, triggerIdx int) (*plan, error) {
+	p := &plan{rule: r, ruleIdx: ruleIdx, trigger: atoms[triggerIdx]}
+	bound := map[string]bool{}
+	bindAtomVars := func(a *colog.Atom) {
+		for _, v := range atomVarNames(a) {
+			bound[v] = true
+		}
+	}
+	p.steps = append(p.steps, planStep{kind: stepJoin, atom: atoms[triggerIdx], isTrigger: true})
+	bindAtomVars(atoms[triggerIdx])
+
+	type pending struct {
+		lit  colog.Literal
+		atom *colog.Atom // non-nil when the literal is an atom
+	}
+	var todo []pending
+	for _, l := range r.Body {
+		if al, ok := l.(*colog.AtomLit); ok {
+			if al.Atom == atoms[triggerIdx] {
+				continue
+			}
+			todo = append(todo, pending{l, al.Atom})
+		} else {
+			todo = append(todo, pending{l, nil})
+		}
+	}
+
+	countBound := func(a *colog.Atom) int {
+		n := 0
+		for _, v := range atomVarNames(a) {
+			if bound[v] {
+				n++
+			}
+		}
+		return n
+	}
+
+	for len(todo) > 0 {
+		picked := -1
+		var step planStep
+		// 1. Ready conditions and assignments take priority (cheap filters).
+		for i, pd := range todo {
+			switch x := pd.lit.(type) {
+			case *colog.CondLit:
+				if cv, expr, ok := bindableEq(x.Expr, bound); ok {
+					picked, step = i, planStep{kind: stepBind, bindVar: cv, expr: expr}
+				} else if condBound(x.Expr, bound) {
+					picked, step = i, planStep{kind: stepFilter, cond: x.Expr}
+				}
+			case *colog.AssignLit:
+				if condBound(x.Expr, bound) {
+					picked, step = i, planStep{kind: stepAssign, bindVar: x.Var, expr: x.Expr}
+				}
+			}
+			if picked >= 0 {
+				break
+			}
+		}
+		// 2. Otherwise the most-bound join.
+		if picked < 0 {
+			best := -1
+			for i, pd := range todo {
+				if pd.atom == nil {
+					continue
+				}
+				if n := countBound(pd.atom); n > best {
+					best = n
+					picked = i
+					step = planStep{kind: stepJoin, atom: pd.atom}
+				}
+			}
+		}
+		if picked < 0 {
+			return nil, everrf(ruleName(r), "cannot order body literals; unbound expression %s", todo[0].lit)
+		}
+		if step.kind == stepJoin {
+			step.boundCols = joinBoundCols(step.atom, bound)
+		}
+		p.steps = append(p.steps, step)
+		switch step.kind {
+		case stepJoin:
+			bindAtomVars(step.atom)
+		case stepBind, stepAssign:
+			bound[step.bindVar] = true
+		}
+		todo = append(todo[:picked], todo[picked+1:]...)
+	}
+
+	// Validate head and note aggregate positions.
+	for i, arg := range r.Head.Args {
+		switch t := arg.(type) {
+		case *colog.AggTerm:
+			p.headAggs = append(p.headAggs, i)
+			if !bound[t.Over] {
+				return nil, everrf(ruleName(r), "aggregate variable %s unbound", t.Over)
+			}
+		case *colog.VarTerm:
+			if !bound[t.Name] {
+				return nil, everrf(ruleName(r), "head variable %s unbound", t.Name)
+			}
+		}
+	}
+	return p, nil
+}
+
+// bindableEq recognizes a definitional equality: one side a single unbound
+// variable, the other fully bound.
+func bindableEq(t colog.Term, bound map[string]bool) (string, colog.Term, bool) {
+	bt, ok := t.(*colog.BinTerm)
+	if !ok || bt.Op != colog.OpEq {
+		return "", nil, false
+	}
+	if v, ok := bt.L.(*colog.VarTerm); ok && !bound[v.Name] && condBoundWith(bt.R, bound) {
+		return v.Name, bt.R, true
+	}
+	if v, ok := bt.R.(*colog.VarTerm); ok && !bound[v.Name] && condBoundWith(bt.L, bound) {
+		return v.Name, bt.L, true
+	}
+	return "", nil, false
+}
+
+func condBound(t colog.Term, bound map[string]bool) bool { return condBoundWith(t, bound) }
+
+func condBoundWith(t colog.Term, bound map[string]bool) bool {
+	switch x := t.(type) {
+	case *colog.VarTerm:
+		return bound[x.Name]
+	case *colog.BinTerm:
+		return condBoundWith(x.L, bound) && condBoundWith(x.R, bound)
+	case *colog.NegTerm:
+		return condBoundWith(x.X, bound)
+	case *colog.NotTerm:
+		return condBoundWith(x.X, bound)
+	case *colog.AbsTerm:
+		return condBoundWith(x.X, bound)
+	case *colog.FuncTerm:
+		for _, a := range x.Args {
+			if !condBoundWith(a, bound) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// joinBoundCols lists the argument positions of a join atom whose value is
+// known before the join executes: constants, and variables bound earlier in
+// the plan. Repeated variables within the atom count only on first
+// occurrence (later occurrences are equality-checked by matchAtom).
+func joinBoundCols(a *colog.Atom, bound map[string]bool) []int {
+	var cols []int
+	seen := map[string]bool{}
+	for i, arg := range a.Args {
+		switch t := arg.(type) {
+		case *colog.ConstTerm:
+			cols = append(cols, i)
+		case *colog.VarTerm:
+			if bound[t.Name] && !seen[t.Name] {
+				cols = append(cols, i)
+			}
+			seen[t.Name] = true
+		}
+	}
+	return cols
+}
+
+func atomVarNames(a *colog.Atom) []string {
+	var out []string
+	for _, t := range a.Args {
+		switch x := t.(type) {
+		case *colog.VarTerm:
+			out = append(out, x.Name)
+		case *colog.AggTerm:
+			out = append(out, x.Over)
+		}
+	}
+	return out
+}
+
+func ruleName(r *colog.Rule) string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return r.Head.Pred
+}
+

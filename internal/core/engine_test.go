@@ -1,0 +1,370 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/colog"
+	"repro/internal/transport"
+)
+
+func mustAnalyze(t *testing.T, src string, params map[string]colog.Value) *analysis.Result {
+	t.Helper()
+	prog, err := colog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(prog, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func newTestNode(t *testing.T, src string, cfg Config) *Node {
+	t.Helper()
+	res := mustAnalyze(t, src, cfg.Params)
+	n, err := NewNode("local", res, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func ival(v int64) colog.Value    { return colog.IntVal(v) }
+func sval(s string) colog.Value   { return colog.StringVal(s) }
+func fval(f float64) colog.Value  { return colog.FloatVal(f) }
+func rows(n *Node, p string) int  { return len(n.Rows(p)) }
+func row1(n *Node, p string) []colog.Value {
+	r := n.Rows(p)
+	if len(r) != 1 {
+		return nil
+	}
+	return r[0]
+}
+
+func TestSimpleJoin(t *testing.T) {
+	n := newTestNode(t, `r1 grandparent(X,Z) <- parent(X,Y), parent(Y,Z).`, Config{})
+	n.Insert("parent", sval("a"), sval("b"))
+	n.Insert("parent", sval("b"), sval("c"))
+	if !n.Contains("grandparent", sval("a"), sval("c")) {
+		t.Fatalf("missing derivation; dump:\n%s", n.Dump())
+	}
+	if rows(n, "grandparent") != 1 {
+		t.Fatalf("grandparent rows = %d", rows(n, "grandparent"))
+	}
+}
+
+func TestRecursiveTransitiveClosure(t *testing.T) {
+	n := newTestNode(t, `
+r1 path(X,Y) <- edge(X,Y).
+r2 path(X,Z) <- path(X,Y), edge(Y,Z).
+`, Config{})
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		n.Insert("edge", sval(e[0]), sval(e[1]))
+	}
+	want := [][2]string{{"a", "b"}, {"a", "c"}, {"a", "d"}, {"b", "c"}, {"b", "d"}, {"c", "d"}}
+	if rows(n, "path") != len(want) {
+		t.Fatalf("path rows = %d, want %d\n%s", rows(n, "path"), len(want), n.Dump())
+	}
+	for _, w := range want {
+		if !n.Contains("path", sval(w[0]), sval(w[1])) {
+			t.Errorf("missing path(%s,%s)", w[0], w[1])
+		}
+	}
+}
+
+func TestIncrementalDeletion(t *testing.T) {
+	n := newTestNode(t, `
+r1 path(X,Y) <- edge(X,Y).
+r2 path(X,Z) <- path(X,Y), edge(Y,Z).
+`, Config{})
+	n.Insert("edge", sval("a"), sval("b"))
+	n.Insert("edge", sval("b"), sval("c"))
+	if !n.Contains("path", sval("a"), sval("c")) {
+		t.Fatal("setup failed")
+	}
+	n.Delete("edge", sval("b"), sval("c"))
+	if n.Contains("path", sval("a"), sval("c")) {
+		t.Fatalf("path(a,c) survived deletion:\n%s", n.Dump())
+	}
+	if n.Contains("path", sval("b"), sval("c")) {
+		t.Fatal("path(b,c) survived deletion")
+	}
+	if !n.Contains("path", sval("a"), sval("b")) {
+		t.Fatal("path(a,b) wrongly deleted")
+	}
+}
+
+func TestDeletionWithAlternateDerivation(t *testing.T) {
+	// p derived through two rules; deleting one support keeps the row.
+	n := newTestNode(t, `
+r1 p(X) <- q(X).
+r2 p(X) <- s(X).
+`, Config{})
+	n.Insert("q", ival(1))
+	n.Insert("s", ival(1))
+	n.Delete("q", ival(1))
+	if !n.Contains("p", ival(1)) {
+		t.Fatal("p(1) lost despite remaining support from s")
+	}
+	n.Delete("s", ival(1))
+	if n.Contains("p", ival(1)) {
+		t.Fatal("p(1) survived both deletions")
+	}
+}
+
+func TestSelfJoinDeletion(t *testing.T) {
+	n := newTestNode(t, `r1 pair(X,Z) <- e(X,Y), e(Y,Z).`, Config{})
+	n.Insert("e", sval("a"), sval("a")) // self-loop: pair(a,a) via (t,t)
+	if !n.Contains("pair", sval("a"), sval("a")) {
+		t.Fatal("pair(a,a) not derived")
+	}
+	n.Delete("e", sval("a"), sval("a"))
+	if n.Contains("pair", sval("a"), sval("a")) {
+		t.Fatalf("pair(a,a) survived self-join deletion:\n%s", n.Dump())
+	}
+}
+
+func TestConditionFilter(t *testing.T) {
+	n := newTestNode(t, `r1 big(X,C) <- load(X,C), C>10.`, Config{})
+	n.Insert("load", sval("a"), ival(5))
+	n.Insert("load", sval("b"), ival(15))
+	if rows(n, "big") != 1 || !n.Contains("big", sval("b"), ival(15)) {
+		t.Fatalf("filter broken:\n%s", n.Dump())
+	}
+}
+
+func TestDefinitionalEqualityBinding(t *testing.T) {
+	n := newTestNode(t, `r1 double(X,D) <- val(X,V), D==V*2.`, Config{})
+	n.Insert("val", sval("a"), ival(21))
+	if !n.Contains("double", sval("a"), ival(42)) {
+		t.Fatalf("definitional binding broken:\n%s", n.Dump())
+	}
+}
+
+func TestAssignmentLiteral(t *testing.T) {
+	n := newTestNode(t, `r1 neg(X,M) <- val(X,V), M:=-V.`, Config{})
+	n.Insert("val", sval("a"), ival(7))
+	if !n.Contains("neg", sval("a"), ival(-7)) {
+		t.Fatalf("assignment broken:\n%s", n.Dump())
+	}
+}
+
+func TestAggregateSum(t *testing.T) {
+	n := newTestNode(t, `r1 total(H,SUM<C>) <- vm(V,H,C).`, Config{})
+	n.Insert("vm", sval("v1"), sval("h1"), ival(10))
+	n.Insert("vm", sval("v2"), sval("h1"), ival(20))
+	n.Insert("vm", sval("v3"), sval("h2"), ival(5))
+	if !n.Contains("total", sval("h1"), ival(30)) || !n.Contains("total", sval("h2"), ival(5)) {
+		t.Fatalf("sums wrong:\n%s", n.Dump())
+	}
+	// Incremental update.
+	n.Insert("vm", sval("v4"), sval("h1"), ival(1))
+	if !n.Contains("total", sval("h1"), ival(31)) {
+		t.Fatalf("incremental sum wrong:\n%s", n.Dump())
+	}
+	if rows(n, "total") != 2 {
+		t.Fatalf("stale aggregate rows:\n%s", n.Dump())
+	}
+	// Deletion.
+	n.Delete("vm", sval("v2"), sval("h1"), ival(20))
+	if !n.Contains("total", sval("h1"), ival(11)) {
+		t.Fatalf("sum after delete wrong:\n%s", n.Dump())
+	}
+	// Emptying a group removes its row.
+	n.Delete("vm", sval("v3"), sval("h2"), ival(5))
+	if n.Contains("total", sval("h2"), ival(5)) || rows(n, "total") != 1 {
+		t.Fatalf("empty group not retracted:\n%s", n.Dump())
+	}
+}
+
+func TestAggregateMinMaxCount(t *testing.T) {
+	n := newTestNode(t, `
+r1 lo(MIN<C>) <- m(X,C).
+r2 hi(MAX<C>) <- m(X,C).
+r3 cnt(COUNT<C>) <- m(X,C).
+`, Config{})
+	n.Insert("m", sval("a"), ival(3))
+	n.Insert("m", sval("b"), ival(9))
+	n.Insert("m", sval("c"), ival(6))
+	if !n.Contains("lo", ival(3)) || !n.Contains("hi", ival(9)) || !n.Contains("cnt", ival(3)) {
+		t.Fatalf("aggregates wrong:\n%s", n.Dump())
+	}
+	n.Delete("m", sval("b"), ival(9))
+	if !n.Contains("hi", ival(6)) || !n.Contains("cnt", ival(2)) {
+		t.Fatalf("aggregates after delete wrong:\n%s", n.Dump())
+	}
+}
+
+func TestAggregateStdevAndAvg(t *testing.T) {
+	n := newTestNode(t, `
+r1 sd(STDEV<C>) <- m(X,C).
+r2 av(AVG<C>) <- m(X,C).
+`, Config{})
+	n.Insert("m", sval("a"), ival(2))
+	n.Insert("m", sval("b"), ival(4))
+	sd := row1(n, "sd")
+	av := row1(n, "av")
+	if sd == nil || av == nil {
+		t.Fatalf("missing aggregate rows:\n%s", n.Dump())
+	}
+	if sd[0].Num() != 1 {
+		t.Errorf("stdev = %v, want 1", sd[0])
+	}
+	if av[0].Num() != 3 {
+		t.Errorf("avg = %v, want 3", av[0])
+	}
+}
+
+func TestAggregateSumAbsAndUnique(t *testing.T) {
+	n := newTestNode(t, `
+r1 tot(SUMABS<C>) <- m(X,C).
+r2 uniq(UNIQUE<C>) <- m(X,C).
+`, Config{})
+	n.Insert("m", sval("a"), ival(-5))
+	n.Insert("m", sval("b"), ival(3))
+	n.Insert("m", sval("c"), ival(3))
+	if !n.Contains("tot", ival(11)) {
+		t.Fatalf("sumabs wrong:\n%s", n.Dump())
+	}
+	if !n.Contains("uniq", ival(2)) {
+		t.Fatalf("unique wrong:\n%s", n.Dump())
+	}
+}
+
+func TestKeyedReplacement(t *testing.T) {
+	// curVm-style state update: key on the first column.
+	n := newTestNode(t, `r1 mirror(X,V) <- cur(X,V).`,
+		Config{Keys: map[string][]int{"cur": {0}, "mirror": {0}}})
+	n.Insert("cur", sval("a"), ival(1))
+	n.Insert("cur", sval("a"), ival(2))
+	if rows(n, "cur") != 1 || !n.Contains("cur", sval("a"), ival(2)) {
+		t.Fatalf("keyed replace broken:\n%s", n.Dump())
+	}
+	if rows(n, "mirror") != 1 || !n.Contains("mirror", sval("a"), ival(2)) {
+		t.Fatalf("downstream keyed replace broken:\n%s", n.Dump())
+	}
+}
+
+func TestEventTableSemantics(t *testing.T) {
+	n := newTestNode(t, `r1 log(X) <- ping(X).`, Config{Events: []string{"ping"}})
+	n.Insert("ping", ival(1))
+	if rows(n, "ping") != 0 {
+		t.Fatal("event table stored rows")
+	}
+	if !n.Contains("log", ival(1)) {
+		t.Fatal("event did not trigger rule")
+	}
+	// Same event again re-derives (count 2), deleting once keeps it.
+	n.Insert("ping", ival(1))
+	n.Delete("log", ival(1))
+	if !n.Contains("log", ival(1)) {
+		t.Fatal("count semantics broken for event-derived rows")
+	}
+}
+
+func TestUnknownPredicateErrors(t *testing.T) {
+	n := newTestNode(t, `r1 p(X) <- q(X).`, Config{})
+	if err := n.Insert("nosuch", ival(1)); err == nil {
+		t.Fatal("expected unknown predicate error")
+	}
+	if err := n.Insert("q", ival(1), ival(2)); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestFactsLoadedFromProgram(t *testing.T) {
+	n := newTestNode(t, `
+r1 p(X) <- q(X).
+q(1).
+q(2).
+`, Config{})
+	if rows(n, "p") != 2 {
+		t.Fatalf("facts not loaded:\n%s", n.Dump())
+	}
+}
+
+func TestTwoNodeDistributedJoin(t *testing.T) {
+	// The paper's localization example in miniature: node X derives from
+	// node Y's table via a shipping rule.
+	src := `
+d0 out(@X,D,R) <- link(@Y,X), data(@Y,D,R), local(@X,D).
+`
+	res := mustAnalyze(t, src, nil)
+	tr := transport.NewLoopback()
+	nx, err := NewNode("x", res, Config{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ny, err := NewNode("y", res, Config{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nx.Insert("local", sval("x"), sval("d1"))
+	ny.Insert("link", sval("y"), sval("x"))
+	ny.Insert("data", sval("y"), sval("d1"), ival(42))
+	if !nx.Contains("out", sval("x"), sval("d1"), ival(42)) {
+		t.Fatalf("distributed derivation missing:\nX: %s\nY: %s", nx.Dump(), ny.Dump())
+	}
+	// Deletion propagates across the network too.
+	ny.Delete("data", sval("y"), sval("d1"), ival(42))
+	if nx.Contains("out", sval("x"), sval("d1"), ival(42)) {
+		t.Fatalf("distributed deletion not propagated:\n%s", nx.Dump())
+	}
+}
+
+func TestRemoteHeadShipping(t *testing.T) {
+	// A rule whose head is addressed to another node.
+	src := `r1 remote(@Y,V) <- src(@X,Y,V).`
+	res := mustAnalyze(t, src, nil)
+	tr := transport.NewLoopback()
+	nx, _ := NewNode("x", res, Config{}, tr)
+	ny, _ := NewNode("y", res, Config{}, tr)
+	nx.Insert("src", sval("x"), sval("y"), ival(7))
+	if !ny.Contains("remote", sval("y"), ival(7)) {
+		t.Fatalf("remote head not shipped:\n%s", ny.Dump())
+	}
+	if nx.Stats().TuplesSent == 0 {
+		t.Fatal("sender stats not updated")
+	}
+}
+
+func TestChainedAggregates(t *testing.T) {
+	// Aggregate over an aggregate (stratified).
+	n := newTestNode(t, `
+r1 perHost(H,SUM<C>) <- vm(V,H,C).
+r2 maxHost(MAX<S>) <- perHost(H,S).
+`, Config{})
+	n.Insert("vm", sval("v1"), sval("h1"), ival(10))
+	n.Insert("vm", sval("v2"), sval("h2"), ival(30))
+	n.Insert("vm", sval("v3"), sval("h1"), ival(15))
+	if !n.Contains("maxHost", ival(30)) {
+		t.Fatalf("chained aggregate wrong:\n%s", n.Dump())
+	}
+	n.Insert("vm", sval("v4"), sval("h1"), ival(20))
+	if !n.Contains("maxHost", ival(45)) {
+		t.Fatalf("chained aggregate not updated:\n%s", n.Dump())
+	}
+}
+
+func TestFuncTermEvaluation(t *testing.T) {
+	n := newTestNode(t, `r1 best(X,M) <- pair(X,A,B), M==f_max(A,B).`, Config{})
+	n.Insert("pair", sval("p"), ival(3), ival(9))
+	if !n.Contains("best", sval("p"), ival(9)) {
+		t.Fatalf("f_max broken:\n%s", n.Dump())
+	}
+}
+
+func TestDumpAndTableNames(t *testing.T) {
+	n := newTestNode(t, `r1 p(X) <- q(X).`, Config{})
+	n.Insert("q", ival(1))
+	d := n.Dump()
+	if d == "" {
+		t.Fatal("empty dump")
+	}
+	names := n.TableNames()
+	if len(names) < 2 {
+		t.Fatalf("TableNames = %v", names)
+	}
+}

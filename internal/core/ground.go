@@ -1,0 +1,1132 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/colog"
+	"repro/internal/solver"
+)
+
+// gval is a grounding-time value: either a ground constant or a symbolic
+// solver expression (the runtime representation of a solver attribute).
+type gval struct {
+	val colog.Value
+	sym *solver.Expr
+}
+
+func (g gval) isSym() bool { return g.sym != nil }
+
+func (g gval) String() string {
+	if g.isSym() {
+		return g.sym.String()
+	}
+	return g.val.String()
+}
+
+// key panics on symbolic values; callers must only key ground attributes.
+func (g gval) key() string {
+	if g.isSym() {
+		panic("core: keying a symbolic value")
+	}
+	return g.val.Key()
+}
+
+// symTuple is a row of a solver table during grounding: ground values at
+// regular attribute positions, expressions at solver attribute positions.
+type symTuple []gval
+
+// varInstance records one decision variable created from a var declaration,
+// for hinting and materialization.
+type varInstance struct {
+	pred string
+	vals []gval // the declared tuple; exactly the solver positions are symbolic
+	v    *solver.Var
+}
+
+// grounder builds one COP from the node's current database state: it
+// evaluates solver derivation rules bottom-up over symbolic tuples,
+// translating selections and aggregations over solver attributes into
+// constraints (paper sections 5.3-5.4).
+type grounder struct {
+	n     *Node
+	model *solver.Model
+	sym   map[string][]symTuple
+	insts []varInstance
+	genv  map[string]colog.Value // goal bindings after grounding
+}
+
+// SolveOptions tune one COP execution.
+type SolveOptions struct {
+	// MaxTime overrides Config.SolverMaxTime when positive.
+	MaxTime time.Duration
+	// Hint supplies a warm-start value per declared variable tuple: pred is
+	// the var table, vals the declared arguments with solver positions
+	// holding zero values. Returning ok=false leaves the variable unhinted.
+	Hint func(pred string, vals []colog.Value) (int64, bool)
+	// FirstSolution stops at the first incumbent (with Hint: reproduces the
+	// warm start exactly when feasible).
+	FirstSolution bool
+	// ValueOrder optionally reorders candidate values per variable.
+	ValueOrder func(v *solver.Var, vals []int64) []int64
+}
+
+// Assignment is one concrete solver-variable tuple in a solve result.
+type Assignment struct {
+	Pred string
+	Vals []colog.Value
+}
+
+// SolveResult reports the outcome of one COP execution.
+type SolveResult struct {
+	Status      solver.Status
+	Objective   float64
+	HasGoal     bool
+	Assignments []Assignment
+	NumVars     int
+	NumCons     int
+	Stats       solver.Stats
+}
+
+// Feasible reports whether the result carries a usable assignment.
+func (r *SolveResult) Feasible() bool {
+	return r.Status == solver.StatusOptimal || r.Status == solver.StatusFeasible
+}
+
+// Solve grounds the program's solver rules against the current database,
+// runs the constraint solver, and materializes the optimization output
+// (goal and var tables) back into the engine, triggering downstream rule
+// reevaluation.
+func (n *Node) Solve(opts SolveOptions) (*SolveResult, error) {
+	n.mu.Lock()
+	res, err := n.solveLocked(opts)
+	out := n.takeOutbox()
+	n.mu.Unlock()
+	if ferr := n.flush(out); err == nil && ferr != nil {
+		err = ferr
+	}
+	return res, err
+}
+
+func (n *Node) solveLocked(opts SolveOptions) (*SolveResult, error) {
+	n.stats.Solves++
+	g := &grounder{
+		n:     n,
+		model: solver.NewModel(),
+		sym:   map[string][]symTuple{},
+	}
+	if err := g.createVars(); err != nil {
+		return nil, err
+	}
+	res := &SolveResult{}
+	if g.model.NumVars() == 0 {
+		// Nothing to optimize (e.g. no rows in the forall tables).
+		res.Status = solver.StatusOptimal
+		n.LastSolveResult = res
+		return res, nil
+	}
+	if err := g.deriveSolverRules(); err != nil {
+		return nil, err
+	}
+	if err := g.applyConstraintRules(); err != nil {
+		return nil, err
+	}
+	if err := g.setGoal(); err != nil {
+		return nil, err
+	}
+
+	sopts := solver.Options{
+		MaxTime:       n.cfg.SolverMaxTime,
+		MaxNodes:      n.cfg.SolverMaxNodes,
+		Propagate:     n.cfg.SolverPropagate,
+		FirstSolution: opts.FirstSolution,
+	}
+	if opts.MaxTime > 0 {
+		sopts.MaxTime = opts.MaxTime
+	}
+	if opts.ValueOrder != nil {
+		sopts.ValueOrder = opts.ValueOrder
+	}
+	if opts.Hint != nil {
+		sopts.Hints = map[int]int64{}
+		for _, inst := range g.insts {
+			vals := make([]colog.Value, len(inst.vals))
+			for i, gv := range inst.vals {
+				if gv.isSym() {
+					vals[i] = colog.IntVal(0)
+				} else {
+					vals[i] = gv.val
+				}
+			}
+			if h, ok := opts.Hint(inst.pred, vals); ok {
+				sopts.Hints[inst.v.ID] = h
+			}
+		}
+	}
+	sol := g.model.Solve(sopts)
+	res.Status = sol.Status
+	res.NumVars = g.model.NumVars()
+	res.NumCons = g.model.NumConstraints()
+	res.Stats = sol.Stats
+
+	if !sol.Feasible() {
+		n.LastSolveResult = res
+		return res, nil
+	}
+	res.Objective = sol.Objective
+	if obj, _ := g.model.Objective(); obj != nil {
+		res.HasGoal = true
+	}
+	// Concrete assignments.
+	for _, inst := range g.insts {
+		vals := make([]colog.Value, len(inst.vals))
+		for i, gv := range inst.vals {
+			if gv.isSym() {
+				vals[i] = colog.IntVal(sol.Value(inst.v))
+			} else {
+				vals[i] = gv.val
+			}
+		}
+		res.Assignments = append(res.Assignments, Assignment{Pred: inst.pred, Vals: vals})
+	}
+	if err := n.materialize(g, res); err != nil {
+		return res, err
+	}
+	n.LastSolveResult = res
+	return res, nil
+}
+
+// materialize writes the optimization output back into the engine: var
+// tables receive the concrete assignments, the goal table the objective
+// value. Previous materializations of keyless tables are retracted first so
+// repeated solves replace rather than accumulate.
+func (n *Node) materialize(g *grounder, res *SolveResult) error {
+	byPred := map[string][]Tuple{}
+	for _, a := range res.Assignments {
+		byPred[a.Pred] = append(byPred[a.Pred], Tuple{a.Pred, a.Vals})
+	}
+	// Goal tuple.
+	var goalTuple *Tuple
+	if goal := n.res.Program.Goal; goal != nil && goal.Sense != colog.GoalSatisfy && res.HasGoal {
+		vals := make([]colog.Value, len(goal.Atom.Args))
+		okAll := true
+		for i, arg := range goal.Atom.Args {
+			switch t := arg.(type) {
+			case *colog.VarTerm:
+				if t.Name == goal.VarName {
+					vals[i] = colog.FloatVal(res.Objective)
+				} else if t.Loc {
+					vals[i] = colog.StringVal(n.Addr)
+				} else if v, ok := g.genv[t.Name]; ok {
+					vals[i] = v
+				} else {
+					okAll = false
+				}
+			case *colog.ConstTerm:
+				vals[i] = t.Val
+			default:
+				okAll = false
+			}
+		}
+		if okAll {
+			t := Tuple{goal.Atom.Pred, vals}
+			goalTuple = &t
+		}
+	}
+
+	for pred, tuples := range byPred {
+		tbl := n.tables[pred]
+		// Unkeyed tables: retract the previous solve's output so repeated
+		// solves replace it. Keyed tables (e.g. the wireless assign table,
+		// keyed on the link) replace per key on insert and accumulate
+		// results across per-link negotiations.
+		if tbl != nil && !tbl.event && tbl.keyCols == nil {
+			for _, old := range n.lastMaterialized[pred] {
+				n.enqueue(delta{old, -1, false})
+			}
+		}
+		for _, t := range tuples {
+			n.enqueue(delta{t, +1, false})
+		}
+		n.lastMaterialized[pred] = tuples
+	}
+	if goalTuple != nil {
+		tbl := n.tables[goalTuple.Pred]
+		if tbl != nil && !tbl.event {
+			for _, old := range n.lastMaterialized[goalTuple.Pred] {
+				n.enqueue(delta{old, -1, false})
+			}
+		}
+		n.enqueue(delta{*goalTuple, +1, false})
+		n.lastMaterialized[goalTuple.Pred] = []Tuple{*goalTuple}
+	}
+	return n.drain()
+}
+
+// createVars instantiates decision variables per var declaration: one
+// variable for each row of the forall table (paper section 4.2).
+func (g *grounder) createVars() error {
+	for _, vd := range g.n.res.Program.Vars {
+		forallRows := g.n.tables[vd.ForAll.Pred]
+		if forallRows == nil {
+			return everrf("var", "forall table %s unknown", vd.ForAll.Pred)
+		}
+		dom, err := g.domainFor(vd)
+		if err != nil {
+			return err
+		}
+		for _, rowVals := range forallRows.snapshot() {
+			env := map[string]colog.Value{}
+			if !matchAtom(vd.ForAll, rowVals, env) {
+				continue
+			}
+			st := make(symTuple, len(vd.Decl.Args))
+			var inst varInstance
+			inst.pred = vd.Decl.Pred
+			for i, arg := range vd.Decl.Args {
+				v := arg.(*colog.VarTerm)
+				if bound, ok := env[v.Name]; ok {
+					st[i] = gval{val: bound}
+					continue
+				}
+				name := fmt.Sprintf("%s[%s]#%d", vd.Decl.Pred, valsKey(rowVals), i)
+				sv := g.model.VarWithDomain(name, dom)
+				st[i] = gval{sym: g.model.VarExpr(sv)}
+				inst.v = sv
+			}
+			inst.vals = st
+			g.insts = append(g.insts, inst)
+			g.sym[vd.Decl.Pred] = append(g.sym[vd.Decl.Pred], st)
+		}
+	}
+	return nil
+}
+
+func (g *grounder) domainFor(vd *colog.VarDecl) (solver.Domain, error) {
+	d := vd.Domain
+	if d == nil {
+		return solver.BinaryDomain(), nil
+	}
+	switch {
+	case d.FromTable != "":
+		tbl := g.n.tables[d.FromTable]
+		if tbl == nil {
+			return solver.Domain{}, everrf("var", "domain table %s unknown", d.FromTable)
+		}
+		var vals []int64
+		for _, rowVals := range tbl.snapshot() {
+			last := rowVals[len(rowVals)-1]
+			if last.Kind != colog.KindInt {
+				return solver.Domain{}, everrf("var", "domain table %s has non-integer value %s", d.FromTable, last)
+			}
+			vals = append(vals, last.I)
+		}
+		if len(vals) == 0 {
+			return solver.Domain{}, everrf("var", "domain table %s is empty", d.FromTable)
+		}
+		return solver.NewDomain(vals...), nil
+	case d.Explicit != nil:
+		return solver.NewDomain(d.Explicit...), nil
+	default:
+		return solver.NewRangeDomain(d.Lo, d.Hi), nil
+	}
+}
+
+// deriveSolverRules evaluates solver derivation rules bottom-up in
+// dependency order, building symbolic tuples and definitional constraints.
+func (g *grounder) deriveSolverRules() error {
+	for _, ri := range g.n.res.SolverOrder {
+		rule := g.n.res.Program.Rules[ri]
+		if err := g.evalSolverRule(rule); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalSolverRule grounds one solver derivation rule: joins over symbolic
+// and regular tables, evaluates expression literals symbolically, and emits
+// head symTuples (aggregating when the head has an aggregate term).
+func (g *grounder) evalSolverRule(rule *colog.Rule) error {
+	matches, err := g.matchBody(rule, nil)
+	if err != nil {
+		return err
+	}
+	if rule.Head.HasAggregate() {
+		return g.emitAggregateHead(rule, matches)
+	}
+	for _, env := range matches {
+		st := make(symTuple, len(rule.Head.Args))
+		for i, arg := range rule.Head.Args {
+			gv, err := g.evalSym(arg, env, ruleName(rule))
+			if err != nil {
+				return err
+			}
+			st[i] = gv
+		}
+		g.sym[rule.Head.Pred] = append(g.sym[rule.Head.Pred], st)
+	}
+	return nil
+}
+
+// senv is a symbolic binding environment.
+type senv map[string]gval
+
+func cloneSenv(e senv) senv {
+	out := make(senv, len(e)+4)
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// matchBody enumerates all bindings of a rule body over the node's regular
+// tables and the grounder's symbolic tables. Expression literals either
+// filter (ground), bind (definitional equality), or — when symbolic — post
+// solver constraints scoped to the current binding.
+func (g *grounder) matchBody(rule *colog.Rule, seed senv) ([]senv, error) {
+	type lit struct {
+		l    colog.Literal
+		done bool
+	}
+	lits := make([]lit, len(rule.Body))
+	for i, l := range rule.Body {
+		lits[i] = lit{l: l}
+	}
+	var results []senv
+	label := ruleName(rule)
+
+	var rec func(env senv, remaining int) error
+	rec = func(env senv, remaining int) error {
+		if remaining == 0 {
+			results = append(results, env)
+			return nil
+		}
+		// Pick the next processable literal: ready expressions first, then
+		// any unprocessed atom.
+		pick := -1
+		for i := range lits {
+			if lits[i].done {
+				continue
+			}
+			switch x := lits[i].l.(type) {
+			case *colog.CondLit:
+				if g.senvBound(x.Expr, env) || g.bindableSym(x.Expr, env) {
+					pick = i
+				}
+			case *colog.AssignLit:
+				if g.senvBound(x.Expr, env) {
+					pick = i
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick < 0 {
+			for i := range lits {
+				if !lits[i].done {
+					if _, ok := lits[i].l.(*colog.AtomLit); ok {
+						pick = i
+						break
+					}
+				}
+			}
+		}
+		if pick < 0 {
+			return everrf(label, "cannot order body literals during grounding")
+		}
+		lits[pick].done = true
+		defer func() { lits[pick].done = false }()
+
+		switch x := lits[pick].l.(type) {
+		case *colog.AtomLit:
+			rows, err := g.rowsFor(x.Atom.Pred)
+			if err != nil {
+				return everrf(label, "%v", err)
+			}
+			for _, st := range rows {
+				env2 := cloneSenv(env)
+				ok, err := g.matchSymAtom(x.Atom, st, env2, label)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				if err := rec(env2, remaining-1); err != nil {
+					return err
+				}
+			}
+			return nil
+		case *colog.CondLit:
+			return g.processCond(rule, x.Expr, env, label, func(env2 senv) error {
+				return rec(env2, remaining-1)
+			})
+		case *colog.AssignLit:
+			gv, err := g.evalSym(x.Expr, env, label)
+			if err != nil {
+				return err
+			}
+			env2 := cloneSenv(env)
+			env2[x.Var] = gv
+			return rec(env2, remaining-1)
+		}
+		return everrf(label, "unknown literal kind")
+	}
+	base := senv{}
+	for k, v := range seed {
+		base[k] = v
+	}
+	if err := rec(base, len(lits)); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// rowsFor returns the rows of a predicate for grounding. For solver tables
+// the symbolic tuples come first; materialized rows from previous solves
+// whose regular-attribute key does not collide with a symbolic tuple are
+// appended as ground rows. This implements the paper's distributed channel
+// selection (A.3), where the assign table holds both the variable of the
+// link under negotiation and the concrete assignments collected from
+// neighbors.
+func (g *grounder) rowsFor(pred string) ([]symTuple, error) {
+	tbl := g.n.tables[pred]
+	sts, isSym := g.sym[pred]
+	if !isSym {
+		if tbl == nil {
+			return nil, fmt.Errorf("unknown predicate %s", pred)
+		}
+		rows := tbl.snapshot()
+		out := make([]symTuple, len(rows))
+		for i, vals := range rows {
+			out[i] = liftRow(vals)
+		}
+		return out, nil
+	}
+	if tbl == nil || tbl.size() == 0 {
+		return sts, nil
+	}
+	// Merge in materialized rows not shadowed by a symbolic tuple.
+	ti := g.n.res.Tables[pred]
+	regKey := func(get func(i int) (colog.Value, bool)) (string, bool) {
+		k := ""
+		for i := 0; i < ti.Arity; i++ {
+			if ti.SolverAttrs[i] {
+				continue
+			}
+			v, ok := get(i)
+			if !ok {
+				return "", false
+			}
+			k += v.Key() + "|"
+		}
+		return k, true
+	}
+	shadow := map[string]bool{}
+	for _, st := range sts {
+		if k, ok := regKey(func(i int) (colog.Value, bool) {
+			if st[i].isSym() {
+				return colog.Value{}, false
+			}
+			return st[i].val, true
+		}); ok {
+			shadow[k] = true
+		}
+	}
+	out := append([]symTuple(nil), sts...)
+	for _, vals := range tbl.snapshot() {
+		k, _ := regKey(func(i int) (colog.Value, bool) { return vals[i], true })
+		if shadow[k] {
+			continue
+		}
+		out = append(out, liftRow(vals))
+	}
+	return out, nil
+}
+
+func liftRow(vals []colog.Value) symTuple {
+	st := make(symTuple, len(vals))
+	for j, v := range vals {
+		st[j] = gval{val: v}
+	}
+	return st
+}
+
+// matchSymAtom unifies an atom against a symbolic tuple. Ground-vs-ground
+// mismatches fail the match; binding a variable to a symbolic value is
+// allowed; comparing two symbolic values posts an equality constraint (the
+// wireless channel-symmetry idiom assign(X,Y,C) -> assign(Y,X,C)).
+func (g *grounder) matchSymAtom(a *colog.Atom, st symTuple, env senv, label string) (bool, error) {
+	if len(a.Args) != len(st) {
+		return false, nil
+	}
+	for i, arg := range a.Args {
+		switch t := arg.(type) {
+		case *colog.VarTerm:
+			bound, ok := env[t.Name]
+			if !ok {
+				env[t.Name] = st[i]
+				continue
+			}
+			switch {
+			case !bound.isSym() && !st[i].isSym():
+				if !bound.val.Equal(st[i].val) {
+					return false, nil
+				}
+			default:
+				// Symbolic on either side: require equality in the model.
+				le, err := g.toExpr(bound, label)
+				if err != nil {
+					return false, err
+				}
+				re, err := g.toExpr(st[i], label)
+				if err != nil {
+					return false, err
+				}
+				g.model.Require(g.model.Eq(le, re))
+			}
+		case *colog.ConstTerm:
+			if st[i].isSym() {
+				e, err := g.toExpr(st[i], label)
+				if err != nil {
+					return false, err
+				}
+				g.model.Require(g.model.Eq(e, g.model.Const(t.Val.Num())))
+				continue
+			}
+			if !t.Val.Equal(st[i].val) {
+				return false, nil
+			}
+		default:
+			return false, everrf(label, "unsupported atom argument %s during grounding", arg)
+		}
+	}
+	return true, nil
+}
+
+// processCond handles one expression literal during grounding:
+//   - fully ground: evaluate and filter;
+//   - definitional (one unbound variable): bind it, possibly symbolically,
+//     including the reified (C==1)==(bool) idiom;
+//   - otherwise symbolic: post as a solver constraint for derivation rules
+//     (selection-to-constraint compilation, paper section 5.3).
+func (g *grounder) processCond(rule *colog.Rule, cond colog.Term, env senv, label string, cont func(senv) error) error {
+	if g.senvBound(cond, env) {
+		gv, err := g.evalSym(cond, env, label)
+		if err != nil {
+			return err
+		}
+		if !gv.isSym() {
+			if gv.val.Kind != colog.KindBool {
+				return everrf(label, "condition %s evaluated to non-boolean %s", cond, gv.val)
+			}
+			if !gv.val.B {
+				return nil // filtered out
+			}
+			return cont(env)
+		}
+		// Symbolic selection: becomes a solver constraint scoped to this
+		// binding.
+		if !gv.sym.IsBool() {
+			return everrf(label, "condition %s is symbolic but not boolean", cond)
+		}
+		g.model.Require(gv.sym)
+		return cont(env)
+	}
+	// Try definitional bindings.
+	if name, rhs, k, reified, ok := g.splitBindable(cond, env); ok {
+		gv, err := g.evalSym(rhs, env, label)
+		if err != nil {
+			return err
+		}
+		env2 := cloneSenv(env)
+		if !reified {
+			env2[name] = gv
+			return cont(env2)
+		}
+		// Reified: (C==k)==(bool-expr)  =>  C := ITE(bool, k, other).
+		be, err := g.toExpr(gv, label)
+		if err != nil {
+			return err
+		}
+		if !be.IsBool() {
+			return everrf(label, "reified binding %s: right side is not boolean", cond)
+		}
+		other := int64(0)
+		if k == 0 {
+			other = 1
+		}
+		ite := g.model.ITE(be, g.model.ConstInt(k), g.model.ConstInt(other))
+		env2[name] = gval{sym: ite}
+		return cont(env2)
+	}
+	return everrf(label, "condition %s has multiple unbound variables", cond)
+}
+
+// splitBindable recognizes V==expr / expr==V definitional equalities and the
+// reified (V==k)==(expr) form, returning the variable to bind, the defining
+// term, and whether the binding is reified with constant k.
+func (g *grounder) splitBindable(cond colog.Term, env senv) (name string, rhs colog.Term, k int64, reified, ok bool) {
+	bt, isBin := cond.(*colog.BinTerm)
+	if !isBin || bt.Op != colog.OpEq {
+		return "", nil, 0, false, false
+	}
+	unbound := func(t colog.Term) (string, bool) {
+		v, isVar := t.(*colog.VarTerm)
+		if !isVar {
+			return "", false
+		}
+		_, bound := env[v.Name]
+		return v.Name, !bound
+	}
+	if n, u := unbound(bt.L); u && g.senvBound(bt.R, env) {
+		return n, bt.R, 0, false, true
+	}
+	if n, u := unbound(bt.R); u && g.senvBound(bt.L, env) {
+		return n, bt.L, 0, false, true
+	}
+	// Reified orientation: (V==k)==(expr) or (expr)==(V==k).
+	tryReified := func(side, other colog.Term) (string, colog.Term, int64, bool, bool) {
+		inner, isBin := side.(*colog.BinTerm)
+		if !isBin || inner.Op != colog.OpEq {
+			return "", nil, 0, false, false
+		}
+		var vName string
+		var constSide colog.Term
+		if n, u := unbound(inner.L); u {
+			vName, constSide = n, inner.R
+		} else if n, u := unbound(inner.R); u {
+			vName, constSide = n, inner.L
+		} else {
+			return "", nil, 0, false, false
+		}
+		c, isConst := constSide.(*colog.ConstTerm)
+		if !isConst || c.Val.Kind != colog.KindInt {
+			return "", nil, 0, false, false
+		}
+		if !g.senvBound(other, env) {
+			return "", nil, 0, false, false
+		}
+		return vName, other, c.Val.I, true, true
+	}
+	if n, r, kk, re, ok2 := tryReified(bt.L, bt.R); ok2 {
+		return n, r, kk, re, ok2
+	}
+	return tryReified(bt.R, bt.L)
+}
+
+func (g *grounder) senvBound(t colog.Term, env senv) bool {
+	switch x := t.(type) {
+	case *colog.VarTerm:
+		_, ok := env[x.Name]
+		return ok
+	case *colog.BinTerm:
+		return g.senvBound(x.L, env) && g.senvBound(x.R, env)
+	case *colog.NegTerm:
+		return g.senvBound(x.X, env)
+	case *colog.NotTerm:
+		return g.senvBound(x.X, env)
+	case *colog.AbsTerm:
+		return g.senvBound(x.X, env)
+	case *colog.FuncTerm:
+		for _, a := range x.Args {
+			if !g.senvBound(a, env) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// bindableSym reports whether a condition can bind a variable right now.
+func (g *grounder) bindableSym(t colog.Term, env senv) bool {
+	_, _, _, _, ok := g.splitBindable(t, env)
+	return ok
+}
+
+// toExpr lifts a gval into a solver expression.
+func (g *grounder) toExpr(gv gval, label string) (*solver.Expr, error) {
+	if gv.isSym() {
+		return gv.sym, nil
+	}
+	if !gv.val.IsNumeric() && gv.val.Kind != colog.KindBool {
+		return nil, everrf(label, "cannot lift %s into a solver expression", gv.val)
+	}
+	if gv.val.Kind == colog.KindBool {
+		return g.model.Bool(gv.val.B), nil
+	}
+	return g.model.Const(gv.val.Num()), nil
+}
+
+// evalSym evaluates a term under a symbolic environment: ground subterms
+// fold to constants, symbolic subterms build solver expression nodes.
+func (g *grounder) evalSym(t colog.Term, env senv, label string) (gval, error) {
+	switch x := t.(type) {
+	case *colog.ConstTerm:
+		return gval{val: x.Val}, nil
+	case *colog.VarTerm:
+		gv, ok := env[x.Name]
+		if !ok {
+			return gval{}, everrf(label, "unbound variable %s during grounding", x.Name)
+		}
+		return gv, nil
+	case *colog.ParamTerm:
+		return gval{}, everrf(label, "unbound parameter %s (bind via Config.Params)", x.Name)
+	case *colog.BinTerm:
+		l, err := g.evalSym(x.L, env, label)
+		if err != nil {
+			return gval{}, err
+		}
+		r, err := g.evalSym(x.R, env, label)
+		if err != nil {
+			return gval{}, err
+		}
+		if !l.isSym() && !r.isSym() {
+			v, err := applyBin(x.Op, l.val, r.val)
+			if err != nil {
+				return gval{}, everrf(label, "%v", err)
+			}
+			return gval{val: v}, nil
+		}
+		le, err := g.toExpr(l, label)
+		if err != nil {
+			return gval{}, err
+		}
+		re, err := g.toExpr(r, label)
+		if err != nil {
+			return gval{}, err
+		}
+		return g.applySymBin(x.Op, le, re, label)
+	case *colog.NegTerm:
+		v, err := g.evalSym(x.X, env, label)
+		if err != nil {
+			return gval{}, err
+		}
+		if !v.isSym() {
+			nv, err := applyNeg(v.val)
+			if err != nil {
+				return gval{}, everrf(label, "%v", err)
+			}
+			return gval{val: nv}, nil
+		}
+		return gval{sym: g.model.Neg(v.sym)}, nil
+	case *colog.NotTerm:
+		v, err := g.evalSym(x.X, env, label)
+		if err != nil {
+			return gval{}, err
+		}
+		if !v.isSym() {
+			nv, err := applyNot(v.val)
+			if err != nil {
+				return gval{}, everrf(label, "%v", err)
+			}
+			return gval{val: nv}, nil
+		}
+		return gval{sym: g.model.Not(v.sym)}, nil
+	case *colog.AbsTerm:
+		v, err := g.evalSym(x.X, env, label)
+		if err != nil {
+			return gval{}, err
+		}
+		if !v.isSym() {
+			av, err := applyAbs(v.val)
+			if err != nil {
+				return gval{}, everrf(label, "%v", err)
+			}
+			return gval{val: av}, nil
+		}
+		return gval{sym: g.model.Abs(v.sym)}, nil
+	case *colog.FuncTerm:
+		args := make([]colog.Value, len(x.Args))
+		for i, a := range x.Args {
+			gv, err := g.evalSym(a, env, label)
+			if err != nil {
+				return gval{}, err
+			}
+			if gv.isSym() {
+				return gval{}, everrf(label, "function %s over symbolic arguments is not supported", x.Name)
+			}
+			args[i] = gv.val
+		}
+		v, err := applyFunc(x.Name, args)
+		if err != nil {
+			return gval{}, everrf(label, "%v", err)
+		}
+		return gval{val: v}, nil
+	}
+	return gval{}, everrf(label, "unsupported term %T during grounding", t)
+}
+
+func (g *grounder) applySymBin(op colog.BinOp, l, r *solver.Expr, label string) (gval, error) {
+	m := g.model
+	switch op {
+	case colog.OpAdd:
+		return gval{sym: m.Add(l, r)}, nil
+	case colog.OpSub:
+		return gval{sym: m.Sub(l, r)}, nil
+	case colog.OpMul:
+		return gval{sym: m.Mul(l, r)}, nil
+	case colog.OpDiv:
+		return gval{sym: m.Div(l, r)}, nil
+	case colog.OpEq:
+		return gval{sym: m.Eq(l, r)}, nil
+	case colog.OpNe:
+		return gval{sym: m.Ne(l, r)}, nil
+	case colog.OpLt:
+		return gval{sym: m.Lt(l, r)}, nil
+	case colog.OpLe:
+		return gval{sym: m.Le(l, r)}, nil
+	case colog.OpGt:
+		return gval{sym: m.Gt(l, r)}, nil
+	case colog.OpGe:
+		return gval{sym: m.Ge(l, r)}, nil
+	case colog.OpAnd:
+		return gval{sym: m.And(l, r)}, nil
+	case colog.OpOr:
+		return gval{sym: m.Or(l, r)}, nil
+	}
+	return gval{}, everrf(label, "unsupported symbolic operator %s", op)
+}
+
+// emitAggregateHead groups matches by the ground head attributes and builds
+// one aggregate expression per group (SUM -> solver.Sum, STDEV ->
+// solver.StdDev, ...), the compilation of aggregations over solver
+// attributes described in section 5.3.
+func (g *grounder) emitAggregateHead(rule *colog.Rule, matches []senv) error {
+	label := ruleName(rule)
+	aggPos := -1
+	var aggTerm *colog.AggTerm
+	for i, arg := range rule.Head.Args {
+		if at, ok := arg.(*colog.AggTerm); ok {
+			if aggPos >= 0 {
+				return everrf(label, "multiple aggregates in head")
+			}
+			aggPos, aggTerm = i, at
+		}
+	}
+	type group struct {
+		vals  []gval
+		items []gval
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, env := range matches {
+		headVals := make([]gval, len(rule.Head.Args))
+		keyParts := ""
+		for i, arg := range rule.Head.Args {
+			if i == aggPos {
+				continue
+			}
+			gv, err := g.evalSym(arg, env, label)
+			if err != nil {
+				return err
+			}
+			if gv.isSym() {
+				return everrf(label, "aggregate group-by attribute %d is symbolic", i)
+			}
+			headVals[i] = gv
+			keyParts += gv.key() + "|"
+		}
+		item, ok := env[aggTerm.Over]
+		if !ok {
+			return everrf(label, "aggregate variable %s unbound", aggTerm.Over)
+		}
+		grp := groups[keyParts]
+		if grp == nil {
+			grp = &group{vals: headVals}
+			groups[keyParts] = grp
+			order = append(order, keyParts)
+		}
+		grp.items = append(grp.items, item)
+	}
+	for _, k := range order {
+		grp := groups[k]
+		agg, err := g.buildAggExpr(aggTerm.Func, grp.items, label)
+		if err != nil {
+			return err
+		}
+		st := make(symTuple, len(rule.Head.Args))
+		for i := range rule.Head.Args {
+			if i == aggPos {
+				st[i] = agg
+			} else {
+				st[i] = grp.vals[i]
+			}
+		}
+		g.sym[rule.Head.Pred] = append(g.sym[rule.Head.Pred], st)
+	}
+	return nil
+}
+
+func (g *grounder) buildAggExpr(fn colog.AggFunc, items []gval, label string) (gval, error) {
+	allGround := true
+	for _, it := range items {
+		if it.isSym() {
+			allGround = false
+			break
+		}
+	}
+	if allGround {
+		// Pure ground aggregation: compute the value directly.
+		m := map[string]*aggItem{}
+		for _, it := range items {
+			k := it.val.Key()
+			if m[k] == nil {
+				m[k] = &aggItem{val: it.val}
+			}
+			m[k].count++
+		}
+		v, err := computeAggregate(fn, m)
+		if err != nil {
+			return gval{}, everrf(label, "%v", err)
+		}
+		return gval{val: v}, nil
+	}
+	exprs := make([]*solver.Expr, len(items))
+	for i, it := range items {
+		e, err := g.toExpr(it, label)
+		if err != nil {
+			return gval{}, err
+		}
+		exprs[i] = e
+	}
+	m := g.model
+	switch fn {
+	case colog.AggSum:
+		return gval{sym: m.Sum(exprs...)}, nil
+	case colog.AggSumAbs:
+		return gval{sym: m.SumAbs(exprs...)}, nil
+	case colog.AggCount:
+		return gval{val: colog.IntVal(int64(len(exprs)))}, nil
+	case colog.AggMin:
+		return gval{sym: m.Min(exprs...)}, nil
+	case colog.AggMax:
+		return gval{sym: m.Max(exprs...)}, nil
+	case colog.AggAvg:
+		return gval{sym: m.Avg(exprs...)}, nil
+	case colog.AggStdev:
+		return gval{sym: m.StdDev(exprs...)}, nil
+	case colog.AggUnique:
+		return gval{sym: m.CountDistinct(exprs...)}, nil
+	}
+	return gval{}, everrf(label, "unsupported aggregate %s over solver attributes", fn)
+}
+
+// applyConstraintRules grounds solver constraint rules: for every symbolic
+// head tuple and every match of the rule body, the conjunction of the
+// expression literals is posted as a solver constraint (section 5.4).
+func (g *grounder) applyConstraintRules() error {
+	for i, rule := range g.n.res.Program.Rules {
+		if g.n.res.Classes[i] != analysis.SolverConstraintRule {
+			continue
+		}
+		label := ruleName(rule)
+		heads := g.sym[rule.Head.Pred]
+		for _, st := range heads {
+			env := senv{}
+			okHead := true
+			for ai, arg := range rule.Head.Args {
+				v, ok := arg.(*colog.VarTerm)
+				if !ok {
+					if c, isConst := arg.(*colog.ConstTerm); isConst {
+						if st[ai].isSym() || !c.Val.Equal(st[ai].val) {
+							okHead = false
+						}
+						continue
+					}
+					return everrf(label, "unsupported head argument %s", arg)
+				}
+				if prev, bound := env[v.Name]; bound {
+					if prev.isSym() || st[ai].isSym() || !prev.val.Equal(st[ai].val) {
+						okHead = false
+					}
+					continue
+				}
+				env[v.Name] = st[ai]
+			}
+			if !okHead {
+				continue
+			}
+			// Body: every match must hold; expression literals become
+			// constraints via processCond's symbolic path, and symbolic
+			// matches in matchSymAtom post equality constraints.
+			if _, err := g.matchBody(rule, env); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// setGoal locates the objective among the grounded tuples and installs it.
+func (g *grounder) setGoal() error {
+	goal := g.n.res.Program.Goal
+	if goal == nil || goal.Sense == colog.GoalSatisfy {
+		return nil
+	}
+	rows, err := g.rowsFor(goal.Atom.Pred)
+	if err != nil {
+		return everrf("goal", "%v", err)
+	}
+	var objective *solver.Expr
+	found := false
+	for _, st := range rows {
+		env := senv{}
+		ok := true
+		var objVal gval
+		for i, arg := range goal.Atom.Args {
+			v, isVar := arg.(*colog.VarTerm)
+			if !isVar {
+				if c, isConst := arg.(*colog.ConstTerm); isConst && !st[i].isSym() && c.Val.Equal(st[i].val) {
+					continue
+				}
+				ok = false
+				break
+			}
+			if v.Name == goal.VarName {
+				objVal = st[i]
+				continue
+			}
+			if v.Loc && !st[i].isSym() && locAddr(st[i].val) != g.n.Addr {
+				ok = false
+				break
+			}
+			env[v.Name] = st[i]
+		}
+		if !ok {
+			continue
+		}
+		if found {
+			return everrf("goal", "multiple tuples match goal atom %s", goal.Atom)
+		}
+		found = true
+		e, err := g.toExpr(objVal, "goal")
+		if err != nil {
+			return err
+		}
+		objective = e
+		g.genv = map[string]colog.Value{}
+		for k, gv := range env {
+			if !gv.isSym() {
+				g.genv[k] = gv.val
+			}
+		}
+	}
+	if !found {
+		// No goal tuple derived (e.g. no interfering pairs for the link
+		// under negotiation): degrade to a satisfy problem over the posted
+		// constraints.
+		return nil
+	}
+	if goal.Sense == colog.GoalMinimize {
+		g.model.Minimize(objective)
+	} else {
+		g.model.Maximize(objective)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+// TestSolveErrorUnboundParam: solving a program with an unbound named
+// parameter must fail with a helpful message.
+func TestSolveErrorUnboundParam(t *testing.T) {
+	n := newTestNode(t, `
+var assign(V,X) forall cand(V).
+r1 cand(V) <- vm(V).
+c1 assign(V,X) -> X<=limit.
+`, Config{})
+	n.Insert("vm", sval("v1"))
+	_, err := n.Solve(SolveOptions{})
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("err = %v, want unbound parameter mention", err)
+	}
+}
+
+// TestSolveErrorEmptyDomainTable: a domain table with no rows is an error.
+func TestSolveErrorEmptyDomainTable(t *testing.T) {
+	n := newTestNode(t, `
+var assign(V,C) forall cand(V) domain pool.
+r1 cand(V) <- vm(V).
+`, Config{})
+	n.Insert("vm", sval("v1"))
+	_, err := n.Solve(SolveOptions{})
+	if err == nil || !strings.Contains(err.Error(), "pool") {
+		t.Fatalf("err = %v, want empty-domain-table error", err)
+	}
+}
+
+// TestSolveErrorNonIntegerDomainTable.
+func TestSolveErrorNonIntegerDomainTable(t *testing.T) {
+	n := newTestNode(t, `
+var assign(V,C) forall cand(V) domain pool.
+r1 cand(V) <- vm(V).
+`, Config{})
+	n.Insert("pool", sval("not-an-int"))
+	n.Insert("vm", sval("v1"))
+	_, err := n.Solve(SolveOptions{})
+	if err == nil || !strings.Contains(err.Error(), "non-integer") {
+		t.Fatalf("err = %v, want non-integer domain error", err)
+	}
+}
+
+// TestSolveErrorMultipleGoalTuples: an ambiguous objective is rejected.
+func TestSolveErrorMultipleGoalTuples(t *testing.T) {
+	n := newTestNode(t, `
+goal minimize C in cost(G,C).
+var assign(V,X) forall cand(V).
+r1 cand(V) <- vm(V).
+d1 cost(G,SUM<X>) <- assign(V,X), groupOf(V,G).
+`, Config{})
+	n.Insert("vm", sval("v1"))
+	n.Insert("vm", sval("v2"))
+	n.Insert("groupOf", sval("v1"), sval("g1"))
+	n.Insert("groupOf", sval("v2"), sval("g2"))
+	_, err := n.Solve(SolveOptions{})
+	if err == nil || !strings.Contains(err.Error(), "multiple tuples") {
+		t.Fatalf("err = %v, want multiple-goal-tuples error", err)
+	}
+}
+
+// TestSolveSatisfyGoalFallback: when no goal tuple is derivable the solve
+// degrades to satisfy over the posted constraints.
+func TestSolveSatisfyGoalFallback(t *testing.T) {
+	n := newTestNode(t, `
+goal minimize C in cost(C).
+var assign(V,X) forall cand(V).
+r1 cand(V) <- vm(V).
+d1 cost(SUM<X>) <- assign(V,X), heavy(V).
+c1 assign(V,X) -> X==1.
+`, Config{})
+	n.Insert("vm", sval("v1"))
+	// No heavy rows -> no cost tuple -> satisfy.
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.StatusOptimal || res.HasGoal {
+		t.Fatalf("res = %+v, want satisfy-style optimal without goal", res)
+	}
+	if len(res.Assignments) != 1 || res.Assignments[0].Vals[1].I != 1 {
+		t.Fatalf("constraint not enforced in satisfy fallback: %v", res.Assignments)
+	}
+}
+
+// TestSolveGoalSatisfyProgram: a goal satisfy program works end to end.
+func TestSolveGoalSatisfyProgram(t *testing.T) {
+	n := newTestNode(t, `
+goal satisfy assign(V,X).
+var assign(V,X) forall cand(V) domain [2,5].
+r1 cand(V) <- vm(V).
+c1 assign(V,X) -> X>=4.
+`, Config{})
+	n.Insert("vm", sval("v1"))
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() || res.Assignments[0].Vals[1].I < 4 {
+		t.Fatalf("satisfy program: %+v", res)
+	}
+}
+
+// TestGroundAggregateOverGroundValues: aggregates whose inputs happen to be
+// fully ground fold to constants during grounding.
+func TestGroundAggregateOverGroundValues(t *testing.T) {
+	n := newTestNode(t, `
+goal minimize C in obj(C).
+var pick(V,X) forall cand(V).
+r1 cand(V) <- vm(V).
+d1 baseLoad(SUM<L>) <- fixed(H,L).
+d2 picked(SUM<X>) <- pick(V,X).
+d3 obj(C) <- baseLoad(B), picked(P), C==B+P.
+`, Config{})
+	n.Insert("vm", sval("v1"))
+	n.Insert("fixed", sval("h1"), ival(10))
+	n.Insert("fixed", sval("h2"), ival(5))
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum: pick nothing -> 15.
+	if res.Objective != 15 {
+		t.Fatalf("objective = %v, want 15", res.Objective)
+	}
+}
+
+// TestConstraintAcrossTwoSolverTables: a constraint rule whose body
+// references another solver table posts cross-variable constraints.
+func TestConstraintAcrossTwoSolverTables(t *testing.T) {
+	n := newTestNode(t, `
+goal minimize C in obj(C).
+var a(K,X) forall keys(K) domain [0,5].
+var b(K,Y) forall keys(K) domain [0,5].
+c1 a(K,X) -> b(K,Y), X+Y>=4.
+d1 obj(SUM<S>) <- a(K,X), weight(K,W), S==X*W.
+`, Config{})
+	n.Insert("keys", sval("k"))
+	n.Insert("weight", sval("k"), ival(1))
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("status = %v", res.Status)
+	}
+	var x, y int64
+	for _, a := range res.Assignments {
+		if a.Pred == "a" {
+			x = a.Vals[1].I
+		} else {
+			y = a.Vals[1].I
+		}
+	}
+	if x+y < 4 {
+		t.Fatalf("cross-table constraint violated: x=%d y=%d", x, y)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/colog"
+)
+
+// tableIndex is a hash index over a column subset, mapping the projected
+// key to the visible rows carrying it. Indexes are created lazily the first
+// time a join probes a column combination and maintained incrementally on
+// every visible transition, so the cost is only paid for access paths the
+// compiled plans actually use.
+type tableIndex struct {
+	cols []int
+	m    map[string][][]colog.Value
+}
+
+func idxName(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+func projKey(vals []colog.Value, cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(vals[c].Key())
+	}
+	return b.String()
+}
+
+// lookup returns the visible rows whose projection on cols equals key,
+// building the index on first use.
+func (t *table) lookup(cols []int, key string) [][]colog.Value {
+	name := idxName(cols)
+	if t.indexes == nil {
+		t.indexes = map[string]*tableIndex{}
+	}
+	idx, ok := t.indexes[name]
+	if !ok {
+		idx = &tableIndex{cols: cols, m: map[string][][]colog.Value{}}
+		for _, r := range t.rows {
+			k := projKey(r.vals, cols)
+			idx.m[k] = append(idx.m[k], r.vals)
+		}
+		t.indexes[name] = idx
+	}
+	return idx.m[key]
+}
+
+// indexInsert registers a newly visible row in all existing indexes.
+func (t *table) indexInsert(vals []colog.Value) {
+	for _, idx := range t.indexes {
+		k := projKey(vals, idx.cols)
+		idx.m[k] = append(idx.m[k], vals)
+	}
+}
+
+// indexRemove drops a no-longer-visible row from all existing indexes.
+func (t *table) indexRemove(vals []colog.Value) {
+	full := valsKey(vals)
+	for _, idx := range t.indexes {
+		k := projKey(vals, idx.cols)
+		rows := idx.m[k]
+		for i, r := range rows {
+			if valsKey(r) == full {
+				rows[i] = rows[len(rows)-1]
+				rows = rows[:len(rows)-1]
+				break
+			}
+		}
+		if len(rows) == 0 {
+			delete(idx.m, k)
+		} else {
+			idx.m[k] = rows
+		}
+	}
+}
+
+// dropIndexes invalidates all indexes (bulk table replacement).
+func (t *table) dropIndexes() { t.indexes = nil }

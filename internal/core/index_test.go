@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/colog"
+)
+
+func TestIndexedJoinCorrectness(t *testing.T) {
+	// Same join evaluated via index probe must match a brute-force check.
+	n := newTestNode(t, `r1 colocated(V,W) <- vm(V,H), vm2(W,H).`, Config{})
+	for i := 0; i < 30; i++ {
+		n.Insert("vm2", sval(fmt.Sprintf("w%d", i)), sval(fmt.Sprintf("h%d", i%5)))
+	}
+	for i := 0; i < 30; i++ {
+		n.Insert("vm", sval(fmt.Sprintf("v%d", i)), sval(fmt.Sprintf("h%d", i%5)))
+	}
+	// Each host has 6 vms and 6 vm2s -> 5 hosts * 36 pairs.
+	if got := rows(n, "colocated"); got != 180 {
+		t.Fatalf("colocated rows = %d, want 180", got)
+	}
+	// Deletions maintain the index.
+	n.Delete("vm2", sval("w0"), sval("h0"))
+	if got := rows(n, "colocated"); got != 174 {
+		t.Fatalf("after delete: %d rows, want 174", got)
+	}
+	// New inserts after the index exists.
+	n.Insert("vm2", sval("wx"), sval("h0"))
+	if got := rows(n, "colocated"); got != 180 {
+		t.Fatalf("after re-insert: %d rows, want 180", got)
+	}
+}
+
+func TestIndexedJoinWithConstant(t *testing.T) {
+	// Constant argument positions participate in the probe key.
+	n := newTestNode(t, `r1 onH0(V) <- vm(V,"h0").`, Config{})
+	n.Insert("vm", sval("a"), sval("h0"))
+	n.Insert("vm", sval("b"), sval("h1"))
+	// Trigger-side is the vm table itself here; force a probe by joining.
+	n2 := newTestNode(t, `r1 hit(X) <- probe(X), vm(X,"h0").`, Config{})
+	n2.Insert("vm", sval("a"), sval("h0"))
+	n2.Insert("vm", sval("b"), sval("h1"))
+	n2.Insert("probe", sval("a"))
+	n2.Insert("probe", sval("b"))
+	if !n2.Contains("hit", sval("a")) || n2.Contains("hit", sval("b")) {
+		t.Fatalf("constant probe broken:\n%s", n2.Dump())
+	}
+	if !n.Contains("onH0", sval("a")) || n.Contains("onH0", sval("b")) {
+		t.Fatalf("constant filter broken:\n%s", n.Dump())
+	}
+}
+
+func TestIndexMaintainedThroughKeyedReplacement(t *testing.T) {
+	n := newTestNode(t, `r1 view(K,V2) <- state(K,V), helper(K), V2:=V.`,
+		Config{Keys: map[string][]int{"state": {0}, "view": {0}}})
+	n.Insert("helper", sval("k"))
+	n.Insert("state", sval("k"), ival(1))
+	if !n.Contains("view", sval("k"), ival(1)) {
+		t.Fatal("setup failed")
+	}
+	// Keyed replacement must update both row and index.
+	n.Insert("state", sval("k"), ival(2))
+	if !n.Contains("view", sval("k"), ival(2)) || rows(n, "view") != 1 {
+		t.Fatalf("replacement broken:\n%s", n.Dump())
+	}
+}
+
+func TestProjKeyAndIdxName(t *testing.T) {
+	if idxName([]int{0, 2}) != "0,2" {
+		t.Fatalf("idxName = %q", idxName([]int{0, 2}))
+	}
+	k1 := projKey([]colog.Value{sval("a"), ival(1), ival(2)}, []int{0, 2})
+	k2 := projKey([]colog.Value{sval("a"), ival(9), ival(2)}, []int{0, 2})
+	if k1 != k2 {
+		t.Fatalf("projection keys differ: %q vs %q", k1, k2)
+	}
+	k3 := projKey([]colog.Value{sval("b"), ival(1), ival(2)}, []int{0, 2})
+	if k1 == k3 {
+		t.Fatal("distinct projections collide")
+	}
+}

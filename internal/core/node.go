@@ -1,0 +1,555 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/colog"
+	"repro/internal/transport"
+)
+
+// InvokeSolverPred is the reserved event predicate that triggers constraint
+// solving when a tuple of it is derived or inserted (the paper's
+// invokeSolver event).
+const InvokeSolverPred = "invokeSolver"
+
+// Config tunes one Cologne instance.
+type Config struct {
+	// Params binds named Colog parameters (max_migrates, F_mindiff, ...).
+	Params map[string]colog.Value
+	// Keys declares primary-key columns per table (NDlog materialize
+	// semantics); tables without an entry use whole-row set semantics.
+	Keys map[string][]int
+	// Events lists predicates with event semantics: their tuples stream
+	// through rules but are never stored. invokeSolver is always an event.
+	Events []string
+	// SolverMaxTime bounds each COP execution (the paper's
+	// SOLVER_MAX_TIME); zero means no limit.
+	SolverMaxTime time.Duration
+	// SolverMaxNodes bounds search nodes per COP execution; zero = no limit.
+	SolverMaxNodes int64
+	// SolverPropagate enables forward-checking propagation in the solver.
+	SolverPropagate bool
+}
+
+// NodeStats counts a node's evaluation work.
+type NodeStats struct {
+	DeltasProcessed int64
+	TuplesSent      int64
+	Solves          int64
+}
+
+// Node is one Cologne instance: a distributed query engine plus a
+// constraint-solver bridge, executing an analyzed Colog program at a given
+// network address.
+type Node struct {
+	Addr string
+
+	res    *analysis.Result
+	cfg    Config
+	tr     transport.Transport
+	tables map[string]*table
+	plans  map[string][]*plan
+	aggs   map[int]*aggState
+
+	queue    []delta
+	outbox   []outMsg
+	draining bool
+	mu       sync.Mutex
+
+	// Recursive-group (DRed) state; see dred.go.
+	groups      []*recursiveGroup
+	groupOfHead map[int]int
+	feedsGroup  map[string][]int
+	dirtyGroups map[int]bool
+
+	lastMaterialized map[string][]Tuple
+
+	// OnInvokeSolver, when non-nil, runs instead of the default Solve
+	// whenever an invokeSolver event fires.
+	OnInvokeSolver func(n *Node)
+	// LastSolveResult holds the most recent solver outcome (also returned
+	// by Solve).
+	LastSolveResult *SolveResult
+	// LastError records the most recent asynchronous evaluation error
+	// (e.g. triggered by an incoming network tuple).
+	LastError error
+
+	stats NodeStats
+}
+
+// NewNode creates a Cologne instance for an analyzed program. The node
+// registers itself on the transport under addr.
+func NewNode(addr string, res *analysis.Result, cfg Config, tr transport.Transport) (*Node, error) {
+	plans, err := compileRules(res)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Addr:             addr,
+		res:              res,
+		cfg:              cfg,
+		tr:               tr,
+		tables:           map[string]*table{},
+		plans:            plans,
+		aggs:             map[int]*aggState{},
+		lastMaterialized: map[string][]Tuple{},
+	}
+	events := map[string]bool{InvokeSolverPred: true}
+	for _, e := range cfg.Events {
+		events[e] = true
+	}
+	for name, ti := range res.Tables {
+		n.tables[name] = newTable(name, ti.Arity, cfg.Keys[name], events[name])
+	}
+	if _, ok := n.tables[InvokeSolverPred]; !ok {
+		n.tables[InvokeSolverPred] = newTable(InvokeSolverPred, 0, nil, true)
+	}
+	n.dirtyGroups = map[int]bool{}
+	n.initDred()
+	if tr != nil {
+		tr.Register(addr, n.handleMessage)
+	}
+	// Load program facts addressed to this node (or unaddressed facts in
+	// centralized mode).
+	for _, f := range res.Program.Facts {
+		vals := make([]colog.Value, len(f.Atom.Args))
+		for i, a := range f.Atom.Args {
+			vals[i] = a.(*colog.ConstTerm).Val
+		}
+		ti := res.Tables[f.Atom.Pred]
+		if ti.LocCol >= 0 && vals[ti.LocCol].S != addr {
+			continue
+		}
+		if err := n.Insert(f.Atom.Pred, vals...); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Stats returns evaluation counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// Program returns the analyzed program the node executes.
+func (n *Node) Program() *analysis.Result { return n.res }
+
+// Insert adds a fact and runs incremental evaluation to fixpoint.
+func (n *Node) Insert(pred string, vals ...colog.Value) error {
+	return n.update(pred, vals, +1)
+}
+
+// Delete retracts a fact and runs incremental evaluation to fixpoint.
+func (n *Node) Delete(pred string, vals ...colog.Value) error {
+	return n.update(pred, vals, -1)
+}
+
+// outMsg is a tuple delta awaiting transmission. Remote sends are buffered
+// during evaluation and flushed after the node's lock is released, so a
+// synchronous transport delivering a reply back to this node cannot
+// deadlock.
+type outMsg struct {
+	to      string
+	payload []byte
+}
+
+func (n *Node) update(pred string, vals []colog.Value, sign int) error {
+	n.mu.Lock()
+	t, ok := n.tables[pred]
+	if !ok {
+		n.mu.Unlock()
+		return everrf(pred, "unknown predicate")
+	}
+	if len(vals) != t.arity {
+		n.mu.Unlock()
+		return everrf(pred, "arity mismatch: table has %d columns, got %d values", t.arity, len(vals))
+	}
+	n.enqueue(delta{Tuple{pred, vals}, sign, false})
+	err := n.drain()
+	out := n.takeOutbox()
+	n.mu.Unlock()
+	if ferr := n.flush(out); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// takeOutbox removes and returns the pending remote sends; the caller must
+// hold n.mu.
+func (n *Node) takeOutbox() []outMsg {
+	out := n.outbox
+	n.outbox = nil
+	return out
+}
+
+// flush transmits buffered messages. Must be called without holding n.mu.
+func (n *Node) flush(out []outMsg) error {
+	var firstErr error
+	for _, m := range out {
+		if err := n.tr.Send(n.Addr, m.to, m.payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Rows returns the visible rows of a table, deterministically sorted.
+func (n *Node) Rows(pred string) [][]colog.Value {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t, ok := n.tables[pred]
+	if !ok {
+		return nil
+	}
+	return t.snapshot()
+}
+
+// Contains reports whether the exact fact is currently visible.
+func (n *Node) Contains(pred string, vals ...colog.Value) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t, ok := n.tables[pred]
+	return ok && t.contains(vals)
+}
+
+// TableNames lists the node's table names.
+func (n *Node) TableNames() []string {
+	names := make([]string, 0, len(n.tables))
+	for name := range n.tables {
+		names = append(names, name)
+	}
+	return names
+}
+
+// handleMessage ingests a tuple delta arriving from the network.
+func (n *Node) handleMessage(m transport.Message) {
+	wd, err := decodeDelta(m.Payload)
+	if err != nil {
+		n.LastError = err
+		return
+	}
+	if err := n.update(wd.Pred, wd.Vals, wd.Sign); err != nil {
+		n.LastError = err
+	}
+}
+
+// enqueue schedules a delta; the caller must hold n.mu and call drain.
+func (n *Node) enqueue(d delta) { n.queue = append(n.queue, d) }
+
+// drain processes queued deltas to a local fixpoint (pipelined semi-naive
+// evaluation): each delta is applied to its table, and the visible
+// transitions trigger the compiled delta plans, which may enqueue more
+// deltas or ship tuples to other nodes.
+func (n *Node) drain() error {
+	if n.draining {
+		return nil // re-entrant call from a plan; outer loop continues
+	}
+	n.draining = true
+	defer func() { n.draining = false }()
+	var firstErr error
+	for {
+		for len(n.queue) > 0 {
+			d := n.queue[0]
+			n.queue = n.queue[1:]
+			t, ok := n.tables[d.tuple.Pred]
+			if !ok {
+				if firstErr == nil {
+					firstErr = everrf(d.tuple.Pred, "unknown predicate in delta")
+				}
+				continue
+			}
+			for _, tr := range t.apply(d.tuple.Vals, d.sign, d.derived) {
+				if err := n.processTransition(tr, -1); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		// Deletions touching recursive predicate groups are finalized by a
+		// base-fact recompute once the incremental queue is empty.
+		gi := n.nextDirtyGroup()
+		if gi < 0 {
+			break
+		}
+		delete(n.dirtyGroups, gi)
+		if err := n.recomputeGroup(gi); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (n *Node) nextDirtyGroup() int {
+	best := -1
+	for gi := range n.dirtyGroups {
+		if best < 0 || gi < best {
+			best = gi
+		}
+	}
+	return best
+}
+
+// processTransition fires the delta plans for one visible row transition.
+// Plans whose head belongs to skipGroup (or to any group already marked
+// dirty) are suppressed: their predicates will be rebuilt by recompute.
+func (n *Node) processTransition(tr delta, skipGroup int) error {
+	n.stats.DeltasProcessed++
+	if tr.tuple.Pred == InvokeSolverPred && tr.sign > 0 {
+		n.fireInvokeSolver()
+		return nil
+	}
+	if tr.sign < 0 {
+		n.markDirtyFor(tr.tuple.Pred)
+	}
+	var firstErr error
+	for _, p := range n.plans[tr.tuple.Pred] {
+		if gi, ok := n.groupOfHead[p.ruleIdx]; ok && (gi == skipGroup || n.dirtyGroups[gi]) {
+			continue
+		}
+		if err := n.runPlan(p, tr); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (n *Node) fireInvokeSolver() {
+	if n.OnInvokeSolver != nil {
+		n.OnInvokeSolver(n)
+		return
+	}
+	res, err := n.solveLocked(SolveOptions{})
+	if err != nil {
+		n.LastError = err
+		return
+	}
+	n.LastSolveResult = res
+}
+
+// route delivers a derived head tuple: locally enqueued when the location
+// attribute matches this node (or the table has none), otherwise serialized
+// and sent over the transport.
+func (n *Node) route(tuple Tuple, sign int) error {
+	ti := n.res.Tables[tuple.Pred]
+	if ti != nil && ti.LocCol >= 0 {
+		loc := tuple.Vals[ti.LocCol]
+		addr := locAddr(loc)
+		if addr != n.Addr {
+			if n.tr == nil {
+				return everrf(tuple.Pred, "tuple addressed to %q but node has no transport", addr)
+			}
+			payload, err := encodeDelta(tuple.Pred, tuple.Vals, sign)
+			if err != nil {
+				return err
+			}
+			n.stats.TuplesSent++
+			n.outbox = append(n.outbox, outMsg{to: addr, payload: payload})
+			return nil
+		}
+	}
+	n.enqueue(delta{tuple, sign, true})
+	return nil
+}
+
+// locAddr renders a location value as a transport address.
+func locAddr(v colog.Value) string {
+	if v.Kind == colog.KindString {
+		return v.S
+	}
+	return v.String()
+}
+
+// runPlan executes one compiled delta plan for a visible transition.
+func (n *Node) runPlan(p *plan, d delta) error {
+	env := map[string]colog.Value{}
+	if !matchAtom(p.trigger, d.tuple.Vals, env) {
+		return nil
+	}
+	return n.execSteps(p, 1, env, d)
+}
+
+func (n *Node) execSteps(p *plan, idx int, env map[string]colog.Value, d delta) error {
+	if idx == len(p.steps) {
+		return n.emitHead(p, env, d.sign)
+	}
+	step := p.steps[idx]
+	switch step.kind {
+	case stepJoin:
+		t := n.tables[step.atom.Pred]
+		if t == nil {
+			return everrf(step.atom.Pred, "unknown predicate in join")
+		}
+		var rows [][]colog.Value
+		if len(step.boundCols) > 0 {
+			key, ok := probeKey(step.atom, step.boundCols, env)
+			if !ok {
+				return everrf(ruleName(p.rule), "unbound probe key for %s", step.atom.Pred)
+			}
+			rows = t.lookup(step.boundCols, key)
+		} else {
+			rows = t.snapshotUnordered()
+		}
+		// Self-join deletion fix: a negative delta's tuple is already out of
+		// the store, but derivations pairing it with itself must still be
+		// retracted.
+		if d.sign < 0 && step.atom.Pred == d.tuple.Pred {
+			rows = append(rows[:len(rows):len(rows)], d.tuple.Vals)
+		}
+		for _, rowVals := range rows {
+			env2 := cloneEnv(env)
+			if !matchAtom(step.atom, rowVals, env2) {
+				continue
+			}
+			if err := n.execSteps(p, idx+1, env2, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case stepFilter:
+		v, err := evalGround(step.cond, env)
+		if err != nil {
+			return everrf(ruleName(p.rule), "condition %s: %v", step.cond, err)
+		}
+		if v.Kind != colog.KindBool {
+			return everrf(ruleName(p.rule), "condition %s evaluated to non-boolean %s", step.cond, v)
+		}
+		if !v.B {
+			return nil
+		}
+		return n.execSteps(p, idx+1, env, d)
+	case stepBind, stepAssign:
+		v, err := evalGround(step.expr, env)
+		if err != nil {
+			return everrf(ruleName(p.rule), "binding %s: %v", step.bindVar, err)
+		}
+		env[step.bindVar] = v
+		return n.execSteps(p, idx+1, env, d)
+	}
+	return everrf(ruleName(p.rule), "unknown plan step")
+}
+
+// emitHead projects the binding onto the rule head. Aggregate heads update
+// incremental aggregate state; plain heads route the tuple directly.
+func (n *Node) emitHead(p *plan, env map[string]colog.Value, sign int) error {
+	if len(p.headAggs) > 0 {
+		return n.updateAggregate(p, env, sign)
+	}
+	vals := make([]colog.Value, len(p.rule.Head.Args))
+	for i, arg := range p.rule.Head.Args {
+		v, err := evalGround(termOf(arg), env)
+		if err != nil {
+			return everrf(ruleName(p.rule), "head argument %d: %v", i, err)
+		}
+		vals[i] = v
+	}
+	return n.route(Tuple{p.rule.Head.Pred, vals}, sign)
+}
+
+func termOf(arg colog.Term) colog.Term { return arg }
+
+// probeKey builds the index probe key for a join atom's bound columns.
+func probeKey(a *colog.Atom, cols []int, env map[string]colog.Value) (string, bool) {
+	vals := make([]colog.Value, len(a.Args))
+	for _, c := range cols {
+		switch t := a.Args[c].(type) {
+		case *colog.ConstTerm:
+			vals[c] = t.Val
+		case *colog.VarTerm:
+			v, ok := env[t.Name]
+			if !ok {
+				return "", false
+			}
+			vals[c] = v
+		default:
+			return "", false
+		}
+	}
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(vals[c].Key())
+	}
+	return b.String(), true
+}
+
+// matchAtom unifies an atom pattern with ground values, extending env.
+func matchAtom(a *colog.Atom, vals []colog.Value, env map[string]colog.Value) bool {
+	if len(a.Args) != len(vals) {
+		return false
+	}
+	for i, arg := range a.Args {
+		switch t := arg.(type) {
+		case *colog.VarTerm:
+			if bound, ok := env[t.Name]; ok {
+				if !bound.Equal(vals[i]) {
+					return false
+				}
+			} else {
+				env[t.Name] = vals[i]
+			}
+		case *colog.ConstTerm:
+			if !t.Val.Equal(vals[i]) {
+				return false
+			}
+		default:
+			// Expression argument: must be fully bound, then compared.
+			if !termBound(arg, env) {
+				return false
+			}
+			v, err := evalGround(arg, env)
+			if err != nil || !v.Equal(vals[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func cloneEnv(env map[string]colog.Value) map[string]colog.Value {
+	out := make(map[string]colog.Value, len(env)+4)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// snapshotUnordered returns visible rows without sorting (hot path).
+func (t *table) snapshotUnordered() [][]colog.Value {
+	out := make([][]colog.Value, 0, len(t.rows))
+	for _, r := range t.rows {
+		out = append(out, r.vals)
+	}
+	return out
+}
+
+// Dump renders all tables for debugging.
+func (n *Node) Dump() string {
+	s := fmt.Sprintf("node %s:\n", n.Addr)
+	for _, name := range sortedTableNames(n.tables) {
+		t := n.tables[name]
+		if t.size() == 0 {
+			continue
+		}
+		for _, vals := range t.snapshot() {
+			s += "  " + Tuple{name, vals}.String() + "\n"
+		}
+	}
+	return s
+}
+
+func sortedTableNames(m map[string]*table) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -1,0 +1,448 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/colog"
+	"repro/internal/solver"
+	"repro/internal/transport"
+)
+
+// acloudMini is the paper's ACloud program (section 4.2) verbatim.
+const acloudMini = `
+goal minimize C in hostStdevCpu(C).
+var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+
+r1 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2).
+d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), C==V*Cpu.
+d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem), hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+c1 assignCount(Vid,V) -> V==1.
+d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), M==V*Mem.
+c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+`
+
+func setupACloud(t *testing.T) *Node {
+	t.Helper()
+	n := newTestNode(t, acloudMini, Config{SolverPropagate: true})
+	// Two hosts, three VMs. Host baseline CPU 0.
+	n.Insert("host", sval("h1"), ival(0), ival(0))
+	n.Insert("host", sval("h2"), ival(0), ival(0))
+	n.Insert("hostMemThres", sval("h1"), ival(4096))
+	n.Insert("hostMemThres", sval("h2"), ival(4096))
+	n.Insert("vm", sval("v1"), ival(30), ival(1024))
+	n.Insert("vm", sval("v2"), ival(20), ival(1024))
+	n.Insert("vm", sval("v3"), ival(10), ival(1024))
+	return n
+}
+
+func TestACloudSolveBalances(t *testing.T) {
+	n := setupACloud(t)
+	if rows(n, "toAssign") != 6 {
+		t.Fatalf("toAssign rows = %d, want 6", rows(n, "toAssign"))
+	}
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.StatusOptimal {
+		t.Fatalf("Status = %v, want optimal", res.Status)
+	}
+	// Perfect split: {30} vs {20,10} -> stddev 0.
+	if math.Abs(res.Objective) > 1e-9 {
+		t.Fatalf("Objective = %v, want 0", res.Objective)
+	}
+	if res.NumVars != 6 {
+		t.Fatalf("NumVars = %d, want 6", res.NumVars)
+	}
+	// Each VM on exactly one host.
+	perVM := map[string]int64{}
+	for _, a := range res.Assignments {
+		if a.Pred != "assign" {
+			t.Fatalf("unexpected assignment pred %s", a.Pred)
+		}
+		perVM[a.Vals[0].S] += a.Vals[2].I
+	}
+	for vm, cnt := range perVM {
+		if cnt != 1 {
+			t.Errorf("VM %s assigned %d times", vm, cnt)
+		}
+	}
+	// Materialization: assign rows and the goal tuple are in the database.
+	if rows(n, "assign") != 6 {
+		t.Fatalf("assign not materialized: %d rows", rows(n, "assign"))
+	}
+	goalRow := row1(n, "hostStdevCpu")
+	if goalRow == nil || math.Abs(goalRow[0].Num()) > 1e-9 {
+		t.Fatalf("goal not materialized: %v", n.Rows("hostStdevCpu"))
+	}
+}
+
+func TestACloudMemoryConstraint(t *testing.T) {
+	n := newTestNode(t, acloudMini, Config{SolverPropagate: true})
+	n.Insert("host", sval("h1"), ival(0), ival(0))
+	n.Insert("host", sval("h2"), ival(0), ival(0))
+	// h1 can hold only one 1024MB VM; h2 can hold many.
+	n.Insert("hostMemThres", sval("h1"), ival(1024))
+	n.Insert("hostMemThres", sval("h2"), ival(8192))
+	n.Insert("vm", sval("v1"), ival(10), ival(1024))
+	n.Insert("vm", sval("v2"), ival(10), ival(1024))
+	n.Insert("vm", sval("v3"), ival(10), ival(1024))
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("Status = %v", res.Status)
+	}
+	onH1 := int64(0)
+	for _, a := range res.Assignments {
+		if a.Vals[1].S == "h1" {
+			onH1 += a.Vals[2].I
+		}
+	}
+	if onH1 > 1 {
+		t.Fatalf("memory constraint violated: %d VMs on h1", onH1)
+	}
+}
+
+func TestACloudInfeasible(t *testing.T) {
+	n := newTestNode(t, acloudMini, Config{SolverPropagate: true})
+	n.Insert("host", sval("h1"), ival(0), ival(0))
+	n.Insert("hostMemThres", sval("h1"), ival(100)) // too small for any VM
+	n.Insert("vm", sval("v1"), ival(10), ival(1024))
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.StatusInfeasible {
+		t.Fatalf("Status = %v, want infeasible", res.Status)
+	}
+	if rows(n, "assign") != 0 {
+		t.Fatal("infeasible solve must not materialize")
+	}
+}
+
+func TestSolveResultFeasible(t *testing.T) {
+	r := &SolveResult{Status: solver.StatusFeasible}
+	if !(solver.Status(r.Status) == solver.StatusFeasible) {
+		t.Fatal("sanity")
+	}
+}
+
+func TestACloudMigrationLimit(t *testing.T) {
+	// The d5/d6/c3 extension limiting migrations (section 4.2).
+	src := acloudMini + `
+d5 migrate(Vid,Hid1,Hid2,C) <- assign(Vid,Hid1,V), origin(Vid,Hid2), Hid1!=Hid2, (V==1)==(C==1).
+d6 migrateCount(SUM<C>) <- migrate(Vid,Hid1,Hid2,C).
+c3 migrateCount(C) -> C<=max_migrates.
+`
+	cfg := Config{
+		Params:          map[string]colog.Value{"max_migrates": colog.IntVal(0)},
+		SolverPropagate: true,
+	}
+	n := newTestNode(t, src, cfg)
+	n.Insert("host", sval("h1"), ival(0), ival(0))
+	n.Insert("host", sval("h2"), ival(0), ival(0))
+	n.Insert("hostMemThres", sval("h1"), ival(8192))
+	n.Insert("hostMemThres", sval("h2"), ival(8192))
+	n.Insert("vm", sval("v1"), ival(30), ival(1024))
+	n.Insert("vm", sval("v2"), ival(20), ival(1024))
+	// Both currently on h1; zero migrations allowed -> must stay.
+	n.Insert("origin", sval("v1"), sval("h1"))
+	n.Insert("origin", sval("v2"), sval("h1"))
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("Status = %v", res.Status)
+	}
+	for _, a := range res.Assignments {
+		vm, host, v := a.Vals[0].S, a.Vals[1].S, a.Vals[2].I
+		if v == 1 && host != "h1" {
+			t.Fatalf("VM %s migrated to %s despite max_migrates=0", vm, host)
+		}
+	}
+}
+
+func TestSolveWarmStartHint(t *testing.T) {
+	n := setupACloud(t)
+	// Hint everything onto h1 and give the solver no time to improve: the
+	// first incumbent must reflect the hint.
+	res, err := n.Solve(SolveOptions{
+		Hint: func(pred string, vals []colog.Value) (int64, bool) {
+			if vals[1].S == "h1" {
+				return 1, true
+			}
+			return 0, true
+		},
+		FirstSolution: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("Status = %v", res.Status)
+	}
+	for _, a := range res.Assignments {
+		want := int64(0)
+		if a.Vals[1].S == "h1" {
+			want = 1
+		}
+		if a.Vals[2].I != want {
+			t.Fatalf("hint not honored: %v", a)
+		}
+	}
+}
+
+func TestSolveEmptyForallTable(t *testing.T) {
+	n := newTestNode(t, acloudMini, Config{})
+	// No vms/hosts at all.
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.StatusOptimal || res.NumVars != 0 {
+		t.Fatalf("empty solve = %+v", res)
+	}
+}
+
+func TestRepeatedSolveReplacesMaterialization(t *testing.T) {
+	n := setupACloud(t)
+	if _, err := n.Solve(SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	first := rows(n, "assign")
+	// Remove one VM and re-solve; stale rows must disappear.
+	n.Delete("vm", sval("v3"), ival(10), ival(1024))
+	if _, err := n.Solve(SolveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	second := rows(n, "assign")
+	if first != 6 || second != 4 {
+		t.Fatalf("materialization rows: first=%d second=%d, want 6 then 4", first, second)
+	}
+}
+
+func TestInvokeSolverEvent(t *testing.T) {
+	n := setupACloud(t)
+	called := false
+	n.OnInvokeSolver = func(node *Node) {
+		called = true
+		if _, err := node.solveLocked(SolveOptions{}); err != nil {
+			t.Errorf("solve from event: %v", err)
+		}
+	}
+	n.Insert(InvokeSolverPred)
+	if !called {
+		t.Fatal("invokeSolver event did not fire")
+	}
+	if rows(n, "assign") != 6 {
+		t.Fatal("solve from event did not materialize")
+	}
+}
+
+func TestInvokeSolverDefaultHook(t *testing.T) {
+	n := setupACloud(t)
+	n.Insert(InvokeSolverPred)
+	if n.LastSolveResult == nil || !n.LastSolveResult.Feasible() {
+		t.Fatalf("default invokeSolver hook: %+v, err=%v", n.LastSolveResult, n.LastError)
+	}
+}
+
+// wirelessMini is the appendix A.2 centralized channel selection program.
+const wirelessMini = `
+goal minimize C in totalCost(C).
+var assign(X,Y,C) forall link(X,Y) domain availChannel.
+
+d1 cost(X,Y,Z,C) <- assign(X,Y,C1), assign(X,Z,C2),
+   Y!=Z, (C==1)==(|C1-C2|<F_mindiff).
+d2 totalCost(SUM<C>) <- cost(X,Y,Z,C).
+c1 assign(X,Y,C) -> primaryUser(X,C2), C!=C2.
+c2 assign(X,Y,C) -> assign(Y,X,C).
+d3 uniqueChannel(X,UNIQUE<C>) <- assign(X,Y,C).
+c3 uniqueChannel(X,Count) -> numInterface(X,K), Count<=K.
+`
+
+func setupWireless(t *testing.T) *Node {
+	t.Helper()
+	cfg := Config{
+		Params:          map[string]colog.Value{"F_mindiff": colog.IntVal(5)},
+		SolverPropagate: false,
+	}
+	n := newTestNode(t, wirelessMini, cfg)
+	for _, c := range []int64{1, 6, 11} {
+		n.Insert("availChannel", ival(c))
+	}
+	// Triangle-free line topology a-b-c with symmetric links.
+	for _, l := range [][2]string{{"a", "b"}, {"b", "a"}, {"b", "c"}, {"c", "b"}} {
+		n.Insert("link", sval(l[0]), sval(l[1]))
+	}
+	for _, x := range []string{"a", "b", "c"} {
+		n.Insert("numInterface", sval(x), ival(2))
+	}
+	return n
+}
+
+func TestWirelessChannelSelection(t *testing.T) {
+	n := setupWireless(t)
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.StatusOptimal {
+		t.Fatalf("Status = %v", res.Status)
+	}
+	// The two adjacent links at b can take channels 1 and 6 (or 6 and 11):
+	// zero interference cost is achievable.
+	if res.Objective != 0 {
+		t.Fatalf("Objective = %v, want 0", res.Objective)
+	}
+	// Channel symmetry: assign(a,b,C) == assign(b,a,C).
+	ch := map[string]int64{}
+	for _, a := range res.Assignments {
+		ch[a.Vals[0].S+">"+a.Vals[1].S] = a.Vals[2].I
+	}
+	if ch["a>b"] != ch["b>a"] || ch["b>c"] != ch["c>b"] {
+		t.Fatalf("channel symmetry violated: %v", ch)
+	}
+	// Adjacent links at b use non-interfering channels.
+	if d := ch["b>a"] - ch["b>c"]; d < 5 && d > -5 {
+		t.Fatalf("interfering channels at b: %v", ch)
+	}
+}
+
+func TestWirelessPrimaryUserConstraint(t *testing.T) {
+	n := setupWireless(t)
+	// Channel 6 is occupied by a primary user at every node; with F_mindiff=5
+	// the only non-interfering pair {1,11} remains.
+	for _, x := range []string{"a", "b", "c"} {
+		n.Insert("primaryUser", sval(x), ival(6))
+	}
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("Status = %v", res.Status)
+	}
+	for _, a := range res.Assignments {
+		if a.Vals[2].I == 6 {
+			t.Fatalf("primary-user channel used: %v", a)
+		}
+	}
+	if res.Objective != 0 {
+		t.Fatalf("Objective = %v, want 0 (channels 1 and 11 available)", res.Objective)
+	}
+}
+
+func TestWirelessInterfaceConstraint(t *testing.T) {
+	n := setupWireless(t)
+	// Give node b a single interface: both its links must share a channel,
+	// which forces interference cost 2 (both directions at b).
+	n.Delete("numInterface", sval("b"), ival(2))
+	n.Insert("numInterface", sval("b"), ival(1))
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("Status = %v", res.Status)
+	}
+	ch := map[string]int64{}
+	for _, a := range res.Assignments {
+		ch[a.Vals[0].S+">"+a.Vals[1].S] = a.Vals[2].I
+	}
+	if ch["b>a"] != ch["b>c"] {
+		t.Fatalf("interface constraint violated at b: %v", ch)
+	}
+	if res.Objective == 0 {
+		t.Fatal("expected positive interference cost with one interface")
+	}
+}
+
+// followSunLocal exercises the distributed Follow-the-Sun program on two
+// nodes connected by a loopback transport, including solver-output
+// materialization as events and the r2/r3 post-solve updates.
+const followSunTwoNode = `
+goal minimize C in aggCost(@X,C).
+var migVm(@X,Y,D,R) forall toMigVm(@X,Y,D) domain [-10,10].
+
+r1 toMigVm(@X,Y,D) <- setLink(@X,Y), dc(@X,D).
+d1 nextVm(@X,D,R) <- curVm(@X,D,R1), migVm(@X,Y,D,R2), R==R1-R2.
+d2 nborNextVm(@X,Y,D,R) <- link(@Y,X), curVm(@Y,D,R1), migVm(@X,Y,D,R2), R==R1+R2.
+d3 aggCommCost(@X,SUM<Cost>) <- nextVm(@X,D,R), commCost(@X,D,C), Cost==R*C.
+d5 nborAggCommCost(@X,SUM<Cost>) <- link(@Y,X), commCost(@Y,D,C), nborNextVm(@X,Y,D,R), Cost==R*C.
+d7 aggMigCost(@X,SUMABS<Cost>) <- migVm(@X,Y,D,R), migCost(@X,Y,C), Cost==R*C.
+d8 aggCost(@X,C) <- aggCommCost(@X,C1), nborAggCommCost(@X,C2), aggMigCost(@X,C3), C==C1+C2+C3.
+d9 aggNextVm(@X,SUM<R>) <- nextVm(@X,D,R).
+c1 aggNextVm(@X,R1) -> resource(@X,R2), R1<=R2.
+d10 aggNborNextVm(@X,Y,SUM<R>) <- nborNextVm(@X,Y,D,R).
+c2 aggNborNextVm(@X,Y,R1) -> link(@Y,X), resource(@Y,R2), R1<=R2.
+r2 migVm(@Y,X,D,R2) <- setLink(@X,Y), migVm(@X,Y,D,R1), R2:=-R1.
+r3 curVm(@X,D,R) <- curVm(@X,D,R1), migVm(@X,Y,D,R2), R:=R1-R2.
+`
+
+func TestFollowTheSunTwoNodes(t *testing.T) {
+	res := mustAnalyze(t, followSunTwoNode, nil)
+	tr := transport.NewLoopback()
+	cfg := Config{
+		Keys:            map[string][]int{"curVm": {0, 1}},
+		Events:          []string{"migVm"},
+		SolverPropagate: true,
+	}
+	nx, err := NewNode("x", res, cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ny, err := NewNode("y", res, cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Topology: one demand location "d", x currently hosts 4 VMs, y none.
+	// Serving d from y is free, from x costs 10/VM; migration costs 1/VM.
+	// Optimum: migrate all 4 VMs x->y... but resource caps y at 3.
+	for _, n := range []*Node{nx, ny} {
+		addr := n.Addr
+		other := "y"
+		if addr == "y" {
+			other = "x"
+		}
+		n.Insert("link", sval(addr), sval(other))
+		n.Insert("dc", sval(addr), sval("d"))
+	}
+	nx.Insert("curVm", sval("x"), sval("d"), ival(4))
+	ny.Insert("curVm", sval("y"), sval("d"), ival(0))
+	nx.Insert("commCost", sval("x"), sval("d"), ival(10))
+	ny.Insert("commCost", sval("y"), sval("d"), ival(0))
+	nx.Insert("migCost", sval("x"), sval("y"), ival(1))
+	nx.Insert("resource", sval("x"), ival(10))
+	ny.Insert("resource", sval("y"), ival(3))
+
+	// x initiates negotiation over the (x,y) link.
+	nx.Insert("setLink", sval("x"), sval("y"))
+	sres, err := nx.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Status != solver.StatusOptimal {
+		t.Fatalf("Status = %v", sres.Status)
+	}
+	// Expect migVm(x,y,d,3): cap at y's resource limit.
+	if len(sres.Assignments) != 1 {
+		t.Fatalf("assignments = %v", sres.Assignments)
+	}
+	mig := sres.Assignments[0].Vals[3].I
+	if mig != 3 {
+		t.Fatalf("migrated %d VMs, want 3 (y's capacity)", mig)
+	}
+	// r3 updated x's allocation; r2+r3 updated y's through the network.
+	if !nx.Contains("curVm", sval("x"), sval("d"), ival(1)) {
+		t.Fatalf("x curVm not updated:\n%s", nx.Dump())
+	}
+	if !ny.Contains("curVm", sval("y"), sval("d"), ival(3)) {
+		t.Fatalf("y curVm not updated:\n%s", ny.Dump())
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/colog"
+)
+
+// table stores the visible rows of one predicate at one node, with
+// derivation counts for incremental view maintenance. Tables follow
+// declarative networking semantics:
+//
+//   - Materialized tables have an optional primary key (a subset of
+//     columns). Inserting a row whose key exists with different values
+//     replaces the old row, propagating a deletion delta first — this is
+//     how Follow-the-Sun rule r3 updates curVm in place.
+//   - Event tables (e.g. the solver's materialized migVm output) are never
+//     stored: their deltas stream through the rules exactly once.
+type table struct {
+	name    string
+	arity   int
+	keyCols []int // nil = whole row is the key (set semantics)
+	event   bool
+	rows    map[string]*row // key -> row
+	indexes map[string]*tableIndex
+}
+
+type row struct {
+	vals  []colog.Value
+	count int
+	// base counts the contributions that did not come from local rule
+	// derivations (external inserts, network deliveries, solver
+	// materializations); the recursive-group recompute rebuilds derived
+	// tuples from exactly these rows.
+	base int
+}
+
+func newTable(name string, arity int, keyCols []int, event bool) *table {
+	return &table{name: name, arity: arity, keyCols: keyCols, event: event, rows: map[string]*row{}}
+}
+
+// delta is a pending tuple change with a sign (+1 insert, -1 delete).
+// derived marks deltas produced by local rule evaluation (as opposed to
+// external inserts, network deliveries, and solver materializations).
+type delta struct {
+	tuple   Tuple
+	sign    int
+	derived bool
+}
+
+// apply merges a signed tuple into the table and returns the visible-row
+// transitions to propagate: an insertion becomes visible only on a 0->1
+// count transition, a deletion only on 1->0, and a keyed replacement yields
+// a deletion of the old row followed by the insertion of the new one.
+func (t *table) apply(vals []colog.Value, sign int, derived bool) []delta {
+	if t.event {
+		if sign > 0 {
+			return []delta{{Tuple{t.name, vals}, +1, derived}}
+		}
+		return nil
+	}
+	baseInc := 1
+	if derived {
+		baseInc = 0
+	}
+	var out []delta
+	k := keyOf(vals, t.keyCols)
+	existing := t.rows[k]
+	if sign > 0 {
+		if existing != nil {
+			if valsKey(existing.vals) == valsKey(vals) {
+				existing.count++
+				existing.base += baseInc
+				return nil
+			}
+			// Keyed replacement: retract the old row first.
+			out = append(out, delta{Tuple{t.name, existing.vals}, -1, derived})
+			t.indexRemove(existing.vals)
+			delete(t.rows, k)
+		}
+		stored := append([]colog.Value(nil), vals...)
+		t.rows[k] = &row{vals: stored, count: 1, base: baseInc}
+		t.indexInsert(stored)
+		out = append(out, delta{Tuple{t.name, vals}, +1, derived})
+		return out
+	}
+	// Deletion.
+	if existing == nil || valsKey(existing.vals) != valsKey(vals) {
+		return nil // deleting a non-existent row is a no-op
+	}
+	existing.count--
+	if existing.base > 0 && baseInc > 0 {
+		existing.base--
+	}
+	if existing.count <= 0 {
+		delete(t.rows, k)
+		t.indexRemove(existing.vals)
+		out = append(out, delta{Tuple{t.name, existing.vals}, -1, derived})
+	}
+	return out
+}
+
+// contains reports whether the exact row is visible.
+func (t *table) contains(vals []colog.Value) bool {
+	r, ok := t.rows[keyOf(vals, t.keyCols)]
+	return ok && valsKey(r.vals) == valsKey(vals)
+}
+
+// snapshot returns the visible rows sorted deterministically.
+func (t *table) snapshot() [][]colog.Value {
+	out := make([][]colog.Value, 0, len(t.rows))
+	for _, r := range t.rows {
+		out = append(out, r.vals)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return valsKey(out[i]) < valsKey(out[j])
+	})
+	return out
+}
+
+// size returns the number of visible rows.
+func (t *table) size() int { return len(t.rows) }
+
+// clear removes all rows without emitting deltas (used only for test setup
+// and solver-output replacement where deltas are produced explicitly).
+func (t *table) clear() {
+	t.rows = map[string]*row{}
+	t.dropIndexes()
+}

@@ -1,0 +1,96 @@
+// Package core implements the Cologne engine: per-node Colog program
+// execution combining a bottom-up incremental Datalog evaluator (the
+// RapidNet role — pipelined semi-naive evaluation with counted incremental
+// view maintenance) with top-down goal-oriented constraint solving (the
+// Gecode role, provided by internal/solver). It is the paper's primary
+// contribution: Colog solver rules are grounded into constraint-solver
+// primitives at each node, and distributed rules exchange tuples through a
+// transport.
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+
+	"repro/internal/colog"
+)
+
+// Tuple is a ground fact: a predicate name plus constant values.
+type Tuple struct {
+	Pred string
+	Vals []colog.Value
+}
+
+// NewTuple builds a tuple.
+func NewTuple(pred string, vals ...colog.Value) Tuple {
+	return Tuple{Pred: pred, Vals: vals}
+}
+
+// Key returns a canonical map key for the tuple's full value list.
+func (t Tuple) Key() string { return valsKey(t.Vals) }
+
+func valsKey(vals []colog.Value) string {
+	var b strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+func keyOf(vals []colog.Value, cols []int) string {
+	if cols == nil {
+		return valsKey(vals)
+	}
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(vals[c].Key())
+	}
+	return b.String()
+}
+
+// String renders the tuple as Colog source.
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Vals))
+	for i, v := range t.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s(%s)", t.Pred, strings.Join(parts, ","))
+}
+
+// Clone deep-copies the tuple.
+func (t Tuple) Clone() Tuple {
+	return Tuple{Pred: t.Pred, Vals: append([]colog.Value(nil), t.Vals...)}
+}
+
+// wireDelta is the network representation of a tuple delta.
+type wireDelta struct {
+	Pred string
+	Vals []colog.Value
+	Sign int
+}
+
+// encodeDelta serializes a tuple delta for the transport.
+func encodeDelta(pred string, vals []colog.Value, sign int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireDelta{Pred: pred, Vals: vals, Sign: sign}); err != nil {
+		return nil, fmt.Errorf("core: encoding %s delta: %w", pred, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeDelta deserializes a tuple delta from the transport.
+func decodeDelta(payload []byte) (wireDelta, error) {
+	var wd wireDelta
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wd); err != nil {
+		return wireDelta{}, fmt.Errorf("core: decoding delta: %w", err)
+	}
+	return wd, nil
+}

@@ -1,0 +1,123 @@
+// Package dctrace synthesizes a data-center utilization trace with the
+// shape of the one the paper obtained from a large US hosting company: up to
+// 248 customers on 1,740 statically allocated physical processors, CPU and
+// memory sampled every 300 seconds over a month. The real trace is
+// proprietary; this generator reproduces its load dynamics — diurnal cycles
+// with per-customer phase, bursts, and noise — which are what drive the
+// ACloud workload generator's spawn/stop/start decisions (section 6.2).
+package dctrace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// SampleInterval is the trace's sampling period (300 s in the paper).
+const SampleInterval = 300 * time.Second
+
+// Params configure trace synthesis.
+type Params struct {
+	Customers int   // number of customers (paper: 248)
+	TotalPPs  int   // physical processors shared by the customers (paper: 1740)
+	Seed      int64 // deterministic generation
+}
+
+// DefaultParams returns the paper's trace dimensions.
+func DefaultParams() Params {
+	return Params{Customers: 248, TotalPPs: 1740, Seed: 1}
+}
+
+// Trace generates per-customer CPU demand lazily; it is cheap to keep a
+// month of virtual trace without materializing it.
+type Trace struct {
+	p         Params
+	ppsOf     []int
+	base      []float64 // baseline utilization fraction
+	amp       []float64 // diurnal amplitude
+	phase     []float64 // diurnal phase offset (radians)
+	burstFreq []float64 // expected bursts/day
+	noise     []float64 // noise amplitude
+	memMB     []int64   // per-VM memory footprint
+}
+
+// New builds a deterministic trace generator.
+func New(p Params) *Trace {
+	if p.Customers <= 0 {
+		p.Customers = 1
+	}
+	if p.TotalPPs < p.Customers {
+		p.TotalPPs = p.Customers
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	t := &Trace{
+		p:         p,
+		ppsOf:     make([]int, p.Customers),
+		base:      make([]float64, p.Customers),
+		amp:       make([]float64, p.Customers),
+		phase:     make([]float64, p.Customers),
+		burstFreq: make([]float64, p.Customers),
+		noise:     make([]float64, p.Customers),
+		memMB:     make([]int64, p.Customers),
+	}
+	// Skewed PP allocation: a few large customers, many small ones.
+	remaining := p.TotalPPs - p.Customers
+	for i := range t.ppsOf {
+		t.ppsOf[i] = 1
+	}
+	for remaining > 0 {
+		i := int(math.Floor(math.Pow(rng.Float64(), 2.5) * float64(p.Customers)))
+		if i >= p.Customers {
+			i = p.Customers - 1
+		}
+		t.ppsOf[i]++
+		remaining--
+	}
+	for i := 0; i < p.Customers; i++ {
+		t.base[i] = 0.15 + 0.45*rng.Float64()
+		t.amp[i] = 0.10 + 0.35*rng.Float64()
+		t.phase[i] = 2 * math.Pi * rng.Float64()
+		t.burstFreq[i] = 0.5 + 2.5*rng.Float64()
+		t.noise[i] = 0.02 + 0.08*rng.Float64()
+		t.memMB[i] = 256 * (1 + int64(rng.Intn(4)))
+	}
+	return t
+}
+
+// Customers returns the number of customers in the trace.
+func (t *Trace) Customers() int { return t.p.Customers }
+
+// PPs returns the number of physical processors allocated to customer c.
+func (t *Trace) PPs(c int) int { return t.ppsOf[c%t.p.Customers] }
+
+// MemMB returns the per-VM memory footprint of customer c's application.
+func (t *Trace) MemMB(c int) int64 { return t.memMB[c%t.p.Customers] }
+
+// CPUPercent returns customer c's average per-PP CPU utilization (0-100) at
+// the given sample index. The series is deterministic in (seed, c, sample).
+func (t *Trace) CPUPercent(c int, sample int) float64 {
+	c = c % t.p.Customers
+	dayFrac := float64(sample) * SampleInterval.Seconds() / 86400.0
+	diurnal := t.base[c] + t.amp[c]*math.Sin(2*math.Pi*dayFrac+t.phase[c])
+	// Deterministic per-(customer,sample) noise and bursts, independent of
+	// query order.
+	h := rand.New(rand.NewSource(t.p.Seed ^ int64(c)*1000003 ^ int64(sample)*10007))
+	u := diurnal + t.noise[c]*(2*h.Float64()-1)
+	// Bursts: short saturation episodes.
+	burstWindow := int(86400 / SampleInterval.Seconds() / t.burstFreq[c])
+	if burstWindow > 0 && h.Intn(burstWindow) == 0 {
+		u += 0.3 + 0.4*h.Float64()
+	}
+	if u < 0.01 {
+		u = 0.01
+	}
+	if u > 1 {
+		u = 1
+	}
+	return 100 * u
+}
+
+// SamplesFor returns the number of samples covering the duration.
+func SamplesFor(d time.Duration) int {
+	return int(d / SampleInterval)
+}

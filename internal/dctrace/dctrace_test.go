@@ -1,0 +1,110 @@
+package dctrace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultDimensions(t *testing.T) {
+	tr := New(DefaultParams())
+	if tr.Customers() != 248 {
+		t.Fatalf("Customers = %d", tr.Customers())
+	}
+	total := 0
+	for c := 0; c < tr.Customers(); c++ {
+		if tr.PPs(c) < 1 {
+			t.Fatalf("customer %d has no PPs", c)
+		}
+		total += tr.PPs(c)
+	}
+	if total != 1740 {
+		t.Fatalf("total PPs = %d, want 1740", total)
+	}
+}
+
+func TestCPUBounds(t *testing.T) {
+	tr := New(DefaultParams())
+	samples := SamplesFor(24 * time.Hour)
+	for c := 0; c < 20; c++ {
+		for s := 0; s < samples; s++ {
+			u := tr.CPUPercent(c, s)
+			if u < 0 || u > 100 {
+				t.Fatalf("CPU out of range: customer %d sample %d = %v", c, s, u)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := New(DefaultParams())
+	b := New(DefaultParams())
+	for c := 0; c < 10; c++ {
+		for s := 0; s < 50; s++ {
+			if a.CPUPercent(c, s) != b.CPUPercent(c, s) {
+				t.Fatalf("trace not deterministic at (%d,%d)", c, s)
+			}
+		}
+	}
+	// Query order independence.
+	x := a.CPUPercent(5, 100)
+	a.CPUPercent(7, 3)
+	if a.CPUPercent(5, 100) != x {
+		t.Fatal("trace depends on query order")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	p := DefaultParams()
+	a := New(p)
+	p.Seed = 99
+	b := New(p)
+	same := 0
+	for s := 0; s < 100; s++ {
+		if a.CPUPercent(0, s) == b.CPUPercent(0, s) {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("different seeds produce near-identical traces (%d/100 equal)", same)
+	}
+}
+
+func TestDiurnalVariation(t *testing.T) {
+	// Over a day the demand must actually move (the workload generator's
+	// spawn/stop logic depends on it).
+	tr := New(DefaultParams())
+	day := SamplesFor(24 * time.Hour)
+	for c := 0; c < 5; c++ {
+		lo, hi := 101.0, -1.0
+		for s := 0; s < day; s++ {
+			u := tr.CPUPercent(c, s)
+			if u < lo {
+				lo = u
+			}
+			if u > hi {
+				hi = u
+			}
+		}
+		if hi-lo < 10 {
+			t.Errorf("customer %d demand range only %.1f%%", c, hi-lo)
+		}
+	}
+}
+
+func TestMemFootprint(t *testing.T) {
+	tr := New(DefaultParams())
+	for c := 0; c < tr.Customers(); c++ {
+		m := tr.MemMB(c)
+		if m < 256 || m > 1024 || m%256 != 0 {
+			t.Fatalf("MemMB(%d) = %d", c, m)
+		}
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	tr := New(Params{Customers: 0, TotalPPs: 0, Seed: 1})
+	if tr.Customers() != 1 {
+		t.Fatalf("degenerate customers = %d", tr.Customers())
+	}
+	_ = tr.CPUPercent(0, 0)
+}

@@ -1,0 +1,357 @@
+// Package followsun implements the paper's Follow-the-Sun use case
+// (sections 3.1.2, 4.3, 6.3): geographically distributed data centers
+// iteratively negotiate VM migrations over their links, each negotiation
+// solving a local COP on one Cologne instance and exchanging results with
+// the neighbor. The harness reproduces Figure 4 (normalized total cost as
+// distributed solving converges, 2-10 data centers) and Figure 5 (per-node
+// communication overhead).
+package followsun
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/colog"
+	"repro/internal/core"
+	"repro/internal/programs"
+	"repro/internal/sim"
+	"repro/internal/solver"
+	"repro/internal/transport"
+)
+
+// Params configure one experiment run (defaults follow section 6.3).
+type Params struct {
+	NumDCs      int   // data centers (paper sweeps 2-10)
+	Degree      int   // average network degree (paper: 3)
+	Capacity    int64 // resource capacity per DC (paper: 60)
+	DemandMax   int64 // initial allocation per demand location (paper: 0-10)
+	CommCostMin int64 // communication cost range (paper: 50-100)
+	CommCostMax int64
+	MigCostMin  int64 // migration cost range (paper: 10-20)
+	MigCostMax  int64
+	OpCost      int64 // operating cost (paper: 10)
+
+	NegotiationInterval time.Duration // timer between rounds (paper: 5 s)
+	LinkLatency         time.Duration // simulated one-way latency
+
+	MaxMigrates    int64 // per-link migration cap (policy d11/c3); 0 = uncapped
+	SolverMaxNodes int64
+	SolverMaxTime  time.Duration
+
+	Seed int64
+}
+
+// DefaultParams returns the section 6.3 configuration for n data centers.
+func DefaultParams(n int) Params {
+	return Params{
+		NumDCs: n, Degree: 3, Capacity: 60, DemandMax: 10,
+		CommCostMin: 50, CommCostMax: 100,
+		MigCostMin: 10, MigCostMax: 20, OpCost: 10,
+		NegotiationInterval: 5 * time.Second,
+		LinkLatency:         2 * time.Millisecond,
+		SolverMaxNodes:      30000,
+		Seed:                1,
+	}
+}
+
+// CostPoint is one sample of the Figure 4 series.
+type CostPoint struct {
+	T    time.Duration // virtual time
+	Cost float64       // normalized total cost, percent of initial
+}
+
+// Result reports the outcome of one run.
+type Result struct {
+	Points          []CostPoint
+	InitialCost     float64
+	FinalCost       float64
+	ReductionPct    float64
+	ConvergenceTime time.Duration
+	Rounds          int
+	TotalMigrations int64 // total |VM| moved (for the c3 policy comparison)
+	PerNodeKBps     float64
+	PerLinkSolves   int
+	MeanSolveTime   time.Duration
+}
+
+type runner struct {
+	p      Params
+	rng    *rand.Rand
+	sched  *sim.Scheduler
+	tr     *transport.Sim
+	nodes  map[string]*core.Node
+	names  []string
+	links  [][2]string // undirected, stored with larger name first (initiator)
+	comm   map[string]map[string]int64
+	mig    map[string]int64 // "x|y" -> cost
+	migSum int64            // accumulated migration cost
+	moved  int64
+	solves int
+	stime  time.Duration
+}
+
+// Run executes the distributed Follow-the-Sun negotiation to completion.
+func Run(p Params) (*Result, error) {
+	r := &runner{
+		p:     p,
+		rng:   rand.New(rand.NewSource(p.Seed)),
+		sched: sim.NewScheduler(),
+		nodes: map[string]*core.Node{},
+		comm:  map[string]map[string]int64{},
+		mig:   map[string]int64{},
+	}
+	r.tr = transport.NewSim(r.sched, p.LinkLatency)
+	if err := r.setup(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	res.InitialCost = r.totalCost()
+	res.Points = append(res.Points, CostPoint{0, 100})
+
+	pending := append([][2]string(nil), r.links...)
+	round := 0
+	for len(pending) > 0 {
+		round++
+		// Advance virtual time by one negotiation interval and let the
+		// network drain.
+		r.sched.Run(r.sched.Now() + p.NegotiationInterval)
+
+		// Each node initiates at most one negotiation per round; a node
+		// already involved in a negotiation this round is skipped.
+		busy := map[string]bool{}
+		var left [][2]string
+		for _, lk := range pending {
+			x, y := lk[0], lk[1]
+			if busy[x] || busy[y] {
+				left = append(left, lk)
+				continue
+			}
+			busy[x], busy[y] = true, true
+			if err := r.negotiate(x, y); err != nil {
+				return nil, err
+			}
+		}
+		pending = left
+		r.sched.Run(r.sched.Now() + 500*time.Millisecond) // settle
+		res.Points = append(res.Points, CostPoint{
+			T:    r.sched.Now(),
+			Cost: 100 * r.totalCost() / res.InitialCost,
+		})
+		if round > 10*len(r.links)+10 {
+			return nil, fmt.Errorf("followsun: negotiation did not converge after %d rounds", round)
+		}
+	}
+
+	res.Rounds = round
+	res.FinalCost = 100 * r.totalCost() / res.InitialCost
+	res.ReductionPct = 100 - res.FinalCost
+	res.ConvergenceTime = r.sched.Now()
+	res.TotalMigrations = r.moved
+	res.PerLinkSolves = r.solves
+	if r.solves > 0 {
+		res.MeanSolveTime = r.stime / time.Duration(r.solves)
+	}
+	secs := r.sched.Now().Seconds()
+	if secs > 0 {
+		total := 0.0
+		for _, name := range r.names {
+			total += float64(r.tr.NodeStats(name).BytesSent)
+		}
+		res.PerNodeKBps = total / secs / float64(len(r.names)) / 1024
+	}
+	return res, nil
+}
+
+// setup builds the topology, the cost matrices, and one Cologne instance
+// per data center.
+func (r *runner) setup() error {
+	p := r.p
+	for i := 0; i < p.NumDCs; i++ {
+		r.names = append(r.names, fmt.Sprintf("dc%02d", i))
+	}
+	// Connected random topology with average degree ~p.Degree: a ring plus
+	// random chords.
+	adj := map[string]map[string]bool{}
+	addLink := func(a, b string) {
+		if a == b || adj[a][b] {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = map[string]bool{}
+		}
+		if adj[b] == nil {
+			adj[b] = map[string]bool{}
+		}
+		adj[a][b], adj[b][a] = true, true
+		hi, lo := a, b
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		r.links = append(r.links, [2]string{hi, lo})
+	}
+	n := len(r.names)
+	for i := 0; i < n && n > 1; i++ {
+		addLink(r.names[i], r.names[(i+1)%n])
+	}
+	wantLinks := p.Degree * n / 2
+	if max := n * (n - 1) / 2; wantLinks > max {
+		wantLinks = max
+	}
+	for attempts := 0; len(r.links) < wantLinks && attempts < 100*n*n; attempts++ {
+		a, b := r.names[r.rng.Intn(n)], r.names[r.rng.Intn(n)]
+		if a != b && !adj[a][b] {
+			addLink(a, b)
+		}
+	}
+	sort.Slice(r.links, func(i, j int) bool {
+		if r.links[i][0] != r.links[j][0] {
+			return r.links[i][0] < r.links[j][0]
+		}
+		return r.links[i][1] < r.links[j][1]
+	})
+
+	entry := programs.FollowSunDistributed(r.capOrHuge())
+	ares := entry.Analyze()
+	for _, name := range r.names {
+		cfg := entry.Config
+		cfg.SolverMaxNodes = r.p.SolverMaxNodes
+		cfg.SolverMaxTime = r.p.SolverMaxTime
+		cfg.SolverPropagate = true
+		node, err := core.NewNode(name, ares, cfg, r.tr)
+		if err != nil {
+			return err
+		}
+		r.nodes[name] = node
+	}
+	// Facts.
+	for _, x := range r.names {
+		node := r.nodes[x]
+		r.comm[x] = map[string]int64{}
+		for v := -p.DemandMax; v <= p.DemandMax; v++ {
+			if err := node.Insert("migRange", colog.IntVal(v)); err != nil {
+				return err
+			}
+		}
+		if err := node.Insert("opCost", colog.StringVal(x), colog.IntVal(p.OpCost)); err != nil {
+			return err
+		}
+		if err := node.Insert("resource", colog.StringVal(x), colog.IntVal(p.Capacity)); err != nil {
+			return err
+		}
+		for _, d := range r.names {
+			cc := int64(0)
+			if d != x {
+				cc = p.CommCostMin + r.rng.Int63n(p.CommCostMax-p.CommCostMin+1)
+			}
+			r.comm[x][d] = cc
+			if err := node.Insert("commCost", colog.StringVal(x), colog.StringVal(d), colog.IntVal(cc)); err != nil {
+				return err
+			}
+			if err := node.Insert("dc", colog.StringVal(x), colog.StringVal(d)); err != nil {
+				return err
+			}
+			alloc := r.rng.Int63n(p.DemandMax + 1)
+			if err := node.Insert("curVm", colog.StringVal(x), colog.StringVal(d), colog.IntVal(alloc)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, lk := range r.links {
+		x, y := lk[0], lk[1]
+		mc := p.MigCostMin + r.rng.Int63n(p.MigCostMax-p.MigCostMin+1)
+		r.mig[x+"|"+y], r.mig[y+"|"+x] = mc, mc
+		for _, pair := range [][2]string{{x, y}, {y, x}} {
+			node := r.nodes[pair[0]]
+			if err := node.Insert("link", colog.StringVal(pair[0]), colog.StringVal(pair[1])); err != nil {
+				return err
+			}
+			if err := node.Insert("migCost", colog.StringVal(pair[0]), colog.StringVal(pair[1]), colog.IntVal(mc)); err != nil {
+				return err
+			}
+		}
+	}
+	// Let the shipping rules replicate initial state.
+	r.sched.Run(r.sched.Now() + time.Second)
+	return nil
+}
+
+func (r *runner) capOrHuge() int64 {
+	if r.p.MaxMigrates > 0 {
+		return r.p.MaxMigrates
+	}
+	return 1 << 30
+}
+
+// negotiate runs one per-link COP at the initiator (the larger address, per
+// the paper's protocol footnote).
+func (r *runner) negotiate(x, y string) error {
+	node := r.nodes[x]
+	if err := node.Insert("setLink", colog.StringVal(x), colog.StringVal(y)); err != nil {
+		return err
+	}
+	start := time.Now()
+	sres, err := node.Solve(core.SolveOptions{
+		// Warm start at "no migration" and explore small moves first: the
+		// branching heuristic Gecode users would pick for this model.
+		Hint: func(pred string, vals []colog.Value) (int64, bool) { return 0, true },
+		ValueOrder: func(v *solver.Var, vals []int64) []int64 {
+			out := append([]int64(nil), vals...)
+			sort.Slice(out, func(i, j int) bool {
+				ai, aj := out[i], out[j]
+				if ai < 0 {
+					ai = -ai
+				}
+				if aj < 0 {
+					aj = -aj
+				}
+				if ai != aj {
+					return ai < aj
+				}
+				return out[i] > out[j]
+			})
+			return out
+		},
+	})
+	r.stime += time.Since(start)
+	r.solves++
+	if err != nil {
+		return fmt.Errorf("followsun: negotiating %s-%s: %w", x, y, err)
+	}
+	if sres.Feasible() {
+		for _, a := range sres.Assignments {
+			if a.Pred != "migVm" {
+				continue
+			}
+			moved := a.Vals[3].I
+			if moved < 0 {
+				moved = -moved
+			}
+			r.moved += moved
+			r.migSum += moved * r.mig[x+"|"+y]
+		}
+	}
+	// Negotiation done: retract the link selection so the next one starts
+	// from a clean toMigVm table.
+	return node.Delete("setLink", colog.StringVal(x), colog.StringVal(y))
+}
+
+// totalCost is the global objective (equation 1): operating plus
+// communication cost of the current allocation, plus accumulated migration
+// cost.
+func (r *runner) totalCost() float64 {
+	total := float64(r.migSum)
+	for _, x := range r.names {
+		node := r.nodes[x]
+		for _, row := range node.Rows("curVm") {
+			if row[0].S != x {
+				continue
+			}
+			alloc := float64(row[2].Num())
+			total += alloc * float64(r.p.OpCost+r.comm[x][row[1].S])
+		}
+	}
+	return total
+}

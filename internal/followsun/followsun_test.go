@@ -1,0 +1,109 @@
+package followsun
+
+import (
+	"testing"
+	"time"
+)
+
+func tinyParams(n int) Params {
+	p := DefaultParams(n)
+	p.DemandMax = 4
+	p.SolverMaxNodes = 4000
+	p.SolverMaxTime = 300 * time.Millisecond
+	return p
+}
+
+func TestTwoDCsReduceCost(t *testing.T) {
+	res, err := Run(tinyParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalCost > 100 {
+		t.Fatalf("final cost %.1f%% exceeds initial", res.FinalCost)
+	}
+	if res.ReductionPct <= 0 {
+		t.Fatalf("no cost reduction: %.1f%%", res.ReductionPct)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("too few cost points: %d", len(res.Points))
+	}
+	if res.Points[0].Cost != 100 {
+		t.Fatalf("first point not normalized: %v", res.Points[0])
+	}
+}
+
+func TestCostMonotonicallyImproves(t *testing.T) {
+	// Each negotiation only accepts migrations that lower the local
+	// objective, so the normalized series should never rise much above its
+	// running minimum (small transients allowed while tuples are in
+	// flight).
+	res, err := Run(tinyParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runMin := res.Points[0].Cost
+	for _, pt := range res.Points {
+		if pt.Cost > runMin+15 {
+			t.Fatalf("cost rose to %.1f%% after reaching %.1f%%", pt.Cost, runMin)
+		}
+		if pt.Cost < runMin {
+			runMin = pt.Cost
+		}
+	}
+}
+
+func TestAllLinksNegotiated(t *testing.T) {
+	res, err := Run(tinyParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 || res.ConvergenceTime == 0 {
+		t.Fatalf("rounds=%d convergence=%v", res.Rounds, res.ConvergenceTime)
+	}
+	if res.PerLinkSolves < 4*3/2 {
+		t.Fatalf("solves = %d, want at least one per link", res.PerLinkSolves)
+	}
+}
+
+func TestBandwidthMeasured(t *testing.T) {
+	res, err := Run(tinyParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerNodeKBps <= 0 {
+		t.Fatalf("PerNodeKBps = %v, want positive", res.PerNodeKBps)
+	}
+}
+
+func TestMigrationCapReducesMigrations(t *testing.T) {
+	p := tinyParams(3)
+	free, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MaxMigrates = 1
+	capped, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.TotalMigrations > free.TotalMigrations {
+		t.Fatalf("cap increased migrations: %d > %d", capped.TotalMigrations, free.TotalMigrations)
+	}
+}
+
+func TestDeterministicRun(t *testing.T) {
+	p := tinyParams(3)
+	p.SolverMaxTime = 0 // node budget only, for determinism
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalCost != b.FinalCost || a.TotalMigrations != b.TotalMigrations {
+		t.Fatalf("runs differ: %.2f/%d vs %.2f/%d",
+			a.FinalCost, a.TotalMigrations, b.FinalCost, b.TotalMigrations)
+	}
+}

@@ -1,0 +1,100 @@
+// Package policies collects additional declarative optimization policies
+// beyond the paper's two headline use cases, exercising the breadth the
+// paper claims for the platform ("load balancing, robust routing,
+// scheduling, and security", section 1): min-cost flow routing with
+// capacity constraints, makespan-minimizing job scheduling, and
+// rack-diverse replica placement. Each is a plain Colog program executed by
+// the unmodified engine.
+package policies
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/colog"
+	"repro/internal/core"
+)
+
+// RoutingSrc routes flows through a capacitated network at minimum cost:
+// one 0/1 variable per (flow, directed edge), flow conservation expressed
+// through aggregates and constraint rules, link capacity shared across
+// flows. This is the "robust routing" policy family: raising a link's cost
+// or lowering its capacity reroutes traffic declaratively.
+const RoutingSrc = `
+goal minimize C in totalCost(C).
+var use(F,X,Y,V) forall candidate(F,X,Y).
+
+r1 candidate(F,X,Y) <- flow(F,S,T), edge(X,Y,W,Cap).
+
+// Zero-seed contributions make the in/out aggregates total over every
+// network node, so flow conservation binds even at nodes that lack
+// incoming or outgoing edges (constraint rules over missing aggregate rows
+// would otherwise be vacuous).
+r2 outContrib(F,N,Z) <- flow(F,S,T), netNode(N), Z:=0.
+r3 inContrib(F,N,Z) <- flow(F,S,T), netNode(N), Z:=0.
+d1 outContrib(F,X,V) <- use(F,X,Y,V).
+d2 inContrib(F,Y,V) <- use(F,X,Y,V).
+d3 outFlow(F,N,SUM<V>) <- outContrib(F,N,V).
+d4 inFlow(F,N,SUM<V>) <- inContrib(F,N,V).
+
+// Net flow at each node: +1 at the source, -1 at the sink, 0 elsewhere.
+d5 netFlow(F,N,D) <- outFlow(F,N,O), inFlow(F,N,I), D==O-I.
+c1 netFlow(F,N,D) -> balance(F,N,B), D==B.
+
+// Each directed edge carries at most its capacity in flows.
+d6 edgeLoad(X,Y,SUM<V>) <- use(F,X,Y,V).
+c2 edgeLoad(X,Y,L) -> edge(X,Y,W,Cap), L<=Cap.
+
+// Objective: total weighted edge usage.
+d7 totalCost(SUM<C>) <- use(F,X,Y,V), edge(X,Y,W,Cap), C==V*W.
+`
+
+// SchedulingSrc assigns jobs to machines minimizing the makespan (the MAX
+// aggregate over machine loads), with per-machine job-count limits.
+const SchedulingSrc = `
+goal minimize M in makespan(M).
+var assign(J,W,V) forall candidate(J,W).
+
+r1 candidate(J,W) <- job(J,Len), machine(W,Slots).
+
+d1 load(W,SUM<L>) <- assign(J,W,V), job(J,Len), L==V*Len.
+d2 makespan(MAX<L>) <- load(W,L).
+
+d3 jobCount(J,SUM<V>) <- assign(J,W,V).
+c1 jobCount(J,V) -> V==1.
+
+d4 slotUse(W,SUM<V>) <- assign(J,W,V).
+c2 slotUse(W,N) -> machine(W,Slots), N<=Slots.
+`
+
+// PlacementSrc places a fixed number of replicas per object on nodes,
+// minimizing storage cost while forbidding two replicas of the same object
+// in the same failure domain (rack) — the availability/security flavor of
+// policy the paper's introduction motivates.
+const PlacementSrc = `
+goal minimize C in totalCost(C).
+var place(O,N,V) forall candidate(O,N).
+
+r1 candidate(O,N) <- object(O,R), node(N,Rack,Cost).
+
+d1 replicaCount(O,SUM<V>) <- place(O,N,V).
+c1 replicaCount(O,V) -> object(O,R), V==R.
+
+// At most one replica of an object per rack.
+d2 rackUse(O,Rack,SUM<V>) <- place(O,N,V), node(N,Rack,Cost).
+c2 rackUse(O,Rack,V) -> V<=1.
+
+d3 totalCost(SUM<C>) <- place(O,N,V), node(N,Rack,Cost), C==V*Cost.
+`
+
+// NewNode analyzes one of the bundled policy sources and builds a
+// centralized engine for it.
+func NewNode(src string, cfg core.Config) (*core.Node, error) {
+	prog, err := colog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	res, err := analysis.Analyze(prog, cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewNode("policy", res, cfg, nil)
+}

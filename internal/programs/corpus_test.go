@@ -1,0 +1,76 @@
+package programs
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/colog"
+	"repro/internal/core"
+	"repro/internal/solver"
+)
+
+// corpusDir holds the .colog files shipped for cmd/cologne.
+const corpusDir = "../../examples/programs"
+
+// TestCorpusPrograms runs every shipped .colog file end to end — the same
+// path cmd/cologne takes — and checks each file's expected outcome.
+func TestCorpusPrograms(t *testing.T) {
+	expect := map[string]struct {
+		status    solver.Status
+		objective float64
+	}{
+		"coloring.colog":    {solver.StatusOptimal, 0},
+		"knapsack.colog":    {solver.StatusOptimal, 19},
+		"loadbalance.colog": {solver.StatusOptimal, 0}, // 40+10 vs 30+20
+	}
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("corpus dir: %v", err)
+	}
+	found := 0
+	for _, ent := range entries {
+		if filepath.Ext(ent.Name()) != ".colog" {
+			continue
+		}
+		want, known := expect[ent.Name()]
+		if !known {
+			t.Errorf("corpus file %s has no expected outcome registered", ent.Name())
+			continue
+		}
+		found++
+		t.Run(ent.Name(), func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(corpusDir, ent.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := colog.Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res, err := analysis.Analyze(prog, nil)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			node, err := core.NewNode("local", res, core.Config{SolverPropagate: true}, nil)
+			if err != nil {
+				t.Fatalf("node: %v", err)
+			}
+			sres, err := node.Solve(core.SolveOptions{})
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			if sres.Status != want.status {
+				t.Fatalf("status = %v, want %v", sres.Status, want.status)
+			}
+			if math.Abs(sres.Objective-want.objective) > 1e-9 {
+				t.Fatalf("objective = %v, want %v", sres.Objective, want.objective)
+			}
+		})
+	}
+	if found != len(expect) {
+		t.Fatalf("corpus has %d known files, expected %d", found, len(expect))
+	}
+}

@@ -1,0 +1,336 @@
+// Package programs bundles the paper's canonical Colog programs — the five
+// protocols of Table 2 — together with the runtime configuration (primary
+// keys, event tables, parameters) each one needs. The experiment harnesses,
+// the examples, and the code-size benchmark all draw from here so that
+// every consumer runs exactly the same policy text.
+package programs
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/colog"
+	"repro/internal/core"
+)
+
+// Entry is one named program with its default runtime configuration.
+type Entry struct {
+	Name   string
+	Source string
+	Config core.Config
+}
+
+// ACloudSrc is the centralized ACloud load-balancing program of section 4.2,
+// including the workload filter the evaluation applies (only VMs above 20%
+// CPU are migratable).
+const ACloudSrc = `
+goal minimize C in hostStdevCpu(C).
+var assign(Vid,Hid,V) forall toAssign(Vid,Hid).
+
+// Only VMs above the CPU threshold participate in load balancing (sec 6.2).
+r1 vm(Vid,Cpu,Mem) <- vmRaw(Vid,Cpu,Mem), Cpu>cpu_floor.
+r2 toAssign(Vid,Hid) <- vm(Vid,Cpu,Mem), host(Hid,Cpu2,Mem2).
+
+d1 hostCpu(Hid,SUM<C>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), C==V*Cpu.
+d2 hostStdevCpu(STDEV<C>) <- host(Hid,Cpu,Mem), hostCpu(Hid,Cpu2), C==Cpu+Cpu2.
+d3 assignCount(Vid,SUM<V>) <- assign(Vid,Hid,V).
+c1 assignCount(Vid,V) -> V==1.
+d4 hostMem(Hid,SUM<M>) <- assign(Vid,Hid,V), vm(Vid,Cpu,Mem), M==V*Mem.
+c2 hostMem(Hid,Mem) -> hostMemThres(Hid,M), Mem<=M.
+`
+
+// ACloudMigrationExt extends ACloud with the migration cap of section 4.2
+// (rules d5, d6, c3), yielding the ACloud(M) policy of the evaluation.
+const ACloudMigrationExt = `
+d5 migrate(Vid,Hid1,Hid2,C) <- assign(Vid,Hid1,V), origin(Vid,Hid2),
+   Hid1!=Hid2, (V==1)==(C==1).
+d6 migrateCount(SUM<C>) <- migrate(Vid,Hid1,Hid2,C).
+c3 migrateCount(C) -> C<=max_migrates.
+`
+
+// FollowSunCentralizedSrc is a single-solver formulation of the
+// Follow-the-Sun COP (equations 1-6 of section 3.1.2): one Cologne instance
+// decides migrations on every link of the data-center graph at once.
+const FollowSunCentralizedSrc = `
+goal minimize C in totalCost(C).
+var migVm(X,Y,D,R) forall toMigVm(X,Y,D) domain [-60,60].
+
+r1 toMigVm(X,Y,D) <- link(X,Y), demand(D).
+
+// Equation (6): migrations are antisymmetric per link and demand.
+c1 migVm(X,Y,D,R1) -> migVm(Y,X,D,R2), R1+R2==0.
+
+// Next-step allocations.
+d1 outMig(X,D,SUM<R>) <- migVm(X,Y,D,R).
+d2 nextVm(X,D,R) <- curVm(X,D,R1), outMig(X,D,R2), R==R1-R2.
+
+// Equations (2)-(4): operating, communication and migration cost.
+d3 aggCommCost(SUM<Cost>) <- nextVm(X,D,R), commCost(X,D,C), Cost==R*C.
+d4 aggOpCost(SUM<Cost>) <- nextVm(X,D,R), opCost(X,C), Cost==R*C.
+d5 linkMigCost(X,Y,SUMABS<Cost>) <- migVm(X,Y,D,R), migCost(X,Y,C), Cost==R*C.
+d6 aggMigCost(SUM<C>) <- linkMigCost(X,Y,C), X<Y.
+d7 totalCost(C) <- aggCommCost(C1), aggOpCost(C2), aggMigCost(C3),
+   C==C1+C2+C3.
+
+// Equation (5): capacity, plus non-negative allocations.
+d8 hostNext(X,SUM<R>) <- nextVm(X,D,R).
+c2 hostNext(X,R1) -> resource(X,R2), R1<=R2.
+c3 nextVm(X,D,R) -> R>=0.
+`
+
+// FollowSunDistributedSrc is the distributed Follow-the-Sun program of
+// section 4.3 verbatim (rules r1-r3, d1-d11, c1-c4), plus the negotiated
+// bookkeeping that the omitted link-negotiation protocol maintains.
+const FollowSunDistributedSrc = `
+goal minimize C in aggCost(@X,C).
+var migVm(@X,Y,D,R) forall toMigVm(@X,Y,D) domain migRange.
+
+r1 toMigVm(@X,Y,D) <- setLink(@X,Y), dc(@X,D).
+
+// next-step VM allocations after migration
+d1 nextVm(@X,D,R) <- curVm(@X,D,R1), migVm(@X,Y,D,R2), R==R1-R2.
+d2 nborNextVm(@X,Y,D,R) <- link(@Y,X), curVm(@Y,D,R1),
+   migVm(@X,Y,D,R2), R==R1+R2.
+
+// communication, operating and migration cost
+d3 aggCommCost(@X,SUM<Cost>) <- nextVm(@X,D,R), commCost(@X,D,C), Cost==R*C.
+d4 aggOpCost(@X,SUM<Cost>) <- nextVm(@X,D,R), opCost(@X,C), Cost==R*C.
+d5 nborAggCommCost(@X,SUM<Cost>) <- link(@Y,X), commCost(@Y,D,C),
+   nborNextVm(@X,Y,D,R), Cost==R*C.
+d6 nborAggOpCost(@X,SUM<Cost>) <- link(@Y,X), opCost(@Y,C),
+   nborNextVm(@X,Y,D,R), Cost==R*C.
+d7 aggMigCost(@X,SUMABS<Cost>) <- migVm(@X,Y,D,R), migCost(@X,Y,C), Cost==R*C.
+
+// total cost
+d8 aggCost(@X,C) <- aggCommCost(@X,C1), aggOpCost(@X,C2), aggMigCost(@X,C3),
+   nborAggCommCost(@X,C4), nborAggOpCost(@X,C5), C==C1+C2+C3+C4+C5.
+
+// not exceeding resource capacity
+d9 aggNextVm(@X,SUM<R>) <- nextVm(@X,D,R).
+c1 aggNextVm(@X,R1) -> resource(@X,R2), R1<=R2.
+d10 aggNborNextVm(@X,Y,SUM<R>) <- nborNextVm(@X,Y,D,R).
+c2 aggNborNextVm(@X,Y,R1) -> link(@Y,X), resource(@Y,R2), R1<=R2.
+c5 nextVm(@X,D,R) -> R>=0.
+c6 nborNextVm(@X,Y,D,R) -> R>=0.
+
+// propagate to ensure symmetry and update allocations
+r2 migVm(@Y,X,D,R2) <- setLink(@X,Y), migVm(@X,Y,D,R1), R2:=-R1.
+r3 curVm(@X,D,R) <- curVm(@X,D,R1), migVm(@X,Y,D,R2), R:=R1-R2.
+
+// policy extension: migration cap and cost-improvement threshold (sec 4.3)
+d11 aggMigVm(@X,Y,SUMABS<R>) <- migVm(@X,Y,D,R).
+c3 aggMigVm(@X,Y,R) -> R<=max_migrates.
+
+// link-negotiation bookkeeping: a link is done once migrations are decided
+r4 negotiated(@X,Y) <- setLink(@X,Y), migVm(@X,Y,D,R).
+r5 negotiated(@Y,X) <- setLink(@X,Y), migVm(@X,Y,D,R).
+`
+
+// WirelessCentralizedSrc is the appendix A.2 centralized channel selection
+// program (one-hop interference model).
+const WirelessCentralizedSrc = `
+goal minimize C in totalCost(C).
+var assign(X,Y,C) forall link(X,Y) domain availChannel.
+
+// cost derivation rules (one-hop interference at each node)
+d1 cost(X,Y,X,Z,C) <- assign(X,Y,C1), assign(X,Z,C2),
+   Y!=Z, (C==1)==(|C1-C2|<F_mindiff).
+d2 totalCost(SUM<C>) <- cost(X,Y,Z,W,C).
+
+// primary user constraint
+c1 assign(X,Y,C) -> primaryUser(X,C2), C!=C2.
+// channel symmetry constraint
+c2 assign(X,Y,C) -> assign(Y,X,C).
+// interface constraint
+d3 uniqueChannel(X,UNIQUE<C>) <- assign(X,Y,C).
+c3 uniqueChannel(X,Count) -> numInterface(X,K), Count<=K.
+`
+
+// WirelessCentralizedTwoHopExt adds the two-hop interference cost rule of
+// appendix A.2 (labelled d3 in the paper's text, d4 here to keep labels
+// unique); it derives into the same cost table so the objective covers both
+// models.
+const WirelessCentralizedTwoHopExt = `
+d4 cost(X,Y,Z,W,C) <- assign(X,Y,C1), link(Z,X), assign(Z,W,C2),
+   X!=W, Y!=W, Y!=Z, (C==1)==(|C1-C2|<F_mindiff).
+`
+
+// WirelessDistributedSrc is the appendix A.3 distributed channel selection:
+// each negotiation solves a per-link COP against the concrete channel
+// assignments collected from the two-hop neighborhood. Neighbor state is
+// replicated through regular rules (r2, r3) that read the solver's
+// materialized output, and the decided channel is propagated for symmetry
+// (r1).
+const WirelessDistributedSrc = `
+goal minimize C in totalCost(@X,C).
+var assign(@X,Y,C) forall setLink(@X,Y) domain availChannel.
+
+// propagate channels to ensure symmetry (paper A.3 rule r1); keyed
+// incremental maintenance makes the reflected insert converge
+r1 assign(@Y,X,C2) <- assign(@X,Y,C), C2:=C.
+// replicate concrete neighbor assignments into the local view
+r2 nborAssign(@X,Z,W,C2) <- link(@Z,X), assign(@Z,W,C), C2:=C.
+// replicate neighbor primary users
+r3 nborPrimaryUser(@X,Y,C2) <- link(@Y,X), primaryUser(@Y,C), C2:=C.
+
+// replicate neighbor interface counts
+r4 numInterfaceOf(@X,Z,K) <- link(@Z,X), numInterface(@Z,K).
+r5 numInterfaceOf(@X,X,K) <- numInterface(@X,K).
+
+// one-hop interference: links adjacent at this node...
+d1 cost(@X,Y,X,Z,C) <- assign(@X,Y,C1), assign(@X,Z,C2),
+   Y!=Z, (C==1)==(|C1-C2|<F_mindiff).
+// ...and links adjacent at the peer endpoint (the per-link COP must see
+// the peer's other channels, which arrive through nborAssign)
+d8 cost(@X,Y,Y,W,C) <- assign(@X,Y,C1), nborAssign(@X,Y,W,C2),
+   X!=W, (C==1)==(|C1-C2|<F_mindiff).
+d3 totalCost(@X,SUM<C>) <- cost(@X,Y,Z,W,C).
+
+// primary user constraints for both endpoints
+c1 assign(@X,Y,C) -> primaryUser(@X,C2), C!=C2.
+c2 assign(@X,Y,C) -> nborPrimaryUser(@X,Y,C2), C!=C2.
+
+// radio interface constraint: the channels in use at a node (its own links
+// plus the link under negotiation, seen from both endpoints) may not
+// exceed its interface count
+d4 chan(@X,X,Y,C) <- assign(@X,Y,C).
+d5 chan(@X,Y,X,C) <- assign(@X,Y,C).
+d6 chan(@X,Z,W,C) <- nborAssign(@X,Z,W,C).
+d7 uniqueChannel(@X,N,UNIQUE<C>) <- chan(@X,N,W,C).
+c3 uniqueChannel(@X,N,Count) -> numInterfaceOf(@X,N,K), Count<=K.
+`
+
+// WirelessDistributedTwoHopExt is the two-hop interference cost of the
+// distributed protocol: the negotiated link is costed against the channel
+// assignments replicated from the two-hop neighborhood. Figure 7's "1-hop
+// Interference" variant omits this rule.
+const WirelessDistributedTwoHopExt = `
+d2 cost(@X,Y,Z,W,C) <- assign(@X,Y,C1), nborAssign(@X,Z,W,C2),
+   X!=W, Y!=W, Y!=Z, (C==1)==(|C1-C2|<F_mindiff).
+`
+
+// Params used by the bundled programs, with the evaluation's defaults.
+func defaultParams() map[string]colog.Value {
+	return map[string]colog.Value{
+		"cpu_floor":    colog.IntVal(20),
+		"max_migrates": colog.IntVal(1000000),
+		"cost_thres":   colog.IntVal(1),
+		"F_mindiff":    colog.IntVal(5),
+	}
+}
+
+// ACloud returns the ACloud program entry; withMigrationCap selects the
+// ACloud(M) policy and maxMigrates its per-execution cap.
+func ACloud(withMigrationCap bool, maxMigrates int64) Entry {
+	src := ACloudSrc
+	name := "acloud"
+	params := defaultParams()
+	if withMigrationCap {
+		src += ACloudMigrationExt
+		name = "acloud-m"
+		params["max_migrates"] = colog.IntVal(maxMigrates)
+	}
+	return Entry{
+		Name:   name,
+		Source: src,
+		Config: core.Config{Params: params},
+	}
+}
+
+// FollowSunCentralized returns the centralized Follow-the-Sun entry.
+func FollowSunCentralized() Entry {
+	return Entry{
+		Name:   "follow-the-sun-centralized",
+		Source: FollowSunCentralizedSrc,
+		Config: core.Config{Params: defaultParams()},
+	}
+}
+
+// FollowSunDistributed returns the distributed Follow-the-Sun entry;
+// maxMigrates caps per-link migrations (the c3/d11 policy extension).
+func FollowSunDistributed(maxMigrates int64) Entry {
+	params := defaultParams()
+	params["max_migrates"] = colog.IntVal(maxMigrates)
+	return Entry{
+		Name:   "follow-the-sun-distributed",
+		Source: FollowSunDistributedSrc,
+		Config: core.Config{
+			Params: params,
+			Keys: map[string][]int{
+				"curVm":      {0, 1},
+				"negotiated": {0, 1},
+			},
+			Events: []string{"migVm"},
+		},
+	}
+}
+
+// WirelessCentralized returns the centralized channel-selection entry;
+// twoHop adds the two-hop interference extension.
+func WirelessCentralized(twoHop bool, fMindiff int64) Entry {
+	src := WirelessCentralizedSrc
+	name := "wireless-centralized"
+	if twoHop {
+		src += WirelessCentralizedTwoHopExt
+		name = "wireless-centralized-2hop"
+	}
+	params := defaultParams()
+	params["F_mindiff"] = colog.IntVal(fMindiff)
+	return Entry{
+		Name:   name,
+		Source: src,
+		Config: core.Config{Params: params},
+	}
+}
+
+// WirelessDistributed returns the distributed channel-selection entry;
+// twoHop selects the interference model the protocol optimizes.
+func WirelessDistributed(fMindiff int64, twoHop bool) Entry {
+	params := defaultParams()
+	params["F_mindiff"] = colog.IntVal(fMindiff)
+	src := WirelessDistributedSrc
+	name := "wireless-distributed-1hop"
+	if twoHop {
+		src += WirelessDistributedTwoHopExt
+		name = "wireless-distributed"
+	}
+	return Entry{
+		Name:   name,
+		Source: src,
+		Config: core.Config{
+			Params: params,
+			Keys: map[string][]int{
+				"assign":          {0, 1},
+				"nborAssign":      {0, 1, 2},
+				"nborPrimaryUser": {0, 1, 2},
+				"numInterfaceOf":  {0, 1},
+				"chan":            {0, 1, 2},
+			},
+		},
+	}
+}
+
+// Table2Entries returns the five protocols the paper's Table 2 measures.
+func Table2Entries() []Entry {
+	return []Entry{
+		ACloud(false, 0),
+		FollowSunCentralized(),
+		FollowSunDistributed(20),
+		WirelessCentralized(true, 5),
+		WirelessDistributed(5, true),
+	}
+}
+
+// Analyze parses and analyzes an entry, panicking on error (the bundled
+// programs are compile-time constants; failure is a programming error).
+func (e Entry) Analyze() *analysis.Result {
+	prog, err := colog.Parse(e.Source)
+	if err != nil {
+		panic(fmt.Sprintf("programs: %s does not parse: %v", e.Name, err))
+	}
+	res, err := analysis.Analyze(prog, e.Config.Params)
+	if err != nil {
+		panic(fmt.Sprintf("programs: %s does not analyze: %v", e.Name, err))
+	}
+	return res
+}

@@ -1,0 +1,84 @@
+package programs
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestAllBundledProgramsAnalyze is the basic health check: every canonical
+// program must parse and pass static analysis with its default parameters.
+func TestAllBundledProgramsAnalyze(t *testing.T) {
+	for _, e := range Table2Entries() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			res := e.Analyze()
+			if res == nil || len(res.Program.Rules) == 0 {
+				t.Fatal("no rules after analysis")
+			}
+		})
+	}
+	ACloud(true, 3).Analyze()
+	WirelessCentralized(false, 5).Analyze()
+}
+
+func TestACloudEntryClassification(t *testing.T) {
+	res := ACloud(false, 0).Analyze()
+	nDeriv, nCons, nReg := 0, 0, 0
+	for _, c := range res.Classes {
+		switch c {
+		case analysis.SolverDerivationRule:
+			nDeriv++
+		case analysis.SolverConstraintRule:
+			nCons++
+		default:
+			nReg++
+		}
+	}
+	if nDeriv != 4 || nCons != 2 || nReg != 2 {
+		t.Fatalf("classes: deriv=%d cons=%d reg=%d, want 4/2/2", nDeriv, nCons, nReg)
+	}
+}
+
+func TestFollowSunDistributedIsDistributed(t *testing.T) {
+	res := FollowSunDistributed(20).Analyze()
+	if !res.Distributed {
+		t.Fatal("not detected as distributed")
+	}
+	// The d2/d5/d6/c2 rewrites must have produced shipping rules.
+	ships := 0
+	for label := range res.Rewritten {
+		_ = label
+		ships++
+	}
+	if ships == 0 {
+		t.Fatal("no localization rewrites recorded")
+	}
+}
+
+func TestWirelessDistributedRegularPropagation(t *testing.T) {
+	res := WirelessDistributed(5, true).Analyze()
+	// r1/r2/r3 must be regular (they read materialized solver output via :=).
+	for i, r := range res.Program.Rules {
+		switch r.Label {
+		case "r1", "r2", "r3", "r1_local", "r2_local", "r3_local":
+			if res.Classes[i] != analysis.RegularRule {
+				t.Errorf("rule %s class = %v, want regular", r.Label, res.Classes[i])
+			}
+		}
+	}
+}
+
+func TestRuleCountsReported(t *testing.T) {
+	// Sanity on Table 2 rule counts: distributed programs must be larger
+	// than their centralized counterparts.
+	counts := map[string]int{}
+	for _, e := range Table2Entries() {
+		res := e.Analyze()
+		counts[e.Name] = res.Program.NumRules()
+	}
+	if counts["follow-the-sun-distributed"] <= counts["follow-the-sun-centralized"] {
+		t.Errorf("FtS distributed (%d rules) should exceed centralized (%d)",
+			counts["follow-the-sun-distributed"], counts["follow-the-sun-centralized"])
+	}
+}

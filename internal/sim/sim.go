@@ -1,0 +1,168 @@
+// Package sim provides a deterministic discrete-event scheduler. It stands
+// in for ns-3 in the paper's simulation mode: Cologne instances exchange
+// messages through a simulated network whose delivery delays are events on
+// this scheduler, so convergence times and message counts are reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Scheduler is a single-threaded discrete-event loop. Events execute in
+// (time, sequence) order; scheduling is allowed from inside event handlers.
+// It is not safe for concurrent use.
+type Scheduler struct {
+	now    time.Duration
+	seq    int64
+	queue  eventQueue
+	closed bool
+}
+
+type event struct {
+	at    time.Duration
+	seq   int64
+	fn    func()
+	index int
+	dead  bool
+}
+
+// NewScheduler creates an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Timer identifies a scheduled event so it can be cancelled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from running. Cancelling an already-fired timer
+// is a no-op.
+func (t Timer) Cancel() {
+	if t.ev != nil {
+		t.ev.dead = true
+	}
+}
+
+// Schedule runs fn after delay (relative to the current virtual time).
+func (s *Scheduler) Schedule(delay time.Duration, fn func()) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t; times in the past run "now".
+func (s *Scheduler) At(t time.Duration, fn func()) Timer {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Timer{ev}
+}
+
+// Periodic runs fn every interval, starting one interval from now, until the
+// returned Timer chain is cancelled via the returned cancel function.
+func (s *Scheduler) Periodic(interval time.Duration, fn func()) (cancel func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive periodic interval %v", interval))
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			s.Schedule(interval, tick)
+		}
+	}
+	s.Schedule(interval, tick)
+	return func() { stopped = true }
+}
+
+// Step executes the next event, advancing virtual time. It returns false
+// when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or virtual time would exceed
+// until. It returns the number of events executed.
+func (s *Scheduler) Run(until time.Duration) int {
+	n := 0
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunUntilIdle executes events until none remain. maxEvents guards against
+// runaway periodic loops; 0 means no bound.
+func (s *Scheduler) RunUntilIdle(maxEvents int) int {
+	n := 0
+	for s.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x interface{}) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	s.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	s.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	s.RunUntilIdle(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order = %v", got)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	s.RunUntilIdle(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestScheduleFromHandler(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.Schedule(time.Second, func() {
+		s.Schedule(time.Second, func() { fired = true })
+	})
+	s.RunUntilIdle(0)
+	if !fired {
+		t.Fatal("nested event did not fire")
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	s.Periodic(time.Second, func() { n++ })
+	s.Run(5500 * time.Millisecond)
+	if n != 5 {
+		t.Fatalf("periodic fired %d times, want 5", n)
+	}
+	if s.Now() != 5500*time.Millisecond {
+		t.Fatalf("Now = %v, want 5.5s", s.Now())
+	}
+}
+
+func TestPeriodicCancel(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	var cancel func()
+	cancel = s.Periodic(time.Second, func() {
+		n++
+		if n == 3 {
+			cancel()
+		}
+	})
+	s.RunUntilIdle(1000)
+	if n != 3 {
+		t.Fatalf("periodic fired %d times after cancel, want 3", n)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	tm := s.Schedule(time.Second, func() { fired = true })
+	tm.Cancel()
+	s.RunUntilIdle(0)
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestAtInPast(t *testing.T) {
+	s := NewScheduler()
+	s.Schedule(2*time.Second, func() {
+		s.At(time.Second, func() {}) // in the past: clamped to now
+	})
+	s.RunUntilIdle(0)
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now = %v", s.Now())
+	}
+}
+
+func TestRunUntilIdleBound(t *testing.T) {
+	s := NewScheduler()
+	s.Periodic(time.Millisecond, func() {})
+	n := s.RunUntilIdle(50)
+	if n != 50 {
+		t.Fatalf("executed %d events, want 50", n)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := NewScheduler()
+	s.Schedule(time.Second, func() {})
+	s.Schedule(time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+}
+
+func TestPeriodicPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Periodic(0) did not panic")
+		}
+	}()
+	NewScheduler().Periodic(0, func() {})
+}

@@ -1,0 +1,55 @@
+package solver
+
+import "math"
+
+// BruteForce exhaustively enumerates the full Cartesian product of the
+// variable domains and returns the optimal solution. It is exponential and
+// intended for small models only: reference results in tests, and exact
+// baselines in the benchmark harness where the paper reports "optimal".
+func (m *Model) BruteForce() *Solution {
+	sol := &Solution{Status: StatusInfeasible}
+	n := len(m.vars)
+	assign := make([]int64, n)
+	bestObj := math.Inf(1)
+	if m.sense == Maximize {
+		bestObj = math.Inf(-1)
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			sol.Stats.Nodes++
+			for _, c := range m.constraints {
+				if !c.EvalBool(assign) {
+					return
+				}
+			}
+			obj := 0.0
+			if m.objective != nil {
+				obj = m.objective.Eval(assign)
+			}
+			better := sol.Status == StatusInfeasible
+			if !better && m.objective != nil {
+				const eps = 1e-9
+				if m.sense == Minimize {
+					better = obj < bestObj-eps
+				} else {
+					better = obj > bestObj+eps
+				}
+			}
+			if better {
+				bestObj = obj
+				sol.Objective = obj
+				sol.Values = append([]int64(nil), assign...)
+				sol.Status = StatusOptimal
+				sol.Stats.Solutions++
+			}
+			return
+		}
+		for _, v := range m.vars[i].Dom.Values() {
+			assign[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return sol
+}

@@ -1,0 +1,147 @@
+package solver
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDomainSortsAndDedups(t *testing.T) {
+	d := NewDomain(3, 1, 3, 2, 1)
+	want := []int64{1, 2, 3}
+	got := d.Values()
+	if len(got) != len(want) {
+		t.Fatalf("Values() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Values() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewRangeDomain(t *testing.T) {
+	d := NewRangeDomain(-2, 2)
+	if d.Size() != 5 {
+		t.Fatalf("Size() = %d, want 5", d.Size())
+	}
+	if d.Min() != -2 || d.Max() != 2 {
+		t.Fatalf("bounds = [%d,%d], want [-2,2]", d.Min(), d.Max())
+	}
+}
+
+func TestNewRangeDomainPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRangeDomain(2,1) did not panic")
+		}
+	}()
+	NewRangeDomain(2, 1)
+}
+
+func TestBinaryDomain(t *testing.T) {
+	d := BinaryDomain()
+	if d.Size() != 2 || !d.Contains(0) || !d.Contains(1) || d.Contains(2) {
+		t.Fatalf("BinaryDomain misbehaves: %v", d)
+	}
+}
+
+func TestDomainContains(t *testing.T) {
+	d := NewDomain(1, 5, 9)
+	for _, v := range []int64{1, 5, 9} {
+		if !d.Contains(v) {
+			t.Errorf("Contains(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []int64{0, 2, 6, 10} {
+		if d.Contains(v) {
+			t.Errorf("Contains(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestDomainRemove(t *testing.T) {
+	d := NewDomain(1, 2, 3)
+	d2 := d.Remove(2)
+	if d2.Size() != 2 || d2.Contains(2) {
+		t.Fatalf("Remove(2) = %v", d2)
+	}
+	if d.Size() != 3 {
+		t.Fatalf("Remove mutated receiver: %v", d)
+	}
+	if d3 := d.Remove(42); d3.Size() != 3 {
+		t.Fatalf("Remove(absent) = %v, want unchanged", d3)
+	}
+}
+
+func TestDomainIntersect(t *testing.T) {
+	a := NewDomain(1, 2, 3, 4)
+	b := NewDomain(2, 4, 6)
+	got := a.Intersect(b)
+	if got.Size() != 2 || !got.Contains(2) || !got.Contains(4) {
+		t.Fatalf("Intersect = %v, want {2,4}", got)
+	}
+	if a.Intersect(NewDomain()).Size() != 0 {
+		t.Fatal("Intersect with empty should be empty")
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	cases := []struct {
+		d    Domain
+		want string
+	}{
+		{NewDomain(), "{}"},
+		{NewDomain(5), "{5}"},
+		{NewDomain(1, 2, 3), "{1..3}"},
+		{NewDomain(1, 3, 4, 5, 9), "{1,3..5,9}"},
+		{NewDomain(0, 1), "{0,1}"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDomainPropertySortedUnique(t *testing.T) {
+	f := func(vals []int64) bool {
+		d := NewDomain(vals...)
+		vs := d.Values()
+		for i := 1; i < len(vs); i++ {
+			if vs[i] <= vs[i-1] {
+				return false
+			}
+		}
+		for _, v := range vals {
+			if !d.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainPropertyIntersectSubset(t *testing.T) {
+	f := func(a, b []int64) bool {
+		da, db := NewDomain(a...), NewDomain(b...)
+		in := da.Intersect(db)
+		for _, v := range in.Values() {
+			if !da.Contains(v) || !db.Contains(v) {
+				return false
+			}
+		}
+		// Every common value must be present.
+		for _, v := range a {
+			if db.Contains(v) && !in.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

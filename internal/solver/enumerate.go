@@ -1,0 +1,69 @@
+package solver
+
+// Enumerate visits every complete assignment satisfying all constraints, in
+// lexicographic domain order, calling fn with the assignment (indexed by
+// variable ID; the slice is reused between calls). Enumeration stops when
+// fn returns false or limit solutions have been visited (limit <= 0 means
+// no limit). It returns the number of solutions visited.
+//
+// The walk prunes with the same interval reasoning as Solve, so it is
+// usable for counting solution spaces of moderate size (policy "what-if"
+// exploration, exhaustive verification in tests).
+func (m *Model) Enumerate(limit int, fn func(assign []int64) bool) int {
+	ev := newEvaluator(m)
+	n := len(m.vars)
+	assign := make([]int64, n)
+	count := 0
+	// Constant constraints.
+	ev.nextGen()
+	for _, c := range m.constraints {
+		if ev.interval(c).False() {
+			return 0
+		}
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			for _, c := range m.constraints {
+				if !c.EvalBool(assign) {
+					return true
+				}
+			}
+			count++
+			if !fn(assign) {
+				return false
+			}
+			return limit <= 0 || count < limit
+		}
+		v := m.vars[i]
+		saved := ev.dom[v.ID]
+		for _, val := range saved.Values() {
+			assign[v.ID] = val
+			ev.dom[v.ID] = NewDomain(val)
+			ev.nextGen()
+			ok := true
+			for _, c := range m.constraints {
+				if ev.interval(c).False() {
+					ok = false
+					break
+				}
+			}
+			if ok && !rec(i+1) {
+				ev.dom[v.ID] = saved
+				ev.nextGen()
+				return false
+			}
+		}
+		ev.dom[v.ID] = saved
+		ev.nextGen()
+		return true
+	}
+	rec(0)
+	return count
+}
+
+// CountSolutions returns the number of satisfying assignments (bounded by
+// limit when positive).
+func (m *Model) CountSolutions(limit int) int {
+	return m.Enumerate(limit, func([]int64) bool { return true })
+}

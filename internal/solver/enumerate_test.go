@@ -1,0 +1,108 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEnumerateAllBinary(t *testing.T) {
+	m := NewModel()
+	m.BoolVar("a")
+	m.BoolVar("b")
+	m.BoolVar("c")
+	if got := m.CountSolutions(0); got != 8 {
+		t.Fatalf("CountSolutions = %d, want 8", got)
+	}
+}
+
+func TestEnumerateWithConstraint(t *testing.T) {
+	m := NewModel()
+	a := m.BoolVar("a")
+	b := m.BoolVar("b")
+	m.Require(m.Ne(m.VarExpr(a), m.VarExpr(b)))
+	var seen [][]int64
+	m.Enumerate(0, func(assign []int64) bool {
+		seen = append(seen, append([]int64(nil), assign...))
+		return true
+	})
+	if len(seen) != 2 {
+		t.Fatalf("solutions = %v", seen)
+	}
+	for _, s := range seen {
+		if s[0] == s[1] {
+			t.Fatalf("invalid solution %v", s)
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	m := NewModel()
+	m.IntVar("x", 0, 99)
+	if got := m.CountSolutions(10); got != 10 {
+		t.Fatalf("limited count = %d, want 10", got)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	m := NewModel()
+	m.IntVar("x", 0, 99)
+	calls := 0
+	m.Enumerate(0, func([]int64) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Fatalf("callback calls = %d, want 3", calls)
+	}
+}
+
+func TestEnumerateInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 3)
+	m.Require(m.Gt(m.VarExpr(x), m.Const(7)))
+	if got := m.CountSolutions(0); got != 0 {
+		t.Fatalf("count = %d, want 0", got)
+	}
+}
+
+// TestEnumerateMatchesBruteForceCount on random models.
+func TestEnumerateMatchesBruteForceCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		m := NewModel()
+		nv := 2 + rng.Intn(3)
+		vars := make([]*Var, nv)
+		for i := range vars {
+			vars[i] = m.IntVar("v", 0, int64(1+rng.Intn(3)))
+		}
+		terms := make([]*Expr, nv)
+		for i, v := range vars {
+			terms[i] = m.Mul(m.ConstInt(int64(rng.Intn(3)-1)), m.VarExpr(v))
+		}
+		m.Require(m.Le(m.Sum(terms...), m.ConstInt(int64(rng.Intn(6)))))
+		// Brute-force count.
+		want := 0
+		var walk func(i int, assign []int64)
+		assign := make([]int64, nv)
+		var cons = m.Constraints()
+		walk = func(i int, assign []int64) {
+			if i == nv {
+				for _, c := range cons {
+					if !c.EvalBool(assign) {
+						return
+					}
+				}
+				want++
+				return
+			}
+			for _, v := range vars[i].Dom.Values() {
+				assign[i] = v
+				walk(i+1, assign)
+			}
+		}
+		walk(0, assign)
+		if got := m.CountSolutions(0); got != want {
+			t.Fatalf("trial %d: Enumerate=%d brute=%d", trial, got, want)
+		}
+	}
+}

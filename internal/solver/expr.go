@@ -1,0 +1,282 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Op identifies an expression node kind. Numeric operators produce numeric
+// values; comparison and logical operators produce booleans (represented as
+// 0/1 in evaluation, with a distinct static type for error checking).
+type Op int
+
+const (
+	// OpConst is a numeric literal.
+	OpConst Op = iota
+	// OpVar references a decision variable.
+	OpVar
+	// OpAdd, OpSub, OpMul, OpDiv are binary arithmetic.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	// OpNeg is unary negation, OpAbs absolute value.
+	OpNeg
+	OpAbs
+	// OpMin and OpMax are n-ary minimum/maximum.
+	OpMin
+	OpMax
+	// OpSum is n-ary addition (the SUM aggregate), OpSumAbs sums absolute
+	// values (the SUMABS aggregate), OpAvg the mean, OpStdDev the population
+	// standard deviation (the STDEV aggregate), OpCountDistinct the number
+	// of distinct argument values (the UNIQUE aggregate).
+	OpSum
+	OpSumAbs
+	OpAvg
+	OpStdDev
+	OpCountDistinct
+	// Comparisons: numeric x numeric -> bool.
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	// Logical connectives: bool x bool -> bool.
+	OpAnd
+	OpOr
+	OpNot
+	OpXor
+	// OpBoolEq reifies equivalence between two booleans (the Colog idiom
+	// (V==1)==(C==1)).
+	OpBoolEq
+	// OpITE is if-then-else: ITE(cond, a, b) with cond boolean.
+	OpITE
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpVar: "var", OpAdd: "+", OpSub: "-", OpMul: "*",
+	OpDiv: "/", OpNeg: "neg", OpAbs: "abs", OpMin: "min", OpMax: "max",
+	OpSum: "sum", OpSumAbs: "sumabs", OpAvg: "avg", OpStdDev: "stdev",
+	OpCountDistinct: "unique", OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAnd: "&&", OpOr: "||", OpNot: "!", OpXor: "^",
+	OpBoolEq: "<=>", OpITE: "ite",
+}
+
+// String returns the operator's surface syntax.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsBool reports whether the operator produces a boolean.
+func (o Op) IsBool() bool {
+	switch o {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr, OpNot, OpXor, OpBoolEq:
+		return true
+	}
+	return false
+}
+
+// Expr is a node in a model's shared expression DAG. Nodes are created
+// through Model constructor methods, which assign each node a dense ID used
+// by the evaluator's memo tables. Expressions are immutable after creation.
+type Expr struct {
+	ID    int
+	Op    Op
+	K     float64 // literal value for OpConst
+	Var   *Var    // referenced variable for OpVar
+	Args  []*Expr
+	model *Model
+}
+
+// IsBool reports whether the expression has boolean type.
+func (e *Expr) IsBool() bool { return e.Op.IsBool() }
+
+// IsConst reports whether the expression is a literal.
+func (e *Expr) IsConst() bool { return e.Op == OpConst }
+
+// String renders the expression in infix form, useful in diagnostics and in
+// the code generator.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder) {
+	switch e.Op {
+	case OpConst:
+		if e.K == math.Trunc(e.K) && math.Abs(e.K) < 1e15 {
+			fmt.Fprintf(b, "%d", int64(e.K))
+		} else {
+			fmt.Fprintf(b, "%g", e.K)
+		}
+	case OpVar:
+		b.WriteString(e.Var.Name)
+	case OpAdd, OpSub, OpMul, OpDiv, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr, OpXor, OpBoolEq:
+		b.WriteByte('(')
+		e.Args[0].write(b)
+		b.WriteString(e.Op.String())
+		e.Args[1].write(b)
+		b.WriteByte(')')
+	case OpNeg:
+		b.WriteString("(-")
+		e.Args[0].write(b)
+		b.WriteByte(')')
+	case OpNot:
+		b.WriteString("(!")
+		e.Args[0].write(b)
+		b.WriteByte(')')
+	case OpAbs:
+		b.WriteByte('|')
+		e.Args[0].write(b)
+		b.WriteByte('|')
+	default:
+		b.WriteString(e.Op.String())
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			a.write(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Eval computes the expression value under a complete assignment (indexed by
+// variable ID). Booleans evaluate to 0 or 1.
+func (e *Expr) Eval(assign []int64) float64 {
+	switch e.Op {
+	case OpConst:
+		return e.K
+	case OpVar:
+		return float64(assign[e.Var.ID])
+	case OpAdd:
+		return e.Args[0].Eval(assign) + e.Args[1].Eval(assign)
+	case OpSub:
+		return e.Args[0].Eval(assign) - e.Args[1].Eval(assign)
+	case OpMul:
+		return e.Args[0].Eval(assign) * e.Args[1].Eval(assign)
+	case OpDiv:
+		return e.Args[0].Eval(assign) / e.Args[1].Eval(assign)
+	case OpNeg:
+		return -e.Args[0].Eval(assign)
+	case OpAbs:
+		return math.Abs(e.Args[0].Eval(assign))
+	case OpMin:
+		v := math.Inf(1)
+		for _, a := range e.Args {
+			v = math.Min(v, a.Eval(assign))
+		}
+		return v
+	case OpMax:
+		v := math.Inf(-1)
+		for _, a := range e.Args {
+			v = math.Max(v, a.Eval(assign))
+		}
+		return v
+	case OpSum:
+		v := 0.0
+		for _, a := range e.Args {
+			v += a.Eval(assign)
+		}
+		return v
+	case OpSumAbs:
+		v := 0.0
+		for _, a := range e.Args {
+			v += math.Abs(a.Eval(assign))
+		}
+		return v
+	case OpAvg:
+		if len(e.Args) == 0 {
+			return 0
+		}
+		v := 0.0
+		for _, a := range e.Args {
+			v += a.Eval(assign)
+		}
+		return v / float64(len(e.Args))
+	case OpStdDev:
+		return stddev(e.Args, assign)
+	case OpCountDistinct:
+		seen := make(map[float64]struct{}, len(e.Args))
+		for _, a := range e.Args {
+			seen[a.Eval(assign)] = struct{}{}
+		}
+		return float64(len(seen))
+	case OpEq:
+		return b2f(e.Args[0].Eval(assign) == e.Args[1].Eval(assign))
+	case OpNe:
+		return b2f(e.Args[0].Eval(assign) != e.Args[1].Eval(assign))
+	case OpLt:
+		return b2f(e.Args[0].Eval(assign) < e.Args[1].Eval(assign))
+	case OpLe:
+		return b2f(e.Args[0].Eval(assign) <= e.Args[1].Eval(assign))
+	case OpGt:
+		return b2f(e.Args[0].Eval(assign) > e.Args[1].Eval(assign))
+	case OpGe:
+		return b2f(e.Args[0].Eval(assign) >= e.Args[1].Eval(assign))
+	case OpAnd:
+		return b2f(e.Args[0].Eval(assign) > 0.5 && e.Args[1].Eval(assign) > 0.5)
+	case OpOr:
+		return b2f(e.Args[0].Eval(assign) > 0.5 || e.Args[1].Eval(assign) > 0.5)
+	case OpNot:
+		return b2f(e.Args[0].Eval(assign) <= 0.5)
+	case OpXor:
+		return b2f((e.Args[0].Eval(assign) > 0.5) != (e.Args[1].Eval(assign) > 0.5))
+	case OpBoolEq:
+		return b2f((e.Args[0].Eval(assign) > 0.5) == (e.Args[1].Eval(assign) > 0.5))
+	case OpITE:
+		if e.Args[0].Eval(assign) > 0.5 {
+			return e.Args[1].Eval(assign)
+		}
+		return e.Args[2].Eval(assign)
+	}
+	panic(fmt.Sprintf("solver: Eval on unknown op %v", e.Op))
+}
+
+// EvalBool evaluates a boolean expression under a complete assignment.
+func (e *Expr) EvalBool(assign []int64) bool { return e.Eval(assign) > 0.5 }
+
+// Vars appends the IDs of all variables referenced by the expression
+// (with duplicates) to dst and returns the result.
+func (e *Expr) Vars(dst []int) []int {
+	if e.Op == OpVar {
+		return append(dst, e.Var.ID)
+	}
+	for _, a := range e.Args {
+		dst = a.Vars(dst)
+	}
+	return dst
+}
+
+func stddev(args []*Expr, assign []int64) float64 {
+	n := float64(len(args))
+	if n == 0 {
+		return 0
+	}
+	sum, sumsq := 0.0, 0.0
+	for _, a := range args {
+		v := a.Eval(assign)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 { // numeric noise
+		variance = 0
+	}
+	return math.Sqrt(variance)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,173 @@
+package solver
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExprEvalArithmetic(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 10)
+	y := m.IntVar("y", 0, 10)
+	assign := []int64{3, 4}
+	xe, ye := m.VarExpr(x), m.VarExpr(y)
+	cases := []struct {
+		e    *Expr
+		want float64
+	}{
+		{m.Add(xe, ye), 7},
+		{m.Sub(xe, ye), -1},
+		{m.Mul(xe, ye), 12},
+		{m.Div(ye, m.Const(2)), 2},
+		{m.Neg(xe), -3},
+		{m.Abs(m.Sub(xe, ye)), 1},
+		{m.Min(xe, ye, m.Const(1)), 1},
+		{m.Max(xe, ye, m.Const(1)), 4},
+		{m.Sum(xe, ye, m.Const(5)), 12},
+		{m.SumAbs(m.Neg(xe), ye), 7},
+		{m.Avg(xe, ye, m.Const(5)), 4},
+		{m.CountDistinct(xe, ye, m.Const(3)), 2},
+	}
+	for i, c := range cases {
+		if got := c.e.Eval(assign); got != c.want {
+			t.Errorf("case %d (%s): Eval = %v, want %v", i, c.e, got, c.want)
+		}
+	}
+}
+
+func TestExprEvalComparisons(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 10)
+	assign := []int64{5}
+	xe := m.VarExpr(x)
+	cases := []struct {
+		e    *Expr
+		want bool
+	}{
+		{m.Eq(xe, m.Const(5)), true},
+		{m.Eq(xe, m.Const(4)), false},
+		{m.Ne(xe, m.Const(4)), true},
+		{m.Lt(xe, m.Const(6)), true},
+		{m.Le(xe, m.Const(5)), true},
+		{m.Gt(xe, m.Const(5)), false},
+		{m.Ge(xe, m.Const(5)), true},
+		{m.And(m.Lt(xe, m.Const(6)), m.Gt(xe, m.Const(4))), true},
+		{m.Or(m.Lt(xe, m.Const(0)), m.Gt(xe, m.Const(4))), true},
+		{m.Not(m.Eq(xe, m.Const(5))), false},
+	}
+	for i, c := range cases {
+		if got := c.e.EvalBool(assign); got != c.want {
+			t.Errorf("case %d (%s): EvalBool = %v, want %v", i, c.e, got, c.want)
+		}
+	}
+}
+
+func TestExprReifiedBoolEq(t *testing.T) {
+	// The Colog idiom (V==1)==(C==1) from ACloud rule d5.
+	m := NewModel()
+	v := m.BoolVar("V")
+	c := m.BoolVar("C")
+	e := m.Eq(m.Eq(m.VarExpr(v), m.Const(1)), m.Eq(m.VarExpr(c), m.Const(1)))
+	if e.Op != OpBoolEq {
+		t.Fatalf("expected OpBoolEq node, got %v", e.Op)
+	}
+	cases := []struct {
+		v, c int64
+		want bool
+	}{{1, 1, true}, {0, 0, true}, {1, 0, false}, {0, 1, false}}
+	for _, tc := range cases {
+		if got := e.EvalBool([]int64{tc.v, tc.c}); got != tc.want {
+			t.Errorf("V=%d C=%d: got %v, want %v", tc.v, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestExprStdDev(t *testing.T) {
+	m := NewModel()
+	a := m.IntVar("a", 0, 100)
+	b := m.IntVar("b", 0, 100)
+	e := m.StdDev(m.VarExpr(a), m.VarExpr(b))
+	// stddev of {2,4} = 1 (population).
+	if got := e.Eval([]int64{2, 4}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("stddev({2,4}) = %v, want 1", got)
+	}
+	if got := e.Eval([]int64{7, 7}); got != 0 {
+		t.Errorf("stddev({7,7}) = %v, want 0", got)
+	}
+}
+
+func TestExprITE(t *testing.T) {
+	m := NewModel()
+	x := m.BoolVar("x")
+	e := m.ITE(m.Eq(m.VarExpr(x), m.Const(1)), m.Const(10), m.Const(20))
+	if got := e.Eval([]int64{1}); got != 10 {
+		t.Errorf("ITE(true) = %v, want 10", got)
+	}
+	if got := e.Eval([]int64{0}); got != 20 {
+		t.Errorf("ITE(false) = %v, want 20", got)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	m := NewModel()
+	if e := m.Add(m.Const(2), m.Const(3)); !e.IsConst() || e.K != 5 {
+		t.Errorf("2+3 folded to %v", e)
+	}
+	if e := m.Mul(m.Const(0), m.VarExpr(m.IntVar("x", 0, 1))); !e.IsConst() || e.K != 0 {
+		t.Errorf("0*x folded to %v", e)
+	}
+	x := m.IntVar("y", 0, 5)
+	if e := m.Mul(m.Const(1), m.VarExpr(x)); e.Op != OpVar {
+		t.Errorf("1*y not simplified: %v", e)
+	}
+}
+
+func TestTypeCheckingPanics(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 1)
+	boolE := m.Eq(m.VarExpr(x), m.Const(1))
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Add(bool)", func() { m.Add(boolE, m.Const(1)) })
+	assertPanics("Require(numeric)", func() { m.Require(m.VarExpr(x)) })
+	assertPanics("And(numeric)", func() { m.And(m.VarExpr(x), boolE) })
+	assertPanics("Minimize(bool)", func() { m.Minimize(boolE) })
+}
+
+func TestExprString(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 9)
+	e := m.Le(m.Abs(m.Sub(m.VarExpr(x), m.Const(3))), m.Const(2))
+	s := e.String()
+	for _, frag := range []string{"x", "|", "<=", "2"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 1)
+	y := m.IntVar("y", 0, 1)
+	e := m.Add(m.Mul(m.VarExpr(x), m.Const(2)), m.VarExpr(y))
+	ids := e.Vars(nil)
+	if len(ids) != 2 {
+		t.Fatalf("Vars = %v, want two entries", ids)
+	}
+	seen := map[int]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	if !seen[x.ID] || !seen[y.ID] {
+		t.Fatalf("Vars = %v, want {%d,%d}", ids, x.ID, y.ID)
+	}
+}

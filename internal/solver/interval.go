@@ -1,0 +1,325 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed real interval [Lo,Hi] used for bounds reasoning over
+// partially assigned expression DAGs. Boolean expressions use the encoding
+// [1,1]=true, [0,0]=false, [0,1]=unknown.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Point returns the degenerate interval [v,v].
+func Point(v float64) Interval { return Interval{v, v} }
+
+// Fixed reports whether the interval is a single point.
+func (iv Interval) Fixed() bool { return iv.Lo == iv.Hi }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v float64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// True reports whether a boolean interval is definitely true.
+func (iv Interval) True() bool { return iv.Lo > 0.5 }
+
+// False reports whether a boolean interval is definitely false.
+func (iv Interval) False() bool { return iv.Hi < 0.5 }
+
+// Hull returns the smallest interval containing both operands.
+func (iv Interval) Hull(o Interval) Interval {
+	return Interval{math.Min(iv.Lo, o.Lo), math.Max(iv.Hi, o.Hi)}
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%g,%g]", iv.Lo, iv.Hi) }
+
+var (
+	trueIv    = Interval{1, 1}
+	falseIv   = Interval{0, 0}
+	unknownIv = Interval{0, 1}
+)
+
+func boolIv(definitelyTrue, definitelyFalse bool) Interval {
+	switch {
+	case definitelyTrue:
+		return trueIv
+	case definitelyFalse:
+		return falseIv
+	default:
+		return unknownIv
+	}
+}
+
+// evaluator computes sound interval bounds for expressions under the current
+// (possibly partial) search state. Results are memoized per generation so a
+// shared DAG node is visited once per propagation pass.
+type evaluator struct {
+	m    *Model
+	dom  []Domain // current domain per variable ID
+	memo []Interval
+	gen  []uint64
+	cur  uint64
+}
+
+func newEvaluator(m *Model) *evaluator {
+	ev := &evaluator{
+		m:    m,
+		dom:  make([]Domain, len(m.vars)),
+		memo: make([]Interval, m.nodes),
+		gen:  make([]uint64, m.nodes),
+	}
+	for i, v := range m.vars {
+		ev.dom[i] = v.Dom
+	}
+	return ev
+}
+
+// nextGen invalidates all memoized intervals.
+func (ev *evaluator) nextGen() { ev.cur++ }
+
+// interval returns sound bounds for e under the current domains.
+func (ev *evaluator) interval(e *Expr) Interval {
+	if e.ID < len(ev.gen) && ev.gen[e.ID] == ev.cur {
+		return ev.memo[e.ID]
+	}
+	iv := ev.compute(e)
+	if e.ID < len(ev.gen) {
+		ev.gen[e.ID] = ev.cur
+		ev.memo[e.ID] = iv
+	}
+	return iv
+}
+
+func (ev *evaluator) compute(e *Expr) Interval {
+	switch e.Op {
+	case OpConst:
+		return Point(e.K)
+	case OpVar:
+		d := ev.dom[e.Var.ID]
+		if d.Empty() {
+			// An emptied domain signals failure upstream; return an impossible
+			// reversed interval that propagates as "anything".
+			return Interval{math.Inf(1), math.Inf(-1)}
+		}
+		return Interval{float64(d.Min()), float64(d.Max())}
+	case OpAdd:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		return Interval{a.Lo + b.Lo, a.Hi + b.Hi}
+	case OpSub:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		return Interval{a.Lo - b.Hi, a.Hi - b.Lo}
+	case OpMul:
+		return mulIv(ev.interval(e.Args[0]), ev.interval(e.Args[1]))
+	case OpDiv:
+		return divIv(ev.interval(e.Args[0]), ev.interval(e.Args[1]))
+	case OpNeg:
+		a := ev.interval(e.Args[0])
+		return Interval{-a.Hi, -a.Lo}
+	case OpAbs:
+		return absIv(ev.interval(e.Args[0]))
+	case OpMin:
+		lo, hi := math.Inf(1), math.Inf(1)
+		for _, arg := range e.Args {
+			a := ev.interval(arg)
+			lo = math.Min(lo, a.Lo)
+			hi = math.Min(hi, a.Hi)
+		}
+		return Interval{lo, hi}
+	case OpMax:
+		lo, hi := math.Inf(-1), math.Inf(-1)
+		for _, arg := range e.Args {
+			a := ev.interval(arg)
+			lo = math.Max(lo, a.Lo)
+			hi = math.Max(hi, a.Hi)
+		}
+		return Interval{lo, hi}
+	case OpSum:
+		lo, hi := 0.0, 0.0
+		for _, arg := range e.Args {
+			a := ev.interval(arg)
+			lo += a.Lo
+			hi += a.Hi
+		}
+		return Interval{lo, hi}
+	case OpSumAbs:
+		lo, hi := 0.0, 0.0
+		for _, arg := range e.Args {
+			a := absIv(ev.interval(arg))
+			lo += a.Lo
+			hi += a.Hi
+		}
+		return Interval{lo, hi}
+	case OpAvg:
+		if len(e.Args) == 0 {
+			return Point(0)
+		}
+		lo, hi := 0.0, 0.0
+		for _, arg := range e.Args {
+			a := ev.interval(arg)
+			lo += a.Lo
+			hi += a.Hi
+		}
+		n := float64(len(e.Args))
+		return Interval{lo / n, hi / n}
+	case OpStdDev:
+		return ev.stddevIv(e.Args)
+	case OpCountDistinct:
+		return ev.countDistinctIv(e.Args)
+	case OpEq:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		return boolIv(a.Fixed() && b.Fixed() && a.Lo == b.Lo, a.Hi < b.Lo || b.Hi < a.Lo)
+	case OpNe:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		return boolIv(a.Hi < b.Lo || b.Hi < a.Lo, a.Fixed() && b.Fixed() && a.Lo == b.Lo)
+	case OpLt:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		return boolIv(a.Hi < b.Lo, a.Lo >= b.Hi)
+	case OpLe:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		return boolIv(a.Hi <= b.Lo, a.Lo > b.Hi)
+	case OpGt:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		return boolIv(a.Lo > b.Hi, a.Hi <= b.Lo)
+	case OpGe:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		return boolIv(a.Lo >= b.Hi, a.Hi < b.Lo)
+	case OpAnd:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		return boolIv(a.True() && b.True(), a.False() || b.False())
+	case OpOr:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		return boolIv(a.True() || b.True(), a.False() && b.False())
+	case OpNot:
+		a := ev.interval(e.Args[0])
+		return boolIv(a.False(), a.True())
+	case OpXor:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		aDet, bDet := a.Fixed(), b.Fixed()
+		return boolIv(aDet && bDet && a.True() != b.True(), aDet && bDet && a.True() == b.True())
+	case OpBoolEq:
+		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		aDet, bDet := a.Fixed(), b.Fixed()
+		return boolIv(aDet && bDet && a.True() == b.True(), aDet && bDet && a.True() != b.True())
+	case OpITE:
+		c := ev.interval(e.Args[0])
+		if c.True() {
+			return ev.interval(e.Args[1])
+		}
+		if c.False() {
+			return ev.interval(e.Args[2])
+		}
+		return ev.interval(e.Args[1]).Hull(ev.interval(e.Args[2]))
+	}
+	panic(fmt.Sprintf("solver: interval on unknown op %v", e.Op))
+}
+
+// stddevIv bounds the population standard deviation of the argument
+// expressions. Upper bound: per-element worst-case deviation from the mean
+// interval. Lower bound: if two elements are forced apart by a gap g, any
+// assignment has variance >= g^2/(2n), hence stddev >= g/sqrt(2n).
+func (ev *evaluator) stddevIv(args []*Expr) Interval {
+	n := float64(len(args))
+	if n == 0 {
+		return Point(0)
+	}
+	sumLo, sumHi := 0.0, 0.0
+	ivs := make([]Interval, len(args))
+	allFixed := true
+	for i, a := range args {
+		iv := ev.interval(a)
+		ivs[i] = iv
+		sumLo += iv.Lo
+		sumHi += iv.Hi
+		if !iv.Fixed() {
+			allFixed = false
+		}
+	}
+	if allFixed {
+		mean := sumLo / n
+		variance := 0.0
+		for _, iv := range ivs {
+			d := iv.Lo - mean
+			variance += d * d
+		}
+		variance /= n
+		if variance < 0 {
+			variance = 0
+		}
+		v := math.Sqrt(variance)
+		return Point(v)
+	}
+	meanLo, meanHi := sumLo/n, sumHi/n
+	ub := 0.0
+	maxLo, minHi := math.Inf(-1), math.Inf(1)
+	for _, iv := range ivs {
+		dev := math.Max(iv.Hi-meanLo, meanHi-iv.Lo)
+		if dev < 0 {
+			dev = 0
+		}
+		ub += dev * dev
+		maxLo = math.Max(maxLo, iv.Lo)
+		minHi = math.Min(minHi, iv.Hi)
+	}
+	ub = math.Sqrt(ub / n)
+	lb := 0.0
+	if g := maxLo - minHi; g > 0 {
+		lb = g / math.Sqrt(2*n)
+	}
+	return Interval{lb, ub}
+}
+
+// countDistinctIv bounds the number of distinct values among the arguments.
+func (ev *evaluator) countDistinctIv(args []*Expr) Interval {
+	if len(args) == 0 {
+		return Point(0)
+	}
+	allFixed := true
+	fixed := make(map[float64]struct{})
+	for _, a := range args {
+		iv := ev.interval(a)
+		if iv.Fixed() {
+			fixed[iv.Lo] = struct{}{}
+		} else {
+			allFixed = false
+		}
+	}
+	if allFixed {
+		return Point(float64(len(fixed)))
+	}
+	lo := float64(len(fixed))
+	if lo < 1 {
+		lo = 1
+	}
+	return Interval{lo, float64(len(args))}
+}
+
+func mulIv(a, b Interval) Interval {
+	p1, p2, p3, p4 := a.Lo*b.Lo, a.Lo*b.Hi, a.Hi*b.Lo, a.Hi*b.Hi
+	return Interval{
+		math.Min(math.Min(p1, p2), math.Min(p3, p4)),
+		math.Max(math.Max(p1, p2), math.Max(p3, p4)),
+	}
+}
+
+func divIv(a, b Interval) Interval {
+	if b.Contains(0) {
+		// Denominator may be zero: no useful bound.
+		return Interval{math.Inf(-1), math.Inf(1)}
+	}
+	p1, p2, p3, p4 := a.Lo/b.Lo, a.Lo/b.Hi, a.Hi/b.Lo, a.Hi/b.Hi
+	return Interval{
+		math.Min(math.Min(p1, p2), math.Min(p3, p4)),
+		math.Max(math.Max(p1, p2), math.Max(p3, p4)),
+	}
+}
+
+func absIv(a Interval) Interval {
+	if a.Lo >= 0 {
+		return a
+	}
+	if a.Hi <= 0 {
+		return Interval{-a.Hi, -a.Lo}
+	}
+	return Interval{0, math.Max(-a.Lo, a.Hi)}
+}

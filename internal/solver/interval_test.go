@@ -1,0 +1,264 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{1, 3}
+	if !iv.Contains(2) || iv.Contains(4) || iv.Fixed() {
+		t.Fatalf("Interval basics broken: %v", iv)
+	}
+	if !Point(5).Fixed() {
+		t.Fatal("Point not fixed")
+	}
+	h := Interval{0, 1}.Hull(Interval{5, 9})
+	if h.Lo != 0 || h.Hi != 9 {
+		t.Fatalf("Hull = %v", h)
+	}
+}
+
+func TestIntervalBoolHelpers(t *testing.T) {
+	if !trueIv.True() || trueIv.False() {
+		t.Fatal("trueIv broken")
+	}
+	if falseIv.True() || !falseIv.False() {
+		t.Fatal("falseIv broken")
+	}
+	if unknownIv.True() || unknownIv.False() {
+		t.Fatal("unknownIv broken")
+	}
+}
+
+func TestMulIvSigns(t *testing.T) {
+	cases := []struct {
+		a, b, want Interval
+	}{
+		{Interval{1, 2}, Interval{3, 4}, Interval{3, 8}},
+		{Interval{-2, 1}, Interval{3, 4}, Interval{-8, 4}},
+		{Interval{-2, -1}, Interval{-4, -3}, Interval{3, 8}},
+		{Interval{-1, 1}, Interval{-1, 1}, Interval{-1, 1}},
+	}
+	for _, c := range cases {
+		got := mulIv(c.a, c.b)
+		if got != c.want {
+			t.Errorf("mulIv(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivIvZeroDenominator(t *testing.T) {
+	got := divIv(Interval{1, 2}, Interval{-1, 1})
+	if !math.IsInf(got.Lo, -1) || !math.IsInf(got.Hi, 1) {
+		t.Fatalf("divIv spanning zero = %v, want unbounded", got)
+	}
+	got = divIv(Interval{4, 8}, Interval{2, 2})
+	if got.Lo != 2 || got.Hi != 4 {
+		t.Fatalf("divIv = %v, want [2,4]", got)
+	}
+}
+
+func TestAbsIv(t *testing.T) {
+	cases := []struct{ in, want Interval }{
+		{Interval{2, 5}, Interval{2, 5}},
+		{Interval{-5, -2}, Interval{2, 5}},
+		{Interval{-3, 4}, Interval{0, 4}},
+	}
+	for _, c := range cases {
+		if got := absIv(c.in); got != c.want {
+			t.Errorf("absIv(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// buildRandomExpr constructs a random numeric expression over the given vars.
+func buildRandomExpr(m *Model, vars []*Var, rng *rand.Rand, depth int) *Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return m.VarExpr(vars[rng.Intn(len(vars))])
+		}
+		return m.ConstInt(int64(rng.Intn(11) - 5))
+	}
+	a := buildRandomExpr(m, vars, rng, depth-1)
+	b := buildRandomExpr(m, vars, rng, depth-1)
+	switch rng.Intn(6) {
+	case 0:
+		return m.Add(a, b)
+	case 1:
+		return m.Sub(a, b)
+	case 2:
+		return m.Mul(a, b)
+	case 3:
+		return m.Abs(a)
+	case 4:
+		return m.Min(a, b)
+	default:
+		return m.Max(a, b)
+	}
+}
+
+// TestIntervalSoundness checks the core propagation invariant: for any
+// random expression and any full assignment drawn from the domains, the
+// concrete value lies within the computed interval.
+func TestIntervalSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		m := NewModel()
+		nv := 1 + rng.Intn(3)
+		vars := make([]*Var, nv)
+		for i := range vars {
+			lo := int64(rng.Intn(7) - 3)
+			hi := lo + int64(rng.Intn(5))
+			vars[i] = m.IntVar("v", lo, hi)
+		}
+		e := buildRandomExpr(m, vars, rng, 4)
+		ev := newEvaluator(m)
+		ev.nextGen()
+		iv := ev.interval(e)
+		// Try several random assignments.
+		for k := 0; k < 20; k++ {
+			assign := make([]int64, nv)
+			for i, v := range vars {
+				vals := v.Dom.Values()
+				assign[i] = vals[rng.Intn(len(vals))]
+			}
+			got := e.Eval(assign)
+			if got < iv.Lo-1e-9 || got > iv.Hi+1e-9 {
+				t.Fatalf("trial %d: value %v outside interval %v for %s assign=%v",
+					trial, got, iv, e, assign)
+			}
+		}
+	}
+}
+
+// TestStdDevIntervalSoundness verifies the custom stddev bounds are sound.
+func TestStdDevIntervalSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		m := NewModel()
+		nv := 2 + rng.Intn(4)
+		vars := make([]*Var, nv)
+		exprs := make([]*Expr, nv)
+		for i := range vars {
+			lo := int64(rng.Intn(20))
+			hi := lo + int64(rng.Intn(10))
+			vars[i] = m.IntVar("v", lo, hi)
+			exprs[i] = m.VarExpr(vars[i])
+		}
+		sd := m.StdDev(exprs...)
+		ev := newEvaluator(m)
+		ev.nextGen()
+		iv := ev.interval(sd)
+		for k := 0; k < 30; k++ {
+			assign := make([]int64, nv)
+			for i, v := range vars {
+				vals := v.Dom.Values()
+				assign[i] = vals[rng.Intn(len(vals))]
+			}
+			got := sd.Eval(assign)
+			if got < iv.Lo-1e-9 || got > iv.Hi+1e-9 {
+				t.Fatalf("trial %d: stddev %v outside %v", trial, got, iv)
+			}
+		}
+	}
+}
+
+// TestIntervalFixedIsExact: when all domains are singletons the interval must
+// equal the concrete evaluation.
+func TestIntervalFixedIsExact(t *testing.T) {
+	f := func(a, b int8) bool {
+		m := NewModel()
+		x := m.IntVar("x", int64(a), int64(a))
+		y := m.IntVar("y", int64(b), int64(b))
+		e := m.Add(m.Mul(m.VarExpr(x), m.VarExpr(y)), m.Abs(m.Sub(m.VarExpr(x), m.VarExpr(y))))
+		ev := newEvaluator(m)
+		ev.nextGen()
+		iv := ev.interval(e)
+		want := e.Eval([]int64{int64(a), int64(b)})
+		return iv.Fixed() && math.Abs(iv.Lo-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComparisonIntervalSoundness: definite true/false verdicts from the
+// interval evaluator must agree with every concrete assignment.
+func TestComparisonIntervalSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ops := []func(m *Model, a, b *Expr) *Expr{
+		(*Model).Eq, (*Model).Ne, (*Model).Lt, (*Model).Le, (*Model).Gt, (*Model).Ge,
+	}
+	for trial := 0; trial < 200; trial++ {
+		m := NewModel()
+		x := m.IntVar("x", int64(rng.Intn(5)), int64(rng.Intn(5)+5))
+		y := m.IntVar("y", int64(rng.Intn(5)), int64(rng.Intn(5)+5))
+		e := ops[rng.Intn(len(ops))](m, m.VarExpr(x), m.VarExpr(y))
+		ev := newEvaluator(m)
+		ev.nextGen()
+		iv := ev.interval(e)
+		for _, xv := range x.Dom.Values() {
+			for _, yv := range y.Dom.Values() {
+				got := e.EvalBool([]int64{xv, yv})
+				if iv.True() && !got {
+					t.Fatalf("interval says true but %s false at (%d,%d)", e, xv, yv)
+				}
+				if iv.False() && got {
+					t.Fatalf("interval says false but %s true at (%d,%d)", e, xv, yv)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveVsBruteForceQuick is the headline property test: on random small
+// COPs the branch-and-bound search must find the same optimum as exhaustive
+// enumeration.
+func TestSolveVsBruteForceQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 120; trial++ {
+		m := NewModel()
+		nv := 2 + rng.Intn(3)
+		vars := make([]*Var, nv)
+		for i := range vars {
+			lo := int64(rng.Intn(3))
+			hi := lo + 1 + int64(rng.Intn(3))
+			vars[i] = m.IntVar("v", lo, hi)
+		}
+		// Random linear constraints.
+		for c := 0; c < 1+rng.Intn(3); c++ {
+			terms := make([]*Expr, nv)
+			for i, v := range vars {
+				terms[i] = m.Mul(m.ConstInt(int64(rng.Intn(5)-2)), m.VarExpr(v))
+			}
+			bound := m.ConstInt(int64(rng.Intn(15) - 3))
+			if rng.Intn(2) == 0 {
+				m.Require(m.Le(m.Sum(terms...), bound))
+			} else {
+				m.Require(m.Ge(m.Sum(terms...), bound))
+			}
+		}
+		obj := buildRandomExpr(m, vars, rng, 3)
+		if rng.Intn(2) == 0 {
+			m.Minimize(obj)
+		} else {
+			m.Maximize(obj)
+		}
+		got := m.Solve(Options{Propagate: rng.Intn(2) == 0})
+		want := m.BruteForce()
+		if got.Status == StatusInfeasible != (want.Status == StatusInfeasible) {
+			t.Fatalf("trial %d: feasibility disagreement solve=%v brute=%v", trial, got.Status, want.Status)
+		}
+		if want.Status == StatusOptimal {
+			if got.Status != StatusOptimal {
+				t.Fatalf("trial %d: expected optimal, got %v", trial, got.Status)
+			}
+			if math.Abs(got.Objective-want.Objective) > 1e-9 {
+				t.Fatalf("trial %d: objective %v != bruteforce %v", trial, got.Objective, want.Objective)
+			}
+		}
+	}
+}

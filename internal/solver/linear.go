@@ -1,0 +1,279 @@
+package solver
+
+import "math"
+
+// Linear-constraint recognition and bounds propagation. Grounded Colog
+// programs are dominated by linear constraints — assignment counts
+// (SUM<V> == 1), capacity caps (SUM<R> <= cap), migration bounds — and the
+// generic interval check only detects violation after the fact. For
+// constraints of the form sum(c_i * x_i) op K the solver extracts the
+// coefficients once and, during search, tightens each free variable's
+// domain from the residual slack, the same propagation a dedicated linear
+// propagator performs in Gecode.
+
+// linTerm is one c*x monomial.
+type linTerm struct {
+	coef float64
+	v    *Var
+}
+
+// linearCon is a recognized linear constraint sum(terms) + k op 0 with
+// op in {<=, ==, >=} normalized to <= / == forms.
+type linearCon struct {
+	terms []linTerm
+	k     float64
+	op    Op // OpLe, OpGe or OpEq over sum(terms)+k vs 0... normalized: sum op -k
+}
+
+// extractLinear recognizes e as a linear comparison and returns its
+// normalized form (sum(c_i x_i) op K). ok is false when e is not linear.
+func extractLinear(e *Expr) (terms []linTerm, op Op, K float64, ok bool) {
+	switch e.Op {
+	case OpLe, OpLt, OpGe, OpGt, OpEq:
+	default:
+		return nil, 0, 0, false
+	}
+	lhs, lok := linearize(e.Args[0])
+	rhs, rok := linearize(e.Args[1])
+	if !lok || !rok {
+		return nil, 0, 0, false
+	}
+	// Move everything left: lhs - rhs op 0.
+	sum := map[int]*linTerm{}
+	k := lhs.k - rhs.k
+	add := func(ts []linTerm, sign float64) {
+		for _, t := range ts {
+			if cur, in := sum[t.v.ID]; in {
+				cur.coef += sign * t.coef
+			} else {
+				cp := t
+				cp.coef *= sign
+				sum[t.v.ID] = &cp
+			}
+		}
+	}
+	add(lhs.terms, 1)
+	add(rhs.terms, -1)
+	for _, t := range sum {
+		if t.coef != 0 {
+			terms = append(terms, *t)
+		}
+	}
+	// Normalize strict ops on integers: x < y  <=>  x <= y-1.
+	op = e.Op
+	K = -k
+	switch e.Op {
+	case OpLt:
+		op, K = OpLe, K-1
+	case OpGt:
+		op, K = OpGe, K+1
+	}
+	return terms, op, K, true
+}
+
+type linForm struct {
+	terms []linTerm
+	k     float64
+}
+
+// linearize flattens a numeric expression into sum(c_i x_i) + k, failing on
+// any non-linear structure.
+func linearize(e *Expr) (linForm, bool) {
+	switch e.Op {
+	case OpConst:
+		return linForm{k: e.K}, true
+	case OpVar:
+		return linForm{terms: []linTerm{{coef: 1, v: e.Var}}}, true
+	case OpNeg:
+		f, ok := linearize(e.Args[0])
+		if !ok {
+			return linForm{}, false
+		}
+		for i := range f.terms {
+			f.terms[i].coef = -f.terms[i].coef
+		}
+		f.k = -f.k
+		return f, true
+	case OpAdd, OpSub:
+		a, ok := linearize(e.Args[0])
+		if !ok {
+			return linForm{}, false
+		}
+		b, ok := linearize(e.Args[1])
+		if !ok {
+			return linForm{}, false
+		}
+		sign := 1.0
+		if e.Op == OpSub {
+			sign = -1
+		}
+		for _, t := range b.terms {
+			t.coef *= sign
+			a.terms = append(a.terms, t)
+		}
+		a.k += sign * b.k
+		return a, true
+	case OpSum:
+		out := linForm{}
+		for _, arg := range e.Args {
+			f, ok := linearize(arg)
+			if !ok {
+				return linForm{}, false
+			}
+			out.terms = append(out.terms, f.terms...)
+			out.k += f.k
+		}
+		return out, true
+	case OpMul:
+		a, aok := linearize(e.Args[0])
+		b, bok := linearize(e.Args[1])
+		if !aok || !bok {
+			return linForm{}, false
+		}
+		switch {
+		case len(a.terms) == 0: // const * linear
+			for i := range b.terms {
+				b.terms[i].coef *= a.k
+			}
+			b.k *= a.k
+			return b, true
+		case len(b.terms) == 0: // linear * const
+			for i := range a.terms {
+				a.terms[i].coef *= b.k
+			}
+			a.k *= b.k
+			return a, true
+		}
+		return linForm{}, false
+	}
+	return linForm{}, false
+}
+
+// linearProps holds the model's recognized linear constraints, indexed by
+// variable for propagation.
+type linearProps struct {
+	cons  []linearCon
+	byVar [][]int // var ID -> constraint indices
+}
+
+func buildLinearProps(m *Model) *linearProps {
+	lp := &linearProps{byVar: make([][]int, len(m.vars))}
+	for _, c := range m.constraints {
+		terms, op, K, ok := extractLinear(c)
+		if !ok || len(terms) == 0 {
+			continue
+		}
+		idx := len(lp.cons)
+		lp.cons = append(lp.cons, linearCon{terms: terms, k: K, op: op})
+		for _, t := range terms {
+			lp.byVar[t.v.ID] = append(lp.byVar[t.v.ID], idx)
+		}
+	}
+	return lp
+}
+
+// propagate tightens the domains of free variables in the constraints
+// touching changed variable vid. It returns false on a wipe-out
+// (infeasible), and records every narrowing through narrow() so the caller
+// can trail it.
+func (lp *linearProps) propagate(s *searcher, vid int) bool {
+	for _, ci := range lp.byVar[vid] {
+		c := &lp.cons[ci]
+		if !lp.propagateOne(s, c) {
+			return false
+		}
+	}
+	return true
+}
+
+func (lp *linearProps) propagateOne(s *searcher, c *linearCon) bool {
+	// Bounds of the sum excluding each free variable.
+	// First pass: total min/max.
+	minSum, maxSum := 0.0, 0.0
+	for _, t := range c.terms {
+		d := s.ev.dom[t.v.ID]
+		if d.Empty() {
+			return false
+		}
+		lo, hi := float64(d.Min())*t.coef, float64(d.Max())*t.coef
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		minSum += lo
+		maxSum += hi
+	}
+	checkLe := c.op == OpLe || c.op == OpEq // sum <= K must hold
+	checkGe := c.op == OpGe || c.op == OpEq // sum >= K must hold
+	if checkLe && minSum > c.k+1e-9 {
+		return false
+	}
+	if checkGe && maxSum < c.k-1e-9 {
+		return false
+	}
+	// Second pass: tighten each free variable from the residual.
+	for _, t := range c.terms {
+		d := s.ev.dom[t.v.ID]
+		if d.Size() <= 1 || t.coef == 0 {
+			continue
+		}
+		lo, hi := float64(d.Min())*t.coef, float64(d.Max())*t.coef
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		restMin, restMax := minSum-lo, maxSum-hi
+		// c.op constraints on t.coef * x:
+		//   <=: coef*x <= K - restMin
+		//   >=: coef*x >= K - restMax
+		var newLo, newHi float64 = math.Inf(-1), math.Inf(1)
+		if checkLe {
+			bound := c.k - restMin
+			if t.coef > 0 {
+				newHi = math.Min(newHi, bound/t.coef)
+			} else {
+				newLo = math.Max(newLo, bound/t.coef)
+			}
+		}
+		if checkGe {
+			bound := c.k - restMax
+			if t.coef > 0 {
+				newLo = math.Max(newLo, bound/t.coef)
+			} else {
+				newHi = math.Min(newHi, bound/t.coef)
+			}
+		}
+		if math.IsInf(newLo, -1) && math.IsInf(newHi, 1) {
+			continue
+		}
+		// Clamp infinite bounds to the variable's own range before integer
+		// conversion (int64(Inf) is undefined).
+		if math.IsInf(newLo, -1) {
+			newLo = float64(d.Min())
+		}
+		if math.IsInf(newHi, 1) {
+			newHi = float64(d.Max())
+		}
+		iLo, iHi := int64(math.Ceil(newLo-1e-9)), int64(math.Floor(newHi+1e-9))
+		if float64(d.Min()) >= float64(iLo) && float64(d.Max()) <= float64(iHi) {
+			continue // nothing to prune
+		}
+		kept := make([]int64, 0, d.Size())
+		for _, v := range d.Values() {
+			if v >= iLo && v <= iHi {
+				kept = append(kept, v)
+			}
+		}
+		if len(kept) == 0 {
+			return false
+		}
+		if len(kept) < d.Size() {
+			s.narrowVar(t.v.ID, NewDomain(kept...))
+			if len(kept) == 1 {
+				s.assigned[t.v.ID] = true
+				s.assign[t.v.ID] = kept[0]
+			}
+			// Recompute the sums cheaply by restarting this constraint.
+			return lp.propagateOne(s, c)
+		}
+	}
+	return true
+}

@@ -1,0 +1,165 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExtractLinearBasic(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 9)
+	y := m.IntVar("y", 0, 9)
+	// 2x + 3y - 1 <= 10   =>   2x + 3y <= 11
+	e := m.Le(m.Sub(m.Add(m.Mul(m.Const(2), m.VarExpr(x)), m.Mul(m.Const(3), m.VarExpr(y))), m.Const(1)), m.Const(10))
+	terms, op, K, ok := extractLinear(e)
+	if !ok || op != OpLe || K != 11 {
+		t.Fatalf("extract = %v %v %v %v", terms, op, K, ok)
+	}
+	coefs := map[int]float64{}
+	for _, tm := range terms {
+		coefs[tm.v.ID] = tm.coef
+	}
+	if coefs[x.ID] != 2 || coefs[y.ID] != 3 {
+		t.Fatalf("coefs = %v", coefs)
+	}
+}
+
+func TestExtractLinearStrictAndEq(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 9)
+	if _, op, K, ok := extractLinear(m.Lt(m.VarExpr(x), m.Const(5))); !ok || op != OpLe || K != 4 {
+		t.Fatalf("x<5 normalized to %v %v", op, K)
+	}
+	if _, op, K, ok := extractLinear(m.Gt(m.VarExpr(x), m.Const(5))); !ok || op != OpGe || K != 6 {
+		t.Fatalf("x>5 normalized to %v %v", op, K)
+	}
+	if _, op, K, ok := extractLinear(m.Eq(m.Sum(m.VarExpr(x)), m.Const(1))); !ok || op != OpEq || K != 1 {
+		t.Fatalf("sum==1 normalized to %v %v", op, K)
+	}
+}
+
+func TestExtractLinearRejectsNonlinear(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 9)
+	y := m.IntVar("y", 0, 9)
+	if _, _, _, ok := extractLinear(m.Le(m.Mul(m.VarExpr(x), m.VarExpr(y)), m.Const(3))); ok {
+		t.Fatal("x*y accepted as linear")
+	}
+	if _, _, _, ok := extractLinear(m.Le(m.Abs(m.VarExpr(x)), m.Const(3))); ok {
+		t.Fatal("|x| accepted as linear")
+	}
+}
+
+func TestExtractLinearCancellation(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 9)
+	// x - x + 3 <= 5 has no variable terms left.
+	e := m.Le(m.Add(m.Sub(m.VarExpr(x), m.VarExpr(x)), m.Const(3)), m.Const(5))
+	terms, _, _, ok := extractLinear(e)
+	if !ok || len(terms) != 0 {
+		t.Fatalf("cancellation: terms=%v ok=%v", terms, ok)
+	}
+}
+
+// TestLinearPropagationCorrect: with and without the linear propagator the
+// optimum must be identical; the propagator may only change effort.
+func TestLinearPropagationCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 80; trial++ {
+		m := NewModel()
+		nv := 3 + rng.Intn(3)
+		vars := make([]*Var, nv)
+		for i := range vars {
+			vars[i] = m.IntVar("v", 0, int64(2+rng.Intn(4)))
+		}
+		for c := 0; c < 2+rng.Intn(3); c++ {
+			terms := make([]*Expr, nv)
+			for i, v := range vars {
+				terms[i] = m.Mul(m.ConstInt(int64(rng.Intn(5)-2)), m.VarExpr(v))
+			}
+			b := m.ConstInt(int64(rng.Intn(12) - 2))
+			switch rng.Intn(3) {
+			case 0:
+				m.Require(m.Le(m.Sum(terms...), b))
+			case 1:
+				m.Require(m.Ge(m.Sum(terms...), b))
+			default:
+				m.Require(m.Eq(m.Sum(terms...), b))
+			}
+		}
+		obj := make([]*Expr, nv)
+		for i, v := range vars {
+			obj[i] = m.Mul(m.ConstInt(int64(rng.Intn(7)-3)), m.VarExpr(v))
+		}
+		m.Minimize(m.Sum(obj...))
+		with := m.Solve(Options{})
+		without := m.Solve(Options{DisableLinear: true})
+		if (with.Status == StatusInfeasible) != (without.Status == StatusInfeasible) {
+			t.Fatalf("trial %d: feasibility differs: %v vs %v", trial, with.Status, without.Status)
+		}
+		if with.Status == StatusOptimal && math.Abs(with.Objective-without.Objective) > 1e-9 {
+			t.Fatalf("trial %d: objective differs: %v vs %v", trial, with.Objective, without.Objective)
+		}
+	}
+}
+
+// TestLinearPropagationPrunes: on assignment-style models the propagator
+// must reduce search effort substantially.
+func TestLinearPropagationPrunes(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		// 8 items, 3 bins, each item in exactly one bin; bin 0 holds at
+		// most 2 items; minimize items in bin 2.
+		nI, nB := 8, 3
+		vars := make([][]*Var, nI)
+		for i := 0; i < nI; i++ {
+			row := make([]*Expr, nB)
+			vars[i] = make([]*Var, nB)
+			for b := 0; b < nB; b++ {
+				vars[i][b] = m.BoolVar("x")
+				row[b] = m.VarExpr(vars[i][b])
+			}
+			m.Require(m.Eq(m.Sum(row...), m.Const(1)))
+		}
+		var bin0, bin2 []*Expr
+		for i := 0; i < nI; i++ {
+			bin0 = append(bin0, m.VarExpr(vars[i][0]))
+			bin2 = append(bin2, m.VarExpr(vars[i][2]))
+		}
+		m.Require(m.Le(m.Sum(bin0...), m.Const(2)))
+		m.Minimize(m.Sum(bin2...))
+		return m
+	}
+	with := build().Solve(Options{})
+	without := build().Solve(Options{DisableLinear: true})
+	if with.Objective != without.Objective {
+		t.Fatalf("objectives differ: %v vs %v", with.Objective, without.Objective)
+	}
+	if with.Stats.Nodes >= without.Stats.Nodes {
+		t.Fatalf("linear propagation did not prune: %d vs %d nodes",
+			with.Stats.Nodes, without.Stats.Nodes)
+	}
+}
+
+// TestLinearPropagationUnitForcing: when a sum==1 constraint has one bit
+// set, the propagator must force the rest to zero immediately.
+func TestLinearPropagationUnitForcing(t *testing.T) {
+	m := NewModel()
+	a := m.BoolVar("a")
+	b := m.BoolVar("b")
+	c := m.BoolVar("c")
+	m.Require(m.Eq(m.Sum(m.VarExpr(a), m.VarExpr(b), m.VarExpr(c)), m.Const(1)))
+	m.Require(m.Eq(m.VarExpr(a), m.Const(1)))
+	sol := m.Solve(Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Value(a) != 1 || sol.Value(b) != 0 || sol.Value(c) != 0 {
+		t.Fatalf("solution = %v", sol.Values)
+	}
+	// The whole search should need only a handful of nodes.
+	if sol.Stats.Nodes > 6 {
+		t.Fatalf("unit forcing too weak: %d nodes", sol.Stats.Nodes)
+	}
+}

@@ -1,0 +1,404 @@
+package solver
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// searcher runs depth-first branch-and-bound over the model's variables.
+type searcher struct {
+	m    *Model
+	opts Options
+	ev   *evaluator
+
+	order   []int   // variable IDs in branching order
+	pos     []int   // inverse of order
+	varCons [][]int // variable ID -> indices of constraints mentioning it
+	lp      *linearProps
+
+	assigned []bool
+	assign   []int64
+	trail    []trailEntry
+
+	best    []int64
+	bestObj float64
+	haveSol bool
+
+	stats    Stats
+	deadline time.Time
+	stopped  bool
+}
+
+type trailEntry struct {
+	varID int
+	dom   Domain
+}
+
+// Solve searches for an assignment satisfying all constraints and, if an
+// objective is set, optimizing it. The search is anytime: on budget
+// exhaustion the best incumbent found so far is returned with
+// StatusFeasible.
+func (m *Model) Solve(opts Options) *Solution {
+	start := time.Now()
+	s := &searcher{
+		m:        m,
+		opts:     opts,
+		ev:       newEvaluator(m),
+		assigned: make([]bool, len(m.vars)),
+		assign:   make([]int64, len(m.vars)),
+		bestObj:  math.Inf(1),
+	}
+	if m.sense == Maximize {
+		s.bestObj = math.Inf(-1)
+	}
+	if opts.MaxTime > 0 {
+		s.deadline = start.Add(opts.MaxTime)
+	}
+	s.buildIndexes()
+	if !opts.DisableLinear {
+		s.lp = buildLinearProps(m)
+	}
+
+	sol := &Solution{Status: StatusUnknown}
+	defer func() {
+		s.stats.Elapsed = time.Since(start)
+		sol.Stats = s.stats
+	}()
+
+	if len(m.vars) == 0 {
+		// Degenerate model: only constant constraints and objective.
+		s.ev.nextGen()
+		for _, c := range m.constraints {
+			if s.ev.interval(c).False() {
+				sol.Status = StatusInfeasible
+				return sol
+			}
+		}
+		sol.Status = StatusOptimal
+		sol.Values = []int64{}
+		if m.objective != nil {
+			sol.Objective = m.objective.Eval(nil)
+		}
+		return sol
+	}
+
+	// Root-level consistency check.
+	s.ev.nextGen()
+	for _, c := range m.constraints {
+		if s.ev.interval(c).False() {
+			sol.Status = StatusInfeasible
+			return sol
+		}
+	}
+
+	complete := s.dfs(0)
+
+	switch {
+	case s.haveSol && complete:
+		sol.Status = StatusOptimal
+	case s.haveSol:
+		sol.Status = StatusFeasible
+	case complete:
+		sol.Status = StatusInfeasible
+	default:
+		sol.Status = StatusUnknown
+	}
+	if s.haveSol {
+		sol.Values = s.best
+		if m.objective != nil {
+			sol.Objective = s.bestObj
+		}
+	}
+	return sol
+}
+
+func (s *searcher) buildIndexes() {
+	m := s.m
+	// Branching order: most-constrained variables (smallest domains) first,
+	// breaking ties by creation order, which in Cologne groups variables of
+	// the same grounded table together.
+	s.order = make([]int, len(m.vars))
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		da, db := m.vars[s.order[a]].Dom.Size(), m.vars[s.order[b]].Dom.Size()
+		if da != db {
+			return da < db
+		}
+		return s.order[a] < s.order[b]
+	})
+	s.pos = make([]int, len(m.vars))
+	for i, id := range s.order {
+		s.pos[id] = i
+	}
+	s.varCons = make([][]int, len(m.vars))
+	scratch := make([]int, 0, 16)
+	for ci, c := range m.constraints {
+		scratch = c.Vars(scratch[:0])
+		seen := make(map[int]struct{}, len(scratch))
+		for _, vid := range scratch {
+			if _, ok := seen[vid]; ok {
+				continue
+			}
+			seen[vid] = struct{}{}
+			s.varCons[vid] = append(s.varCons[vid], ci)
+		}
+	}
+}
+
+// dfs explores from branching-order position depth. It returns true when the
+// subtree was exhausted (search space fully explored), false when the search
+// was cut short by a budget.
+func (s *searcher) dfs(depth int) bool {
+	if s.checkBudget() {
+		return false
+	}
+	if depth == len(s.order) {
+		s.recordSolution()
+		return true
+	}
+	vid := s.order[depth]
+	if s.opts.DynamicOrder {
+		// dom heuristic: branch on the unassigned variable with the
+		// smallest current domain. Swap it into this depth's slot so the
+		// recursion and undo logic are unchanged.
+		best := depth
+		for i := depth + 1; i < len(s.order); i++ {
+			if s.assigned[s.order[i]] {
+				continue
+			}
+			if s.assigned[s.order[best]] ||
+				s.ev.dom[s.order[i]].Size() < s.ev.dom[s.order[best]].Size() {
+				best = i
+			}
+		}
+		if best != depth {
+			s.order[depth], s.order[best] = s.order[best], s.order[depth]
+			defer func() { s.order[depth], s.order[best] = s.order[best], s.order[depth] }()
+		}
+		vid = s.order[depth]
+	}
+	v := s.m.vars[vid]
+	complete := true
+	for _, val := range s.candidateValues(v) {
+		if s.checkBudget() {
+			return false
+		}
+		s.stats.Nodes++
+		mark := len(s.trail)
+		s.setVar(vid, val)
+		ok := true
+		if s.lp != nil {
+			ok = s.lp.propagate(s, vid)
+		}
+		ok = ok && s.consistentAfter(vid) && s.boundOK()
+		if ok && s.opts.Propagate {
+			ok = s.forwardCheck(vid)
+		}
+		if ok {
+			if !s.dfs(depth + 1) {
+				complete = false
+			}
+			if s.opts.FirstSolution && s.haveSol {
+				s.stopped = true
+				s.undo(mark)
+				return false
+			}
+			if s.m.sense == Satisfy && s.haveSol {
+				// One solution suffices for satisfy problems; the subtree
+				// counts as explored so the result is reported optimal.
+				s.undo(mark)
+				return complete
+			}
+		} else {
+			s.stats.Failures++
+		}
+		s.undo(mark)
+		if s.stopped {
+			return false
+		}
+	}
+	return complete
+}
+
+// candidateValues returns the values to branch on for v, hint first.
+func (s *searcher) candidateValues(v *Var) []int64 {
+	dom := s.ev.dom[v.ID]
+	vals := dom.Values()
+	hint, hasHint := int64(0), false
+	if s.opts.Hints != nil {
+		if h, ok := s.opts.Hints[v.ID]; ok && dom.Contains(h) {
+			hint, hasHint = h, true
+		}
+	}
+	if !hasHint && s.opts.ValueOrder == nil {
+		return vals
+	}
+	ordered := make([]int64, 0, len(vals))
+	if hasHint {
+		ordered = append(ordered, hint)
+	}
+	for _, val := range vals {
+		if hasHint && val == hint {
+			continue
+		}
+		ordered = append(ordered, val)
+	}
+	if s.opts.ValueOrder != nil {
+		ordered = s.opts.ValueOrder(v, ordered)
+	}
+	return ordered
+}
+
+func (s *searcher) setVar(vid int, val int64) {
+	s.trail = append(s.trail, trailEntry{vid, s.ev.dom[vid]})
+	s.ev.dom[vid] = NewDomain(val)
+	s.assigned[vid] = true
+	s.assign[vid] = val
+	s.ev.nextGen()
+}
+
+func (s *searcher) narrowVar(vid int, d Domain) {
+	s.trail = append(s.trail, trailEntry{vid, s.ev.dom[vid]})
+	s.ev.dom[vid] = d
+	s.ev.nextGen()
+}
+
+func (s *searcher) undo(mark int) {
+	for len(s.trail) > mark {
+		e := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.ev.dom[e.varID] = e.dom
+		if e.dom.Size() > 1 {
+			s.assigned[e.varID] = false
+		}
+	}
+	s.ev.nextGen()
+}
+
+// consistentAfter checks every constraint touching vid for definite
+// violation under current bounds.
+func (s *searcher) consistentAfter(vid int) bool {
+	for _, ci := range s.varCons[vid] {
+		if s.ev.interval(s.m.constraints[ci]).False() {
+			return false
+		}
+	}
+	return true
+}
+
+// boundOK applies the branch-and-bound objective cut.
+func (s *searcher) boundOK() bool {
+	if s.m.objective == nil || !s.haveSol {
+		return true
+	}
+	iv := s.ev.interval(s.m.objective)
+	const eps = 1e-9
+	if s.m.sense == Minimize {
+		return iv.Lo < s.bestObj-eps
+	}
+	return iv.Hi > s.bestObj+eps
+}
+
+// forwardCheck prunes domains of unassigned variables that appear in
+// constraints where they are the last free variable; if a domain becomes a
+// singleton the value is committed, if it empties the branch fails.
+func (s *searcher) forwardCheck(vid int) bool {
+	for _, ci := range s.varCons[vid] {
+		c := s.m.constraints[ci]
+		free := -1
+		nFree := 0
+		for _, w := range c.Vars(nil) {
+			if !s.assigned[w] {
+				if free != w {
+					if free != -1 {
+						nFree = 2
+						break
+					}
+					free = w
+					nFree = 1
+				}
+			}
+		}
+		if nFree != 1 {
+			continue
+		}
+		dom := s.ev.dom[free]
+		keep := make([]int64, 0, dom.Size())
+		for _, val := range dom.Values() {
+			s.narrowVar(free, NewDomain(val))
+			violated := s.ev.interval(c).False()
+			// Restore just this narrowing.
+			e := s.trail[len(s.trail)-1]
+			s.trail = s.trail[:len(s.trail)-1]
+			s.ev.dom[e.varID] = e.dom
+			s.ev.nextGen()
+			if !violated {
+				keep = append(keep, val)
+			}
+		}
+		if len(keep) == 0 {
+			return false
+		}
+		if len(keep) < dom.Size() {
+			s.narrowVar(free, NewDomain(keep...))
+			if len(keep) == 1 {
+				s.assigned[free] = true
+				s.assign[free] = keep[0]
+			}
+		}
+	}
+	return true
+}
+
+func (s *searcher) recordSolution() {
+	// All variables are fixed here; verify constraints exactly (intervals on
+	// fully fixed DAGs are exact, but a model may have constraints over no
+	// variables at all).
+	vals := make([]int64, len(s.m.vars))
+	for i := range vals {
+		vals[i] = s.ev.dom[i].Min()
+	}
+	for _, c := range s.m.constraints {
+		if !c.EvalBool(vals) {
+			return
+		}
+	}
+	obj := 0.0
+	if s.m.objective != nil {
+		obj = s.m.objective.Eval(vals)
+		const eps = 1e-9
+		if s.haveSol {
+			if s.m.sense == Minimize && obj >= s.bestObj-eps {
+				return
+			}
+			if s.m.sense == Maximize && obj <= s.bestObj+eps {
+				return
+			}
+		}
+	} else if s.haveSol {
+		return
+	}
+	s.best = vals
+	s.bestObj = obj
+	s.haveSol = true
+	s.stats.Solutions++
+}
+
+// checkBudget returns true when the search must stop.
+func (s *searcher) checkBudget() bool {
+	if s.stopped {
+		return true
+	}
+	if s.opts.MaxNodes > 0 && s.stats.Nodes >= s.opts.MaxNodes {
+		s.stopped = true
+		return true
+	}
+	if !s.deadline.IsZero() && s.stats.Nodes&0xFF == 0 && time.Now().After(s.deadline) {
+		s.stopped = true
+		return true
+	}
+	return false
+}

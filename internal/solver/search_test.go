@@ -1,0 +1,297 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSolveSatisfySimple(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 9)
+	y := m.IntVar("y", 0, 9)
+	m.Require(m.Eq(m.Add(m.VarExpr(x), m.VarExpr(y)), m.Const(7)))
+	m.Require(m.Gt(m.VarExpr(x), m.VarExpr(y)))
+	sol := m.Solve(Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("Status = %v, want optimal", sol.Status)
+	}
+	xv, yv := sol.Value(x), sol.Value(y)
+	if xv+yv != 7 || xv <= yv {
+		t.Fatalf("solution x=%d y=%d violates constraints", xv, yv)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 3)
+	m.Require(m.Gt(m.VarExpr(x), m.Const(10)))
+	sol := m.Solve(Options{})
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("Status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveMinimize(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", -5, 5)
+	// minimize (x-2)^2 -> x = 2.
+	d := m.Sub(m.VarExpr(x), m.Const(2))
+	m.Minimize(m.Mul(d, d))
+	sol := m.Solve(Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("Status = %v, want optimal", sol.Status)
+	}
+	if sol.Value(x) != 2 || sol.Objective != 0 {
+		t.Fatalf("x=%d obj=%v, want x=2 obj=0", sol.Value(x), sol.Objective)
+	}
+}
+
+func TestSolveMaximize(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 10)
+	y := m.IntVar("y", 0, 10)
+	m.Require(m.Le(m.Add(m.VarExpr(x), m.VarExpr(y)), m.Const(12)))
+	m.Maximize(m.Add(m.Mul(m.VarExpr(x), m.Const(2)), m.VarExpr(y)))
+	sol := m.Solve(Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("Status = %v, want optimal", sol.Status)
+	}
+	// x=10, y=2 -> 22.
+	if sol.Objective != 22 {
+		t.Fatalf("Objective = %v, want 22", sol.Objective)
+	}
+}
+
+func TestSolveAssignmentOneHostPerVM(t *testing.T) {
+	// Miniature ACloud: 3 VMs, 2 hosts, minimize CPU stddev.
+	m := NewModel()
+	cpus := []int64{30, 20, 10}
+	nVM, nHost := 3, 2
+	vars := make([][]*Var, nVM)
+	for i := 0; i < nVM; i++ {
+		vars[i] = make([]*Var, nHost)
+		row := make([]*Expr, nHost)
+		for j := 0; j < nHost; j++ {
+			vars[i][j] = m.BoolVar("assign")
+			row[j] = m.VarExpr(vars[i][j])
+		}
+		m.Require(m.Eq(m.Sum(row...), m.Const(1)))
+	}
+	hostLoad := make([]*Expr, nHost)
+	for j := 0; j < nHost; j++ {
+		terms := make([]*Expr, nVM)
+		for i := 0; i < nVM; i++ {
+			terms[i] = m.Mul(m.VarExpr(vars[i][j]), m.ConstInt(cpus[i]))
+		}
+		hostLoad[j] = m.Sum(terms...)
+	}
+	m.Minimize(m.StdDev(hostLoad...))
+	sol := m.Solve(Options{Propagate: true})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("Status = %v, want optimal", sol.Status)
+	}
+	// Optimal split: {30} vs {20,10} -> loads 30/30 -> stddev 0.
+	if math.Abs(sol.Objective) > 1e-9 {
+		t.Fatalf("Objective = %v, want 0", sol.Objective)
+	}
+	for i := 0; i < nVM; i++ {
+		n := 0
+		for j := 0; j < nHost; j++ {
+			n += int(sol.Value(vars[i][j]))
+		}
+		if n != 1 {
+			t.Fatalf("VM %d assigned to %d hosts", i, n)
+		}
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 4)
+	y := m.IntVar("y", 0, 4)
+	z := m.IntVar("z", 0, 4)
+	xe, ye, ze := m.VarExpr(x), m.VarExpr(y), m.VarExpr(z)
+	m.Require(m.Le(m.Add(xe, ye), m.Const(6)))
+	m.Require(m.Ne(xe, ze))
+	m.Minimize(m.Add(m.Abs(m.Sub(xe, m.Const(3))), m.Add(ye, ze)))
+	got := m.Solve(Options{})
+	want := m.BruteForce()
+	if got.Status != StatusOptimal || want.Status != StatusOptimal {
+		t.Fatalf("status got=%v want=%v", got.Status, want.Status)
+	}
+	if got.Objective != want.Objective {
+		t.Fatalf("Objective got=%v bruteforce=%v", got.Objective, want.Objective)
+	}
+}
+
+func TestSolveWarmStartHint(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 9)
+	m.Require(m.Ge(m.VarExpr(x), m.Const(2)))
+	// Satisfy with hint 7: first incumbent must be the hinted value.
+	sol := m.Solve(Options{Hints: map[int]int64{x.ID: 7}})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("Status = %v", sol.Status)
+	}
+	if sol.Value(x) != 7 {
+		t.Fatalf("hinted satisfy: x=%d, want 7", sol.Value(x))
+	}
+}
+
+func TestSolveTimeBudgetAnytime(t *testing.T) {
+	// Large enough to not finish in 1ms, but any incumbent is acceptable.
+	m := NewModel()
+	n := 24
+	vars := make([]*Var, n)
+	terms := make([]*Expr, n)
+	for i := range vars {
+		vars[i] = m.IntVar("v", 0, 3)
+		terms[i] = m.VarExpr(vars[i])
+	}
+	m.Minimize(m.StdDev(terms...))
+	sol := m.Solve(Options{MaxTime: time.Millisecond})
+	if sol.Status != StatusFeasible && sol.Status != StatusOptimal {
+		t.Fatalf("Status = %v, want feasible or optimal", sol.Status)
+	}
+	if !sol.Feasible() {
+		t.Fatal("expected a usable incumbent")
+	}
+}
+
+func TestSolveNodeBudget(t *testing.T) {
+	m := NewModel()
+	for i := 0; i < 16; i++ {
+		m.IntVar("v", 0, 9)
+	}
+	obj := make([]*Expr, 16)
+	for i, v := range m.Vars() {
+		obj[i] = m.VarExpr(v)
+	}
+	m.Minimize(m.Sum(obj...))
+	sol := m.Solve(Options{MaxNodes: 100})
+	if sol.Stats.Nodes > 120 {
+		t.Fatalf("node budget not honored: %d nodes", sol.Stats.Nodes)
+	}
+}
+
+func TestSolveEmptyModel(t *testing.T) {
+	m := NewModel()
+	sol := m.Solve(Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("empty model: %v, want optimal", sol.Status)
+	}
+	m2 := NewModel()
+	m2.Require(m2.Bool(false))
+	if sol := m2.Solve(Options{}); sol.Status != StatusInfeasible {
+		t.Fatalf("false constraint: %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveSatisfyStatusOptimalOnFirst(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 100)
+	m.Require(m.Eq(m.VarExpr(x), m.Const(42)))
+	sol := m.Solve(Options{Propagate: true})
+	if sol.Status != StatusOptimal || sol.Value(x) != 42 {
+		t.Fatalf("got %v x=%d", sol.Status, sol.Value(x))
+	}
+}
+
+func TestSolveCountDistinctConstraint(t *testing.T) {
+	// Wireless interface constraint: at most 2 distinct channels.
+	m := NewModel()
+	chans := NewDomain(1, 6, 11)
+	a := m.VarWithDomain("c1", chans)
+	b := m.VarWithDomain("c2", chans)
+	c := m.VarWithDomain("c3", chans)
+	exprs := []*Expr{m.VarExpr(a), m.VarExpr(b), m.VarExpr(c)}
+	m.Require(m.Le(m.CountDistinct(exprs...), m.Const(2)))
+	m.Require(m.Ne(m.VarExpr(a), m.VarExpr(b)))
+	sol := m.Solve(Options{})
+	if sol.Status != StatusOptimal {
+		t.Fatalf("Status = %v", sol.Status)
+	}
+	distinct := map[int64]bool{sol.Value(a): true, sol.Value(b): true, sol.Value(c): true}
+	if len(distinct) > 2 {
+		t.Fatalf("got %d distinct channels, want <=2", len(distinct))
+	}
+	if sol.Value(a) == sol.Value(b) {
+		t.Fatal("a==b violates Ne")
+	}
+}
+
+func TestSolveChannelSelectionMinimizeInterference(t *testing.T) {
+	// Three links in a line; adjacent links interfere when |c1-c2| < 5.
+	m := NewModel()
+	chans := NewDomain(1, 6, 11)
+	l1 := m.VarWithDomain("l1", chans)
+	l2 := m.VarWithDomain("l2", chans)
+	l3 := m.VarWithDomain("l3", chans)
+	cost12 := m.ITE(m.Lt(m.Abs(m.Sub(m.VarExpr(l1), m.VarExpr(l2))), m.Const(5)), m.Const(1), m.Const(0))
+	cost23 := m.ITE(m.Lt(m.Abs(m.Sub(m.VarExpr(l2), m.VarExpr(l3))), m.Const(5)), m.Const(1), m.Const(0))
+	m.Minimize(m.Add(cost12, cost23))
+	sol := m.Solve(Options{})
+	if sol.Status != StatusOptimal || sol.Objective != 0 {
+		t.Fatalf("Status=%v obj=%v, want optimal 0", sol.Status, sol.Objective)
+	}
+}
+
+func TestForwardCheckPrunes(t *testing.T) {
+	m := NewModel()
+	x := m.IntVar("x", 0, 9)
+	y := m.IntVar("y", 0, 9)
+	m.Require(m.Eq(m.Add(m.VarExpr(x), m.VarExpr(y)), m.Const(9)))
+	m.Minimize(m.VarExpr(y))
+	with := m.Solve(Options{Propagate: true})
+	without := m.Solve(Options{})
+	if with.Objective != without.Objective {
+		t.Fatalf("propagation changed answer: %v vs %v", with.Objective, without.Objective)
+	}
+	if with.Stats.Nodes > without.Stats.Nodes {
+		t.Logf("note: propagation explored more nodes (%d vs %d)", with.Stats.Nodes, without.Stats.Nodes)
+	}
+}
+
+func TestSolutionValueNil(t *testing.T) {
+	s := &Solution{}
+	if s.Value(nil) != 0 {
+		t.Fatal("Value(nil) should be 0")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusOptimal.String() != "optimal" || StatusInfeasible.String() != "infeasible" ||
+		StatusFeasible.String() != "feasible" || StatusUnknown.String() != "unknown" {
+		t.Fatal("Status.String broken")
+	}
+	if Minimize.String() != "minimize" || Maximize.String() != "maximize" || Satisfy.String() != "satisfy" {
+		t.Fatal("Sense.String broken")
+	}
+}
+
+func TestDynamicOrderMatchesStatic(t *testing.T) {
+	// Same optimum regardless of variable ordering heuristic.
+	for seed := int64(0); seed < 20; seed++ {
+		m := NewModel()
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		vars := make([]*Var, n)
+		terms := make([]*Expr, n)
+		for i := range vars {
+			vars[i] = m.IntVar("v", 0, int64(1+rng.Intn(4)))
+			terms[i] = m.Mul(m.ConstInt(int64(rng.Intn(5)-2)), m.VarExpr(vars[i]))
+		}
+		m.Require(m.Le(m.Sum(terms...), m.ConstInt(int64(rng.Intn(8)))))
+		m.Minimize(m.Sum(terms...))
+		a := m.Solve(Options{})
+		b := m.Solve(Options{DynamicOrder: true})
+		if a.Status != b.Status {
+			t.Fatalf("seed %d: status %v vs %v", seed, a.Status, b.Status)
+		}
+		if a.Status == StatusOptimal && a.Objective != b.Objective {
+			t.Fatalf("seed %d: objective %v vs %v", seed, a.Objective, b.Objective)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package solver implements a finite-domain integer constraint solver with
+// branch-and-bound optimization. It plays the role Gecode plays in the
+// Cologne paper: Colog solver rules are grounded into an expression DAG over
+// decision variables, constraints restrict the search space, and a
+// goal-directed top-down search finds (approximately) optimal assignments
+// under a configurable time budget (the paper's SOLVER_MAX_TIME).
+//
+// The solver is anytime: when the budget expires it returns the best
+// incumbent found so far, mirroring the paper's close-to-optimal behaviour
+// under a 10-second cap (section 6.2).
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Status describes the outcome of a Solve call.
+type Status int
+
+const (
+	// StatusUnknown means the search neither found a solution nor proved
+	// infeasibility within its budget.
+	StatusUnknown Status = iota
+	// StatusOptimal means the returned solution was proved optimal (or, for
+	// satisfy problems, a solution was found).
+	StatusOptimal
+	// StatusFeasible means a solution was found but the search stopped (time
+	// budget or node limit) before proving optimality.
+	StatusFeasible
+	// StatusInfeasible means the search proved there is no solution.
+	StatusInfeasible
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusInfeasible:
+		return "infeasible"
+	default:
+		return "unknown"
+	}
+}
+
+// Sense is the direction of optimization.
+type Sense int
+
+const (
+	// Satisfy searches for any assignment meeting all constraints.
+	Satisfy Sense = iota
+	// Minimize searches for the assignment minimizing the objective.
+	Minimize
+	// Maximize searches for the assignment maximizing the objective.
+	Maximize
+)
+
+// String returns the Colog keyword for the sense.
+func (s Sense) String() string {
+	switch s {
+	case Minimize:
+		return "minimize"
+	case Maximize:
+		return "maximize"
+	default:
+		return "satisfy"
+	}
+}
+
+// Options control a single Solve invocation.
+type Options struct {
+	// MaxTime bounds wall-clock search time (the paper's SOLVER_MAX_TIME).
+	// Zero means no limit.
+	MaxTime time.Duration
+	// MaxNodes bounds the number of search nodes explored. Zero means no
+	// limit.
+	MaxNodes int64
+	// Hints supplies a warm-start value per variable ID; the hinted value is
+	// branched on first, so the first incumbent reproduces the hint when it
+	// is feasible. The ACloud policy warm-starts from the current VM
+	// placement.
+	Hints map[int]int64
+	// Propagate enables singleton bounds propagation on binary/small-domain
+	// variables after each assignment (stronger pruning, more work per node).
+	Propagate bool
+	// FirstSolution stops the search at the first incumbent (useful with
+	// Hints to reproduce a warm start exactly).
+	FirstSolution bool
+	// DisableLinear turns off the dedicated linear-constraint propagator
+	// (bounds tightening on sum(c_i*x_i) op K constraints); used by the
+	// ablation benchmarks.
+	DisableLinear bool
+	// DynamicOrder selects the branching variable dynamically by smallest
+	// current domain (dom heuristic) instead of the static
+	// smallest-initial-domain order. Pays off when propagation shrinks
+	// domains unevenly.
+	DynamicOrder bool
+	// ValueOrder optionally reorders the candidate values for a variable;
+	// it receives the variable and the default order and returns the order
+	// to use. Nil keeps the default ascending order (after any hint).
+	ValueOrder func(v *Var, vals []int64) []int64
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Nodes     int64         // search nodes explored
+	Failures  int64         // dead ends (constraint violations or bound cuts)
+	Solutions int64         // incumbents found
+	Elapsed   time.Duration // wall-clock search time
+}
+
+// Solution is the result of a Solve call.
+type Solution struct {
+	Status    Status
+	Values    []int64 // indexed by Var.ID; valid when Status is Optimal or Feasible
+	Objective float64 // objective value; 0 for satisfy problems
+	Stats     Stats
+}
+
+// Value returns the assigned value of v in the solution.
+func (s *Solution) Value(v *Var) int64 {
+	if v == nil || s.Values == nil || v.ID >= len(s.Values) {
+		return 0
+	}
+	return s.Values[v.ID]
+}
+
+// Feasible reports whether the solution carries a usable assignment.
+func (s *Solution) Feasible() bool {
+	return s.Status == StatusOptimal || s.Status == StatusFeasible
+}
+
+// ErrNoVariables is returned when Solve is called on a model without
+// decision variables and with an objective that cannot be evaluated.
+var ErrNoVariables = errors.New("solver: model has no decision variables")
+
+// ErrTypeMismatch is returned when a boolean expression is used in a numeric
+// position or vice versa.
+type ErrTypeMismatch struct {
+	Want, Got string
+	Context   string
+}
+
+func (e *ErrTypeMismatch) Error() string {
+	return fmt.Sprintf("solver: type mismatch in %s: want %s, got %s", e.Context, e.Want, e.Got)
+}

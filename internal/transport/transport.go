@@ -1,0 +1,217 @@
+// Package transport carries tuples between Cologne instances. Two
+// implementations mirror the paper's two deployment modes: a simulated
+// network driven by the discrete-event scheduler (the ns-3 role, used for
+// the Follow-the-Sun and wireless experiments) and a UDP transport over real
+// sockets (the paper's "implementation mode").
+//
+// Both implementations maintain per-node byte counters, which the benchmark
+// harness reads to reproduce the paper's per-node communication overhead
+// figures (Figure 5 and section 6.4).
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Message is an opaque payload addressed between named nodes.
+type Message struct {
+	From, To string
+	Payload  []byte
+}
+
+// Handler consumes messages delivered to a node.
+type Handler func(Message)
+
+// Stats accumulates traffic counters for one node.
+type Stats struct {
+	MsgsSent      int64
+	MsgsReceived  int64
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// Transport delivers messages between registered nodes.
+type Transport interface {
+	// Register installs the handler for a node address. It must be called
+	// before messages are sent to that address.
+	Register(node string, h Handler)
+	// Send delivers payload from one node to another. Delivery may be
+	// asynchronous.
+	Send(from, to string, payload []byte) error
+	// NodeStats returns the traffic counters of one node.
+	NodeStats(node string) Stats
+	// Close releases resources.
+	Close() error
+}
+
+// ErrUnknownNode is returned when sending to an unregistered address.
+type ErrUnknownNode struct{ Node string }
+
+func (e *ErrUnknownNode) Error() string {
+	return fmt.Sprintf("transport: unknown node %q", e.Node)
+}
+
+// Sim is an in-memory transport whose deliveries are events on a discrete
+// event scheduler. Per-destination latency defaults to Latency and can be
+// overridden per link. A bandwidth model adds serialization delay
+// (payload/bandwidth) when Bandwidth > 0.
+type Sim struct {
+	sched *sim.Scheduler
+	// Latency is the one-way delivery delay applied to every message.
+	Latency time.Duration
+	// Bandwidth, in bytes/second, adds len(payload)/Bandwidth of
+	// serialization delay; zero disables the bandwidth model.
+	Bandwidth int64
+	// Loss drops every n-th message when set via DropEvery (testing).
+	dropEvery int64
+	sent      int64
+
+	handlers map[string]Handler
+	links    map[string]time.Duration // "from->to" latency override
+	stats    map[string]*Stats
+}
+
+// NewSim creates a simulated transport over sched with the given base
+// latency.
+func NewSim(sched *sim.Scheduler, latency time.Duration) *Sim {
+	return &Sim{
+		sched:    sched,
+		Latency:  latency,
+		handlers: map[string]Handler{},
+		links:    map[string]time.Duration{},
+		stats:    map[string]*Stats{},
+	}
+}
+
+// SetLinkLatency overrides the latency of the directed link from->to.
+func (t *Sim) SetLinkLatency(from, to string, d time.Duration) {
+	t.links[from+"->"+to] = d
+}
+
+// DropEvery makes the transport silently drop every n-th message (n > 0),
+// for failure-injection tests. Zero disables dropping.
+func (t *Sim) DropEvery(n int64) { t.dropEvery = n }
+
+// Register implements Transport.
+func (t *Sim) Register(node string, h Handler) {
+	t.handlers[node] = h
+	if t.stats[node] == nil {
+		t.stats[node] = &Stats{}
+	}
+}
+
+// Send implements Transport: the message is delivered as a scheduler event
+// after the link latency (plus serialization delay under the bandwidth
+// model).
+func (t *Sim) Send(from, to string, payload []byte) error {
+	h, ok := t.handlers[to]
+	if !ok {
+		return &ErrUnknownNode{Node: to}
+	}
+	if t.stats[from] == nil {
+		t.stats[from] = &Stats{}
+	}
+	st := t.stats[from]
+	st.MsgsSent++
+	st.BytesSent += int64(len(payload))
+	t.sent++
+	if t.dropEvery > 0 && t.sent%t.dropEvery == 0 {
+		return nil // dropped in flight
+	}
+	delay := t.Latency
+	if d, ok := t.links[from+"->"+to]; ok {
+		delay = d
+	}
+	if t.Bandwidth > 0 {
+		delay += time.Duration(int64(len(payload)) * int64(time.Second) / t.Bandwidth)
+	}
+	msg := Message{From: from, To: to, Payload: append([]byte(nil), payload...)}
+	t.sched.Schedule(delay, func() {
+		rst := t.stats[to]
+		rst.MsgsReceived++
+		rst.BytesReceived += int64(len(msg.Payload))
+		h(msg)
+	})
+	return nil
+}
+
+// NodeStats implements Transport.
+func (t *Sim) NodeStats(node string) Stats {
+	if st, ok := t.stats[node]; ok {
+		return *st
+	}
+	return Stats{}
+}
+
+// TotalBytes returns the sum of bytes sent by all nodes.
+func (t *Sim) TotalBytes() int64 {
+	var n int64
+	for _, st := range t.stats {
+		n += st.BytesSent
+	}
+	return n
+}
+
+// Close implements Transport.
+func (t *Sim) Close() error { return nil }
+
+// Loopback is a synchronous in-process transport without a scheduler:
+// messages are delivered immediately on Send. It backs centralized
+// deployments and unit tests.
+type Loopback struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	stats    map[string]*Stats
+}
+
+// NewLoopback creates an empty synchronous transport.
+func NewLoopback() *Loopback {
+	return &Loopback{handlers: map[string]Handler{}, stats: map[string]*Stats{}}
+}
+
+// Register implements Transport.
+func (t *Loopback) Register(node string, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[node] = h
+	if t.stats[node] == nil {
+		t.stats[node] = &Stats{}
+	}
+}
+
+// Send implements Transport, delivering synchronously.
+func (t *Loopback) Send(from, to string, payload []byte) error {
+	t.mu.Lock()
+	h, ok := t.handlers[to]
+	if !ok {
+		t.mu.Unlock()
+		return &ErrUnknownNode{Node: to}
+	}
+	if t.stats[from] == nil {
+		t.stats[from] = &Stats{}
+	}
+	t.stats[from].MsgsSent++
+	t.stats[from].BytesSent += int64(len(payload))
+	t.stats[to].MsgsReceived++
+	t.stats[to].BytesReceived += int64(len(payload))
+	t.mu.Unlock()
+	h(Message{From: from, To: to, Payload: payload})
+	return nil
+}
+
+// NodeStats implements Transport.
+func (t *Loopback) NodeStats(node string) Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.stats[node]; ok {
+		return *st
+	}
+	return Stats{}
+}
+
+// Close implements Transport.
+func (t *Loopback) Close() error { return nil }

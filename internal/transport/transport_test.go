@@ -1,0 +1,203 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSimDelivery(t *testing.T) {
+	sched := sim.NewScheduler()
+	tr := NewSim(sched, 10*time.Millisecond)
+	var got []Message
+	tr.Register("a", func(m Message) { got = append(got, m) })
+	tr.Register("b", func(m Message) { got = append(got, m) })
+	if err := tr.Send("a", "b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("delivered before scheduler ran")
+	}
+	sched.RunUntilIdle(0)
+	if len(got) != 1 || string(got[0].Payload) != "hello" || got[0].From != "a" {
+		t.Fatalf("got %v", got)
+	}
+	if sched.Now() != 10*time.Millisecond {
+		t.Fatalf("delivery time = %v", sched.Now())
+	}
+}
+
+func TestSimUnknownNode(t *testing.T) {
+	tr := NewSim(sim.NewScheduler(), 0)
+	tr.Register("a", func(Message) {})
+	err := tr.Send("a", "nope", nil)
+	if _, ok := err.(*ErrUnknownNode); !ok {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestSimStats(t *testing.T) {
+	sched := sim.NewScheduler()
+	tr := NewSim(sched, time.Millisecond)
+	tr.Register("a", func(Message) {})
+	tr.Register("b", func(Message) {})
+	for i := 0; i < 5; i++ {
+		tr.Send("a", "b", make([]byte, 100))
+	}
+	sched.RunUntilIdle(0)
+	sa, sb := tr.NodeStats("a"), tr.NodeStats("b")
+	if sa.MsgsSent != 5 || sa.BytesSent != 500 {
+		t.Fatalf("sender stats = %+v", sa)
+	}
+	if sb.MsgsReceived != 5 || sb.BytesReceived != 500 {
+		t.Fatalf("receiver stats = %+v", sb)
+	}
+	if tr.TotalBytes() != 500 {
+		t.Fatalf("TotalBytes = %d", tr.TotalBytes())
+	}
+}
+
+func TestSimLinkLatencyOverride(t *testing.T) {
+	sched := sim.NewScheduler()
+	tr := NewSim(sched, time.Millisecond)
+	tr.SetLinkLatency("a", "b", time.Second)
+	var at time.Duration
+	tr.Register("b", func(Message) { at = sched.Now() })
+	tr.Register("a", func(Message) {})
+	tr.Send("a", "b", []byte("x"))
+	sched.RunUntilIdle(0)
+	if at != time.Second {
+		t.Fatalf("delivered at %v, want 1s", at)
+	}
+}
+
+func TestSimBandwidthModel(t *testing.T) {
+	sched := sim.NewScheduler()
+	tr := NewSim(sched, 0)
+	tr.Bandwidth = 1000 // 1000 B/s -> 100 bytes = 100ms
+	var at time.Duration
+	tr.Register("b", func(Message) { at = sched.Now() })
+	tr.Register("a", func(Message) {})
+	tr.Send("a", "b", make([]byte, 100))
+	sched.RunUntilIdle(0)
+	if at != 100*time.Millisecond {
+		t.Fatalf("delivered at %v, want 100ms", at)
+	}
+}
+
+func TestSimDropEvery(t *testing.T) {
+	sched := sim.NewScheduler()
+	tr := NewSim(sched, 0)
+	n := 0
+	tr.Register("b", func(Message) { n++ })
+	tr.Register("a", func(Message) {})
+	tr.DropEvery(2)
+	for i := 0; i < 10; i++ {
+		tr.Send("a", "b", []byte("x"))
+	}
+	sched.RunUntilIdle(0)
+	if n != 5 {
+		t.Fatalf("delivered %d, want 5 (every 2nd dropped)", n)
+	}
+}
+
+func TestLoopbackSynchronous(t *testing.T) {
+	tr := NewLoopback()
+	var got string
+	tr.Register("b", func(m Message) { got = string(m.Payload) })
+	tr.Register("a", func(Message) {})
+	tr.Send("a", "b", []byte("sync"))
+	if got != "sync" {
+		t.Fatalf("got %q", got)
+	}
+	if s := tr.NodeStats("a"); s.MsgsSent != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	tr := NewUDP()
+	defer tr.Close()
+	var mu sync.Mutex
+	var got []Message
+	done := make(chan struct{}, 4)
+	tr.Register("a", func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	tr.Register("b", func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+		done <- struct{}{}
+	})
+	if err := tr.Send("a", "b", []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send("b", "a", []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("timeout waiting for UDP delivery")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("got %d messages", len(got))
+	}
+	seen := map[string]string{}
+	for _, m := range got {
+		seen[string(m.Payload)] = m.From
+	}
+	if seen["ping"] != "a" || seen["pong"] != "b" {
+		t.Fatalf("messages = %v", seen)
+	}
+}
+
+func TestUDPUnknownNode(t *testing.T) {
+	tr := NewUDP()
+	defer tr.Close()
+	tr.Register("a", func(Message) {})
+	if err := tr.Send("a", "ghost", []byte("x")); err == nil {
+		t.Fatal("expected error for unknown node")
+	}
+}
+
+func TestUDPStats(t *testing.T) {
+	tr := NewUDP()
+	defer tr.Close()
+	done := make(chan struct{}, 1)
+	tr.Register("a", func(Message) {})
+	tr.Register("b", func(Message) { done <- struct{}{} })
+	tr.Send("a", "b", make([]byte, 64))
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout")
+	}
+	if s := tr.NodeStats("a"); s.BytesSent != 64 {
+		t.Fatalf("sender stats = %+v", s)
+	}
+	if s := tr.NodeStats("b"); s.BytesReceived != 64 {
+		t.Fatalf("receiver stats = %+v", s)
+	}
+}
+
+func TestUDPCloseIdempotent(t *testing.T) {
+	tr := NewUDP()
+	tr.Register("a", func(Message) {})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

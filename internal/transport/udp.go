@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDP is a real-socket transport implementing the paper's "implementation
+// mode": the same engine code runs unchanged, but tuples travel over UDP
+// datagrams instead of the simulated network. Each registered node binds a
+// loopback UDP socket; an address book maps node names to socket addresses.
+type UDP struct {
+	mu       sync.Mutex
+	conns    map[string]*net.UDPConn
+	addrs    map[string]*net.UDPAddr
+	handlers map[string]Handler
+	stats    map[string]*Stats
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewUDP creates an empty UDP transport.
+func NewUDP() *UDP {
+	return &UDP{
+		conns:    map[string]*net.UDPConn{},
+		addrs:    map[string]*net.UDPAddr{},
+		handlers: map[string]Handler{},
+		stats:    map[string]*Stats{},
+	}
+}
+
+// Register implements Transport: it binds an ephemeral loopback UDP socket
+// for the node and starts its receive loop.
+func (t *UDP) Register(node string, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.conns[node]; exists {
+		t.handlers[node] = h
+		return
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		panic(fmt.Sprintf("transport: cannot bind UDP socket for %s: %v", node, err))
+	}
+	t.conns[node] = conn
+	t.addrs[node] = conn.LocalAddr().(*net.UDPAddr)
+	t.handlers[node] = h
+	t.stats[node] = &Stats{}
+	t.wg.Add(1)
+	go t.recvLoop(node, conn)
+}
+
+func (t *UDP) recvLoop(node string, conn *net.UDPConn) {
+	defer t.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if n < 2 {
+			continue
+		}
+		// Frame: fromLen byte, from, payload.
+		fl := int(buf[0])
+		if 1+fl > n {
+			continue
+		}
+		from := string(buf[1 : 1+fl])
+		payload := append([]byte(nil), buf[1+fl:n]...)
+		t.mu.Lock()
+		h := t.handlers[node]
+		if st := t.stats[node]; st != nil {
+			st.MsgsReceived++
+			st.BytesReceived += int64(len(payload))
+		}
+		t.mu.Unlock()
+		if h != nil {
+			h(Message{From: from, To: node, Payload: payload})
+		}
+	}
+}
+
+// Send implements Transport.
+func (t *UDP) Send(from, to string, payload []byte) error {
+	t.mu.Lock()
+	dst, ok := t.addrs[to]
+	src := t.conns[from]
+	st := t.stats[from]
+	t.mu.Unlock()
+	if !ok {
+		return &ErrUnknownNode{Node: to}
+	}
+	if len(from) > 255 {
+		return fmt.Errorf("transport: node name %q too long", from)
+	}
+	frame := make([]byte, 0, 1+len(from)+len(payload))
+	frame = append(frame, byte(len(from)))
+	frame = append(frame, from...)
+	frame = append(frame, payload...)
+	var err error
+	if src != nil {
+		_, err = src.WriteToUDP(frame, dst)
+	} else {
+		// Sender without a registered socket: use a throwaway connection.
+		var c *net.UDPConn
+		c, err = net.DialUDP("udp", nil, dst)
+		if err == nil {
+			_, err = c.Write(frame)
+			c.Close()
+		}
+	}
+	if err == nil && st != nil {
+		t.mu.Lock()
+		st.MsgsSent++
+		st.BytesSent += int64(len(payload))
+		t.mu.Unlock()
+	}
+	return err
+}
+
+// NodeStats implements Transport.
+func (t *UDP) NodeStats(node string) Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if st, ok := t.stats[node]; ok {
+		return *st
+	}
+	return Stats{}
+}
+
+// Close implements Transport: all sockets are closed and receive loops
+// joined.
+func (t *UDP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,333 @@
+// Package wireless implements the paper's third use case (sections 3.2,
+// 6.4, appendix A): channel selection on a multi-radio wireless grid. The
+// ORBIT testbed is replaced by a radio model with the same observables —
+// channel-overlap interference within two hops, capacity shared among
+// interfering transmissions, multi-hop flows — against which five protocols
+// are compared: the Colog centralized and distributed channel selection, a
+// cross-layer variant that co-optimizes routing, and the paper's two
+// baselines (identical channel assignment and a single shared interface).
+// The harness reproduces Figures 6 and 7.
+package wireless
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NodeID identifies a grid node ("n0".."n29").
+type NodeID string
+
+// Link is an undirected link between adjacent grid nodes, stored with
+// A < B lexicographically.
+type Link struct {
+	A, B NodeID
+}
+
+func orient(a, b NodeID) Link {
+	if a > b {
+		a, b = b, a
+	}
+	return Link{a, b}
+}
+
+func (l Link) String() string { return fmt.Sprintf("%s-%s", l.A, l.B) }
+
+// Topology is the wireless mesh: grid nodes, adjacency, and per-node
+// forbidden channels (primary users).
+type Topology struct {
+	W, H  int
+	Nodes []NodeID
+	Links []Link
+	Adj   map[NodeID][]NodeID
+	// PrimaryUsers maps a node to channels occupied by primary users in its
+	// vicinity (constraint 9 of the COP formulation).
+	PrimaryUsers map[NodeID][]int64
+	// twoHop caches, per link, the links within its two-hop interference
+	// range.
+	twoHop map[Link][]Link
+	oneHop map[Link][]Link
+}
+
+// Grid builds a W x H grid topology (the paper's 30-node ORBIT slice is
+// 6 x 5).
+func Grid(w, h int) *Topology {
+	t := &Topology{
+		W: w, H: h,
+		Adj:          map[NodeID][]NodeID{},
+		PrimaryUsers: map[NodeID][]int64{},
+	}
+	id := func(x, y int) NodeID { return NodeID(fmt.Sprintf("n%02d", y*w+x)) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			t.Nodes = append(t.Nodes, id(x, y))
+		}
+	}
+	addLink := func(a, b NodeID) {
+		t.Links = append(t.Links, orient(a, b))
+		t.Adj[a] = append(t.Adj[a], b)
+		t.Adj[b] = append(t.Adj[b], a)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				addLink(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				addLink(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	sort.Slice(t.Links, func(i, j int) bool {
+		if t.Links[i].A != t.Links[j].A {
+			return t.Links[i].A < t.Links[j].A
+		}
+		return t.Links[i].B < t.Links[j].B
+	})
+	t.buildInterferenceSets()
+	return t
+}
+
+// buildInterferenceSets precomputes, for every link, the other links within
+// one and two hops (the interference neighborhoods of the two models in
+// [28]).
+func (t *Topology) buildInterferenceSets() {
+	t.oneHop = map[Link][]Link{}
+	t.twoHop = map[Link][]Link{}
+	touch := map[NodeID][]Link{}
+	for _, l := range t.Links {
+		touch[l.A] = append(touch[l.A], l)
+		touch[l.B] = append(touch[l.B], l)
+	}
+	for _, l := range t.Links {
+		seen1 := map[Link]bool{l: true}
+		seen2 := map[Link]bool{l: true}
+		for _, end := range []NodeID{l.A, l.B} {
+			for _, o := range touch[end] {
+				if !seen1[o] {
+					seen1[o] = true
+					t.oneHop[l] = append(t.oneHop[l], o)
+				}
+				if !seen2[o] {
+					seen2[o] = true
+					t.twoHop[l] = append(t.twoHop[l], o)
+				}
+			}
+			// Two hops: links touching a neighbor of this endpoint.
+			for _, nbor := range t.Adj[end] {
+				for _, o := range touch[nbor] {
+					if !seen2[o] {
+						seen2[o] = true
+						t.twoHop[l] = append(t.twoHop[l], o)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Interferers returns the links within the interference range of l under
+// the chosen model.
+func (t *Topology) Interferers(l Link, twoHop bool) []Link {
+	if twoHop {
+		return t.twoHop[l]
+	}
+	return t.oneHop[l]
+}
+
+// Assignment maps each undirected link to its channel.
+type Assignment map[Link]int64
+
+// InterferenceCost counts interfering link pairs under the two-hop physical
+// model (equation 7's objective evaluated on a concrete assignment).
+func (t *Topology) InterferenceCost(a Assignment, fMindiff int64) int {
+	cost := 0
+	for _, l := range t.Links {
+		for _, o := range t.twoHop[l] {
+			if chanInterferes(a[l], a[o], fMindiff) {
+				cost++
+			}
+		}
+	}
+	return cost / 2 // each pair counted twice
+}
+
+func chanInterferes(c1, c2, fMindiff int64) bool {
+	d := c1 - c2
+	if d < 0 {
+		d = -d
+	}
+	return d < fMindiff
+}
+
+// Flow is one unicast traffic demand.
+type Flow struct {
+	Src, Dst NodeID
+	Path     []Link
+}
+
+// RandomFlows draws n distinct src/dst pairs.
+func (t *Topology) RandomFlows(n int, rng *rand.Rand) []Flow {
+	flows := make([]Flow, 0, n)
+	for len(flows) < n {
+		s := t.Nodes[rng.Intn(len(t.Nodes))]
+		d := t.Nodes[rng.Intn(len(t.Nodes))]
+		if s == d {
+			continue
+		}
+		flows = append(flows, Flow{Src: s, Dst: d})
+	}
+	return flows
+}
+
+// RoutePaths computes flow paths with Dijkstra over the given link weight
+// function (hop count when weight is nil).
+func (t *Topology) RoutePaths(flows []Flow, weight func(Link) float64) {
+	for i := range flows {
+		flows[i].Path = t.shortestPath(flows[i].Src, flows[i].Dst, weight)
+	}
+}
+
+func (t *Topology) shortestPath(src, dst NodeID, weight func(Link) float64) []Link {
+	const inf = 1e18
+	dist := map[NodeID]float64{src: 0}
+	prev := map[NodeID]NodeID{}
+	visited := map[NodeID]bool{}
+	for {
+		// Linear-scan extract-min: topologies here are small.
+		var u NodeID
+		best := inf
+		for _, n := range t.Nodes {
+			if d, ok := dist[n]; ok && !visited[n] && d < best {
+				best, u = d, n
+			}
+		}
+		if best == inf {
+			return nil
+		}
+		if u == dst {
+			break
+		}
+		visited[u] = true
+		for _, v := range t.Adj[u] {
+			w := 1.0
+			if weight != nil {
+				w = weight(orient(u, v))
+			}
+			if nd := dist[u] + w; nd < getOr(dist, v, inf) {
+				dist[v] = nd
+				prev[v] = u
+			}
+		}
+	}
+	var path []Link
+	for at := dst; at != src; at = prev[at] {
+		p, ok := prev[at]
+		if !ok {
+			return nil
+		}
+		path = append(path, orient(p, at))
+	}
+	// Reverse to src->dst order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+func getOr(m map[NodeID]float64, k NodeID, def float64) float64 {
+	if v, ok := m[k]; ok {
+		return v
+	}
+	return def
+}
+
+// ThroughputModel evaluates delivered throughput for a set of flows under a
+// channel assignment: every loaded link shares its nominal capacity with
+// the loaded links interfering with it (always judged under the two-hop
+// physical model), and a flow is throttled by its bottleneck link.
+type ThroughputModel struct {
+	Topo         *Topology
+	CapacityMbps float64
+	FMindiff     int64
+}
+
+// Aggregate returns the network-wide delivered throughput (Mbps) when every
+// flow offers ratePerFlow Mbps.
+func (m *ThroughputModel) Aggregate(flows []Flow, a Assignment, ratePerFlow float64) float64 {
+	load := map[Link]float64{}
+	for _, f := range flows {
+		for _, l := range f.Path {
+			load[l] += ratePerFlow
+		}
+	}
+	// Effective capacity under interference.
+	eff := map[Link]float64{}
+	for l, ld := range load {
+		if ld <= 0 {
+			continue
+		}
+		n := 0
+		for _, o := range m.Topo.twoHop[l] {
+			if load[o] > 0 && chanInterferes(a[l], a[o], m.FMindiff) {
+				n++
+			}
+		}
+		eff[l] = m.CapacityMbps / float64(1+n)
+	}
+	total := 0.0
+	for _, f := range flows {
+		if len(f.Path) == 0 {
+			continue
+		}
+		rate := ratePerFlow
+		for _, l := range f.Path {
+			share := eff[l] / load[l] * ratePerFlow
+			if share < rate {
+				rate = share
+			}
+		}
+		if rate > 0 {
+			total += rate
+		}
+	}
+	return total
+}
+
+// GreedyColoring assigns channels link by link, minimizing interference
+// with already-colored links in the chosen neighborhood; it is both the
+// warm start for the centralized COP and a reference heuristic.
+func GreedyColoring(t *Topology, channels []int64, fMindiff int64, twoHop bool) Assignment {
+	a := Assignment{}
+	for _, l := range t.Links {
+		bestC, bestCost := channels[0], 1<<30
+		for _, c := range channels {
+			if forbidden(t, l, c) {
+				continue
+			}
+			cost := 0
+			for _, o := range t.Interferers(l, twoHop) {
+				if oc, ok := a[o]; ok && chanInterferes(c, oc, fMindiff) {
+					cost++
+				}
+			}
+			if cost < bestCost {
+				bestCost, bestC = cost, c
+			}
+		}
+		a[l] = bestC
+	}
+	return a
+}
+
+func forbidden(t *Topology, l Link, c int64) bool {
+	for _, end := range []NodeID{l.A, l.B} {
+		for _, pc := range t.PrimaryUsers[end] {
+			if pc == c {
+				return true
+			}
+		}
+	}
+	return false
+}
+

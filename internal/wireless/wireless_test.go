@@ -1,0 +1,257 @@
+package wireless
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func tinyParams() Params {
+	p := DefaultParams()
+	p.GridW, p.GridH = 3, 3
+	p.NumFlows = 5
+	p.SolverMaxNodes = 3000
+	p.SolverMaxTime = 300 * time.Millisecond
+	p.Passes = 1
+	p.Rates = []float64{0.5, 2.0, 4.0}
+	return p
+}
+
+func TestGridTopology(t *testing.T) {
+	topo := Grid(6, 5)
+	if len(topo.Nodes) != 30 {
+		t.Fatalf("nodes = %d, want 30", len(topo.Nodes))
+	}
+	// 6x5 grid: 5*5 horizontal + 6*4 vertical = 49 links.
+	if len(topo.Links) != 49 {
+		t.Fatalf("links = %d, want 49", len(topo.Links))
+	}
+	// Interference sets: one-hop subset of two-hop.
+	for _, l := range topo.Links {
+		one := map[Link]bool{}
+		for _, o := range topo.Interferers(l, false) {
+			one[o] = true
+		}
+		two := map[Link]bool{}
+		for _, o := range topo.Interferers(l, true) {
+			two[o] = true
+		}
+		if len(two) < len(one) {
+			t.Fatalf("link %s: two-hop set smaller than one-hop", l)
+		}
+		for o := range one {
+			if !two[o] {
+				t.Fatalf("link %s: one-hop interferer %s missing from two-hop set", l, o)
+			}
+		}
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	topo := Grid(4, 1) // a line n0-n1-n2-n3
+	path := topo.shortestPath("n00", "n03", nil)
+	if len(path) != 3 {
+		t.Fatalf("path = %v", path)
+	}
+	if p := topo.shortestPath("n00", "n00", nil); len(p) != 0 {
+		t.Fatalf("self path = %v", p)
+	}
+}
+
+func TestGreedyColoringAvoidsAdjacentConflicts(t *testing.T) {
+	topo := Grid(3, 3)
+	a := GreedyColoring(topo, []int64{1, 6, 11}, 5, true)
+	if len(a) != len(topo.Links) {
+		t.Fatalf("assignment covers %d links, want %d", len(a), len(topo.Links))
+	}
+	full := topo.InterferenceCost(uniformAssignment(topo, 6), 5)
+	colored := topo.InterferenceCost(a, 5)
+	if colored >= full {
+		t.Fatalf("greedy coloring (%d) no better than single channel (%d)", colored, full)
+	}
+}
+
+func TestGreedyColoringRespectsPrimaryUsers(t *testing.T) {
+	topo := Grid(2, 2)
+	topo.PrimaryUsers["n00"] = []int64{1, 6}
+	a := GreedyColoring(topo, []int64{1, 6, 11}, 5, true)
+	for l, c := range a {
+		if (l.A == "n00" || l.B == "n00") && c != 11 {
+			t.Fatalf("link %s uses forbidden channel %d", l, c)
+		}
+	}
+}
+
+func TestThroughputModelMonotoneInChannelDiversity(t *testing.T) {
+	topo := Grid(3, 3)
+	rng := rand.New(rand.NewSource(1))
+	flows := topo.RandomFlows(6, rng)
+	topo.RoutePaths(flows, nil)
+	m := &ThroughputModel{Topo: topo, CapacityMbps: 11, FMindiff: 5}
+	single := m.Aggregate(flows, uniformAssignment(topo, 6), 1.0)
+	diverse := m.Aggregate(flows, GreedyColoring(topo, []int64{1, 6, 11}, 5, true), 1.0)
+	if diverse <= single {
+		t.Fatalf("diverse channels (%.2f) not better than single (%.2f)", diverse, single)
+	}
+	// Throughput can never exceed offered load.
+	if diverse > 6.0+1e-9 {
+		t.Fatalf("throughput %.2f exceeds offered 6.0", diverse)
+	}
+}
+
+func TestRunOneInterface(t *testing.T) {
+	res, err := Run(tinyParams(), OneInterface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ThroughputMbps) != 3 {
+		t.Fatalf("series length = %d", len(res.ThroughputMbps))
+	}
+	for i, th := range res.ThroughputMbps {
+		if th < 0 || th > res.OfferedMbps[i]+1e-9 {
+			t.Fatalf("throughput %v outside [0, offered=%v]", th, res.OfferedMbps[i])
+		}
+	}
+}
+
+func TestRunCentralizedBeatsOneInterface(t *testing.T) {
+	p := tinyParams()
+	one, err := Run(p, OneInterface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, err := Run(p, Centralized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare at the highest offered rate, where interference binds.
+	last := len(p.Rates) - 1
+	if cent.ThroughputMbps[last] <= one.ThroughputMbps[last] {
+		t.Fatalf("Centralized (%.2f) not above 1-Interface (%.2f)",
+			cent.ThroughputMbps[last], one.ThroughputMbps[last])
+	}
+	if cent.Interference >= one.Interference {
+		t.Fatalf("Centralized interference %d not below 1-Interface %d",
+			cent.Interference, one.Interference)
+	}
+}
+
+func TestRunDistributed(t *testing.T) {
+	p := tinyParams()
+	res, err := Run(p, Distributed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Convergence == 0 {
+		t.Fatal("no convergence time recorded")
+	}
+	if res.PerNodeKBps <= 0 {
+		t.Fatal("no bandwidth recorded")
+	}
+	one, err := Run(p, OneInterface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(p.Rates) - 1
+	if res.ThroughputMbps[last] <= one.ThroughputMbps[last] {
+		t.Fatalf("Distributed (%.2f) not above 1-Interface (%.2f)",
+			res.ThroughputMbps[last], one.ThroughputMbps[last])
+	}
+}
+
+func TestRunCrossLayerAtLeastDistributed(t *testing.T) {
+	p := tinyParams()
+	dist, err := Run(p, Distributed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := Run(p, CrossLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(p.Rates) - 1
+	if cross.ThroughputMbps[last] < dist.ThroughputMbps[last]-0.5 {
+		t.Fatalf("Cross-layer (%.2f) clearly below Distributed (%.2f)",
+			cross.ThroughputMbps[last], dist.ThroughputMbps[last])
+	}
+}
+
+func TestRestrictedChannelsReduceThroughput(t *testing.T) {
+	p := tinyParams()
+	base, err := Run(p, CrossLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RestrictedChannels = true
+	restricted, err := Run(p, CrossLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(p.Rates) - 1
+	if restricted.ThroughputMbps[last] > base.ThroughputMbps[last]+1e-9 {
+		t.Fatalf("restricted channels improved throughput: %.2f > %.2f",
+			restricted.ThroughputMbps[last], base.ThroughputMbps[last])
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	names := map[Protocol]string{
+		OneInterface: "1-Interface", IdenticalCh: "Identical-Ch",
+		Centralized: "Centralized", Distributed: "Distributed",
+		CrossLayer: "Cross-layer",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestInterferenceCostSymmetric(t *testing.T) {
+	topo := Grid(2, 2)
+	a := uniformAssignment(topo, 6)
+	c := topo.InterferenceCost(a, 5)
+	if c <= 0 {
+		t.Fatalf("uniform assignment has no interference: %d", c)
+	}
+}
+
+func TestRateSweepAllProtocols(t *testing.T) {
+	p := tinyParams()
+	all, err := RateSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("protocols = %d, want 5", len(all))
+	}
+	last := len(p.Rates) - 1
+	// Figure 6 ordering at saturation: everything beats 1-Interface.
+	one := all[OneInterface].ThroughputMbps[last]
+	for proto, r := range all {
+		if proto == OneInterface {
+			continue
+		}
+		if r.ThroughputMbps[last] < one {
+			t.Errorf("%s (%.2f) below 1-Interface (%.2f)", proto, r.ThroughputMbps[last], one)
+		}
+	}
+}
+
+func TestIdenticalChUsesTwoChannels(t *testing.T) {
+	p := tinyParams()
+	res, err := Run(p, IdenticalCh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical-Ch must sit between 1-Interface and Distributed.
+	one, err := Run(p, OneInterface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(p.Rates) - 1
+	if res.ThroughputMbps[last] < one.ThroughputMbps[last] {
+		t.Fatalf("Identical-Ch (%.2f) below 1-Interface (%.2f)",
+			res.ThroughputMbps[last], one.ThroughputMbps[last])
+	}
+}
