@@ -1,0 +1,27 @@
+# Local targets mirroring .github/workflows/ci.yml exactly: `make ci` is
+# what the gate runs.
+
+GO ?= go
+
+.PHONY: build test bench lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Full benchmark grid (paper figures + micro-benches). Use BENCH to focus,
+# e.g. make bench BENCH=BenchmarkEngineInsertFixpoint
+BENCH ?= .
+bench:
+	$(GO) test -run='^$$' -bench='$(BENCH)' -benchmem .
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+	$(GO) vet ./...
+
+ci: lint build test
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

@@ -2,6 +2,7 @@ package colog
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -94,9 +95,9 @@ func (v Value) String() string {
 func (v Value) Key() string {
 	switch v.Kind {
 	case KindInt:
-		return fmt.Sprintf("i%d", v.I)
+		return "i" + strconv.FormatInt(v.I, 10)
 	case KindFloat:
-		return fmt.Sprintf("f%g", v.F)
+		return "f" + strconv.FormatFloat(v.F, 'g', -1, 64)
 	case KindString:
 		return "s" + v.S
 	case KindBool:
@@ -106,6 +107,28 @@ func (v Value) Key() string {
 		return "b0"
 	}
 	return "?"
+}
+
+// AppendKey appends the value's map-key representation to dst, avoiding the
+// intermediate string allocations of Key on hot paths.
+func (v Value) AppendKey(dst []byte) []byte {
+	switch v.Kind {
+	case KindInt:
+		dst = append(dst, 'i')
+		return strconv.AppendInt(dst, v.I, 10)
+	case KindFloat:
+		dst = append(dst, 'f')
+		return strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+	case KindString:
+		dst = append(dst, 's')
+		return append(dst, v.S...)
+	case KindBool:
+		if v.B {
+			return append(dst, 'b', '1')
+		}
+		return append(dst, 'b', '0')
+	}
+	return append(dst, '?')
 }
 
 // BinOp enumerates binary operators in Colog expressions.

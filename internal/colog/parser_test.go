@@ -265,10 +265,10 @@ func TestParseGoalSatisfy(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := []string{
-		`goal minimize C hostStdevCpu(C).`,       // missing in
-		`r1 p(X) <- q(X)`,                        // missing period
-		`p(X <- q(X).`,                           // unbalanced paren
-		`var assign(V) domain [1,0] forall t(V)`, // clauses out of order
+		`goal minimize C hostStdevCpu(C).`,                  // missing in
+		`r1 p(X) <- q(X)`,                                   // missing period
+		`p(X <- q(X).`,                                      // unbalanced paren
+		`var assign(V) domain [1,0] forall t(V)`,            // clauses out of order
 		`goal minimize C in t(C). goal minimize D in u(D).`, // duplicate goal
 		`r1 p("unterminated) <- q(X).`,
 		`p(X) :< q(X).`,

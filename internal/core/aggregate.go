@@ -15,6 +15,9 @@ import (
 type aggState struct {
 	fn     colog.AggFunc
 	groups map[string]*aggGroup
+	// Scratch buffers so per-delta group lookups allocate nothing.
+	gvScratch  []colog.Value
+	keyScratch []byte
 }
 
 type aggGroup struct {
@@ -22,6 +25,16 @@ type aggGroup struct {
 	items     map[string]*aggItem
 	total     int
 	emitted   *Tuple // head tuple currently visible, nil if none
+	// Incremental accumulators, exact while every contributed value is an
+	// integer (intOnly); SUM/SUMABS then fold in O(1) per delta instead of
+	// rescanning the multiset. A non-integer contribution freezes the
+	// accumulators and falls back to recomputation. Only the int64 sums
+	// are maintained: float accumulators would suffer cancellation on
+	// retraction (e.g. STDEV mixing huge and small values), so AVG/STDEV
+	// always recompute from the multiset.
+	intOnly bool
+	sumI    int64
+	sumAbsI int64
 }
 
 type aggItem struct {
@@ -29,9 +42,53 @@ type aggItem struct {
 	count int
 }
 
+// fold updates the incremental accumulators for one contribution.
+func (g *aggGroup) fold(v colog.Value, sign int) {
+	if !g.intOnly {
+		return
+	}
+	if v.Kind != colog.KindInt {
+		g.intOnly = false
+		return
+	}
+	a := v.I
+	if a < 0 {
+		a = -a
+	}
+	if sign > 0 {
+		g.sumI += v.I
+		g.sumAbsI += a
+	} else {
+		g.sumI -= v.I
+		g.sumAbsI -= a
+	}
+}
+
+// computeFast folds the group from its accumulators when exact, reporting
+// ok=false when the generic recomputation is needed (non-integer values, or
+// the aggregates that need the full multiset).
+func (g *aggGroup) computeFast(fn colog.AggFunc) (colog.Value, bool) {
+	switch fn {
+	case colog.AggCount:
+		return colog.IntVal(int64(g.total)), true
+	case colog.AggUnique:
+		return colog.IntVal(int64(len(g.items))), true
+	}
+	if !g.intOnly {
+		return colog.Value{}, false
+	}
+	switch fn {
+	case colog.AggSum:
+		return colog.IntVal(g.sumI), true
+	case colog.AggSumAbs:
+		return colog.IntVal(g.sumAbsI), true
+	}
+	return colog.Value{}, false
+}
+
 // updateAggregate folds one body match (sign +1/-1) into the rule's
 // aggregate state and re-emits the group's head tuple.
-func (n *Node) updateAggregate(p *plan, env map[string]colog.Value, sign int) error {
+func (n *Node) updateAggregate(p *plan, f *bindFrame, sign int) error {
 	if len(p.headAggs) != 1 {
 		return everrf(ruleName(p.rule), "exactly one aggregate per head is supported, got %d", len(p.headAggs))
 	}
@@ -45,36 +102,43 @@ func (n *Node) updateAggregate(p *plan, env map[string]colog.Value, sign int) er
 	}
 
 	// Group key: all head arguments except the aggregate.
-	groupVals := make([]colog.Value, 0, len(p.rule.Head.Args)-1)
+	groupVals := st.gvScratch[:0]
 	for i, arg := range p.rule.Head.Args {
 		if i == aggPos {
 			continue
 		}
-		v, err := evalGround(arg, env)
+		v, err := evalGround(arg, f)
 		if err != nil {
 			return everrf(ruleName(p.rule), "aggregate group argument %d: %v", i, err)
 		}
 		groupVals = append(groupVals, v)
 	}
-	aggVal, ok := env[aggTerm.Over]
+	st.gvScratch = groupVals
+	aggVal, ok := f.lookupVar(aggTerm.Over)
 	if !ok {
 		return everrf(ruleName(p.rule), "aggregate variable %s unbound", aggTerm.Over)
 	}
 
-	gk := valsKey(groupVals)
-	g := st.groups[gk]
+	st.keyScratch = appendValsKey(st.keyScratch[:0], groupVals)
+	gkb := st.keyScratch
+	g := st.groups[string(gkb)]
 	if g == nil {
 		if sign < 0 {
 			return nil // retracting from an empty group
 		}
-		g = &aggGroup{groupVals: groupVals, items: map[string]*aggItem{}}
-		st.groups[gk] = g
+		g = &aggGroup{
+			groupVals: append([]colog.Value(nil), groupVals...),
+			items:     map[string]*aggItem{},
+			intOnly:   true,
+		}
+		st.groups[string(gkb)] = g
 	}
-	ik := aggVal.Key()
-	item := g.items[ik]
+	st.keyScratch = aggVal.AppendKey(st.keyScratch)
+	ikb := st.keyScratch[len(gkb):]
+	item := g.items[string(ikb)]
 	if sign > 0 {
 		if item == nil {
-			g.items[ik] = &aggItem{val: aggVal, count: 1}
+			g.items[string(ikb)] = &aggItem{val: aggVal, count: 1}
 		} else {
 			item.count++
 		}
@@ -86,16 +150,21 @@ func (n *Node) updateAggregate(p *plan, env map[string]colog.Value, sign int) er
 		item.count--
 		g.total--
 		if item.count <= 0 {
-			delete(g.items, ik)
+			delete(g.items, string(ikb))
 		}
 	}
+	g.fold(aggVal, sign)
 
 	// Re-emit.
 	var newTuple *Tuple
 	if g.total > 0 {
-		out, err := computeAggregate(st.fn, g.items)
-		if err != nil {
-			return everrf(ruleName(p.rule), "aggregate: %v", err)
+		out, ok := g.computeFast(st.fn)
+		if !ok {
+			var err error
+			out, err = computeAggregate(st.fn, g.items)
+			if err != nil {
+				return everrf(ruleName(p.rule), "aggregate: %v", err)
+			}
 		}
 		vals := make([]colog.Value, len(p.rule.Head.Args))
 		gi := 0
@@ -110,7 +179,7 @@ func (n *Node) updateAggregate(p *plan, env map[string]colog.Value, sign int) er
 		t := Tuple{p.rule.Head.Pred, vals}
 		newTuple = &t
 	}
-	if g.emitted != nil && newTuple != nil && g.emitted.Key() == newTuple.Key() {
+	if g.emitted != nil && newTuple != nil && valsEqual(g.emitted.Vals, newTuple.Vals) {
 		return nil // value unchanged
 	}
 	if g.emitted != nil {
@@ -125,7 +194,7 @@ func (n *Node) updateAggregate(p *plan, env map[string]colog.Value, sign int) er
 		}
 		g.emitted = newTuple
 	} else {
-		delete(st.groups, gk)
+		delete(st.groups, string(gkb))
 	}
 	return nil
 }
@@ -144,8 +213,6 @@ func computeAggregate(fn colog.AggFunc, items map[string]*aggItem) (colog.Value,
 	}
 
 	allInt := true
-	var vals []colog.Value
-	var counts []int
 	for _, it := range items {
 		if !it.val.IsNumeric() {
 			return colog.Value{}, everrf(fn.String(), "non-numeric value %s", it.val)
@@ -153,62 +220,62 @@ func computeAggregate(fn colog.AggFunc, items map[string]*aggItem) (colog.Value,
 		if it.val.Kind != colog.KindInt {
 			allInt = false
 		}
-		vals = append(vals, it.val)
-		counts = append(counts, it.count)
 	}
 	switch fn {
 	case colog.AggSum:
 		if allInt {
 			var s int64
-			for i, v := range vals {
-				s += v.I * int64(counts[i])
+			for _, it := range items {
+				s += it.val.I * int64(it.count)
 			}
 			return colog.IntVal(s), nil
 		}
 		s := 0.0
-		for i, v := range vals {
-			s += v.Num() * float64(counts[i])
+		for _, it := range items {
+			s += it.val.Num() * float64(it.count)
 		}
 		return colog.FloatVal(s), nil
 	case colog.AggSumAbs:
 		if allInt {
 			var s int64
-			for i, v := range vals {
-				a := v.I
+			for _, it := range items {
+				a := it.val.I
 				if a < 0 {
 					a = -a
 				}
-				s += a * int64(counts[i])
+				s += a * int64(it.count)
 			}
 			return colog.IntVal(s), nil
 		}
 		s := 0.0
-		for i, v := range vals {
-			s += math.Abs(v.Num()) * float64(counts[i])
+		for _, it := range items {
+			s += math.Abs(it.val.Num()) * float64(it.count)
 		}
 		return colog.FloatVal(s), nil
 	case colog.AggMin, colog.AggMax:
-		best := vals[0]
-		for _, v := range vals[1:] {
-			if (fn == colog.AggMin && v.Num() < best.Num()) || (fn == colog.AggMax && v.Num() > best.Num()) {
-				best = v
+		var best colog.Value
+		first := true
+		for _, it := range items {
+			if first || (fn == colog.AggMin && it.val.Num() < best.Num()) || (fn == colog.AggMax && it.val.Num() > best.Num()) {
+				best = it.val
+				first = false
 			}
 		}
 		return best, nil
 	case colog.AggAvg:
 		s, n := 0.0, 0
-		for i, v := range vals {
-			s += v.Num() * float64(counts[i])
-			n += counts[i]
+		for _, it := range items {
+			s += it.val.Num() * float64(it.count)
+			n += it.count
 		}
 		return colog.FloatVal(s / float64(n)), nil
 	case colog.AggStdev:
 		s, sq, n := 0.0, 0.0, 0
-		for i, v := range vals {
-			x := v.Num()
-			s += x * float64(counts[i])
-			sq += x * x * float64(counts[i])
-			n += counts[i]
+		for _, it := range items {
+			x := it.val.Num()
+			s += x * float64(it.count)
+			sq += x * x * float64(it.count)
+			n += it.count
 		}
 		mean := s / float64(n)
 		variance := sq/float64(n) - mean*mean

@@ -27,6 +27,28 @@ type planStep struct {
 	// this step runs (constants or previously bound variables); non-empty
 	// sets drive an index probe instead of a table scan.
 	boundCols []int
+	// argOps are the compiled unification ops for a join atom; probeOps
+	// build the index probe key from the frame (parallel to boundCols).
+	argOps   []argOp
+	probeOps []probeOp
+	// idxKey names the probed column set; cachedIdx/cachedGen memoize the
+	// table index pointer across executions until the table drops indexes.
+	idxKey    string
+	cachedIdx *tableIndex
+	cachedGen uint64
+	// slot is the frame slot written by stepBind / stepAssign; rebind marks
+	// an assignment whose target is already bound at this point in the plan
+	// (executed by saving and restoring the previous value, since the undo
+	// trail only tracks fresh bindings).
+	slot   int
+	rebind bool
+}
+
+// headOp projects one plain-head argument from the frame: a direct slot
+// copy for variables, a term evaluation otherwise.
+type headOp struct {
+	slot int // -1: evaluate term
+	term colog.Term
 }
 
 // plan is a compiled delta rule: when a tuple of the trigger predicate
@@ -39,6 +61,12 @@ type plan struct {
 	trigger  *colog.Atom
 	steps    []planStep
 	headAggs []int // head argument positions that are aggregates (empty for plain heads)
+	slots    *ruleSlots
+	headOps  []headOp // plain heads only
+	// frame is the plan's scratch binding frame. Delta evaluation under the
+	// node lock is single-threaded and never re-enters the same plan, so
+	// one frame per plan eliminates all per-row environment allocations.
+	frame *bindFrame
 }
 
 // compileRules builds the delta plans for all regular rules of the analyzed
@@ -75,14 +103,16 @@ func compileRules(res *analysis.Result) (map[string][]*plan, error) {
 // assignments as soon as their inputs are bound, definitional equalities
 // when exactly one side is a single unbound variable.
 func compilePlan(r *colog.Rule, ruleIdx int, atoms []*colog.Atom, triggerIdx int) (*plan, error) {
-	p := &plan{rule: r, ruleIdx: ruleIdx, trigger: atoms[triggerIdx]}
+	p := &plan{rule: r, ruleIdx: ruleIdx, trigger: atoms[triggerIdx], slots: collectRuleSlots(r)}
 	bound := map[string]bool{}
 	bindAtomVars := func(a *colog.Atom) {
 		for _, v := range atomVarNames(a) {
 			bound[v] = true
 		}
 	}
-	p.steps = append(p.steps, planStep{kind: stepJoin, atom: atoms[triggerIdx], isTrigger: true})
+	trigger := planStep{kind: stepJoin, atom: atoms[triggerIdx], isTrigger: true}
+	trigger.argOps = compileArgOps(atoms[triggerIdx], p.slots, bound)
+	p.steps = append(p.steps, trigger)
 	bindAtomVars(atoms[triggerIdx])
 
 	type pending struct {
@@ -125,7 +155,7 @@ func compilePlan(r *colog.Rule, ruleIdx int, atoms []*colog.Atom, triggerIdx int
 				}
 			case *colog.AssignLit:
 				if condBound(x.Expr, bound) {
-					picked, step = i, planStep{kind: stepAssign, bindVar: x.Var, expr: x.Expr}
+					picked, step = i, planStep{kind: stepAssign, bindVar: x.Var, expr: x.Expr, rebind: bound[x.Var]}
 				}
 			}
 			if picked >= 0 {
@@ -151,18 +181,23 @@ func compilePlan(r *colog.Rule, ruleIdx int, atoms []*colog.Atom, triggerIdx int
 		}
 		if step.kind == stepJoin {
 			step.boundCols = joinBoundCols(step.atom, bound)
+			step.probeOps = compileProbeOps(step.atom, step.boundCols, p.slots)
+			step.idxKey = idxName(step.boundCols)
+			step.argOps = compileArgOps(step.atom, p.slots, bound)
 		}
-		p.steps = append(p.steps, step)
 		switch step.kind {
 		case stepJoin:
 			bindAtomVars(step.atom)
 		case stepBind, stepAssign:
+			step.slot = p.slots.slotOf(step.bindVar)
 			bound[step.bindVar] = true
 		}
+		p.steps = append(p.steps, step)
 		todo = append(todo[:picked], todo[picked+1:]...)
 	}
 
-	// Validate head and note aggregate positions.
+	// Validate head and note aggregate positions, compiling the plain-head
+	// projection.
 	for i, arg := range r.Head.Args {
 		switch t := arg.(type) {
 		case *colog.AggTerm:
@@ -176,6 +211,17 @@ func compilePlan(r *colog.Rule, ruleIdx int, atoms []*colog.Atom, triggerIdx int
 			}
 		}
 	}
+	if len(p.headAggs) == 0 {
+		p.headOps = make([]headOp, len(r.Head.Args))
+		for i, arg := range r.Head.Args {
+			if v, ok := arg.(*colog.VarTerm); ok {
+				p.headOps[i] = headOp{slot: p.slots.slotOf(v.Name)}
+			} else {
+				p.headOps[i] = headOp{slot: -1, term: arg}
+			}
+		}
+	}
+	p.frame = newBindFrame(p.slots)
 	return p, nil
 }
 
@@ -261,4 +307,3 @@ func ruleName(r *colog.Rule) string {
 	}
 	return r.Head.Pred
 }
-

@@ -243,10 +243,11 @@ func (n *Node) recomputeGroup(gi int) error {
 			baseOf[valsKey(r.vals)] = r.base
 		}
 		newRows := work[p]
-		t.rows = map[string]*row{}
+		t.rows = map[string]row{}
 		t.dropIndexes()
+		t.dropScanCache()
 		for k, vals := range newRows {
-			t.rows[keyOf(vals, t.keyCols)] = &row{
+			t.rows[keyOf(vals, t.keyCols)] = row{
 				vals:  vals,
 				count: 1,
 				base:  baseOf[k],
@@ -290,7 +291,7 @@ func (n *Node) evalRuleGround(rule *colog.Rule, rowsOf func(string) [][]colog.Va
 		if left == 0 {
 			vals := make([]colog.Value, len(rule.Head.Args))
 			for i, arg := range rule.Head.Args {
-				v, err := evalGround(arg, env)
+				v, err := evalGround(arg, mapEnv(env))
 				if err != nil {
 					return everrf(label, "head arg %d: %v", i, err)
 				}
@@ -307,11 +308,11 @@ func (n *Node) evalRuleGround(rule *colog.Rule, rowsOf func(string) [][]colog.Va
 			}
 			switch x := lits[i].lit.(type) {
 			case *colog.CondLit:
-				if _, _, ok := bindableEq(x.Expr, boundSet(env)); ok || termBound(x.Expr, env) {
+				if _, _, ok := bindableEq(x.Expr, boundSet(env)); ok || termBound(x.Expr, mapEnv(env)) {
 					pick = i
 				}
 			case *colog.AssignLit:
-				if termBound(x.Expr, env) {
+				if termBound(x.Expr, mapEnv(env)) {
 					pick = i
 				}
 			}
@@ -347,7 +348,7 @@ func (n *Node) evalRuleGround(rule *colog.Rule, rowsOf func(string) [][]colog.Va
 			return nil
 		case *colog.CondLit:
 			if name, expr, ok := bindableEq(x.Expr, boundSet(env)); ok {
-				v, err := evalGround(expr, env)
+				v, err := evalGround(expr, mapEnv(env))
 				if err != nil {
 					return everrf(label, "%v", err)
 				}
@@ -355,7 +356,7 @@ func (n *Node) evalRuleGround(rule *colog.Rule, rowsOf func(string) [][]colog.Va
 				env2[name] = v
 				return rec(env2, left-1)
 			}
-			v, err := evalGround(x.Expr, env)
+			v, err := evalGround(x.Expr, mapEnv(env))
 			if err != nil {
 				return everrf(label, "%v", err)
 			}
@@ -367,7 +368,7 @@ func (n *Node) evalRuleGround(rule *colog.Rule, rowsOf func(string) [][]colog.Va
 			}
 			return rec(env, left-1)
 		case *colog.AssignLit:
-			v, err := evalGround(x.Expr, env)
+			v, err := evalGround(x.Expr, mapEnv(env))
 			if err != nil {
 				return everrf(label, "%v", err)
 			}

@@ -31,10 +31,10 @@ func newTestNode(t *testing.T, src string, cfg Config) *Node {
 	return n
 }
 
-func ival(v int64) colog.Value    { return colog.IntVal(v) }
-func sval(s string) colog.Value   { return colog.StringVal(s) }
-func fval(f float64) colog.Value  { return colog.FloatVal(f) }
-func rows(n *Node, p string) int  { return len(n.Rows(p)) }
+func ival(v int64) colog.Value   { return colog.IntVal(v) }
+func sval(s string) colog.Value  { return colog.StringVal(s) }
+func fval(f float64) colog.Value { return colog.FloatVal(f) }
+func rows(n *Node, p string) int { return len(n.Rows(p)) }
 func row1(n *Node, p string) []colog.Value {
 	r := n.Rows(p)
 	if len(r) != 1 {

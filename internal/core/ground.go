@@ -49,12 +49,82 @@ type varInstance struct {
 // evaluates solver derivation rules bottom-up over symbolic tuples,
 // translating selections and aggregations over solver attributes into
 // constraints (paper sections 5.3-5.4).
+//
+// Grounding runs as an indexed, ordered pipeline: each rule body is planned
+// once per solve (literals ordered most-bound-first, joins resolved to hash
+// index probes over the merged row set), evaluated over a slice-backed
+// binding frame with an undo trail, and independent rules within a
+// dependency level are grounded by a bounded worker pool with results
+// merged deterministically in rule order.
 type grounder struct {
 	n     *Node
 	model *solver.Model
 	sym   map[string][]symTuple
 	insts []varInstance
 	genv  map[string]colog.Value // goal bindings after grounding
+
+	// Per-solve caches, written only between parallel phases: variable
+	// slottings, merged row sets, and transient indexes over them.
+	slotsCache map[*colog.Rule]*ruleSlots
+	rowsCache  map[string][]symTuple
+	idxCache   map[string]*symIndex
+}
+
+// slotsFor returns the rule's variable slotting, computed on first use.
+func (g *grounder) slotsFor(rule *colog.Rule) *ruleSlots {
+	if g.slotsCache == nil {
+		g.slotsCache = map[*colog.Rule]*ruleSlots{}
+	}
+	if s, ok := g.slotsCache[rule]; ok {
+		return s
+	}
+	s := collectRuleSlots(rule)
+	g.slotsCache[rule] = s
+	return s
+}
+
+// cachedRows returns the merged row set for a predicate, cached until the
+// predicate's symbolic tuples change.
+func (g *grounder) cachedRows(pred string) ([]symTuple, error) {
+	if rows, ok := g.rowsCache[pred]; ok {
+		return rows, nil
+	}
+	rows, err := g.rowsFor(pred)
+	if err != nil {
+		return nil, err
+	}
+	if g.rowsCache == nil {
+		g.rowsCache = map[string][]symTuple{}
+	}
+	g.rowsCache[pred] = rows
+	return rows, nil
+}
+
+// cachedSymIndex returns a transient index over the predicate's merged rows
+// keyed on cols, built on first use.
+func (g *grounder) cachedSymIndex(pred string, cols []int, rows []symTuple) *symIndex {
+	key := pred + "#" + idxName(cols)
+	if ix, ok := g.idxCache[key]; ok {
+		return ix
+	}
+	ix := buildSymIndex(rows, cols)
+	if g.idxCache == nil {
+		g.idxCache = map[string]*symIndex{}
+	}
+	g.idxCache[key] = ix
+	return ix
+}
+
+// invalidatePred drops the caches for one predicate after its symbolic
+// tuple set changed.
+func (g *grounder) invalidatePred(pred string) {
+	delete(g.rowsCache, pred)
+	prefix := pred + "#"
+	for k := range g.idxCache {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			delete(g.idxCache, k)
+		}
+	}
 }
 
 // SolveOptions tune one COP execution.
@@ -335,154 +405,198 @@ func (g *grounder) domainFor(vd *colog.VarDecl) (solver.Domain, error) {
 
 // deriveSolverRules evaluates solver derivation rules bottom-up in
 // dependency order, building symbolic tuples and definitional constraints.
+// Rules within one dependency level are independent (they only read
+// predicates produced by earlier levels), so they are grounded in parallel
+// across a bounded worker pool; each rule's symbolic tuples and deferred
+// constraints are merged in rule order, making the outcome identical to a
+// serial run.
 func (g *grounder) deriveSolverRules() error {
-	for _, ri := range g.n.res.SolverOrder {
-		rule := g.n.res.Program.Rules[ri]
-		if err := g.evalSolverRule(rule); err != nil {
-			return err
+	rules := g.n.res.Program.Rules
+	levels := solverRuleLevels(rules, g.n.res.SolverOrder)
+	workers := g.n.groundWorkers()
+	for _, level := range levels {
+		// Plans are built serially: they populate the shared row and index
+		// caches the workers then read without synchronization.
+		plans := make([]*groundPlan, len(level))
+		for i, ri := range level {
+			p, err := g.planGroundBody(rules[ri], nil)
+			if err != nil {
+				return err
+			}
+			plans[i] = p
+		}
+		runs := make([]*groundRun, len(level))
+		errs := make([]error, len(level))
+		ground := func(i int) {
+			runs[i], errs[i] = g.groundRuleRun(rules[level[i]], plans[i])
+		}
+		if workers > 1 && len(level) > 1 {
+			runLimited(len(level), workers, ground)
+		} else {
+			for i := range level {
+				ground(i)
+			}
+		}
+		// Deterministic merge in rule order.
+		for i, ri := range level {
+			if errs[i] != nil {
+				return errs[i]
+			}
+			head := rules[ri].Head.Pred
+			if len(runs[i].out) > 0 {
+				g.sym[head] = append(g.sym[head], runs[i].out...)
+				g.invalidatePred(head)
+			}
+			for _, e := range runs[i].reqs {
+				g.model.Require(e)
+			}
 		}
 	}
 	return nil
 }
 
-// evalSolverRule grounds one solver derivation rule: joins over symbolic
-// and regular tables, evaluates expression literals symbolically, and emits
-// head symTuples (aggregating when the head has an aggregate term).
-func (g *grounder) evalSolverRule(rule *colog.Rule) error {
-	matches, err := g.matchBody(rule, nil)
-	if err != nil {
-		return err
-	}
+// groundRun is the per-rule evaluation state of one grounding: the binding
+// frame, the deferred constraint posts (so workers never mutate the model's
+// constraint store), and the emitted head tuples.
+type groundRun struct {
+	frame *symFrame
+	reqs  []*solver.Expr
+	out   []symTuple
+}
+
+func (r *groundRun) require(e *solver.Expr) { r.reqs = append(r.reqs, e) }
+
+// groundRuleRun grounds one solver derivation rule over its compiled plan.
+func (g *grounder) groundRuleRun(rule *colog.Rule, p *groundPlan) (*groundRun, error) {
+	run := &groundRun{frame: newSymFrame(p.slots)}
 	if rule.Head.HasAggregate() {
-		return g.emitAggregateHead(rule, matches)
+		return run, g.collectAggregate(rule, p, run)
 	}
-	for _, env := range matches {
+	err := g.execPlan(run, p, 0, func(f *symFrame) error {
 		st := make(symTuple, len(rule.Head.Args))
 		for i, arg := range rule.Head.Args {
-			gv, err := g.evalSym(arg, env, ruleName(rule))
+			gv, err := g.evalSym(arg, f, p.label)
 			if err != nil {
 				return err
 			}
 			st[i] = gv
 		}
-		g.sym[rule.Head.Pred] = append(g.sym[rule.Head.Pred], st)
-	}
-	return nil
+		run.out = append(run.out, st)
+		return nil
+	})
+	return run, err
 }
 
-// senv is a symbolic binding environment.
-type senv map[string]gval
-
-func cloneSenv(e senv) senv {
-	out := make(senv, len(e)+4)
-	for k, v := range e {
-		out[k] = v
+// execPlan runs the ordered body steps from idx onward, invoking sink for
+// every complete binding. Join steps probe the transient index when the
+// bound prefix is ground, falling back to the cached scan otherwise;
+// bindings are trailed on the frame and undone per candidate row.
+func (g *grounder) execPlan(run *groundRun, p *groundPlan, idx int, sink func(*symFrame) error) error {
+	if idx == len(p.steps) {
+		return sink(run.frame)
 	}
-	return out
+	f := run.frame
+	step := &p.steps[idx]
+	switch step.kind {
+	case gJoin:
+		if step.idx != nil {
+			if key, ok := f.appendProbeKey(step.probeOps); ok {
+				keyed, wild := step.idx.probe(key)
+				if err := g.joinRows(run, p, idx, keyed, sink); err != nil {
+					return err
+				}
+				return g.joinRows(run, p, idx, wild, sink)
+			}
+		}
+		return g.joinRows(run, p, idx, step.rows, sink)
+	case gFilter:
+		gv, err := g.evalSym(step.cond, f, p.label)
+		if err != nil {
+			return err
+		}
+		if !gv.isSym() {
+			if gv.val.Kind != colog.KindBool {
+				return everrf(p.label, "condition %s evaluated to non-boolean %s", step.cond, gv.val)
+			}
+			if !gv.val.B {
+				return nil // filtered out
+			}
+			return g.execPlan(run, p, idx+1, sink)
+		}
+		// Symbolic selection: becomes a solver constraint scoped to this
+		// binding (selection-to-constraint compilation, paper section 5.3).
+		if !gv.sym.IsBool() {
+			return everrf(p.label, "condition %s is symbolic but not boolean", step.cond)
+		}
+		run.require(gv.sym)
+		return g.execPlan(run, p, idx+1, sink)
+	case gBind, gAssign:
+		gv, err := g.evalSym(step.rhs, f, p.label)
+		if err != nil {
+			return err
+		}
+		if step.rebind {
+			// Reassignment of a bound variable: restore the previous value
+			// on backtrack instead of trailing a fresh binding.
+			prev := f.vals[step.slot]
+			f.vals[step.slot] = gv
+			err := g.execPlan(run, p, idx+1, sink)
+			f.vals[step.slot] = prev
+			return err
+		}
+		m := f.mark()
+		f.bind(step.slot, gv)
+		if err := g.execPlan(run, p, idx+1, sink); err != nil {
+			return err
+		}
+		f.undo(m)
+		return nil
+	case gReify:
+		// Reified: (C==k)==(bool-expr)  =>  C := ITE(bool, k, other).
+		gv, err := g.evalSym(step.rhs, f, p.label)
+		if err != nil {
+			return err
+		}
+		be, err := g.toExpr(gv, p.label)
+		if err != nil {
+			return err
+		}
+		if !be.IsBool() {
+			return everrf(p.label, "reified binding (%s==%d)==(%s): right side is not boolean", p.slots.names[step.slot], step.k, step.rhs)
+		}
+		other := int64(0)
+		if step.k == 0 {
+			other = 1
+		}
+		ite := g.model.ITE(be, g.model.ConstInt(step.k), g.model.ConstInt(other))
+		m := f.mark()
+		f.bind(step.slot, gval{sym: ite})
+		if err := g.execPlan(run, p, idx+1, sink); err != nil {
+			return err
+		}
+		f.undo(m)
+		return nil
+	}
+	return everrf(p.label, "unknown grounding step")
 }
 
-// matchBody enumerates all bindings of a rule body over the node's regular
-// tables and the grounder's symbolic tables. Expression literals either
-// filter (ground), bind (definitional equality), or — when symbolic — post
-// solver constraints scoped to the current binding.
-func (g *grounder) matchBody(rule *colog.Rule, seed senv) ([]senv, error) {
-	type lit struct {
-		l    colog.Literal
-		done bool
-	}
-	lits := make([]lit, len(rule.Body))
-	for i, l := range rule.Body {
-		lits[i] = lit{l: l}
-	}
-	var results []senv
-	label := ruleName(rule)
-
-	var rec func(env senv, remaining int) error
-	rec = func(env senv, remaining int) error {
-		if remaining == 0 {
-			results = append(results, env)
-			return nil
+func (g *grounder) joinRows(run *groundRun, p *groundPlan, idx int, rows []symTuple, sink func(*symFrame) error) error {
+	f := run.frame
+	ops := p.steps[idx].ops
+	for _, st := range rows {
+		m := f.mark()
+		ok, err := g.matchSymRow(run, ops, st, p.label)
+		if err != nil {
+			return err
 		}
-		// Pick the next processable literal: ready expressions first, then
-		// any unprocessed atom.
-		pick := -1
-		for i := range lits {
-			if lits[i].done {
-				continue
-			}
-			switch x := lits[i].l.(type) {
-			case *colog.CondLit:
-				if g.senvBound(x.Expr, env) || g.bindableSym(x.Expr, env) {
-					pick = i
-				}
-			case *colog.AssignLit:
-				if g.senvBound(x.Expr, env) {
-					pick = i
-				}
-			}
-			if pick >= 0 {
-				break
-			}
-		}
-		if pick < 0 {
-			for i := range lits {
-				if !lits[i].done {
-					if _, ok := lits[i].l.(*colog.AtomLit); ok {
-						pick = i
-						break
-					}
-				}
-			}
-		}
-		if pick < 0 {
-			return everrf(label, "cannot order body literals during grounding")
-		}
-		lits[pick].done = true
-		defer func() { lits[pick].done = false }()
-
-		switch x := lits[pick].l.(type) {
-		case *colog.AtomLit:
-			rows, err := g.rowsFor(x.Atom.Pred)
-			if err != nil {
-				return everrf(label, "%v", err)
-			}
-			for _, st := range rows {
-				env2 := cloneSenv(env)
-				ok, err := g.matchSymAtom(x.Atom, st, env2, label)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					continue
-				}
-				if err := rec(env2, remaining-1); err != nil {
-					return err
-				}
-			}
-			return nil
-		case *colog.CondLit:
-			return g.processCond(rule, x.Expr, env, label, func(env2 senv) error {
-				return rec(env2, remaining-1)
-			})
-		case *colog.AssignLit:
-			gv, err := g.evalSym(x.Expr, env, label)
-			if err != nil {
+		if ok {
+			if err := g.execPlan(run, p, idx+1, sink); err != nil {
 				return err
 			}
-			env2 := cloneSenv(env)
-			env2[x.Var] = gv
-			return rec(env2, remaining-1)
 		}
-		return everrf(label, "unknown literal kind")
+		f.undo(m)
 	}
-	base := senv{}
-	for k, v := range seed {
-		base[k] = v
-	}
-	if err := rec(base, len(lits)); err != nil {
-		return nil, err
-	}
-	return results, nil
+	return nil
 }
 
 // rowsFor returns the rows of a predicate for grounding. For solver tables
@@ -555,198 +669,58 @@ func liftRow(vals []colog.Value) symTuple {
 	return st
 }
 
-// matchSymAtom unifies an atom against a symbolic tuple. Ground-vs-ground
-// mismatches fail the match; binding a variable to a symbolic value is
-// allowed; comparing two symbolic values posts an equality constraint (the
-// wireless channel-symmetry idiom assign(X,Y,C) -> assign(Y,X,C)).
-func (g *grounder) matchSymAtom(a *colog.Atom, st symTuple, env senv, label string) (bool, error) {
-	if len(a.Args) != len(st) {
+// matchSymRow unifies compiled atom ops against a symbolic tuple.
+// Ground-vs-ground mismatches fail the match; binding a variable to a
+// symbolic value is allowed; comparing two symbolic values posts an
+// equality constraint (the wireless channel-symmetry idiom
+// assign(X,Y,C) -> assign(Y,X,C)). Constraints posted before a later
+// argument fails the match are kept, matching the seed grounder's
+// behavior.
+func (g *grounder) matchSymRow(run *groundRun, ops []argOp, st symTuple, label string) (bool, error) {
+	if len(ops) != len(st) {
 		return false, nil
 	}
-	for i, arg := range a.Args {
-		switch t := arg.(type) {
-		case *colog.VarTerm:
-			bound, ok := env[t.Name]
-			if !ok {
-				env[t.Name] = st[i]
-				continue
-			}
-			switch {
-			case !bound.isSym() && !st[i].isSym():
+	f := run.frame
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case argBind:
+			f.bind(op.slot, st[i])
+		case argCheck:
+			bound := f.vals[op.slot]
+			if !bound.isSym() && !st[i].isSym() {
 				if !bound.val.Equal(st[i].val) {
 					return false, nil
 				}
-			default:
-				// Symbolic on either side: require equality in the model.
-				le, err := g.toExpr(bound, label)
-				if err != nil {
-					return false, err
-				}
-				re, err := g.toExpr(st[i], label)
-				if err != nil {
-					return false, err
-				}
-				g.model.Require(g.model.Eq(le, re))
+				continue
 			}
-		case *colog.ConstTerm:
+			// Symbolic on either side: require equality in the model.
+			le, err := g.toExpr(bound, label)
+			if err != nil {
+				return false, err
+			}
+			re, err := g.toExpr(st[i], label)
+			if err != nil {
+				return false, err
+			}
+			run.require(g.model.Eq(le, re))
+		case argConst:
 			if st[i].isSym() {
 				e, err := g.toExpr(st[i], label)
 				if err != nil {
 					return false, err
 				}
-				g.model.Require(g.model.Eq(e, g.model.Const(t.Val.Num())))
+				run.require(g.model.Eq(e, g.model.Const(op.val.Num())))
 				continue
 			}
-			if !t.Val.Equal(st[i].val) {
+			if !op.val.Equal(st[i].val) {
 				return false, nil
 			}
-		default:
-			return false, everrf(label, "unsupported atom argument %s during grounding", arg)
+		case argExpr:
+			return false, everrf(label, "unsupported atom argument %s during grounding", op.term)
 		}
 	}
 	return true, nil
-}
-
-// processCond handles one expression literal during grounding:
-//   - fully ground: evaluate and filter;
-//   - definitional (one unbound variable): bind it, possibly symbolically,
-//     including the reified (C==1)==(bool) idiom;
-//   - otherwise symbolic: post as a solver constraint for derivation rules
-//     (selection-to-constraint compilation, paper section 5.3).
-func (g *grounder) processCond(rule *colog.Rule, cond colog.Term, env senv, label string, cont func(senv) error) error {
-	if g.senvBound(cond, env) {
-		gv, err := g.evalSym(cond, env, label)
-		if err != nil {
-			return err
-		}
-		if !gv.isSym() {
-			if gv.val.Kind != colog.KindBool {
-				return everrf(label, "condition %s evaluated to non-boolean %s", cond, gv.val)
-			}
-			if !gv.val.B {
-				return nil // filtered out
-			}
-			return cont(env)
-		}
-		// Symbolic selection: becomes a solver constraint scoped to this
-		// binding.
-		if !gv.sym.IsBool() {
-			return everrf(label, "condition %s is symbolic but not boolean", cond)
-		}
-		g.model.Require(gv.sym)
-		return cont(env)
-	}
-	// Try definitional bindings.
-	if name, rhs, k, reified, ok := g.splitBindable(cond, env); ok {
-		gv, err := g.evalSym(rhs, env, label)
-		if err != nil {
-			return err
-		}
-		env2 := cloneSenv(env)
-		if !reified {
-			env2[name] = gv
-			return cont(env2)
-		}
-		// Reified: (C==k)==(bool-expr)  =>  C := ITE(bool, k, other).
-		be, err := g.toExpr(gv, label)
-		if err != nil {
-			return err
-		}
-		if !be.IsBool() {
-			return everrf(label, "reified binding %s: right side is not boolean", cond)
-		}
-		other := int64(0)
-		if k == 0 {
-			other = 1
-		}
-		ite := g.model.ITE(be, g.model.ConstInt(k), g.model.ConstInt(other))
-		env2[name] = gval{sym: ite}
-		return cont(env2)
-	}
-	return everrf(label, "condition %s has multiple unbound variables", cond)
-}
-
-// splitBindable recognizes V==expr / expr==V definitional equalities and the
-// reified (V==k)==(expr) form, returning the variable to bind, the defining
-// term, and whether the binding is reified with constant k.
-func (g *grounder) splitBindable(cond colog.Term, env senv) (name string, rhs colog.Term, k int64, reified, ok bool) {
-	bt, isBin := cond.(*colog.BinTerm)
-	if !isBin || bt.Op != colog.OpEq {
-		return "", nil, 0, false, false
-	}
-	unbound := func(t colog.Term) (string, bool) {
-		v, isVar := t.(*colog.VarTerm)
-		if !isVar {
-			return "", false
-		}
-		_, bound := env[v.Name]
-		return v.Name, !bound
-	}
-	if n, u := unbound(bt.L); u && g.senvBound(bt.R, env) {
-		return n, bt.R, 0, false, true
-	}
-	if n, u := unbound(bt.R); u && g.senvBound(bt.L, env) {
-		return n, bt.L, 0, false, true
-	}
-	// Reified orientation: (V==k)==(expr) or (expr)==(V==k).
-	tryReified := func(side, other colog.Term) (string, colog.Term, int64, bool, bool) {
-		inner, isBin := side.(*colog.BinTerm)
-		if !isBin || inner.Op != colog.OpEq {
-			return "", nil, 0, false, false
-		}
-		var vName string
-		var constSide colog.Term
-		if n, u := unbound(inner.L); u {
-			vName, constSide = n, inner.R
-		} else if n, u := unbound(inner.R); u {
-			vName, constSide = n, inner.L
-		} else {
-			return "", nil, 0, false, false
-		}
-		c, isConst := constSide.(*colog.ConstTerm)
-		if !isConst || c.Val.Kind != colog.KindInt {
-			return "", nil, 0, false, false
-		}
-		if !g.senvBound(other, env) {
-			return "", nil, 0, false, false
-		}
-		return vName, other, c.Val.I, true, true
-	}
-	if n, r, kk, re, ok2 := tryReified(bt.L, bt.R); ok2 {
-		return n, r, kk, re, ok2
-	}
-	return tryReified(bt.R, bt.L)
-}
-
-func (g *grounder) senvBound(t colog.Term, env senv) bool {
-	switch x := t.(type) {
-	case *colog.VarTerm:
-		_, ok := env[x.Name]
-		return ok
-	case *colog.BinTerm:
-		return g.senvBound(x.L, env) && g.senvBound(x.R, env)
-	case *colog.NegTerm:
-		return g.senvBound(x.X, env)
-	case *colog.NotTerm:
-		return g.senvBound(x.X, env)
-	case *colog.AbsTerm:
-		return g.senvBound(x.X, env)
-	case *colog.FuncTerm:
-		for _, a := range x.Args {
-			if !g.senvBound(a, env) {
-				return false
-			}
-		}
-		return true
-	default:
-		return true
-	}
-}
-
-// bindableSym reports whether a condition can bind a variable right now.
-func (g *grounder) bindableSym(t colog.Term, env senv) bool {
-	_, _, _, _, ok := g.splitBindable(t, env)
-	return ok
 }
 
 // toExpr lifts a gval into a solver expression.
@@ -763,14 +737,14 @@ func (g *grounder) toExpr(gv gval, label string) (*solver.Expr, error) {
 	return g.model.Const(gv.val.Num()), nil
 }
 
-// evalSym evaluates a term under a symbolic environment: ground subterms
-// fold to constants, symbolic subterms build solver expression nodes.
-func (g *grounder) evalSym(t colog.Term, env senv, label string) (gval, error) {
+// evalSym evaluates a term under a symbolic frame: ground subterms fold to
+// constants, symbolic subterms build solver expression nodes.
+func (g *grounder) evalSym(t colog.Term, env *symFrame, label string) (gval, error) {
 	switch x := t.(type) {
 	case *colog.ConstTerm:
 		return gval{val: x.Val}, nil
 	case *colog.VarTerm:
-		gv, ok := env[x.Name]
+		gv, ok := env.lookupVar(x.Name)
 		if !ok {
 			return gval{}, everrf(label, "unbound variable %s during grounding", x.Name)
 		}
@@ -893,12 +867,13 @@ func (g *grounder) applySymBin(op colog.BinOp, l, r *solver.Expr, label string) 
 	return gval{}, everrf(label, "unsupported symbolic operator %s", op)
 }
 
-// emitAggregateHead groups matches by the ground head attributes and builds
-// one aggregate expression per group (SUM -> solver.Sum, STDEV ->
-// solver.StdDev, ...), the compilation of aggregations over solver
-// attributes described in section 5.3.
-func (g *grounder) emitAggregateHead(rule *colog.Rule, matches []senv) error {
-	label := ruleName(rule)
+// collectAggregate evaluates an aggregate-head rule: matches are grouped by
+// the ground head attributes as they stream out of the plan, then one
+// aggregate expression per group (SUM -> solver.Sum, STDEV ->
+// solver.StdDev, ...) is emitted — the compilation of aggregations over
+// solver attributes described in section 5.3.
+func (g *grounder) collectAggregate(rule *colog.Rule, p *groundPlan, run *groundRun) error {
+	label := p.label
 	aggPos := -1
 	var aggTerm *colog.AggTerm
 	for i, arg := range rule.Head.Args {
@@ -915,14 +890,14 @@ func (g *grounder) emitAggregateHead(rule *colog.Rule, matches []senv) error {
 	}
 	groups := map[string]*group{}
 	var order []string
-	for _, env := range matches {
+	err := g.execPlan(run, p, 0, func(f *symFrame) error {
 		headVals := make([]gval, len(rule.Head.Args))
 		keyParts := ""
 		for i, arg := range rule.Head.Args {
 			if i == aggPos {
 				continue
 			}
-			gv, err := g.evalSym(arg, env, label)
+			gv, err := g.evalSym(arg, f, label)
 			if err != nil {
 				return err
 			}
@@ -932,7 +907,7 @@ func (g *grounder) emitAggregateHead(rule *colog.Rule, matches []senv) error {
 			headVals[i] = gv
 			keyParts += gv.key() + "|"
 		}
-		item, ok := env[aggTerm.Over]
+		item, ok := f.lookupVar(aggTerm.Over)
 		if !ok {
 			return everrf(label, "aggregate variable %s unbound", aggTerm.Over)
 		}
@@ -943,6 +918,10 @@ func (g *grounder) emitAggregateHead(rule *colog.Rule, matches []senv) error {
 			order = append(order, keyParts)
 		}
 		grp.items = append(grp.items, item)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	for _, k := range order {
 		grp := groups[k]
@@ -958,7 +937,7 @@ func (g *grounder) emitAggregateHead(rule *colog.Rule, matches []senv) error {
 				st[i] = grp.vals[i]
 			}
 		}
-		g.sym[rule.Head.Pred] = append(g.sym[rule.Head.Pred], st)
+		run.out = append(run.out, st)
 	}
 	return nil
 }
@@ -1020,47 +999,119 @@ func (g *grounder) buildAggExpr(fn colog.AggFunc, items []gval, label string) (g
 // applyConstraintRules grounds solver constraint rules: for every symbolic
 // head tuple and every match of the rule body, the conjunction of the
 // expression literals is posted as a solver constraint (section 5.4).
+// Constraint rules only read the derived symbolic tuples, so they are
+// independent of each other: each rule runs on a worker with its
+// constraints buffered, merged in rule order afterwards.
 func (g *grounder) applyConstraintRules() error {
+	type job struct {
+		rule  *colog.Rule
+		plan  *groundPlan
+		seed  []argOp
+		heads []symTuple
+	}
+	var jobs []*job
 	for i, rule := range g.n.res.Program.Rules {
 		if g.n.res.Classes[i] != analysis.SolverConstraintRule {
 			continue
 		}
 		label := ruleName(rule)
-		heads := g.sym[rule.Head.Pred]
-		for _, st := range heads {
-			env := senv{}
-			okHead := true
-			for ai, arg := range rule.Head.Args {
-				v, ok := arg.(*colog.VarTerm)
-				if !ok {
-					if c, isConst := arg.(*colog.ConstTerm); isConst {
-						if st[ai].isSym() || !c.Val.Equal(st[ai].val) {
-							okHead = false
-						}
-						continue
-					}
-					return everrf(label, "unsupported head argument %s", arg)
+		// Compile the head seeding: binding the head tuple's values into
+		// the frame, with ground-equality checks for constants and
+		// repeated variables.
+		slots := g.slotsFor(rule)
+		seedBound := map[string]bool{}
+		seed := make([]argOp, len(rule.Head.Args))
+		for ai, arg := range rule.Head.Args {
+			switch t := arg.(type) {
+			case *colog.VarTerm:
+				if seedBound[t.Name] {
+					seed[ai] = argOp{kind: argCheck, slot: slots.slotOf(t.Name)}
+				} else {
+					seed[ai] = argOp{kind: argBind, slot: slots.slotOf(t.Name)}
+					seedBound[t.Name] = true
 				}
-				if prev, bound := env[v.Name]; bound {
-					if prev.isSym() || st[ai].isSym() || !prev.val.Equal(st[ai].val) {
-						okHead = false
-					}
-					continue
-				}
-				env[v.Name] = st[ai]
+			case *colog.ConstTerm:
+				seed[ai] = argOp{kind: argConst, val: t.Val}
+			default:
+				return everrf(label, "unsupported head argument %s", arg)
 			}
-			if !okHead {
+		}
+		plan, err := g.planGroundBody(rule, seedBound)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, &job{rule: rule, plan: plan, seed: seed, heads: g.sym[rule.Head.Pred]})
+	}
+
+	runs := make([]*groundRun, len(jobs))
+	errs := make([]error, len(jobs))
+	ground := func(i int) {
+		j := jobs[i]
+		run := &groundRun{frame: newSymFrame(j.plan.slots)}
+		runs[i] = run
+		for _, st := range j.heads {
+			run.frame.reset()
+			ok, err := g.seedHead(j.seed, st, run.frame)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !ok {
 				continue
 			}
 			// Body: every match must hold; expression literals become
-			// constraints via processCond's symbolic path, and symbolic
-			// matches in matchSymAtom post equality constraints.
-			if _, err := g.matchBody(rule, env); err != nil {
-				return err
+			// constraints via the symbolic filter path, and symbolic
+			// matches in matchSymRow post equality constraints.
+			if err := g.execPlan(run, j.plan, 0, func(*symFrame) error { return nil }); err != nil {
+				errs[i] = err
+				return
 			}
 		}
 	}
+	workers := g.n.groundWorkers()
+	if workers > 1 && len(jobs) > 1 {
+		runLimited(len(jobs), workers, ground)
+	} else {
+		for i := range jobs {
+			ground(i)
+		}
+	}
+	for i := range jobs {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		for _, e := range runs[i].reqs {
+			g.model.Require(e)
+		}
+	}
 	return nil
+}
+
+// seedHead binds one symbolic head tuple into the frame for a constraint
+// rule. Constants and repeated variables must match ground values exactly;
+// any symbolic value at such a position skips the tuple (matching the seed
+// grounder's behavior).
+func (g *grounder) seedHead(seed []argOp, st symTuple, f *symFrame) (bool, error) {
+	if len(seed) != len(st) {
+		return false, nil
+	}
+	for i := range seed {
+		op := &seed[i]
+		switch op.kind {
+		case argBind:
+			f.bind(op.slot, st[i])
+		case argCheck:
+			prev := f.vals[op.slot]
+			if prev.isSym() || st[i].isSym() || !prev.val.Equal(st[i].val) {
+				return false, nil
+			}
+		case argConst:
+			if st[i].isSym() || !op.val.Equal(st[i].val) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
 }
 
 // setGoal locates the objective among the grounded tuples and installs it.
@@ -1076,7 +1127,7 @@ func (g *grounder) setGoal() error {
 	var objective *solver.Expr
 	found := false
 	for _, st := range rows {
-		env := senv{}
+		env := map[string]gval{}
 		ok := true
 		var objVal gval
 		for i, arg := range goal.Atom.Args {

@@ -26,20 +26,28 @@ func idxName(cols []int) string {
 }
 
 func projKey(vals []colog.Value, cols []int) string {
-	var b strings.Builder
+	var dst []byte
 	for i, c := range cols {
 		if i > 0 {
-			b.WriteByte('|')
+			dst = append(dst, '|')
 		}
-		b.WriteString(vals[c].Key())
+		dst = vals[c].AppendKey(dst)
 	}
-	return b.String()
+	return string(dst)
 }
 
-// lookup returns the visible rows whose projection on cols equals key,
-// building the index on first use.
-func (t *table) lookup(cols []int, key string) [][]colog.Value {
-	name := idxName(cols)
+// ensureIndex returns the index over cols, building it on first use. The
+// returned index stays valid until the table drops its indexes (tracked by
+// indexGen); the grounder holds the node lock for a whole solve, so a
+// pointer obtained at plan time can be probed concurrently by grounding
+// workers.
+func (t *table) ensureIndex(cols []int) *tableIndex {
+	return t.ensureIndexNamed(idxName(cols), cols)
+}
+
+// ensureIndexNamed is ensureIndex with the cols key precomputed (compiled
+// plan steps cache it to keep probes allocation-free).
+func (t *table) ensureIndexNamed(name string, cols []int) *tableIndex {
 	if t.indexes == nil {
 		t.indexes = map[string]*tableIndex{}
 	}
@@ -52,7 +60,13 @@ func (t *table) lookup(cols []int, key string) [][]colog.Value {
 		}
 		t.indexes[name] = idx
 	}
-	return idx.m[key]
+	return idx
+}
+
+// lookup returns the visible rows whose projection on cols equals key,
+// building the index on first use.
+func (t *table) lookup(cols []int, key string) [][]colog.Value {
+	return t.ensureIndex(cols).m[key]
 }
 
 // indexInsert registers a newly visible row in all existing indexes.
@@ -65,12 +79,11 @@ func (t *table) indexInsert(vals []colog.Value) {
 
 // indexRemove drops a no-longer-visible row from all existing indexes.
 func (t *table) indexRemove(vals []colog.Value) {
-	full := valsKey(vals)
 	for _, idx := range t.indexes {
 		k := projKey(vals, idx.cols)
 		rows := idx.m[k]
 		for i, r := range rows {
-			if valsKey(r) == full {
+			if valsEqual(r, vals) {
 				rows[i] = rows[len(rows)-1]
 				rows = rows[:len(rows)-1]
 				break
@@ -84,5 +97,9 @@ func (t *table) indexRemove(vals []colog.Value) {
 	}
 }
 
-// dropIndexes invalidates all indexes (bulk table replacement).
-func (t *table) dropIndexes() { t.indexes = nil }
+// dropIndexes invalidates all indexes (bulk table replacement). The
+// generation bump invalidates index pointers cached on compiled plan steps.
+func (t *table) dropIndexes() {
+	t.indexes = nil
+	t.indexGen++
+}

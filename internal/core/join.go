@@ -1,0 +1,679 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/colog"
+)
+
+// This file holds the shared join machinery introduced by the indexed
+// grounding pipeline: per-rule variable slotting, slice-backed binding
+// frames with undo trails (replacing the map-clone-per-row discipline in
+// both the delta-plan path and the grounder), compiled per-atom match ops,
+// probe-key builders, transient hash indexes over symbolic rows, and the
+// literal-ordering planner used by the grounder.
+
+// ---------------------------------------------------------------- slotting
+
+// ruleSlots assigns every variable name of one rule a dense integer slot,
+// so binding environments can be slices instead of maps.
+type ruleSlots struct {
+	names []string
+	idx   map[string]int
+}
+
+func newRuleSlots() *ruleSlots {
+	return &ruleSlots{idx: map[string]int{}}
+}
+
+// slotOf returns the slot for a name, allocating one on first use.
+func (s *ruleSlots) slotOf(name string) int {
+	if i, ok := s.idx[name]; ok {
+		return i
+	}
+	i := len(s.names)
+	s.names = append(s.names, name)
+	s.idx[name] = i
+	return i
+}
+
+// lookup returns the slot for a name without allocating.
+func (s *ruleSlots) lookup(name string) (int, bool) {
+	i, ok := s.idx[name]
+	return i, ok
+}
+
+func (s *ruleSlots) size() int { return len(s.names) }
+
+// collectTermVars walks a term and registers its variables.
+func (s *ruleSlots) collectTermVars(t colog.Term) {
+	switch x := t.(type) {
+	case *colog.VarTerm:
+		s.slotOf(x.Name)
+	case *colog.BinTerm:
+		s.collectTermVars(x.L)
+		s.collectTermVars(x.R)
+	case *colog.NegTerm:
+		s.collectTermVars(x.X)
+	case *colog.NotTerm:
+		s.collectTermVars(x.X)
+	case *colog.AbsTerm:
+		s.collectTermVars(x.X)
+	case *colog.FuncTerm:
+		for _, a := range x.Args {
+			s.collectTermVars(a)
+		}
+	}
+}
+
+// collectRuleSlots slots every variable of a rule in deterministic
+// (body-then-head, left-to-right) order.
+func collectRuleSlots(r *colog.Rule) *ruleSlots {
+	s := newRuleSlots()
+	for _, l := range r.Body {
+		switch x := l.(type) {
+		case *colog.AtomLit:
+			for _, a := range x.Atom.Args {
+				s.collectTermVars(a)
+			}
+		case *colog.CondLit:
+			s.collectTermVars(x.Expr)
+		case *colog.AssignLit:
+			s.slotOf(x.Var)
+			s.collectTermVars(x.Expr)
+		}
+	}
+	for _, a := range r.Head.Args {
+		if at, ok := a.(*colog.AggTerm); ok {
+			s.slotOf(at.Over)
+			continue
+		}
+		s.collectTermVars(a)
+	}
+	return s
+}
+
+// ------------------------------------------------------------ ground frame
+
+// valueEnv abstracts a ground binding environment for term evaluation, so
+// evalGround works over both map environments (cold paths: recursive-group
+// recompute, var instantiation) and slot frames (hot delta-plan path).
+type valueEnv interface {
+	lookupVar(name string) (colog.Value, bool)
+}
+
+// mapEnv adapts a plain map to valueEnv.
+type mapEnv map[string]colog.Value
+
+func (e mapEnv) lookupVar(name string) (colog.Value, bool) {
+	v, ok := e[name]
+	return v, ok
+}
+
+// bindFrame is a slice-backed ground binding environment with an undo
+// trail: bindings are registered on the trail and popped on backtrack, so
+// join enumeration allocates nothing per candidate row.
+type bindFrame struct {
+	slots  *ruleSlots
+	vals   []colog.Value
+	bound  []bool
+	trail  []int
+	keyBuf []byte
+}
+
+func newBindFrame(slots *ruleSlots) *bindFrame {
+	return &bindFrame{
+		slots: slots,
+		vals:  make([]colog.Value, slots.size()),
+		bound: make([]bool, slots.size()),
+	}
+}
+
+func (f *bindFrame) reset() {
+	for i := range f.bound {
+		f.bound[i] = false
+	}
+	f.trail = f.trail[:0]
+}
+
+func (f *bindFrame) mark() int { return len(f.trail) }
+
+func (f *bindFrame) undo(mark int) {
+	for len(f.trail) > mark {
+		s := f.trail[len(f.trail)-1]
+		f.trail = f.trail[:len(f.trail)-1]
+		f.bound[s] = false
+	}
+}
+
+func (f *bindFrame) bind(slot int, v colog.Value) {
+	f.vals[slot] = v
+	f.bound[slot] = true
+	f.trail = append(f.trail, slot)
+}
+
+func (f *bindFrame) lookupVar(name string) (colog.Value, bool) {
+	if i, ok := f.slots.lookup(name); ok && f.bound[i] {
+		return f.vals[i], true
+	}
+	return colog.Value{}, false
+}
+
+// ------------------------------------------------------- compiled atom ops
+
+// argOpKind enumerates compiled unification operations for one atom
+// argument. Because plan step order is fixed at compile time, whether a
+// variable is bound when the atom executes is statically known, so each
+// argument compiles to exactly one op.
+type argOpKind int
+
+const (
+	argConst argOpKind = iota // compare against a constant
+	argBind                   // first occurrence: bind the slot
+	argCheck                  // bound variable: compare against the slot
+	argExpr                   // expression argument: evaluate and compare
+)
+
+type argOp struct {
+	kind argOpKind
+	slot int
+	val  colog.Value
+	term colog.Term
+}
+
+// compileArgOps compiles an atom's arguments against the statically-bound
+// variable set. Variables in bound (and repeats within the atom) become
+// checks; new variables become binds and are added to bound.
+func compileArgOps(a *colog.Atom, slots *ruleSlots, bound map[string]bool) []argOp {
+	ops := make([]argOp, len(a.Args))
+	for i, arg := range a.Args {
+		switch t := arg.(type) {
+		case *colog.VarTerm:
+			slot := slots.slotOf(t.Name)
+			if bound[t.Name] {
+				ops[i] = argOp{kind: argCheck, slot: slot}
+			} else {
+				ops[i] = argOp{kind: argBind, slot: slot}
+				bound[t.Name] = true
+			}
+		case *colog.ConstTerm:
+			ops[i] = argOp{kind: argConst, val: t.Val}
+		default:
+			ops[i] = argOp{kind: argExpr, term: arg}
+		}
+	}
+	return ops
+}
+
+// matchRow unifies a ground row against compiled arg ops, extending the
+// frame. Bindings are trailed; the caller undoes to its mark on mismatch or
+// after exploring the row.
+func matchRow(ops []argOp, vals []colog.Value, f *bindFrame) bool {
+	if len(ops) != len(vals) {
+		return false
+	}
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case argConst:
+			if !op.val.Equal(vals[i]) {
+				return false
+			}
+		case argBind:
+			f.bind(op.slot, vals[i])
+		case argCheck:
+			if !f.vals[op.slot].Equal(vals[i]) {
+				return false
+			}
+		case argExpr:
+			if !termBound(op.term, f) {
+				return false
+			}
+			v, err := evalGround(op.term, f)
+			if err != nil || !v.Equal(vals[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------- probing
+
+// probeOp contributes one column to an index probe key: either a constant
+// or a frame slot bound before the join executes.
+type probeOp struct {
+	slot int // -1: constant
+	val  colog.Value
+}
+
+// compileProbeOps builds the probe plan for an atom's bound columns.
+func compileProbeOps(a *colog.Atom, boundCols []int, slots *ruleSlots) []probeOp {
+	ops := make([]probeOp, len(boundCols))
+	for i, c := range boundCols {
+		switch t := a.Args[c].(type) {
+		case *colog.ConstTerm:
+			ops[i] = probeOp{slot: -1, val: t.Val}
+		case *colog.VarTerm:
+			ops[i] = probeOp{slot: slots.slotOf(t.Name)}
+		}
+	}
+	return ops
+}
+
+// appendProbeKey builds the probe key into the frame's scratch buffer; the
+// caller must consume the bytes before the next use of the buffer.
+func (f *bindFrame) appendProbeKey(ops []probeOp) []byte {
+	dst := f.keyBuf[:0]
+	for i := range ops {
+		if i > 0 {
+			dst = append(dst, '|')
+		}
+		v := ops[i].val
+		if ops[i].slot >= 0 {
+			v = f.vals[ops[i].slot]
+		}
+		dst = v.AppendKey(dst)
+	}
+	f.keyBuf = dst
+	return dst
+}
+
+// probeBytes looks up rows by a key held in a byte slice without
+// allocating the string (the compiler elides the conversion).
+func (ix *tableIndex) probeBytes(key []byte) [][]colog.Value {
+	return ix.m[string(key)]
+}
+
+// ------------------------------------------------------ symbolic indexing
+
+// symIndex is a transient hash index over the grounder's merged row set for
+// one predicate, keyed on a column subset. Rows holding a symbolic value at
+// an indexed column unify with any probe (posting equality constraints), so
+// they are kept aside and appended to every probe result.
+type symIndex struct {
+	cols []int
+	m    map[string][]symTuple
+	wild []symTuple
+}
+
+func buildSymIndex(rows []symTuple, cols []int) *symIndex {
+	ix := &symIndex{cols: cols, m: map[string][]symTuple{}}
+	var buf []byte
+	for _, st := range rows {
+		ground := true
+		for _, c := range cols {
+			if st[c].isSym() {
+				ground = false
+				break
+			}
+		}
+		if !ground {
+			ix.wild = append(ix.wild, st)
+			continue
+		}
+		buf = buf[:0]
+		for i, c := range cols {
+			if i > 0 {
+				buf = append(buf, '|')
+			}
+			buf = st[c].val.AppendKey(buf)
+		}
+		k := string(buf)
+		ix.m[k] = append(ix.m[k], st)
+	}
+	return ix
+}
+
+// probe returns the rows whose ground projection matches the key, plus the
+// rows that are symbolic on an indexed column.
+func (ix *symIndex) probe(key []byte) ([]symTuple, []symTuple) {
+	return ix.m[string(key)], ix.wild
+}
+
+// ------------------------------------------------------------- sym frame
+
+// symFrame is the grounder's slice-backed binding environment: gvals with
+// an undo trail, replacing the senv map clones.
+type symFrame struct {
+	slots  *ruleSlots
+	vals   []gval
+	bound  []bool
+	trail  []int
+	keyBuf []byte
+}
+
+func newSymFrame(slots *ruleSlots) *symFrame {
+	return &symFrame{
+		slots: slots,
+		vals:  make([]gval, slots.size()),
+		bound: make([]bool, slots.size()),
+	}
+}
+
+func (f *symFrame) reset() {
+	for i := range f.bound {
+		f.bound[i] = false
+	}
+	f.trail = f.trail[:0]
+}
+
+func (f *symFrame) mark() int { return len(f.trail) }
+
+func (f *symFrame) undo(mark int) {
+	for len(f.trail) > mark {
+		s := f.trail[len(f.trail)-1]
+		f.trail = f.trail[:len(f.trail)-1]
+		f.bound[s] = false
+	}
+}
+
+func (f *symFrame) bind(slot int, v gval) {
+	f.vals[slot] = v
+	f.bound[slot] = true
+	f.trail = append(f.trail, slot)
+}
+
+func (f *symFrame) lookupVar(name string) (gval, bool) {
+	if i, ok := f.slots.lookup(name); ok && f.bound[i] {
+		return f.vals[i], true
+	}
+	return gval{}, false
+}
+
+// appendProbeKey builds a probe key from ground frame values; ok is false
+// when any probed slot currently holds a symbolic value (the probe cannot
+// prune, so the caller falls back to a scan).
+func (f *symFrame) appendProbeKey(ops []probeOp) ([]byte, bool) {
+	dst := f.keyBuf[:0]
+	for i := range ops {
+		if i > 0 {
+			dst = append(dst, '|')
+		}
+		v := ops[i].val
+		if ops[i].slot >= 0 {
+			gv := f.vals[ops[i].slot]
+			if gv.isSym() {
+				return nil, false
+			}
+			v = gv.val
+		}
+		dst = v.AppendKey(dst)
+	}
+	f.keyBuf = dst
+	return dst, true
+}
+
+// --------------------------------------------------- grounder body planner
+
+// gstepKind enumerates the operators of a grounding plan.
+type gstepKind int
+
+const (
+	gJoin   gstepKind = iota // enumerate a body atom's rows
+	gFilter                  // boolean condition: ground filter or posted constraint
+	gBind                    // definitional equality V==expr
+	gReify                   // reified binding (V==k)==(bool-expr)
+	gAssign                  // assignment V:=expr
+)
+
+// gstep is one operator of a compiled grounding plan.
+type gstep struct {
+	kind     gstepKind
+	atom     *colog.Atom
+	ops      []argOp
+	probeOps []probeOp
+	idx      *symIndex
+	rows     []symTuple
+	cond     colog.Term // gFilter
+	slot     int        // gBind / gReify / gAssign target
+	rhs      colog.Term // gBind / gReify / gAssign right-hand side
+	k        int64      // gReify constant
+	// rebind marks a gAssign whose target is already bound at this point
+	// (executed by saving and restoring the previous value).
+	rebind bool
+}
+
+// groundPlan is the ordered body of one rule for one grounding, with every
+// join's access path resolved (index probe or cached scan).
+type groundPlan struct {
+	rule  *colog.Rule
+	label string
+	slots *ruleSlots
+	steps []gstep
+}
+
+// planGroundBody orders a rule body for grounding: expressions run as soon
+// as their inputs are bound, atoms are scheduled most-bound-first with
+// smaller relations breaking ties, replacing the seed grounder's
+// first-unprocessed-atom pick. Index probes are attached for every join
+// with a bound prefix.
+func (g *grounder) planGroundBody(rule *colog.Rule, seedBound map[string]bool) (*groundPlan, error) {
+	label := ruleName(rule)
+	slots := g.slotsFor(rule)
+	p := &groundPlan{rule: rule, label: label, slots: slots}
+
+	bound := map[string]bool{}
+	for v := range seedBound {
+		bound[v] = true
+	}
+	type pending struct {
+		lit  colog.Literal
+		atom *colog.Atom
+	}
+	todo := make([]pending, 0, len(rule.Body))
+	for _, l := range rule.Body {
+		if al, ok := l.(*colog.AtomLit); ok {
+			todo = append(todo, pending{l, al.Atom})
+		} else {
+			todo = append(todo, pending{l, nil})
+		}
+	}
+
+	boundCount := func(a *colog.Atom) int {
+		n := 0
+		seen := map[string]bool{}
+		for _, arg := range a.Args {
+			switch t := arg.(type) {
+			case *colog.ConstTerm:
+				n++
+			case *colog.VarTerm:
+				if bound[t.Name] && !seen[t.Name] {
+					n++
+				}
+				seen[t.Name] = true
+			}
+		}
+		return n
+	}
+
+	for len(todo) > 0 {
+		picked := -1
+		var step gstep
+		// 1. Ready expressions first: ground filters prune, definitional
+		// equalities and assignments extend the frame cheaply.
+		for i, pd := range todo {
+			switch x := pd.lit.(type) {
+			case *colog.CondLit:
+				if condBound(x.Expr, bound) {
+					picked, step = i, gstep{kind: gFilter, cond: x.Expr}
+				} else if name, rhs, k, reified, ok := splitBindableStatic(x.Expr, bound); ok {
+					if reified {
+						picked, step = i, gstep{kind: gReify, slot: slots.slotOf(name), rhs: rhs, k: k}
+					} else {
+						picked, step = i, gstep{kind: gBind, slot: slots.slotOf(name), rhs: rhs}
+					}
+					bound[name] = true
+				}
+			case *colog.AssignLit:
+				if condBound(x.Expr, bound) {
+					picked, step = i, gstep{kind: gAssign, slot: slots.slotOf(x.Var), rhs: x.Expr, rebind: bound[x.Var]}
+					bound[x.Var] = true
+				}
+			}
+			if picked >= 0 {
+				break
+			}
+		}
+		// 2. Otherwise the most selective join: most bound columns, then
+		// smallest relation.
+		if picked < 0 {
+			bestBound, bestSize := -1, 0
+			for i, pd := range todo {
+				if pd.atom == nil {
+					continue
+				}
+				rows, err := g.cachedRows(pd.atom.Pred)
+				if err != nil {
+					return nil, everrf(label, "%v", err)
+				}
+				bc, sz := boundCount(pd.atom), len(rows)
+				if bc > bestBound || (bc == bestBound && sz < bestSize) {
+					bestBound, bestSize = bc, sz
+					picked = i
+					step = gstep{kind: gJoin, atom: pd.atom, rows: rows}
+				}
+			}
+			if picked >= 0 {
+				a := step.atom
+				cols := joinBoundCols(a, bound)
+				// Probe only predicates with no symbolic tuples: for pure
+				// ground rows a probe skips exactly the rows that would
+				// have failed on a ground mismatch without side effects.
+				// Symbolic rows can post equality constraints from a
+				// partial match before a later argument fails (seed
+				// semantics the solver model depends on), so those
+				// predicates keep the full scan.
+				if _, isSym := g.sym[a.Pred]; len(cols) > 0 && !isSym {
+					step.probeOps = compileProbeOps(a, cols, slots)
+					step.idx = g.cachedSymIndex(a.Pred, cols, step.rows)
+				}
+				step.ops = compileArgOps(a, slots, bound)
+			}
+		}
+		if picked < 0 {
+			return nil, everrf(label, "cannot order body literals during grounding")
+		}
+		p.steps = append(p.steps, step)
+		todo = append(todo[:picked], todo[picked+1:]...)
+	}
+	return p, nil
+}
+
+// splitBindableStatic mirrors grounder.splitBindable over a static bound
+// set: it recognizes V==expr definitional equalities and the reified
+// (V==k)==(expr) form.
+func splitBindableStatic(cond colog.Term, bound map[string]bool) (name string, rhs colog.Term, k int64, reified, ok bool) {
+	bt, isBin := cond.(*colog.BinTerm)
+	if !isBin || bt.Op != colog.OpEq {
+		return "", nil, 0, false, false
+	}
+	unbound := func(t colog.Term) (string, bool) {
+		v, isVar := t.(*colog.VarTerm)
+		if !isVar {
+			return "", false
+		}
+		return v.Name, !bound[v.Name]
+	}
+	if n, u := unbound(bt.L); u && condBound(bt.R, bound) {
+		return n, bt.R, 0, false, true
+	}
+	if n, u := unbound(bt.R); u && condBound(bt.L, bound) {
+		return n, bt.L, 0, false, true
+	}
+	tryReified := func(side, other colog.Term) (string, colog.Term, int64, bool, bool) {
+		inner, isBin := side.(*colog.BinTerm)
+		if !isBin || inner.Op != colog.OpEq {
+			return "", nil, 0, false, false
+		}
+		var vName string
+		var constSide colog.Term
+		if n, u := unbound(inner.L); u {
+			vName, constSide = n, inner.R
+		} else if n, u := unbound(inner.R); u {
+			vName, constSide = n, inner.L
+		} else {
+			return "", nil, 0, false, false
+		}
+		c, isConst := constSide.(*colog.ConstTerm)
+		if !isConst || c.Val.Kind != colog.KindInt {
+			return "", nil, 0, false, false
+		}
+		if !condBound(other, bound) {
+			return "", nil, 0, false, false
+		}
+		return vName, other, c.Val.I, true, true
+	}
+	if n, r, kk, re, ok2 := tryReified(bt.L, bt.R); ok2 {
+		return n, r, kk, re, ok2
+	}
+	return tryReified(bt.R, bt.L)
+}
+
+// ------------------------------------------------------- rule level graph
+
+// solverRuleLevels partitions the solver derivation rules into dependency
+// levels: a rule's level is one past the deepest level producing a
+// predicate its body reads. Rules within a level are independent and can be
+// grounded in parallel; levels run in order. Falls back to one rule per
+// level (fully serial) if the dependency graph does not stabilize.
+func solverRuleLevels(rules []*colog.Rule, order []int) [][]int {
+	producers := map[string][]int{}
+	for _, ri := range order {
+		head := rules[ri].Head.Pred
+		producers[head] = append(producers[head], ri)
+	}
+	level := map[int]int{}
+	stable := false
+	for iter := 0; iter <= len(order)+1; iter++ {
+		changed := false
+		for _, ri := range order {
+			lvl := 0
+			for _, l := range rules[ri].Body {
+				al, ok := l.(*colog.AtomLit)
+				if !ok {
+					continue
+				}
+				for _, rj := range producers[al.Atom.Pred] {
+					if rj == ri {
+						continue
+					}
+					if pl := level[rj] + 1; pl > lvl {
+						lvl = pl
+					}
+				}
+			}
+			if level[ri] != lvl {
+				level[ri] = lvl
+				changed = true
+			}
+		}
+		if !changed {
+			stable = true
+			break
+		}
+	}
+	if !stable {
+		// Cyclic dependency (should be rejected upstream): serialize.
+		out := make([][]int, 0, len(order))
+		for _, ri := range order {
+			out = append(out, []int{ri})
+		}
+		return out
+	}
+	byLevel := map[int][]int{}
+	var lvls []int
+	for _, ri := range order {
+		l := level[ri]
+		if _, ok := byLevel[l]; !ok {
+			lvls = append(lvls, l)
+		}
+		byLevel[l] = append(byLevel[l], ri)
+	}
+	sort.Ints(lvls)
+	out := make([][]int, 0, len(lvls))
+	for _, l := range lvls {
+		out = append(out, byLevel[l])
+	}
+	return out
+}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"strings"
+	"runtime"
 	"sync"
 	"time"
 
@@ -33,6 +33,11 @@ type Config struct {
 	SolverMaxNodes int64
 	// SolverPropagate enables forward-checking propagation in the solver.
 	SolverPropagate bool
+	// GroundWorkers bounds the worker pool grounding independent solver
+	// rules in parallel: 0 picks a default from GOMAXPROCS, 1 (or any
+	// negative value) forces serial grounding. Results are merged in rule
+	// order, so the outcome is identical at any setting.
+	GroundWorkers int
 }
 
 // NodeStats counts a node's evaluation work.
@@ -56,6 +61,7 @@ type Node struct {
 	aggs   map[int]*aggState
 
 	queue    []delta
+	qhead    int
 	outbox   []outMsg
 	draining bool
 	mu       sync.Mutex
@@ -133,6 +139,61 @@ func NewNode(addr string, res *analysis.Result, cfg Config, tr transport.Transpo
 
 // Stats returns evaluation counters.
 func (n *Node) Stats() NodeStats { return n.stats }
+
+// groundWorkers resolves the grounding worker-pool size.
+func (n *Node) groundWorkers() int {
+	w := n.cfg.GroundWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 8 {
+			w = 8
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runLimited runs fn(0..n-1) on at most workers goroutines and waits for
+// completion. A panic inside fn is captured and re-raised on the calling
+// goroutine (lowest index wins), so callers can recover from parallel
+// grounding exactly as they would from a serial run.
+func runLimited(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	panics := make([]any, n)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = r
+			}
+		}()
+		fn(i)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
 
 // Program returns the analyzed program the node executes.
 func (n *Node) Program() *analysis.Result { return n.res }
@@ -242,7 +303,9 @@ func (n *Node) enqueue(d delta) { n.queue = append(n.queue, d) }
 // drain processes queued deltas to a local fixpoint (pipelined semi-naive
 // evaluation): each delta is applied to its table, and the visible
 // transitions trigger the compiled delta plans, which may enqueue more
-// deltas or ship tuples to other nodes.
+// deltas or ship tuples to other nodes. The queue is consumed through a
+// head index so the backing array is reused across bursts instead of
+// reallocating as the front advances.
 func (n *Node) drain() error {
 	if n.draining {
 		return nil // re-entrant call from a plan; outer loop continues
@@ -251,9 +314,13 @@ func (n *Node) drain() error {
 	defer func() { n.draining = false }()
 	var firstErr error
 	for {
-		for len(n.queue) > 0 {
-			d := n.queue[0]
-			n.queue = n.queue[1:]
+		for n.qhead < len(n.queue) {
+			d := n.queue[n.qhead]
+			n.qhead++
+			if n.qhead == len(n.queue) {
+				n.queue = n.queue[:0]
+				n.qhead = 0
+			}
 			t, ok := n.tables[d.tuple.Pred]
 			if !ok {
 				if firstErr == nil {
@@ -261,7 +328,8 @@ func (n *Node) drain() error {
 				}
 				continue
 			}
-			for _, tr := range t.apply(d.tuple.Vals, d.sign, d.derived) {
+			trs, ntr := t.apply(d.tuple.Vals, d.sign, d.derived)
+			for _, tr := range trs[:ntr] {
 				if err := n.processTransition(tr, -1); err != nil && firstErr == nil {
 					firstErr = err
 				}
@@ -361,20 +429,24 @@ func locAddr(v colog.Value) string {
 	return v.String()
 }
 
-// runPlan executes one compiled delta plan for a visible transition.
+// runPlan executes one compiled delta plan for a visible transition. The
+// plan's scratch frame replaces per-row environment maps: bindings are
+// trailed and undone on backtrack, so plan execution allocates only for
+// emitted head tuples.
 func (n *Node) runPlan(p *plan, d delta) error {
-	env := map[string]colog.Value{}
-	if !matchAtom(p.trigger, d.tuple.Vals, env) {
+	f := p.frame
+	f.reset()
+	if !matchRow(p.steps[0].argOps, d.tuple.Vals, f) {
 		return nil
 	}
-	return n.execSteps(p, 1, env, d)
+	return n.execSteps(p, 1, f, d)
 }
 
-func (n *Node) execSteps(p *plan, idx int, env map[string]colog.Value, d delta) error {
+func (n *Node) execSteps(p *plan, idx int, f *bindFrame, d delta) error {
 	if idx == len(p.steps) {
-		return n.emitHead(p, env, d.sign)
+		return n.emitHead(p, f, d.sign)
 	}
-	step := p.steps[idx]
+	step := &p.steps[idx]
 	switch step.kind {
 	case stepJoin:
 		t := n.tables[step.atom.Pred]
@@ -383,11 +455,12 @@ func (n *Node) execSteps(p *plan, idx int, env map[string]colog.Value, d delta) 
 		}
 		var rows [][]colog.Value
 		if len(step.boundCols) > 0 {
-			key, ok := probeKey(step.atom, step.boundCols, env)
-			if !ok {
-				return everrf(ruleName(p.rule), "unbound probe key for %s", step.atom.Pred)
+			if step.cachedIdx == nil || step.cachedGen != t.indexGen {
+				step.cachedIdx = t.ensureIndexNamed(step.idxKey, step.boundCols)
+				step.cachedGen = t.indexGen
 			}
-			rows = t.lookup(step.boundCols, key)
+			key := f.appendProbeKey(step.probeOps)
+			rows = step.cachedIdx.probeBytes(key)
 		} else {
 			rows = t.snapshotUnordered()
 		}
@@ -398,17 +471,17 @@ func (n *Node) execSteps(p *plan, idx int, env map[string]colog.Value, d delta) 
 			rows = append(rows[:len(rows):len(rows)], d.tuple.Vals)
 		}
 		for _, rowVals := range rows {
-			env2 := cloneEnv(env)
-			if !matchAtom(step.atom, rowVals, env2) {
-				continue
+			m := f.mark()
+			if matchRow(step.argOps, rowVals, f) {
+				if err := n.execSteps(p, idx+1, f, d); err != nil {
+					return err
+				}
 			}
-			if err := n.execSteps(p, idx+1, env2, d); err != nil {
-				return err
-			}
+			f.undo(m)
 		}
 		return nil
 	case stepFilter:
-		v, err := evalGround(step.cond, env)
+		v, err := evalGround(step.cond, f)
 		if err != nil {
 			return everrf(ruleName(p.rule), "condition %s: %v", step.cond, err)
 		}
@@ -418,62 +491,47 @@ func (n *Node) execSteps(p *plan, idx int, env map[string]colog.Value, d delta) 
 		if !v.B {
 			return nil
 		}
-		return n.execSteps(p, idx+1, env, d)
+		return n.execSteps(p, idx+1, f, d)
 	case stepBind, stepAssign:
-		v, err := evalGround(step.expr, env)
+		v, err := evalGround(step.expr, f)
 		if err != nil {
 			return everrf(ruleName(p.rule), "binding %s: %v", step.bindVar, err)
 		}
-		env[step.bindVar] = v
-		return n.execSteps(p, idx+1, env, d)
+		if step.rebind {
+			// Reassignment of a bound variable: restore the previous value
+			// on backtrack instead of trailing a fresh binding.
+			prev := f.vals[step.slot]
+			f.vals[step.slot] = v
+			err := n.execSteps(p, idx+1, f, d)
+			f.vals[step.slot] = prev
+			return err
+		}
+		f.bind(step.slot, v)
+		return n.execSteps(p, idx+1, f, d)
 	}
 	return everrf(ruleName(p.rule), "unknown plan step")
 }
 
 // emitHead projects the binding onto the rule head. Aggregate heads update
 // incremental aggregate state; plain heads route the tuple directly.
-func (n *Node) emitHead(p *plan, env map[string]colog.Value, sign int) error {
+func (n *Node) emitHead(p *plan, f *bindFrame, sign int) error {
 	if len(p.headAggs) > 0 {
-		return n.updateAggregate(p, env, sign)
+		return n.updateAggregate(p, f, sign)
 	}
-	vals := make([]colog.Value, len(p.rule.Head.Args))
-	for i, arg := range p.rule.Head.Args {
-		v, err := evalGround(termOf(arg), env)
+	vals := make([]colog.Value, len(p.headOps))
+	for i := range p.headOps {
+		op := &p.headOps[i]
+		if op.slot >= 0 {
+			vals[i] = f.vals[op.slot]
+			continue
+		}
+		v, err := evalGround(op.term, f)
 		if err != nil {
 			return everrf(ruleName(p.rule), "head argument %d: %v", i, err)
 		}
 		vals[i] = v
 	}
 	return n.route(Tuple{p.rule.Head.Pred, vals}, sign)
-}
-
-func termOf(arg colog.Term) colog.Term { return arg }
-
-// probeKey builds the index probe key for a join atom's bound columns.
-func probeKey(a *colog.Atom, cols []int, env map[string]colog.Value) (string, bool) {
-	vals := make([]colog.Value, len(a.Args))
-	for _, c := range cols {
-		switch t := a.Args[c].(type) {
-		case *colog.ConstTerm:
-			vals[c] = t.Val
-		case *colog.VarTerm:
-			v, ok := env[t.Name]
-			if !ok {
-				return "", false
-			}
-			vals[c] = v
-		default:
-			return "", false
-		}
-	}
-	var b strings.Builder
-	for i, c := range cols {
-		if i > 0 {
-			b.WriteByte('|')
-		}
-		b.WriteString(vals[c].Key())
-	}
-	return b.String(), true
 }
 
 // matchAtom unifies an atom pattern with ground values, extending env.
@@ -497,10 +555,10 @@ func matchAtom(a *colog.Atom, vals []colog.Value, env map[string]colog.Value) bo
 			}
 		default:
 			// Expression argument: must be fully bound, then compared.
-			if !termBound(arg, env) {
+			if !termBound(arg, mapEnv(env)) {
 				return false
 			}
-			v, err := evalGround(arg, env)
+			v, err := evalGround(arg, mapEnv(env))
 			if err != nil || !v.Equal(vals[i]) {
 				return false
 			}
@@ -517,13 +575,18 @@ func cloneEnv(env map[string]colog.Value) map[string]colog.Value {
 	return out
 }
 
-// snapshotUnordered returns visible rows without sorting (hot path).
+// snapshotUnordered returns visible rows without sorting (hot path). The
+// result is memoized between table mutations; callers must not append to it
+// without re-slicing (the self-join fix uses a full slice expression).
 func (t *table) snapshotUnordered() [][]colog.Value {
-	out := make([][]colog.Value, 0, len(t.rows))
-	for _, r := range t.rows {
-		out = append(out, r.vals)
+	if t.scanCache == nil {
+		out := make([][]colog.Value, 0, len(t.rows))
+		for _, r := range t.rows {
+			out = append(out, r.vals)
+		}
+		t.scanCache = out
 	}
-	return out
+	return t.scanCache
 }
 
 // Dump renders all tables for debugging.

@@ -17,12 +17,33 @@ import (
 //   - Event tables (e.g. the solver's materialized migVm output) are never
 //     stored: their deltas stream through the rules exactly once.
 type table struct {
-	name    string
-	arity   int
-	keyCols []int // nil = whole row is the key (set semantics)
-	event   bool
-	rows    map[string]*row // key -> row
-	indexes map[string]*tableIndex
+	name     string
+	arity    int
+	keyCols  []int // nil = whole row is the key (set semantics)
+	event    bool
+	rows     map[string]row // key -> row
+	indexes  map[string]*tableIndex
+	indexGen uint64 // bumped on dropIndexes; validates cached index pointers
+	// keyScratch is reused for building row keys, so lookups and deletes
+	// never allocate; only inserting a new row materializes the string.
+	keyScratch []byte
+	// scanCache memoizes the unordered visible-row list between mutations,
+	// so unbound join scans don't rebuild it per probe.
+	scanCache [][]colog.Value
+}
+
+// appendRowKey builds the row's primary key into dst.
+func (t *table) appendRowKey(dst []byte, vals []colog.Value) []byte {
+	if t.keyCols == nil {
+		return appendValsKey(dst, vals)
+	}
+	for i, c := range t.keyCols {
+		if i > 0 {
+			dst = append(dst, '|')
+		}
+		dst = vals[c].AppendKey(dst)
+	}
+	return dst
 }
 
 type row struct {
@@ -36,7 +57,7 @@ type row struct {
 }
 
 func newTable(name string, arity int, keyCols []int, event bool) *table {
-	return &table{name: name, arity: arity, keyCols: keyCols, event: event, rows: map[string]*row{}}
+	return &table{name: name, arity: arity, keyCols: keyCols, event: event, rows: map[string]row{}}
 }
 
 // delta is a pending tuple change with a sign (+1 insert, -1 delete).
@@ -49,61 +70,79 @@ type delta struct {
 }
 
 // apply merges a signed tuple into the table and returns the visible-row
-// transitions to propagate: an insertion becomes visible only on a 0->1
-// count transition, a deletion only on 1->0, and a keyed replacement yields
-// a deletion of the old row followed by the insertion of the new one.
-func (t *table) apply(vals []colog.Value, sign int, derived bool) []delta {
+// transitions to propagate (at most two, in out[:n]): an insertion becomes
+// visible only on a 0->1 count transition, a deletion only on 1->0, and a
+// keyed replacement yields a deletion of the old row followed by the
+// insertion of the new one. The fixed-size return keeps the delta hot path
+// allocation-free.
+func (t *table) apply(vals []colog.Value, sign int, derived bool) (out [2]delta, n int) {
 	if t.event {
 		if sign > 0 {
-			return []delta{{Tuple{t.name, vals}, +1, derived}}
+			out[0] = delta{Tuple{t.name, vals}, +1, derived}
+			n = 1
 		}
-		return nil
+		return out, n
 	}
 	baseInc := 1
 	if derived {
 		baseInc = 0
 	}
-	var out []delta
-	k := keyOf(vals, t.keyCols)
-	existing := t.rows[k]
+	t.keyScratch = t.appendRowKey(t.keyScratch[:0], vals)
+	kb := t.keyScratch
+	existing, exists := t.rows[string(kb)]
 	if sign > 0 {
-		if existing != nil {
-			if valsKey(existing.vals) == valsKey(vals) {
+		if exists {
+			if valsEqual(existing.vals, vals) {
 				existing.count++
 				existing.base += baseInc
-				return nil
+				t.rows[string(kb)] = existing
+				return out, 0
 			}
 			// Keyed replacement: retract the old row first.
-			out = append(out, delta{Tuple{t.name, existing.vals}, -1, derived})
+			out[n] = delta{Tuple{t.name, existing.vals}, -1, derived}
+			n++
 			t.indexRemove(existing.vals)
-			delete(t.rows, k)
+			delete(t.rows, string(kb))
 		}
-		stored := append([]colog.Value(nil), vals...)
-		t.rows[k] = &row{vals: stored, count: 1, base: baseInc}
+		// Derived tuples are freshly built by rule-head projection and
+		// uniquely owned, so the row can adopt them; external inserts may
+		// alias caller memory and are copied.
+		stored := vals
+		if !derived {
+			stored = append([]colog.Value(nil), vals...)
+		}
+		t.rows[string(kb)] = row{vals: stored, count: 1, base: baseInc}
 		t.indexInsert(stored)
-		out = append(out, delta{Tuple{t.name, vals}, +1, derived})
-		return out
+		t.scanCache = nil
+		out[n] = delta{Tuple{t.name, vals}, +1, derived}
+		n++
+		return out, n
 	}
 	// Deletion.
-	if existing == nil || valsKey(existing.vals) != valsKey(vals) {
-		return nil // deleting a non-existent row is a no-op
+	if !exists || !valsEqual(existing.vals, vals) {
+		return out, 0 // deleting a non-existent row is a no-op
 	}
 	existing.count--
 	if existing.base > 0 && baseInc > 0 {
 		existing.base--
 	}
 	if existing.count <= 0 {
-		delete(t.rows, k)
+		delete(t.rows, string(kb))
 		t.indexRemove(existing.vals)
-		out = append(out, delta{Tuple{t.name, existing.vals}, -1, derived})
+		t.scanCache = nil
+		out[0] = delta{Tuple{t.name, existing.vals}, -1, derived}
+		n = 1
+	} else {
+		t.rows[string(kb)] = existing
 	}
-	return out
+	return out, n
 }
 
 // contains reports whether the exact row is visible.
 func (t *table) contains(vals []colog.Value) bool {
-	r, ok := t.rows[keyOf(vals, t.keyCols)]
-	return ok && valsKey(r.vals) == valsKey(vals)
+	t.keyScratch = t.appendRowKey(t.keyScratch[:0], vals)
+	r, ok := t.rows[string(t.keyScratch)]
+	return ok && valsEqual(r.vals, vals)
 }
 
 // snapshot returns the visible rows sorted deterministically.
@@ -124,6 +163,10 @@ func (t *table) size() int { return len(t.rows) }
 // clear removes all rows without emitting deltas (used only for test setup
 // and solver-output replacement where deltas are produced explicitly).
 func (t *table) clear() {
-	t.rows = map[string]*row{}
+	t.rows = map[string]row{}
 	t.dropIndexes()
+	t.dropScanCache()
 }
+
+// dropScanCache invalidates the memoized scan (bulk row replacement).
+func (t *table) dropScanCache() { t.scanCache = nil }

@@ -32,28 +32,46 @@ func NewTuple(pred string, vals ...colog.Value) Tuple {
 func (t Tuple) Key() string { return valsKey(t.Vals) }
 
 func valsKey(vals []colog.Value) string {
-	var b strings.Builder
+	return string(appendValsKey(nil, vals))
+}
+
+// appendValsKey appends the canonical key of a full value list to dst.
+func appendValsKey(dst []byte, vals []colog.Value) []byte {
 	for i, v := range vals {
 		if i > 0 {
-			b.WriteByte('|')
+			dst = append(dst, '|')
 		}
-		b.WriteString(v.Key())
+		dst = v.AppendKey(dst)
 	}
-	return b.String()
+	return dst
 }
 
 func keyOf(vals []colog.Value, cols []int) string {
 	if cols == nil {
 		return valsKey(vals)
 	}
-	var b strings.Builder
+	var dst []byte
 	for i, c := range cols {
 		if i > 0 {
-			b.WriteByte('|')
+			dst = append(dst, '|')
 		}
-		b.WriteString(vals[c].Key())
+		dst = vals[c].AppendKey(dst)
 	}
-	return b.String()
+	return string(dst)
+}
+
+// valsEqual reports whether two value lists are identical under Value.Equal,
+// without building key strings.
+func valsEqual(a, b []colog.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // String renders the tuple as Colog source.

@@ -195,14 +195,14 @@ func applyFunc(name string, args []colog.Value) (colog.Value, error) {
 	return colog.Value{}, everrf(name, "unknown function")
 }
 
-// evalGround evaluates a term under a ground binding. All variables must be
-// bound.
-func evalGround(t colog.Term, env map[string]colog.Value) (colog.Value, error) {
+// evalGround evaluates a term under a ground binding (a map environment or
+// a slot frame). All variables must be bound.
+func evalGround(t colog.Term, env valueEnv) (colog.Value, error) {
 	switch x := t.(type) {
 	case *colog.ConstTerm:
 		return x.Val, nil
 	case *colog.VarTerm:
-		v, ok := env[x.Name]
+		v, ok := env.lookupVar(x.Name)
 		if !ok {
 			return colog.Value{}, everrf(x.Name, "unbound variable")
 		}
@@ -252,10 +252,10 @@ func evalGround(t colog.Term, env map[string]colog.Value) (colog.Value, error) {
 }
 
 // termBound reports whether all variables in t are bound in env.
-func termBound(t colog.Term, env map[string]colog.Value) bool {
+func termBound(t colog.Term, env valueEnv) bool {
 	switch x := t.(type) {
 	case *colog.VarTerm:
-		_, ok := env[x.Name]
+		_, ok := env.lookupVar(x.Name)
 		return ok
 	case *colog.BinTerm:
 		return termBound(x.L, env) && termBound(x.R, env)

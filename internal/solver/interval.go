@@ -66,8 +66,8 @@ func newEvaluator(m *Model) *evaluator {
 	ev := &evaluator{
 		m:    m,
 		dom:  make([]Domain, len(m.vars)),
-		memo: make([]Interval, m.nodes),
-		gen:  make([]uint64, m.nodes),
+		memo: make([]Interval, m.NumExprNodes()),
+		gen:  make([]uint64, m.NumExprNodes()),
 	}
 	for i, v := range m.vars {
 		ev.dom[i] = v.Dom

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // Var is an integer decision variable with a finite domain. The constraint
@@ -18,14 +19,17 @@ type Var struct {
 func (v *Var) String() string { return fmt.Sprintf("%s%s", v.Name, v.Dom) }
 
 // Model holds decision variables, posted constraints, and an optional
-// objective. A Model is built once per COP invocation and solved by Solve;
-// it is not safe for concurrent mutation.
+// objective. A Model is built once per COP invocation and solved by Solve.
+// Variable creation, Require, and objective installation are not safe for
+// concurrent use; expression construction is — node IDs are allocated
+// atomically so parallel grounding workers can build expression trees
+// against a shared model while deferring constraint posts.
 type Model struct {
 	vars        []*Var
 	constraints []*Expr
 	objective   *Expr
 	sense       Sense
-	nodes       int // next expression ID
+	nodes       atomic.Int64 // next expression ID
 }
 
 // NewModel creates an empty model in satisfy mode.
@@ -38,7 +42,7 @@ func (m *Model) NumVars() int { return len(m.vars) }
 func (m *Model) NumConstraints() int { return len(m.constraints) }
 
 // NumExprNodes returns the number of expression DAG nodes created so far.
-func (m *Model) NumExprNodes() int { return m.nodes }
+func (m *Model) NumExprNodes() int { return int(m.nodes.Load()) }
 
 // Vars returns the model's variables in creation order. The slice must not
 // be mutated.
@@ -72,9 +76,8 @@ func (m *Model) VarWithDomain(name string, dom Domain) *Var {
 }
 
 func (m *Model) newExpr(op Op, k float64, v *Var, args ...*Expr) *Expr {
-	e := &Expr{ID: m.nodes, Op: op, K: k, Var: v, Args: args, model: m}
-	m.nodes++
-	return e
+	id := int(m.nodes.Add(1)) - 1
+	return &Expr{ID: id, Op: op, K: k, Var: v, Args: args, model: m}
 }
 
 // Const creates a numeric literal node.

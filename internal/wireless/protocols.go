@@ -314,7 +314,7 @@ func distributedAssignment(t *Topology, p Params, res *Result) (Assignment, erro
 	prev := Assignment{}
 	for pass := 0; pass < maxInt(1, p.Passes); pass++ {
 		order := append([]Link(nil), t.Links...)
-		rand.New(rand.NewSource(p.Seed + int64(pass))).Shuffle(len(order), func(i, j int) {
+		rand.New(rand.NewSource(p.Seed+int64(pass))).Shuffle(len(order), func(i, j int) {
 			order[i], order[j] = order[j], order[i]
 		})
 		for _, l := range order {
@@ -421,4 +421,3 @@ func RateSweep(p Params) (map[Protocol]*Result, error) {
 	}
 	return out, nil
 }
-

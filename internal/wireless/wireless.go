@@ -330,4 +330,3 @@ func forbidden(t *Topology, l Link, c int64) bool {
 	}
 	return false
 }
-
