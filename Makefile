@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench lint ci
+.PHONY: build test bench bench-json fuzz lint ci
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,30 @@ BENCH ?= .
 bench:
 	$(GO) test -run='^$$' -bench='$(BENCH)' -benchmem .
 
+# Machine-readable perf trajectory: run the paper-figure benchmarks with a
+# fixed iteration count and write BENCH_<date>.json (ns/op, B/op, allocs/op,
+# and every custom metric). Compare files across commits to track the
+# speedup curve.
+BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze
+BENCHJSON_ITERS ?= 10
+BENCHJSON_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
+bench-json:
+	$(GO) test -run='^$$' -bench='$(BENCHJSON_BENCH)' -benchtime=$(BENCHJSON_ITERS)x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT)
+
+# Short fixed-budget fuzz of the Colog parser (the CI job runs the same
+# target with FUZZTIME=20s).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/colog
+
+ci: lint build test
+	$(GO) test -count=1 -run 'TestEnginesMatchBruteForce|TestEventEngineTraceMatchesLegacy' ./internal/solver
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=20s ./internal/colog
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 	$(GO) vet ./...
-
-ci: lint build test
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...

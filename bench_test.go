@@ -397,20 +397,60 @@ func BenchmarkAblationLinearPropagation(b *testing.B) {
 		m.Minimize(m.StdDev(loads...))
 		return m
 	}
-	for _, variant := range []struct {
-		name    string
-		disable bool
-	}{{"with-linear", false}, {"without-linear", true}} {
-		variant := variant
-		b.Run(variant.name, func(b *testing.B) {
-			var nodes int64
-			for i := 0; i < b.N; i++ {
-				sol := build().Solve(solver.Options{
-					DisableLinear: variant.disable, MaxNodes: 200000,
-				})
-				nodes = sol.Stats.Nodes
+	for _, eng := range []solver.Engine{solver.EngineEvent, solver.EngineLegacy} {
+		for _, variant := range []struct {
+			name    string
+			disable bool
+		}{{"with-linear", false}, {"without-linear", true}} {
+			eng, variant := eng, variant
+			b.Run(eng.String()+"/"+variant.name, func(b *testing.B) {
+				var nodes int64
+				for i := 0; i < b.N; i++ {
+					sol := build().Solve(solver.Options{
+						Engine: eng, DisableLinear: variant.disable, MaxNodes: 200000,
+					})
+					nodes = sol.Stats.Nodes
+				}
+				b.ReportMetric(float64(nodes), "search-nodes")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationEventEngine isolates the propagation engine against the
+// legacy core on one grounded ACloud COP (same model, same node budget, same
+// resulting trace): the difference is pure per-node propagation cost.
+func BenchmarkAblationEventEngine(b *testing.B) {
+	for _, engine := range []string{"event", "legacy"} {
+		engine := engine
+		b.Run(engine, func(b *testing.B) {
+			e := programs.ACloud(false, 0)
+			cfg := e.Config
+			cfg.SolverMaxNodes = 2000
+			cfg.SolverPropagate = true
+			cfg.SolverEngine = engine
+			node, err := core.NewNode("bench", e.Analyze(), cfg, nil)
+			if err != nil {
+				b.Fatal(err)
 			}
-			b.ReportMetric(float64(nodes), "search-nodes")
+			for h := 0; h < 4; h++ {
+				node.Insert("host", colog.StringVal(fmt.Sprintf("h%d", h)), colog.IntVal(0), colog.IntVal(0))
+				node.Insert("hostMemThres", colog.StringVal(fmt.Sprintf("h%d", h)), colog.IntVal(1<<20))
+			}
+			for v := 0; v < 48; v++ {
+				node.Insert("vmRaw", colog.StringVal(fmt.Sprintf("vm%d", v)),
+					colog.IntVal(int64(25+v%60)), colog.IntVal(512))
+			}
+			b.ResetTimer()
+			var res *core.SolveResult
+			for i := 0; i < b.N; i++ {
+				res, err = node.Solve(core.SolveOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Stats.Nodes), "search-nodes")
+			b.ReportMetric(res.Objective, "objective")
 		})
 	}
 }
@@ -419,11 +459,12 @@ func BenchmarkAblationLinearPropagation(b *testing.B) {
 // ACloud COP (DESIGN.md design choice: anytime B&B from the current
 // placement).
 func BenchmarkAblationWarmStart(b *testing.B) {
-	setup := func() *core.Node {
+	setup := func(engine string) *core.Node {
 		e := programs.ACloud(false, 0)
 		cfg := e.Config
 		cfg.SolverMaxNodes = 3000
 		cfg.SolverPropagate = true
+		cfg.SolverEngine = engine
 		node, err := core.NewNode("bench", e.Analyze(), cfg, nil)
 		if err != nil {
 			b.Fatal(err)
@@ -445,23 +486,25 @@ func BenchmarkAblationWarmStart(b *testing.B) {
 		}
 		return 0, true
 	}
-	for _, variant := range []struct {
-		name string
-		hint func(string, []colog.Value) (int64, bool)
-	}{{"with-hint", lptHint}, {"without-hint", nil}} {
-		variant := variant
-		b.Run(variant.name, func(b *testing.B) {
-			node := setup()
-			var obj float64
-			for i := 0; i < b.N; i++ {
-				res, err := node.Solve(core.SolveOptions{Hint: variant.hint})
-				if err != nil {
-					b.Fatal(err)
+	for _, engine := range []string{"event", "legacy"} {
+		for _, variant := range []struct {
+			name string
+			hint func(string, []colog.Value) (int64, bool)
+		}{{"with-hint", lptHint}, {"without-hint", nil}} {
+			engine, variant := engine, variant
+			b.Run(engine+"/"+variant.name, func(b *testing.B) {
+				node := setup(engine)
+				var obj float64
+				for i := 0; i < b.N; i++ {
+					res, err := node.Solve(core.SolveOptions{Hint: variant.hint})
+					if err != nil {
+						b.Fatal(err)
+					}
+					obj = res.Objective
 				}
-				obj = res.Objective
-			}
-			b.ReportMetric(obj, "objective")
-		})
+				b.ReportMetric(obj, "objective")
+			})
+		}
 	}
 }
 

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSolverACloudModel 	      10	   6631982 ns/op	 1632992 B/op	   39279 allocs/op
+BenchmarkFigure2ACloudStdev/Default-8 	       5	 123456 ns/op	        14.20 cpu-stddev	       100.0 pct-of-default
+BenchmarkBroken --- FAIL
+PASS
+ok  	repro	0.147s
+`
+
+func TestParseBench(t *testing.T) {
+	sum, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.GOOS != "linux" || sum.GOARCH != "amd64" || !strings.Contains(sum.CPU, "Xeon") {
+		t.Fatalf("header = %+v", sum)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(sum.Benchmarks))
+	}
+	b0 := sum.Benchmarks[0]
+	if b0.Name != "BenchmarkSolverACloudModel" || b0.Iterations != 10 ||
+		b0.NsPerOp != 6631982 || b0.BytesPerOp != 1632992 || b0.AllocsPerOp != 39279 {
+		t.Fatalf("record 0 = %+v", b0)
+	}
+	b1 := sum.Benchmarks[1]
+	if b1.Name != "BenchmarkFigure2ACloudStdev/Default-8" || b1.NsPerOp != 123456 {
+		t.Fatalf("record 1 = %+v", b1)
+	}
+	if b1.Metrics["cpu-stddev"] != 14.20 || b1.Metrics["pct-of-default"] != 100.0 {
+		t.Fatalf("metrics = %v", b1.Metrics)
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	sum, err := parseBench(strings.NewReader("PASS\nok x 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 0 {
+		t.Fatalf("expected no benchmarks, got %d", len(sum.Benchmarks))
+	}
+}

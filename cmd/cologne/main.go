@@ -21,27 +21,68 @@ import (
 	"repro/internal/core"
 )
 
-func main() {
-	var (
-		solve    = flag.Bool("solve", false, "invoke the constraint solver after loading facts")
-		dump     = flag.String("dump", "", "comma-separated tables to print (default: all non-empty)")
-		maxTime  = flag.Duration("solver-max-time", 10*time.Second, "SOLVER_MAX_TIME budget")
-		maxNodes = flag.Int64("solver-max-nodes", 0, "search node budget (0 = unlimited)")
-		report   = flag.Bool("report", false, "print the static analysis report before running")
-	)
-	var params paramFlags
-	flag.Var(&params, "param", "bind a parameter, e.g. -param max_migrates=3 (repeatable)")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cologne [flags] program.colog\n")
-		flag.PrintDefaults()
+// cliOptions holds every cologne flag; registerFlags wires them onto a
+// FlagSet so tests can exercise the flag surface without running main.
+type cliOptions struct {
+	solve    *bool
+	dump     *string
+	maxTime  *time.Duration
+	maxNodes *int64
+	restarts *int
+	engine   *string
+	fixpoint *bool
+	report   *bool
+	params   paramFlags
+}
+
+func registerFlags(fs *flag.FlagSet) *cliOptions {
+	o := &cliOptions{
+		solve:    fs.Bool("solve", false, "invoke the constraint solver after loading facts"),
+		dump:     fs.String("dump", "", "comma-separated tables to print (default: all non-empty)"),
+		maxTime:  fs.Duration("solver-max-time", 10*time.Second, "SOLVER_MAX_TIME budget per COP execution"),
+		maxNodes: fs.Int64("solver-max-nodes", 0, "search node budget per COP execution (0 = unlimited)"),
+		restarts: fs.Int("solver-restarts", 0,
+			"restart the search N times with geometrically growing node limits;\nsaved phases feed later runs' warm-start hints (0 = no restarts)"),
+		engine: fs.String("solver-engine", "event",
+			"search core: 'event' (event-driven propagation engine) or 'legacy'\n(seed forward-checking core; same results, for ablations)"),
+		fixpoint: fs.Bool("solver-fixpoint", false,
+			"drain the propagator queue to fixpoint after each assignment\n(stronger pruning; same optima, fewer search nodes)"),
+		report: fs.Bool("report", false, "print the static analysis report before running"),
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
+	fs.Var(&o.params, "param", "bind a parameter, e.g. -param max_migrates=3 (repeatable)")
+	return o
+}
+
+// config validates the solver flags and assembles the node configuration.
+func (o *cliOptions) config() (core.Config, error) {
+	if *o.engine != "event" && *o.engine != "legacy" {
+		return core.Config{}, fmt.Errorf("unknown -solver-engine %q (want event or legacy)", *o.engine)
+	}
+	return core.Config{
+		Params:          o.params.vals,
+		SolverMaxTime:   *o.maxTime,
+		SolverMaxNodes:  *o.maxNodes,
+		SolverPropagate: true,
+		SolverEngine:    *o.engine,
+		SolverFixpoint:  *o.fixpoint,
+		SolverRestarts:  *o.restarts,
+	}, nil
+}
+
+func main() {
+	fs := flag.NewFlagSet("cologne", flag.ExitOnError)
+	opts := registerFlags(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cologne [flags] program.colog\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	if fs.NArg() != 1 {
+		fs.Usage()
 		os.Exit(2)
 	}
 
-	src, err := os.ReadFile(flag.Arg(0))
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		fail("%v", err)
 	}
@@ -49,24 +90,22 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	res, err := analysis.Analyze(prog, params.vals)
+	res, err := analysis.Analyze(prog, opts.params.vals)
 	if err != nil {
 		fail("%v", err)
 	}
-	if *report {
+	if *opts.report {
 		printReport(res)
 	}
-	cfg := core.Config{
-		Params:          params.vals,
-		SolverMaxTime:   *maxTime,
-		SolverMaxNodes:  *maxNodes,
-		SolverPropagate: true,
+	cfg, err := opts.config()
+	if err != nil {
+		fail("%v", err)
 	}
 	node, err := core.NewNode("local", res, cfg, nil)
 	if err != nil {
 		fail("%v", err)
 	}
-	if *solve {
+	if *opts.solve {
 		sres, err := node.Solve(core.SolveOptions{})
 		if err != nil {
 			fail("solve: %v", err)
@@ -75,7 +114,7 @@ func main() {
 			sres.Status, sres.Objective, sres.NumVars, sres.NumCons,
 			sres.Stats.Nodes, sres.Stats.Elapsed.Round(time.Microsecond))
 	}
-	printTables(node, *dump)
+	printTables(node, *opts.dump)
 }
 
 func printReport(res *analysis.Result) {

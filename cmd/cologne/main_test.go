@@ -1,6 +1,7 @@
 package main
 
 import (
+	"flag"
 	"testing"
 
 	"repro/internal/colog"
@@ -32,5 +33,48 @@ func TestParamFlagsRejectsMalformed(t *testing.T) {
 	var p paramFlags
 	if err := p.Set("no-equals-sign"); err == nil {
 		t.Fatal("malformed param accepted")
+	}
+}
+
+// TestSolverFlagsDocumented pins the solver flags the CLI must expose and
+// document in -help: budgets and the restart/engine knobs.
+func TestSolverFlagsDocumented(t *testing.T) {
+	fs := flag.NewFlagSet("cologne", flag.ContinueOnError)
+	registerFlags(fs)
+	for _, name := range []string{
+		"solver-max-time", "solver-max-nodes", "solver-restarts",
+		"solver-engine", "solver-fixpoint",
+	} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+		if f.Usage == "" {
+			t.Fatalf("flag -%s has no help text", name)
+		}
+	}
+}
+
+// TestSolverEngineFlagValues checks the engine flag round-trips to a Config.
+func TestSolverEngineFlagValues(t *testing.T) {
+	fs := flag.NewFlagSet("cologne", flag.ContinueOnError)
+	opts := registerFlags(fs)
+	if err := fs.Parse([]string{"-solver-engine", "legacy", "-solver-restarts", "2", "-solver-max-nodes", "99"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := opts.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SolverEngine != "legacy" || cfg.SolverRestarts != 2 || cfg.SolverMaxNodes != 99 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	fs2 := flag.NewFlagSet("cologne", flag.ContinueOnError)
+	opts2 := registerFlags(fs2)
+	if err := fs2.Parse([]string{"-solver-engine", "warp"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opts2.config(); err == nil {
+		t.Fatal("unknown engine accepted")
 	}
 }

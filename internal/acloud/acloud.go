@@ -68,6 +68,12 @@ type Params struct {
 
 	SolverMaxNodes int64
 	SolverMaxTime  time.Duration
+	// SolverEngine/SolverFixpoint/SolverRestarts select and tune the search
+	// core per Config (see core.Config); zero values keep the default
+	// event-driven propagation engine.
+	SolverEngine   string
+	SolverFixpoint bool
+	SolverRestarts int
 
 	Seed  int64
 	Trace dctrace.Params
@@ -353,6 +359,9 @@ func (c *cluster) buildNodes(pol Policy) ([]*core.Node, error) {
 		cfg.SolverMaxNodes = c.p.SolverMaxNodes
 		cfg.SolverMaxTime = c.p.SolverMaxTime
 		cfg.SolverPropagate = true
+		cfg.SolverEngine = c.p.SolverEngine
+		cfg.SolverFixpoint = c.p.SolverFixpoint
+		cfg.SolverRestarts = c.p.SolverRestarts
 		cfg.Keys = map[string][]int{
 			"vmRaw":  {0},
 			"origin": {0},

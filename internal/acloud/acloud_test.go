@@ -110,3 +110,33 @@ func TestStddevHelper(t *testing.T) {
 		t.Fatalf("stddev({2,4}) = %v", s)
 	}
 }
+
+// TestEngineEquivalence runs the ACloud policy under both search cores with
+// only the (deterministic) node budget binding and requires byte-identical
+// results: the event-driven propagation engine must take exactly the legacy
+// engine's decisions on this suite.
+func TestEngineEquivalence(t *testing.T) {
+	run := func(engine string) *Result {
+		p := tinyParams()
+		p.SolverMaxTime = 0 // only the deterministic node budget binds
+		p.SolverEngine = engine
+		res, err := Run(p, ACloudM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ev, lg := run("event"), run("legacy")
+	if ev.MeanStdev != lg.MeanStdev || ev.MeanMigrations != lg.MeanMigrations {
+		t.Fatalf("engines diverge: event stdev=%v mig=%v, legacy stdev=%v mig=%v",
+			ev.MeanStdev, ev.MeanMigrations, lg.MeanStdev, lg.MeanMigrations)
+	}
+	if len(ev.AvgStdev) != len(lg.AvgStdev) {
+		t.Fatalf("series lengths differ: %d vs %d", len(ev.AvgStdev), len(lg.AvgStdev))
+	}
+	for i := range ev.AvgStdev {
+		if ev.AvgStdev[i] != lg.AvgStdev[i] {
+			t.Fatalf("interval %d: stdev %v vs %v", i, ev.AvgStdev[i], lg.AvgStdev[i])
+		}
+	}
+}

@@ -36,6 +36,33 @@ func FloatVal(v float64) Value { return Value{Kind: KindFloat, F: v} }
 func StringVal(v string) Value { return Value{Kind: KindString, S: v} }
 func BoolVal(v bool) Value     { return Value{Kind: KindBool, B: v} }
 
+// quoteString renders s as a Colog string literal using only the escapes
+// the lexer understands (\" \\ \n \t). Every other character — including
+// control characters — is emitted verbatim, which the lexer accepts inside
+// quotes; Go's %q would produce \xNN-style escapes the lexer rejects,
+// breaking the print/reparse fixpoint (found by FuzzParse).
+func quoteString(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
 // Num returns the numeric value as float64 (ints widen; bools are 0/1).
 func (v Value) Num() float64 {
 	switch v.Kind {
@@ -81,7 +108,7 @@ func (v Value) String() string {
 	case KindFloat:
 		return fmt.Sprintf("%g", v.F)
 	case KindString:
-		return fmt.Sprintf("%q", v.S)
+		return quoteString(v.S)
 	case KindBool:
 		if v.B {
 			return "true"

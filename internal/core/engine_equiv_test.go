@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/solver"
+)
+
+// solveWithEngine grounds and solves the mini-ACloud COP under one solver
+// configuration, on a node seeded with enough VMs that the node budget
+// binds — the regime where any pruning divergence between engines would
+// surface as a different incumbent.
+func solveWithEngine(t *testing.T, cfg Config) *SolveResult {
+	t.Helper()
+	n := newTestNode(t, acloudMini, cfg)
+	for h := 0; h < 3; h++ {
+		n.Insert("host", sval(fmt.Sprintf("h%d", h)), ival(0), ival(0))
+		n.Insert("hostMemThres", sval(fmt.Sprintf("h%d", h)), ival(1<<20))
+	}
+	for v := 0; v < 12; v++ {
+		n.Insert("vm", sval(fmt.Sprintf("v%02d", v)), ival(int64(10+(v*13)%45)), ival(512))
+	}
+	res, err := n.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSolveEngineEquivalence pins the event engine to the legacy engine
+// through the whole grounding pipeline: identical status, objective,
+// node/failure counts and materialized assignments, with and without a
+// binding node budget.
+func TestSolveEngineEquivalence(t *testing.T) {
+	for _, budget := range []int64{0, 1500} {
+		base := Config{SolverPropagate: true, SolverMaxNodes: budget}
+		evCfg, lgCfg := base, base
+		evCfg.SolverEngine = "event"
+		lgCfg.SolverEngine = "legacy"
+		ev := solveWithEngine(t, evCfg)
+		lg := solveWithEngine(t, lgCfg)
+		label := fmt.Sprintf("budget=%d", budget)
+		if ev.Status != lg.Status {
+			t.Fatalf("%s: status event=%v legacy=%v", label, ev.Status, lg.Status)
+		}
+		if ev.Objective != lg.Objective {
+			t.Fatalf("%s: objective event=%v legacy=%v", label, ev.Objective, lg.Objective)
+		}
+		if ev.Stats.Nodes != lg.Stats.Nodes || ev.Stats.Failures != lg.Stats.Failures {
+			t.Fatalf("%s: trace diverged: event %d/%d, legacy %d/%d",
+				label, ev.Stats.Nodes, ev.Stats.Failures, lg.Stats.Nodes, lg.Stats.Failures)
+		}
+		if len(ev.Assignments) != len(lg.Assignments) {
+			t.Fatalf("%s: assignment counts differ: %d vs %d",
+				label, len(ev.Assignments), len(lg.Assignments))
+		}
+		for i := range ev.Assignments {
+			a, b := ev.Assignments[i], lg.Assignments[i]
+			if a.Pred != b.Pred || len(a.Vals) != len(b.Vals) {
+				t.Fatalf("%s: assignment %d shape differs", label, i)
+			}
+			for j := range a.Vals {
+				if !a.Vals[j].Equal(b.Vals[j]) {
+					t.Fatalf("%s: assignment %d differs: %v vs %v", label, i, a.Vals, b.Vals)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveClassifiesShapes checks the grounder reports the propagator-shape
+// classification: the ACloud COP grounds into linear constraints only
+// (assignment counts and memory caps).
+func TestSolveClassifiesShapes(t *testing.T) {
+	res := solveWithEngine(t, Config{SolverPropagate: true})
+	if res.Shapes == nil {
+		t.Fatal("SolveResult.Shapes not populated")
+	}
+	if res.Shapes["linear"] == 0 {
+		t.Fatalf("expected linear constraint shapes, got %v", res.Shapes)
+	}
+	for shape := range res.Shapes {
+		switch shape {
+		case "linear", "unary", "binary", "generic", "const":
+		default:
+			t.Fatalf("unknown shape %q in %v", shape, res.Shapes)
+		}
+	}
+}
+
+// TestSolveRestartConfig exercises the restart knobs through the grounder:
+// the restarted solve must reach the same optimum as the plain one.
+func TestSolveRestartConfig(t *testing.T) {
+	plain := solveWithEngine(t, Config{SolverPropagate: true})
+	restarted := solveWithEngine(t, Config{SolverPropagate: true, SolverRestarts: 3})
+	fixpoint := solveWithEngine(t, Config{SolverPropagate: true, SolverFixpoint: true})
+	if plain.Status != solver.StatusOptimal {
+		t.Fatalf("plain solve status %v", plain.Status)
+	}
+	if restarted.Status != solver.StatusOptimal || restarted.Objective != plain.Objective {
+		t.Fatalf("restarted: status %v objective %v, want optimal %v",
+			restarted.Status, restarted.Objective, plain.Objective)
+	}
+	if fixpoint.Status != solver.StatusOptimal || fixpoint.Objective != plain.Objective {
+		t.Fatalf("fixpoint: status %v objective %v, want optimal %v",
+			fixpoint.Status, fixpoint.Objective, plain.Objective)
+	}
+	if fixpoint.Stats.Nodes > plain.Stats.Nodes {
+		t.Fatalf("fixpoint explored more nodes (%d) than default (%d)",
+			fixpoint.Stats.Nodes, plain.Stats.Nodes)
+	}
+}
+
+// TestSolveRejectsUnknownEngine: a typo'd engine name must error instead of
+// silently running the default engine (which would make ablations compare
+// the event engine against itself).
+func TestSolveRejectsUnknownEngine(t *testing.T) {
+	n := newTestNode(t, acloudMini, Config{SolverEngine: "legaccy"})
+	n.Insert("host", sval("h0"), ival(0), ival(0))
+	n.Insert("hostMemThres", sval("h0"), ival(1<<20))
+	n.Insert("vm", sval("v0"), ival(10), ival(512))
+	if _, err := n.Solve(SolveOptions{}); err == nil {
+		t.Fatal("unknown SolverEngine accepted")
+	}
+}

@@ -127,6 +127,20 @@ func (g *grounder) invalidatePred(pred string) {
 	}
 }
 
+// solverEngine maps the Config.SolverEngine string to the solver's engine
+// selector. Unknown names are an error: silently falling back would let a
+// typo'd ablation config benchmark the default engine against itself.
+func solverEngine(name string) (solver.Engine, error) {
+	switch name {
+	case "", "event":
+		return solver.EngineEvent, nil
+	case "legacy":
+		return solver.EngineLegacy, nil
+	default:
+		return 0, fmt.Errorf("core: unknown SolverEngine %q (want \"event\" or \"legacy\")", name)
+	}
+}
+
 // SolveOptions tune one COP execution.
 type SolveOptions struct {
 	// MaxTime overrides Config.SolverMaxTime when positive.
@@ -156,7 +170,10 @@ type SolveResult struct {
 	Assignments []Assignment
 	NumVars     int
 	NumCons     int
-	Stats       solver.Stats
+	// Shapes counts the grounded constraints per propagator shape (linear,
+	// unary, binary, generic, const), as classified at grounding time.
+	Shapes map[string]int
+	Stats  solver.Stats
 }
 
 // Feasible reports whether the result carries a usable assignment.
@@ -205,12 +222,25 @@ func (n *Node) solveLocked(opts SolveOptions) (*SolveResult, error) {
 	if err := g.setGoal(); err != nil {
 		return nil, err
 	}
+	// Classify the grounded constraints into propagator shapes while still
+	// in the grounding phase: the solver consumes the classification (both
+	// engines share the linear extraction), and repeated solves reuse it.
+	g.model.Prepare()
+	res.Shapes = g.model.ShapeStats()
 
+	engine, err := solverEngine(n.cfg.SolverEngine)
+	if err != nil {
+		return nil, err
+	}
 	sopts := solver.Options{
 		MaxTime:       n.cfg.SolverMaxTime,
 		MaxNodes:      n.cfg.SolverMaxNodes,
 		Propagate:     n.cfg.SolverPropagate,
 		FirstSolution: opts.FirstSolution,
+		Engine:        engine,
+		Fixpoint:      n.cfg.SolverFixpoint,
+		Restarts:      n.cfg.SolverRestarts,
+		PhaseSaving:   n.cfg.SolverRestarts > 0,
 	}
 	if opts.MaxTime > 0 {
 		sopts.MaxTime = opts.MaxTime

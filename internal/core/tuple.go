@@ -9,9 +9,9 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/colog"
@@ -95,20 +95,123 @@ type wireDelta struct {
 	Sign int
 }
 
+// Deltas travel in a compact self-describing binary format instead of gob:
+// gob ships full type descriptors and compiles a decode engine per
+// Encoder/Decoder pair, which for the one-shot datagrams Cologne exchanges
+// (UDP semantics, one delta per message) dominated message handling. The
+// layout is one version byte, then pred (uvarint length + bytes), sign
+// (varint), value count (uvarint), and per value a kind byte followed by a
+// varint (int), 8 little-endian bytes (float), uvarint length + bytes
+// (string), or one byte (bool). Malformed payloads return an error, never
+// panic (TestMalformedMessageIgnored).
+const wireDeltaVersion = 1
+
 // encodeDelta serializes a tuple delta for the transport.
 func encodeDelta(pred string, vals []colog.Value, sign int) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(wireDelta{Pred: pred, Vals: vals, Sign: sign}); err != nil {
-		return nil, fmt.Errorf("core: encoding %s delta: %w", pred, err)
+	buf := make([]byte, 0, 16+len(pred)+12*len(vals))
+	buf = append(buf, wireDeltaVersion)
+	buf = appendWireString(buf, pred)
+	buf = binary.AppendVarint(buf, int64(sign))
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	for _, v := range vals {
+		buf = append(buf, byte(v.Kind))
+		switch v.Kind {
+		case colog.KindInt:
+			buf = binary.AppendVarint(buf, v.I)
+		case colog.KindFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+		case colog.KindString:
+			buf = appendWireString(buf, v.S)
+		case colog.KindBool:
+			b := byte(0)
+			if v.B {
+				b = 1
+			}
+			buf = append(buf, b)
+		default:
+			return nil, fmt.Errorf("core: encoding %s delta: unknown value kind %d", pred, v.Kind)
+		}
 	}
-	return buf.Bytes(), nil
+	return buf, nil
+}
+
+func appendWireString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
 }
 
 // decodeDelta deserializes a tuple delta from the transport.
 func decodeDelta(payload []byte) (wireDelta, error) {
-	var wd wireDelta
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wd); err != nil {
-		return wireDelta{}, fmt.Errorf("core: decoding delta: %w", err)
+	fail := func(what string) (wireDelta, error) {
+		return wireDelta{}, fmt.Errorf("core: decoding delta: malformed %s", what)
+	}
+	if len(payload) == 0 || payload[0] != wireDeltaVersion {
+		return fail("header")
+	}
+	rest := payload[1:]
+	pred, rest, ok := readWireString(rest)
+	if !ok {
+		return fail("predicate")
+	}
+	sign, n := binary.Varint(rest)
+	if n <= 0 {
+		return fail("sign")
+	}
+	rest = rest[n:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > uint64(len(rest)) {
+		return fail("value count")
+	}
+	rest = rest[n:]
+	wd := wireDelta{Pred: pred, Sign: int(sign), Vals: make([]colog.Value, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		if len(rest) == 0 {
+			return fail("value kind")
+		}
+		kind := colog.ValueKind(rest[0])
+		rest = rest[1:]
+		switch kind {
+		case colog.KindInt:
+			v, n := binary.Varint(rest)
+			if n <= 0 {
+				return fail("int value")
+			}
+			rest = rest[n:]
+			wd.Vals = append(wd.Vals, colog.IntVal(v))
+		case colog.KindFloat:
+			if len(rest) < 8 {
+				return fail("float value")
+			}
+			wd.Vals = append(wd.Vals, colog.FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(rest))))
+			rest = rest[8:]
+		case colog.KindString:
+			var s string
+			var ok bool
+			s, rest, ok = readWireString(rest)
+			if !ok {
+				return fail("string value")
+			}
+			wd.Vals = append(wd.Vals, colog.StringVal(s))
+		case colog.KindBool:
+			if len(rest) == 0 {
+				return fail("bool value")
+			}
+			wd.Vals = append(wd.Vals, colog.BoolVal(rest[0] != 0))
+			rest = rest[1:]
+		default:
+			return fail("value kind")
+		}
+	}
+	if len(rest) != 0 {
+		return fail("trailer")
 	}
 	return wd, nil
+}
+
+func readWireString(buf []byte) (string, []byte, bool) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 || n > uint64(len(buf)-w) {
+		return "", nil, false
+	}
+	return string(buf[w : w+int(n)]), buf[w+int(n):], true
 }

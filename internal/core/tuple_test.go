@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/colog"
+)
+
+// TestWireDeltaRoundTrip: the compact binary delta codec must round-trip
+// every value kind, including edge values.
+func TestWireDeltaRoundTrip(t *testing.T) {
+	cases := [][]colog.Value{
+		{},
+		{ival(0), ival(-1), ival(1)},
+		{ival(math.MaxInt64), ival(math.MinInt64)},
+		{colog.FloatVal(0), colog.FloatVal(-3.75), colog.FloatVal(math.Inf(1))},
+		{sval(""), sval("h1"), sval("héllo|world\x00bytes")},
+		{colog.BoolVal(true), colog.BoolVal(false)},
+		{ival(42), colog.FloatVal(1.5), sval("mixed"), colog.BoolVal(true)},
+	}
+	for _, sign := range []int{+1, -1} {
+		for i, vals := range cases {
+			payload, err := encodeDelta("somePred", vals, sign)
+			if err != nil {
+				t.Fatalf("case %d: encode: %v", i, err)
+			}
+			wd, err := decodeDelta(payload)
+			if err != nil {
+				t.Fatalf("case %d: decode: %v", i, err)
+			}
+			if wd.Pred != "somePred" || wd.Sign != sign {
+				t.Fatalf("case %d: header round-trip: %+v", i, wd)
+			}
+			if len(wd.Vals) != len(vals) {
+				t.Fatalf("case %d: %d values, want %d", i, len(wd.Vals), len(vals))
+			}
+			for j := range vals {
+				if wd.Vals[j].Kind != vals[j].Kind || !wd.Vals[j].Equal(vals[j]) {
+					t.Fatalf("case %d value %d: got %v want %v", i, j, wd.Vals[j], vals[j])
+				}
+			}
+		}
+	}
+}
+
+// TestWireDeltaRejectsMalformed: garbage and truncations must error, never
+// panic — the transport has UDP semantics, so any datagram can arrive.
+func TestWireDeltaRejectsMalformed(t *testing.T) {
+	good, err := encodeDelta("p", []colog.Value{ival(7), sval("x")}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]byte{
+		nil,
+		{},
+		[]byte("junk"),
+		{0xFF, 0x01},       // wrong version
+		good[:1],           // header only
+		good[:len(good)-1], // truncated value
+		append(append([]byte(nil), good...), 0x00), // trailing garbage
+	}
+	for i, payload := range bad {
+		if _, err := decodeDelta(payload); err == nil {
+			t.Fatalf("malformed payload %d accepted", i)
+		}
+	}
+	// Huge declared lengths must not allocate or crash.
+	huge := []byte{wireDeltaVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := decodeDelta(huge); err == nil {
+		t.Fatal("huge string length accepted")
+	}
+}

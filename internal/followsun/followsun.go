@@ -39,6 +39,12 @@ type Params struct {
 	MaxMigrates    int64 // per-link migration cap (policy d11/c3); 0 = uncapped
 	SolverMaxNodes int64
 	SolverMaxTime  time.Duration
+	// SolverEngine/SolverFixpoint/SolverRestarts select and tune the search
+	// core per Config (see core.Config); zero values keep the default
+	// event-driven propagation engine.
+	SolverEngine   string
+	SolverFixpoint bool
+	SolverRestarts int
 
 	Seed int64
 }
@@ -220,6 +226,9 @@ func (r *runner) setup() error {
 		cfg.SolverMaxNodes = r.p.SolverMaxNodes
 		cfg.SolverMaxTime = r.p.SolverMaxTime
 		cfg.SolverPropagate = true
+		cfg.SolverEngine = r.p.SolverEngine
+		cfg.SolverFixpoint = r.p.SolverFixpoint
+		cfg.SolverRestarts = r.p.SolverRestarts
 		node, err := core.NewNode(name, ares, cfg, r.tr)
 		if err != nil {
 			return err

@@ -107,3 +107,32 @@ func TestDeterministicRun(t *testing.T) {
 			a.FinalCost, a.TotalMigrations, b.FinalCost, b.TotalMigrations)
 	}
 }
+
+// TestEngineEquivalence runs the negotiation under both search cores with
+// only the node budget binding and requires identical cost trajectories and
+// migration counts.
+func TestEngineEquivalence(t *testing.T) {
+	run := func(engine string) *Result {
+		p := tinyParams(3)
+		p.SolverMaxTime = 0 // only the deterministic node budget binds
+		p.SolverEngine = engine
+		res, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ev, lg := run("event"), run("legacy")
+	if ev.FinalCost != lg.FinalCost || ev.TotalMigrations != lg.TotalMigrations {
+		t.Fatalf("engines diverge: event cost=%v mig=%d, legacy cost=%v mig=%d",
+			ev.FinalCost, ev.TotalMigrations, lg.FinalCost, lg.TotalMigrations)
+	}
+	if len(ev.Points) != len(lg.Points) {
+		t.Fatalf("cost series lengths differ: %d vs %d", len(ev.Points), len(lg.Points))
+	}
+	for i := range ev.Points {
+		if ev.Points[i].Cost != lg.Points[i].Cost {
+			t.Fatalf("point %d: cost %v vs %v", i, ev.Points[i].Cost, lg.Points[i].Cost)
+		}
+	}
+}

@@ -206,3 +206,43 @@ func TestPoliciesAnalyzeCleanly(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineEquivalence solves the placement policy under both search cores
+// and requires identical status, objective, and materialized assignments.
+func TestEngineEquivalence(t *testing.T) {
+	solve := func(engine string) *core.SolveResult {
+		n, err := NewNode(PlacementSrc, core.Config{SolverPropagate: true, SolverEngine: engine})
+		must(t, err)
+		racks := []string{"r1", "r2", "r3"}
+		for i, rack := range racks {
+			for j := 0; j < 2; j++ {
+				must(t, n.Insert("node", sval(rack+"n"+string(rune('a'+j))), sval(rack), ival(int64(1+i))))
+			}
+		}
+		for _, o := range []string{"o1", "o2"} {
+			must(t, n.Insert("object", sval(o), ival(2)))
+		}
+		res, err := n.Solve(core.SolveOptions{})
+		must(t, err)
+		return res
+	}
+	ev, lg := solve("event"), solve("legacy")
+	if ev.Status != lg.Status || ev.Objective != lg.Objective {
+		t.Fatalf("engines diverge: event %v/%v, legacy %v/%v",
+			ev.Status, ev.Objective, lg.Status, lg.Objective)
+	}
+	if ev.Stats.Nodes != lg.Stats.Nodes {
+		t.Fatalf("trace diverged: %d vs %d nodes", ev.Stats.Nodes, lg.Stats.Nodes)
+	}
+	if len(ev.Assignments) != len(lg.Assignments) {
+		t.Fatalf("assignment counts differ: %d vs %d", len(ev.Assignments), len(lg.Assignments))
+	}
+	for i := range ev.Assignments {
+		a, b := ev.Assignments[i], lg.Assignments[i]
+		for j := range a.Vals {
+			if !a.Vals[j].Equal(b.Vals[j]) {
+				t.Fatalf("assignment %d differs: %v vs %v", i, a.Vals, b.Vals)
+			}
+		}
+	}
+}

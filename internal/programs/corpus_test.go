@@ -74,3 +74,64 @@ func TestCorpusPrograms(t *testing.T) {
 		t.Fatalf("corpus has %d known files, expected %d", found, len(expect))
 	}
 }
+
+// TestCorpusEngineEquivalence solves every corpus program under both search
+// cores and requires identical status, objective, and assignments — the
+// programs-suite leg of the engine equivalence guarantee.
+func TestCorpusEngineEquivalence(t *testing.T) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("corpus dir: %v", err)
+	}
+	for _, ent := range entries {
+		if filepath.Ext(ent.Name()) != ".colog" {
+			continue
+		}
+		t.Run(ent.Name(), func(t *testing.T) {
+			solve := func(engine string) *core.SolveResult {
+				src, err := os.ReadFile(filepath.Join(corpusDir, ent.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog, err := colog.Parse(string(src))
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				res, err := analysis.Analyze(prog, nil)
+				if err != nil {
+					t.Fatalf("analyze: %v", err)
+				}
+				node, err := core.NewNode("local", res,
+					core.Config{SolverPropagate: true, SolverEngine: engine}, nil)
+				if err != nil {
+					t.Fatalf("node: %v", err)
+				}
+				sres, err := node.Solve(core.SolveOptions{})
+				if err != nil {
+					t.Fatalf("solve: %v", err)
+				}
+				return sres
+			}
+			ev, lg := solve("event"), solve("legacy")
+			if ev.Status != lg.Status || ev.Objective != lg.Objective {
+				t.Fatalf("engines diverge: event %v/%v, legacy %v/%v",
+					ev.Status, ev.Objective, lg.Status, lg.Objective)
+			}
+			if ev.Stats.Nodes != lg.Stats.Nodes {
+				t.Fatalf("trace diverged: %d vs %d nodes", ev.Stats.Nodes, lg.Stats.Nodes)
+			}
+			if len(ev.Assignments) != len(lg.Assignments) {
+				t.Fatalf("assignment counts differ: %d vs %d",
+					len(ev.Assignments), len(lg.Assignments))
+			}
+			for i := range ev.Assignments {
+				a, b := ev.Assignments[i], lg.Assignments[i]
+				for j := range a.Vals {
+					if !a.Vals[j].Equal(b.Vals[j]) {
+						t.Fatalf("assignment %d differs: %v vs %v", i, a.Vals, b.Vals)
+					}
+				}
+			}
+		})
+	}
+}

@@ -6,21 +6,22 @@ import "math"
 // variable domains and returns the optimal solution. It is exponential and
 // intended for small models only: reference results in tests, and exact
 // baselines in the benchmark harness where the paper reports "optimal".
+// The iteration order is the shared lexicographic walker, so ties resolve
+// the same way as in Enumerate.
 func (m *Model) BruteForce() *Solution {
 	sol := &Solution{Status: StatusInfeasible}
-	n := len(m.vars)
-	assign := make([]int64, n)
 	bestObj := math.Inf(1)
 	if m.sense == Maximize {
 		bestObj = math.Inf(-1)
 	}
-	var rec func(i int)
-	rec = func(i int) {
-		if i == n {
+	w := &walker{
+		vars:   m.vars,
+		assign: make([]int64, len(m.vars)),
+		leaf: func(assign []int64) bool {
 			sol.Stats.Nodes++
 			for _, c := range m.constraints {
 				if !c.EvalBool(assign) {
-					return
+					return true
 				}
 			}
 			obj := 0.0
@@ -43,13 +44,9 @@ func (m *Model) BruteForce() *Solution {
 				sol.Status = StatusOptimal
 				sol.Stats.Solutions++
 			}
-			return
-		}
-		for _, v := range m.vars[i].Dom.Values() {
-			assign[i] = v
-			rec(i + 1)
-		}
+			return true
+		},
 	}
-	rec(0)
+	w.rec(0)
 	return sol
 }

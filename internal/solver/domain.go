@@ -62,6 +62,22 @@ func (d Domain) Max() int64 { return d.vals[len(d.vals)-1] }
 // must not be mutated.
 func (d Domain) Values() []int64 { return d.vals }
 
+// singletonView returns the domain {v} as a view into d's backing array —
+// no allocation. Domains are immutable after creation, so the alias is safe.
+// Falls back to a fresh domain when v is not in d.
+func (d Domain) singletonView(v int64) Domain {
+	i := sort.Search(len(d.vals), func(i int) bool { return d.vals[i] >= v })
+	if i < len(d.vals) && d.vals[i] == v {
+		return Domain{vals: d.vals[i : i+1]}
+	}
+	return NewDomain(v)
+}
+
+// domainFromSorted wraps an ascending, duplicate-free slice the caller owns,
+// skipping NewDomain's copy and sort. Propagators build their kept-value
+// lists in ascending order, so this is their narrowing constructor.
+func domainFromSorted(vals []int64) Domain { return Domain{vals: vals} }
+
 // Contains reports whether v is a candidate value.
 func (d Domain) Contains(v int64) bool {
 	i := sort.Search(len(d.vals), func(i int) bool { return d.vals[i] >= v })

@@ -1,5 +1,91 @@
 package solver
 
+import "time"
+
+// walker is the one lexicographic domain-iteration loop shared by BruteForce
+// and Enumerate: complete assignments are visited in variable creation order
+// with ascending domain values. enter/exit optionally wrap each tentative
+// binding (pruning on enter returning false), leaf receives each complete
+// assignment, and budget — when non-nil — is spent once per tentative
+// binding, mirroring Solve's node accounting.
+type walker struct {
+	vars   []*Var
+	assign []int64
+	enter  func(vid int, val int64) bool
+	exit   func(vid int)
+	leaf   func(assign []int64) bool
+	budget *walkBudget
+}
+
+// rec walks the subtree at depth i. It returns false when the walk was
+// aborted (leaf returned false or the budget expired); pruned subtrees still
+// count as explored.
+func (w *walker) rec(i int) bool {
+	if i == len(w.vars) {
+		return w.leaf(w.assign)
+	}
+	v := w.vars[i]
+	for _, val := range v.Dom.Values() {
+		if w.budget != nil && w.budget.spend() {
+			return false
+		}
+		w.assign[v.ID] = val
+		ok := true
+		if w.enter != nil {
+			ok = w.enter(v.ID, val)
+		}
+		if ok {
+			cont := w.rec(i + 1)
+			if w.exit != nil {
+				w.exit(v.ID)
+			}
+			if !cont {
+				return false
+			}
+		} else if w.exit != nil {
+			w.exit(v.ID)
+		}
+	}
+	return true
+}
+
+// walkBudget applies Solve's node/time budget checks to a domain walk: one
+// node per tentative binding, with the wall clock sampled every 256 nodes.
+type walkBudget struct {
+	maxNodes int64
+	deadline time.Time
+	nodes    int64
+	stopped  bool
+}
+
+func newWalkBudget(opts Options, start time.Time) *walkBudget {
+	if opts.MaxNodes <= 0 && opts.MaxTime <= 0 {
+		return nil
+	}
+	b := &walkBudget{maxNodes: opts.MaxNodes}
+	if opts.MaxTime > 0 {
+		b.deadline = start.Add(opts.MaxTime)
+	}
+	return b
+}
+
+// spend consumes one node and returns true when the walk must stop.
+func (b *walkBudget) spend() bool {
+	if b.stopped {
+		return true
+	}
+	if b.maxNodes > 0 && b.nodes >= b.maxNodes {
+		b.stopped = true
+		return true
+	}
+	b.nodes++
+	if !b.deadline.IsZero() && b.nodes&0xFF == 0 && time.Now().After(b.deadline) {
+		b.stopped = true
+		return true
+	}
+	return false
+}
+
 // Enumerate visits every complete assignment satisfying all constraints, in
 // lexicographic domain order, calling fn with the assignment (indexed by
 // variable ID; the slice is reused between calls). Enumeration stops when
@@ -8,22 +94,50 @@ package solver
 //
 // The walk prunes with the same interval reasoning as Solve, so it is
 // usable for counting solution spaces of moderate size (policy "what-if"
-// exploration, exhaustive verification in tests).
+// exploration, exhaustive verification in tests). Use EnumerateOpts to also
+// bound the walk by Solve's node/time budgets.
 func (m *Model) Enumerate(limit int, fn func(assign []int64) bool) int {
+	n, _ := m.EnumerateOpts(Options{}, limit, fn)
+	return n
+}
+
+// EnumerateOpts is Enumerate under a budget: opts.MaxNodes and opts.MaxTime
+// bound the walk exactly as they bound Solve (one node per tentative
+// binding). The boolean result reports completeness: false when the walk
+// stopped early — budget exhausted, limit reached, or fn returned false —
+// so a caller can tell an exact count from a truncated one.
+func (m *Model) EnumerateOpts(opts Options, limit int, fn func(assign []int64) bool) (int, bool) {
 	ev := newEvaluator(m)
-	n := len(m.vars)
-	assign := make([]int64, n)
 	count := 0
 	// Constant constraints.
 	ev.nextGen()
 	for _, c := range m.constraints {
 		if ev.interval(c).False() {
-			return 0
+			return 0, true
 		}
 	}
-	var rec func(i int) bool
-	rec = func(i int) bool {
-		if i == n {
+	budget := newWalkBudget(opts, time.Now())
+	saved := make([]Domain, len(m.vars))
+	w := &walker{
+		vars:   m.vars,
+		assign: make([]int64, len(m.vars)),
+		budget: budget,
+		enter: func(vid int, val int64) bool {
+			saved[vid] = ev.dom[vid]
+			ev.dom[vid] = NewDomain(val)
+			ev.nextGen()
+			for _, c := range m.constraints {
+				if ev.interval(c).False() {
+					return false
+				}
+			}
+			return true
+		},
+		exit: func(vid int) {
+			ev.dom[vid] = saved[vid]
+			ev.nextGen()
+		},
+		leaf: func(assign []int64) bool {
 			for _, c := range m.constraints {
 				if !c.EvalBool(assign) {
 					return true
@@ -34,32 +148,11 @@ func (m *Model) Enumerate(limit int, fn func(assign []int64) bool) int {
 				return false
 			}
 			return limit <= 0 || count < limit
-		}
-		v := m.vars[i]
-		saved := ev.dom[v.ID]
-		for _, val := range saved.Values() {
-			assign[v.ID] = val
-			ev.dom[v.ID] = NewDomain(val)
-			ev.nextGen()
-			ok := true
-			for _, c := range m.constraints {
-				if ev.interval(c).False() {
-					ok = false
-					break
-				}
-			}
-			if ok && !rec(i+1) {
-				ev.dom[v.ID] = saved
-				ev.nextGen()
-				return false
-			}
-		}
-		ev.dom[v.ID] = saved
-		ev.nextGen()
-		return true
+		},
 	}
-	rec(0)
-	return count
+	// rec returns false exactly when the walk stopped early: budget spent,
+	// limit reached, or fn aborted.
+	return count, w.rec(0)
 }
 
 // CountSolutions returns the number of satisfying assignments (bounded by

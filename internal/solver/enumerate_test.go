@@ -3,6 +3,7 @@ package solver
 import (
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func TestEnumerateAllBinary(t *testing.T) {
@@ -104,5 +105,45 @@ func TestEnumerateMatchesBruteForceCount(t *testing.T) {
 		if got := m.CountSolutions(0); got != want {
 			t.Fatalf("trial %d: Enumerate=%d brute=%d", trial, got, want)
 		}
+	}
+}
+
+func TestEnumerateNodeBudget(t *testing.T) {
+	m := NewModel()
+	for i := 0; i < 6; i++ {
+		m.IntVar("x", 0, 9)
+	}
+	count, complete := m.EnumerateOpts(Options{MaxNodes: 50}, 0, func([]int64) bool { return true })
+	if complete {
+		t.Fatal("50-node budget cannot cover 10^6 assignments, yet complete=true")
+	}
+	if count > 50 {
+		t.Fatalf("budgeted walk visited %d solutions across >50 bindings", count)
+	}
+	// Unbudgeted run on a small model is complete.
+	m2 := NewModel()
+	m2.BoolVar("a")
+	m2.BoolVar("b")
+	if count, complete := m2.EnumerateOpts(Options{}, 0, func([]int64) bool { return true }); !complete || count != 4 {
+		t.Fatalf("got count=%d complete=%v, want 4/true", count, complete)
+	}
+	// A reached limit reports an incomplete walk.
+	if count, complete := m2.EnumerateOpts(Options{}, 2, func([]int64) bool { return true }); complete || count != 2 {
+		t.Fatalf("limited: count=%d complete=%v, want 2/false", count, complete)
+	}
+}
+
+func TestEnumerateTimeBudget(t *testing.T) {
+	m := NewModel()
+	for i := 0; i < 8; i++ {
+		m.IntVar("x", 0, 9)
+	}
+	start := time.Now()
+	_, complete := m.EnumerateOpts(Options{MaxTime: time.Millisecond}, 0, func([]int64) bool { return true })
+	if complete {
+		t.Fatal("1ms budget cannot cover 10^8 assignments, yet complete=true")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("time budget not honored")
 	}
 }

@@ -51,6 +51,16 @@ func boolIv(definitelyTrue, definitelyFalse bool) Interval {
 	}
 }
 
+// ivSource supplies child intervals and variable domains to computeIv. Both
+// interval engines implement it: the generational evaluator resolves children
+// recursively, the incremental store reads its always-valid memo table. Using
+// one shared computation guarantees the two engines produce bitwise-identical
+// bounds.
+type ivSource interface {
+	iv(e *Expr) Interval
+	domainOf(v *Var) Domain
+}
+
 // evaluator computes sound interval bounds for expressions under the current
 // (possibly partial) search state. Results are memoized per generation so a
 // shared DAG node is visited once per propagation pass.
@@ -62,12 +72,16 @@ type evaluator struct {
 	cur  uint64
 }
 
+func (ev *evaluator) iv(e *Expr) Interval    { return ev.interval(e) }
+func (ev *evaluator) domainOf(v *Var) Domain { return ev.dom[v.ID] }
+
 func newEvaluator(m *Model) *evaluator {
 	ev := &evaluator{
 		m:    m,
 		dom:  make([]Domain, len(m.vars)),
 		memo: make([]Interval, m.NumExprNodes()),
 		gen:  make([]uint64, m.NumExprNodes()),
+		cur:  1, // gen[] starts zeroed; never treat the zero memo as valid
 	}
 	for i, v := range m.vars {
 		ev.dom[i] = v.Dom
@@ -83,7 +97,7 @@ func (ev *evaluator) interval(e *Expr) Interval {
 	if e.ID < len(ev.gen) && ev.gen[e.ID] == ev.cur {
 		return ev.memo[e.ID]
 	}
-	iv := ev.compute(e)
+	iv := computeIv(e, ev)
 	if e.ID < len(ev.gen) {
 		ev.gen[e.ID] = ev.cur
 		ev.memo[e.ID] = iv
@@ -91,12 +105,14 @@ func (ev *evaluator) interval(e *Expr) Interval {
 	return iv
 }
 
-func (ev *evaluator) compute(e *Expr) Interval {
+// computeIv computes the interval for one node from its children's intervals
+// (resolved through src) and, for OpVar, the variable's current domain.
+func computeIv(e *Expr, src ivSource) Interval {
 	switch e.Op {
 	case OpConst:
 		return Point(e.K)
 	case OpVar:
-		d := ev.dom[e.Var.ID]
+		d := src.domainOf(e.Var)
 		if d.Empty() {
 			// An emptied domain signals failure upstream; return an impossible
 			// reversed interval that propagates as "anything".
@@ -104,24 +120,24 @@ func (ev *evaluator) compute(e *Expr) Interval {
 		}
 		return Interval{float64(d.Min()), float64(d.Max())}
 	case OpAdd:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		return Interval{a.Lo + b.Lo, a.Hi + b.Hi}
 	case OpSub:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		return Interval{a.Lo - b.Hi, a.Hi - b.Lo}
 	case OpMul:
-		return mulIv(ev.interval(e.Args[0]), ev.interval(e.Args[1]))
+		return mulIv(src.iv(e.Args[0]), src.iv(e.Args[1]))
 	case OpDiv:
-		return divIv(ev.interval(e.Args[0]), ev.interval(e.Args[1]))
+		return divIv(src.iv(e.Args[0]), src.iv(e.Args[1]))
 	case OpNeg:
-		a := ev.interval(e.Args[0])
+		a := src.iv(e.Args[0])
 		return Interval{-a.Hi, -a.Lo}
 	case OpAbs:
-		return absIv(ev.interval(e.Args[0]))
+		return absIv(src.iv(e.Args[0]))
 	case OpMin:
 		lo, hi := math.Inf(1), math.Inf(1)
 		for _, arg := range e.Args {
-			a := ev.interval(arg)
+			a := src.iv(arg)
 			lo = math.Min(lo, a.Lo)
 			hi = math.Min(hi, a.Hi)
 		}
@@ -129,7 +145,7 @@ func (ev *evaluator) compute(e *Expr) Interval {
 	case OpMax:
 		lo, hi := math.Inf(-1), math.Inf(-1)
 		for _, arg := range e.Args {
-			a := ev.interval(arg)
+			a := src.iv(arg)
 			lo = math.Max(lo, a.Lo)
 			hi = math.Max(hi, a.Hi)
 		}
@@ -137,7 +153,7 @@ func (ev *evaluator) compute(e *Expr) Interval {
 	case OpSum:
 		lo, hi := 0.0, 0.0
 		for _, arg := range e.Args {
-			a := ev.interval(arg)
+			a := src.iv(arg)
 			lo += a.Lo
 			hi += a.Hi
 		}
@@ -145,7 +161,7 @@ func (ev *evaluator) compute(e *Expr) Interval {
 	case OpSumAbs:
 		lo, hi := 0.0, 0.0
 		for _, arg := range e.Args {
-			a := absIv(ev.interval(arg))
+			a := absIv(src.iv(arg))
 			lo += a.Lo
 			hi += a.Hi
 		}
@@ -156,60 +172,60 @@ func (ev *evaluator) compute(e *Expr) Interval {
 		}
 		lo, hi := 0.0, 0.0
 		for _, arg := range e.Args {
-			a := ev.interval(arg)
+			a := src.iv(arg)
 			lo += a.Lo
 			hi += a.Hi
 		}
 		n := float64(len(e.Args))
 		return Interval{lo / n, hi / n}
 	case OpStdDev:
-		return ev.stddevIv(e.Args)
+		return stddevIv(e.Args, src)
 	case OpCountDistinct:
-		return ev.countDistinctIv(e.Args)
+		return countDistinctIv(e.Args, src)
 	case OpEq:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		return boolIv(a.Fixed() && b.Fixed() && a.Lo == b.Lo, a.Hi < b.Lo || b.Hi < a.Lo)
 	case OpNe:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		return boolIv(a.Hi < b.Lo || b.Hi < a.Lo, a.Fixed() && b.Fixed() && a.Lo == b.Lo)
 	case OpLt:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		return boolIv(a.Hi < b.Lo, a.Lo >= b.Hi)
 	case OpLe:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		return boolIv(a.Hi <= b.Lo, a.Lo > b.Hi)
 	case OpGt:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		return boolIv(a.Lo > b.Hi, a.Hi <= b.Lo)
 	case OpGe:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		return boolIv(a.Lo >= b.Hi, a.Hi < b.Lo)
 	case OpAnd:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		return boolIv(a.True() && b.True(), a.False() || b.False())
 	case OpOr:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		return boolIv(a.True() || b.True(), a.False() && b.False())
 	case OpNot:
-		a := ev.interval(e.Args[0])
+		a := src.iv(e.Args[0])
 		return boolIv(a.False(), a.True())
 	case OpXor:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		aDet, bDet := a.Fixed(), b.Fixed()
 		return boolIv(aDet && bDet && a.True() != b.True(), aDet && bDet && a.True() == b.True())
 	case OpBoolEq:
-		a, b := ev.interval(e.Args[0]), ev.interval(e.Args[1])
+		a, b := src.iv(e.Args[0]), src.iv(e.Args[1])
 		aDet, bDet := a.Fixed(), b.Fixed()
 		return boolIv(aDet && bDet && a.True() == b.True(), aDet && bDet && a.True() != b.True())
 	case OpITE:
-		c := ev.interval(e.Args[0])
+		c := src.iv(e.Args[0])
 		if c.True() {
-			return ev.interval(e.Args[1])
+			return src.iv(e.Args[1])
 		}
 		if c.False() {
-			return ev.interval(e.Args[2])
+			return src.iv(e.Args[2])
 		}
-		return ev.interval(e.Args[1]).Hull(ev.interval(e.Args[2]))
+		return src.iv(e.Args[1]).Hull(src.iv(e.Args[2]))
 	}
 	panic(fmt.Sprintf("solver: interval on unknown op %v", e.Op))
 }
@@ -218,7 +234,7 @@ func (ev *evaluator) compute(e *Expr) Interval {
 // expressions. Upper bound: per-element worst-case deviation from the mean
 // interval. Lower bound: if two elements are forced apart by a gap g, any
 // assignment has variance >= g^2/(2n), hence stddev >= g/sqrt(2n).
-func (ev *evaluator) stddevIv(args []*Expr) Interval {
+func stddevIv(args []*Expr, src ivSource) Interval {
 	n := float64(len(args))
 	if n == 0 {
 		return Point(0)
@@ -227,7 +243,7 @@ func (ev *evaluator) stddevIv(args []*Expr) Interval {
 	ivs := make([]Interval, len(args))
 	allFixed := true
 	for i, a := range args {
-		iv := ev.interval(a)
+		iv := src.iv(a)
 		ivs[i] = iv
 		sumLo += iv.Lo
 		sumHi += iv.Hi
@@ -270,14 +286,14 @@ func (ev *evaluator) stddevIv(args []*Expr) Interval {
 }
 
 // countDistinctIv bounds the number of distinct values among the arguments.
-func (ev *evaluator) countDistinctIv(args []*Expr) Interval {
+func countDistinctIv(args []*Expr, src ivSource) Interval {
 	if len(args) == 0 {
 		return Point(0)
 	}
 	allFixed := true
 	fixed := make(map[float64]struct{})
 	for _, a := range args {
-		iv := ev.interval(a)
+		iv := src.iv(a)
 		if iv.Fixed() {
 			fixed[iv.Lo] = struct{}{}
 		} else {

@@ -1,6 +1,9 @@
 package solver
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Linear-constraint recognition and bounds propagation. Grounded Colog
 // programs are dominated by linear constraints — assignment counts
@@ -59,6 +62,10 @@ func extractLinear(e *Expr) (terms []linTerm, op Op, K float64, ok bool) {
 			terms = append(terms, *t)
 		}
 	}
+	// Deterministic term order (the accumulator map above is unordered):
+	// both engines propagate and, with fractional coefficients, accumulate
+	// sums in the same sequence.
+	sort.Slice(terms, func(i, j int) bool { return terms[i].v.ID < terms[j].v.ID })
 	// Normalize strict ops on integers: x < y  <=>  x <= y-1.
 	op = e.Op
 	K = -k
@@ -157,15 +164,14 @@ type linearProps struct {
 }
 
 func buildLinearProps(m *Model) *linearProps {
+	// The linear shapes were classified once by Model.Prepare (or the first
+	// Solve); both engines share that extraction.
+	p := m.prepare()
 	lp := &linearProps{byVar: make([][]int, len(m.vars))}
-	for _, c := range m.constraints {
-		terms, op, K, ok := extractLinear(c)
-		if !ok || len(terms) == 0 {
-			continue
-		}
+	for _, ls := range p.lin {
 		idx := len(lp.cons)
-		lp.cons = append(lp.cons, linearCon{terms: terms, k: K, op: op})
-		for _, t := range terms {
+		lp.cons = append(lp.cons, linearCon{terms: ls.terms, k: ls.k, op: ls.op})
+		for _, t := range ls.terms {
 			lp.byVar[t.v.ID] = append(lp.byVar[t.v.ID], idx)
 		}
 	}

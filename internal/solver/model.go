@@ -30,6 +30,11 @@ type Model struct {
 	objective   *Expr
 	sense       Sense
 	nodes       atomic.Int64 // next expression ID
+
+	// prep caches the propagation engine's search metadata (expression DAG
+	// indexes, propagator shapes); it is rebuilt lazily when constraints or
+	// nodes were added since it was built. See Model.Prepare.
+	prep *prepared
 }
 
 // NewModel creates an empty model in satisfy mode.

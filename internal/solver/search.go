@@ -6,47 +6,39 @@ import (
 	"time"
 )
 
-// searcher runs depth-first branch-and-bound over the model's variables.
-type searcher struct {
+// searchState holds the engine-independent part of one search: the incumbent,
+// the assignment scratch, phase memory, and the node/time budget. Both the
+// event-driven propagation engine (propagate.go) and the legacy
+// forward-checking searcher embed it.
+type searchState struct {
 	m    *Model
 	opts Options
-	ev   *evaluator
-
-	order   []int   // variable IDs in branching order
-	pos     []int   // inverse of order
-	varCons [][]int // variable ID -> indices of constraints mentioning it
-	lp      *linearProps
 
 	assigned []bool
 	assign   []int64
-	trail    []trailEntry
+	phase    []int64 // last value branched on per variable (phase saving)
+	hasPhase []bool
 
 	best    []int64
 	bestObj float64
 	haveSol bool
+
+	activity []float64 // per-variable conflict activity (activity ordering)
+	actInc   float64
 
 	stats    Stats
 	deadline time.Time
 	stopped  bool
 }
 
-type trailEntry struct {
-	varID int
-	dom   Domain
-}
-
-// Solve searches for an assignment satisfying all constraints and, if an
-// objective is set, optimizing it. The search is anytime: on budget
-// exhaustion the best incumbent found so far is returned with
-// StatusFeasible.
-func (m *Model) Solve(opts Options) *Solution {
-	start := time.Now()
-	s := &searcher{
+func newSearchState(m *Model, opts Options, start time.Time) *searchState {
+	s := &searchState{
 		m:        m,
 		opts:     opts,
-		ev:       newEvaluator(m),
 		assigned: make([]bool, len(m.vars)),
 		assign:   make([]int64, len(m.vars)),
+		phase:    make([]int64, len(m.vars)),
+		hasPhase: make([]bool, len(m.vars)),
 		bestObj:  math.Inf(1),
 	}
 	if m.sense == Maximize {
@@ -55,45 +47,126 @@ func (m *Model) Solve(opts Options) *Solution {
 	if opts.MaxTime > 0 {
 		s.deadline = start.Add(opts.MaxTime)
 	}
-	s.buildIndexes()
-	if !opts.DisableLinear {
-		s.lp = buildLinearProps(m)
+	return s
+}
+
+// checkBudget returns true when the search must stop.
+func (s *searchState) checkBudget() bool {
+	if s.stopped {
+		return true
 	}
+	if s.opts.MaxNodes > 0 && s.stats.Nodes >= s.opts.MaxNodes {
+		s.stopped = true
+		return true
+	}
+	if !s.deadline.IsZero() && s.stats.Nodes&0xFF == 0 && time.Now().After(s.deadline) {
+		s.stopped = true
+		return true
+	}
+	return false
+}
 
-	sol := &Solution{Status: StatusUnknown}
-	defer func() {
-		s.stats.Elapsed = time.Since(start)
-		sol.Stats = s.stats
-	}()
+// candidateValues returns the values to branch on for v given its current
+// domain, hint first.
+func (s *searchState) candidateValues(dom Domain, v *Var) []int64 {
+	vals := dom.Values()
+	hint, hasHint := int64(0), false
+	if s.opts.Hints != nil {
+		if h, ok := s.opts.Hints[v.ID]; ok && dom.Contains(h) {
+			hint, hasHint = h, true
+		}
+	}
+	if !hasHint && s.opts.ValueOrder == nil {
+		return vals
+	}
+	ordered := make([]int64, 0, len(vals))
+	if hasHint {
+		ordered = append(ordered, hint)
+	}
+	for _, val := range vals {
+		if hasHint && val == hint {
+			continue
+		}
+		ordered = append(ordered, val)
+	}
+	if s.opts.ValueOrder != nil {
+		ordered = s.opts.ValueOrder(v, ordered)
+	}
+	return ordered
+}
 
-	if len(m.vars) == 0 {
-		// Degenerate model: only constant constraints and objective.
-		s.ev.nextGen()
-		for _, c := range m.constraints {
-			if s.ev.interval(c).False() {
-				sol.Status = StatusInfeasible
-				return sol
+// record considers a complete assignment as a new incumbent: constraints are
+// verified exactly, and the incumbent is replaced only on strict objective
+// improvement (so traversal order fully determines the returned solution).
+func (s *searchState) record(vals []int64) {
+	for _, c := range s.m.constraints {
+		if !c.EvalBool(vals) {
+			return
+		}
+	}
+	obj := 0.0
+	if s.m.objective != nil {
+		obj = s.m.objective.Eval(vals)
+		const eps = 1e-9
+		if s.haveSol {
+			if s.m.sense == Minimize && obj >= s.bestObj-eps {
+				return
+			}
+			if s.m.sense == Maximize && obj <= s.bestObj+eps {
+				return
 			}
 		}
-		sol.Status = StatusOptimal
-		sol.Values = []int64{}
-		if m.objective != nil {
-			sol.Objective = m.objective.Eval(nil)
-		}
-		return sol
+	} else if s.haveSol {
+		return
 	}
+	s.best = vals
+	s.bestObj = obj
+	s.haveSol = true
+	s.stats.Solutions++
+}
 
-	// Root-level consistency check.
-	s.ev.nextGen()
-	for _, c := range m.constraints {
-		if s.ev.interval(c).False() {
-			sol.Status = StatusInfeasible
-			return sol
-		}
+// boundCut applies the branch-and-bound objective cut given the objective's
+// current bounds.
+func (s *searchState) boundCut(iv Interval) bool {
+	const eps = 1e-9
+	if s.m.sense == Minimize {
+		return iv.Lo < s.bestObj-eps
 	}
+	return iv.Hi > s.bestObj+eps
+}
 
-	complete := s.dfs(0)
+// notePhase records the value branched on for phase saving.
+func (s *searchState) notePhase(vid int, val int64) {
+	s.phase[vid] = val
+	s.hasPhase[vid] = true
+}
 
+// bumpActivity raises the conflict activity of a variable (MiniSat-style
+// geometric bumping: the increment grows so recent conflicts dominate).
+func (s *searchState) bumpActivity(vid int) {
+	if s.activity == nil {
+		return
+	}
+	s.activity[vid] += s.actInc
+	if s.activity[vid] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.actInc *= 1e-100
+	}
+}
+
+func (s *searchState) decayActivity() {
+	if s.activity != nil {
+		s.actInc /= activityDecay
+	}
+}
+
+const activityDecay = 0.95
+
+// finish assembles the Solution from the search outcome. complete reports
+// whether the search space was exhausted.
+func (s *searchState) finish(sol *Solution, complete bool) {
 	switch {
 	case s.haveSol && complete:
 		sol.Status = StatusOptimal
@@ -106,33 +179,264 @@ func (m *Model) Solve(opts Options) *Solution {
 	}
 	if s.haveSol {
 		sol.Values = s.best
-		if m.objective != nil {
+		if s.m.objective != nil {
 			sol.Objective = s.bestObj
 		}
 	}
+}
+
+// staticOrder returns the branching order used by both engines:
+// most-constrained variables (smallest root domains) first, breaking ties by
+// creation order, which in Cologne groups variables of the same grounded
+// table together.
+func staticOrder(m *Model) []int {
+	order := make([]int, len(m.vars))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := m.vars[order[a]].Dom.Size(), m.vars[order[b]].Dom.Size()
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// Solve searches for an assignment satisfying all constraints and, if an
+// objective is set, optimizing it. The search is anytime: on budget
+// exhaustion the best incumbent found so far is returned with
+// StatusFeasible.
+//
+// The default search core is the event-driven propagation engine
+// (propagate.go); Options.Engine selects the legacy forward-checking core
+// instead. With Options.Restarts > 0 the search restarts with geometrically
+// growing node limits, carrying the incumbent, conflict activity, and
+// (optionally) saved phases across runs.
+func (m *Model) Solve(opts Options) *Solution {
+	if opts.Restarts > 0 {
+		return m.solveRestarts(opts)
+	}
+	sol, _ := m.solveOnce(opts, nil)
 	return sol
+}
+
+// solveOnce runs a single (non-restarted) search. prev optionally carries
+// state from an earlier restart (conflict activity). The returned searchState
+// exposes phase memory and activity to the restart driver.
+func (m *Model) solveOnce(opts Options, prev *searchState) (*Solution, *searchState) {
+	start := time.Now()
+	state := newSearchState(m, opts, start)
+	if opts.ActivityOrder {
+		state.activity = make([]float64, len(m.vars))
+		state.actInc = 1.0
+		if prev != nil && prev.activity != nil {
+			copy(state.activity, prev.activity)
+			state.actInc = prev.actInc
+		}
+	}
+
+	sol := &Solution{Status: StatusUnknown}
+	defer func() {
+		state.stats.Elapsed = time.Since(start)
+		sol.Stats = state.stats
+	}()
+
+	if len(m.vars) == 0 {
+		// Degenerate model: only constant constraints and objective.
+		ev := newEvaluator(m)
+		for _, c := range m.constraints {
+			if ev.interval(c).False() {
+				sol.Status = StatusInfeasible
+				return sol, state
+			}
+		}
+		sol.Status = StatusOptimal
+		sol.Values = []int64{}
+		if m.objective != nil {
+			sol.Objective = m.objective.Eval(nil)
+		}
+		return sol, state
+	}
+
+	if opts.Engine == EngineLegacy {
+		m.solveLegacy(state, sol)
+	} else {
+		m.solveEvent(state, sol)
+	}
+	return sol, state
+}
+
+// solveRestarts runs the search as a restart sequence: each run is capped at
+// a geometrically growing node limit, the final run gets the remaining
+// budget. The best incumbent is kept across runs and, with PhaseSaving, its
+// values feed the next run's warm-start hints; conflict activity persists so
+// activity ordering actually benefits from what earlier runs learned.
+func (m *Model) solveRestarts(opts Options) *Solution {
+	start := time.Now()
+	var deadline time.Time
+	if opts.MaxTime > 0 {
+		deadline = start.Add(opts.MaxTime)
+	}
+	runOpts := opts
+	runOpts.Restarts = 0
+
+	limit := int64(len(m.vars)) * 16
+	if limit < 256 {
+		limit = 256
+	}
+	var agg Stats
+	var best *Solution
+	var prev *searchState
+	hints := opts.Hints
+	for r := 0; ; r++ {
+		if opts.MaxNodes > 0 && agg.Nodes >= opts.MaxNodes {
+			break
+		}
+		if opts.MaxTime > 0 && !time.Now().Before(deadline) {
+			break
+		}
+		last := r >= opts.Restarts
+		ro := runOpts
+		ro.Hints = hints
+		switch {
+		case opts.MaxNodes > 0:
+			rem := opts.MaxNodes - agg.Nodes
+			ro.MaxNodes = rem
+			if !last && limit < rem {
+				ro.MaxNodes = limit
+			}
+		case !last:
+			ro.MaxNodes = limit
+		default:
+			ro.MaxNodes = 0
+		}
+		if opts.MaxTime > 0 {
+			ro.MaxTime = time.Until(deadline)
+		}
+		sol, state := m.solveOnce(ro, prev)
+		agg.Nodes += sol.Stats.Nodes
+		agg.Failures += sol.Stats.Failures
+		agg.Solutions += sol.Stats.Solutions
+		if betterSolution(m.sense, m.objective != nil, sol, best) {
+			best = sol
+		}
+		if sol.Status == StatusOptimal || sol.Status == StatusInfeasible {
+			// Proved within the limit: the run's answer is exact.
+			best = sol
+			break
+		}
+		if opts.FirstSolution && sol.Feasible() {
+			// The caller asked for the first incumbent; restarting would
+			// search for more.
+			best = sol
+			break
+		}
+		if last {
+			break
+		}
+		if opts.PhaseSaving {
+			hints = phaseHints(opts.Hints, state, best)
+		}
+		prev = state
+		limit *= 2
+	}
+	if best == nil {
+		best = &Solution{Status: StatusUnknown}
+	}
+	agg.Elapsed = time.Since(start)
+	best.Stats = agg
+	return best
+}
+
+// betterSolution reports whether a improves on b as the carried incumbent.
+func betterSolution(sense Sense, hasObj bool, a, b *Solution) bool {
+	if a == nil || !a.Feasible() {
+		return false
+	}
+	if b == nil || !b.Feasible() {
+		return true
+	}
+	if !hasObj {
+		return false
+	}
+	const eps = 1e-9
+	if sense == Minimize {
+		return a.Objective < b.Objective-eps
+	}
+	return a.Objective > b.Objective+eps
+}
+
+// phaseHints merges the user's warm-start hints with saved phases: the best
+// incumbent's values when one exists, otherwise the last values branched on.
+func phaseHints(user map[int]int64, state *searchState, best *Solution) map[int]int64 {
+	merged := make(map[int]int64, len(user)+len(state.phase))
+	for k, v := range user {
+		merged[k] = v
+	}
+	if best != nil && best.Feasible() && best.Values != nil {
+		for vid, val := range best.Values {
+			merged[vid] = val
+		}
+		return merged
+	}
+	for vid := range state.phase {
+		if state.hasPhase[vid] {
+			merged[vid] = state.phase[vid]
+		}
+	}
+	return merged
+}
+
+// ------------------------------------------------------------ legacy engine
+
+// searcher is the seed search core: depth-first branch-and-bound with
+// generational interval re-evaluation and per-node forward checking. It is
+// kept as Options.Engine = EngineLegacy for ablation benchmarks and as the
+// reference the event engine is validated against.
+type searcher struct {
+	*searchState
+	ev *evaluator
+
+	order   []int   // variable IDs in branching order
+	varCons [][]int // variable ID -> indices of constraints mentioning it
+	lp      *linearProps
+
+	trail []trailEntry
+}
+
+type trailEntry struct {
+	varID int
+	dom   Domain
+}
+
+func (m *Model) solveLegacy(state *searchState, sol *Solution) {
+	s := &searcher{
+		searchState: state,
+		ev:          newEvaluator(m),
+	}
+	s.buildIndexes()
+	if !state.opts.DisableLinear {
+		s.lp = buildLinearProps(m)
+	}
+
+	// Root-level consistency check.
+	s.ev.nextGen()
+	for _, c := range m.constraints {
+		if s.ev.interval(c).False() {
+			sol.Status = StatusInfeasible
+			return
+		}
+	}
+
+	complete := s.dfs(0)
+	state.finish(sol, complete)
 }
 
 func (s *searcher) buildIndexes() {
 	m := s.m
-	// Branching order: most-constrained variables (smallest domains) first,
-	// breaking ties by creation order, which in Cologne groups variables of
-	// the same grounded table together.
-	s.order = make([]int, len(m.vars))
-	for i := range s.order {
-		s.order[i] = i
-	}
-	sort.SliceStable(s.order, func(a, b int) bool {
-		da, db := m.vars[s.order[a]].Dom.Size(), m.vars[s.order[b]].Dom.Size()
-		if da != db {
-			return da < db
-		}
-		return s.order[a] < s.order[b]
-	})
-	s.pos = make([]int, len(m.vars))
-	for i, id := range s.order {
-		s.pos[id] = i
-	}
+	s.order = staticOrder(m)
 	s.varCons = make([][]int, len(m.vars))
 	scratch := make([]int, 0, 16)
 	for ci, c := range m.constraints {
@@ -182,7 +486,7 @@ func (s *searcher) dfs(depth int) bool {
 	}
 	v := s.m.vars[vid]
 	complete := true
-	for _, val := range s.candidateValues(v) {
+	for _, val := range s.candidateValues(s.ev.dom[vid], v) {
 		if s.checkBudget() {
 			return false
 		}
@@ -223,40 +527,12 @@ func (s *searcher) dfs(depth int) bool {
 	return complete
 }
 
-// candidateValues returns the values to branch on for v, hint first.
-func (s *searcher) candidateValues(v *Var) []int64 {
-	dom := s.ev.dom[v.ID]
-	vals := dom.Values()
-	hint, hasHint := int64(0), false
-	if s.opts.Hints != nil {
-		if h, ok := s.opts.Hints[v.ID]; ok && dom.Contains(h) {
-			hint, hasHint = h, true
-		}
-	}
-	if !hasHint && s.opts.ValueOrder == nil {
-		return vals
-	}
-	ordered := make([]int64, 0, len(vals))
-	if hasHint {
-		ordered = append(ordered, hint)
-	}
-	for _, val := range vals {
-		if hasHint && val == hint {
-			continue
-		}
-		ordered = append(ordered, val)
-	}
-	if s.opts.ValueOrder != nil {
-		ordered = s.opts.ValueOrder(v, ordered)
-	}
-	return ordered
-}
-
 func (s *searcher) setVar(vid int, val int64) {
 	s.trail = append(s.trail, trailEntry{vid, s.ev.dom[vid]})
 	s.ev.dom[vid] = NewDomain(val)
 	s.assigned[vid] = true
 	s.assign[vid] = val
+	s.notePhase(vid, val)
 	s.ev.nextGen()
 }
 
@@ -294,12 +570,7 @@ func (s *searcher) boundOK() bool {
 	if s.m.objective == nil || !s.haveSol {
 		return true
 	}
-	iv := s.ev.interval(s.m.objective)
-	const eps = 1e-9
-	if s.m.sense == Minimize {
-		return iv.Lo < s.bestObj-eps
-	}
-	return iv.Hi > s.bestObj+eps
+	return s.boundCut(s.ev.interval(s.m.objective))
 }
 
 // forwardCheck prunes domains of unassigned variables that appear in
@@ -361,44 +632,5 @@ func (s *searcher) recordSolution() {
 	for i := range vals {
 		vals[i] = s.ev.dom[i].Min()
 	}
-	for _, c := range s.m.constraints {
-		if !c.EvalBool(vals) {
-			return
-		}
-	}
-	obj := 0.0
-	if s.m.objective != nil {
-		obj = s.m.objective.Eval(vals)
-		const eps = 1e-9
-		if s.haveSol {
-			if s.m.sense == Minimize && obj >= s.bestObj-eps {
-				return
-			}
-			if s.m.sense == Maximize && obj <= s.bestObj+eps {
-				return
-			}
-		}
-	} else if s.haveSol {
-		return
-	}
-	s.best = vals
-	s.bestObj = obj
-	s.haveSol = true
-	s.stats.Solutions++
-}
-
-// checkBudget returns true when the search must stop.
-func (s *searcher) checkBudget() bool {
-	if s.stopped {
-		return true
-	}
-	if s.opts.MaxNodes > 0 && s.stats.Nodes >= s.opts.MaxNodes {
-		s.stopped = true
-		return true
-	}
-	if !s.deadline.IsZero() && s.stats.Nodes&0xFF == 0 && time.Now().After(s.deadline) {
-		s.stopped = true
-		return true
-	}
-	return false
+	s.record(vals)
 }

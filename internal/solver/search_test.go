@@ -295,3 +295,37 @@ func TestDynamicOrderMatchesStatic(t *testing.T) {
 		}
 	}
 }
+
+func TestSolveConstantConstraintsNoVars(t *testing.T) {
+	// Regression: a zero-variable model with a satisfied constant constraint
+	// must be optimal (a fresh evaluator once treated its zeroed memo table
+	// as a valid generation, reading every constraint as false).
+	m := NewModel()
+	m.Require(m.Bool(true))
+	m.Require(m.Le(m.Const(1), m.Const(2)))
+	if sol := m.Solve(Options{}); sol.Status != StatusOptimal {
+		t.Fatalf("constant-true constraints: %v, want optimal", sol.Status)
+	}
+	m2 := NewModel()
+	m2.Require(m2.Bool(true))
+	m2.Require(m2.Bool(false))
+	if sol := m2.Solve(Options{}); sol.Status != StatusInfeasible {
+		t.Fatalf("constant-false constraint: %v, want infeasible", sol.Status)
+	}
+}
+
+func TestRestartsRespectFirstSolution(t *testing.T) {
+	m := NewModel()
+	vars := make([]*Expr, 6)
+	for i := range vars {
+		vars[i] = m.VarExpr(m.IntVar("v", 0, 4))
+	}
+	m.Minimize(m.Sum(vars...))
+	sol := m.Solve(Options{FirstSolution: true, Restarts: 4})
+	if !sol.Feasible() {
+		t.Fatalf("status %v, want a usable incumbent", sol.Status)
+	}
+	if sol.Stats.Solutions != 1 {
+		t.Fatalf("FirstSolution with restarts found %d incumbents, want 1", sol.Stats.Solutions)
+	}
+}

@@ -99,6 +99,34 @@ type Options struct {
 	// smallest-initial-domain order. Pays off when propagation shrinks
 	// domains unevenly.
 	DynamicOrder bool
+	// Engine selects the search core: EngineEvent (default) is the
+	// event-driven propagation engine, EngineLegacy the seed
+	// forward-checking core. In their default configuration the two take
+	// identical pruning decisions, so solutions, objectives and node counts
+	// match; only the work per node differs.
+	Engine Engine
+	// Fixpoint (event engine only) drains the propagator queue to fixpoint
+	// after every assignment — linear residual tightening plus table
+	// propagators on small binary constraints — instead of the legacy
+	// single-pass schedule. Strictly stronger pruning: statuses and optima
+	// are unchanged, but node counts drop, so under a node budget the
+	// incumbent may differ from the default configuration's.
+	Fixpoint bool
+	// Restarts, when positive, runs the search as a restart sequence:
+	// Restarts runs capped at geometrically growing node limits, then a
+	// final run on the remaining budget. The best incumbent and conflict
+	// activity carry across runs.
+	Restarts int
+	// PhaseSaving (with Restarts) feeds each restart's warm-start hints
+	// from the best incumbent so far — or, before the first incumbent, the
+	// last values branched on — so later runs dive back to the promising
+	// region first.
+	PhaseSaving bool
+	// ActivityOrder (event engine only) branches on the variable with the
+	// highest conflict activity (scaled by current domain size) instead of
+	// the static order. Changes traversal order, so with ties or budgets
+	// the returned solution may differ from the default configuration's.
+	ActivityOrder bool
 	// ValueOrder optionally reorders the candidate values for a variable;
 	// it receives the variable and the default order and returns the order
 	// to use. Nil keeps the default ascending order (after any hint).

@@ -67,7 +67,13 @@ type Params struct {
 	NegotiationInterval time.Duration // distributed per-round virtual time
 	SolverMaxNodes      int64
 	SolverMaxTime       time.Duration
-	Passes              int // distributed refinement passes
+	// SolverEngine/SolverFixpoint/SolverRestarts select and tune the search
+	// core per Config (see core.Config); zero values keep the default
+	// event-driven propagation engine.
+	SolverEngine   string
+	SolverFixpoint bool
+	SolverRestarts int
+	Passes         int // distributed refinement passes
 
 	Seed int64
 }
@@ -216,6 +222,9 @@ func centralizedAssignment(t *Topology, p Params, res *Result) (Assignment, erro
 	cfg := entry.Config
 	cfg.SolverMaxNodes = p.SolverMaxNodes
 	cfg.SolverMaxTime = p.SolverMaxTime
+	cfg.SolverEngine = p.SolverEngine
+	cfg.SolverFixpoint = p.SolverFixpoint
+	cfg.SolverRestarts = p.SolverRestarts
 	node, err := core.NewNode("manager", entry.Analyze(), cfg, nil)
 	if err != nil {
 		return nil, err
@@ -281,6 +290,9 @@ func distributedAssignment(t *Topology, p Params, res *Result) (Assignment, erro
 		cfg := entry.Config
 		cfg.SolverMaxNodes = p.SolverMaxNodes
 		cfg.SolverMaxTime = p.SolverMaxTime
+		cfg.SolverEngine = p.SolverEngine
+		cfg.SolverFixpoint = p.SolverFixpoint
+		cfg.SolverRestarts = p.SolverRestarts
 		node, err := core.NewNode(string(n), ares, cfg, tr)
 		if err != nil {
 			return nil, err

@@ -255,3 +255,31 @@ func TestIdenticalChUsesTwoChannels(t *testing.T) {
 			res.ThroughputMbps[last], one.ThroughputMbps[last])
 	}
 }
+
+// TestEngineEquivalence runs the centralized and distributed channel
+// assignments under both search cores with only the node budget binding and
+// requires identical throughput series and interference counts.
+func TestEngineEquivalence(t *testing.T) {
+	for _, proto := range []Protocol{Centralized, Distributed} {
+		run := func(engine string) *Result {
+			p := tinyParams()
+			p.SolverMaxTime = 0 // only the deterministic node budget binds
+			p.SolverEngine = engine
+			res, err := Run(p, proto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		ev, lg := run("event"), run("legacy")
+		if ev.Interference != lg.Interference {
+			t.Fatalf("%s: interference %d vs %d", proto, ev.Interference, lg.Interference)
+		}
+		for i := range ev.ThroughputMbps {
+			if ev.ThroughputMbps[i] != lg.ThroughputMbps[i] {
+				t.Fatalf("%s: throughput[%d] %v vs %v",
+					proto, i, ev.ThroughputMbps[i], lg.ThroughputMbps[i])
+			}
+		}
+	}
+}
