@@ -17,7 +17,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/followsun"
 	"repro/internal/programs"
+	"repro/internal/sim"
 	"repro/internal/solver"
+	"repro/internal/transport"
 	"repro/internal/wireless"
 )
 
@@ -426,7 +428,7 @@ func BenchmarkAblationEventEngine(b *testing.B) {
 		b.Run(engine, func(b *testing.B) {
 			e := programs.ACloud(false, 0)
 			cfg := e.Config
-			cfg.SolverMaxNodes = 2000
+			cfg.SolverMaxNodes = 600
 			cfg.SolverPropagate = true
 			cfg.SolverEngine = engine
 			node, err := core.NewNode("bench", e.Analyze(), cfg, nil)
@@ -548,4 +550,156 @@ func mustNode(b *testing.B, src string) *core.Node {
 		b.Fatal(err)
 	}
 	return node
+}
+
+// ----------------------------------------------- tick-over-tick re-solves
+
+// tickModes compares fresh re-grounding against the incremental
+// re-grounding subsystem (same solutions tick for tick, pinned by the
+// TestIncrementalEquivalence suites).
+var tickModes = []struct {
+	name        string
+	incremental bool
+}{{"fresh", false}, {"incremental", true}}
+
+// BenchmarkTickResolveACloud measures one ACloud tick at 48 VMs x 4 hosts:
+// a quarter of the VMs report a new CPU reading (demand shifts are
+// localized per customer), then the COP re-solves under a tick-sized node
+// budget. The churn is pure value updates, so the incremental grounder
+// patches constants in place instead of rebuilding the model.
+func BenchmarkTickResolveACloud(b *testing.B) {
+	for _, mode := range tickModes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			e := programs.ACloud(false, 0)
+			cfg := e.Config
+			cfg.SolverMaxNodes = 600
+			cfg.SolverPropagate = true
+			cfg.SolverIncremental = mode.incremental
+			cfg.Keys = map[string][]int{"vmRaw": {0}, "vm": {0}}
+			node, err := core.NewNode("bench", e.Analyze(), cfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for h := 0; h < 4; h++ {
+				node.Insert("host", colog.StringVal(fmt.Sprintf("h%d", h)), colog.IntVal(0), colog.IntVal(0))
+				node.Insert("hostMemThres", colog.StringVal(fmt.Sprintf("h%d", h)), colog.IntVal(1<<20))
+			}
+			var last *core.SolveResult
+			tick := func(i int) {
+				for v := i * 12 % 48; v < i*12%48+12; v++ {
+					node.Insert("vmRaw", colog.StringVal(fmt.Sprintf("vm%02d", v)),
+						colog.IntVal(int64(25+(v*13+i*7)%60)), colog.IntVal(512))
+				}
+				res, err := node.Solve(core.SolveOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			for v := 0; v < 48; v++ {
+				node.Insert("vmRaw", colog.StringVal(fmt.Sprintf("vm%02d", v)),
+					colog.IntVal(int64(25+v*13%60)), colog.IntVal(512))
+			}
+			tick(0) // prime the grounding cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tick(i + 1)
+			}
+			b.ReportMetric(float64(last.Stats.Nodes), "search-nodes")
+			if last.Ground != nil {
+				b.ReportMetric(float64(last.Ground.ConstsPatched), "consts-patched")
+			}
+		})
+	}
+}
+
+// BenchmarkTickResolveFollowSun measures one Follow-the-Sun re-negotiation
+// tick on a persistent link: both endpoints' demand allocations drift
+// (keyed value updates on curVm), then the initiator re-solves its per-link
+// COP.
+func BenchmarkTickResolveFollowSun(b *testing.B) {
+	for _, mode := range tickModes {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			sched := sim.NewScheduler()
+			tr := transport.NewSim(sched, time.Millisecond)
+			entry := programs.FollowSunDistributed(1 << 30)
+			names := []string{"dc00", "dc01", "dc02", "dc03", "dc04", "dc05", "dc06",
+				"dc07", "dc08", "dc09", "dc10", "dc11", "dc12", "dc13"}
+			// Demand locations span more than the two negotiating nodes, as
+			// in the full experiment: the per-link COP decides a migration
+			// variable per demand.
+			demands := []string{"dc00", "dc01", "dm02"}
+			nodes := map[string]*core.Node{}
+			for _, name := range names {
+				cfg := entry.Config
+				cfg.SolverMaxNodes = 2000
+				cfg.SolverPropagate = true
+				cfg.SolverWarmStart = true
+				cfg.SolverIncremental = mode.incremental
+				node, err := core.NewNode(name, entry.Analyze(), cfg, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes[name] = node
+			}
+			for _, x := range names {
+				node := nodes[x]
+				for v := int64(-1); v <= 1; v++ {
+					node.Insert("migRange", colog.IntVal(v))
+				}
+				node.Insert("opCost", colog.StringVal(x), colog.IntVal(10))
+				node.Insert("resource", colog.StringVal(x), colog.IntVal(60))
+				for di, d := range demands {
+					cc := int64(0)
+					if d != x {
+						cc = 50 + int64(di*17)%50
+					}
+					node.Insert("commCost", colog.StringVal(x), colog.StringVal(d), colog.IntVal(cc))
+					node.Insert("dc", colog.StringVal(x), colog.StringVal(d))
+					node.Insert("curVm", colog.StringVal(x), colog.StringVal(d), colog.IntVal(int64(3+di)))
+				}
+			}
+			// A star around the initiator: every other DC is a neighbour whose
+			// state replicates into dc01's per-link COP.
+			for _, peer := range names {
+				if peer == "dc01" {
+					continue
+				}
+				for _, pair := range [][2]string{{"dc01", peer}, {peer, "dc01"}} {
+					nodes[pair[0]].Insert("link", colog.StringVal(pair[0]), colog.StringVal(pair[1]))
+					nodes[pair[0]].Insert("migCost", colog.StringVal(pair[0]), colog.StringVal(pair[1]), colog.IntVal(12))
+				}
+			}
+			sched.Run(sched.Now() + time.Second)
+			// The link under negotiation persists across ticks.
+			nodes["dc01"].Insert("setLink", colog.StringVal("dc01"), colog.StringVal("dc00"))
+			var last *core.SolveResult
+			tick := func(i int) {
+				for xi, x := range names[:1] {
+					for di, d := range demands {
+						alloc := int64(2 + (xi*3+di*5+i)%7)
+						nodes[x].Insert("curVm", colog.StringVal(x), colog.StringVal(d), colog.IntVal(alloc))
+					}
+				}
+				sched.Run(sched.Now() + 100*time.Millisecond)
+				res, err := nodes["dc01"].Solve(core.SolveOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+				sched.Run(sched.Now() + 100*time.Millisecond)
+			}
+			tick(0) // prime the grounding cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tick(i + 1)
+			}
+			b.ReportMetric(float64(last.Stats.Nodes), "search-nodes")
+			if last.Ground != nil {
+				b.ReportMetric(float64(last.Ground.ConstsPatched), "consts-patched")
+			}
+		})
+	}
 }

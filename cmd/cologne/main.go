@@ -31,6 +31,8 @@ type cliOptions struct {
 	restarts *int
 	engine   *string
 	fixpoint *bool
+	incr     *bool
+	warm     *bool
 	report   *bool
 	params   paramFlags
 }
@@ -47,6 +49,10 @@ func registerFlags(fs *flag.FlagSet) *cliOptions {
 			"search core: 'event' (event-driven propagation engine) or 'legacy'\n(seed forward-checking core; same results, for ablations)"),
 		fixpoint: fs.Bool("solver-fixpoint", false,
 			"drain the propagator queue to fixpoint after each assignment\n(stronger pruning; same optima, fewer search nodes)"),
+		incr: fs.Bool("solver-incremental", false,
+			"keep the grounded model between solves and re-ground only what\nchanged, patching constants in place (same solutions, less work)"),
+		warm: fs.Bool("solver-warmstart", false,
+			"seed each solve's value ordering from the previous solve's\nmaterialized assignments (changes incumbents under budgets)"),
 		report: fs.Bool("report", false, "print the static analysis report before running"),
 	}
 	fs.Var(&o.params, "param", "bind a parameter, e.g. -param max_migrates=3 (repeatable)")
@@ -59,13 +65,15 @@ func (o *cliOptions) config() (core.Config, error) {
 		return core.Config{}, fmt.Errorf("unknown -solver-engine %q (want event or legacy)", *o.engine)
 	}
 	return core.Config{
-		Params:          o.params.vals,
-		SolverMaxTime:   *o.maxTime,
-		SolverMaxNodes:  *o.maxNodes,
-		SolverPropagate: true,
-		SolverEngine:    *o.engine,
-		SolverFixpoint:  *o.fixpoint,
-		SolverRestarts:  *o.restarts,
+		Params:            o.params.vals,
+		SolverMaxTime:     *o.maxTime,
+		SolverMaxNodes:    *o.maxNodes,
+		SolverPropagate:   true,
+		SolverEngine:      *o.engine,
+		SolverFixpoint:    *o.fixpoint,
+		SolverRestarts:    *o.restarts,
+		SolverIncremental: *o.incr,
+		SolverWarmStart:   *o.warm,
 	}, nil
 }
 

@@ -1,0 +1,91 @@
+// Command docscheck is the documentation gate run by `make docs-check` and
+// CI: it fails on broken relative links in README.md and docs/*.md, and on
+// example Go files that are not gofmt-formatted.
+package main
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target); images share the
+// syntax and are covered too.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+
+	docs := []string{filepath.Join(root, "README.md")}
+	globbed, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err == nil {
+		docs = append(docs, globbed...)
+	}
+	checked := 0
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", doc, err))
+			continue
+		}
+		checked++
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // same-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken relative link %q", doc, m[1]))
+			}
+		}
+	}
+	if checked == 0 {
+		problems = append(problems, "no documentation files found (wrong working directory?)")
+	}
+
+	// Example Go programs must be gofmt-clean: they are quoted by the docs
+	// and copied by users.
+	err = filepath.Walk(filepath.Join(root, "examples"), func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || filepath.Ext(path) != ".go" {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+			return nil
+		}
+		if string(formatted) != string(src) {
+			problems = append(problems, fmt.Sprintf("%s: not gofmt-formatted", path))
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("examples walk: %v", err))
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docscheck:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d docs, links and example formatting OK\n", checked)
+}

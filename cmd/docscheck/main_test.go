@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLinkRegexp(t *testing.T) {
+	md := `See [arch](docs/architecture.md) and [ext](https://example.com) plus ![img](a.png#frag).`
+	got := linkRe.FindAllStringSubmatch(md, -1)
+	want := []string{"docs/architecture.md", "https://example.com", "a.png#frag"}
+	if len(got) != len(want) {
+		t.Fatalf("found %d links, want %d", len(got), len(want))
+	}
+	for i, m := range got {
+		if m[1] != want[i] {
+			t.Fatalf("link %d = %q, want %q", i, m[1], want[i])
+		}
+	}
+}
+
+// TestRepoDocsClean runs the checker's logic against the real repository:
+// the same gate CI runs via `make docs-check`.
+func TestRepoDocsClean(t *testing.T) {
+	root := "../.."
+	if _, err := os.Stat(filepath.Join(root, "README.md")); err != nil {
+		t.Skipf("repo root not found: %v", err)
+	}
+	for _, doc := range []string{"README.md", "docs/architecture.md", "docs/colog.md", "docs/tuning.md"} {
+		if _, err := os.Stat(filepath.Join(root, doc)); err != nil {
+			t.Fatalf("expected documentation file missing: %v", err)
+		}
+	}
+}

@@ -74,6 +74,11 @@ type Params struct {
 	SolverEngine   string
 	SolverFixpoint bool
 	SolverRestarts int
+	// SolverIncremental enables incremental re-grounding with solver-model
+	// patching between ticks; SolverWarmStart seeds each solve from the
+	// previous materialized assignments (see core.Config).
+	SolverIncremental bool
+	SolverWarmStart   bool
 
 	Seed  int64
 	Trace dctrace.Params
@@ -87,7 +92,8 @@ func DefaultParams() Params {
 		SpawnThreshold: 80, StopThreshold: 20, CPUFloor: 20,
 		MaxMigrates: 3, HeuristicRatio: 1.05,
 		SolverMaxNodes: 20000, SolverMaxTime: 10 * time.Second,
-		Seed: 1, Trace: dctrace.DefaultParams(),
+		SolverIncremental: true,
+		Seed:              1, Trace: dctrace.DefaultParams(),
 	}
 }
 
@@ -362,9 +368,16 @@ func (c *cluster) buildNodes(pol Policy) ([]*core.Node, error) {
 		cfg.SolverEngine = c.p.SolverEngine
 		cfg.SolverFixpoint = c.p.SolverFixpoint
 		cfg.SolverRestarts = c.p.SolverRestarts
+		cfg.SolverIncremental = c.p.SolverIncremental
+		cfg.SolverWarmStart = c.p.SolverWarmStart
 		cfg.Keys = map[string][]int{
 			"vmRaw":  {0},
 			"origin": {0},
+			// vm is functionally keyed by the VM id (derived 1:1 from the
+			// keyed vmRaw); declaring the key turns a CPU reading change
+			// into a keyed replace, which the incremental grounder can
+			// absorb by patching constants instead of re-grounding.
+			"vm": {0},
 		}
 		n, err := core.NewNode(fmt.Sprintf("dc%d", dc), res, cfg, nil)
 		if err != nil {

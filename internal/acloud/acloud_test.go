@@ -140,3 +140,34 @@ func TestEngineEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestIncrementalEquivalence runs the capped policy with incremental
+// re-grounding against fresh grounding and requires byte-identical series:
+// the patched model must be element-for-element the fresh one, tick for
+// tick.
+func TestIncrementalEquivalence(t *testing.T) {
+	run := func(incremental bool) *Result {
+		p := tinyParams()
+		p.SolverMaxTime = 0 // only the deterministic node budget binds
+		p.SolverIncremental = incremental
+		res, err := Run(p, ACloudM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	inc, fresh := run(true), run(false)
+	if inc.MeanStdev != fresh.MeanStdev || inc.MeanMigrations != fresh.MeanMigrations {
+		t.Fatalf("grounding paths diverge: incremental stdev=%v mig=%v, fresh stdev=%v mig=%v",
+			inc.MeanStdev, inc.MeanMigrations, fresh.MeanStdev, fresh.MeanMigrations)
+	}
+	if len(inc.AvgStdev) != len(fresh.AvgStdev) {
+		t.Fatalf("series lengths differ: %d vs %d", len(inc.AvgStdev), len(fresh.AvgStdev))
+	}
+	for i := range inc.AvgStdev {
+		if inc.AvgStdev[i] != fresh.AvgStdev[i] || inc.Migrations[i] != fresh.Migrations[i] {
+			t.Fatalf("interval %d: stdev %v vs %v, migrations %d vs %d",
+				i, inc.AvgStdev[i], fresh.AvgStdev[i], inc.Migrations[i], fresh.Migrations[i])
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/analysis"
 	"repro/internal/colog"
 )
@@ -238,11 +240,26 @@ func (n *Node) recomputeGroup(gi int) error {
 		}
 		oldRows := map[string][]colog.Value{}
 		baseOf := map[string]int{}
+		seqOf := map[string]uint64{}
 		for _, r := range t.rows {
 			oldRows[valsKey(r.vals)] = r.vals
 			baseOf[valsKey(r.vals)] = r.base
+			seqOf[valsKey(r.vals)] = r.seq
 		}
 		newRows := work[p]
+		// Fresh rows get arrival numbers in deterministic (sorted-key) order;
+		// surviving rows keep theirs.
+		var freshKeys []string
+		for k := range newRows {
+			if _, had := seqOf[k]; !had {
+				freshKeys = append(freshKeys, k)
+			}
+		}
+		sort.Strings(freshKeys)
+		for _, k := range freshKeys {
+			seqOf[k] = t.nextSeq
+			t.nextSeq++
+		}
 		t.rows = map[string]row{}
 		t.dropIndexes()
 		t.dropScanCache()
@@ -251,10 +268,12 @@ func (n *Node) recomputeGroup(gi int) error {
 				vals:  vals,
 				count: 1,
 				base:  baseOf[k],
+				seq:   seqOf[k],
 			}
 		}
 		for k, vals := range oldRows {
 			if _, kept := newRows[k]; !kept {
+				t.rememberSeq(keyOf(vals, t.keyCols), seqOf[k])
 				if err := n.processTransition(delta{Tuple{p, vals}, -1, true}, gi); err != nil {
 					return err
 				}

@@ -11,9 +11,13 @@ import (
 
 // gval is a grounding-time value: either a ground constant or a symbolic
 // solver expression (the runtime representation of a solver attribute).
+// When the incremental grounder is recording, ground values lifted from
+// table cells carry their provenance so constants grounded from them can be
+// patched in place when the cell's value changes (see incremental.go).
 type gval struct {
-	val colog.Value
-	sym *solver.Expr
+	val  colog.Value
+	sym  *solver.Expr
+	prov *cellProv
 }
 
 func (g gval) isSym() bool { return g.sym != nil }
@@ -68,6 +72,12 @@ type grounder struct {
 	slotsCache map[*colog.Rule]*ruleSlots
 	rowsCache  map[string][]symTuple
 	idxCache   map[string]*symIndex
+
+	// recording enables provenance capture for the incremental grounding
+	// cache: lifted rows carry cell provenance and each rule run records
+	// which constants it grounded from which cells (see incremental.go).
+	recording bool
+	cacheRuns map[int]*cachedRun
 }
 
 // slotsFor returns the rule's variable slotting, computed on first use.
@@ -174,6 +184,20 @@ type SolveResult struct {
 	// unary, binary, generic, const), as classified at grounding time.
 	Shapes map[string]int
 	Stats  solver.Stats
+	// Ground reports how the model was built when incremental re-grounding
+	// is enabled (nil otherwise).
+	Ground *GroundInfo
+}
+
+// GroundInfo reports the incremental grounder's work for one solve.
+type GroundInfo struct {
+	// Mode is "full" for a ground from scratch (first solve, structural
+	// var-table change, or compaction) and "incremental" otherwise.
+	Mode string
+	// Rule-level outcome counts for the incremental mode.
+	RulesReused, RulesPatched, RulesReground int
+	// ConstsPatched counts constant nodes rewritten in place.
+	ConstsPatched int
 }
 
 // Feasible reports whether the result carries a usable assignment.
@@ -198,6 +222,9 @@ func (n *Node) Solve(opts SolveOptions) (*SolveResult, error) {
 
 func (n *Node) solveLocked(opts SolveOptions) (*SolveResult, error) {
 	n.stats.Solves++
+	if n.cfg.SolverIncremental {
+		return n.solveIncrementalLocked(opts)
+	}
 	g := &grounder{
 		n:     n,
 		model: solver.NewModel(),
@@ -222,6 +249,12 @@ func (n *Node) solveLocked(opts SolveOptions) (*SolveResult, error) {
 	if err := g.setGoal(); err != nil {
 		return nil, err
 	}
+	return n.finishSolve(g, opts, res)
+}
+
+// finishSolve runs the solver over a grounded model and materializes the
+// result: the phase shared by the fresh and incremental grounding paths.
+func (n *Node) finishSolve(g *grounder, opts SolveOptions, res *SolveResult) (*SolveResult, error) {
 	// Classify the grounded constraints into propagator shapes while still
 	// in the grounding phase: the solver consumes the classification (both
 	// engines share the linear extraction), and repeated solves reuse it.
@@ -263,6 +296,8 @@ func (n *Node) solveLocked(opts SolveOptions) (*SolveResult, error) {
 				sopts.Hints[inst.v.ID] = h
 			}
 		}
+	} else if n.cfg.SolverWarmStart {
+		sopts.Hints = n.warmStartHints(g)
 	}
 	sol := g.model.Solve(sopts)
 	res.Status = sol.Status
@@ -338,16 +373,38 @@ func (n *Node) materialize(g *grounder, res *SolveResult) error {
 	for pred, tuples := range byPred {
 		tbl := n.tables[pred]
 		// Unkeyed tables: retract the previous solve's output so repeated
-		// solves replace it. Keyed tables (e.g. the wireless assign table,
-		// keyed on the link) replace per key on insert and accumulate
-		// results across per-link negotiations.
+		// solves replace it, diffing against it first so rows the new
+		// solution keeps produce no delta traffic at all. Keyed tables
+		// (e.g. the wireless assign table, keyed on the link) replace per
+		// key on insert and accumulate results across per-link
+		// negotiations.
 		if tbl != nil && !tbl.event && tbl.keyCols == nil {
+			newCount := make(map[string]int, len(tuples))
+			for _, t := range tuples {
+				newCount[valsKey(t.Vals)]++
+			}
+			skip := make(map[string]int, len(tuples))
 			for _, old := range n.lastMaterialized[pred] {
+				k := valsKey(old.Vals)
+				if newCount[k] > 0 {
+					newCount[k]--
+					skip[k]++
+					continue
+				}
 				n.enqueue(delta{old, -1, false})
 			}
-		}
-		for _, t := range tuples {
-			n.enqueue(delta{t, +1, false})
+			for _, t := range tuples {
+				k := valsKey(t.Vals)
+				if skip[k] > 0 {
+					skip[k]--
+					continue
+				}
+				n.enqueue(delta{t, +1, false})
+			}
+		} else {
+			for _, t := range tuples {
+				n.enqueue(delta{t, +1, false})
+			}
 		}
 		n.lastMaterialized[pred] = tuples
 	}
@@ -376,7 +433,7 @@ func (g *grounder) createVars() error {
 		if err != nil {
 			return err
 		}
-		for _, rowVals := range forallRows.snapshot() {
+		for _, rowVals := range forallRows.snapshotStable() {
 			env := map[string]colog.Value{}
 			if !matchAtom(vd.ForAll, rowVals, env) {
 				continue
@@ -415,7 +472,7 @@ func (g *grounder) domainFor(vd *colog.VarDecl) (solver.Domain, error) {
 			return solver.Domain{}, everrf("var", "domain table %s unknown", d.FromTable)
 		}
 		var vals []int64
-		for _, rowVals := range tbl.snapshot() {
+		for _, rowVals := range tbl.snapshotStable() {
 			last := rowVals[len(rowVals)-1]
 			if last.Kind != colog.KindInt {
 				return solver.Domain{}, everrf("var", "domain table %s has non-integer value %s", d.FromTable, last)
@@ -480,6 +537,7 @@ func (g *grounder) deriveSolverRules() error {
 			for _, e := range runs[i].reqs {
 				g.model.Require(e)
 			}
+			g.noteCacheRun(ri, rules[ri], runs[i])
 		}
 	}
 	return nil
@@ -487,18 +545,33 @@ func (g *grounder) deriveSolverRules() error {
 
 // groundRun is the per-rule evaluation state of one grounding: the binding
 // frame, the deferred constraint posts (so workers never mutate the model's
-// constraint store), and the emitted head tuples.
+// constraint store), the emitted head tuples, and (in recording mode) the
+// provenance recorder feeding the incremental grounding cache.
 type groundRun struct {
 	frame *symFrame
+	rec   *runRecorder
 	reqs  []*solver.Expr
 	out   []symTuple
 }
 
 func (r *groundRun) require(e *solver.Expr) { r.reqs = append(r.reqs, e) }
 
+// newGroundRun builds the evaluation state for one rule grounding,
+// attaching a provenance recorder (seeded with the plan's static join-column
+// taints) when the grounder is recording.
+func (g *grounder) newGroundRun(p *groundPlan) *groundRun {
+	run := &groundRun{frame: newSymFrame(p.slots)}
+	if g.recording {
+		run.rec = newRunRecorder()
+		run.rec.addPlanTaints(p)
+		run.frame.rec = run.rec
+	}
+	return run
+}
+
 // groundRuleRun grounds one solver derivation rule over its compiled plan.
 func (g *grounder) groundRuleRun(rule *colog.Rule, p *groundPlan) (*groundRun, error) {
-	run := &groundRun{frame: newSymFrame(p.slots)}
+	run := g.newGroundRun(p)
 	if rule.Head.HasAggregate() {
 		return run, g.collectAggregate(rule, p, run)
 	}
@@ -508,6 +581,11 @@ func (g *grounder) groundRuleRun(rule *colog.Rule, p *groundPlan) (*groundRun, e
 			gv, err := g.evalSym(arg, f, p.label)
 			if err != nil {
 				return err
+			}
+			// A ground cell emitted into the head flows into downstream
+			// rules: its source column is structural for this rule.
+			if gv.prov != nil && !gv.isSym() {
+				run.rec.taint(gv.prov)
 			}
 			st[i] = gv
 		}
@@ -545,6 +623,9 @@ func (g *grounder) execPlan(run *groundRun, p *groundPlan, idx int, sink func(*s
 			return err
 		}
 		if !gv.isSym() {
+			if gv.prov != nil {
+				run.rec.taint(gv.prov) // a bare cell deciding control flow
+			}
 			if gv.val.Kind != colog.KindBool {
 				return everrf(p.label, "condition %s evaluated to non-boolean %s", step.cond, gv.val)
 			}
@@ -587,7 +668,7 @@ func (g *grounder) execPlan(run *groundRun, p *groundPlan, idx int, sink func(*s
 		if err != nil {
 			return err
 		}
-		be, err := g.toExpr(gv, p.label)
+		be, err := g.toExpr(gv, p.label, run.rec)
 		if err != nil {
 			return err
 		}
@@ -643,10 +724,10 @@ func (g *grounder) rowsFor(pred string) ([]symTuple, error) {
 		if tbl == nil {
 			return nil, fmt.Errorf("unknown predicate %s", pred)
 		}
-		rows := tbl.snapshot()
+		rows := tbl.snapshotStable()
 		out := make([]symTuple, len(rows))
 		for i, vals := range rows {
-			out[i] = liftRow(vals)
+			out[i] = g.lift(pred, vals)
 		}
 		return out, nil
 	}
@@ -681,20 +762,31 @@ func (g *grounder) rowsFor(pred string) ([]symTuple, error) {
 		}
 	}
 	out := append([]symTuple(nil), sts...)
-	for _, vals := range tbl.snapshot() {
+	for _, vals := range tbl.snapshotStable() {
 		k, _ := regKey(func(i int) (colog.Value, bool) { return vals[i], true })
 		if shadow[k] {
 			continue
 		}
-		out = append(out, liftRow(vals))
+		out = append(out, g.lift(pred, vals))
 	}
 	return out, nil
 }
 
-func liftRow(vals []colog.Value) symTuple {
+// lift turns a ground table row into a symbolic tuple; in recording mode
+// every cell carries its provenance for the incremental grounding cache.
+func (g *grounder) lift(pred string, vals []colog.Value) symTuple {
 	st := make(symTuple, len(vals))
+	if !g.recording {
+		for j, v := range vals {
+			st[j] = gval{val: v}
+		}
+		return st
+	}
+	key := valsKey(vals)
+	provs := make([]cellProv, len(vals))
 	for j, v := range vals {
-		st[j] = gval{val: v}
+		provs[j] = cellProv{pred: pred, key: key, col: j}
+		st[j] = gval{val: v, prov: &provs[j]}
 	}
 	return st
 }
@@ -725,18 +817,18 @@ func (g *grounder) matchSymRow(run *groundRun, ops []argOp, st symTuple, label s
 				continue
 			}
 			// Symbolic on either side: require equality in the model.
-			le, err := g.toExpr(bound, label)
+			le, err := g.toExpr(bound, label, run.rec)
 			if err != nil {
 				return false, err
 			}
-			re, err := g.toExpr(st[i], label)
+			re, err := g.toExpr(st[i], label, run.rec)
 			if err != nil {
 				return false, err
 			}
 			run.require(g.model.Eq(le, re))
 		case argConst:
 			if st[i].isSym() {
-				e, err := g.toExpr(st[i], label)
+				e, err := g.toExpr(st[i], label, run.rec)
 				if err != nil {
 					return false, err
 				}
@@ -753,8 +845,11 @@ func (g *grounder) matchSymRow(run *groundRun, ops []argOp, st symTuple, label s
 	return true, nil
 }
 
-// toExpr lifts a gval into a solver expression.
-func (g *grounder) toExpr(gv gval, label string) (*solver.Expr, error) {
+// toExpr lifts a gval into a solver expression. Ground numeric cells become
+// constant nodes; in recording mode the constant's provenance is registered
+// so a later change to the cell can patch it in place, while ground booleans
+// (whose value shapes the expression) taint their source column instead.
+func (g *grounder) toExpr(gv gval, label string, rec *runRecorder) (*solver.Expr, error) {
 	if gv.isSym() {
 		return gv.sym, nil
 	}
@@ -762,9 +857,16 @@ func (g *grounder) toExpr(gv gval, label string) (*solver.Expr, error) {
 		return nil, everrf(label, "cannot lift %s into a solver expression", gv.val)
 	}
 	if gv.val.Kind == colog.KindBool {
+		if gv.prov != nil {
+			rec.taint(gv.prov)
+		}
 		return g.model.Bool(gv.val.B), nil
 	}
-	return g.model.Const(gv.val.Num()), nil
+	e := g.model.Const(gv.val.Num())
+	if gv.prov != nil {
+		rec.ref(e, gv.prov)
+	}
+	return e, nil
 }
 
 // evalSym evaluates a term under a symbolic frame: ground subterms fold to
@@ -791,17 +893,25 @@ func (g *grounder) evalSym(t colog.Term, env *symFrame, label string) (gval, err
 			return gval{}, err
 		}
 		if !l.isSym() && !r.isSym() {
+			// Folding consumes the cell values structurally: the result no
+			// longer tracks a single source cell, so taint both inputs.
+			if l.prov != nil {
+				env.rec.taint(l.prov)
+			}
+			if r.prov != nil {
+				env.rec.taint(r.prov)
+			}
 			v, err := applyBin(x.Op, l.val, r.val)
 			if err != nil {
 				return gval{}, everrf(label, "%v", err)
 			}
 			return gval{val: v}, nil
 		}
-		le, err := g.toExpr(l, label)
+		le, err := g.toExpr(l, label, env.rec)
 		if err != nil {
 			return gval{}, err
 		}
-		re, err := g.toExpr(r, label)
+		re, err := g.toExpr(r, label, env.rec)
 		if err != nil {
 			return gval{}, err
 		}
@@ -812,6 +922,9 @@ func (g *grounder) evalSym(t colog.Term, env *symFrame, label string) (gval, err
 			return gval{}, err
 		}
 		if !v.isSym() {
+			if v.prov != nil {
+				env.rec.taint(v.prov)
+			}
 			nv, err := applyNeg(v.val)
 			if err != nil {
 				return gval{}, everrf(label, "%v", err)
@@ -825,6 +938,9 @@ func (g *grounder) evalSym(t colog.Term, env *symFrame, label string) (gval, err
 			return gval{}, err
 		}
 		if !v.isSym() {
+			if v.prov != nil {
+				env.rec.taint(v.prov)
+			}
 			nv, err := applyNot(v.val)
 			if err != nil {
 				return gval{}, everrf(label, "%v", err)
@@ -838,6 +954,9 @@ func (g *grounder) evalSym(t colog.Term, env *symFrame, label string) (gval, err
 			return gval{}, err
 		}
 		if !v.isSym() {
+			if v.prov != nil {
+				env.rec.taint(v.prov)
+			}
 			av, err := applyAbs(v.val)
 			if err != nil {
 				return gval{}, everrf(label, "%v", err)
@@ -854,6 +973,9 @@ func (g *grounder) evalSym(t colog.Term, env *symFrame, label string) (gval, err
 			}
 			if gv.isSym() {
 				return gval{}, everrf(label, "function %s over symbolic arguments is not supported", x.Name)
+			}
+			if gv.prov != nil {
+				env.rec.taint(gv.prov)
 			}
 			args[i] = gv.val
 		}
@@ -874,7 +996,9 @@ func (g *grounder) applySymBin(op colog.BinOp, l, r *solver.Expr, label string) 
 	case colog.OpSub:
 		return gval{sym: m.Sub(l, r)}, nil
 	case colog.OpMul:
-		return gval{sym: m.Mul(l, r)}, nil
+		// MulKeep: a folded-away constant could never be patched in place
+		// by the incremental grounder (see solver.Model.MulKeep).
+		return gval{sym: m.MulKeep(l, r)}, nil
 	case colog.OpDiv:
 		return gval{sym: m.Div(l, r)}, nil
 	case colog.OpEq:
@@ -934,6 +1058,9 @@ func (g *grounder) collectAggregate(rule *colog.Rule, p *groundPlan, run *ground
 			if gv.isSym() {
 				return everrf(label, "aggregate group-by attribute %d is symbolic", i)
 			}
+			if gv.prov != nil {
+				run.rec.taint(gv.prov) // grouping key: structural
+			}
 			headVals[i] = gv
 			keyParts += gv.key() + "|"
 		}
@@ -955,7 +1082,7 @@ func (g *grounder) collectAggregate(rule *colog.Rule, p *groundPlan, run *ground
 	}
 	for _, k := range order {
 		grp := groups[k]
-		agg, err := g.buildAggExpr(aggTerm.Func, grp.items, label)
+		agg, err := g.buildAggExpr(aggTerm.Func, grp.items, label, run.rec)
 		if err != nil {
 			return err
 		}
@@ -972,7 +1099,7 @@ func (g *grounder) collectAggregate(rule *colog.Rule, p *groundPlan, run *ground
 	return nil
 }
 
-func (g *grounder) buildAggExpr(fn colog.AggFunc, items []gval, label string) (gval, error) {
+func (g *grounder) buildAggExpr(fn colog.AggFunc, items []gval, label string, rec *runRecorder) (gval, error) {
 	allGround := true
 	for _, it := range items {
 		if it.isSym() {
@@ -981,9 +1108,13 @@ func (g *grounder) buildAggExpr(fn colog.AggFunc, items []gval, label string) (g
 		}
 	}
 	if allGround {
-		// Pure ground aggregation: compute the value directly.
+		// Pure ground aggregation: compute the value directly. The folded
+		// result stops tracking individual cells, so taint every input.
 		m := map[string]*aggItem{}
 		for _, it := range items {
+			if it.prov != nil {
+				rec.taint(it.prov)
+			}
 			k := it.val.Key()
 			if m[k] == nil {
 				m[k] = &aggItem{val: it.val}
@@ -998,7 +1129,7 @@ func (g *grounder) buildAggExpr(fn colog.AggFunc, items []gval, label string) (g
 	}
 	exprs := make([]*solver.Expr, len(items))
 	for i, it := range items {
-		e, err := g.toExpr(it, label)
+		e, err := g.toExpr(it, label, rec)
 		if err != nil {
 			return gval{}, err
 		}
@@ -1033,70 +1164,22 @@ func (g *grounder) buildAggExpr(fn colog.AggFunc, items []gval, label string) (g
 // independent of each other: each rule runs on a worker with its
 // constraints buffered, merged in rule order afterwards.
 func (g *grounder) applyConstraintRules() error {
-	type job struct {
-		rule  *colog.Rule
-		plan  *groundPlan
-		seed  []argOp
-		heads []symTuple
-	}
-	var jobs []*job
+	var jobs []*constraintJob
 	for i, rule := range g.n.res.Program.Rules {
 		if g.n.res.Classes[i] != analysis.SolverConstraintRule {
 			continue
 		}
-		label := ruleName(rule)
-		// Compile the head seeding: binding the head tuple's values into
-		// the frame, with ground-equality checks for constants and
-		// repeated variables.
-		slots := g.slotsFor(rule)
-		seedBound := map[string]bool{}
-		seed := make([]argOp, len(rule.Head.Args))
-		for ai, arg := range rule.Head.Args {
-			switch t := arg.(type) {
-			case *colog.VarTerm:
-				if seedBound[t.Name] {
-					seed[ai] = argOp{kind: argCheck, slot: slots.slotOf(t.Name)}
-				} else {
-					seed[ai] = argOp{kind: argBind, slot: slots.slotOf(t.Name)}
-					seedBound[t.Name] = true
-				}
-			case *colog.ConstTerm:
-				seed[ai] = argOp{kind: argConst, val: t.Val}
-			default:
-				return everrf(label, "unsupported head argument %s", arg)
-			}
-		}
-		plan, err := g.planGroundBody(rule, seedBound)
+		j, err := g.buildConstraintJob(i, rule)
 		if err != nil {
 			return err
 		}
-		jobs = append(jobs, &job{rule: rule, plan: plan, seed: seed, heads: g.sym[rule.Head.Pred]})
+		jobs = append(jobs, j)
 	}
 
 	runs := make([]*groundRun, len(jobs))
 	errs := make([]error, len(jobs))
 	ground := func(i int) {
-		j := jobs[i]
-		run := &groundRun{frame: newSymFrame(j.plan.slots)}
-		runs[i] = run
-		for _, st := range j.heads {
-			run.frame.reset()
-			ok, err := g.seedHead(j.seed, st, run.frame)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			if !ok {
-				continue
-			}
-			// Body: every match must hold; expression literals become
-			// constraints via the symbolic filter path, and symbolic
-			// matches in matchSymRow post equality constraints.
-			if err := g.execPlan(run, j.plan, 0, func(*symFrame) error { return nil }); err != nil {
-				errs[i] = err
-				return
-			}
-		}
+		runs[i], errs[i] = g.runConstraintJob(jobs[i])
 	}
 	workers := g.n.groundWorkers()
 	if workers > 1 && len(jobs) > 1 {
@@ -1106,15 +1189,78 @@ func (g *grounder) applyConstraintRules() error {
 			ground(i)
 		}
 	}
-	for i := range jobs {
+	for i, j := range jobs {
 		if errs[i] != nil {
 			return errs[i]
 		}
 		for _, e := range runs[i].reqs {
 			g.model.Require(e)
 		}
+		g.noteCacheRun(j.ri, j.rule, runs[i])
 	}
 	return nil
+}
+
+// constraintJob is one solver constraint rule prepared for grounding: the
+// compiled head seeding plus the body plan.
+type constraintJob struct {
+	ri    int
+	rule  *colog.Rule
+	plan  *groundPlan
+	seed  []argOp
+	heads []symTuple
+}
+
+// buildConstraintJob compiles the head seeding — binding the head tuple's
+// values into the frame, with ground-equality checks for constants and
+// repeated variables — and plans the rule body.
+func (g *grounder) buildConstraintJob(ri int, rule *colog.Rule) (*constraintJob, error) {
+	label := ruleName(rule)
+	slots := g.slotsFor(rule)
+	seedBound := map[string]bool{}
+	seed := make([]argOp, len(rule.Head.Args))
+	for ai, arg := range rule.Head.Args {
+		switch t := arg.(type) {
+		case *colog.VarTerm:
+			if seedBound[t.Name] {
+				seed[ai] = argOp{kind: argCheck, slot: slots.slotOf(t.Name)}
+			} else {
+				seed[ai] = argOp{kind: argBind, slot: slots.slotOf(t.Name)}
+				seedBound[t.Name] = true
+			}
+		case *colog.ConstTerm:
+			seed[ai] = argOp{kind: argConst, val: t.Val}
+		default:
+			return nil, everrf(label, "unsupported head argument %s", arg)
+		}
+	}
+	plan, err := g.planGroundBody(rule, seedBound)
+	if err != nil {
+		return nil, err
+	}
+	return &constraintJob{ri: ri, rule: rule, plan: plan, seed: seed, heads: g.sym[rule.Head.Pred]}, nil
+}
+
+// runConstraintJob grounds one constraint rule: for every symbolic head
+// tuple, every body match must hold — expression literals become constraints
+// via the symbolic filter path, and symbolic matches in matchSymRow post
+// equality constraints.
+func (g *grounder) runConstraintJob(j *constraintJob) (*groundRun, error) {
+	run := g.newGroundRun(j.plan)
+	for _, st := range j.heads {
+		run.frame.reset()
+		ok, err := g.seedHead(j.seed, st, run.frame)
+		if err != nil {
+			return run, err
+		}
+		if !ok {
+			continue
+		}
+		if err := g.execPlan(run, j.plan, 0, func(*symFrame) error { return nil }); err != nil {
+			return run, err
+		}
+	}
+	return run, nil
 }
 
 // seedHead binds one symbolic head tuple into the frame for a constraint
@@ -1146,13 +1292,58 @@ func (g *grounder) seedHead(seed []argOp, st symTuple, f *symFrame) (bool, error
 
 // setGoal locates the objective among the grounded tuples and installs it.
 func (g *grounder) setGoal() error {
+	objective, found, err := g.computeGoal()
+	if err != nil {
+		return err
+	}
+	if !found {
+		// No goal tuple derived (e.g. no interfering pairs for the link
+		// under negotiation): degrade to a satisfy problem over the posted
+		// constraints.
+		return nil
+	}
+	if g.n.res.Program.Goal.Sense == colog.GoalMinimize {
+		g.model.Minimize(objective)
+	} else {
+		g.model.Maximize(objective)
+	}
+	return nil
+}
+
+// installGoal is setGoal's incremental twin: it re-derives the objective
+// and swaps it in only when it actually changed, so a tick whose goal tuple
+// re-derives to the same cached expression keeps the model's search
+// metadata valid.
+func (g *grounder) installGoal() error {
+	objective, found, err := g.computeGoal()
+	if err != nil {
+		return err
+	}
+	sense := solver.Satisfy
+	if found {
+		if g.n.res.Program.Goal.Sense == colog.GoalMinimize {
+			sense = solver.Minimize
+		} else {
+			sense = solver.Maximize
+		}
+	} else {
+		objective = nil
+	}
+	g.model.SetObjective(objective, sense)
+	return nil
+}
+
+// computeGoal locates the objective expression among the grounded tuples of
+// the goal predicate, binding g.genv as a side effect. found is false for
+// satisfy programs and when no tuple matches the goal atom.
+func (g *grounder) computeGoal() (*solver.Expr, bool, error) {
 	goal := g.n.res.Program.Goal
 	if goal == nil || goal.Sense == colog.GoalSatisfy {
-		return nil
+		return nil, false, nil
 	}
 	rows, err := g.rowsFor(goal.Atom.Pred)
 	if err != nil {
-		return everrf("goal", "%v", err)
+		return nil, false, everrf("goal", "%v", err)
 	}
 	var objective *solver.Expr
 	found := false
@@ -1183,12 +1374,12 @@ func (g *grounder) setGoal() error {
 			continue
 		}
 		if found {
-			return everrf("goal", "multiple tuples match goal atom %s", goal.Atom)
+			return nil, false, everrf("goal", "multiple tuples match goal atom %s", goal.Atom)
 		}
 		found = true
-		e, err := g.toExpr(objVal, "goal")
+		e, err := g.toExpr(objVal, "goal", nil)
 		if err != nil {
-			return err
+			return nil, false, err
 		}
 		objective = e
 		g.genv = map[string]colog.Value{}
@@ -1198,16 +1389,5 @@ func (g *grounder) setGoal() error {
 			}
 		}
 	}
-	if !found {
-		// No goal tuple derived (e.g. no interfering pairs for the link
-		// under negotiation): degrade to a satisfy problem over the posted
-		// constraints.
-		return nil
-	}
-	if goal.Sense == colog.GoalMinimize {
-		g.model.Minimize(objective)
-	} else {
-		g.model.Maximize(objective)
-	}
-	return nil
+	return objective, found, nil
 }

@@ -1,0 +1,292 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/colog"
+	"repro/internal/core"
+)
+
+const corpusDir = "../../examples/programs"
+
+// corpusKeys declares primary keys for the corpus programs' fact tables so
+// value churn takes the keyed-replace path the patch fast path rides on.
+// Both nodes of every comparison get the same keys, so the semantics under
+// test are identical either way.
+var corpusKeys = map[string]map[string][]int{
+	"loadbalance.colog": {"vm": {0}},
+	"knapsack.colog":    {"item": {0}, "cap": {}},
+	"coloring.colog":    {},
+}
+
+// buildPair parses a corpus program and builds two nodes over it: a fresh
+// grounder and an incremental one, otherwise identically configured.
+func buildPair(t *testing.T, name string) (fresh, inc *core.Node) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join(corpusDir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := colog.Parse(string(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	build := func(incremental bool) *core.Node {
+		res, err := analysis.Analyze(prog, nil)
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		node, err := core.NewNode("local", res, core.Config{
+			SolverPropagate:   true,
+			Keys:              corpusKeys[name],
+			SolverIncremental: incremental,
+		}, nil)
+		if err != nil {
+			t.Fatalf("node: %v", err)
+		}
+		return node
+	}
+	return build(false), build(true)
+}
+
+// compareNodes requires the two nodes to agree on every table, row for row.
+func compareNodes(t *testing.T, step int, fresh, inc *core.Node) {
+	t.Helper()
+	names := fresh.TableNames()
+	sort.Strings(names)
+	for _, pred := range names {
+		fr, ir := fresh.Rows(pred), inc.Rows(pred)
+		if len(fr) != len(ir) {
+			t.Fatalf("step %d: table %s: %d vs %d rows", step, pred, len(fr), len(ir))
+		}
+		for i := range fr {
+			for j := range fr[i] {
+				if !fr[i][j].Equal(ir[i][j]) {
+					t.Fatalf("step %d: table %s row %d: %v vs %v", step, pred, i, fr[i], ir[i])
+				}
+			}
+		}
+	}
+}
+
+// compareSolves requires bit-identical solve outcomes, including the search
+// trace length — the strongest cheap witness that the incremental path
+// presented the solver with the same model as a fresh grounding.
+func compareSolves(t *testing.T, step int, fr, ir *core.SolveResult) {
+	t.Helper()
+	if fr.Status != ir.Status || fr.Objective != ir.Objective {
+		t.Fatalf("step %d: fresh %v/%v vs incremental %v/%v",
+			step, fr.Status, fr.Objective, ir.Status, ir.Objective)
+	}
+	if fr.NumVars != ir.NumVars || fr.NumCons != ir.NumCons {
+		t.Fatalf("step %d: model size diverged: %d/%d vars, %d/%d cons",
+			step, fr.NumVars, ir.NumVars, fr.NumCons, ir.NumCons)
+	}
+	if fr.Stats.Nodes != ir.Stats.Nodes {
+		t.Fatalf("step %d: search trace diverged: %d vs %d nodes",
+			step, fr.Stats.Nodes, ir.Stats.Nodes)
+	}
+	if len(fr.Assignments) != len(ir.Assignments) {
+		t.Fatalf("step %d: %d vs %d assignments", step, len(fr.Assignments), len(ir.Assignments))
+	}
+	for i := range fr.Assignments {
+		a, b := fr.Assignments[i], ir.Assignments[i]
+		if a.Pred != b.Pred || len(a.Vals) != len(b.Vals) {
+			t.Fatalf("step %d: assignment %d: %v vs %v", step, i, a, b)
+		}
+		for j := range a.Vals {
+			if !a.Vals[j].Equal(b.Vals[j]) {
+				t.Fatalf("step %d: assignment %d differs: %v vs %v", step, i, a.Vals, b.Vals)
+			}
+		}
+	}
+}
+
+// TestIncrementalGroundEquivalence drives random insert/delete/update churn
+// scripts over every corpus program through a fresh-grounding node and an
+// incremental one in lockstep, solving after every step and requiring
+// identical solve results and identical table contents throughout.
+func TestIncrementalGroundEquivalence(t *testing.T) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("corpus dir: %v", err)
+	}
+	totalPatched, totalIncremental := 0, 0
+	for _, ent := range entries {
+		if filepath.Ext(ent.Name()) != ".colog" {
+			continue
+		}
+		t.Run(ent.Name(), func(t *testing.T) {
+			fresh, inc := buildPair(t, ent.Name())
+			rng := rand.New(rand.NewSource(int64(len(ent.Name()))*7919 + 1))
+			keys := corpusKeys[ent.Name()]
+
+			// Fact predicates are the churn surface.
+			factPreds := map[string]bool{}
+			for _, f := range fresh.Program().Program.Facts {
+				factPreds[f.Atom.Pred] = true
+			}
+			var preds []string
+			for p := range factPreds {
+				preds = append(preds, p)
+			}
+			sort.Strings(preds)
+
+			apply := func(op func(n *core.Node) error) {
+				t.Helper()
+				if err := op(fresh); err != nil {
+					t.Fatalf("fresh: %v", err)
+				}
+				if err := op(inc); err != nil {
+					t.Fatalf("incremental: %v", err)
+				}
+			}
+
+			for step := 0; step < 50; step++ {
+				pred := preds[rng.Intn(len(preds))]
+				rows := fresh.Rows(pred)
+				// Columns excluded from value updates: the declared key, or
+				// nothing for unkeyed predicates (their updates are simply
+				// structural delete+insert pairs on both nodes).
+				keyCols := map[int]bool{}
+				for _, c := range keys[pred] {
+					keyCols[c] = true
+				}
+				switch k := rng.Intn(4); {
+				case k <= 1 && len(rows) > 0: // value update (twice as likely)
+					row := append([]colog.Value(nil), rows[rng.Intn(len(rows))]...)
+					var numCols []int
+					for c, v := range row {
+						if v.Kind == colog.KindInt && !keyCols[c] {
+							numCols = append(numCols, c)
+						}
+					}
+					if len(numCols) == 0 {
+						continue
+					}
+					c := numCols[rng.Intn(len(numCols))]
+					old := append([]colog.Value(nil), row...)
+					row[c] = colog.IntVal(int64(1 + rng.Intn(60)))
+					apply(func(n *core.Node) error {
+						if err := n.Delete(pred, old...); err != nil {
+							return err
+						}
+						return n.Insert(pred, row...)
+					})
+				case k == 2 && len(rows) > 1: // delete
+					row := rows[rng.Intn(len(rows))]
+					apply(func(n *core.Node) error { return n.Delete(pred, row...) })
+				case k == 3 && len(rows) > 0: // insert a structurally new row
+					row := append([]colog.Value(nil), rows[rng.Intn(len(rows))]...)
+					switch row[0].Kind {
+					case colog.KindInt:
+						row[0] = colog.IntVal(int64(100 + step))
+					case colog.KindString:
+						row[0] = colog.StringVal(fmt.Sprintf("%s-n%d", row[0].S, step))
+					default:
+						continue
+					}
+					for c := 1; c < len(row); c++ {
+						if row[c].Kind == colog.KindInt {
+							row[c] = colog.IntVal(int64(1 + rng.Intn(40)))
+						}
+					}
+					apply(func(n *core.Node) error { return n.Insert(pred, row...) })
+				default:
+					continue
+				}
+
+				fr, err := fresh.Solve(core.SolveOptions{})
+				if err != nil {
+					t.Fatalf("step %d: fresh solve: %v", step, err)
+				}
+				ir, err := inc.Solve(core.SolveOptions{})
+				if err != nil {
+					t.Fatalf("step %d: incremental solve: %v", step, err)
+				}
+				compareSolves(t, step, fr, ir)
+				compareNodes(t, step, fresh, inc)
+				if ir.Ground == nil {
+					t.Fatalf("step %d: incremental node reported no grounding info", step)
+				}
+				if ir.Ground.Mode == "incremental" {
+					totalIncremental++
+					totalPatched += ir.Ground.ConstsPatched
+				}
+			}
+		})
+	}
+	// The scripts must actually exercise the incremental machinery, not
+	// just fall back to full grounding every step.
+	if totalIncremental == 0 {
+		t.Fatalf("churn scripts never took the incremental path")
+	}
+	if totalPatched == 0 {
+		t.Fatalf("churn scripts never patched a constant in place")
+	}
+}
+
+// TestWarmStartFromPreviousSolve checks cfg.SolverWarmStart: with
+// FirstSolution set, a re-solve whose previous assignment is still feasible
+// must reproduce it exactly — the warm start hints each variable to its
+// previous value and the first incumbent stops the search.
+func TestWarmStartFromPreviousSolve(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(corpusDir, "loadbalance.colog"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := colog.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := core.NewNode("local", res, core.Config{
+		SolverPropagate:   true,
+		Keys:              map[string][]int{"vm": {0}},
+		SolverIncremental: true,
+		SolverWarmStart:   true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := node.Solve(core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nudge one VM's CPU; the previous placement stays feasible (placement
+	// constraints don't involve CPU), so the warm-started first incumbent
+	// must be the previous assignment.
+	if err := node.Delete("vm", colog.IntVal(2), colog.IntVal(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Insert("vm", colog.IntVal(2), colog.IntVal(12)); err != nil {
+		t.Fatal(err)
+	}
+	second, err := node.Solve(core.SolveOptions{FirstSolution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Feasible() {
+		t.Fatalf("warm-started solve infeasible: %v", second.Status)
+	}
+	if len(first.Assignments) != len(second.Assignments) {
+		t.Fatalf("assignment counts differ: %d vs %d", len(first.Assignments), len(second.Assignments))
+	}
+	for i := range first.Assignments {
+		for j := range first.Assignments[i].Vals {
+			if !first.Assignments[i].Vals[j].Equal(second.Assignments[i].Vals[j]) {
+				t.Fatalf("assignment %d: warm start did not reproduce previous solution: %v vs %v",
+					i, first.Assignments[i].Vals, second.Assignments[i].Vals)
+			}
+		}
+	}
+}

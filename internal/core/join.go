@@ -334,13 +334,15 @@ func (ix *symIndex) probe(key []byte) ([]symTuple, []symTuple) {
 // ------------------------------------------------------------- sym frame
 
 // symFrame is the grounder's slice-backed binding environment: gvals with
-// an undo trail, replacing the senv map clones.
+// an undo trail, replacing the senv map clones. rec, when non-nil, is the
+// owning run's provenance recorder (incremental grounding).
 type symFrame struct {
 	slots  *ruleSlots
 	vals   []gval
 	bound  []bool
 	trail  []int
 	keyBuf []byte
+	rec    *runRecorder
 }
 
 func newSymFrame(slots *ruleSlots) *symFrame {

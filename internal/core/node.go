@@ -53,6 +53,18 @@ type Config struct {
 	// negative value) forces serial grounding. Results are merged in rule
 	// order, so the outcome is identical at any setting.
 	GroundWorkers int
+	// SolverIncremental enables incremental re-grounding: the node keeps the
+	// grounded solver model between solves and, on the next solve, re-grounds
+	// only the rule instantiations affected by the tuples that changed,
+	// patching the existing model in place (see incremental.go). Solutions
+	// and objectives are identical to fresh grounding; only the work per
+	// re-solve shrinks.
+	SolverIncremental bool
+	// SolverWarmStart seeds each solve's value ordering from the previous
+	// solve's materialized assignments when the caller supplies no explicit
+	// hint. Warm starts steer the search, so under node or time budgets the
+	// returned incumbent may differ from a cold solve's.
+	SolverWarmStart bool
 }
 
 // NodeStats counts a node's evaluation work.
@@ -89,6 +101,13 @@ type Node struct {
 
 	lastMaterialized map[string][]Tuple
 
+	// Incremental re-grounding state (cfg.SolverIncremental): the grounding
+	// cache of the previous solve, and the per-predicate net row changes
+	// accumulated since it was built. See incremental.go.
+	ground       *groundState
+	groundDeltas map[string]map[string]*netDelta
+	deltaKeyBuf  []byte
+
 	// OnInvokeSolver, when non-nil, runs instead of the default Solve
 	// whenever an invokeSolver event fires.
 	OnInvokeSolver func(n *Node)
@@ -123,8 +142,9 @@ func NewNode(addr string, res *analysis.Result, cfg Config, tr transport.Transpo
 	for _, e := range cfg.Events {
 		events[e] = true
 	}
+	keys := inferShipKeys(res, cfg.Keys, res.Program.Rules)
 	for name, ti := range res.Tables {
-		n.tables[name] = newTable(name, ti.Arity, cfg.Keys[name], events[name])
+		n.tables[name] = newTable(name, ti.Arity, keys[name], events[name])
 	}
 	if _, ok := n.tables[InvokeSolverPred]; !ok {
 		n.tables[InvokeSolverPred] = newTable(InvokeSolverPred, 0, nil, true)
@@ -383,6 +403,9 @@ func (n *Node) processTransition(tr delta, skipGroup int) error {
 		n.fireInvokeSolver()
 		return nil
 	}
+	if n.ground != nil {
+		n.noteGroundDelta(tr)
+	}
 	if tr.sign < 0 {
 		n.markDirtyFor(tr.tuple.Pred)
 	}
@@ -590,18 +613,13 @@ func cloneEnv(env map[string]colog.Value) map[string]colog.Value {
 	return out
 }
 
-// snapshotUnordered returns visible rows without sorting (hot path). The
-// result is memoized between table mutations; callers must not append to it
-// without re-slicing (the self-join fix uses a full slice expression).
+// snapshotUnordered returns visible rows for join scans (hot path) in the
+// stable arrival order, so delta evaluation — and therefore the arrival
+// order of derived tuples — is deterministic. The result is memoized
+// between table mutations; callers must not append to it without re-slicing
+// (the self-join fix uses a full slice expression).
 func (t *table) snapshotUnordered() [][]colog.Value {
-	if t.scanCache == nil {
-		out := make([][]colog.Value, 0, len(t.rows))
-		for _, r := range t.rows {
-			out = append(out, r.vals)
-		}
-		t.scanCache = out
-	}
-	return t.scanCache
+	return t.snapshotStable()
 }
 
 // Dump renders all tables for debugging.

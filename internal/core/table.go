@@ -27,9 +27,15 @@ type table struct {
 	// keyScratch is reused for building row keys, so lookups and deletes
 	// never allocate; only inserting a new row materializes the string.
 	keyScratch []byte
-	// scanCache memoizes the unordered visible-row list between mutations,
-	// so unbound join scans don't rebuild it per probe.
-	scanCache [][]colog.Value
+	// stableCache memoizes the insertion-ordered visible-row list between
+	// mutations (see snapshotStable); nextSeq numbers arrivals.
+	stableCache [][]colog.Value
+	nextSeq     uint64
+	// freedSeq remembers the arrival number of deleted rows by key, so a
+	// delete/re-insert pair — how the delta pipeline expresses an update —
+	// puts the row back at its old position instead of the end. Bounded by
+	// dropping the map when it dwarfs the live table.
+	freedSeq map[string]uint64
 }
 
 // appendRowKey builds the row's primary key into dst.
@@ -54,6 +60,11 @@ type row struct {
 	// materializations); the recursive-group recompute rebuilds derived
 	// tuples from exactly these rows.
 	base int
+	// seq is the row's arrival number. A keyed replacement keeps the old
+	// row's seq, so the stable snapshot order is invariant under value
+	// updates — the property the incremental grounder's patch path relies
+	// on to keep its cached emission order aligned with a fresh grounding.
+	seq uint64
 }
 
 func newTable(name string, arity int, keyCols []int, event bool) *table {
@@ -91,6 +102,7 @@ func (t *table) apply(vals []colog.Value, sign int, derived bool) (out [2]delta,
 	kb := t.keyScratch
 	existing, exists := t.rows[string(kb)]
 	if sign > 0 {
+		var seq uint64
 		if exists {
 			if valsEqual(existing.vals, vals) {
 				existing.count++
@@ -98,11 +110,19 @@ func (t *table) apply(vals []colog.Value, sign int, derived bool) (out [2]delta,
 				t.rows[string(kb)] = existing
 				return out, 0
 			}
-			// Keyed replacement: retract the old row first.
+			// Keyed replacement: retract the old row first. The new row
+			// inherits the old row's stable position.
+			seq = existing.seq
 			out[n] = delta{Tuple{t.name, existing.vals}, -1, derived}
 			n++
 			t.indexRemove(existing.vals)
 			delete(t.rows, string(kb))
+		} else if s, had := t.freedSeq[string(kb)]; had {
+			seq = s
+			delete(t.freedSeq, string(kb))
+		} else {
+			seq = t.nextSeq
+			t.nextSeq++
 		}
 		// Derived tuples are freshly built by rule-head projection and
 		// uniquely owned, so the row can adopt them; external inserts may
@@ -111,9 +131,9 @@ func (t *table) apply(vals []colog.Value, sign int, derived bool) (out [2]delta,
 		if !derived {
 			stored = append([]colog.Value(nil), vals...)
 		}
-		t.rows[string(kb)] = row{vals: stored, count: 1, base: baseInc}
+		t.rows[string(kb)] = row{vals: stored, count: 1, base: baseInc, seq: seq}
 		t.indexInsert(stored)
-		t.scanCache = nil
+		t.stableCache = nil
 		out[n] = delta{Tuple{t.name, vals}, +1, derived}
 		n++
 		return out, n
@@ -129,7 +149,8 @@ func (t *table) apply(vals []colog.Value, sign int, derived bool) (out [2]delta,
 	if existing.count <= 0 {
 		delete(t.rows, string(kb))
 		t.indexRemove(existing.vals)
-		t.scanCache = nil
+		t.stableCache = nil
+		t.rememberSeq(string(kb), existing.seq)
 		out[0] = delta{Tuple{t.name, existing.vals}, -1, derived}
 		n = 1
 	} else {
@@ -157,6 +178,44 @@ func (t *table) snapshot() [][]colog.Value {
 	return out
 }
 
+// rememberSeq tombstones a deleted row's arrival number under its key.
+func (t *table) rememberSeq(key string, seq uint64) {
+	if t.freedSeq == nil {
+		t.freedSeq = map[string]uint64{}
+	}
+	if len(t.freedSeq) > 4*len(t.rows)+4096 {
+		t.freedSeq = map[string]uint64{} // runaway churn: forfeit stability
+	}
+	t.freedSeq[key] = seq
+}
+
+// snapshotStable returns the visible rows in arrival order: rows are
+// numbered as they first become visible, and a keyed replacement keeps its
+// predecessor's number. The grounder enumerates rows in this order — it is
+// deterministic for a deterministic update sequence (like the sorted
+// snapshot) but, unlike sorting by row content, it does not move a row when
+// only its values change, which keeps incremental re-grounding's cached
+// emission order identical to a fresh grounding's.
+func (t *table) snapshotStable() [][]colog.Value {
+	if t.stableCache == nil {
+		type seqRow struct {
+			seq  uint64
+			vals []colog.Value
+		}
+		rows := make([]seqRow, 0, len(t.rows))
+		for _, r := range t.rows {
+			rows = append(rows, seqRow{r.seq, r.vals})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+		out := make([][]colog.Value, len(rows))
+		for i, r := range rows {
+			out[i] = r.vals
+		}
+		t.stableCache = out
+	}
+	return t.stableCache
+}
+
 // size returns the number of visible rows.
 func (t *table) size() int { return len(t.rows) }
 
@@ -168,5 +227,7 @@ func (t *table) clear() {
 	t.dropScanCache()
 }
 
-// dropScanCache invalidates the memoized scan (bulk row replacement).
-func (t *table) dropScanCache() { t.scanCache = nil }
+// dropScanCache invalidates the memoized scans (bulk row replacement).
+func (t *table) dropScanCache() {
+	t.stableCache = nil
+}

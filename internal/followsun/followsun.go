@@ -45,6 +45,11 @@ type Params struct {
 	SolverEngine   string
 	SolverFixpoint bool
 	SolverRestarts int
+	// SolverIncremental enables incremental re-grounding with solver-model
+	// patching between ticks; SolverWarmStart seeds each solve from the
+	// previous materialized assignments (see core.Config).
+	SolverIncremental bool
+	SolverWarmStart   bool
 
 	Seed int64
 }
@@ -58,6 +63,7 @@ func DefaultParams(n int) Params {
 		NegotiationInterval: 5 * time.Second,
 		LinkLatency:         2 * time.Millisecond,
 		SolverMaxNodes:      30000,
+		SolverIncremental:   true,
 		Seed:                1,
 	}
 }
@@ -229,6 +235,8 @@ func (r *runner) setup() error {
 		cfg.SolverEngine = r.p.SolverEngine
 		cfg.SolverFixpoint = r.p.SolverFixpoint
 		cfg.SolverRestarts = r.p.SolverRestarts
+		cfg.SolverIncremental = p.SolverIncremental
+		cfg.SolverWarmStart = p.SolverWarmStart
 		node, err := core.NewNode(name, ares, cfg, r.tr)
 		if err != nil {
 			return err

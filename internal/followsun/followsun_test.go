@@ -136,3 +136,32 @@ func TestEngineEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestIncrementalEquivalence runs the negotiation with incremental
+// re-grounding against fresh grounding and requires identical cost
+// trajectories and migration counts.
+func TestIncrementalEquivalence(t *testing.T) {
+	run := func(incremental bool) *Result {
+		p := tinyParams(4)
+		p.SolverMaxTime = 0 // only the deterministic node budget binds
+		p.SolverIncremental = incremental
+		res, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	inc, fresh := run(true), run(false)
+	if inc.FinalCost != fresh.FinalCost || inc.TotalMigrations != fresh.TotalMigrations {
+		t.Fatalf("grounding paths diverge: incremental cost=%v mig=%d, fresh cost=%v mig=%d",
+			inc.FinalCost, inc.TotalMigrations, fresh.FinalCost, fresh.TotalMigrations)
+	}
+	if len(inc.Points) != len(fresh.Points) {
+		t.Fatalf("cost series lengths differ: %d vs %d", len(inc.Points), len(fresh.Points))
+	}
+	for i := range inc.Points {
+		if inc.Points[i].Cost != fresh.Points[i].Cost {
+			t.Fatalf("point %d: cost %v vs %v", i, inc.Points[i].Cost, fresh.Points[i].Cost)
+		}
+	}
+}

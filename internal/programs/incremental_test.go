@@ -1,0 +1,84 @@
+package programs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/colog"
+	"repro/internal/core"
+)
+
+// TestIncrementalEquivalence drives the bundled ACloud(M) program through a
+// CPU-churn tick loop on a fresh-grounding node and an incremental one in
+// lockstep — the programs-suite leg of the incremental-grounding
+// equivalence guarantee (the corpus leg lives in internal/core).
+func TestIncrementalEquivalence(t *testing.T) {
+	build := func(incremental bool) *core.Node {
+		e := ACloud(true, 3)
+		cfg := e.Config
+		cfg.SolverPropagate = true
+		cfg.SolverMaxNodes = 1500
+		cfg.SolverIncremental = incremental
+		cfg.Keys = map[string][]int{"vmRaw": {0}, "origin": {0}, "vm": {0}}
+		node, err := core.NewNode("bench", e.Analyze(), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for h := 0; h < 3; h++ {
+			if err := node.Insert("host", colog.StringVal(fmt.Sprintf("h%d", h)),
+				colog.IntVal(0), colog.IntVal(0)); err != nil {
+				t.Fatal(err)
+			}
+			if err := node.Insert("hostMemThres", colog.StringVal(fmt.Sprintf("h%d", h)),
+				colog.IntVal(1<<20)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return node
+	}
+	fresh, inc := build(false), build(true)
+	patched := 0
+	for tick := 0; tick < 8; tick++ {
+		for v := 0; v < 12; v++ {
+			cpu := colog.IntVal(int64(25 + (v*13+tick*7)%60))
+			vm := colog.StringVal(fmt.Sprintf("vm%02d", v))
+			org := colog.StringVal(fmt.Sprintf("h%d", v%3))
+			for _, n := range []*core.Node{fresh, inc} {
+				if err := n.Insert("vmRaw", vm, cpu, colog.IntVal(512)); err != nil {
+					t.Fatal(err)
+				}
+				if err := n.Insert("origin", vm, org); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		fr, err := fresh.Solve(core.SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ir, err := inc.Solve(core.SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Status != ir.Status || fr.Objective != ir.Objective ||
+			fr.Stats.Nodes != ir.Stats.Nodes || len(fr.Assignments) != len(ir.Assignments) {
+			t.Fatalf("tick %d: fresh %v/%v/%d nodes/%d asg vs incremental %v/%v/%d nodes/%d asg",
+				tick, fr.Status, fr.Objective, fr.Stats.Nodes, len(fr.Assignments),
+				ir.Status, ir.Objective, ir.Stats.Nodes, len(ir.Assignments))
+		}
+		for i := range fr.Assignments {
+			for j := range fr.Assignments[i].Vals {
+				if !fr.Assignments[i].Vals[j].Equal(ir.Assignments[i].Vals[j]) {
+					t.Fatalf("tick %d: assignment %d differs: %v vs %v",
+						tick, i, fr.Assignments[i].Vals, ir.Assignments[i].Vals)
+				}
+			}
+		}
+		if ir.Ground != nil {
+			patched += ir.Ground.ConstsPatched
+		}
+	}
+	if patched == 0 {
+		t.Fatal("CPU churn never hit the constant-patch path")
+	}
+}

@@ -31,6 +31,15 @@ type Model struct {
 	sense       Sense
 	nodes       atomic.Int64 // next expression ID
 
+	// rev counts structural mutations (constraint posts or replacements,
+	// variable and objective changes); prepared metadata built at an older
+	// rev is stale.
+	rev int64
+	// patched lists constant nodes whose value was changed in place by
+	// PatchConst since the last prepare; the cached linear shapes covering
+	// them are refreshed lazily.
+	patched []int32
+
 	// prep caches the propagation engine's search metadata (expression DAG
 	// indexes, propagator shapes); it is rebuilt lazily when constraints or
 	// nodes were added since it was built. See Model.Prepare.
@@ -77,6 +86,7 @@ func (m *Model) VarWithDomain(name string, dom Domain) *Var {
 	v := &Var{ID: len(m.vars), Name: name, Dom: dom}
 	v.expr = m.newExpr(OpVar, 0, v)
 	m.vars = append(m.vars, v)
+	m.rev++
 	return v
 }
 
@@ -151,6 +161,16 @@ func (m *Model) Mul(a, b *Expr) *Expr {
 	case a.IsConst() && a.K == 0, b.IsConst() && b.K == 0:
 		return m.Const(0)
 	}
+	return m.newExpr(OpMul, 0, nil, a, b)
+}
+
+// MulKeep returns a*b without any folding. The grounder uses it so that a
+// constant grounded from a table cell stays a node in the DAG even when its
+// current value is a multiplicative identity: a later PatchConst must be
+// able to rewrite it in place, and a fold would silently detach it (the
+// propagation engines price Mul-by-constant identically either way).
+func (m *Model) MulKeep(a, b *Expr) *Expr {
+	m.checkNumeric("*", a, b)
 	return m.newExpr(OpMul, 0, nil, a, b)
 }
 
@@ -315,21 +335,87 @@ func (m *Model) ITE(cond, a, b *Expr) *Expr {
 func (m *Model) Require(e *Expr) {
 	m.checkBool("require", e)
 	m.constraints = append(m.constraints, e)
+	m.rev++
+}
+
+// SetConstraints replaces the posted constraint list wholesale. The
+// incremental grounder reassembles the list in canonical rule order after
+// patching the grounding cache; when the new list is element-wise identical
+// to the current one the call is a no-op, preserving the cached search
+// metadata.
+func (m *Model) SetConstraints(cs []*Expr) {
+	if len(cs) == len(m.constraints) {
+		same := true
+		for i, c := range cs {
+			if m.constraints[i] != c {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	for _, c := range cs {
+		m.checkBool("require", c)
+	}
+	m.constraints = cs
+	m.rev++
+}
+
+// PatchConst changes the value of a constant node in place. This is the
+// solver half of incremental re-grounding: when only a ground table cell
+// changed between solves, the grounder rewrites the one constant it grounded
+// into instead of rebuilding the expression DAG. The cached linear-propagator
+// shapes covering the constant are refreshed on the next Prepare/Solve.
+func (m *Model) PatchConst(e *Expr, v float64) {
+	if e.Op != OpConst {
+		panic("solver: PatchConst on a non-constant node")
+	}
+	if e.K == v {
+		return
+	}
+	e.K = v
+	m.patched = append(m.patched, int32(e.ID))
 }
 
 // Minimize sets the objective to minimize e.
 func (m *Model) Minimize(e *Expr) {
 	m.checkNumeric("minimize", e)
-	m.objective, m.sense = e, Minimize
+	if m.objective != e || m.sense != Minimize {
+		m.objective, m.sense = e, Minimize
+		m.rev++
+	}
 }
 
 // Maximize sets the objective to maximize e.
 func (m *Model) Maximize(e *Expr) {
 	m.checkNumeric("maximize", e)
-	m.objective, m.sense = e, Maximize
+	if m.objective != e || m.sense != Maximize {
+		m.objective, m.sense = e, Maximize
+		m.rev++
+	}
+}
+
+// SetObjective installs an objective wholesale (nil e with Satisfy clears
+// it); a no-op when nothing changes, preserving cached search metadata —
+// the incremental grounder re-derives the objective every solve the goal
+// predicate churns, and it usually resolves to the same cached expression.
+func (m *Model) SetObjective(e *Expr, s Sense) {
+	if e != nil {
+		m.checkNumeric(s.String(), e)
+	}
+	if m.objective == e && m.sense == s {
+		return
+	}
+	m.objective, m.sense = e, s
+	m.rev++
 }
 
 // SetSatisfy clears the objective (pure constraint satisfaction).
 func (m *Model) SetSatisfy() {
-	m.objective, m.sense = nil, Satisfy
+	if m.objective != nil || m.sense != Satisfy {
+		m.objective, m.sense = nil, Satisfy
+		m.rev++
+	}
 }

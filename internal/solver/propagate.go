@@ -81,6 +81,7 @@ type linRef struct {
 type prepared struct {
 	nExpr int
 	nCons int
+	rev   int64
 
 	exprs     []*Expr   // expression nodes by ID (nil when unreachable)
 	parents   [][]int32 // expression ID -> parent expression IDs
@@ -97,15 +98,26 @@ type prepared struct {
 }
 
 // prepare builds (or returns the cached) search metadata. The cache is
-// invalidated when constraints or expression nodes were added since it was
-// built. Not safe for concurrent use, matching Require/Solve.
+// invalidated when constraints, variables, or expression nodes were added
+// since it was built; constants patched in place (Model.PatchConst) refresh
+// just the linear shapes that cover them. Not safe for concurrent use,
+// matching Require/Solve.
 func (m *Model) prepare() *prepared {
-	if m.prep != nil && m.prep.nExpr == m.NumExprNodes() && m.prep.nCons == len(m.constraints) {
+	if m.prep != nil && m.prep.rev == m.rev && m.prep.nExpr == m.NumExprNodes() {
+		if len(m.patched) > 0 {
+			if !m.prep.refreshPatched(m) {
+				m.prep = nil
+				return m.prepare()
+			}
+			m.patched = m.patched[:0]
+		}
 		return m.prep
 	}
+	m.patched = m.patched[:0]
 	p := &prepared{
 		nExpr:  m.NumExprNodes(),
 		nCons:  len(m.constraints),
+		rev:    m.rev,
 		shapes: map[string]int{},
 	}
 	p.exprs = make([]*Expr, p.nExpr)
@@ -167,6 +179,63 @@ func (m *Model) prepare() *prepared {
 	}
 	m.prep = p
 	return p
+}
+
+// refreshPatched re-extracts the linear shapes of the constraints covering
+// constants patched in place by Model.PatchConst. It returns false when a
+// patched value changed a shape structurally — a coefficient reaching or
+// leaving zero adds or drops terms — in which case the caller rebuilds the
+// whole metadata instead.
+func (p *prepared) refreshPatched(m *Model) bool {
+	// Climb parent links from each patched constant to every expression
+	// covering it.
+	covered := make(map[int32]bool, len(m.patched)*4)
+	var stack []int32
+	for _, id := range m.patched {
+		if int(id) < len(p.exprs) && p.exprs[id] != nil && !covered[id] {
+			covered[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pid := range p.parents[id] {
+			if !covered[pid] {
+				covered[pid] = true
+				stack = append(stack, pid)
+			}
+		}
+	}
+	ciToLin := map[int]int{}
+	for li, ls := range p.lin {
+		ciToLin[ls.ci] = li
+	}
+	for ci, root := range p.conRoot {
+		if !covered[root] {
+			continue
+		}
+		terms, op, k, ok := extractLinear(m.constraints[ci])
+		li, had := ciToLin[ci]
+		isLin := ok && len(terms) > 0
+		if isLin != had {
+			return false // shape appeared or vanished: rebuild
+		}
+		if !isLin {
+			continue // non-linear shapes read constants live
+		}
+		ls := &p.lin[li]
+		if op != ls.op || len(terms) != len(ls.terms) {
+			return false
+		}
+		for i := range terms {
+			if terms[i].v != ls.terms[i].v {
+				return false // term structure shifted: linByVar refs are stale
+			}
+		}
+		ls.terms, ls.k = terms, k
+	}
+	return true
 }
 
 // classifyShape names the propagator shape a constraint grounds into.

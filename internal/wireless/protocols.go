@@ -73,7 +73,12 @@ type Params struct {
 	SolverEngine   string
 	SolverFixpoint bool
 	SolverRestarts int
-	Passes         int // distributed refinement passes
+	// SolverIncremental enables incremental re-grounding with solver-model
+	// patching between ticks; SolverWarmStart seeds each solve from the
+	// previous materialized assignments (see core.Config).
+	SolverIncremental bool
+	SolverWarmStart   bool
+	Passes            int // distributed refinement passes
 
 	Seed int64
 }
@@ -91,6 +96,7 @@ func DefaultParams() Params {
 		TwoHopCost:          true,
 		NegotiationInterval: 800 * time.Millisecond,
 		SolverMaxNodes:      20000,
+		SolverIncremental:   true,
 		Passes:              2,
 		Seed:                7,
 	}
@@ -225,6 +231,8 @@ func centralizedAssignment(t *Topology, p Params, res *Result) (Assignment, erro
 	cfg.SolverEngine = p.SolverEngine
 	cfg.SolverFixpoint = p.SolverFixpoint
 	cfg.SolverRestarts = p.SolverRestarts
+	cfg.SolverIncremental = p.SolverIncremental
+	cfg.SolverWarmStart = p.SolverWarmStart
 	node, err := core.NewNode("manager", entry.Analyze(), cfg, nil)
 	if err != nil {
 		return nil, err
@@ -293,6 +301,8 @@ func distributedAssignment(t *Topology, p Params, res *Result) (Assignment, erro
 		cfg.SolverEngine = p.SolverEngine
 		cfg.SolverFixpoint = p.SolverFixpoint
 		cfg.SolverRestarts = p.SolverRestarts
+		cfg.SolverIncremental = p.SolverIncremental
+		cfg.SolverWarmStart = p.SolverWarmStart
 		node, err := core.NewNode(string(n), ares, cfg, tr)
 		if err != nil {
 			return nil, err

@@ -283,3 +283,31 @@ func TestEngineEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestIncrementalEquivalence runs the centralized and distributed channel
+// assignments with incremental re-grounding against fresh grounding and
+// requires identical throughput series and interference counts.
+func TestIncrementalEquivalence(t *testing.T) {
+	for _, proto := range []Protocol{Centralized, Distributed} {
+		run := func(incremental bool) *Result {
+			p := tinyParams()
+			p.SolverMaxTime = 0 // only the deterministic node budget binds
+			p.SolverIncremental = incremental
+			res, err := Run(p, proto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		inc, fresh := run(true), run(false)
+		if inc.Interference != fresh.Interference {
+			t.Fatalf("%s: interference %d vs %d", proto, inc.Interference, fresh.Interference)
+		}
+		for i := range inc.ThroughputMbps {
+			if inc.ThroughputMbps[i] != fresh.ThroughputMbps[i] {
+				t.Fatalf("%s: throughput[%d] %v vs %v",
+					proto, i, inc.ThroughputMbps[i], fresh.ThroughputMbps[i])
+			}
+		}
+	}
+}
