@@ -21,7 +21,7 @@ bench:
 # fixed iteration count and write BENCH_<date>.json (ns/op, B/op, allocs/op,
 # and every custom metric). Compare files across commits to track the
 # speedup curve.
-BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve
+BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve|BenchmarkCluster
 BENCHJSON_ITERS ?= 10
 BENCHJSON_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 bench-json:
@@ -42,6 +42,8 @@ docs-check:
 ci: lint build test docs-check
 	$(GO) test -count=1 -run 'TestEnginesMatchBruteForce|TestEventEngineTraceMatchesLegacy' ./internal/solver
 	$(GO) test -count=1 -run 'TestIncrementalGroundEquivalence' ./internal/core
+	$(GO) test -count=1 -run 'TestClusterEquivalence' ./internal/acloud ./internal/followsun ./internal/wireless
+	$(GO) test -race -run TestCluster ./internal/cluster/...
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=20s ./internal/colog
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/acloud"
 	"repro/internal/analysis"
+	"repro/internal/cluster"
 	"repro/internal/codegen"
 	"repro/internal/colog"
 	"repro/internal/core"
@@ -700,6 +701,90 @@ func BenchmarkTickResolveFollowSun(b *testing.B) {
 			if last.Ground != nil {
 				b.ReportMetric(float64(last.Ground.ConstsPatched), "consts-patched")
 			}
+		})
+	}
+}
+
+// ------------------------------------------------------- Cluster runtime
+
+// BenchmarkClusterFollowSunRing runs the generated 200-link Follow-the-Sun
+// ring on the concurrent cluster runtime (sparse demand universe, matched
+// rounds negotiating concurrently) and reports negotiation and traffic
+// totals. The workers dimension shows the concurrency win at identical
+// results — sim-mode cluster runs are byte-identical at any pool size.
+func BenchmarkClusterFollowSunRing(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("links=200/workers=%d", workers), func(b *testing.B) {
+			var res *followsun.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = followsun.RunCluster(followsun.RingParams(200), cluster.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var msgs int64
+			for _, st := range res.WireStats {
+				msgs += st.MsgsSent
+			}
+			b.ReportMetric(float64(res.PerLinkSolves), "link-solves")
+			b.ReportMetric(float64(res.Rounds), "rounds")
+			b.ReportMetric(float64(msgs), "msgs-sent")
+			b.ReportMetric(100-res.FinalCost, "cost-reduction-pct")
+		})
+	}
+}
+
+// BenchmarkClusterWirelessGrid runs distributed channel selection on a
+// generated 200-node grid (20 x 10, 355 links) with concurrent negotiation
+// waves, with and without per-(epoch,destination) delta batching. The
+// msgs-sent metric is the acceptance number: batching must reduce it at
+// identical channel decisions.
+func BenchmarkClusterWirelessGrid(b *testing.B) {
+	for _, batch := range []bool{false, true} {
+		batch := batch
+		b.Run(fmt.Sprintf("nodes=200/batch=%v", batch), func(b *testing.B) {
+			var res *wireless.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = wireless.RunClusterWaves(wireless.ScaledGridParams(20, 10),
+					cluster.Options{Workers: 8, BatchDeltas: batch})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var msgs, bytes int64
+			for _, st := range res.WireStats {
+				msgs += st.MsgsSent
+				bytes += st.BytesSent
+			}
+			b.ReportMetric(float64(msgs), "msgs-sent")
+			b.ReportMetric(float64(bytes), "bytes-sent")
+			b.ReportMetric(float64(res.Interference), "interference")
+			b.ReportMetric(float64(res.SolverNodes), "search-nodes")
+		})
+	}
+}
+
+// BenchmarkClusterACloudScaled balances a generated 12-data-center ACloud
+// workload, per-DC COPs solved concurrently on the worker pool; the
+// workers dimension measures the pool speedup on independent solves.
+func BenchmarkClusterACloudScaled(b *testing.B) {
+	p := acloud.ScaledParams(12)
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("dcs=12/workers=%d", workers), func(b *testing.B) {
+			var res *acloud.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = acloud.RunCluster(p, acloud.ACloud, cluster.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MeanStdev, "cpu-stddev")
+			b.ReportMetric(res.MeanMigrations, "migrations/interval")
 		})
 	}
 }

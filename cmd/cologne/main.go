@@ -1,10 +1,17 @@
-// Command cologne runs a Colog program on a single Cologne instance:
-// parse, analyze, load facts, optionally invoke the constraint solver, and
-// dump the resulting tables. It is the quickest way to experiment with the
-// language:
+// Command cologne runs a Colog program: parse, analyze, load facts,
+// optionally invoke the constraint solver, and dump the resulting tables.
+// It is the quickest way to experiment with the language:
 //
 //	cologne -solve program.colog
 //	cologne -param max_migrates=3 -solve -dump assign program.colog
+//
+// By default the program runs on a single Cologne instance. With
+// -cluster-mode, a distributed program (one whose facts carry @-location
+// attributes) runs on one instance per distinct location over the
+// concurrent cluster runtime — simulated network or real UDP sockets:
+//
+//	cologne -cluster-mode sim -solve program.colog
+//	cologne -cluster-mode udp -cluster-workers 4 -cluster-batch -solve program.colog
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster"
 	"repro/internal/colog"
 	"repro/internal/core"
 )
@@ -24,17 +32,21 @@ import (
 // cliOptions holds every cologne flag; registerFlags wires them onto a
 // FlagSet so tests can exercise the flag surface without running main.
 type cliOptions struct {
-	solve    *bool
-	dump     *string
-	maxTime  *time.Duration
-	maxNodes *int64
-	restarts *int
-	engine   *string
-	fixpoint *bool
-	incr     *bool
-	warm     *bool
-	report   *bool
-	params   paramFlags
+	solve       *bool
+	dump        *string
+	maxTime     *time.Duration
+	maxNodes    *int64
+	restarts    *int
+	engine      *string
+	fixpoint    *bool
+	incr        *bool
+	warm        *bool
+	report      *bool
+	clusterMode *string
+	clusterWkrs *int
+	clusterLat  *time.Duration
+	clusterBat  *bool
+	params      paramFlags
 }
 
 func registerFlags(fs *flag.FlagSet) *cliOptions {
@@ -54,6 +66,14 @@ func registerFlags(fs *flag.FlagSet) *cliOptions {
 		warm: fs.Bool("solver-warmstart", false,
 			"seed each solve's value ordering from the previous solve's\nmaterialized assignments (changes incumbents under budgets)"),
 		report: fs.Bool("report", false, "print the static analysis report before running"),
+		clusterMode: fs.String("cluster-mode", "off",
+			"run a distributed program on one instance per fact location:\n'off' (single node), 'sim' (simulated network, deterministic), or\n'udp' (real loopback sockets)"),
+		clusterWkrs: fs.Int("cluster-workers", 0,
+			"cluster epoch worker pool size; 0 derives from GOMAXPROCS, 1 forces\nsequential execution (sim-mode results are identical at any setting)"),
+		clusterLat: fs.Duration("cluster-latency", 2*time.Millisecond,
+			"one-way link latency of the simulated cluster network"),
+		clusterBat: fs.Bool("cluster-batch", false,
+			"batch outgoing deltas per (epoch, destination) into single frames:\nfewer messages, identical delivery contents"),
 	}
 	fs.Var(&o.params, "param", "bind a parameter, e.g. -param max_migrates=3 (repeatable)")
 	return o
@@ -63,6 +83,9 @@ func registerFlags(fs *flag.FlagSet) *cliOptions {
 func (o *cliOptions) config() (core.Config, error) {
 	if *o.engine != "event" && *o.engine != "legacy" {
 		return core.Config{}, fmt.Errorf("unknown -solver-engine %q (want event or legacy)", *o.engine)
+	}
+	if m := *o.clusterMode; m != "off" && m != "sim" && m != "udp" {
+		return core.Config{}, fmt.Errorf("unknown -cluster-mode %q (want off, sim, or udp)", m)
 	}
 	return core.Config{
 		Params:            o.params.vals,
@@ -109,6 +132,12 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if *opts.clusterMode != "off" {
+		if err := runCluster(opts, res, cfg); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
 	node, err := core.NewNode("local", res, cfg, nil)
 	if err != nil {
 		fail("%v", err)
@@ -123,6 +152,123 @@ func main() {
 			sres.Stats.Nodes, sres.Stats.Elapsed.Round(time.Microsecond))
 	}
 	printTables(node, *opts.dump)
+}
+
+// clusterAddrs collects the distinct location values of the program's
+// facts: the node set a clustered run spawns.
+func clusterAddrs(res *analysis.Result) []string {
+	seen := map[string]bool{}
+	var addrs []string
+	for _, f := range res.Program.Facts {
+		ti := res.Tables[f.Atom.Pred]
+		if ti == nil || ti.LocCol < 0 || ti.LocCol >= len(f.Atom.Args) {
+			continue
+		}
+		ct, ok := f.Atom.Args[ti.LocCol].(*colog.ConstTerm)
+		if !ok {
+			continue
+		}
+		addr := ct.Val.S
+		if ct.Val.Kind != colog.KindString {
+			addr = ct.Val.String()
+		}
+		if !seen[addr] {
+			seen[addr] = true
+			addrs = append(addrs, addr)
+		}
+	}
+	sort.Strings(addrs)
+	return addrs
+}
+
+// runCluster executes the program on one instance per fact location over
+// the cluster runtime, solving every node concurrently when -solve is set.
+func runCluster(opts *cliOptions, res *analysis.Result, cfg core.Config) error {
+	addrs := clusterAddrs(res)
+	if len(addrs) == 0 {
+		return fmt.Errorf("cluster mode needs @-located facts to derive the node set (see docs/distribution.md)")
+	}
+	mode := cluster.ModeSim
+	if *opts.clusterMode == "udp" {
+		mode = cluster.ModeUDP
+	}
+	rt := cluster.New(cluster.Options{
+		Mode:        mode,
+		Workers:     *opts.clusterWkrs,
+		Latency:     *opts.clusterLat,
+		BatchDeltas: *opts.clusterBat,
+	})
+	defer rt.Close()
+	specs := make([]cluster.NodeSpec, len(addrs))
+	for i, addr := range addrs {
+		// NewNode loads the program facts addressed to each instance.
+		specs[i] = cluster.NodeSpec{Addr: addr, Program: res, Config: cfg}
+	}
+	if err := rt.SpawnAll(specs); err != nil {
+		return err
+	}
+	rt.Settle()
+	if *opts.solve {
+		items := make([]cluster.Item, len(addrs))
+		for i, addr := range addrs {
+			node := rt.Node(addr)
+			items[i] = cluster.Item{
+				Label: "solve " + addr,
+				Nodes: []string{addr},
+				Run:   func() (*core.SolveResult, error) { return node.Solve(core.SolveOptions{}) },
+			}
+		}
+		st, err := rt.RunEpoch(items)
+		if err != nil {
+			return err
+		}
+		rt.Settle()
+		fmt.Printf("cluster: nodes=%d solves=%d solver-nodes=%d msgs=%d bytes=%d\n",
+			len(addrs), st.Solves, st.SolverNodes, rt.TotalWire().MsgsSent, rt.TotalWire().BytesSent)
+	}
+	printClusterTables(rt, addrs, *opts.dump)
+	return nil
+}
+
+// printClusterTables prints the union of every node's tables as facts,
+// deduplicated (replicated rows appear on several nodes) and sorted.
+func printClusterTables(rt *cluster.Runtime, addrs []string, dump string) {
+	var names []string
+	if dump != "" {
+		names = strings.Split(dump, ",")
+	} else {
+		seen := map[string]bool{}
+		for _, addr := range addrs {
+			for _, name := range rt.Node(addr).TableNames() {
+				if !seen[name] {
+					seen[name] = true
+					names = append(names, name)
+				}
+			}
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		lineSet := map[string]bool{}
+		var lines []string
+		for _, addr := range addrs {
+			for _, row := range rt.Node(addr).Rows(name) {
+				parts := make([]string, len(row))
+				for i, v := range row {
+					parts[i] = v.String()
+				}
+				line := fmt.Sprintf("%s(%s).", name, strings.Join(parts, ","))
+				if !lineSet[line] {
+					lineSet[line] = true
+					lines = append(lines, line)
+				}
+			}
+		}
+		sort.Strings(lines)
+		for _, line := range lines {
+			fmt.Println(line)
+		}
+	}
 }
 
 func printReport(res *analysis.Result) {

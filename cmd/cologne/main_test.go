@@ -4,6 +4,7 @@ import (
 	"flag"
 	"testing"
 
+	"repro/internal/analysis"
 	"repro/internal/colog"
 )
 
@@ -52,6 +53,58 @@ func TestSolverFlagsDocumented(t *testing.T) {
 		if f.Usage == "" {
 			t.Fatalf("flag -%s has no help text", name)
 		}
+	}
+}
+
+// TestClusterFlagsDocumented pins the cluster flags the CLI must expose
+// and document in -help (docs/tuning.md and docscheck rely on them).
+func TestClusterFlagsDocumented(t *testing.T) {
+	fs := flag.NewFlagSet("cologne", flag.ContinueOnError)
+	registerFlags(fs)
+	for _, name := range []string{
+		"cluster-mode", "cluster-workers", "cluster-latency", "cluster-batch",
+	} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+		if f.Usage == "" {
+			t.Fatalf("flag -%s has no help text", name)
+		}
+	}
+}
+
+// TestClusterModeValidation rejects unknown cluster modes.
+func TestClusterModeValidation(t *testing.T) {
+	fs := flag.NewFlagSet("cologne", flag.ContinueOnError)
+	opts := registerFlags(fs)
+	if err := fs.Parse([]string{"-cluster-mode", "carrier-pigeon"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opts.config(); err == nil {
+		t.Fatal("unknown cluster mode accepted")
+	}
+}
+
+// TestClusterAddrs derives the node set from located facts.
+func TestClusterAddrs(t *testing.T) {
+	src := `
+r1 echo(@Y,R) <- link(@X,Y), data(@X,R).
+link("b","a").
+link("a","b").
+data("a",1).
+`
+	prog, err := colog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := clusterAddrs(res)
+	if len(addrs) != 2 || addrs[0] != "a" || addrs[1] != "b" {
+		t.Fatalf("clusterAddrs = %v, want [a b]", addrs)
 	}
 }
 

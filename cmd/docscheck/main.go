@@ -1,6 +1,8 @@
 // Command docscheck is the documentation gate run by `make docs-check` and
-// CI: it fails on broken relative links in README.md and docs/*.md, and on
-// example Go files that are not gofmt-formatted.
+// CI: it fails on broken relative links in README.md and docs/*.md, on
+// example Go files that are not gofmt-formatted, and on flag names
+// mentioned in the docs that the cologne binary does not register — so
+// docs/tuning.md cannot drift from the actual CLI surface.
 package main
 
 import (
@@ -16,12 +18,71 @@ import (
 // syntax and are covered too.
 var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
+// flagDefRe / flagVarRe extract registered flag names from the cologne
+// source (registerFlags is the single registration point, pinned by the
+// cologne flag tests).
+var (
+	flagDefRe = regexp.MustCompile(`fs\.(?:Bool|String|Int64|Int|Float64|Duration)\(\s*"([a-z][a-z0-9-]*)"`)
+	flagVarRe = regexp.MustCompile(`fs\.Var\([^,]+,\s*"([a-z][a-z0-9-]*)"`)
+	// inlineFlagRe matches a backticked bare flag like `-solver-max-time`.
+	inlineFlagRe = regexp.MustCompile("`(-[a-z][a-z0-9-]*)`")
+	// fenceFlagRe matches flag tokens on code-fence lines invoking cologne.
+	fenceFlagRe = regexp.MustCompile(`(?:^|\s)-([a-z][a-z0-9-]*)`)
+)
+
+// cologneFlagNames parses the flag names cologne registers from its source.
+func cologneFlagNames(src string) map[string]bool {
+	names := map[string]bool{}
+	for _, m := range flagDefRe.FindAllStringSubmatch(src, -1) {
+		names[m[1]] = true
+	}
+	for _, m := range flagVarRe.FindAllStringSubmatch(src, -1) {
+		names[m[1]] = true
+	}
+	return names
+}
+
+// docFlagRefs collects every cologne flag a markdown document mentions:
+// backticked bare flags anywhere, and -tokens on code-fence lines that
+// invoke cologne.
+func docFlagRefs(md string) []string {
+	var refs []string
+	for _, m := range inlineFlagRe.FindAllStringSubmatch(md, -1) {
+		refs = append(refs, strings.TrimPrefix(m[1], "-"))
+	}
+	inFence := false
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence || !strings.Contains(line, "cologne ") {
+			continue
+		}
+		for _, m := range fenceFlagRe.FindAllStringSubmatch(line, -1) {
+			refs = append(refs, m[1])
+		}
+	}
+	return refs
+}
+
 func main() {
 	root := "."
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
 	var problems []string
+
+	// Flag drift: every flag the docs mention must exist in cologne's
+	// registered flag set. Skipped when the cologne source is absent (test
+	// fixtures, partial checkouts).
+	var knownFlags map[string]bool
+	if src, err := os.ReadFile(filepath.Join(root, "cmd", "cologne", "main.go")); err == nil {
+		knownFlags = cologneFlagNames(string(src))
+		if len(knownFlags) == 0 {
+			problems = append(problems, "cmd/cologne/main.go: no registered flags found (parser drift?)")
+		}
+	}
 
 	docs := []string{filepath.Join(root, "README.md")}
 	globbed, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
@@ -50,6 +111,13 @@ func main() {
 			resolved := filepath.Join(filepath.Dir(doc), target)
 			if _, err := os.Stat(resolved); err != nil {
 				problems = append(problems, fmt.Sprintf("%s: broken relative link %q", doc, m[1]))
+			}
+		}
+		if knownFlags != nil {
+			for _, ref := range docFlagRefs(string(data)) {
+				if !knownFlags[ref] {
+					problems = append(problems, fmt.Sprintf("%s: stale cologne flag -%s (not in the binary's flag set)", doc, ref))
+				}
 			}
 		}
 	}
@@ -87,5 +155,5 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d docs, links and example formatting OK\n", checked)
+	fmt.Printf("docscheck: %d docs, links, flags, and example formatting OK\n", checked)
 }

@@ -20,6 +20,45 @@ func TestLinkRegexp(t *testing.T) {
 	}
 }
 
+// TestCologneFlagNames parses flag registrations from realistic source.
+func TestCologneFlagNames(t *testing.T) {
+	src := `
+		solve: fs.Bool("solve", false, "x"),
+		maxTime: fs.Duration("solver-max-time", 0, "y"),
+		mode: fs.String("cluster-mode", "off", "z"),
+		n: fs.Int("cluster-workers", 0, "w"),
+	fs.Var(&o.params, "param", "p")
+	`
+	got := cologneFlagNames(src)
+	for _, want := range []string{"solve", "solver-max-time", "cluster-mode", "cluster-workers", "param"} {
+		if !got[want] {
+			t.Fatalf("flag %q not parsed (got %v)", want, got)
+		}
+	}
+}
+
+// TestDocFlagRefs extracts backticked flags and cologne invocation tokens,
+// ignoring fence lines of other tools.
+func TestDocFlagRefs(t *testing.T) {
+	md := "Use `-solver-max-time` or `-cluster-mode`.\n" +
+		"```\n" +
+		"go run ./cmd/cologne -solve -param k=1 prog.colog\n" +
+		"go test -run='^$' -bench=. .\n" +
+		"```\n"
+	got := map[string]bool{}
+	for _, r := range docFlagRefs(md) {
+		got[r] = true
+	}
+	for _, want := range []string{"solver-max-time", "cluster-mode", "solve", "param"} {
+		if !got[want] {
+			t.Fatalf("ref %q not extracted (got %v)", want, got)
+		}
+	}
+	if got["bench"] || got["run"] {
+		t.Fatalf("extracted non-cologne fence flags: %v", got)
+	}
+}
+
 // TestRepoDocsClean runs the checker's logic against the real repository:
 // the same gate CI runs via `make docs-check`.
 func TestRepoDocsClean(t *testing.T) {

@@ -354,6 +354,43 @@ func (c *cluster) heuristicBalance() int {
 	return migs
 }
 
+// nodeConfig assembles one data center's engine configuration.
+func (c *cluster) nodeConfig(entry programs.Entry) core.Config {
+	cfg := entry.Config
+	cfg.SolverMaxNodes = c.p.SolverMaxNodes
+	cfg.SolverMaxTime = c.p.SolverMaxTime
+	cfg.SolverPropagate = true
+	cfg.SolverEngine = c.p.SolverEngine
+	cfg.SolverFixpoint = c.p.SolverFixpoint
+	cfg.SolverRestarts = c.p.SolverRestarts
+	cfg.SolverIncremental = c.p.SolverIncremental
+	cfg.SolverWarmStart = c.p.SolverWarmStart
+	cfg.Keys = map[string][]int{
+		"vmRaw":  {0},
+		"origin": {0},
+		// vm is functionally keyed by the VM id (derived 1:1 from the
+		// keyed vmRaw); declaring the key turns a CPU reading change
+		// into a keyed replace, which the incremental grounder can
+		// absorb by patching constants instead of re-grounding.
+		"vm": {0},
+	}
+	return cfg
+}
+
+// seedDC inserts one data center's host catalog.
+func (c *cluster) seedDC(n *core.Node) error {
+	for h := 0; h < c.p.HostsPerDC; h++ {
+		hid := hostName(h)
+		if err := n.Insert("host", colog.StringVal(hid), colog.IntVal(0), colog.IntVal(0)); err != nil {
+			return err
+		}
+		if err := n.Insert("hostMemThres", colog.StringVal(hid), colog.IntVal(c.p.HostMemMB)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // buildNodes creates one Cologne instance per data center running the
 // ACloud Colog program.
 func (c *cluster) buildNodes(pol Policy) ([]*core.Node, error) {
@@ -361,36 +398,12 @@ func (c *cluster) buildNodes(pol Policy) ([]*core.Node, error) {
 	res := entry.Analyze()
 	nodes := make([]*core.Node, c.p.DCs)
 	for dc := 0; dc < c.p.DCs; dc++ {
-		cfg := entry.Config
-		cfg.SolverMaxNodes = c.p.SolverMaxNodes
-		cfg.SolverMaxTime = c.p.SolverMaxTime
-		cfg.SolverPropagate = true
-		cfg.SolverEngine = c.p.SolverEngine
-		cfg.SolverFixpoint = c.p.SolverFixpoint
-		cfg.SolverRestarts = c.p.SolverRestarts
-		cfg.SolverIncremental = c.p.SolverIncremental
-		cfg.SolverWarmStart = c.p.SolverWarmStart
-		cfg.Keys = map[string][]int{
-			"vmRaw":  {0},
-			"origin": {0},
-			// vm is functionally keyed by the VM id (derived 1:1 from the
-			// keyed vmRaw); declaring the key turns a CPU reading change
-			// into a keyed replace, which the incremental grounder can
-			// absorb by patching constants instead of re-grounding.
-			"vm": {0},
-		}
-		n, err := core.NewNode(fmt.Sprintf("dc%d", dc), res, cfg, nil)
+		n, err := core.NewNode(fmt.Sprintf("dc%d", dc), res, c.nodeConfig(entry), nil)
 		if err != nil {
 			return nil, err
 		}
-		for h := 0; h < c.p.HostsPerDC; h++ {
-			hid := hostName(h)
-			if err := n.Insert("host", colog.StringVal(hid), colog.IntVal(0), colog.IntVal(0)); err != nil {
-				return nil, err
-			}
-			if err := n.Insert("hostMemThres", colog.StringVal(hid), colog.IntVal(c.p.HostMemMB)); err != nil {
-				return nil, err
-			}
+		if err := c.seedDC(n); err != nil {
+			return nil, err
 		}
 		nodes[dc] = n
 	}
@@ -404,66 +417,78 @@ func vmName(id int) string  { return fmt.Sprintf("vm%d", id) }
 func (c *cluster) copBalance(nodes []*core.Node, pol Policy) (int, error) {
 	migs := 0
 	for dc := 0; dc < c.p.DCs; dc++ {
-		n := nodes[dc]
-		// Refresh vmRaw and origin (keyed tables: inserts replace).
-		live := map[int]bool{}
-		for _, id := range c.perDC[dc] {
-			vm := &c.vms[id]
-			cpu := int64(math.Round(vm.cpu))
-			if !vm.on || cpu <= c.p.CPUFloor {
-				// Below the filter: drop from the COP if present.
-				n.Delete("vmRaw", colog.StringVal(vmName(id)), colog.IntVal(prevCPU(n, id)), colog.IntVal(vm.memMB))
-				continue
-			}
-			live[id] = true
-			if err := n.Insert("vmRaw", colog.StringVal(vmName(id)), colog.IntVal(cpu), colog.IntVal(vm.memMB)); err != nil {
-				return 0, err
-			}
-			if pol == ACloudM {
-				// origin feeds the migration-count rules d5/d6.
-				if err := n.Insert("origin", colog.StringVal(vmName(id)), colog.StringVal(hostName(vm.host))); err != nil {
-					return 0, err
-				}
-			}
-		}
-		if len(live) == 0 {
-			continue
-		}
-		// Warm start: LPT-balanced placement for ACloud, the current
-		// placement for ACloud(M) (which must respect the migration cap).
-		hint := c.buildHint(dc, live, pol)
-		sres, err := n.Solve(core.SolveOptions{
-			Hint: func(pred string, vals []colog.Value) (int64, bool) {
-				if pred != "assign" {
-					return 0, false
-				}
-				if hint[vals[0].S] == vals[1].S {
-					return 1, true
-				}
-				return 0, true
-			},
-		})
+		m, _, err := c.copBalanceDC(nodes[dc], dc, pol)
 		if err != nil {
 			return 0, err
 		}
-		if !sres.Feasible() {
-			continue // keep current placement this interval
+		migs += m
+	}
+	return migs, nil
+}
+
+// copBalanceDC refreshes one data center's COP inputs, solves, and applies
+// the placement. It touches only that DC's node and VM entries, so the
+// cluster runtime runs the per-DC balances concurrently.
+func (c *cluster) copBalanceDC(n *core.Node, dc int, pol Policy) (int, *core.SolveResult, error) {
+	// Refresh vmRaw and origin (keyed tables: inserts replace).
+	live := map[int]bool{}
+	for _, id := range c.perDC[dc] {
+		vm := &c.vms[id]
+		cpu := int64(math.Round(vm.cpu))
+		if !vm.on || cpu <= c.p.CPUFloor {
+			// Below the filter: drop from the COP if present.
+			n.Delete("vmRaw", colog.StringVal(vmName(id)), colog.IntVal(prevCPU(n, id)), colog.IntVal(vm.memMB))
+			continue
 		}
-		for _, a := range sres.Assignments {
-			if a.Pred != "assign" || a.Vals[2].I != 1 {
-				continue
-			}
-			id := 0
-			fmt.Sscanf(a.Vals[0].S, "vm%d", &id)
-			h := 0
-			fmt.Sscanf(a.Vals[1].S, "h%d", &h)
-			if c.vms[id].host != h {
-				c.vms[id].host = h
-				migs++
+		live[id] = true
+		if err := n.Insert("vmRaw", colog.StringVal(vmName(id)), colog.IntVal(cpu), colog.IntVal(vm.memMB)); err != nil {
+			return 0, nil, err
+		}
+		if pol == ACloudM {
+			// origin feeds the migration-count rules d5/d6.
+			if err := n.Insert("origin", colog.StringVal(vmName(id)), colog.StringVal(hostName(vm.host))); err != nil {
+				return 0, nil, err
 			}
 		}
 	}
-	return migs, nil
+	if len(live) == 0 {
+		return 0, nil, nil
+	}
+	// Warm start: LPT-balanced placement for ACloud, the current
+	// placement for ACloud(M) (which must respect the migration cap).
+	hint := c.buildHint(dc, live, pol)
+	sres, err := n.Solve(core.SolveOptions{
+		Hint: func(pred string, vals []colog.Value) (int64, bool) {
+			if pred != "assign" {
+				return 0, false
+			}
+			if hint[vals[0].S] == vals[1].S {
+				return 1, true
+			}
+			return 0, true
+		},
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	if !sres.Feasible() {
+		return 0, sres, nil // keep current placement this interval
+	}
+	migs := 0
+	for _, a := range sres.Assignments {
+		if a.Pred != "assign" || a.Vals[2].I != 1 {
+			continue
+		}
+		id := 0
+		fmt.Sscanf(a.Vals[0].S, "vm%d", &id)
+		h := 0
+		fmt.Sscanf(a.Vals[1].S, "h%d", &h)
+		if c.vms[id].host != h {
+			c.vms[id].host = h
+			migs++
+		}
+	}
+	return migs, sres, nil
 }
 
 // prevCPU finds the CPU value currently stored for a VM so keyed deletion

@@ -1,0 +1,58 @@
+package acloud
+
+import (
+	"reflect"
+	"testing"
+
+	clusterpkg "repro/internal/cluster"
+)
+
+func clusterTestParams() Params {
+	p := BenchParams()
+	p.VMsPerHost = 6
+	p.Hours = 1
+	p.SolverMaxNodes = 1500
+	p.SolverMaxTime = 0 // node budget only: deterministic
+	p.Trace.Customers = 20
+	p.Trace.TotalPPs = 150
+	return p
+}
+
+// TestClusterEquivalence: concurrent per-DC balancing must reproduce the
+// sequential run exactly — identical stdev and migration series — for both
+// COP policies at any worker count.
+func TestClusterEquivalence(t *testing.T) {
+	p := clusterTestParams()
+	for _, pol := range []Policy{ACloud, ACloudM} {
+		seq, err := Run(p, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			con, err := RunCluster(p, pol, clusterpkg.Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq.AvgStdev, con.AvgStdev) {
+				t.Fatalf("%s workers=%d: stdev series diverged:\nseq %v\ncon %v", pol, workers, seq.AvgStdev, con.AvgStdev)
+			}
+			if !reflect.DeepEqual(seq.Migrations, con.Migrations) {
+				t.Fatalf("%s workers=%d: migration series diverged:\nseq %v\ncon %v", pol, workers, seq.Migrations, con.Migrations)
+			}
+		}
+	}
+}
+
+// TestScaledParamsRuns: a generated many-DC workload completes under the
+// cluster runtime with per-DC work on the pool.
+func TestScaledParamsRuns(t *testing.T) {
+	p := ScaledParams(8)
+	p.Hours = 0.5
+	res, err := RunCluster(p, ACloud, clusterpkg.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AvgStdev) == 0 {
+		t.Fatal("no intervals recorded")
+	}
+}

@@ -1,0 +1,241 @@
+// Package cluster is the concurrent multi-node runtime: it hosts N Cologne
+// instances over one shared transport and executes their tick/solve/exchange
+// rounds as epochs on a worker pool. It is the layer the paper's
+// "distributed deployment" claim actually runs on — scenario harnesses
+// describe *what* each node does per round (an Item), and the runtime owns
+// *how* the round executes: concurrency, message ordering, node lifecycle
+// (spawn/stop/restart), failure injection, and per-epoch statistics.
+//
+// Two execution modes mirror the two transports:
+//
+//   - Simulation (ModeSim): deliveries are events on a sim.Scheduler. Epochs
+//     run items concurrently but stage every outgoing message in a per-item
+//     buffer; an epoch barrier then replays the buffers into the simulated
+//     network in item order. Because the scheduler never advances during the
+//     concurrent phase, the resulting event schedule — and therefore every
+//     table, objective, and byte counter — is identical to running the items
+//     sequentially. The scenario equivalence suites
+//     (TestClusterEquivalence in acloud/followsun/wireless) pin this.
+//
+//   - UDP (ModeUDP): real sockets, free-running rounds. Items still execute
+//     on the pool, but messages leave immediately and deliveries interleave
+//     with item execution, as they would in the paper's implementation mode.
+//
+// Failure injection goes through transport.FailureInjector: StopNode drops
+// a node (its traffic is lost in flight), RestartNode rebuilds it from its
+// NodeSpec, and PartitionLink/HealLink cut individual links. docs/
+// distribution.md walks through the design.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Mode selects the deployment mode of a Runtime.
+type Mode int
+
+const (
+	// ModeSim runs over the deterministic simulated network (the ns-3
+	// role): virtual time, epoch barrier, byte-identical to sequential.
+	ModeSim Mode = iota
+	// ModeUDP runs over real loopback sockets (the paper's implementation
+	// mode): wall-clock time, free-running asynchronous rounds.
+	ModeUDP
+)
+
+// Options configure a Runtime.
+type Options struct {
+	// Mode selects simulated or UDP transport (default ModeSim).
+	Mode Mode
+	// Workers bounds the epoch worker pool; 0 derives from GOMAXPROCS
+	// (capped at 8), 1 forces sequential execution. Results in ModeSim are
+	// identical at any setting.
+	Workers int
+	// Latency is the simulated one-way link latency (ModeSim only).
+	Latency time.Duration
+	// BatchDeltas holds each item's outgoing deltas for the whole item and
+	// flushes them as one batch frame per (epoch, destination) — fewer,
+	// larger messages with identical contents. Spawn forces the node-level
+	// Config.BatchDeltas knob on to match. Message counts differ from
+	// unbatched runs, so equivalence tests leave this off.
+	BatchDeltas bool
+}
+
+// NodeSpec describes how to build — and after a failure, rebuild — one
+// node: its address, analyzed program, engine configuration, and a Seed
+// hook that inserts the node's base facts. RestartNode replays the spec, so
+// everything a rejoining node must know has to come from Seed or from
+// neighbors re-sending state.
+type NodeSpec struct {
+	Addr    string
+	Program *analysis.Result
+	Config  core.Config
+	// Seed, when non-nil, loads the node's base facts after every (re)spawn.
+	Seed func(n *core.Node) error
+}
+
+type member struct {
+	spec NodeSpec
+	node *core.Node
+	down bool
+}
+
+// Runtime hosts the cluster: nodes, transport, scheduler, and epoch state.
+// Methods are not safe for concurrent use except from within RunEpoch items
+// as documented on Item.
+type Runtime struct {
+	opts    Options
+	sched   *sim.Scheduler // nil in ModeUDP
+	inner   transport.Transport
+	staged  *stagedTransport // nil in ModeUDP
+	members map[string]*member
+	order   []string
+
+	epoch     int
+	history   []EpochStats
+	lastWire  map[string]transport.Stats
+	inEpoch   bool
+	lastDrops int64
+	started   time.Time // ModeUDP epoch for Now()
+}
+
+// New creates an empty cluster runtime.
+func New(o Options) *Runtime {
+	r := &Runtime{
+		opts:     o,
+		members:  map[string]*member{},
+		lastWire: map[string]transport.Stats{},
+	}
+	if o.Mode == ModeUDP {
+		r.inner = transport.NewUDP()
+		r.started = time.Now()
+		return r
+	}
+	r.sched = sim.NewScheduler()
+	r.inner = transport.NewSim(r.sched, o.Latency)
+	r.staged = &stagedTransport{inner: r.inner}
+	return r
+}
+
+// nodeTransport is what spawned nodes register against: the staging wrapper
+// in simulation mode, the real transport in UDP mode.
+func (r *Runtime) nodeTransport() transport.Transport {
+	if r.staged != nil {
+		return r.staged
+	}
+	return r.inner
+}
+
+// Spawn builds the node described by spec, registers it on the cluster
+// transport, runs spec.Seed, and adds it to the cluster.
+func (r *Runtime) Spawn(spec NodeSpec) (*core.Node, error) {
+	if _, dup := r.members[spec.Addr]; dup {
+		return nil, fmt.Errorf("cluster: duplicate node address %q", spec.Addr)
+	}
+	if r.opts.BatchDeltas {
+		spec.Config.BatchDeltas = true
+	}
+	n, err := core.NewNode(spec.Addr, spec.Program, spec.Config, r.nodeTransport())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: spawning %s: %w", spec.Addr, err)
+	}
+	if spec.Seed != nil {
+		if err := spec.Seed(n); err != nil {
+			return nil, fmt.Errorf("cluster: seeding %s: %w", spec.Addr, err)
+		}
+	}
+	r.members[spec.Addr] = &member{spec: spec, node: n}
+	r.order = append(r.order, spec.Addr)
+	return n, nil
+}
+
+// SpawnAll builds and registers every node first, then runs the Seed hooks
+// in spec order. Use it when seed facts ship to other cluster nodes (rule
+// localization replicates base facts to neighbors): with Spawn, a fact
+// could be addressed to a node that is not registered yet. This mirrors how
+// the sequential scenario loops construct all instances before inserting
+// facts.
+func (r *Runtime) SpawnAll(specs []NodeSpec) error {
+	seeds := make([]func(n *core.Node) error, len(specs))
+	nodes := make([]*core.Node, len(specs))
+	for i := range specs {
+		spec := specs[i]
+		seeds[i], spec.Seed = spec.Seed, nil
+		n, err := r.Spawn(spec)
+		if err != nil {
+			return err
+		}
+		// Keep the original Seed in the stored spec so RestartNode replays it.
+		r.members[spec.Addr].spec.Seed = seeds[i]
+		nodes[i] = n
+	}
+	for i, seed := range seeds {
+		if seed == nil {
+			continue
+		}
+		if err := seed(nodes[i]); err != nil {
+			return fmt.Errorf("cluster: seeding %s: %w", specs[i].Addr, err)
+		}
+	}
+	return nil
+}
+
+// Node returns the live instance at addr, or nil when unknown or stopped.
+func (r *Runtime) Node(addr string) *core.Node {
+	m := r.members[addr]
+	if m == nil || m.down {
+		return nil
+	}
+	return m.node
+}
+
+// Addrs lists the cluster's node addresses in spawn order, including
+// stopped nodes.
+func (r *Runtime) Addrs() []string { return append([]string(nil), r.order...) }
+
+// Scheduler returns the simulation scheduler (nil in ModeUDP).
+func (r *Runtime) Scheduler() *sim.Scheduler { return r.sched }
+
+// Now returns the cluster's elapsed time: virtual time in simulation
+// mode, wall-clock time since New in UDP mode. Use it instead of
+// Scheduler().Now() in code that runs in either mode.
+func (r *Runtime) Now() time.Duration {
+	if r.sched != nil {
+		return r.sched.Now()
+	}
+	return time.Since(r.started)
+}
+
+// Transport returns the underlying transport, for byte counters and
+// latency overrides.
+func (r *Runtime) Transport() transport.Transport { return r.inner }
+
+// Advance moves the cluster forward by d: simulated runs execute all
+// network events due within d of virtual time; UDP runs sleep, letting the
+// sockets drain.
+func (r *Runtime) Advance(d time.Duration) {
+	if r.sched != nil {
+		r.sched.Run(r.sched.Now() + d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Settle drains the network: simulated runs execute events until none
+// remain (bounded to guard against runaway loops), UDP runs sleep briefly.
+func (r *Runtime) Settle() {
+	if r.sched != nil {
+		r.sched.RunUntilIdle(1_000_000)
+		return
+	}
+	time.Sleep(50 * time.Millisecond)
+}
+
+// Close releases transport resources (UDP sockets).
+func (r *Runtime) Close() error { return r.inner.Close() }

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Item is one unit of epoch work: a closure driving inserts, deletes, and
+// at most one solve against the nodes it names. Items of one epoch run
+// concurrently, so they must name every node they touch in Nodes and two
+// items of the same epoch may not share a node — RunEpoch rejects overlaps,
+// because overlap is exactly what would make the concurrent schedule
+// diverge from the sequential one. Run may return the item's SolveResult
+// for the epoch statistics (nil is fine).
+type Item struct {
+	// Label identifies the item in errors ("negotiate dc3-dc1").
+	Label string
+	// Nodes lists every node address Run touches.
+	Nodes []string
+	// Run does the work. It must only touch the listed nodes.
+	Run func() (*core.SolveResult, error)
+}
+
+// RunEpoch executes one epoch of items on the worker pool and returns its
+// statistics.
+//
+// In ModeSim the epoch is deterministic: outgoing messages stage in
+// per-item buffers while items run concurrently, and the epoch barrier
+// replays them into the simulated network in item order. No scheduler event
+// runs during the concurrent phase, so the post-barrier event schedule is
+// exactly what sequential item execution would have produced. In ModeUDP
+// items free-run: messages leave as they are produced and deliveries
+// interleave with execution.
+//
+// The returned stats cover the wire traffic since the previous epoch ended;
+// traffic triggered by a later Advance/Settle is folded into this epoch's
+// History entry when the next epoch (or History) closes the window.
+func (r *Runtime) RunEpoch(items []Item) (EpochStats, error) {
+	if r.inEpoch {
+		return EpochStats{}, fmt.Errorf("cluster: RunEpoch is not reentrant")
+	}
+	owner := map[string]int{}
+	for i, it := range items {
+		if len(it.Nodes) == 0 {
+			return EpochStats{}, fmt.Errorf("cluster: item %d (%s) names no nodes", i, it.Label)
+		}
+		for _, addr := range it.Nodes {
+			m := r.members[addr]
+			if m == nil {
+				return EpochStats{}, fmt.Errorf("cluster: item %d (%s) names unknown node %q", i, it.Label, addr)
+			}
+			if m.down {
+				return EpochStats{}, fmt.Errorf("cluster: item %d (%s) names stopped node %q", i, it.Label, addr)
+			}
+			if prev, clash := owner[addr]; clash {
+				return EpochStats{}, fmt.Errorf("cluster: items %d and %d both touch node %q", prev, i, addr)
+			}
+			owner[addr] = i
+		}
+	}
+	r.inEpoch = true
+	defer func() { r.inEpoch = false }()
+	r.closeWindow() // attribute settle traffic to the previous epoch
+
+	if r.staged != nil {
+		r.staged.begin(owner, len(items))
+	}
+	results := make([]*core.SolveResult, len(items))
+	errs := make([]error, len(items))
+	r.runPool(len(items), func(i int) {
+		it := &items[i]
+		if r.opts.BatchDeltas {
+			for _, addr := range it.Nodes {
+				r.members[addr].node.HoldOutbox(true)
+			}
+		}
+		results[i], errs[i] = it.Run()
+		if r.opts.BatchDeltas {
+			for _, addr := range it.Nodes {
+				n := r.members[addr].node
+				n.HoldOutbox(false)
+				if err := n.FlushOutbox(); err != nil && errs[i] == nil {
+					errs[i] = err
+				}
+			}
+		}
+	})
+	if r.staged != nil {
+		if err := r.staged.commit(); err != nil {
+			for i := range errs {
+				if errs[i] == nil {
+					errs[i] = err
+					break
+				}
+			}
+		}
+	}
+
+	st := EpochStats{Epoch: r.epoch, Items: len(items)}
+	r.epoch++
+	var firstErr error
+	for i, res := range results {
+		if errs[i] != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: item %d (%s): %w", i, items[i].Label, errs[i])
+		}
+		if res == nil {
+			continue
+		}
+		st.Solves++
+		st.SolverNodes += res.Stats.Nodes
+		if res.Ground != nil {
+			st.ConstsPatched += res.Ground.ConstsPatched
+		}
+	}
+	d, drops := r.wireDelta()
+	st.MsgsSent, st.BytesSent = d.MsgsSent, d.BytesSent
+	st.MsgsDropped = drops
+	r.history = append(r.history, st)
+	return st, firstErr
+}
+
+// runPool executes fn(0..n-1) on at most Options.Workers goroutines.
+func (r *Runtime) runPool(n int, fn func(int)) {
+	workers := r.opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// stagedMsg is one outgoing message buffered during the concurrent phase.
+type stagedMsg struct {
+	from, to string
+	payload  []byte
+}
+
+// stagedTransport wraps the simulated transport for epoch execution. While
+// an epoch's concurrent phase runs, Send buffers messages per item (keyed
+// by the sending node, which exactly one item owns); commit forwards them
+// to the inner transport in item order. Outside an epoch it is a
+// transparent passthrough. Buffer appends are race-free because each item
+// runs on one goroutine and owns its buffer slot; the begin/commit
+// transitions happen-before/after the worker pool via its WaitGroup.
+type stagedTransport struct {
+	inner transport.Transport
+
+	// staging/owner/bufs are guarded by the worker pool's happens-before
+	// edges (set in begin before the pool starts, read-only during the
+	// phase, cleared in commit after the pool joins) — not by a mutex.
+	staging bool
+	owner   map[string]int
+	bufs    [][]stagedMsg
+	strayMu sync.Mutex
+	stray   []string
+}
+
+// Register implements transport.Transport.
+func (s *stagedTransport) Register(node string, h transport.Handler) { s.inner.Register(node, h) }
+
+// NodeStats implements transport.Transport.
+func (s *stagedTransport) NodeStats(node string) transport.Stats { return s.inner.NodeStats(node) }
+
+// Close implements transport.Transport.
+func (s *stagedTransport) Close() error { return s.inner.Close() }
+
+// Send implements transport.Transport: buffered during an epoch's
+// concurrent phase, passed through otherwise.
+func (s *stagedTransport) Send(from, to string, payload []byte) error {
+	if !s.staging {
+		return s.inner.Send(from, to, payload)
+	}
+	idx, ok := s.owner[from]
+	if !ok {
+		// The sending node is not owned by any item: the item forgot to
+		// list it, which would break both isolation and ordering. Surface
+		// at the barrier and drop the message.
+		s.strayMu.Lock()
+		s.stray = append(s.stray, fmt.Sprintf("%s->%s", from, to))
+		s.strayMu.Unlock()
+		return fmt.Errorf("cluster: node %q sent during an epoch without being listed in any item", from)
+	}
+	s.bufs[idx] = append(s.bufs[idx], stagedMsg{from: from, to: to, payload: payload})
+	return nil
+}
+
+func (s *stagedTransport) begin(owner map[string]int, items int) {
+	s.owner = owner
+	s.bufs = make([][]stagedMsg, items)
+	s.stray = nil
+	s.staging = true
+}
+
+// commit replays the buffered messages in item order and leaves staging
+// mode. Send errors from the inner transport and stray sends are combined
+// into the returned error.
+func (s *stagedTransport) commit() error {
+	s.staging = false
+	var firstErr error
+	for _, buf := range s.bufs {
+		for _, m := range buf {
+			if err := s.inner.Send(m.from, m.to, m.payload); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	s.bufs = nil
+	s.owner = nil
+	if firstErr == nil && len(s.stray) > 0 {
+		firstErr = fmt.Errorf("cluster: unowned sends during epoch: %v", s.stray)
+	}
+	return firstErr
+}

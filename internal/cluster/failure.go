@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// injector returns the transport's failure-injection surface. Both bundled
+// transports implement it.
+func (r *Runtime) injector() transport.FailureInjector {
+	inj, ok := r.inner.(transport.FailureInjector)
+	if !ok {
+		panic(fmt.Sprintf("cluster: transport %T does not support failure injection", r.inner))
+	}
+	return inj
+}
+
+// StopNode drops a node: every message to or from it is silently lost from
+// now on, and the instance is removed from the cluster (Node returns nil).
+// The node's spec is kept so RestartNode can rebuild it.
+func (r *Runtime) StopNode(addr string) error {
+	m := r.members[addr]
+	if m == nil {
+		return fmt.Errorf("cluster: stopping unknown node %q", addr)
+	}
+	if m.down {
+		return fmt.Errorf("cluster: node %q already stopped", addr)
+	}
+	m.down = true
+	m.node = nil // state dies with the instance
+	r.injector().SetNodeDown(addr, true)
+	return nil
+}
+
+// RestartNode rebuilds a stopped node from its NodeSpec — a fresh instance
+// with only its Seed facts, as a rejoining process would come back — and
+// reconnects it to the network. State the node had accumulated before the
+// stop is gone; re-convergence is the protocol's job (and what the
+// failure-injection tests exercise).
+func (r *Runtime) RestartNode(addr string) (*core.Node, error) {
+	m := r.members[addr]
+	if m == nil {
+		return nil, fmt.Errorf("cluster: restarting unknown node %q", addr)
+	}
+	if !m.down {
+		return nil, fmt.Errorf("cluster: node %q is not stopped", addr)
+	}
+	spec := m.spec
+	if r.opts.BatchDeltas {
+		spec.Config.BatchDeltas = true
+	}
+	// Reconnect first so the Seed facts can ship to neighbors.
+	r.injector().SetNodeDown(addr, false)
+	n, err := core.NewNode(spec.Addr, spec.Program, spec.Config, r.nodeTransport())
+	if err != nil {
+		r.injector().SetNodeDown(addr, true)
+		return nil, fmt.Errorf("cluster: restarting %s: %w", addr, err)
+	}
+	if spec.Seed != nil {
+		if err := spec.Seed(n); err != nil {
+			// The half-seeded instance is registered on the transport;
+			// re-down the address so it receives no cluster traffic while
+			// the runtime still reports the node as stopped.
+			r.injector().SetNodeDown(addr, true)
+			return nil, fmt.Errorf("cluster: reseeding %s: %w", addr, err)
+		}
+	}
+	m.node = n
+	m.down = false
+	return n, nil
+}
+
+// PartitionLink cuts the links between a and b in both directions.
+func (r *Runtime) PartitionLink(a, b string) {
+	inj := r.injector()
+	inj.SetLinkDown(a, b, true)
+	inj.SetLinkDown(b, a, true)
+}
+
+// HealLink restores the links between a and b in both directions.
+func (r *Runtime) HealLink(a, b string) {
+	inj := r.injector()
+	inj.SetLinkDown(a, b, false)
+	inj.SetLinkDown(b, a, false)
+}
+
+// SetDeliveryHook installs a transport.DeliveryHook for delayed-delivery
+// and probabilistic-loss experiments (ModeSim only).
+func (r *Runtime) SetDeliveryHook(h transport.DeliveryHook) {
+	st, ok := r.inner.(*transport.Sim)
+	if !ok {
+		panic("cluster: delivery hooks require ModeSim")
+	}
+	st.SetDeliveryHook(h)
+}

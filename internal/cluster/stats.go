@@ -1,0 +1,86 @@
+package cluster
+
+import "repro/internal/transport"
+
+// EpochStats aggregates one epoch's work: how much solving the items did
+// and how much traffic the cluster put on the wire. Wire counters come from
+// transport.Stats deltas over all nodes; solver counters fold the
+// SolveResults the items returned.
+type EpochStats struct {
+	// Epoch numbers epochs from zero per Runtime.
+	Epoch int
+	// Items is the number of work items the epoch ran.
+	Items int
+	// Solves counts items that returned a SolveResult.
+	Solves int
+	// SolverNodes sums the search nodes across those solves.
+	SolverNodes int64
+	// ConstsPatched sums the incremental grounder's in-place constant
+	// patches across those solves (zero unless SolverIncremental).
+	ConstsPatched int
+	// MsgsSent/BytesSent count wire traffic across all nodes in this
+	// epoch's window (see RunEpoch on window attribution).
+	MsgsSent, BytesSent int64
+	// MsgsDropped counts messages lost to failure injection in the window
+	// (simulated transport only).
+	MsgsDropped int64
+}
+
+// History returns the per-epoch statistics recorded so far. Wire traffic
+// since the last epoch (settling, advances) is folded into the final entry
+// first, so the history always accounts for every message.
+func (r *Runtime) History() []EpochStats {
+	r.closeWindow()
+	return append([]EpochStats(nil), r.history...)
+}
+
+// TotalWire sums the wire counters over all nodes, including stopped ones.
+func (r *Runtime) TotalWire() transport.Stats {
+	var total transport.Stats
+	for _, addr := range r.order {
+		st := r.inner.NodeStats(addr)
+		total.MsgsSent += st.MsgsSent
+		total.MsgsReceived += st.MsgsReceived
+		total.BytesSent += st.BytesSent
+		total.BytesReceived += st.BytesReceived
+	}
+	return total
+}
+
+// closeWindow folds wire traffic since the last snapshot into the most
+// recent epoch's history entry.
+func (r *Runtime) closeWindow() {
+	if len(r.history) == 0 {
+		// Pre-epoch traffic (seeding, initial replication) has no epoch to
+		// belong to; wireDelta still advances the snapshot so epoch 0 only
+		// sees its own traffic.
+		r.wireDelta()
+		return
+	}
+	d, drops := r.wireDelta()
+	last := &r.history[len(r.history)-1]
+	last.MsgsSent += d.MsgsSent
+	last.BytesSent += d.BytesSent
+	last.MsgsDropped += drops
+}
+
+// wireDelta returns the per-node-summed traffic since the previous call
+// and advances the snapshot.
+func (r *Runtime) wireDelta() (transport.Stats, int64) {
+	var d transport.Stats
+	for _, addr := range r.order {
+		cur := r.inner.NodeStats(addr)
+		prev := r.lastWire[addr]
+		d.MsgsSent += cur.MsgsSent - prev.MsgsSent
+		d.BytesSent += cur.BytesSent - prev.BytesSent
+		d.MsgsReceived += cur.MsgsReceived - prev.MsgsReceived
+		d.BytesReceived += cur.BytesReceived - prev.BytesReceived
+		r.lastWire[addr] = cur
+	}
+	var drops int64
+	if st, ok := r.inner.(*transport.Sim); ok {
+		drops = st.DroppedMsgs() - r.lastDrops
+		r.lastDrops = st.DroppedMsgs()
+	}
+	return d, drops
+}

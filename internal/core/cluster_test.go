@@ -4,6 +4,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/transport"
 )
 
 const clusterSrc = `
@@ -109,6 +111,52 @@ func TestClusterRowsGathers(t *testing.T) {
 	all := c.Rows("data")
 	if len(all) != 2 || len(all["a"]) != 1 || len(all["b"]) != 1 {
 		t.Fatalf("Rows = %v", all)
+	}
+}
+
+// TestHoldOutboxBatchesPerDestination: with outbox holding and
+// Config.BatchDeltas, all deltas one node ships during an epoch leave as a
+// single frame per destination, and the receiver ends in the same state as
+// an unbatched run.
+func TestHoldOutboxBatchesPerDestination(t *testing.T) {
+	res := mustAnalyze(t, clusterSrc, nil)
+	run := func(batch bool) (transport.Stats, *Cluster) {
+		t.Helper()
+		c, err := NewSimCluster([]string{"a", "b"}, res, Config{BatchDeltas: batch}, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		must := func(err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		must(c.Insert("link", sval("a"), sval("b")))
+		c.Settle()
+		a := c.Node("a")
+		a.HoldOutbox(true)
+		for i := int64(0); i < 5; i++ {
+			must(a.Insert("data", sval("a"), ival(i)))
+		}
+		a.HoldOutbox(false)
+		must(a.FlushOutbox())
+		c.Settle()
+		return c.Transport().NodeStats("a"), c
+	}
+	plain, cp := run(false)
+	batched, cb := run(true)
+	// Each insert ships two deltas to b (the d0 localization table and the
+	// r1 echo); held and batched they leave as one frame.
+	if plain.MsgsSent != 10 || batched.MsgsSent != 1 {
+		t.Fatalf("msgs sent: plain=%d batched=%d, want 10/1", plain.MsgsSent, batched.MsgsSent)
+	}
+	if batched.BytesSent >= plain.BytesSent {
+		t.Fatalf("batching grew bytes: %d >= %d", batched.BytesSent, plain.BytesSent)
+	}
+	// Identical receiver state either way.
+	if got, want := len(cb.Node("b").Rows("echo")), len(cp.Node("b").Rows("echo")); got != want || got != 5 {
+		t.Fatalf("echo rows: batched=%d plain=%d, want 5", got, want)
 	}
 }
 

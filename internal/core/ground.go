@@ -212,6 +212,10 @@ func (r *SolveResult) Feasible() bool {
 func (n *Node) Solve(opts SolveOptions) (*SolveResult, error) {
 	n.mu.Lock()
 	res, err := n.solveLocked(opts)
+	if n.holding {
+		n.mu.Unlock()
+		return res, err
+	}
 	out := n.takeOutbox()
 	n.mu.Unlock()
 	if ferr := n.flush(out); err == nil && ferr != nil {

@@ -46,7 +46,12 @@ func (t *table) ensureIndex(cols []int) *tableIndex {
 }
 
 // ensureIndexNamed is ensureIndex with the cols key precomputed (compiled
-// plan steps cache it to keep probes allocation-free).
+// plan steps cache it to keep probes allocation-free). The build scans the
+// stable arrival-order snapshot — never the rows map, whose iteration order
+// is randomized per run: bucket order decides join enumeration order, which
+// decides derived-tuple arrival order and ultimately the solver's variable
+// order, so a map-order build makes whole search traces nondeterministic
+// (the cluster equivalence suites pin this).
 func (t *table) ensureIndexNamed(name string, cols []int) *tableIndex {
 	if t.indexes == nil {
 		t.indexes = map[string]*tableIndex{}
@@ -54,9 +59,9 @@ func (t *table) ensureIndexNamed(name string, cols []int) *tableIndex {
 	idx, ok := t.indexes[name]
 	if !ok {
 		idx = &tableIndex{cols: cols, m: map[string][][]colog.Value{}}
-		for _, r := range t.rows {
-			k := projKey(r.vals, cols)
-			idx.m[k] = append(idx.m[k], r.vals)
+		for _, vals := range t.snapshotStable() {
+			k := projKey(vals, cols)
+			idx.m[k] = append(idx.m[k], vals)
 		}
 		t.indexes[name] = idx
 	}

@@ -65,6 +65,13 @@ type Config struct {
 	// hint. Warm starts steer the search, so under node or time budgets the
 	// returned incumbent may differ from a cold solve's.
 	SolverWarmStart bool
+	// BatchDeltas coalesces the outgoing deltas of one flush into a single
+	// batch frame per destination (see wireBatchVersion in tuple.go): fewer,
+	// larger messages with identical delivery contents and order. Combined
+	// with HoldOutbox this batches per (epoch, destination), which is what
+	// the cluster runtime enables at scale. Message-level traces (counts)
+	// differ from unbatched runs; table state and solve results do not.
+	BatchDeltas bool
 }
 
 // NodeStats counts a node's evaluation work.
@@ -90,6 +97,7 @@ type Node struct {
 	queue    []delta
 	qhead    int
 	outbox   []outMsg
+	holding  bool
 	draining bool
 	mu       sync.Mutex
 
@@ -265,12 +273,36 @@ func (n *Node) update(pred string, vals []colog.Value, sign int) error {
 	}
 	n.enqueue(delta{Tuple{pred, vals}, sign, false})
 	err := n.drain()
+	if n.holding {
+		n.mu.Unlock()
+		return err
+	}
 	out := n.takeOutbox()
 	n.mu.Unlock()
 	if ferr := n.flush(out); err == nil {
 		err = ferr
 	}
 	return err
+}
+
+// HoldOutbox toggles outbox holding: while held, updates leave their
+// outgoing deltas queued on the node instead of flushing them after each
+// call, so one FlushOutbox at the end of an epoch transmits everything the
+// node produced — one batch frame per destination when Config.BatchDeltas
+// is set. Turning holding off does not flush by itself.
+func (n *Node) HoldOutbox(hold bool) {
+	n.mu.Lock()
+	n.holding = hold
+	n.mu.Unlock()
+}
+
+// FlushOutbox transmits every held outgoing delta. Safe to call when the
+// outbox is empty.
+func (n *Node) FlushOutbox() error {
+	n.mu.Lock()
+	out := n.takeOutbox()
+	n.mu.Unlock()
+	return n.flush(out)
 }
 
 // takeOutbox removes and returns the pending remote sends; the caller must
@@ -282,10 +314,39 @@ func (n *Node) takeOutbox() []outMsg {
 }
 
 // flush transmits buffered messages. Must be called without holding n.mu.
+// With Config.BatchDeltas, messages to the same destination coalesce into
+// one batch frame (delta order within a destination is preserved).
 func (n *Node) flush(out []outMsg) error {
+	if n.cfg.BatchDeltas && len(out) > 1 {
+		return n.flushBatched(out)
+	}
 	var firstErr error
 	for _, m := range out {
 		if err := n.tr.Send(n.Addr, m.to, m.payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// flushBatched groups the outbox per destination (in first-appearance
+// order) and sends one merged frame each.
+func (n *Node) flushBatched(out []outMsg) error {
+	var order []string
+	grouped := make(map[string][][]byte, 4)
+	for _, m := range out {
+		if _, ok := grouped[m.to]; !ok {
+			order = append(order, m.to)
+		}
+		grouped[m.to] = append(grouped[m.to], m.payload)
+	}
+	var firstErr error
+	for _, to := range order {
+		payload, err := MergeDeltaPayloads(grouped[to])
+		if err == nil {
+			err = n.tr.Send(n.Addr, to, payload)
+		}
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -320,15 +381,18 @@ func (n *Node) TableNames() []string {
 	return names
 }
 
-// handleMessage ingests a tuple delta arriving from the network.
+// handleMessage ingests the tuple deltas arriving in one network message
+// (a single delta, or a batch frame applied in order).
 func (n *Node) handleMessage(m transport.Message) {
-	wd, err := decodeDelta(m.Payload)
+	wds, err := decodeDeltas(m.Payload)
 	if err != nil {
 		n.LastError = err
 		return
 	}
-	if err := n.update(wd.Pred, wd.Vals, wd.Sign); err != nil {
-		n.LastError = err
+	for _, wd := range wds {
+		if err := n.update(wd.Pred, wd.Vals, wd.Sign); err != nil {
+			n.LastError = err
+		}
 	}
 }
 

@@ -104,7 +104,16 @@ type wireDelta struct {
 // varint (int), 8 little-endian bytes (float), uvarint length + bytes
 // (string), or one byte (bool). Malformed payloads return an error, never
 // panic (TestMalformedMessageIgnored).
+//
+// A second frame version batches several deltas to one destination into a
+// single message: one wireBatchVersion byte, a uvarint delta count, then
+// each delta's body (everything after the version byte of a version-1
+// frame) back to back. Receivers apply the deltas in frame order, so a
+// batch is observationally identical to its unbatched sequence — only the
+// message count changes. Node.FlushOutbox and the cluster runtime's epoch
+// barrier build such frames per (epoch, destination) at scale.
 const wireDeltaVersion = 1
+const wireBatchVersion = 2
 
 // encodeDelta serializes a tuple delta for the transport.
 func encodeDelta(pred string, vals []colog.Value, sign int) ([]byte, error) {
@@ -140,15 +149,89 @@ func appendWireString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-// decodeDelta deserializes a tuple delta from the transport.
+// MergeDeltaPayloads combines already-encoded single-delta payloads (as
+// produced by encodeDelta, all bound for one destination) into one batch
+// frame. A single payload is returned unchanged, so batching never makes a
+// lone delta bigger.
+func MergeDeltaPayloads(payloads [][]byte) ([]byte, error) {
+	if len(payloads) == 1 {
+		return payloads[0], nil
+	}
+	size := 2 + binary.MaxVarintLen64
+	for _, p := range payloads {
+		size += len(p)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, wireBatchVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(payloads)))
+	for _, p := range payloads {
+		if len(p) == 0 || p[0] != wireDeltaVersion {
+			return nil, fmt.Errorf("core: merging delta payloads: not a version-%d frame", wireDeltaVersion)
+		}
+		buf = append(buf, p[1:]...)
+	}
+	return buf, nil
+}
+
+// decodeDeltas deserializes a transport payload into its tuple deltas:
+// exactly one for a version-1 frame, several in order for a batch frame.
+func decodeDeltas(payload []byte) ([]wireDelta, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("core: decoding delta: malformed header")
+	}
+	switch payload[0] {
+	case wireDeltaVersion:
+		wd, rest, err := decodeDeltaBody(payload[1:])
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("core: decoding delta: malformed trailer")
+		}
+		return []wireDelta{wd}, nil
+	case wireBatchVersion:
+		rest := payload[1:]
+		count, n := binary.Uvarint(rest)
+		if n <= 0 || count > uint64(len(rest)) {
+			return nil, fmt.Errorf("core: decoding delta batch: malformed count")
+		}
+		rest = rest[n:]
+		out := make([]wireDelta, 0, count)
+		for i := uint64(0); i < count; i++ {
+			wd, r, err := decodeDeltaBody(rest)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, wd)
+			rest = r
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("core: decoding delta batch: malformed trailer")
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("core: decoding delta: malformed header")
+	}
+}
+
+// decodeDelta deserializes a single-delta payload from the transport.
 func decodeDelta(payload []byte) (wireDelta, error) {
-	fail := func(what string) (wireDelta, error) {
-		return wireDelta{}, fmt.Errorf("core: decoding delta: malformed %s", what)
+	wds, err := decodeDeltas(payload)
+	if err != nil {
+		return wireDelta{}, err
 	}
-	if len(payload) == 0 || payload[0] != wireDeltaVersion {
-		return fail("header")
+	if len(wds) != 1 {
+		return wireDelta{}, fmt.Errorf("core: decoding delta: %d deltas in frame, want 1", len(wds))
 	}
-	rest := payload[1:]
+	return wds[0], nil
+}
+
+// decodeDeltaBody parses one delta body (a version-1 frame minus its
+// version byte) and returns the remaining bytes.
+func decodeDeltaBody(rest []byte) (wireDelta, []byte, error) {
+	fail := func(what string) (wireDelta, []byte, error) {
+		return wireDelta{}, nil, fmt.Errorf("core: decoding delta: malformed %s", what)
+	}
 	pred, rest, ok := readWireString(rest)
 	if !ok {
 		return fail("predicate")
@@ -202,10 +285,7 @@ func decodeDelta(payload []byte) (wireDelta, error) {
 			return fail("value kind")
 		}
 	}
-	if len(rest) != 0 {
-		return fail("trailer")
-	}
-	return wd, nil
+	return wd, rest, nil
 }
 
 func readWireString(buf []byte) (string, []byte, bool) {

@@ -71,3 +71,86 @@ func TestWireDeltaRejectsMalformed(t *testing.T) {
 		t.Fatal("huge string length accepted")
 	}
 }
+
+// TestWireBatchRoundTrip: merged frames must decode to the original delta
+// sequence in order, and a single payload must pass through unchanged.
+func TestWireBatchRoundTrip(t *testing.T) {
+	var payloads [][]byte
+	want := []wireDelta{
+		{Pred: "a", Vals: []colog.Value{ival(1), sval("x")}, Sign: 1},
+		{Pred: "b", Vals: []colog.Value{colog.FloatVal(2.5)}, Sign: -1},
+		{Pred: "a", Vals: []colog.Value{ival(2), sval("y")}, Sign: 1},
+	}
+	for _, wd := range want {
+		p, err := encodeDelta(wd.Pred, wd.Vals, wd.Sign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, p)
+	}
+
+	single, err := MergeDeltaPayloads(payloads[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &single[0] != &payloads[0][0] {
+		t.Fatal("single payload not passed through unchanged")
+	}
+
+	batch, err := MergeDeltaPayloads(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0] != wireBatchVersion {
+		t.Fatalf("batch version byte = %d", batch[0])
+	}
+	got, err := decodeDeltas(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d deltas, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Pred != want[i].Pred || got[i].Sign != want[i].Sign || len(got[i].Vals) != len(want[i].Vals) {
+			t.Fatalf("delta %d = %+v, want %+v", i, got[i], want[i])
+		}
+		for j := range want[i].Vals {
+			if !got[i].Vals[j].Equal(want[i].Vals[j]) {
+				t.Fatalf("delta %d value %d = %v, want %v", i, j, got[i].Vals[j], want[i].Vals[j])
+			}
+		}
+	}
+
+	// decodeDelta (single-frame path) must reject a batch of several.
+	if _, err := decodeDelta(batch); err == nil {
+		t.Fatal("decodeDelta accepted a multi-delta batch")
+	}
+}
+
+// TestWireBatchRejectsMalformed: batch frames get the same never-panic
+// guarantee as single frames.
+func TestWireBatchRejectsMalformed(t *testing.T) {
+	p1, _ := encodeDelta("p", []colog.Value{ival(7)}, 1)
+	p2, _ := encodeDelta("q", []colog.Value{sval("x")}, -1)
+	batch, err := MergeDeltaPayloads([][]byte{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]byte{
+		batch[:1],            // count missing
+		batch[:len(batch)-1], // truncated last delta
+		append(append([]byte(nil), batch...), 0x7F),           // trailing garbage
+		{wireBatchVersion, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},      // huge count
+		{wireBatchVersion, 0x02, 0x01, 'p', 0x02, 0x00, 0xFF}, // bad inner value
+	}
+	for i, payload := range bad {
+		if _, err := decodeDeltas(payload); err == nil {
+			t.Fatalf("malformed batch %d accepted", i)
+		}
+	}
+	// Merging a frame that is not version 1 must error.
+	if _, err := MergeDeltaPayloads([][]byte{p1, {0xFF}}); err == nil {
+		t.Fatal("merged a non-delta payload")
+	}
+}

@@ -1,0 +1,132 @@
+package followsun
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func clusterTestParams() Params {
+	p := DefaultParams(5)
+	p.DemandMax = 4
+	p.SolverMaxNodes = 4000
+	p.SolverMaxTime = 0 // node budget only: deterministic
+	return p
+}
+
+// TestClusterEquivalence: the concurrent cluster run must be byte-identical
+// to the sequential loop — cost series, migrations, per-link solver traces,
+// and per-node wire counters — at any worker count. This is the sim-mode
+// determinism guarantee of the epoch barrier.
+func TestClusterEquivalence(t *testing.T) {
+	p := clusterTestParams()
+	seq, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		con, err := RunCluster(p, cluster.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Points, con.Points) {
+			t.Fatalf("workers=%d: cost series diverged:\nseq %v\ncon %v", workers, seq.Points, con.Points)
+		}
+		if seq.FinalCost != con.FinalCost || seq.Rounds != con.Rounds ||
+			seq.TotalMigrations != con.TotalMigrations || seq.PerLinkSolves != con.PerLinkSolves {
+			t.Fatalf("workers=%d: summary diverged:\nseq %+v\ncon %+v", workers, seq, con)
+		}
+		if seq.SolverNodes != con.SolverNodes || seq.SolverNodes == 0 {
+			t.Fatalf("workers=%d: solver nodes = %d, want %d", workers, con.SolverNodes, seq.SolverNodes)
+		}
+		if !reflect.DeepEqual(seq.WireStats, con.WireStats) {
+			t.Fatalf("workers=%d: wire traces diverged:\nseq %v\ncon %v", workers, seq.WireStats, con.WireStats)
+		}
+	}
+}
+
+// TestRingGeneratorConverges: a generated sparse-demand ring completes
+// under the cluster runtime and still reduces cost.
+func TestRingGeneratorConverges(t *testing.T) {
+	p := RingParams(12)
+	res, err := RunCluster(p, cluster.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerLinkSolves != 12 {
+		t.Fatalf("solves = %d, want one per ring link", res.PerLinkSolves)
+	}
+	if res.FinalCost > 100 {
+		t.Fatalf("final cost %.1f%% above initial", res.FinalCost)
+	}
+	if len(res.WireStats) != 12 {
+		t.Fatalf("wire stats for %d nodes, want 12", len(res.WireStats))
+	}
+}
+
+// TestRingBatchingReducesMessages: per-(epoch,destination) delta batching
+// must cut the message count on the ring while preserving the outcome.
+func TestRingBatchingReducesMessages(t *testing.T) {
+	p := RingParams(10)
+	plain, err := RunCluster(p, cluster.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := RunCluster(p, cluster.Options{Workers: 4, BatchDeltas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FinalCost != batched.FinalCost || plain.TotalMigrations != batched.TotalMigrations {
+		t.Fatalf("batching changed the outcome: %+v vs %+v", plain, batched)
+	}
+	var plainMsgs, batchMsgs int64
+	for _, st := range plain.WireStats {
+		plainMsgs += st.MsgsSent
+	}
+	for _, st := range batched.WireStats {
+		batchMsgs += st.MsgsSent
+	}
+	if batchMsgs >= plainMsgs {
+		t.Fatalf("batching did not reduce messages: %d >= %d", batchMsgs, plainMsgs)
+	}
+	t.Logf("ring(10): %d msgs unbatched, %d batched", plainMsgs, batchMsgs)
+}
+
+// TestClusterUDPMode: the scenario runner also completes over real UDP
+// sockets (free-running rounds, wall-clock time) — regression for the
+// nil-scheduler panic in Runtime.Now outside simulation mode.
+func TestClusterUDPMode(t *testing.T) {
+	p := RingParams(4)
+	p.NegotiationInterval = 10 * time.Millisecond
+	res, err := RunCluster(p, cluster.Options{Mode: cluster.ModeUDP, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerLinkSolves != 4 {
+		t.Fatalf("solves = %d, want 4", res.PerLinkSolves)
+	}
+	if res.ConvergenceTime <= 0 {
+		t.Fatalf("convergence time = %v, want wall-clock elapsed", res.ConvergenceTime)
+	}
+}
+
+// TestClusterEquivalenceSparse: equivalence also holds for the generated
+// sparse topology (the configuration the scale benchmarks run).
+func TestClusterEquivalenceSparse(t *testing.T) {
+	p := RingParams(8)
+	p.NegotiationInterval = time.Second
+	seq, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	con, err := RunCluster(p, cluster.Options{Workers: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Points, con.Points) || seq.SolverNodes != con.SolverNodes ||
+		!reflect.DeepEqual(seq.WireStats, con.WireStats) {
+		t.Fatalf("sparse ring diverged:\nseq %+v\ncon %+v", seq, con)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/colog"
 	"repro/internal/core"
 	"repro/internal/programs"
@@ -51,6 +52,13 @@ type Params struct {
 	SolverIncremental bool
 	SolverWarmStart   bool
 
+	// SparseDemands restricts each data center's demand universe to itself
+	// (dc rows) and its hosting/cost tables to itself plus its direct
+	// neighbors, instead of the paper's all-pairs tables. Per-link COPs stay
+	// small at any cluster size, which is what makes the generated
+	// 200-link rings tractable (see RingParams).
+	SparseDemands bool
+
 	Seed int64
 }
 
@@ -66,6 +74,19 @@ func DefaultParams(n int) Params {
 		SolverIncremental:   true,
 		Seed:                1,
 	}
+}
+
+// RingParams returns a generated ring scenario of n data centers (and
+// therefore n links): degree-2 topology, sparse demand universe, small
+// per-link COPs. It scales the Follow-the-Sun negotiation parametrically —
+// RingParams(200) is the 200-link scenario the cluster benchmarks run.
+func RingParams(n int) Params {
+	p := DefaultParams(n)
+	p.Degree = 2 // the ring itself; no random chords
+	p.DemandMax = 5
+	p.SolverMaxNodes = 4000
+	p.SparseDemands = true
+	return p
 }
 
 // CostPoint is one sample of the Figure 4 series.
@@ -86,22 +107,57 @@ type Result struct {
 	PerNodeKBps     float64
 	PerLinkSolves   int
 	MeanSolveTime   time.Duration
+	// SolverNodes sums the search nodes over every per-link solve; the
+	// cluster equivalence suite compares it exactly against sequential runs.
+	SolverNodes int64
+	// WireStats holds each data center's transport counters at the end of
+	// the run (the Figure 5 per-node overhead, unnormalized).
+	WireStats map[string]transport.Stats
 }
 
 type runner struct {
 	p      Params
 	rng    *rand.Rand
-	sched  *sim.Scheduler
-	tr     *transport.Sim
+	sched  *sim.Scheduler   // sequential mode (nil when rt drives time)
+	tr     *transport.Sim   // sequential mode transport
+	rt     *cluster.Runtime // cluster mode (nil in sequential runs)
 	nodes  map[string]*core.Node
 	names  []string
 	links  [][2]string // undirected, stored with larger name first (initiator)
+	adj    map[string][]string
 	comm   map[string]map[string]int64
 	mig    map[string]int64 // "x|y" -> cost
 	migSum int64            // accumulated migration cost
 	moved  int64
 	solves int
+	snodes int64
 	stime  time.Duration
+}
+
+// advance moves virtual time forward on whichever engine drives the run.
+func (r *runner) advance(d time.Duration) {
+	if r.rt != nil {
+		r.rt.Advance(d)
+		return
+	}
+	r.sched.Run(r.sched.Now() + d)
+}
+
+// now returns the current virtual time (wall-clock elapsed under a UDP
+// cluster).
+func (r *runner) now() time.Duration {
+	if r.rt != nil {
+		return r.rt.Now()
+	}
+	return r.sched.Now()
+}
+
+// wire returns one node's transport counters.
+func (r *runner) wire(name string) transport.Stats {
+	if r.rt != nil {
+		return r.rt.Transport().NodeStats(name)
+	}
+	return r.tr.NodeStats(name)
 }
 
 // Run executes the distributed Follow-the-Sun negotiation to completion.
@@ -129,52 +185,77 @@ func Run(p Params) (*Result, error) {
 		round++
 		// Advance virtual time by one negotiation interval and let the
 		// network drain.
-		r.sched.Run(r.sched.Now() + p.NegotiationInterval)
+		r.advance(p.NegotiationInterval)
 
 		// Each node initiates at most one negotiation per round; a node
 		// already involved in a negotiation this round is skipped.
-		busy := map[string]bool{}
 		var left [][2]string
-		for _, lk := range pending {
-			x, y := lk[0], lk[1]
-			if busy[x] || busy[y] {
-				left = append(left, lk)
-				continue
-			}
-			busy[x], busy[y] = true, true
-			if err := r.negotiate(x, y); err != nil {
+		for _, lk := range matchRound(pending, &left) {
+			if _, err := r.negotiate(lk[0], lk[1]); err != nil {
 				return nil, err
 			}
 		}
 		pending = left
-		r.sched.Run(r.sched.Now() + 500*time.Millisecond) // settle
-		res.Points = append(res.Points, CostPoint{
-			T:    r.sched.Now(),
-			Cost: 100 * r.totalCost() / res.InitialCost,
-		})
+		r.finishRound(res, round)
 		if round > 10*len(r.links)+10 {
 			return nil, fmt.Errorf("followsun: negotiation did not converge after %d rounds", round)
 		}
 	}
+	r.finalize(res, round)
+	return res, nil
+}
 
-	res.Rounds = round
+// matchRound selects the links negotiating this round — each node
+// initiates or answers at most one negotiation — and appends the rest to
+// left. The matched links are pairwise node-disjoint, which is what lets
+// the cluster runtime execute a whole round concurrently.
+func matchRound(pending [][2]string, left *[][2]string) [][2]string {
+	busy := map[string]bool{}
+	var matched [][2]string
+	for _, lk := range pending {
+		x, y := lk[0], lk[1]
+		if busy[x] || busy[y] {
+			*left = append(*left, lk)
+			continue
+		}
+		busy[x], busy[y] = true, true
+		matched = append(matched, lk)
+	}
+	return matched
+}
+
+// finishRound settles the network and samples the Figure 4 series.
+func (r *runner) finishRound(res *Result, round int) {
+	r.advance(500 * time.Millisecond)
+	res.Points = append(res.Points, CostPoint{
+		T:    r.now(),
+		Cost: 100 * r.totalCost() / res.InitialCost,
+	})
+}
+
+// finalize fills the summary metrics shared by Run and RunCluster.
+func (r *runner) finalize(res *Result, rounds int) {
+	res.Rounds = rounds
 	res.FinalCost = 100 * r.totalCost() / res.InitialCost
 	res.ReductionPct = 100 - res.FinalCost
-	res.ConvergenceTime = r.sched.Now()
+	res.ConvergenceTime = r.now()
 	res.TotalMigrations = r.moved
 	res.PerLinkSolves = r.solves
+	res.SolverNodes = r.snodes
 	if r.solves > 0 {
 		res.MeanSolveTime = r.stime / time.Duration(r.solves)
 	}
-	secs := r.sched.Now().Seconds()
+	res.WireStats = map[string]transport.Stats{}
+	secs := r.now().Seconds()
+	total := 0.0
+	for _, name := range r.names {
+		st := r.wire(name)
+		res.WireStats[name] = st
+		total += float64(st.BytesSent)
+	}
 	if secs > 0 {
-		total := 0.0
-		for _, name := range r.names {
-			total += float64(r.tr.NodeStats(name).BytesSent)
-		}
 		res.PerNodeKBps = total / secs / float64(len(r.names)) / 1024
 	}
-	return res, nil
 }
 
 // setup builds the topology, the cost matrices, and one Cologne instance
@@ -224,10 +305,19 @@ func (r *runner) setup() error {
 		}
 		return r.links[i][1] < r.links[j][1]
 	})
+	r.adj = map[string][]string{}
+	for _, name := range r.names {
+		var nbrs []string
+		for n := range adj[name] {
+			nbrs = append(nbrs, n)
+		}
+		sort.Strings(nbrs)
+		r.adj[name] = nbrs
+	}
 
 	entry := programs.FollowSunDistributed(r.capOrHuge())
 	ares := entry.Analyze()
-	for _, name := range r.names {
+	mkConfig := func() core.Config {
 		cfg := entry.Config
 		cfg.SolverMaxNodes = r.p.SolverMaxNodes
 		cfg.SolverMaxTime = r.p.SolverMaxTime
@@ -237,13 +327,32 @@ func (r *runner) setup() error {
 		cfg.SolverRestarts = r.p.SolverRestarts
 		cfg.SolverIncremental = p.SolverIncremental
 		cfg.SolverWarmStart = p.SolverWarmStart
-		node, err := core.NewNode(name, ares, cfg, r.tr)
-		if err != nil {
+		return cfg
+	}
+	if r.rt != nil {
+		specs := make([]cluster.NodeSpec, len(r.names))
+		for i, name := range r.names {
+			specs[i] = cluster.NodeSpec{Addr: name, Program: ares, Config: mkConfig()}
+		}
+		if err := r.rt.SpawnAll(specs); err != nil {
 			return err
 		}
-		r.nodes[name] = node
+		for _, name := range r.names {
+			r.nodes[name] = r.rt.Node(name)
+		}
+	} else {
+		for _, name := range r.names {
+			node, err := core.NewNode(name, ares, mkConfig(), r.tr)
+			if err != nil {
+				return err
+			}
+			r.nodes[name] = node
+		}
 	}
-	// Facts.
+	// Facts. With SparseDemands, each center hosts allocations only for
+	// itself and its direct neighbors (hostSet) and negotiates only its own
+	// demand (the dc rows); the dense default is the paper's all-pairs
+	// universe.
 	for _, x := range r.names {
 		node := r.nodes[x]
 		r.comm[x] = map[string]int64{}
@@ -258,7 +367,12 @@ func (r *runner) setup() error {
 		if err := node.Insert("resource", colog.StringVal(x), colog.IntVal(p.Capacity)); err != nil {
 			return err
 		}
-		for _, d := range r.names {
+		hostSet := r.names
+		if p.SparseDemands {
+			hostSet = append([]string{x}, r.adj[x]...)
+			sort.Strings(hostSet)
+		}
+		for _, d := range hostSet {
 			cc := int64(0)
 			if d != x {
 				cc = p.CommCostMin + r.rng.Int63n(p.CommCostMax-p.CommCostMin+1)
@@ -267,8 +381,10 @@ func (r *runner) setup() error {
 			if err := node.Insert("commCost", colog.StringVal(x), colog.StringVal(d), colog.IntVal(cc)); err != nil {
 				return err
 			}
-			if err := node.Insert("dc", colog.StringVal(x), colog.StringVal(d)); err != nil {
-				return err
+			if !p.SparseDemands || d == x {
+				if err := node.Insert("dc", colog.StringVal(x), colog.StringVal(d)); err != nil {
+					return err
+				}
 			}
 			alloc := r.rng.Int63n(p.DemandMax + 1)
 			if err := node.Insert("curVm", colog.StringVal(x), colog.StringVal(d), colog.IntVal(alloc)); err != nil {
@@ -291,7 +407,7 @@ func (r *runner) setup() error {
 		}
 	}
 	// Let the shipping rules replicate initial state.
-	r.sched.Run(r.sched.Now() + time.Second)
+	r.advance(time.Second)
 	return nil
 }
 
@@ -302,12 +418,25 @@ func (r *runner) capOrHuge() int64 {
 	return 1 << 30
 }
 
-// negotiate runs one per-link COP at the initiator (the larger address, per
-// the paper's protocol footnote).
-func (r *runner) negotiate(x, y string) error {
+// negotiate runs one per-link COP and folds the outcome into the run
+// totals, returning the solve result for statistics.
+func (r *runner) negotiate(x, y string) (*core.SolveResult, error) {
+	sres, elapsed, err := r.negotiateSolve(x, y)
+	if err != nil {
+		return nil, err
+	}
+	r.fold(x, y, sres, elapsed)
+	return sres, nil
+}
+
+// negotiateSolve does the node-local part of one negotiation at the
+// initiator (the larger address, per the paper's protocol footnote). It
+// touches only node x, so negotiations of node-disjoint links can run
+// concurrently under the cluster runtime.
+func (r *runner) negotiateSolve(x, y string) (*core.SolveResult, time.Duration, error) {
 	node := r.nodes[x]
 	if err := node.Insert("setLink", colog.StringVal(x), colog.StringVal(y)); err != nil {
-		return err
+		return nil, 0, err
 	}
 	start := time.Now()
 	sres, err := node.Solve(core.SolveOptions{
@@ -332,27 +461,39 @@ func (r *runner) negotiate(x, y string) error {
 			return out
 		},
 	})
-	r.stime += time.Since(start)
-	r.solves++
+	elapsed := time.Since(start)
 	if err != nil {
-		return fmt.Errorf("followsun: negotiating %s-%s: %w", x, y, err)
-	}
-	if sres.Feasible() {
-		for _, a := range sres.Assignments {
-			if a.Pred != "migVm" {
-				continue
-			}
-			moved := a.Vals[3].I
-			if moved < 0 {
-				moved = -moved
-			}
-			r.moved += moved
-			r.migSum += moved * r.mig[x+"|"+y]
-		}
+		return nil, 0, fmt.Errorf("followsun: negotiating %s-%s: %w", x, y, err)
 	}
 	// Negotiation done: retract the link selection so the next one starts
 	// from a clean toMigVm table.
-	return node.Delete("setLink", colog.StringVal(x), colog.StringVal(y))
+	if err := node.Delete("setLink", colog.StringVal(x), colog.StringVal(y)); err != nil {
+		return nil, 0, err
+	}
+	return sres, elapsed, nil
+}
+
+// fold accumulates one negotiation's outcome into the run totals. Unlike
+// negotiateSolve it mutates shared state, so cluster rounds call it
+// sequentially in link order after the epoch barrier.
+func (r *runner) fold(x, y string, sres *core.SolveResult, elapsed time.Duration) {
+	r.stime += elapsed
+	r.solves++
+	r.snodes += sres.Stats.Nodes
+	if !sres.Feasible() {
+		return
+	}
+	for _, a := range sres.Assignments {
+		if a.Pred != "migVm" {
+			continue
+		}
+		moved := a.Vals[3].I
+		if moved < 0 {
+			moved = -moved
+		}
+		r.moved += moved
+		r.migSum += moved * r.mig[x+"|"+y]
+	}
 }
 
 // totalCost is the global objective (equation 1): operating plus

@@ -2,6 +2,13 @@
 // in for ns-3 in the paper's simulation mode: Cologne instances exchange
 // messages through a simulated network whose delivery delays are events on
 // this scheduler, so convergence times and message counts are reproducible.
+//
+// Events execute in (time, sequence) order, with sequence numbers assigned
+// at scheduling time. This total order is what the cluster runtime's epoch
+// barrier relies on: replaying staged messages in item order reproduces the
+// exact event schedule of a sequential run (see internal/cluster and
+// docs/distribution.md). The scheduler is single-threaded by design —
+// concurrency lives above it, never inside it.
 package sim
 
 import (

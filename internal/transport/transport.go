@@ -19,17 +19,27 @@ import (
 
 // Message is an opaque payload addressed between named nodes.
 type Message struct {
+	// From and To are the node addresses of the sender and recipient.
 	From, To string
-	Payload  []byte
+	// Payload is the encoded tuple delta (or batch frame) being shipped;
+	// the transport never inspects it.
+	Payload []byte
 }
 
 // Handler consumes messages delivered to a node.
 type Handler func(Message)
 
-// Stats accumulates traffic counters for one node.
+// Stats accumulates traffic counters for one node. These counters are the
+// measurement surface of the paper's Figure 5 per-node communication
+// overhead: the harnesses and the cluster runtime's per-epoch statistics
+// read them through Transport.NodeStats.
 type Stats struct {
-	MsgsSent      int64
-	MsgsReceived  int64
+	// MsgsSent and MsgsReceived count messages (frames, not deltas — a
+	// batch frame counts once).
+	MsgsSent     int64
+	MsgsReceived int64
+	// BytesSent and BytesReceived count payload bytes, excluding
+	// transport-level framing.
 	BytesSent     int64
 	BytesReceived int64
 }
@@ -46,6 +56,18 @@ type Transport interface {
 	NodeStats(node string) Stats
 	// Close releases resources.
 	Close() error
+}
+
+// FailureInjector is implemented by transports that can inject failures for
+// the cluster runtime's churn experiments: a down node silently loses every
+// message to or from it (the sender still counts it as sent, mirroring a
+// datagram lost in flight), and a down directed link loses messages on that
+// link only. Both Sim and UDP implement it.
+type FailureInjector interface {
+	// SetNodeDown drops all traffic to and from node while down.
+	SetNodeDown(node string, down bool)
+	// SetLinkDown drops traffic on the directed link from->to while down.
+	SetLinkDown(from, to string, down bool)
 }
 
 // ErrUnknownNode is returned when sending to an unregistered address.
@@ -69,21 +91,33 @@ type Sim struct {
 	// Loss drops every n-th message when set via DropEvery (testing).
 	dropEvery int64
 	sent      int64
+	dropped   int64
 
-	handlers map[string]Handler
-	links    map[string]time.Duration // "from->to" latency override
-	stats    map[string]*Stats
+	handlers  map[string]Handler
+	links     map[string]time.Duration // "from->to" latency override
+	stats     map[string]*Stats
+	downNodes map[string]bool
+	downLinks map[string]bool // "from->to"
+	hook      DeliveryHook
 }
+
+// DeliveryHook intercepts every message before it is scheduled for
+// delivery: returning drop loses the message (still counted as sent), and
+// extra is added to the link latency. It is the generic failure-injection
+// surface the cluster runtime drives for delayed-delivery experiments.
+type DeliveryHook func(from, to string, payload []byte) (drop bool, extra time.Duration)
 
 // NewSim creates a simulated transport over sched with the given base
 // latency.
 func NewSim(sched *sim.Scheduler, latency time.Duration) *Sim {
 	return &Sim{
-		sched:    sched,
-		Latency:  latency,
-		handlers: map[string]Handler{},
-		links:    map[string]time.Duration{},
-		stats:    map[string]*Stats{},
+		sched:     sched,
+		Latency:   latency,
+		handlers:  map[string]Handler{},
+		links:     map[string]time.Duration{},
+		stats:     map[string]*Stats{},
+		downNodes: map[string]bool{},
+		downLinks: map[string]bool{},
 	}
 }
 
@@ -95,6 +129,34 @@ func (t *Sim) SetLinkLatency(from, to string, d time.Duration) {
 // DropEvery makes the transport silently drop every n-th message (n > 0),
 // for failure-injection tests. Zero disables dropping.
 func (t *Sim) DropEvery(n int64) { t.dropEvery = n }
+
+// SetNodeDown implements FailureInjector: while down, every message to or
+// from node is silently lost (the sender still counts it as sent).
+func (t *Sim) SetNodeDown(node string, down bool) {
+	if down {
+		t.downNodes[node] = true
+	} else {
+		delete(t.downNodes, node)
+	}
+}
+
+// SetLinkDown implements FailureInjector: while down, messages on the
+// directed link from->to are silently lost.
+func (t *Sim) SetLinkDown(from, to string, down bool) {
+	if down {
+		t.downLinks[from+"->"+to] = true
+	} else {
+		delete(t.downLinks, from+"->"+to)
+	}
+}
+
+// SetDeliveryHook installs (or, with nil, removes) a hook consulted for
+// every message; see DeliveryHook.
+func (t *Sim) SetDeliveryHook(h DeliveryHook) { t.hook = h }
+
+// DroppedMsgs returns how many messages were lost to failure injection
+// (DropEvery, down nodes/links, or the delivery hook).
+func (t *Sim) DroppedMsgs() int64 { return t.dropped }
 
 // Register implements Transport.
 func (t *Sim) Register(node string, h Handler) {
@@ -108,8 +170,7 @@ func (t *Sim) Register(node string, h Handler) {
 // after the link latency (plus serialization delay under the bandwidth
 // model).
 func (t *Sim) Send(from, to string, payload []byte) error {
-	h, ok := t.handlers[to]
-	if !ok {
+	if _, ok := t.handlers[to]; !ok {
 		return &ErrUnknownNode{Node: to}
 	}
 	if t.stats[from] == nil {
@@ -120,21 +181,47 @@ func (t *Sim) Send(from, to string, payload []byte) error {
 	st.BytesSent += int64(len(payload))
 	t.sent++
 	if t.dropEvery > 0 && t.sent%t.dropEvery == 0 {
+		t.dropped++
 		return nil // dropped in flight
+	}
+	if t.downNodes[from] || t.downNodes[to] || t.downLinks[from+"->"+to] {
+		t.dropped++
+		return nil // lost to an injected failure
 	}
 	delay := t.Latency
 	if d, ok := t.links[from+"->"+to]; ok {
 		delay = d
+	}
+	if t.hook != nil {
+		drop, extra := t.hook(from, to, payload)
+		if drop {
+			t.dropped++
+			return nil
+		}
+		delay += extra
 	}
 	if t.Bandwidth > 0 {
 		delay += time.Duration(int64(len(payload)) * int64(time.Second) / t.Bandwidth)
 	}
 	msg := Message{From: from, To: to, Payload: append([]byte(nil), payload...)}
 	t.sched.Schedule(delay, func() {
+		// Handler and liveness are re-resolved at delivery time: a node
+		// that stopped (or restarted into a fresh instance) while the
+		// message was in flight must not receive it through its old
+		// handler.
+		if t.downNodes[to] {
+			t.dropped++
+			return
+		}
+		hNow := t.handlers[to]
+		if hNow == nil {
+			t.dropped++
+			return
+		}
 		rst := t.stats[to]
 		rst.MsgsReceived++
 		rst.BytesReceived += int64(len(msg.Payload))
-		h(msg)
+		hNow(msg)
 	})
 	return nil
 }

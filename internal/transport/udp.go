@@ -4,34 +4,62 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
+
+// atomicStats holds one node's traffic counters with atomic fields, so the
+// receive loops and concurrent senders update them without holding the
+// transport mutex and harness code can snapshot them while traffic flows.
+type atomicStats struct {
+	msgsSent, msgsReceived   atomic.Int64
+	bytesSent, bytesReceived atomic.Int64
+}
+
+func (a *atomicStats) snapshot() Stats {
+	return Stats{
+		MsgsSent:      a.msgsSent.Load(),
+		MsgsReceived:  a.msgsReceived.Load(),
+		BytesSent:     a.bytesSent.Load(),
+		BytesReceived: a.bytesReceived.Load(),
+	}
+}
 
 // UDP is a real-socket transport implementing the paper's "implementation
 // mode": the same engine code runs unchanged, but tuples travel over UDP
 // datagrams instead of the simulated network. Each registered node binds a
 // loopback UDP socket; an address book maps node names to socket addresses.
+//
+// Per-node counters are atomic: handlers and senders on many goroutines
+// update them lock-free, and NodeStats reads a consistent snapshot without
+// racing them (the benchmark harness polls counters while traffic flows).
 type UDP struct {
-	mu       sync.Mutex
-	conns    map[string]*net.UDPConn
-	addrs    map[string]*net.UDPAddr
-	handlers map[string]Handler
-	stats    map[string]*Stats
-	closed   bool
-	wg       sync.WaitGroup
+	mu        sync.Mutex
+	conns     map[string]*net.UDPConn
+	addrs     map[string]*net.UDPAddr
+	handlers  map[string]Handler
+	stats     map[string]*atomicStats
+	downNodes map[string]bool
+	downLinks map[string]bool // "from->to"
+	closed    bool
+	wg        sync.WaitGroup
 }
 
 // NewUDP creates an empty UDP transport.
 func NewUDP() *UDP {
 	return &UDP{
-		conns:    map[string]*net.UDPConn{},
-		addrs:    map[string]*net.UDPAddr{},
-		handlers: map[string]Handler{},
-		stats:    map[string]*Stats{},
+		conns:     map[string]*net.UDPConn{},
+		addrs:     map[string]*net.UDPAddr{},
+		handlers:  map[string]Handler{},
+		stats:     map[string]*atomicStats{},
+		downNodes: map[string]bool{},
+		downLinks: map[string]bool{},
 	}
 }
 
 // Register implements Transport: it binds an ephemeral loopback UDP socket
-// for the node and starts its receive loop.
+// for the node and starts its receive loop. Re-registering an existing node
+// replaces its handler and keeps the socket and counters (a node restart
+// resumes its traffic history).
 func (t *UDP) Register(node string, h Handler) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -46,9 +74,34 @@ func (t *UDP) Register(node string, h Handler) {
 	t.conns[node] = conn
 	t.addrs[node] = conn.LocalAddr().(*net.UDPAddr)
 	t.handlers[node] = h
-	t.stats[node] = &Stats{}
+	t.stats[node] = &atomicStats{}
 	t.wg.Add(1)
 	go t.recvLoop(node, conn)
+}
+
+// SetNodeDown implements FailureInjector: while down, messages to and from
+// node are silently lost (senders still count them as sent, mirroring a
+// datagram lost in flight; inbound datagrams are discarded on receive).
+func (t *UDP) SetNodeDown(node string, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if down {
+		t.downNodes[node] = true
+	} else {
+		delete(t.downNodes, node)
+	}
+}
+
+// SetLinkDown implements FailureInjector: while down, messages on the
+// directed link from->to are silently lost.
+func (t *UDP) SetLinkDown(from, to string, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if down {
+		t.downLinks[from+"->"+to] = true
+	} else {
+		delete(t.downLinks, from+"->"+to)
+	}
 }
 
 func (t *UDP) recvLoop(node string, conn *net.UDPConn) {
@@ -71,11 +124,16 @@ func (t *UDP) recvLoop(node string, conn *net.UDPConn) {
 		payload := append([]byte(nil), buf[1+fl:n]...)
 		t.mu.Lock()
 		h := t.handlers[node]
-		if st := t.stats[node]; st != nil {
-			st.MsgsReceived++
-			st.BytesReceived += int64(len(payload))
-		}
+		st := t.stats[node]
+		down := t.downNodes[node] || t.downNodes[from] || t.downLinks[from+"->"+node]
 		t.mu.Unlock()
+		if down {
+			continue // lost to an injected failure
+		}
+		if st != nil {
+			st.msgsReceived.Add(1)
+			st.bytesReceived.Add(int64(len(payload)))
+		}
 		if h != nil {
 			h(Message{From: from, To: node, Payload: payload})
 		}
@@ -88,12 +146,22 @@ func (t *UDP) Send(from, to string, payload []byte) error {
 	dst, ok := t.addrs[to]
 	src := t.conns[from]
 	st := t.stats[from]
+	down := t.downNodes[from] || t.downNodes[to] || t.downLinks[from+"->"+to]
 	t.mu.Unlock()
 	if !ok {
 		return &ErrUnknownNode{Node: to}
 	}
 	if len(from) > 255 {
 		return fmt.Errorf("transport: node name %q too long", from)
+	}
+	if down {
+		// Count as sent, lose in flight: a real datagram to a dead host is
+		// charged to the sender too.
+		if st != nil {
+			st.msgsSent.Add(1)
+			st.bytesSent.Add(int64(len(payload)))
+		}
+		return nil
 	}
 	frame := make([]byte, 0, 1+len(from)+len(payload))
 	frame = append(frame, byte(len(from)))
@@ -112,10 +180,8 @@ func (t *UDP) Send(from, to string, payload []byte) error {
 		}
 	}
 	if err == nil && st != nil {
-		t.mu.Lock()
-		st.MsgsSent++
-		st.BytesSent += int64(len(payload))
-		t.mu.Unlock()
+		st.msgsSent.Add(1)
+		st.bytesSent.Add(int64(len(payload)))
 	}
 	return err
 }
@@ -123,9 +189,10 @@ func (t *UDP) Send(from, to string, payload []byte) error {
 // NodeStats implements Transport.
 func (t *UDP) NodeStats(node string) Stats {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if st, ok := t.stats[node]; ok {
-		return *st
+	st, ok := t.stats[node]
+	t.mu.Unlock()
+	if ok {
+		return st.snapshot()
 	}
 	return Stats{}
 }

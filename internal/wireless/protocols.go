@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/colog"
 	"repro/internal/core"
 	"repro/internal/programs"
@@ -112,10 +113,23 @@ type Result struct {
 	Convergence  time.Duration
 	PerNodeKBps  float64
 	Interference int // residual interfering pairs (two-hop physical model)
+	// SolverNodes sums the search nodes over every negotiation solve (the
+	// cluster equivalence suite compares it exactly).
+	SolverNodes int64
+	// WireStats holds each node's transport counters after a distributed
+	// run (the Figure 6/7 per-node overhead, unnormalized).
+	WireStats map[string]transport.Stats
 }
 
 // Run evaluates one protocol across the configured rate sweep.
 func Run(p Params, proto Protocol) (*Result, error) {
+	return run(p, proto, nil)
+}
+
+// run is the shared harness: the distributed protocols produce their
+// assignment either on the sequential loop (co == nil) or on the cluster
+// runtime.
+func run(p Params, proto Protocol, co *cluster.Options) (*Result, error) {
 	topo := Grid(p.GridW, p.GridH)
 	rng := rand.New(rand.NewSource(p.Seed))
 	if p.RestrictedChannels {
@@ -135,7 +149,11 @@ func Run(p Params, proto Protocol) (*Result, error) {
 	case Centralized:
 		assign, err = centralizedAssignment(topo, p, res)
 	case Distributed, CrossLayer:
-		assign, err = distributedAssignment(topo, p, res)
+		if co != nil {
+			assign, err = distributedAssignmentCluster(topo, p, res, *co)
+		} else {
+			assign, err = distributedAssignment(topo, p, res)
+		}
 	default:
 		return nil, fmt.Errorf("wireless: unknown protocol %d", proto)
 	}
@@ -295,67 +313,35 @@ func distributedAssignment(t *Topology, p Params, res *Result) (Assignment, erro
 	ares := entry.Analyze()
 	nodes := map[NodeID]*core.Node{}
 	for _, n := range t.Nodes {
-		cfg := entry.Config
-		cfg.SolverMaxNodes = p.SolverMaxNodes
-		cfg.SolverMaxTime = p.SolverMaxTime
-		cfg.SolverEngine = p.SolverEngine
-		cfg.SolverFixpoint = p.SolverFixpoint
-		cfg.SolverRestarts = p.SolverRestarts
-		cfg.SolverIncremental = p.SolverIncremental
-		cfg.SolverWarmStart = p.SolverWarmStart
-		node, err := core.NewNode(string(n), ares, cfg, tr)
+		node, err := core.NewNode(string(n), ares, distributedConfig(p, entry), tr)
 		if err != nil {
 			return nil, err
 		}
 		nodes[n] = node
 	}
 	for _, n := range t.Nodes {
-		node := nodes[n]
-		for _, c := range p.Channels {
-			if err := node.Insert("availChannel", colog.IntVal(c)); err != nil {
-				return nil, err
-			}
-		}
-		for _, pc := range t.PrimaryUsers[n] {
-			if err := node.Insert("primaryUser", colog.StringVal(string(n)), colog.IntVal(pc)); err != nil {
-				return nil, err
-			}
-		}
-		if err := node.Insert("numInterface", colog.StringVal(string(n)), colog.IntVal(2)); err != nil {
+		if err := seedWirelessNode(nodes[n], t, p, n); err != nil {
 			return nil, err
-		}
-		for _, nbor := range t.Adj[n] {
-			if err := node.Insert("link", colog.StringVal(string(n)), colog.StringVal(string(nbor))); err != nil {
-				return nil, err
-			}
 		}
 	}
 	sched.Run(sched.Now() + time.Second)
 
-	rounds := 0
 	prev := Assignment{}
 	for pass := 0; pass < maxInt(1, p.Passes); pass++ {
-		order := append([]Link(nil), t.Links...)
-		rand.New(rand.NewSource(p.Seed+int64(pass))).Shuffle(len(order), func(i, j int) {
-			order[i], order[j] = order[j], order[i]
-		})
-		for _, l := range order {
-			initiator := l.A
-			peer := l.B
-			if string(l.B) > string(l.A) {
-				initiator, peer = l.B, l.A
-			}
+		for _, l := range passOrder(t, p, pass) {
+			initiator, peer := initiatorOf(l)
 			node := nodes[initiator]
 			if err := node.Insert("setLink", colog.StringVal(string(initiator)), colog.StringVal(string(peer))); err != nil {
 				return nil, err
 			}
-			if _, err := node.Solve(core.SolveOptions{}); err != nil {
+			sres, err := node.Solve(core.SolveOptions{})
+			if err != nil {
 				return nil, fmt.Errorf("wireless: negotiating %s: %w", l, err)
 			}
+			res.SolverNodes += sres.Stats.Nodes
 			if err := node.Delete("setLink", colog.StringVal(string(initiator)), colog.StringVal(string(peer))); err != nil {
 				return nil, err
 			}
-			rounds++
 			sched.Run(sched.Now() + p.NegotiationInterval)
 		}
 		cur := collectAssignment(t, nodes)
@@ -365,15 +351,75 @@ func distributedAssignment(t *Topology, p Params, res *Result) (Assignment, erro
 		prev = cur
 	}
 	res.Convergence = sched.Now()
+	res.WireStats = map[string]transport.Stats{}
 	secs := sched.Now().Seconds()
+	total := 0.0
+	for _, n := range t.Nodes {
+		st := tr.NodeStats(string(n))
+		res.WireStats[string(n)] = st
+		total += float64(st.BytesSent)
+	}
 	if secs > 0 {
-		total := 0.0
-		for _, n := range t.Nodes {
-			total += float64(tr.NodeStats(string(n)).BytesSent)
-		}
 		res.PerNodeKBps = total / secs / float64(len(t.Nodes)) / 1024
 	}
 	return collectAssignment(t, nodes), nil
+}
+
+// distributedConfig assembles the per-node engine configuration of the
+// distributed protocol.
+func distributedConfig(p Params, entry programs.Entry) core.Config {
+	cfg := entry.Config
+	cfg.SolverMaxNodes = p.SolverMaxNodes
+	cfg.SolverMaxTime = p.SolverMaxTime
+	cfg.SolverEngine = p.SolverEngine
+	cfg.SolverFixpoint = p.SolverFixpoint
+	cfg.SolverRestarts = p.SolverRestarts
+	cfg.SolverIncremental = p.SolverIncremental
+	cfg.SolverWarmStart = p.SolverWarmStart
+	return cfg
+}
+
+// seedWirelessNode inserts one grid node's base facts: its channel pool,
+// primary users, interface count, and incident links. Also the NodeSpec
+// seed hook, so a restarted node rejoins with exactly this state.
+func seedWirelessNode(node *core.Node, t *Topology, p Params, n NodeID) error {
+	for _, c := range p.Channels {
+		if err := node.Insert("availChannel", colog.IntVal(c)); err != nil {
+			return err
+		}
+	}
+	for _, pc := range t.PrimaryUsers[n] {
+		if err := node.Insert("primaryUser", colog.StringVal(string(n)), colog.IntVal(pc)); err != nil {
+			return err
+		}
+	}
+	if err := node.Insert("numInterface", colog.StringVal(string(n)), colog.IntVal(2)); err != nil {
+		return err
+	}
+	for _, nbor := range t.Adj[n] {
+		if err := node.Insert("link", colog.StringVal(string(n)), colog.StringVal(string(nbor))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// passOrder returns the deterministic per-pass negotiation order.
+func passOrder(t *Topology, p Params, pass int) []Link {
+	order := append([]Link(nil), t.Links...)
+	rand.New(rand.NewSource(p.Seed+int64(pass))).Shuffle(len(order), func(i, j int) {
+		order[i], order[j] = order[j], order[i]
+	})
+	return order
+}
+
+// initiatorOf names the link's negotiating endpoint (the larger address)
+// and its peer.
+func initiatorOf(l Link) (NodeID, NodeID) {
+	if string(l.B) > string(l.A) {
+		return l.B, l.A
+	}
+	return l.A, l.B
 }
 
 // collectAssignment reads the materialized assign tables.
