@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json fuzz lint docs-check ci
+.PHONY: build test bench bench-json fuzz fuzz-wire lint docs-check recovery-equivalence ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ bench:
 # fixed iteration count and write BENCH_<date>.json (ns/op, B/op, allocs/op,
 # and every custom metric). Compare files across commits to track the
 # speedup curve.
-BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve|BenchmarkCluster
+BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve|BenchmarkCluster|BenchmarkResync
 BENCHJSON_ITERS ?= 10
 BENCHJSON_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 bench-json:
@@ -34,6 +34,17 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/colog
 
+# Fixed-budget fuzz of the delta wire codec (single + batch frames; signs
+# outside {-1,+1} must be rejected at decode).
+fuzz-wire:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeDeltas -fuzztime=$(FUZZTIME) ./internal/core
+
+# The recovery-equivalence gate: kill/restart mid-run must converge to the
+# byte-identical tables, objectives, and solver traces of an uninterrupted
+# run (runtime suite + all three scenario packages, sim and UDP modes).
+recovery-equivalence:
+	$(GO) test -count=1 -run 'TestRecovery' ./internal/cluster ./internal/acloud ./internal/followsun ./internal/wireless
+
 # Documentation gate: broken relative links in README.md/docs/*.md and
 # unformatted example Go files fail the build.
 docs-check:
@@ -44,7 +55,9 @@ ci: lint build test docs-check
 	$(GO) test -count=1 -run 'TestIncrementalGroundEquivalence' ./internal/core
 	$(GO) test -count=1 -run 'TestClusterEquivalence' ./internal/acloud ./internal/followsun ./internal/wireless
 	$(GO) test -race -run TestCluster ./internal/cluster/...
+	$(GO) test -count=1 -run 'TestRecovery' ./internal/cluster ./internal/acloud ./internal/followsun ./internal/wireless
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=20s ./internal/colog
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeDeltas -fuzztime=20s ./internal/core
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 lint:

@@ -767,6 +767,123 @@ func BenchmarkClusterWirelessGrid(b *testing.B) {
 	}
 }
 
+// resyncBenchSrc is the miniature distributed COP the recovery benchmark
+// runs: per-node picks minimizing weighted cost under a demand floor, with
+// decisions replicated to the ring neighbor (the solve→replicate round
+// shape of the real scenarios; same program as the cluster runtime's own
+// failure-injection suite).
+const resyncBenchSrc = `
+goal minimize C in cost(@X,C).
+var pick(@X,D,V) forall item(@X,D) domain [0,5].
+
+d1 cost(@X,SUM<E>) <- pick(@X,D,V), w(@X,D,W), E==V*W.
+d2 total(@X,SUM<V>) <- pick(@X,D,V).
+c1 total(@X,V) -> need(@X,N), V>=N.
+
+r1 got(@Y,X,D,V2) <- link(@X,Y), pick(@X,D,V), V2:=V.
+`
+
+// BenchmarkResync measures recovery cost on a decision-replicating ring:
+// after churned epochs a node is killed (its in-flight decisions lost) and
+// restarted from its periodic checkpoint, and the automatic anti-entropy
+// exchange pulls it back into alignment. Reported metrics: the
+// restart-to-converged latency and the rows/bytes the exchange pulled —
+// the recovery-cost numbers BENCH_*.json tracks across commits.
+func BenchmarkResync(b *testing.B) {
+	prog, err := colog.Parse(resyncBenchSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ares, err := analysis.Analyze(prog, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes, items = 8, 6
+	specs := make([]cluster.NodeSpec, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		addr := fmt.Sprintf("n%d", i)
+		next := fmt.Sprintf("n%d", (i+1)%nodes)
+		specs[i] = cluster.NodeSpec{
+			Addr:    addr,
+			Program: ares,
+			Config: core.Config{
+				SolverPropagate: true,
+				Keys:            map[string][]int{"got": {0, 1, 2}},
+			},
+			Seed: func(n *core.Node) error {
+				for d := 0; d < items; d++ {
+					dn := fmt.Sprintf("d%d", d)
+					if err := n.Insert("item", colog.StringVal(addr), colog.StringVal(dn)); err != nil {
+						return err
+					}
+					if err := n.Insert("w", colog.StringVal(addr), colog.StringVal(dn), colog.IntVal(int64(i+d+1))); err != nil {
+						return err
+					}
+				}
+				if err := n.Insert("need", colog.StringVal(addr), colog.IntVal(int64(3+i%3))); err != nil {
+					return err
+				}
+				return n.Insert("link", colog.StringVal(addr), colog.StringVal(next))
+			},
+		}
+	}
+	const victim = "n2"
+	var restart time.Duration
+	var rows, bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := cluster.New(cluster.Options{Workers: 4, Latency: time.Millisecond, CheckpointEvery: 1})
+		if err := r.SpawnAll(specs); err != nil {
+			b.Fatal(err)
+		}
+		r.Settle()
+		solveAll := func() {
+			var eps []cluster.Item
+			for _, addr := range r.Addrs() {
+				n := r.Node(addr)
+				eps = append(eps, cluster.Item{
+					Label: "solve " + addr,
+					Nodes: []string{addr},
+					Run:   func() (*core.SolveResult, error) { return n.Solve(core.SolveOptions{}) },
+				})
+			}
+			if _, err := r.RunEpoch(eps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for epoch := 0; epoch < 2; epoch++ {
+			solveAll()
+			for j, addr := range r.Addrs() {
+				if err := r.Node(addr).Insert("need", colog.StringVal(addr), colog.IntVal(int64(5+epoch+j))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := r.StopNode(victim); err != nil {
+			b.Fatal(err)
+		}
+		r.Settle() // in-flight decisions to the victim are lost
+		start := time.Now()
+		if _, err := r.RestartNode(victim); err != nil {
+			b.Fatal(err)
+		}
+		restart += time.Since(start)
+		hist := r.History()
+		for _, st := range hist {
+			rows += st.ResyncRows
+			bytes += st.ResyncBytes
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(restart.Microseconds())/n, "restart-to-converged-us")
+	b.ReportMetric(float64(rows)/n, "resync-rows")
+	b.ReportMetric(float64(bytes)/n, "resync-bytes")
+}
+
 // BenchmarkClusterACloudScaled balances a generated 12-data-center ACloud
 // workload, per-DC COPs solved concurrently on the worker pool; the
 // workers dimension measures the pool speedup on independent solves.

@@ -46,6 +46,8 @@ type cliOptions struct {
 	clusterWkrs *int
 	clusterLat  *time.Duration
 	clusterBat  *bool
+	clusterCkpt *int
+	clusterRsnc *bool
 	params      paramFlags
 }
 
@@ -74,6 +76,10 @@ func registerFlags(fs *flag.FlagSet) *cliOptions {
 			"one-way link latency of the simulated cluster network"),
 		clusterBat: fs.Bool("cluster-batch", false,
 			"batch outgoing deltas per (epoch, destination) into single frames:\nfewer messages, identical delivery contents"),
+		clusterCkpt: fs.Int("cluster-checkpoint-every", 0,
+			"checkpoint every live node's full table state (arrival-order seqs\nincluded) after each N-th epoch; a restarted node restores its latest\ncheckpoint instead of reseeding (0 = no periodic checkpoints)"),
+		clusterRsnc: fs.Bool("cluster-resync", true,
+			"run the automatic anti-entropy digest exchange when a node\nrestarts, pulling the rows it missed while down (see docs/recovery.md)"),
 	}
 	fs.Var(&o.params, "param", "bind a parameter, e.g. -param max_migrates=3 (repeatable)")
 	return o
@@ -193,10 +199,12 @@ func runCluster(opts *cliOptions, res *analysis.Result, cfg core.Config) error {
 		mode = cluster.ModeUDP
 	}
 	rt := cluster.New(cluster.Options{
-		Mode:        mode,
-		Workers:     *opts.clusterWkrs,
-		Latency:     *opts.clusterLat,
-		BatchDeltas: *opts.clusterBat,
+		Mode:            mode,
+		Workers:         *opts.clusterWkrs,
+		Latency:         *opts.clusterLat,
+		BatchDeltas:     *opts.clusterBat,
+		CheckpointEvery: *opts.clusterCkpt,
+		DisableResync:   !*opts.clusterRsnc,
 	})
 	defer rt.Close()
 	specs := make([]cluster.NodeSpec, len(addrs))

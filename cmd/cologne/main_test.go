@@ -63,6 +63,7 @@ func TestClusterFlagsDocumented(t *testing.T) {
 	registerFlags(fs)
 	for _, name := range []string{
 		"cluster-mode", "cluster-workers", "cluster-latency", "cluster-batch",
+		"cluster-checkpoint-every", "cluster-resync",
 	} {
 		f := fs.Lookup(name)
 		if f == nil {

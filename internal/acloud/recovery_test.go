@@ -1,0 +1,73 @@
+package acloud
+
+import (
+	"reflect"
+	"testing"
+
+	clusterpkg "repro/internal/cluster"
+)
+
+// recoveryScript crashes one data center between balancing intervals and
+// restarts it from its periodic checkpoint. ACloud's per-DC COPs are
+// independent — no cross-node tuples — so recovery rests entirely on
+// checkpoint fidelity: the vmRaw catalog, the keyed assignment state, the
+// solver materialization memory, and the arrival-order seqs must all come
+// back exactly for the following intervals to solve identically.
+func recoveryScript(o clusterpkg.Options, failEpoch int) clusterpkg.Options {
+	o.CheckpointEvery = 1
+	o.AfterEpoch = func(r *clusterpkg.Runtime, epoch int) error {
+		if epoch != failEpoch {
+			return nil
+		}
+		victim := r.Addrs()[1]
+		if err := r.StopNode(victim); err != nil {
+			return err
+		}
+		_, err := r.RestartNode(victim)
+		return err
+	}
+	return o
+}
+
+// TestRecoveryEquivalence: killing and restarting a data center mid-run
+// must reproduce the uninterrupted run exactly — identical stdev and
+// migration series — for both COP policies, in simulated and UDP modes.
+func TestRecoveryEquivalence(t *testing.T) {
+	p := clusterTestParams()
+	for _, pol := range []Policy{ACloud, ACloudM} {
+		plain, err := RunCluster(p, pol, clusterpkg.Options{Workers: 4, CheckpointEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recovered, err := RunCluster(p, pol, recoveryScript(clusterpkg.Options{Workers: 4}, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain.AvgStdev, recovered.AvgStdev) {
+			t.Fatalf("%s: stdev series diverged:\nuninterrupted %v\nrecovered %v", pol, plain.AvgStdev, recovered.AvgStdev)
+		}
+		if !reflect.DeepEqual(plain.Migrations, recovered.Migrations) {
+			t.Fatalf("%s: migration series diverged:\nuninterrupted %v\nrecovered %v", pol, plain.Migrations, recovered.Migrations)
+		}
+	}
+}
+
+// TestRecoveryEquivalenceUDP: the same crash with the cluster on real UDP
+// sockets. The per-DC work is local, so the series equality holds in
+// implementation mode too.
+func TestRecoveryEquivalenceUDP(t *testing.T) {
+	p := clusterTestParams()
+	p.Hours = 0.5
+	plain, err := RunCluster(p, ACloud, clusterpkg.Options{Mode: clusterpkg.ModeUDP, Workers: 4, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := RunCluster(p, ACloud, recoveryScript(clusterpkg.Options{Mode: clusterpkg.ModeUDP, Workers: 4}, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.AvgStdev, recovered.AvgStdev) || !reflect.DeepEqual(plain.Migrations, recovered.Migrations) {
+		t.Fatalf("UDP series diverged:\nuninterrupted %v %v\nrecovered %v %v",
+			plain.AvgStdev, plain.Migrations, recovered.AvgStdev, recovered.Migrations)
+	}
+}

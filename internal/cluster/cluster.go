@@ -65,6 +65,28 @@ type Options struct {
 	// Config.BatchDeltas knob on to match. Message counts differ from
 	// unbatched runs, so equivalence tests leave this off.
 	BatchDeltas bool
+	// CheckpointEvery, when positive, exports a checkpoint of every live
+	// node after each N-th epoch (core.Node.ExportCheckpoint: full table
+	// state with arrival-order seq numbers, aggregate views, replica
+	// mirrors). RestartNode then rebuilds a failed node from its latest
+	// checkpoint instead of replaying Seed, and the anti-entropy resync
+	// pulls only what the cluster decided since — checkpoint + delta resync
+	// instead of full state transfer. See docs/recovery.md.
+	CheckpointEvery int
+	// DisableResync turns off the automatic anti-entropy digest exchange
+	// that RestartNode otherwise runs between the restarted node and every
+	// live peer. With it set, re-convergence is back to being the
+	// protocol's job, as before the recovery subsystem.
+	DisableResync bool
+	// ResyncTimeout bounds how long RestartNode waits for the UDP-mode
+	// resync exchanges to drain (simulated runs settle deterministically
+	// instead). Zero means 3s.
+	ResyncTimeout time.Duration
+	// AfterEpoch, when non-nil, runs after every epoch's statistics are
+	// recorded, outside the epoch critical section — the hook may stop and
+	// restart nodes (failure-injection scripts use it to crash a node
+	// between epochs). A returned error fails the RunEpoch call.
+	AfterEpoch func(r *Runtime, epoch int) error
 }
 
 // NodeSpec describes how to build — and after a failure, rebuild — one
@@ -84,6 +106,9 @@ type member struct {
 	spec NodeSpec
 	node *core.Node
 	down bool
+	// checkpoint is the node's most recent exported state (nil before the
+	// first checkpoint).
+	checkpoint []byte
 }
 
 // Runtime hosts the cluster: nodes, transport, scheduler, and epoch state.
@@ -97,20 +122,23 @@ type Runtime struct {
 	members map[string]*member
 	order   []string
 
-	epoch     int
-	history   []EpochStats
-	lastWire  map[string]transport.Stats
-	inEpoch   bool
-	lastDrops int64
-	started   time.Time // ModeUDP epoch for Now()
+	epoch       int
+	history     []EpochStats
+	lastWire    map[string]transport.Stats
+	retiredWire transport.Stats // counters retired by restart-time resets
+	lastResync  map[string]core.ResyncStats
+	inEpoch     bool
+	lastDrops   int64
+	started     time.Time // ModeUDP epoch for Now()
 }
 
 // New creates an empty cluster runtime.
 func New(o Options) *Runtime {
 	r := &Runtime{
-		opts:     o,
-		members:  map[string]*member{},
-		lastWire: map[string]transport.Stats{},
+		opts:       o,
+		members:    map[string]*member{},
+		lastWire:   map[string]transport.Stats{},
+		lastResync: map[string]core.ResyncStats{},
 	}
 	if o.Mode == ModeUDP {
 		r.inner = transport.NewUDP()

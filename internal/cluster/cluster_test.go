@@ -24,13 +24,12 @@ d1 cost(@X,SUM<E>) <- pick(@X,D,V), w(@X,D,W), E==V*W.
 d2 total(@X,SUM<V>) <- pick(@X,D,V).
 c1 total(@X,V) -> need(@X,N), V>=N.
 
-// Continuous replication of decisions to the downstream neighbor, plus a
-// pull-based resync: a sub event at the publisher re-ships every current
-// decision (materialization diffs suppress unchanged rows, so a rejoining
-// subscriber must ask — the failure-injection test exercises exactly this).
+// Continuous replication of decisions to the downstream neighbor. There is
+// no protocol-level resync rule: materialization diffs suppress unchanged
+// rows, so a rejoining subscriber re-learns lost decisions through the
+// runtime's automatic anti-entropy exchange (the failure-injection tests
+// exercise exactly this).
 r1 got(@Y,X,D,V2) <- link(@X,Y), pick(@X,D,V), V2:=V.
-r2 got(@Y,X,D,V2) <- sub(@X,Y), pick(@X,D,V), V2:=V.
-r3 sub(@X,Y) <- resync(@Y,X).
 `
 
 func testProgram(t *testing.T) *analysis.Result {
@@ -59,7 +58,6 @@ func ringSpec(res *analysis.Result, i, n int) NodeSpec {
 		Program: res,
 		Config: core.Config{
 			SolverPropagate: true,
-			Events:          []string{"sub", "resync"},
 			Keys:            map[string][]int{"got": {0, 1, 2}},
 		},
 		Seed: func(nd *core.Node) error {
@@ -208,15 +206,26 @@ func TestClusterEpochValidation(t *testing.T) {
 	}
 }
 
-// TestFailureInjectionAndRejoin: a stopped node loses its traffic; after a
-// restart it is reseeded and neighbor updates flow again — the cluster
-// re-converges.
+// TestClusterFailureInjectionAndRejoin: a stopped node loses its traffic;
+// after a restart the runtime's automatic anti-entropy resync pulls the
+// decisions the node missed — no protocol-level resync rules — and the
+// restart is a statistics boundary (post-restart transport counters start
+// at zero, resync work is accounted in EpochStats).
 func TestClusterFailureInjectionAndRejoin(t *testing.T) {
 	r := buildRing(t, Options{Workers: 4, Latency: time.Millisecond}, 4)
-	if _, err := r.RunEpoch(solveItems(r)); err != nil {
-		t.Fatal(err)
+	// Several churn epochs, so the pre-failure traffic history dwarfs the
+	// later resync exchange (the stats-reset assertion relies on it).
+	for epoch := 0; epoch < 4; epoch++ {
+		if _, err := r.RunEpoch(solveItems(r)); err != nil {
+			t.Fatal(err)
+		}
+		r.Settle()
+		for i, addr := range r.Addrs() {
+			if err := r.Node(addr).Insert("need", sval(addr), ival(int64(5+epoch+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
-	r.Settle()
 	if len(r.Node("n1").Rows("got")) == 0 {
 		t.Fatal("no replicated decisions before failure")
 	}
@@ -226,6 +235,7 @@ func TestClusterFailureInjectionAndRejoin(t *testing.T) {
 	if err := r.StopNode("n1"); err != nil {
 		t.Fatal(err)
 	}
+	preStop := r.Transport().NodeStats("n1")
 	if r.Node("n1") != nil {
 		t.Fatal("stopped node still visible")
 	}
@@ -240,28 +250,20 @@ func TestClusterFailureInjectionAndRejoin(t *testing.T) {
 		t.Fatalf("items = %d, want 3", st.Items)
 	}
 	r.Settle()
-	if st, _ := r.History()[len(r.History())-1], false; st.MsgsDropped == 0 {
+	if st := r.History()[len(r.History())-1]; st.MsgsDropped == 0 {
 		t.Fatalf("no drops recorded while n1 was down: %+v", st)
 	}
 
-	// Rejoin: a fresh instance with only seed facts. The decisions n0
-	// shipped while n1 was down are gone, and materialization diffs mean
-	// they will not re-ship on their own — the rejoining node pulls a
-	// resync from its publisher (the sub event) to re-converge.
+	// Rejoin: a fresh instance with only seed facts, then the automatic
+	// digest exchange. The decisions n0 shipped while n1 was down were
+	// dropped in flight, and materialization diffs mean they would never
+	// re-ship on their own — the anti-entropy pull is what re-converges
+	// the rejoined node.
 	n1, err := r.RestartNode("n1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(n1.Rows("got")) != 0 {
-		t.Fatal("restarted node kept pre-failure state")
-	}
-	// The rejoining node fires a resync request, which travels to the
-	// publisher as a sub event and re-ships every current decision.
-	if err := n1.Insert("resync", sval("n1"), sval("n0")); err != nil {
-		t.Fatal(err)
-	}
-	r.Settle()
-	got := r.Node("n1").Rows("got")
+	got := n1.Rows("got")
 	if len(got) == 0 {
 		t.Fatal("rejoined node received no replicated decisions")
 	}
@@ -282,6 +284,33 @@ func TestClusterFailureInjectionAndRejoin(t *testing.T) {
 	}
 	if replicated != total {
 		t.Fatalf("rejoined node sees %d units from n0, want %d", replicated, total)
+	}
+
+	// The resync work is visible in the statistics, attributed to the last
+	// epoch's window.
+	hist := r.History()
+	last := hist[len(hist)-1]
+	if last.ResyncRows == 0 || last.ResyncBytes == 0 {
+		t.Fatalf("resync not accounted: %+v", last)
+	}
+
+	// Restart boundary: the transport counters of the restarted node were
+	// reset, so they now reflect only post-restart traffic (the resync
+	// exchange), not the pre-failure epochs. Counters are monotonic, so
+	// observing them *lower* than at stop time pins the reset.
+	restarted := r.Transport().NodeStats("n1")
+	if restarted.MsgsSent >= preStop.MsgsSent || restarted.MsgsReceived >= preStop.MsgsReceived {
+		t.Fatalf("restarted node's counters not reset: post-restart %+v vs pre-failure %+v",
+			restarted, preStop)
+	}
+	// History still accounts for every message, including the retired
+	// pre-failure counters.
+	var msgs int64
+	for _, st := range r.History() {
+		msgs += st.MsgsSent
+	}
+	if total := r.TotalWire().MsgsSent; msgs != total {
+		t.Fatalf("history accounts %d msgs, transport saw %d", msgs, total)
 	}
 }
 

@@ -119,7 +119,24 @@ func (r *Runtime) RunEpoch(items []Item) (EpochStats, error) {
 	d, drops := r.wireDelta()
 	st.MsgsSent, st.BytesSent = d.MsgsSent, d.BytesSent
 	st.MsgsDropped = drops
+	st.ResyncRows, st.ResyncBytes = r.resyncDelta()
 	r.history = append(r.history, st)
+
+	// Periodic checkpointing: every node's quiescent post-epoch state
+	// becomes the restart point for failures until the next checkpoint.
+	if n := r.opts.CheckpointEvery; n > 0 && (st.Epoch+1)%n == 0 {
+		if err := r.checkpointAll(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// The AfterEpoch hook runs outside the epoch critical section so
+	// failure scripts can stop and restart nodes from it.
+	r.inEpoch = false
+	if r.opts.AfterEpoch != nil {
+		if err := r.opts.AfterEpoch(r, st.Epoch); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	return st, firstErr
 }
 

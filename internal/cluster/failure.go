@@ -34,11 +34,16 @@ func (r *Runtime) StopNode(addr string) error {
 	return nil
 }
 
-// RestartNode rebuilds a stopped node from its NodeSpec — a fresh instance
-// with only its Seed facts, as a rejoining process would come back — and
-// reconnects it to the network. State the node had accumulated before the
-// stop is gone; re-convergence is the protocol's job (and what the
-// failure-injection tests exercise).
+// RestartNode rebuilds a stopped node and reconnects it to the network.
+// With a checkpoint available (Options.CheckpointEvery or CheckpointNow),
+// the instance is restored from it — tables verbatim, arrival-order seq
+// numbers included; otherwise it comes back fresh with only its Seed
+// facts. Unless Options.DisableResync is set, the runtime then runs the
+// anti-entropy exchange against every live peer, pulling the rows the node
+// missed while it was down (and rolling peers back off anything only the
+// failed instance had asserted). The restart is a statistics boundary:
+// pre-failure wire traffic is attributed to the preceding epoch and the
+// node's transport counters restart at zero.
 func (r *Runtime) RestartNode(addr string) (*core.Node, error) {
 	m := r.members[addr]
 	if m == nil {
@@ -47,28 +52,39 @@ func (r *Runtime) RestartNode(addr string) (*core.Node, error) {
 	if !m.down {
 		return nil, fmt.Errorf("cluster: node %q is not stopped", addr)
 	}
-	spec := m.spec
-	if r.opts.BatchDeltas {
-		spec.Config.BatchDeltas = true
+	// Close the statistics window: everything counted so far belongs to the
+	// failed instance's epochs. Then retire its counters so the restarted
+	// instance starts at zero.
+	r.closeWindow()
+	if resetter, ok := r.inner.(transport.StatsResetter); ok {
+		pre := r.inner.NodeStats(addr)
+		r.retiredWire.MsgsSent += pre.MsgsSent
+		r.retiredWire.MsgsReceived += pre.MsgsReceived
+		r.retiredWire.BytesSent += pre.BytesSent
+		r.retiredWire.BytesReceived += pre.BytesReceived
+		resetter.ResetNodeStats(addr)
 	}
-	// Reconnect first so the Seed facts can ship to neighbors.
+	r.lastWire[addr] = transport.Stats{}
+	delete(r.lastResync, addr)
+
+	// Reconnect first so a reseeding node can ship its base facts to
+	// neighbors (a checkpoint restore sends nothing, but its resync will).
 	r.injector().SetNodeDown(addr, false)
-	n, err := core.NewNode(spec.Addr, spec.Program, spec.Config, r.nodeTransport())
+	n, err := r.restoreOrReseed(m)
 	if err != nil {
+		// A half-built instance may be registered on the transport; re-down
+		// the address so it receives no cluster traffic while the runtime
+		// still reports the node as stopped.
 		r.injector().SetNodeDown(addr, true)
 		return nil, fmt.Errorf("cluster: restarting %s: %w", addr, err)
 	}
-	if spec.Seed != nil {
-		if err := spec.Seed(n); err != nil {
-			// The half-seeded instance is registered on the transport;
-			// re-down the address so it receives no cluster traffic while
-			// the runtime still reports the node as stopped.
-			r.injector().SetNodeDown(addr, true)
-			return nil, fmt.Errorf("cluster: reseeding %s: %w", addr, err)
-		}
-	}
 	m.node = n
 	m.down = false
+	if !r.opts.DisableResync {
+		if err := r.resyncNode(addr); err != nil {
+			return n, err
+		}
+	}
 	return n, nil
 }
 

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecoveryEquivalence: a node killed and restarted between epochs —
+// from its periodic checkpoint, with in-flight traffic lost and pulled
+// back by the automatic anti-entropy exchange — must leave the cluster on
+// a byte-identical trajectory: same tables, same per-epoch solve counts,
+// same solver-node traces as an uninterrupted run. This is the
+// recovery-equivalence CI gate for the runtime itself; the scenario
+// packages pin the same property on the paper's workloads.
+func TestRecoveryEquivalence(t *testing.T) {
+	const nodes, epochs, failEpoch = 5, 4, 1
+	const victim = "n2"
+	churn := func(r *Runtime, epoch int) {
+		// Every node's demand changes every epoch, so every epoch re-ships
+		// decisions on every link — a crash between epochs always loses
+		// in-flight rows.
+		for i, addr := range r.Addrs() {
+			if err := r.Node(addr).Insert("need", sval(addr), ival(int64(5+epoch+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run := func(fail bool) (string, []EpochStats) {
+		r := buildRing(t, Options{Workers: 4, Latency: time.Millisecond, CheckpointEvery: 1}, nodes)
+		for epoch := 0; epoch < epochs; epoch++ {
+			if _, err := r.RunEpoch(solveItems(r)); err != nil {
+				t.Fatal(err)
+			}
+			if fail && epoch == failEpoch {
+				// Crash between epochs: decisions shipped to the victim this
+				// epoch are still in flight and are dropped with it. The
+				// restart restores the post-epoch checkpoint and the resync
+				// pulls exactly the dropped rows.
+				if err := r.StopNode(victim); err != nil {
+					t.Fatal(err)
+				}
+				r.Settle() // in-flight traffic to the victim is lost
+				if _, err := r.RestartNode(victim); err != nil {
+					t.Fatal(err)
+				}
+			}
+			churn(r, epoch)
+			r.Advance(10 * time.Millisecond)
+		}
+		r.Settle()
+		return dump(r), r.History()
+	}
+	plainState, plainHist := run(false)
+	failState, failHist := run(true)
+	if plainState != failState {
+		t.Fatalf("state diverged after kill/restart:\n--- uninterrupted\n%s--- recovered\n%s", plainState, failState)
+	}
+	for i := range plainHist {
+		p, f := plainHist[i], failHist[i]
+		if p.Solves != f.Solves || p.SolverNodes != f.SolverNodes {
+			t.Fatalf("epoch %d solver trace diverged: uninterrupted %d solves/%d nodes, recovered %d/%d",
+				i, p.Solves, p.SolverNodes, f.Solves, f.SolverNodes)
+		}
+	}
+	// The failure run actually exercised the pull path.
+	var rows int64
+	for _, st := range failHist {
+		rows += st.ResyncRows
+	}
+	if rows == 0 {
+		t.Fatal("recovered run pulled no rows — the failure script lost nothing")
+	}
+}
+
+// TestRecoveryEquivalenceViaAfterEpoch: the same property driven through
+// the Options.AfterEpoch hook, which is how the scenario packages inject
+// failures into their cluster runners without exposing epoch loops.
+func TestRecoveryEquivalenceViaAfterEpoch(t *testing.T) {
+	const victim = "n1"
+	run := func(fail bool) string {
+		o := Options{Workers: 2, Latency: time.Millisecond, CheckpointEvery: 1}
+		if fail {
+			o.AfterEpoch = func(r *Runtime, epoch int) error {
+				if epoch != 1 {
+					return nil
+				}
+				if err := r.StopNode(victim); err != nil {
+					return err
+				}
+				r.Settle()
+				_, err := r.RestartNode(victim)
+				return err
+			}
+		}
+		r := buildRing(t, o, 3)
+		for epoch := 0; epoch < 3; epoch++ {
+			if _, err := r.RunEpoch(solveItems(r)); err != nil {
+				t.Fatal(err)
+			}
+			for i, addr := range r.Addrs() {
+				if err := r.Node(addr).Insert("need", sval(addr), ival(int64(5+epoch+i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			r.Advance(10 * time.Millisecond)
+		}
+		r.Settle()
+		return dump(r)
+	}
+	if plain, failed := run(false), run(true); plain != failed {
+		t.Fatalf("AfterEpoch failure script diverged:\n--- uninterrupted\n%s--- recovered\n%s", plain, failed)
+	}
+}
+
+// TestRecoveryStaleCheckpointConverges: a restart from a checkpoint that
+// predates committed work cannot be byte-identical — but the bidirectional
+// exchange must still converge the cluster: peers roll back the failed
+// instance's phantom assertions, and the next solve re-ships current
+// decisions.
+func TestRecoveryStaleCheckpointConverges(t *testing.T) {
+	r := buildRing(t, Options{Workers: 2, Latency: time.Millisecond}, 3)
+	// Checkpoint before any decisions exist, then decide and replicate.
+	if err := r.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunEpoch(solveItems(r)); err != nil {
+		t.Fatal(err)
+	}
+	r.Settle()
+	if len(r.Node("n1").Rows("got")) == 0 {
+		t.Fatal("no replicated decisions")
+	}
+
+	// n0 crashes back to its pre-decision checkpoint. Its decisions are
+	// rolled back everywhere; re-solving re-replicates.
+	if err := r.StopNode("n0"); err != nil {
+		t.Fatal(err)
+	}
+	r.Settle()
+	if _, err := r.RestartNode("n0"); err != nil {
+		t.Fatal(err)
+	}
+	if rows := r.Node("n1").Rows("got"); len(rows) != 0 {
+		t.Fatalf("peer kept %d phantom rows from the rolled-back publisher", len(rows))
+	}
+	if _, err := r.RunEpoch(solveItems(r)); err != nil {
+		t.Fatal(err)
+	}
+	r.Settle()
+	if len(r.Node("n1").Rows("got")) == 0 {
+		t.Fatal("re-solve did not re-replicate decisions")
+	}
+}
+
+// TestClusterUDPFailureResync: failure injection and automatic rejoin over
+// the real-socket transport — SetNodeDown drops traffic both ways, the
+// restart restores the latest checkpoint, and the resync exchange drains
+// over UDP (polled, not scheduled). Runs under the race detector in CI
+// alongside the other TestCluster tests.
+func TestClusterUDPFailureResync(t *testing.T) {
+	r := New(Options{Mode: ModeUDP, Workers: 4, CheckpointEvery: 1})
+	defer r.Close()
+	res := testProgram(t)
+	for i := 0; i < 3; i++ {
+		if _, err := r.Spawn(ringSpec(res, i, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.RunEpoch(solveItems(r)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatal(what)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitFor("decisions never replicated over UDP", func() bool {
+		for _, addr := range r.Addrs() {
+			if len(r.Node(addr).Rows("got")) == 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Kill n1, let its publisher re-decide while it is down (the shipped
+	// update is lost), then restart: checkpoint restore + resync.
+	if err := r.StopNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Node("n0").Insert("need", sval("n0"), ival(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunEpoch(solveItems(r)); err != nil {
+		t.Fatal(err)
+	}
+	r.Settle()
+	n1, err := r.RestartNode("n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The rejoined node converges on its publisher's current decisions.
+	var want int64
+	for _, row := range r.Node("n0").Rows("pick") {
+		want += row[2].I
+	}
+	waitFor("rejoined node never converged on the publisher's decisions", func() bool {
+		var got int64
+		for _, row := range n1.Rows("got") {
+			if row[1].S == "n0" {
+				got += row[3].I
+			}
+		}
+		return got == want && want >= 7
+	})
+	st := n1.ResyncStats()
+	if st.RowsPulled == 0 {
+		t.Fatalf("no resync rows pulled over UDP: %+v", st)
+	}
+}

@@ -24,6 +24,11 @@ type EpochStats struct {
 	// MsgsDropped counts messages lost to failure injection in the window
 	// (simulated transport only).
 	MsgsDropped int64
+	// ResyncRows and ResyncBytes count the anti-entropy work in this
+	// epoch's window: rows applied while reconciling restarted nodes
+	// against their peers, and the payload bytes of the resync rows frames
+	// that carried them (summed over all nodes; see docs/recovery.md).
+	ResyncRows, ResyncBytes int64
 }
 
 // History returns the per-epoch statistics recorded so far. Wire traffic
@@ -34,9 +39,10 @@ func (r *Runtime) History() []EpochStats {
 	return append([]EpochStats(nil), r.history...)
 }
 
-// TotalWire sums the wire counters over all nodes, including stopped ones.
+// TotalWire sums the wire counters over all nodes, including stopped ones
+// and the counters retired when a restart reset a node's statistics.
 func (r *Runtime) TotalWire() transport.Stats {
-	var total transport.Stats
+	total := r.retiredWire
 	for _, addr := range r.order {
 		st := r.inner.NodeStats(addr)
 		total.MsgsSent += st.MsgsSent
@@ -47,21 +53,25 @@ func (r *Runtime) TotalWire() transport.Stats {
 	return total
 }
 
-// closeWindow folds wire traffic since the last snapshot into the most
-// recent epoch's history entry.
+// closeWindow folds wire traffic and resync work since the last snapshot
+// into the most recent epoch's history entry.
 func (r *Runtime) closeWindow() {
 	if len(r.history) == 0 {
 		// Pre-epoch traffic (seeding, initial replication) has no epoch to
 		// belong to; wireDelta still advances the snapshot so epoch 0 only
 		// sees its own traffic.
 		r.wireDelta()
+		r.resyncDelta()
 		return
 	}
 	d, drops := r.wireDelta()
+	rows, bytes := r.resyncDelta()
 	last := &r.history[len(r.history)-1]
 	last.MsgsSent += d.MsgsSent
 	last.BytesSent += d.BytesSent
 	last.MsgsDropped += drops
+	last.ResyncRows += rows
+	last.ResyncBytes += bytes
 }
 
 // wireDelta returns the per-node-summed traffic since the previous call

@@ -116,6 +116,11 @@ type Node struct {
 	groundDeltas map[string]map[string]*netDelta
 	deltaKeyBuf  []byte
 
+	// Replica mirrors and resync-protocol state (recovery.go): what this
+	// node has asserted at each peer, what each peer has asserted here, the
+	// in-progress chunked resync sessions, and the pull counters.
+	repl replica
+
 	// OnInvokeSolver, when non-nil, runs instead of the default Solve
 	// whenever an invokeSolver event fires.
 	OnInvokeSolver func(n *Node)
@@ -132,6 +137,50 @@ type Node struct {
 // NewNode creates a Cologne instance for an analyzed program. The node
 // registers itself on the transport under addr.
 func NewNode(addr string, res *analysis.Result, cfg Config, tr transport.Transport) (*Node, error) {
+	n, err := newNode(addr, res, cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	// Load program facts addressed to this node (or unaddressed facts in
+	// centralized mode).
+	for _, f := range res.Program.Facts {
+		vals := make([]colog.Value, len(f.Atom.Args))
+		for i, a := range f.Atom.Args {
+			vals[i] = a.(*colog.ConstTerm).Val
+		}
+		ti := res.Tables[f.Atom.Pred]
+		if ti.LocCol >= 0 && vals[ti.LocCol].S != addr {
+			continue
+		}
+		if err := n.Insert(f.Atom.Pred, vals...); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// RestoreNode rebuilds a node from a checkpoint exported by
+// ExportCheckpoint: the instance is constructed without loading program
+// facts (the checkpoint is the state those facts — and everything after
+// them — produced) and the checkpointed tables, aggregate views, replica
+// mirrors, and materialization memory are installed verbatim, including
+// every row's arrival-order seq. No deltas are emitted and nothing is sent:
+// a restored node resumes exactly where the checkpoint left off, and the
+// anti-entropy resync (StartResync) pulls whatever the cluster decided
+// since.
+func RestoreNode(addr string, res *analysis.Result, cfg Config, tr transport.Transport, checkpoint []byte) (*Node, error) {
+	n, err := newNode(addr, res, cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.ImportCheckpoint(checkpoint); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// newNode builds and registers an instance without loading program facts.
+func newNode(addr string, res *analysis.Result, cfg Config, tr transport.Transport) (*Node, error) {
 	plans, err := compileRules(res)
 	if err != nil {
 		return nil, err
@@ -158,24 +207,10 @@ func NewNode(addr string, res *analysis.Result, cfg Config, tr transport.Transpo
 		n.tables[InvokeSolverPred] = newTable(InvokeSolverPred, 0, nil, true)
 	}
 	n.dirtyGroups = map[int]bool{}
+	n.repl.init()
 	n.initDred()
 	if tr != nil {
 		tr.Register(addr, n.handleMessage)
-	}
-	// Load program facts addressed to this node (or unaddressed facts in
-	// centralized mode).
-	for _, f := range res.Program.Facts {
-		vals := make([]colog.Value, len(f.Atom.Args))
-		for i, a := range f.Atom.Args {
-			vals[i] = a.(*colog.ConstTerm).Val
-		}
-		ti := res.Tables[f.Atom.Pred]
-		if ti.LocCol >= 0 && vals[ti.LocCol].S != addr {
-			continue
-		}
-		if err := n.Insert(f.Atom.Pred, vals...); err != nil {
-			return nil, err
-		}
 	}
 	return n, nil
 }
@@ -261,6 +296,14 @@ type outMsg struct {
 }
 
 func (n *Node) update(pred string, vals []colog.Value, sign int) error {
+	return n.updateFrom(pred, vals, sign, "")
+}
+
+// updateFrom is update with the sending peer recorded: network deliveries
+// pass the transport-level sender so the receive-side replica mirror tracks
+// what each peer has asserted here (the state the anti-entropy resync
+// reconciles after a restart; see recovery.go).
+func (n *Node) updateFrom(pred string, vals []colog.Value, sign int, origin string) error {
 	n.mu.Lock()
 	t, ok := n.tables[pred]
 	if !ok {
@@ -270,6 +313,9 @@ func (n *Node) update(pred string, vals []colog.Value, sign int) error {
 	if len(vals) != t.arity {
 		n.mu.Unlock()
 		return everrf(pred, "arity mismatch: table has %d columns, got %d values", t.arity, len(vals))
+	}
+	if origin != "" && !t.event {
+		n.repl.noteRecv(origin, pred, vals, sign)
 	}
 	n.enqueue(delta{Tuple{pred, vals}, sign, false})
 	err := n.drain()
@@ -330,7 +376,8 @@ func (n *Node) flush(out []outMsg) error {
 }
 
 // flushBatched groups the outbox per destination (in first-appearance
-// order) and sends one merged frame each.
+// order) and sends the merged frames — usually one per destination, more
+// when the batch exceeds the per-frame budget (see MergeDeltaPayloads).
 func (n *Node) flushBatched(out []outMsg) error {
 	var order []string
 	grouped := make(map[string][][]byte, 4)
@@ -342,9 +389,12 @@ func (n *Node) flushBatched(out []outMsg) error {
 	}
 	var firstErr error
 	for _, to := range order {
-		payload, err := MergeDeltaPayloads(grouped[to])
-		if err == nil {
-			err = n.tr.Send(n.Addr, to, payload)
+		frames, err := MergeDeltaPayloads(grouped[to])
+		for _, frame := range frames {
+			if err != nil {
+				break
+			}
+			err = n.tr.Send(n.Addr, to, frame)
 		}
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -381,16 +431,31 @@ func (n *Node) TableNames() []string {
 	return names
 }
 
-// handleMessage ingests the tuple deltas arriving in one network message
-// (a single delta, or a batch frame applied in order).
+// handleMessage ingests one network message: tuple deltas (a single delta
+// or a batch frame applied in order) or a resync-protocol frame
+// (recovery.go).
 func (n *Node) handleMessage(m transport.Message) {
+	if len(m.Payload) > 0 {
+		switch m.Payload[0] {
+		case wireResyncDigestVersion:
+			if err := n.handleResyncDigest(m.From, m.Payload); err != nil {
+				n.LastError = err
+			}
+			return
+		case wireResyncRowsVersion:
+			if err := n.handleResyncRows(m.From, m.Payload); err != nil {
+				n.LastError = err
+			}
+			return
+		}
+	}
 	wds, err := decodeDeltas(m.Payload)
 	if err != nil {
 		n.LastError = err
 		return
 	}
 	for _, wd := range wds {
-		if err := n.update(wd.Pred, wd.Vals, wd.Sign); err != nil {
+		if err := n.updateFrom(wd.Pred, wd.Vals, wd.Sign, m.From); err != nil {
 			n.LastError = err
 		}
 	}
@@ -513,6 +578,13 @@ func (n *Node) route(tuple Tuple, sign int) error {
 			payload, err := encodeDelta(tuple.Pred, tuple.Vals, sign)
 			if err != nil {
 				return err
+			}
+			if t := n.tables[tuple.Pred]; t != nil && !t.event {
+				// Mirror what this node asserts at the peer, whether or not
+				// the datagram survives the trip — the divergence between
+				// this mirror and the peer's receive-side mirror is exactly
+				// what the anti-entropy resync heals.
+				n.repl.noteSent(addr, tuple.Pred, tuple.Vals, sign)
 			}
 			n.stats.TuplesSent++
 			n.outbox = append(n.outbox, outMsg{to: addr, payload: payload})

@@ -115,12 +115,40 @@ type wireDelta struct {
 const wireDeltaVersion = 1
 const wireBatchVersion = 2
 
+// Recovery frames (see recovery.go): a resync digest carries per-table row
+// counts, order-sensitive hashes, and row-key hashes; a resync rows frame
+// carries the publisher's authoritative row list for the tables that
+// mismatched. Both chunk at the same frame budget as delta batches.
+const wireResyncDigestVersion = 3
+const wireResyncRowsVersion = 4
+
+// maxBatchFrameBytes caps the encoded size of one merged frame. The UDP
+// transport prefixes each datagram with a 1-byte length and the sender
+// address (≤255 bytes) and the maximum UDP payload is 65507 bytes, so any
+// frame under this budget fits one datagram with headroom; the receive
+// buffer is 64 KiB. MergeDeltaPayloads splits batches that would exceed it
+// — before the split, a large (epoch, destination) outbox produced one
+// oversized frame that the socket rejected (or a reader truncated into a
+// "malformed trailer" decode error) and the whole batch was lost.
+const maxBatchFrameBytes = 60 * 1024
+
 // encodeDelta serializes a tuple delta for the transport.
 func encodeDelta(pred string, vals []colog.Value, sign int) ([]byte, error) {
 	buf := make([]byte, 0, 16+len(pred)+12*len(vals))
 	buf = append(buf, wireDeltaVersion)
 	buf = appendWireString(buf, pred)
 	buf = binary.AppendVarint(buf, int64(sign))
+	var err error
+	if buf, err = appendWireVals(buf, vals); err != nil {
+		return nil, fmt.Errorf("core: encoding %s delta: %w", pred, err)
+	}
+	return buf, nil
+}
+
+// appendWireVals appends a uvarint value count followed by each value in
+// the per-value kind-tagged layout shared by delta, checkpoint, and resync
+// frames.
+func appendWireVals(buf []byte, vals []colog.Value) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(len(vals)))
 	for _, v := range vals {
 		buf = append(buf, byte(v.Kind))
@@ -138,10 +166,59 @@ func encodeDelta(pred string, vals []colog.Value, sign int) ([]byte, error) {
 			}
 			buf = append(buf, b)
 		default:
-			return nil, fmt.Errorf("core: encoding %s delta: unknown value kind %d", pred, v.Kind)
+			return nil, fmt.Errorf("unknown value kind %d", v.Kind)
 		}
 	}
 	return buf, nil
+}
+
+// readWireVals parses a value list written by appendWireVals and returns
+// the remaining bytes.
+func readWireVals(rest []byte) ([]colog.Value, []byte, error) {
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("malformed value count")
+	}
+	rest = rest[n:]
+	vals := make([]colog.Value, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(rest) == 0 {
+			return nil, nil, fmt.Errorf("malformed value kind")
+		}
+		kind := colog.ValueKind(rest[0])
+		rest = rest[1:]
+		switch kind {
+		case colog.KindInt:
+			v, n := binary.Varint(rest)
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("malformed int value")
+			}
+			rest = rest[n:]
+			vals = append(vals, colog.IntVal(v))
+		case colog.KindFloat:
+			if len(rest) < 8 {
+				return nil, nil, fmt.Errorf("malformed float value")
+			}
+			vals = append(vals, colog.FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(rest))))
+			rest = rest[8:]
+		case colog.KindString:
+			s, r, ok := readWireString(rest)
+			if !ok {
+				return nil, nil, fmt.Errorf("malformed string value")
+			}
+			vals = append(vals, colog.StringVal(s))
+			rest = r
+		case colog.KindBool:
+			if len(rest) == 0 {
+				return nil, nil, fmt.Errorf("malformed bool value")
+			}
+			vals = append(vals, colog.BoolVal(rest[0] != 0))
+			rest = rest[1:]
+		default:
+			return nil, nil, fmt.Errorf("malformed value kind")
+		}
+	}
+	return vals, rest, nil
 }
 
 func appendWireString(buf []byte, s string) []byte {
@@ -150,27 +227,45 @@ func appendWireString(buf []byte, s string) []byte {
 }
 
 // MergeDeltaPayloads combines already-encoded single-delta payloads (as
-// produced by encodeDelta, all bound for one destination) into one batch
-// frame. A single payload is returned unchanged, so batching never makes a
-// lone delta bigger.
-func MergeDeltaPayloads(payloads [][]byte) ([]byte, error) {
+// produced by encodeDelta, all bound for one destination) into batch
+// frames, splitting whenever a frame would exceed maxBatchFrameBytes so
+// every frame fits a single UDP datagram. Delta order is preserved across
+// the returned frames. A single payload is returned unchanged, so batching
+// never makes a lone delta bigger.
+func MergeDeltaPayloads(payloads [][]byte) ([][]byte, error) {
 	if len(payloads) == 1 {
-		return payloads[0], nil
+		return payloads[:1], nil
 	}
-	size := 2 + binary.MaxVarintLen64
-	for _, p := range payloads {
-		size += len(p)
-	}
-	buf := make([]byte, 0, size)
-	buf = append(buf, wireBatchVersion)
-	buf = binary.AppendUvarint(buf, uint64(len(payloads)))
 	for _, p := range payloads {
 		if len(p) == 0 || p[0] != wireDeltaVersion {
 			return nil, fmt.Errorf("core: merging delta payloads: not a version-%d frame", wireDeltaVersion)
 		}
-		buf = append(buf, p[1:]...)
 	}
-	return buf, nil
+	var frames [][]byte
+	for start := 0; start < len(payloads); {
+		size := 1 + binary.MaxVarintLen64
+		end := start
+		for end < len(payloads) && (end == start || size+len(payloads[end])-1 <= maxBatchFrameBytes) {
+			size += len(payloads[end]) - 1
+			end++
+		}
+		if end-start == 1 {
+			// A chunk of one travels as the original version-1 frame; an
+			// oversized single delta cannot be split further.
+			frames = append(frames, payloads[start])
+			start = end
+			continue
+		}
+		buf := make([]byte, 0, size)
+		buf = append(buf, wireBatchVersion)
+		buf = binary.AppendUvarint(buf, uint64(end-start))
+		for _, p := range payloads[start:end] {
+			buf = append(buf, p[1:]...)
+		}
+		frames = append(frames, buf)
+		start = end
+	}
+	return frames, nil
 }
 
 // decodeDeltas deserializes a transport payload into its tuple deltas:
@@ -240,52 +335,18 @@ func decodeDeltaBody(rest []byte) (wireDelta, []byte, error) {
 	if n <= 0 {
 		return fail("sign")
 	}
-	rest = rest[n:]
-	count, n := binary.Uvarint(rest)
-	if n <= 0 || count > uint64(len(rest)) {
-		return fail("value count")
+	if sign != 1 && sign != -1 {
+		// Anything but an insert or a delete is a corrupt frame; letting it
+		// through would flow an unchecked sign into the delta pipeline
+		// (FuzzDecodeDeltas pins this).
+		return fail("sign")
 	}
 	rest = rest[n:]
-	wd := wireDelta{Pred: pred, Sign: int(sign), Vals: make([]colog.Value, 0, count)}
-	for i := uint64(0); i < count; i++ {
-		if len(rest) == 0 {
-			return fail("value kind")
-		}
-		kind := colog.ValueKind(rest[0])
-		rest = rest[1:]
-		switch kind {
-		case colog.KindInt:
-			v, n := binary.Varint(rest)
-			if n <= 0 {
-				return fail("int value")
-			}
-			rest = rest[n:]
-			wd.Vals = append(wd.Vals, colog.IntVal(v))
-		case colog.KindFloat:
-			if len(rest) < 8 {
-				return fail("float value")
-			}
-			wd.Vals = append(wd.Vals, colog.FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(rest))))
-			rest = rest[8:]
-		case colog.KindString:
-			var s string
-			var ok bool
-			s, rest, ok = readWireString(rest)
-			if !ok {
-				return fail("string value")
-			}
-			wd.Vals = append(wd.Vals, colog.StringVal(s))
-		case colog.KindBool:
-			if len(rest) == 0 {
-				return fail("bool value")
-			}
-			wd.Vals = append(wd.Vals, colog.BoolVal(rest[0] != 0))
-			rest = rest[1:]
-		default:
-			return fail("value kind")
-		}
+	vals, rest, err := readWireVals(rest)
+	if err != nil {
+		return wireDelta{}, nil, fmt.Errorf("core: decoding delta: %v", err)
 	}
-	return wd, rest, nil
+	return wireDelta{Pred: pred, Sign: int(sign), Vals: vals}, rest, nil
 }
 
 func readWireString(buf []byte) (string, []byte, bool) {

@@ -89,18 +89,22 @@ func TestWireBatchRoundTrip(t *testing.T) {
 		payloads = append(payloads, p)
 	}
 
-	single, err := MergeDeltaPayloads(payloads[:1])
+	singles, err := MergeDeltaPayloads(payloads[:1])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if &single[0] != &payloads[0][0] {
+	if len(singles) != 1 || &singles[0][0] != &payloads[0][0] {
 		t.Fatal("single payload not passed through unchanged")
 	}
 
-	batch, err := MergeDeltaPayloads(payloads)
+	frames, err := MergeDeltaPayloads(payloads)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(frames) != 1 {
+		t.Fatalf("small batch split into %d frames", len(frames))
+	}
+	batch := frames[0]
 	if batch[0] != wireBatchVersion {
 		t.Fatalf("batch version byte = %d", batch[0])
 	}
@@ -133,10 +137,11 @@ func TestWireBatchRoundTrip(t *testing.T) {
 func TestWireBatchRejectsMalformed(t *testing.T) {
 	p1, _ := encodeDelta("p", []colog.Value{ival(7)}, 1)
 	p2, _ := encodeDelta("q", []colog.Value{sval("x")}, -1)
-	batch, err := MergeDeltaPayloads([][]byte{p1, p2})
+	frames, err := MergeDeltaPayloads([][]byte{p1, p2})
 	if err != nil {
 		t.Fatal(err)
 	}
+	batch := frames[0]
 	bad := [][]byte{
 		batch[:1],            // count missing
 		batch[:len(batch)-1], // truncated last delta

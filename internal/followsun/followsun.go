@@ -152,6 +152,17 @@ func (r *runner) now() time.Duration {
 	return r.sched.Now()
 }
 
+// node returns the live instance for name: through the cluster runtime
+// when it drives the run — a restarted node is a fresh instance, so the
+// setup-time cache would go stale across failure injection — and from the
+// cache in sequential mode.
+func (r *runner) node(name string) *core.Node {
+	if r.rt != nil {
+		return r.rt.Node(name)
+	}
+	return r.nodes[name]
+}
+
 // wire returns one node's transport counters.
 func (r *runner) wire(name string) transport.Stats {
 	if r.rt != nil {
@@ -434,7 +445,7 @@ func (r *runner) negotiate(x, y string) (*core.SolveResult, error) {
 // touches only node x, so negotiations of node-disjoint links can run
 // concurrently under the cluster runtime.
 func (r *runner) negotiateSolve(x, y string) (*core.SolveResult, time.Duration, error) {
-	node := r.nodes[x]
+	node := r.node(x)
 	if err := node.Insert("setLink", colog.StringVal(x), colog.StringVal(y)); err != nil {
 		return nil, 0, err
 	}
@@ -502,7 +513,7 @@ func (r *runner) fold(x, y string, sres *core.SolveResult, elapsed time.Duration
 func (r *runner) totalCost() float64 {
 	total := float64(r.migSum)
 	for _, x := range r.names {
-		node := r.nodes[x]
+		node := r.node(x)
 		for _, row := range node.Rows("curVm") {
 			if row[0].S != x {
 				continue

@@ -1,0 +1,91 @@
+package followsun
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// failureScript returns cluster options that crash one data center between
+// negotiation epochs and restart it from a checkpoint. Follow-the-Sun
+// ships its migVm decisions as *event* tuples — fire-and-forget streams
+// the anti-entropy mirrors deliberately exclude (there is no durable state
+// to reconcile; see docs/recovery.md) — so the crash is placed at a
+// checkpoint boundary: the network settles, every node checkpoints, then
+// the victim dies and is restored. The digest exchange still runs and
+// verifies that every replicated table is aligned.
+func failureScript(o cluster.Options, failEpoch int) cluster.Options {
+	o.CheckpointEvery = 1
+	o.AfterEpoch = func(r *cluster.Runtime, epoch int) error {
+		if epoch != failEpoch {
+			return nil
+		}
+		r.Settle()
+		if err := r.CheckpointNow(); err != nil {
+			return err
+		}
+		victim := r.Addrs()[1]
+		if err := r.StopNode(victim); err != nil {
+			return err
+		}
+		_, err := r.RestartNode(victim)
+		return err
+	}
+	return o
+}
+
+// TestRecoveryEquivalence: killing and restarting a data center mid-run —
+// checkpoint restore plus anti-entropy resync — must converge the
+// negotiation to the byte-identical outcome of an uninterrupted cluster
+// run: same cost trajectory, same migrations, same per-link solver traces.
+// (Virtual timestamps shift because the failure script settles the network
+// mid-run, so the comparison is over decisions, not clock values.)
+func TestRecoveryEquivalence(t *testing.T) {
+	p := clusterTestParams()
+	plain, err := RunCluster(p, cluster.Options{Workers: 4, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := RunCluster(p, failureScript(cluster.Options{Workers: 4}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := func(res *Result) []float64 {
+		out := make([]float64, len(res.Points))
+		for i, pt := range res.Points {
+			out[i] = pt.Cost
+		}
+		return out
+	}
+	if !reflect.DeepEqual(costs(plain), costs(recovered)) {
+		t.Fatalf("cost series diverged:\nuninterrupted %v\nrecovered     %v", costs(plain), costs(recovered))
+	}
+	if plain.FinalCost != recovered.FinalCost || plain.TotalMigrations != recovered.TotalMigrations ||
+		plain.Rounds != recovered.Rounds || plain.PerLinkSolves != recovered.PerLinkSolves {
+		t.Fatalf("summary diverged:\nuninterrupted %+v\nrecovered %+v", plain, recovered)
+	}
+	if plain.SolverNodes != recovered.SolverNodes || plain.SolverNodes == 0 {
+		t.Fatalf("solver traces diverged: %d vs %d nodes", plain.SolverNodes, recovered.SolverNodes)
+	}
+}
+
+// TestRecoveryUDPConverges: the same failure script over real UDP sockets
+// — no byte-identical guarantee in free-running mode, but the run must
+// complete, reduce cost, and record the resync work.
+func TestRecoveryUDPConverges(t *testing.T) {
+	p := RingParams(4)
+	p.NegotiationInterval = 10 * time.Millisecond
+	o := failureScript(cluster.Options{Mode: cluster.ModeUDP, Workers: 4}, 1)
+	res, err := RunCluster(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerLinkSolves != 4 {
+		t.Fatalf("solves = %d, want 4", res.PerLinkSolves)
+	}
+	if res.FinalCost > 100 {
+		t.Fatalf("final cost %.1f%% above initial", res.FinalCost)
+	}
+}

@@ -70,6 +70,16 @@ type FailureInjector interface {
 	SetLinkDown(from, to string, down bool)
 }
 
+// StatsResetter is implemented by transports that can zero one node's
+// traffic counters. The cluster runtime resets a node's counters when it
+// restarts the node, so post-restart statistics (and the per-epoch History
+// windows) start from zero instead of carrying the failed instance's
+// pre-failure values.
+type StatsResetter interface {
+	// ResetNodeStats zeroes the traffic counters of one node.
+	ResetNodeStats(node string)
+}
+
 // ErrUnknownNode is returned when sending to an unregistered address.
 type ErrUnknownNode struct{ Node string }
 
@@ -153,6 +163,15 @@ func (t *Sim) SetLinkDown(from, to string, down bool) {
 // SetDeliveryHook installs (or, with nil, removes) a hook consulted for
 // every message; see DeliveryHook.
 func (t *Sim) SetDeliveryHook(h DeliveryHook) { t.hook = h }
+
+// ResetNodeStats implements StatsResetter: the node's counters restart at
+// zero (a restarted instance begins a fresh traffic history). In-flight
+// deliveries count against the fresh counters.
+func (t *Sim) ResetNodeStats(node string) {
+	if _, ok := t.stats[node]; ok {
+		t.stats[node] = &Stats{}
+	}
+}
 
 // DroppedMsgs returns how many messages were lost to failure injection
 // (DropEvery, down nodes/links, or the delivery hook).

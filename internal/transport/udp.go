@@ -104,6 +104,18 @@ func (t *UDP) SetLinkDown(from, to string, down bool) {
 	}
 }
 
+// ResetNodeStats implements StatsResetter: the node's counters restart at
+// zero (a restarted instance begins a fresh traffic history). The receive
+// loop and concurrent senders pick up the fresh counter block on their next
+// message.
+func (t *UDP) ResetNodeStats(node string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.stats[node]; ok {
+		t.stats[node] = &atomicStats{}
+	}
+}
+
 func (t *UDP) recvLoop(node string, conn *net.UDPConn) {
 	defer t.wg.Done()
 	buf := make([]byte, 64*1024)

@@ -1,0 +1,118 @@
+package wireless
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestRecoveryEquivalence: a grid node killed mid-protocol — in-flight
+// channel decisions addressed to it dropped — and restarted from its
+// periodic checkpoint must be pulled back into alignment by the
+// anti-entropy exchange, leaving the whole run byte-identical to an
+// uninterrupted one: same assignment-derived series, same per-negotiation
+// solver traces. Channel state replicates through keyed tables (assign,
+// nborAssign), so the lost rows are fully recoverable from the peers'
+// mirrors, unlike event streams.
+func TestRecoveryEquivalence(t *testing.T) {
+	p := clusterTestParams()
+	failAt := 5 // a mid-run negotiation epoch
+	script := func(o cluster.Options) cluster.Options {
+		o.CheckpointEvery = 1
+		o.AfterEpoch = func(r *cluster.Runtime, epoch int) error {
+			if epoch != failAt {
+				return nil
+			}
+			victim := r.Addrs()[4] // the n04 grid center
+			if err := r.StopNode(victim); err != nil {
+				return err
+			}
+			r.Settle() // in-flight decisions addressed to the victim are lost
+			_, err := r.RestartNode(victim)
+			return err
+		}
+		return o
+	}
+	plain, err := RunCluster(p, Distributed, cluster.Options{Workers: 4, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := RunCluster(p, Distributed, script(cluster.Options{Workers: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.ThroughputMbps, recovered.ThroughputMbps) || plain.Interference != recovered.Interference {
+		t.Fatalf("assignment-derived series diverged:\nuninterrupted %+v\nrecovered %+v", plain, recovered)
+	}
+	if plain.SolverNodes != recovered.SolverNodes || plain.SolverNodes == 0 {
+		t.Fatalf("solver traces diverged: %d vs %d nodes", plain.SolverNodes, recovered.SolverNodes)
+	}
+}
+
+// TestRecoveryUDPConverges: the same crash over real UDP sockets. The
+// free-running mode has no byte-identity guarantee, but the assignment
+// must still converge complete and symmetric after the rejoin.
+func TestRecoveryUDPConverges(t *testing.T) {
+	p := clusterTestParams()
+	// Advance sleeps for real over UDP; keep the wall-clock budget small.
+	p.NegotiationInterval = 10 * time.Millisecond
+	topo := Grid(p.GridW, p.GridH)
+	rt, err := newDistributedCluster(topo, p, cluster.Options{Mode: cluster.ModeUDP, Workers: 4, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	negotiateAll := func() {
+		t.Helper()
+		for _, l := range passOrder(topo, p, 0) {
+			ini, _ := initiatorOf(l)
+			if rt.Node(string(ini)) == nil {
+				continue
+			}
+			if _, err := rt.RunEpoch([]cluster.Item{negotiationItem(rt, l)}); err != nil {
+				t.Fatal(err)
+			}
+			rt.Advance(p.NegotiationInterval)
+		}
+	}
+	negotiateAll()
+	rt.Settle()
+
+	const victim = "n04"
+	if err := rt.StopNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	negotiateAll() // neighbors keep deciding; traffic to the victim is lost
+	rt.Settle()
+	if _, err := rt.RestartNode(victim); err != nil {
+		t.Fatal(err)
+	}
+
+	// One more pass after the rejoin: every link assigned, endpoints agree.
+	negotiateAll()
+	rt.Settle()
+	after := collectAssignment(topo, runtimeNodes(rt, topo))
+	if len(after) != len(topo.Links) {
+		t.Fatalf("%d links assigned after rejoin, want %d", len(after), len(topo.Links))
+	}
+	nodes := runtimeNodes(rt, topo)
+	for _, l := range topo.Links {
+		chans := map[int64]bool{}
+		for _, end := range []NodeID{l.A, l.B} {
+			for _, row := range nodes[end].Rows("assign") {
+				if NodeID(row[0].S) != end {
+					continue
+				}
+				if orient(NodeID(row[0].S), NodeID(row[1].S)) == l {
+					chans[row[2].I] = true
+				}
+			}
+		}
+		if len(chans) > 1 {
+			t.Fatalf("link %s endpoints disagree on channel: %v", l, chans)
+		}
+	}
+}
