@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json fuzz fuzz-wire lint docs-check recovery-equivalence ci
+.PHONY: build test bench bench-json fuzz fuzz-wire lint docs-check recovery-equivalence streaming-equivalence alloc-budget ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ bench:
 # fixed iteration count and write BENCH_<date>.json (ns/op, B/op, allocs/op,
 # and every custom metric). Compare files across commits to track the
 # speedup curve.
-BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve|BenchmarkCluster|BenchmarkResync
+BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve|BenchmarkCluster|BenchmarkResync|BenchmarkGroundPeakAlloc
 BENCHJSON_ITERS ?= 10
 BENCHJSON_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 bench-json:
@@ -45,14 +45,28 @@ fuzz-wire:
 recovery-equivalence:
 	$(GO) test -count=1 -run 'TestRecovery' ./internal/cluster ./internal/acloud ./internal/followsun ./internal/wireless
 
-# Documentation gate: broken relative links in README.md/docs/*.md and
-# unformatted example Go files fail the build.
+# The streaming-grounding gate: the pipelined join path with predicate
+# pushdown must solve bit-identically to materialized grounding under churn
+# (tables, objectives, solver-node traces; see docs/grounding.md).
+streaming-equivalence:
+	$(GO) test -count=1 -run 'TestStreamingGroundEquivalence' ./internal/core
+
+# The allocation-regression gate: streaming grounding's B/op on the
+# join-heavy BenchmarkGroundPeakAlloc workload must stay under the budget in
+# ground_alloc_budget.txt. Run without -race (the test skips itself under it).
+alloc-budget:
+	$(GO) test -count=1 -run 'TestGroundAllocBudget' .
+
+# Documentation gate: broken relative links and intra-document anchors in
+# README.md/docs/*.md and unformatted example Go files fail the build.
 docs-check:
 	$(GO) run ./cmd/docscheck
 
 ci: lint build test docs-check
 	$(GO) test -count=1 -run 'TestEnginesMatchBruteForce|TestEventEngineTraceMatchesLegacy' ./internal/solver
 	$(GO) test -count=1 -run 'TestIncrementalGroundEquivalence' ./internal/core
+	$(GO) test -count=1 -run 'TestStreamingGroundEquivalence' ./internal/core
+	$(GO) test -count=1 -run 'TestGroundAllocBudget' .
 	$(GO) test -count=1 -run 'TestClusterEquivalence' ./internal/acloud ./internal/followsun ./internal/wireless
 	$(GO) test -race -run TestCluster ./internal/cluster/...
 	$(GO) test -count=1 -run 'TestRecovery' ./internal/cluster ./internal/acloud ./internal/followsun ./internal/wireless

@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// readAllocBudget parses ground_alloc_budget.txt: comment lines start with
+// '#', the first remaining line is the B/op ceiling.
+func readAllocBudget(t *testing.T) int64 {
+	t.Helper()
+	f, err := os.Open("ground_alloc_budget.txt")
+	if err != nil {
+		t.Fatalf("alloc budget file: %v", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			t.Fatalf("alloc budget file: bad line %q: %v", line, err)
+		}
+		return n
+	}
+	t.Fatal("alloc budget file: no budget line")
+	return 0
+}
+
+// TestGroundAllocBudget is the allocation-regression gate for the streaming
+// grounding path: it benchmarks BenchmarkGroundPeakAlloc/streaming in-process
+// and fails if B/op exceeds the ceiling committed in ground_alloc_budget.txt.
+// A failure means a change re-introduced per-row garbage on the grounding
+// join path (a row lift, a transient index, an unpooled frame); either
+// remove the allocation or consciously raise the budget in the same commit.
+func TestGroundAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation sizes")
+	}
+	if testing.Short() {
+		t.Skip("benchmark-backed gate")
+	}
+	budget := readAllocBudget(t)
+	res := testing.Benchmark(groundPeakAllocBench("streaming"))
+	if got := res.AllocedBytesPerOp(); got > budget {
+		t.Fatalf("streaming grounding allocates %d B/op, budget is %d B/op (ground_alloc_budget.txt)", got, budget)
+	} else {
+		t.Logf("streaming grounding: %d B/op within budget %d B/op", got, budget)
+	}
+}

@@ -1,8 +1,9 @@
 // Command docscheck is the documentation gate run by `make docs-check` and
-// CI: it fails on broken relative links in README.md and docs/*.md, on
-// example Go files that are not gofmt-formatted, and on flag names
-// mentioned in the docs that the cologne binary does not register — so
-// docs/tuning.md cannot drift from the actual CLI surface.
+// CI: it fails on broken relative links and broken #section anchors in
+// README.md and docs/*.md, on example Go files that are not
+// gofmt-formatted, and on flag names mentioned in the docs that the cologne
+// binary does not register — so docs/tuning.md cannot drift from the actual
+// CLI surface.
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"unicode"
 )
 
 // linkRe matches inline markdown links [text](target); images share the
@@ -29,6 +31,62 @@ var (
 	// fenceFlagRe matches flag tokens on code-fence lines invoking cologne.
 	fenceFlagRe = regexp.MustCompile(`(?:^|\s)-([a-z][a-z0-9-]*)`)
 )
+
+// headingRe matches an ATX markdown heading; the capture is the title text.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// inlineLinkRe strips [text](target) down to text inside heading titles.
+var inlineLinkRe = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`)
+
+// slugify converts a heading title to its GitHub anchor id: lowercase,
+// formatting markers stripped, punctuation removed, spaces to hyphens.
+func slugify(title string) string {
+	title = inlineLinkRe.ReplaceAllString(title, "$1")
+	title = strings.ToLower(strings.TrimSpace(title))
+	var b strings.Builder
+	for _, r := range title {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// docAnchors returns the set of anchor ids a markdown document defines:
+// one per heading outside code fences, with GitHub's -1, -2 suffixes on
+// duplicate titles.
+func docAnchors(md string) map[string]bool {
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if anchors[slug] {
+			for i := 1; ; i++ {
+				cand := fmt.Sprintf("%s-%d", slug, i)
+				if !anchors[cand] {
+					slug = cand
+					break
+				}
+			}
+		}
+		anchors[slug] = true
+	}
+	return anchors
+}
 
 // cologneFlagNames parses the flag names cologne registers from its source.
 func cologneFlagNames(src string) map[string]bool {
@@ -89,6 +147,21 @@ func main() {
 	if err == nil {
 		docs = append(docs, globbed...)
 	}
+	// anchorsOf lazily loads and caches the anchor set of any markdown file
+	// a link resolves to (including files outside the checked doc list).
+	anchorCache := map[string]map[string]bool{}
+	anchorsOf := func(path string) (map[string]bool, error) {
+		if a, ok := anchorCache[path]; ok {
+			return a, nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		a := docAnchors(string(data))
+		anchorCache[path] = a
+		return a, nil
+	}
 	checked := 0
 	for _, doc := range docs {
 		data, err := os.ReadFile(doc)
@@ -98,19 +171,33 @@ func main() {
 		}
 		checked++
 		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
-			target := m[1]
+			target, frag := m[1], ""
 			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 				continue // external
 			}
 			if i := strings.IndexByte(target, '#'); i >= 0 {
-				target = target[:i]
+				target, frag = target[:i], target[i+1:]
 			}
-			if target == "" {
-				continue // same-page anchor
+			resolved := doc // same-page anchor
+			if target != "" {
+				resolved = filepath.Join(filepath.Dir(doc), target)
+				if _, err := os.Stat(resolved); err != nil {
+					problems = append(problems, fmt.Sprintf("%s: broken relative link %q", doc, m[1]))
+					continue
+				}
 			}
-			resolved := filepath.Join(filepath.Dir(doc), target)
-			if _, err := os.Stat(resolved); err != nil {
-				problems = append(problems, fmt.Sprintf("%s: broken relative link %q", doc, m[1]))
+			// Anchor fragments are verified against the target's headings
+			// (GitHub slug rules); only markdown targets define anchors.
+			if frag == "" || !strings.HasSuffix(resolved, ".md") {
+				continue
+			}
+			anchors, err := anchorsOf(resolved)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: anchor target %q: %v", doc, m[1], err))
+				continue
+			}
+			if !anchors[strings.ToLower(frag)] {
+				problems = append(problems, fmt.Sprintf("%s: broken anchor %q (no heading slug %q in %s)", doc, m[1], strings.ToLower(frag), resolved))
 			}
 		}
 		if knownFlags != nil {

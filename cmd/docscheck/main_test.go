@@ -20,6 +20,43 @@ func TestLinkRegexp(t *testing.T) {
 	}
 }
 
+// TestSlugify pins the GitHub anchor-id rules the checker implements.
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Plan ordering":                  "plan-ordering",
+		"Why `snapshotStable`?":          "why-snapshotstable",
+		"A.3 Channel selection":          "a3-channel-selection",
+		"Push-down rules (and barriers)": "push-down-rules-and-barriers",
+		"See [the gate](ci.yml) here":    "see-the-gate-here",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Fatalf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestDocAnchors collects heading anchors, skipping code fences and
+// suffixing duplicate titles like GitHub does.
+func TestDocAnchors(t *testing.T) {
+	md := "# Title\n" +
+		"## Setup\n" +
+		"```\n" +
+		"# not a heading\n" +
+		"```\n" +
+		"## Setup\n" +
+		"### Edge cases ###\n"
+	got := docAnchors(md)
+	for _, want := range []string{"title", "setup", "setup-1", "edge-cases"} {
+		if !got[want] {
+			t.Fatalf("anchor %q missing (got %v)", want, got)
+		}
+	}
+	if got["not-a-heading"] {
+		t.Fatalf("fenced pseudo-heading collected: %v", got)
+	}
+}
+
 // TestCologneFlagNames parses flag registrations from realistic source.
 func TestCologneFlagNames(t *testing.T) {
 	src := `

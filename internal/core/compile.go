@@ -28,9 +28,13 @@ type planStep struct {
 	// sets drive an index probe instead of a table scan.
 	boundCols []int
 	// argOps are the compiled unification ops for a join atom; probeOps
-	// build the index probe key from the frame (parallel to boundCols).
+	// build the index probe key from the frame (parallel to boundCols);
+	// preCmps is the pushed-down prefilter evaluated on raw rows before the
+	// frame is extended (see stream.go — delta frames are always ground, so
+	// every compare is hoistable).
 	argOps   []argOp
 	probeOps []probeOp
+	preCmps  []rowCmp
 	// idxKey names the probed column set; cachedIdx/cachedGen memoize the
 	// table index pointer across executions until the table drops indexes.
 	idxKey    string
@@ -184,6 +188,7 @@ func compilePlan(r *colog.Rule, ruleIdx int, atoms []*colog.Atom, triggerIdx int
 			step.probeOps = compileProbeOps(step.atom, step.boundCols, p.slots)
 			step.idxKey = idxName(step.boundCols)
 			step.argOps = compileArgOps(step.atom, p.slots, bound)
+			step.preCmps = compilePushdown(step.argOps, nil)
 		}
 		switch step.kind {
 		case stepJoin:

@@ -55,11 +55,16 @@ type varInstance struct {
 // constraints (paper sections 5.3-5.4).
 //
 // Grounding runs as an indexed, ordered pipeline: each rule body is planned
-// once per solve (literals ordered most-bound-first, joins resolved to hash
-// index probes over the merged row set), evaluated over a slice-backed
-// binding frame with an undo trail, and independent rules within a
-// dependency level are grounded by a bounded worker pool with results
-// merged deterministically in rule order.
+// once per solve (literals ordered most-bound-first, joins resolved to
+// index probes), evaluated over a slice-backed binding frame with an undo
+// trail, and independent rules within a dependency level are grounded by a
+// bounded worker pool with results merged deterministically in rule order.
+// In the default streaming mode (Config.GroundMode) joins consume tables
+// directly through the persistent arrival-ordered indexes and memoized
+// scans with compares pushed down into the row source (see stream.go); the
+// materialized mode keeps the merged per-predicate row sets and transient
+// indexes as an escape hatch. Both modes emit derivations and constraints
+// in byte-identical order.
 type grounder struct {
 	n     *Node
 	model *solver.Model
@@ -67,11 +72,18 @@ type grounder struct {
 	insts []varInstance
 	genv  map[string]colog.Value // goal bindings after grounding
 
+	// stream selects the streaming join path (resolved from
+	// Config.GroundMode before grounding starts).
+	stream bool
+
 	// Per-solve caches, written only between parallel phases: variable
-	// slottings, merged row sets, and transient indexes over them.
-	slotsCache map[*colog.Rule]*ruleSlots
-	rowsCache  map[string][]symTuple
-	idxCache   map[string]*symIndex
+	// slottings, merged row sets and transient indexes over them
+	// (materialized mode), and unshadowed ground-row tails of solver
+	// predicates (streaming mode).
+	slotsCache      map[*colog.Rule]*ruleSlots
+	rowsCache       map[string][]symTuple
+	idxCache        map[string]*symIndex
+	groundRowsCache map[string][][]colog.Value
 
 	// recording enables provenance capture for the incremental grounding
 	// cache: lifted rows carry cell provenance and each rule run records
@@ -129,11 +141,33 @@ func (g *grounder) cachedSymIndex(pred string, cols []int, rows []symTuple) *sym
 // tuple set changed.
 func (g *grounder) invalidatePred(pred string) {
 	delete(g.rowsCache, pred)
+	delete(g.groundRowsCache, pred)
 	prefix := pred + "#"
 	for k := range g.idxCache {
 		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
 			delete(g.idxCache, k)
 		}
+	}
+}
+
+// unknownPredErr is the shared error for a body predicate with no table —
+// both grounding modes surface it identically at plan time.
+func unknownPredErr(pred string) error {
+	return fmt.Errorf("unknown predicate %s", pred)
+}
+
+// streamingGround maps Config.GroundMode to the grounder's join strategy.
+// The zero value selects streaming; "materialized" is the escape hatch that
+// rebuilds per-predicate merged row sets and transient indexes per solve.
+// Unknown names are an error, mirroring solverEngine.
+func streamingGround(mode string) (bool, error) {
+	switch mode {
+	case "", "streaming":
+		return true, nil
+	case "materialized":
+		return false, nil
+	default:
+		return false, fmt.Errorf("core: unknown GroundMode %q (want \"streaming\" or \"materialized\")", mode)
 	}
 }
 
@@ -229,10 +263,15 @@ func (n *Node) solveLocked(opts SolveOptions) (*SolveResult, error) {
 	if n.cfg.SolverIncremental {
 		return n.solveIncrementalLocked(opts)
 	}
+	stream, err := streamingGround(n.cfg.GroundMode)
+	if err != nil {
+		return nil, err
+	}
 	g := &grounder{
-		n:     n,
-		model: solver.NewModel(),
-		sym:   map[string][]symTuple{},
+		n:      n,
+		model:  solver.NewModel(),
+		sym:    map[string][]symTuple{},
+		stream: stream,
 	}
 	if err := g.createVars(); err != nil {
 		return nil, err
@@ -611,6 +650,9 @@ func (g *grounder) execPlan(run *groundRun, p *groundPlan, idx int, sink func(*s
 	step := &p.steps[idx]
 	switch step.kind {
 	case gJoin:
+		if step.streamed {
+			return g.streamJoin(run, p, idx, sink)
+		}
 		if step.idx != nil {
 			if key, ok := f.appendProbeKey(step.probeOps); ok {
 				keyed, wild := step.idx.probe(key)
@@ -726,7 +768,7 @@ func (g *grounder) rowsFor(pred string) ([]symTuple, error) {
 	sts, isSym := g.sym[pred]
 	if !isSym {
 		if tbl == nil {
-			return nil, fmt.Errorf("unknown predicate %s", pred)
+			return nil, unknownPredErr(pred)
 		}
 		rows := tbl.snapshotStable()
 		out := make([]symTuple, len(rows))
@@ -740,23 +782,9 @@ func (g *grounder) rowsFor(pred string) ([]symTuple, error) {
 	}
 	// Merge in materialized rows not shadowed by a symbolic tuple.
 	ti := g.n.res.Tables[pred]
-	regKey := func(get func(i int) (colog.Value, bool)) (string, bool) {
-		k := ""
-		for i := 0; i < ti.Arity; i++ {
-			if ti.SolverAttrs[i] {
-				continue
-			}
-			v, ok := get(i)
-			if !ok {
-				return "", false
-			}
-			k += v.Key() + "|"
-		}
-		return k, true
-	}
 	shadow := map[string]bool{}
 	for _, st := range sts {
-		if k, ok := regKey(func(i int) (colog.Value, bool) {
+		if k, ok := symRegKey(ti, func(i int) (colog.Value, bool) {
 			if st[i].isSym() {
 				return colog.Value{}, false
 			}
@@ -767,7 +795,7 @@ func (g *grounder) rowsFor(pred string) ([]symTuple, error) {
 	}
 	out := append([]symTuple(nil), sts...)
 	for _, vals := range tbl.snapshotStable() {
-		k, _ := regKey(func(i int) (colog.Value, bool) { return vals[i], true })
+		k, _ := symRegKey(ti, func(i int) (colog.Value, bool) { return vals[i], true })
 		if shadow[k] {
 			continue
 		}

@@ -358,7 +358,11 @@ func (n *Node) noteGroundDelta(tr delta) {
 // reuses, patches, or re-grounds against the cached model, then runs the
 // shared solve/materialize phase.
 func (n *Node) solveIncrementalLocked(opts SolveOptions) (*SolveResult, error) {
-	g := &grounder{n: n, recording: true}
+	stream, err := streamingGround(n.cfg.GroundMode)
+	if err != nil {
+		return nil, err
+	}
+	g := &grounder{n: n, recording: true, stream: stream}
 	res := &SolveResult{}
 
 	info, err := n.groundForSolve(g)

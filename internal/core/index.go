@@ -2,19 +2,37 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/colog"
 )
+
+// idxRow is one bucket entry of a tableIndex: the visible row plus its
+// arrival number. Buckets stay sorted by seq, so enumerating a bucket
+// yields exactly the rows a snapshotStable scan would have yielded for the
+// probed key, in the same order.
+type idxRow struct {
+	seq  uint64
+	vals []colog.Value
+}
 
 // tableIndex is a hash index over a column subset, mapping the projected
 // key to the visible rows carrying it. Indexes are created lazily the first
 // time a join probes a column combination and maintained incrementally on
 // every visible transition, so the cost is only paid for access paths the
 // compiled plans actually use.
+//
+// Invariant: every bucket is sorted by row arrival number (seq). An index
+// maintained through arbitrary insert/delete/replace churn is therefore
+// byte-identical to one built fresh from snapshotStable — the property that
+// lets both the delta pipeline and the streaming grounder probe the same
+// persistent index without perturbing derivation arrival order (a restored
+// node rebuilds its indexes from scratch; the recovery-equivalence gate
+// pins that the rebuilt and the maintained index enumerate identically).
 type tableIndex struct {
 	cols []int
-	m    map[string][][]colog.Value
+	m    map[string][]idxRow
 }
 
 func idxName(cols []int) string {
@@ -46,51 +64,58 @@ func (t *table) ensureIndex(cols []int) *tableIndex {
 }
 
 // ensureIndexNamed is ensureIndex with the cols key precomputed (compiled
-// plan steps cache it to keep probes allocation-free). The build scans the
-// stable arrival-order snapshot — never the rows map, whose iteration order
-// is randomized per run: bucket order decides join enumeration order, which
+// plan steps cache it to keep probes allocation-free). The build scans rows
+// in arrival order — never the rows map, whose iteration order is
+// randomized per run: bucket order decides join enumeration order, which
 // decides derived-tuple arrival order and ultimately the solver's variable
 // order, so a map-order build makes whole search traces nondeterministic
-// (the cluster equivalence suites pin this).
+// (the cluster equivalence suites pin this). The bucket map is pre-sized
+// from the table count: a hash-join build over n rows allocates its buckets
+// once instead of rehashing log(n) times.
 func (t *table) ensureIndexNamed(name string, cols []int) *tableIndex {
 	if t.indexes == nil {
 		t.indexes = map[string]*tableIndex{}
 	}
 	idx, ok := t.indexes[name]
 	if !ok {
-		idx = &tableIndex{cols: cols, m: map[string][][]colog.Value{}}
-		for _, vals := range t.snapshotStable() {
-			k := projKey(vals, cols)
-			idx.m[k] = append(idx.m[k], vals)
+		idx = &tableIndex{cols: cols, m: make(map[string][]idxRow, t.size())}
+		for _, r := range t.stableSeqRows() {
+			k := projKey(r.vals, cols)
+			idx.m[k] = append(idx.m[k], r)
 		}
 		t.indexes[name] = idx
 	}
 	return idx
 }
 
-// lookup returns the visible rows whose projection on cols equals key,
-// building the index on first use.
-func (t *table) lookup(cols []int, key string) [][]colog.Value {
-	return t.ensureIndex(cols).m[key]
-}
-
-// indexInsert registers a newly visible row in all existing indexes.
-func (t *table) indexInsert(vals []colog.Value) {
+// indexInsert registers a newly visible row in all existing indexes,
+// keeping each bucket sorted by arrival number. Most inserts carry the
+// highest seq so far and append; a delete/re-insert pair restoring a
+// tombstoned seq (freedSeq) splices back into the row's old position.
+func (t *table) indexInsert(vals []colog.Value, seq uint64) {
 	for _, idx := range t.indexes {
 		k := projKey(vals, idx.cols)
-		idx.m[k] = append(idx.m[k], vals)
+		rows := idx.m[k]
+		i := len(rows)
+		if i > 0 && rows[i-1].seq > seq {
+			i = sort.Search(len(rows), func(j int) bool { return rows[j].seq > seq })
+		}
+		rows = append(rows, idxRow{})
+		copy(rows[i+1:], rows[i:])
+		rows[i] = idxRow{seq: seq, vals: vals}
+		idx.m[k] = rows
 	}
 }
 
-// indexRemove drops a no-longer-visible row from all existing indexes.
+// indexRemove drops a no-longer-visible row from all existing indexes,
+// preserving the arrival order of the surviving bucket entries.
 func (t *table) indexRemove(vals []colog.Value) {
 	for _, idx := range t.indexes {
 		k := projKey(vals, idx.cols)
 		rows := idx.m[k]
-		for i, r := range rows {
-			if valsEqual(r, vals) {
-				rows[i] = rows[len(rows)-1]
-				rows = rows[:len(rows)-1]
+		for i := range rows {
+			if valsEqual(rows[i].vals, vals) {
+				rows = append(rows[:i], rows[i+1:]...)
 				break
 			}
 		}

@@ -279,9 +279,11 @@ func (f *bindFrame) appendProbeKey(ops []probeOp) []byte {
 	return dst
 }
 
-// probeBytes looks up rows by a key held in a byte slice without
-// allocating the string (the compiler elides the conversion).
-func (ix *tableIndex) probeBytes(key []byte) [][]colog.Value {
+// probeBytes looks up a bucket by a key held in a byte slice without
+// allocating the string (the compiler elides the conversion). The bucket
+// is seq-ordered: enumerating it yields the matching rows in snapshotStable
+// order (see tableIndex).
+func (ix *tableIndex) probeBytes(key []byte) []idxRow {
 	return ix.m[string(key)]
 }
 
@@ -434,6 +436,23 @@ type gstep struct {
 	// rebind marks a gAssign whose target is already bound at this point
 	// (executed by saving and restoring the previous value).
 	rebind bool
+
+	// Streaming-mode join fields (see stream.go). For a ground predicate,
+	// scan is the table's arrival-order snapshot and gidx the persistent
+	// index probed when the bound prefix is ground; for a solver predicate,
+	// symRows/groundRows are the symbolic tuples and the unshadowed
+	// materialized rows. pre is the pushdown prefilter; provCache memoizes
+	// per-row provenance cells in recording mode. Snapshots and index
+	// pointers are captured at plan time — plans are built serially, so
+	// grounding workers read them without synchronization.
+	streamed   bool
+	scan       [][]colog.Value
+	gidx       *tableIndex
+	symRows    []symTuple
+	groundRows [][]colog.Value
+	pre        []rowCmp
+	provCache  map[string][]cellProv
+	provKeyBuf []byte
 }
 
 // groundPlan is the ordered body of one rule for one grounding, with every
@@ -449,15 +468,25 @@ type groundPlan struct {
 // as their inputs are bound, atoms are scheduled most-bound-first with
 // smaller relations breaking ties, replacing the seed grounder's
 // first-unprocessed-atom pick. Index probes are attached for every join
-// with a bound prefix.
+// with a bound prefix. Both grounding modes produce the same literal order
+// (streaming sizes relations without materializing them); they differ only
+// in each join's row source and in the pushdown prefilter compiled for
+// streamed ground rows.
 func (g *grounder) planGroundBody(rule *colog.Rule, seedBound map[string]bool) (*groundPlan, error) {
 	label := ruleName(rule)
 	slots := g.slotsFor(rule)
 	p := &groundPlan{rule: rule, label: label, slots: slots}
 
 	bound := map[string]bool{}
+	// maybe tracks which variables can hold a symbolic value at the current
+	// plan point — seeded head variables (constraint rules bind them from
+	// symbolic tuples), binds from solver-predicate joins, reified bindings,
+	// and expressions over any of those. The pushdown compiler treats checks
+	// against such variables as barriers.
+	maybe := map[string]bool{}
 	for v := range seedBound {
 		bound[v] = true
+		maybe[v] = true
 	}
 	type pending struct {
 		lit  colog.Literal
@@ -502,8 +531,12 @@ func (g *grounder) planGroundBody(rule *colog.Rule, seedBound map[string]bool) (
 				} else if name, rhs, k, reified, ok := splitBindableStatic(x.Expr, bound); ok {
 					if reified {
 						picked, step = i, gstep{kind: gReify, slot: slots.slotOf(name), rhs: rhs, k: k}
+						maybe[name] = true // ITE over solver expressions
 					} else {
 						picked, step = i, gstep{kind: gBind, slot: slots.slotOf(name), rhs: rhs}
+						if termMaybeSym(rhs, maybe) {
+							maybe[name] = true
+						}
 					}
 					bound[name] = true
 				}
@@ -511,6 +544,9 @@ func (g *grounder) planGroundBody(rule *colog.Rule, seedBound map[string]bool) (
 				if condBound(x.Expr, bound) {
 					picked, step = i, gstep{kind: gAssign, slot: slots.slotOf(x.Var), rhs: x.Expr, rebind: bound[x.Var]}
 					bound[x.Var] = true
+					if termMaybeSym(x.Expr, maybe) {
+						maybe[x.Var] = true
+					}
 				}
 			}
 			if picked >= 0 {
@@ -525,15 +561,25 @@ func (g *grounder) planGroundBody(rule *colog.Rule, seedBound map[string]bool) (
 				if pd.atom == nil {
 					continue
 				}
-				rows, err := g.cachedRows(pd.atom.Pred)
-				if err != nil {
-					return nil, everrf(label, "%v", err)
+				var sz int
+				if g.stream {
+					n, err := g.relSize(pd.atom.Pred)
+					if err != nil {
+						return nil, everrf(label, "%v", err)
+					}
+					sz = n
+				} else {
+					rows, err := g.cachedRows(pd.atom.Pred)
+					if err != nil {
+						return nil, everrf(label, "%v", err)
+					}
+					sz = len(rows)
 				}
-				bc, sz := boundCount(pd.atom), len(rows)
+				bc := boundCount(pd.atom)
 				if bc > bestBound || (bc == bestBound && sz < bestSize) {
 					bestBound, bestSize = bc, sz
 					picked = i
-					step = gstep{kind: gJoin, atom: pd.atom, rows: rows}
+					step = gstep{kind: gJoin, atom: pd.atom}
 				}
 			}
 			if picked >= 0 {
@@ -546,11 +592,50 @@ func (g *grounder) planGroundBody(rule *colog.Rule, seedBound map[string]bool) (
 				// partial match before a later argument fails (seed
 				// semantics the solver model depends on), so those
 				// predicates keep the full scan.
-				if _, isSym := g.sym[a.Pred]; len(cols) > 0 && !isSym {
-					step.probeOps = compileProbeOps(a, cols, slots)
-					step.idx = g.cachedSymIndex(a.Pred, cols, step.rows)
+				_, isSym := g.sym[a.Pred]
+				if g.stream {
+					step.streamed = true
+					if isSym {
+						step.symRows = g.sym[a.Pred]
+						gr, err := g.cachedGroundRows(a.Pred)
+						if err != nil {
+							return nil, everrf(label, "%v", err)
+						}
+						step.groundRows = gr
+					} else {
+						tbl := g.n.tables[a.Pred]
+						step.scan = tbl.snapshotStable()
+						if len(cols) > 0 {
+							step.probeOps = compileProbeOps(a, cols, slots)
+							step.gidx = tbl.ensureIndex(cols)
+						}
+					}
+				} else {
+					rows, err := g.cachedRows(a.Pred)
+					if err != nil {
+						return nil, everrf(label, "%v", err)
+					}
+					step.rows = rows
+					if len(cols) > 0 && !isSym {
+						step.probeOps = compileProbeOps(a, cols, slots)
+						step.idx = g.cachedSymIndex(a.Pred, cols, step.rows)
+					}
 				}
 				step.ops = compileArgOps(a, slots, bound)
+				if g.stream {
+					step.pre = compilePushdown(step.ops, func(slot int) bool {
+						return maybe[slots.names[slot]]
+					})
+					if isSym {
+						// Binds from a solver predicate can carry symbolic
+						// values into the frame.
+						for oi := range step.ops {
+							if step.ops[oi].kind == argBind {
+								maybe[slots.names[step.ops[oi].slot]] = true
+							}
+						}
+					}
+				}
 			}
 		}
 		if picked < 0 {

@@ -53,6 +53,17 @@ type Config struct {
 	// negative value) forces serial grounding. Results are merged in rule
 	// order, so the outcome is identical at any setting.
 	GroundWorkers int
+	// GroundMode selects the grounder's join evaluation strategy. "" or
+	// "streaming" (the default) pipelines joins directly over the tables'
+	// arrival-ordered scans and persistent indexes, with compares pushed
+	// down into the row source — no merged row sets or transient per-solve
+	// indexes are materialized (see stream.go). "materialized" is the escape
+	// hatch that restores the seed behavior: per-predicate merged symbolic
+	// row sets and transient hash indexes rebuilt each solve. Both modes
+	// produce byte-identical tables, objectives, and solver search traces
+	// (TestStreamingGroundEquivalence); they differ only in allocation and
+	// speed. Any other value makes Solve return an error.
+	GroundMode string
 	// SolverIncremental enables incremental re-grounding: the node keeps the
 	// grounded solver model between solves and, on the next solve, re-grounds
 	// only the rule instantiations affected by the tuples that changed,
@@ -181,6 +192,9 @@ func RestoreNode(addr string, res *analysis.Result, cfg Config, tr transport.Tra
 
 // newNode builds and registers an instance without loading program facts.
 func newNode(addr string, res *analysis.Result, cfg Config, tr transport.Transport) (*Node, error) {
+	if _, err := streamingGround(cfg.GroundMode); err != nil {
+		return nil, err
+	}
 	plans, err := compileRules(res)
 	if err != nil {
 		return nil, err
@@ -627,31 +641,29 @@ func (n *Node) execSteps(p *plan, idx int, f *bindFrame, d delta) error {
 		if t == nil {
 			return everrf(step.atom.Pred, "unknown predicate in join")
 		}
-		var rows [][]colog.Value
 		if len(step.boundCols) > 0 {
 			if step.cachedIdx == nil || step.cachedGen != t.indexGen {
 				step.cachedIdx = t.ensureIndexNamed(step.idxKey, step.boundCols)
 				step.cachedGen = t.indexGen
 			}
 			key := f.appendProbeKey(step.probeOps)
-			rows = step.cachedIdx.probeBytes(key)
+			for _, r := range step.cachedIdx.probeBytes(key) {
+				if err := n.execJoinRow(p, idx, f, d, r.vals); err != nil {
+					return err
+				}
+			}
 		} else {
-			rows = t.snapshotUnordered()
+			for _, rowVals := range t.snapshotUnordered() {
+				if err := n.execJoinRow(p, idx, f, d, rowVals); err != nil {
+					return err
+				}
+			}
 		}
 		// Self-join deletion fix: a negative delta's tuple is already out of
 		// the store, but derivations pairing it with itself must still be
 		// retracted.
 		if d.sign < 0 && step.atom.Pred == d.tuple.Pred {
-			rows = append(rows[:len(rows):len(rows)], d.tuple.Vals)
-		}
-		for _, rowVals := range rows {
-			m := f.mark()
-			if matchRow(step.argOps, rowVals, f) {
-				if err := n.execSteps(p, idx+1, f, d); err != nil {
-					return err
-				}
-			}
-			f.undo(m)
+			return n.execJoinRow(p, idx, f, d, d.tuple.Vals)
 		}
 		return nil
 	case stepFilter:
@@ -684,6 +696,23 @@ func (n *Node) execSteps(p *plan, idx int, f *bindFrame, d delta) error {
 		return n.execSteps(p, idx+1, f, d)
 	}
 	return everrf(ruleName(p.rule), "unknown plan step")
+}
+
+// execJoinRow runs one candidate row through a join step: the pushdown
+// prefilter rejects most non-matching rows against the raw values before
+// the frame is touched, then the full op list binds and checks as before.
+func (n *Node) execJoinRow(p *plan, idx int, f *bindFrame, d delta, rowVals []colog.Value) error {
+	step := &p.steps[idx]
+	if !f.rowPrefilter(step.preCmps, len(step.argOps), rowVals) {
+		return nil
+	}
+	m := f.mark()
+	var err error
+	if matchRow(step.argOps, rowVals, f) {
+		err = n.execSteps(p, idx+1, f, d)
+	}
+	f.undo(m)
+	return err
 }
 
 // emitHead projects the binding onto the rule head. Aggregate heads update

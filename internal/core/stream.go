@@ -1,0 +1,415 @@
+package core
+
+// Streaming grounding pipeline with predicate pushdown.
+//
+// The seed grounder materialized, per solve, a merged symTuple row set for
+// every predicate a rule body reads (rowsFor/cachedRows) plus a transient
+// hash index over it per probed column set (cachedSymIndex): for the common
+// case — a pure ground table with no symbolic tuples — that meant lifting
+// every row into freshly allocated symTuples (and, when recording, a
+// provenance cell per column) before a single join ran, only for most rows
+// to be discarded by a compare.
+//
+// In streaming mode (Config.GroundMode, on by default) those intermediates
+// disappear. A join over a ground predicate consumes the table directly:
+// either the persistent arrival-ordered tableIndex (shared with the delta
+// pipeline, pre-sized from the table count) or the memoized snapshotStable
+// scan, both captured on the plan step while plans are built serially — so
+// grounding workers then read them without synchronization. Rows flow
+// through a pushdown prefilter (rowCmp) evaluated on the raw []colog.Value
+// before any binding-frame extension, and only surviving rows are matched
+// op-by-op (matchGroundRow), binding cells by value into the frame — no
+// symTuple is ever allocated. Solver predicates stream their symbolic
+// tuples first and their unshadowed materialized rows second, exactly the
+// order the merged row set would have held them.
+//
+// Emission order and posted-constraint order are byte-identical to
+// materialized grounding by construction:
+//
+//   - scans enumerate snapshotStable order, index buckets are seq-ordered
+//     (see index.go), and symbolic tuples precede ground rows — the same
+//     total order rowsFor produced;
+//   - the prefilter only hoists compares that appear before the first op
+//     that could post a constraint (an equality check against a
+//     possibly-symbolic frame slot) or raise an error (an expression
+//     argument), so a row the prefilter rejects is exactly a row the full
+//     match would have rejected before any side effect;
+//   - matchGroundRow runs the full op list in original order afterwards,
+//     so surviving rows behave identically to a lifted matchSymRow.
+//
+// TestStreamingGroundEquivalence pins the equivalence under churn; the
+// incremental/cluster/recovery gates pin the resulting derivation arrival
+// order and solver-node traces.
+
+import (
+	"repro/internal/colog"
+)
+
+// ---------------------------------------------------------- pushdown ops
+
+// rowCmpKind enumerates the prefilter compare forms.
+type rowCmpKind int
+
+const (
+	cmpConst rowCmpKind = iota // row column vs constant
+	cmpSlot                    // row column vs bound frame slot
+	cmpCol                     // row column vs earlier column of the same row
+)
+
+// rowCmp is one pushed-down compare, evaluated against a raw table row
+// before the binding frame is touched. For cmpSlot, slot is a frame slot;
+// for cmpCol it is the earlier row column that first binds the variable.
+type rowCmp struct {
+	kind rowCmpKind
+	col  int
+	slot int
+	val  colog.Value
+}
+
+// compilePushdown extracts the prefilter from a join's compiled arg ops:
+// the side-effect-free compares that appear before the first op whose
+// evaluation could post a constraint or raise an error. maybeSym reports
+// whether a frame slot can hold a symbolic value when the join runs; a
+// check against such a slot posts an equality constraint in matchSymRow /
+// matchGroundRow and is therefore a barrier — it and everything after it
+// stay in the full match, preserving the seed semantics that constraints
+// posted before a later argument fails are kept. An expression argument is
+// likewise a barrier (it errors when reached, and a hoisted later compare
+// could mask that error by failing first). Pass maybeSym == nil for the
+// delta pipeline, where frames are always ground and nothing posts.
+func compilePushdown(ops []argOp, maybeSym func(slot int) bool) []rowCmp {
+	var cmps []rowCmp
+	boundAt := map[int]int{} // frame slot -> first binding column in this atom
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case argConst:
+			cmps = append(cmps, rowCmp{kind: cmpConst, col: i, val: op.val})
+		case argBind:
+			if _, ok := boundAt[op.slot]; !ok {
+				boundAt[op.slot] = i
+			}
+		case argCheck:
+			if j, ok := boundAt[op.slot]; ok {
+				// Repeated variable within the atom: both sides come from
+				// this row, so the compare needs no frame at all.
+				cmps = append(cmps, rowCmp{kind: cmpCol, col: i, slot: j})
+				continue
+			}
+			if maybeSym != nil && maybeSym(op.slot) {
+				return cmps // barrier: could post an equality constraint
+			}
+			cmps = append(cmps, rowCmp{kind: cmpSlot, col: i, slot: op.slot})
+		case argExpr:
+			return cmps // barrier: errors in the grounder when reached
+		}
+	}
+	return cmps
+}
+
+// rowPrefilter evaluates the pushdown compares against a raw row under a
+// ground (delta-pipeline) frame. True means the row must still go through
+// the full match; false means the full match would provably reject it
+// before any binding.
+func (f *bindFrame) rowPrefilter(cmps []rowCmp, arity int, vals []colog.Value) bool {
+	if len(vals) != arity {
+		return true // let the full match report the arity mismatch
+	}
+	for i := range cmps {
+		c := &cmps[i]
+		switch c.kind {
+		case cmpConst:
+			if !c.val.Equal(vals[c.col]) {
+				return false
+			}
+		case cmpSlot:
+			if !f.vals[c.slot].Equal(vals[c.col]) {
+				return false
+			}
+		case cmpCol:
+			if !vals[c.slot].Equal(vals[c.col]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rowPrefilter is the grounder-frame variant. Slots the planner proved
+// never-symbolic can still be checked defensively: a symbolic slot value
+// falls through to the full match, which owns the constraint-posting
+// semantics.
+func (f *symFrame) rowPrefilter(cmps []rowCmp, arity int, vals []colog.Value) bool {
+	if len(vals) != arity {
+		return true
+	}
+	for i := range cmps {
+		c := &cmps[i]
+		switch c.kind {
+		case cmpConst:
+			if !c.val.Equal(vals[c.col]) {
+				return false
+			}
+		case cmpSlot:
+			gv := f.vals[c.slot]
+			if gv.isSym() {
+				continue
+			}
+			if !gv.val.Equal(vals[c.col]) {
+				return false
+			}
+		case cmpCol:
+			if !vals[c.slot].Equal(vals[c.col]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ------------------------------------------------- maybe-symbolic tracking
+
+// termMaybeSym reports whether evaluating the term under the current frame
+// could yield a symbolic value: true iff any variable it mentions might be
+// symbolic.
+func termMaybeSym(t colog.Term, maybe map[string]bool) bool {
+	switch x := t.(type) {
+	case *colog.VarTerm:
+		return maybe[x.Name]
+	case *colog.BinTerm:
+		return termMaybeSym(x.L, maybe) || termMaybeSym(x.R, maybe)
+	case *colog.NegTerm:
+		return termMaybeSym(x.X, maybe)
+	case *colog.NotTerm:
+		return termMaybeSym(x.X, maybe)
+	case *colog.AbsTerm:
+		return termMaybeSym(x.X, maybe)
+	case *colog.FuncTerm:
+		for _, a := range x.Args {
+			if termMaybeSym(a, maybe) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// ---------------------------------------------------- streaming row sources
+
+// relSize returns the number of rows a join over the predicate enumerates,
+// without materializing them: the table count for ground predicates, the
+// symbolic tuples plus unshadowed materialized rows for solver predicates.
+// It reproduces len(rowsFor(pred)) exactly, so streaming and materialized
+// planning order joins identically.
+func (g *grounder) relSize(pred string) (int, error) {
+	sts, isSym := g.sym[pred]
+	tbl := g.n.tables[pred]
+	if !isSym {
+		if tbl == nil {
+			return 0, unknownPredErr(pred)
+		}
+		return tbl.size(), nil
+	}
+	if tbl == nil || tbl.size() == 0 {
+		return len(sts), nil
+	}
+	rows, err := g.cachedGroundRows(pred)
+	if err != nil {
+		return 0, err
+	}
+	return len(sts) + len(rows), nil
+}
+
+// cachedGroundRows returns a solver predicate's materialized rows that are
+// not shadowed by a symbolic tuple, in snapshotStable order — the ground
+// tail of the merged row set, without lifting. Cached until the predicate's
+// symbolic tuples change (invalidatePred).
+func (g *grounder) cachedGroundRows(pred string) ([][]colog.Value, error) {
+	if rows, ok := g.groundRowsCache[pred]; ok {
+		return rows, nil
+	}
+	sts := g.sym[pred]
+	tbl := g.n.tables[pred]
+	var out [][]colog.Value
+	if tbl != nil && tbl.size() > 0 {
+		ti := g.n.res.Tables[pred]
+		shadow := map[string]bool{}
+		for _, st := range sts {
+			if k, ok := symRegKey(ti, func(i int) (colog.Value, bool) {
+				if st[i].isSym() {
+					return colog.Value{}, false
+				}
+				return st[i].val, true
+			}); ok {
+				shadow[k] = true
+			}
+		}
+		for _, vals := range tbl.snapshotStable() {
+			k, _ := symRegKey(ti, func(i int) (colog.Value, bool) { return vals[i], true })
+			if shadow[k] {
+				continue
+			}
+			out = append(out, vals)
+		}
+	}
+	if g.groundRowsCache == nil {
+		g.groundRowsCache = map[string][][]colog.Value{}
+	}
+	g.groundRowsCache[pred] = out
+	return out, nil
+}
+
+// provFor returns the provenance cells for one raw row of the step's join
+// predicate, memoized per step so repeated probes of the same row reuse one
+// allocation. The key is the full-row valsKey — the same key the lift path
+// and the incremental patcher use, so refs recorded through streaming
+// grounding are found by patchRun.
+func (st *gstep) provFor(pred string, vals []colog.Value) []cellProv {
+	st.provKeyBuf = appendValsKey(st.provKeyBuf[:0], vals)
+	if provs, ok := st.provCache[string(st.provKeyBuf)]; ok {
+		return provs
+	}
+	key := string(st.provKeyBuf)
+	provs := make([]cellProv, len(vals))
+	for j := range vals {
+		provs[j] = cellProv{pred: pred, key: key, col: j}
+	}
+	if st.provCache == nil {
+		st.provCache = map[string][]cellProv{}
+	}
+	st.provCache[key] = provs
+	return provs
+}
+
+// ------------------------------------------------------ streaming execution
+
+// streamJoin enumerates a streamed join step: symbolic tuples (if any)
+// first via the symbolic matcher, then ground rows via the prefiltered
+// ground matcher — probing the persistent index when the bound prefix is
+// ground, falling back to the arrival-order scan otherwise.
+func (g *grounder) streamJoin(run *groundRun, p *groundPlan, idx int, sink func(*symFrame) error) error {
+	f := run.frame
+	step := &p.steps[idx]
+	if step.scan != nil {
+		// Ground predicate: probe or scan the table directly.
+		if step.gidx != nil {
+			if key, ok := f.appendProbeKey(step.probeOps); ok {
+				for _, r := range step.gidx.probeBytes(key) {
+					if err := g.streamGroundRow(run, p, idx, r.vals, sink); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+		for _, vals := range step.scan {
+			if err := g.streamGroundRow(run, p, idx, vals, sink); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Solver predicate: symbolic tuples first, then the unshadowed
+	// materialized rows — the merged row set's order, streamed.
+	for _, st := range step.symRows {
+		m := f.mark()
+		ok, err := g.matchSymRow(run, step.ops, st, p.label)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if err := g.execPlan(run, p, idx+1, sink); err != nil {
+				return err
+			}
+		}
+		f.undo(m)
+	}
+	for _, vals := range step.groundRows {
+		if err := g.streamGroundRow(run, p, idx, vals, sink); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamGroundRow runs one raw table row through the step: pushdown
+// prefilter, then the full op-by-op match, then the plan continuation.
+func (g *grounder) streamGroundRow(run *groundRun, p *groundPlan, idx int, vals []colog.Value, sink func(*symFrame) error) error {
+	step := &p.steps[idx]
+	f := run.frame
+	if !f.rowPrefilter(step.pre, len(step.ops), vals) {
+		return nil
+	}
+	m := f.mark()
+	ok, err := g.matchGroundRow(run, step, vals, p.label)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if err := g.execPlan(run, p, idx+1, sink); err != nil {
+			return err
+		}
+	}
+	f.undo(m)
+	return nil
+}
+
+// matchGroundRow is matchSymRow specialized to a raw (unlifted) table row:
+// cells bind by value into the frame, and provenance is attached only when
+// recording — one memoized cellProv array per row instead of a lift per
+// row per predicate. Semantics are identical: an equality check whose
+// frame side is symbolic posts an equality constraint with the cell lifted
+// to a constant, and constraints posted before a later argument fails are
+// kept.
+func (g *grounder) matchGroundRow(run *groundRun, step *gstep, vals []colog.Value, label string) (bool, error) {
+	ops := step.ops
+	if len(ops) != len(vals) {
+		return false, nil
+	}
+	f := run.frame
+	var provs []cellProv
+	if g.recording {
+		provs = step.provFor(step.atom.Pred, vals)
+	}
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case argBind:
+			gv := gval{val: vals[i]}
+			if provs != nil {
+				gv.prov = &provs[i]
+			}
+			f.bind(op.slot, gv)
+		case argCheck:
+			bound := f.vals[op.slot]
+			if !bound.isSym() {
+				if !bound.val.Equal(vals[i]) {
+					return false, nil
+				}
+				continue
+			}
+			le, err := g.toExpr(bound, label, run.rec)
+			if err != nil {
+				return false, err
+			}
+			cell := gval{val: vals[i]}
+			if provs != nil {
+				cell.prov = &provs[i]
+			}
+			re, err := g.toExpr(cell, label, run.rec)
+			if err != nil {
+				return false, err
+			}
+			run.require(g.model.Eq(le, re))
+		case argConst:
+			if !op.val.Equal(vals[i]) {
+				return false, nil
+			}
+		case argExpr:
+			return false, everrf(label, "unsupported atom argument %s during grounding", op.term)
+		}
+	}
+	return true, nil
+}

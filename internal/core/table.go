@@ -132,7 +132,7 @@ func (t *table) apply(vals []colog.Value, sign int, derived bool) (out [2]delta,
 			stored = append([]colog.Value(nil), vals...)
 		}
 		t.rows[string(kb)] = row{vals: stored, count: 1, base: baseInc, seq: seq}
-		t.indexInsert(stored)
+		t.indexInsert(stored, seq)
 		t.stableCache = nil
 		out[n] = delta{Tuple{t.name, vals}, +1, derived}
 		n++
@@ -198,15 +198,7 @@ func (t *table) rememberSeq(key string, seq uint64) {
 // emission order identical to a fresh grounding's.
 func (t *table) snapshotStable() [][]colog.Value {
 	if t.stableCache == nil {
-		type seqRow struct {
-			seq  uint64
-			vals []colog.Value
-		}
-		rows := make([]seqRow, 0, len(t.rows))
-		for _, r := range t.rows {
-			rows = append(rows, seqRow{r.seq, r.vals})
-		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+		rows := t.stableSeqRows()
 		out := make([][]colog.Value, len(rows))
 		for i, r := range rows {
 			out[i] = r.vals
@@ -214,6 +206,18 @@ func (t *table) snapshotStable() [][]colog.Value {
 		t.stableCache = out
 	}
 	return t.stableCache
+}
+
+// stableSeqRows returns the visible rows with their arrival numbers, sorted
+// by seq: the enumeration an index build consumes, so freshly built buckets
+// carry rows in exactly snapshotStable order.
+func (t *table) stableSeqRows() []idxRow {
+	rows := make([]idxRow, 0, len(t.rows))
+	for _, r := range t.rows {
+		rows = append(rows, idxRow{r.seq, r.vals})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+	return rows
 }
 
 // size returns the number of visible rows.

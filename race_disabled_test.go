@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro
+
+// raceEnabled gates tests whose measurements (allocation sizes, timing) are
+// distorted by the race detector's instrumentation.
+const raceEnabled = false
