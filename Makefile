@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json fuzz fuzz-wire lint docs-check recovery-equivalence streaming-equivalence alloc-budget ci
+.PHONY: build test bench bench-json bench-diff fuzz fuzz-wire lint docs-check recovery-equivalence streaming-equivalence alloc-budget ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,16 @@ BENCHJSON_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 bench-json:
 	$(GO) test -run='^$$' -bench='$(BENCHJSON_BENCH)' -benchtime=$(BENCHJSON_ITERS)x -benchmem . \
 		| $(GO) run ./cmd/benchjson -out $(BENCHJSON_OUT)
+
+# Compare two BENCH_*.json files and flag >15% ns/op regressions.
+# Informational by default (single runs are noisy); set DIFF_FLAGS to
+# e.g. "-fail-on-regress -threshold 20" for a hard gate. With no arguments
+# it compares the two most recent BENCH_*.json files in the repo root.
+BENCH_OLD ?= $(shell ls -1 BENCH_*.json 2>/dev/null | sort | tail -2 | head -1)
+BENCH_NEW ?= $(shell ls -1 BENCH_*.json 2>/dev/null | sort | tail -1)
+DIFF_FLAGS ?=
+bench-diff:
+	$(GO) run ./cmd/benchjson diff $(DIFF_FLAGS) $(BENCH_OLD) $(BENCH_NEW)
 
 # Short fixed-budget fuzz of the Colog parser (the CI job runs the same
 # target with FUZZTIME=20s).

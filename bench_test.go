@@ -1006,6 +1006,93 @@ func BenchmarkResync(b *testing.B) {
 	b.ReportMetric(float64(bytes)/n, "resync-bytes")
 }
 
+// BenchmarkClusterScaling measures the epoch executor itself: eight nodes
+// each solving an independent budget-capped COP (equal per-item cost by
+// construction), one item per node, swept over pool sizes. ns/op is the
+// epoch wall time — on a multi-core host it should drop near-linearly with
+// workers until the item count is the limit, while results stay
+// byte-identical (the equivalence suites pin that). The parallelism metric
+// is (ground+solve CPU time)/(epoch wall): ~1 sequentially, approaching
+// min(workers, items) on an idle multi-core host.
+func BenchmarkClusterScaling(b *testing.B) {
+	prog, err := colog.Parse(resyncBenchSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ares, err := analysis.Analyze(prog, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nodes, items = 8, 10
+	specs := make([]cluster.NodeSpec, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		addr := fmt.Sprintf("n%d", i)
+		next := fmt.Sprintf("n%d", (i+1)%nodes)
+		specs[i] = cluster.NodeSpec{
+			Addr:    addr,
+			Program: ares,
+			Config: core.Config{
+				SolverPropagate: true,
+				SolverMaxNodes:  8000,
+				Keys:            map[string][]int{"got": {0, 1, 2}},
+			},
+			Seed: func(n *core.Node) error {
+				for d := 0; d < items; d++ {
+					dn := fmt.Sprintf("d%d", d)
+					if err := n.Insert("item", colog.StringVal(addr), colog.StringVal(dn)); err != nil {
+						return err
+					}
+					if err := n.Insert("w", colog.StringVal(addr), colog.StringVal(dn), colog.IntVal(int64(i+d+1))); err != nil {
+						return err
+					}
+				}
+				if err := n.Insert("need", colog.StringVal(addr), colog.IntVal(2*items)); err != nil {
+					return err
+				}
+				return n.Insert("link", colog.StringVal(addr), colog.StringVal(next))
+			},
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+			r := cluster.New(cluster.Options{Workers: workers, Latency: time.Millisecond})
+			if err := r.SpawnAll(specs); err != nil {
+				b.Fatal(err)
+			}
+			r.Settle()
+			var epochItems []cluster.Item
+			for _, addr := range r.Addrs() {
+				n := r.Node(addr)
+				epochItems = append(epochItems, cluster.Item{
+					Label: "solve " + addr,
+					Nodes: []string{addr},
+					Run:   func() (*core.SolveResult, error) { return n.Solve(core.SolveOptions{}) },
+				})
+			}
+			var last cluster.EpochStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := r.RunEpoch(epochItems)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = st
+				r.Settle()
+			}
+			b.StopTimer()
+			if last.ExecWall > 0 {
+				b.ReportMetric((last.GroundWall+last.SolveWall).Seconds()/last.ExecWall.Seconds(), "parallelism")
+			}
+			b.ReportMetric(float64(last.SolverNodes), "search-nodes")
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkClusterACloudScaled balances a generated 12-data-center ACloud
 // workload, per-DC COPs solved concurrently on the worker pool; the
 // workers dimension measures the pool speedup on independent solves.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/acloud"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -23,8 +24,20 @@ func main() {
 		budget   = flag.Duration("solver-max-time", 0, "override per-COP time budget")
 		maxNodes = flag.Int64("solver-max-nodes", 0, "override per-COP node budget")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		profile  = flag.String("profile", "", "write CPU/heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acloud: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "acloud: %v\n", err)
+		}
+	}()
 
 	p := acloud.BenchParams()
 	if *full {

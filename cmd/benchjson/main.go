@@ -6,6 +6,17 @@
 // `make bench-json` wires this up for the paper-figure benchmark set. Each
 // benchmark line becomes one record with iterations, ns/op, B/op, allocs/op,
 // and any custom metrics reported through b.ReportMetric.
+//
+// The diff subcommand compares two summaries and flags ns/op regressions
+// beyond a threshold (default 15%), for eyeballing a fresh run against the
+// committed baseline:
+//
+//	benchjson diff BENCH_2026-07-29.json BENCH_2026-08-08.json
+//	benchjson diff -threshold 10 -fail-on-regress old.json new.json
+//
+// By default diff is informational (exit 0 even with regressions — CI runs
+// it as a non-blocking step, since single-run benchmarks are noisy);
+// -fail-on-regress exits 1 when any benchmark crosses the threshold.
 package main
 
 import (
@@ -95,7 +106,112 @@ func parseBench(r io.Reader) (*Summary, error) {
 	return sum, nil
 }
 
+// Diff is one benchmark's ns/op comparison between two summaries.
+type Diff struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	DeltaPct float64 // (new-old)/old * 100; 0 when old is 0
+}
+
+// diffSummaries pairs benchmarks by name and computes their ns/op deltas,
+// in the new summary's order. Benchmarks present in only one summary are
+// returned separately.
+func diffSummaries(oldSum, newSum *Summary) (diffs []Diff, onlyOld, onlyNew []string) {
+	oldNs := map[string]float64{}
+	for _, r := range oldSum.Benchmarks {
+		oldNs[r.Name] = r.NsPerOp
+	}
+	seen := map[string]bool{}
+	for _, r := range newSum.Benchmarks {
+		seen[r.Name] = true
+		prev, ok := oldNs[r.Name]
+		if !ok {
+			onlyNew = append(onlyNew, r.Name)
+			continue
+		}
+		d := Diff{Name: r.Name, OldNs: prev, NewNs: r.NsPerOp}
+		if prev > 0 {
+			d.DeltaPct = (r.NsPerOp - prev) / prev * 100
+		}
+		diffs = append(diffs, d)
+	}
+	for _, r := range oldSum.Benchmarks {
+		if !seen[r.Name] {
+			onlyOld = append(onlyOld, r.Name)
+		}
+	}
+	return diffs, onlyOld, onlyNew
+}
+
+func readSummary(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sum := &Summary{}
+	if err := json.Unmarshal(data, sum); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sum, nil
+}
+
+// runDiff implements the diff subcommand and returns the process exit code.
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 15,
+		"flag benchmarks whose ns/op grew by more than this percentage")
+	failOnRegress := fs.Bool("fail-on-regress", false,
+		"exit 1 when any benchmark crosses the threshold (default: informational)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchjson diff [flags] old.json new.json\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldSum, err := readSummary(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	newSum, err := readSummary(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	diffs, onlyOld, onlyNew := diffSummaries(oldSum, newSum)
+	regressions := 0
+	fmt.Fprintf(stdout, "%-64s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, d := range diffs {
+		flag := ""
+		if d.DeltaPct > *threshold {
+			flag = "  REGRESSION"
+			regressions++
+		} else if d.DeltaPct < -*threshold {
+			flag = "  improved"
+		}
+		fmt.Fprintf(stdout, "%-64s %14.0f %14.0f %+7.1f%%%s\n", d.Name, d.OldNs, d.NewNs, d.DeltaPct, flag)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(stdout, "%-64s only in %s\n", name, fs.Arg(0))
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(stdout, "%-64s only in %s\n", name, fs.Arg(1))
+	}
+	fmt.Fprintf(stdout, "%d compared, %d over the +%.0f%% threshold\n", len(diffs), regressions, *threshold)
+	if regressions > 0 && *failOnRegress {
+		return 1
+	}
+	return 0
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	out := flag.String("out", "", "write the JSON summary to this file (default: stdout)")
 	flag.Parse()
 	sum, err := parseBench(os.Stdin)

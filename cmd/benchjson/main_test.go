@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -48,5 +50,87 @@ func TestParseBenchEmpty(t *testing.T) {
 	}
 	if len(sum.Benchmarks) != 0 {
 		t.Fatalf("expected no benchmarks, got %d", len(sum.Benchmarks))
+	}
+}
+
+func TestDiffSummaries(t *testing.T) {
+	oldSum := &Summary{Benchmarks: []Record{
+		{Name: "BenchmarkA", NsPerOp: 1000},
+		{Name: "BenchmarkB", NsPerOp: 2000},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	newSum := &Summary{Benchmarks: []Record{
+		{Name: "BenchmarkA", NsPerOp: 1200}, // +20%: a regression at 15%
+		{Name: "BenchmarkB", NsPerOp: 1500}, // -25%: an improvement
+		{Name: "BenchmarkNew", NsPerOp: 10},
+	}}
+	diffs, onlyOld, onlyNew := diffSummaries(oldSum, newSum)
+	if len(diffs) != 2 {
+		t.Fatalf("compared %d benchmarks, want 2", len(diffs))
+	}
+	if diffs[0].Name != "BenchmarkA" || diffs[0].DeltaPct != 20 {
+		t.Fatalf("diff 0 = %+v", diffs[0])
+	}
+	if diffs[1].Name != "BenchmarkB" || diffs[1].DeltaPct != -25 {
+		t.Fatalf("diff 1 = %+v", diffs[1])
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Fatalf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Fatalf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	oldSum := &Summary{Benchmarks: []Record{{Name: "BenchmarkZ", NsPerOp: 0}}}
+	newSum := &Summary{Benchmarks: []Record{{Name: "BenchmarkZ", NsPerOp: 100}}}
+	diffs, _, _ := diffSummaries(oldSum, newSum)
+	if len(diffs) != 1 || diffs[0].DeltaPct != 0 {
+		t.Fatalf("zero-baseline diff = %+v", diffs)
+	}
+}
+
+func TestRunDiffExitCodes(t *testing.T) {
+	writeSummary := func(t *testing.T, dir, name string, recs []Record) string {
+		t.Helper()
+		path := dir + "/" + name
+		data, err := json.Marshal(&Summary{Benchmarks: recs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	dir := t.TempDir()
+	oldPath := writeSummary(t, dir, "old.json", []Record{{Name: "BenchmarkA", NsPerOp: 1000}})
+	newPath := writeSummary(t, dir, "new.json", []Record{{Name: "BenchmarkA", NsPerOp: 2000}})
+
+	var out, errOut strings.Builder
+	if code := runDiff([]string{oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("informational diff exit = %d, want 0\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("2x slowdown not flagged:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := runDiff([]string{"-fail-on-regress", oldPath, newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("-fail-on-regress exit = %d, want 1", code)
+	}
+
+	out.Reset()
+	// A 100% threshold tolerates the doubling.
+	if code := runDiff([]string{"-fail-on-regress", "-threshold", "150", oldPath, newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("under-threshold diff exit = %d, want 0\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("under-threshold run still flagged:\n%s", out.String())
+	}
+
+	if code := runDiff([]string{oldPath, dir + "/missing.json"}, &out, &errOut); code != 1 {
+		t.Fatalf("missing file exit = %d, want 1", code)
 	}
 }

@@ -27,29 +27,32 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/colog"
 	"repro/internal/core"
+	"repro/internal/profiling"
 )
 
 // cliOptions holds every cologne flag; registerFlags wires them onto a
 // FlagSet so tests can exercise the flag surface without running main.
 type cliOptions struct {
-	solve       *bool
-	dump        *string
-	maxTime     *time.Duration
-	maxNodes    *int64
-	restarts    *int
-	engine      *string
-	groundMode  *string
-	fixpoint    *bool
-	incr        *bool
-	warm        *bool
-	report      *bool
-	clusterMode *string
-	clusterWkrs *int
-	clusterLat  *time.Duration
-	clusterBat  *bool
-	clusterCkpt *int
-	clusterRsnc *bool
-	params      paramFlags
+	solve        *bool
+	dump         *string
+	maxTime      *time.Duration
+	maxNodes     *int64
+	restarts     *int
+	engine       *string
+	groundMode   *string
+	fixpoint     *bool
+	incr         *bool
+	warm         *bool
+	report       *bool
+	clusterMode  *string
+	clusterWkrs  *int
+	clusterLat   *time.Duration
+	clusterBat   *bool
+	clusterCkpt  *int
+	clusterRsnc  *bool
+	clusterSched *string
+	profile      *string
+	params       paramFlags
 }
 
 func registerFlags(fs *flag.FlagSet) *cliOptions {
@@ -83,6 +86,10 @@ func registerFlags(fs *flag.FlagSet) *cliOptions {
 			"checkpoint every live node's full table state (arrival-order seqs\nincluded) after each N-th epoch; a restarted node restores its latest\ncheckpoint instead of reseeding (0 = no periodic checkpoints)"),
 		clusterRsnc: fs.Bool("cluster-resync", true,
 			"run the automatic anti-entropy digest exchange when a node\nrestarts, pulling the rows it missed while down (see docs/recovery.md)"),
+		clusterSched: fs.String("cluster-scheduling", "",
+			"epoch item scheduling policy: 'cost' (default; start\npredicted-expensive items first) or 'fifo' (item order); results are\nidentical either way"),
+		profile: fs.String("profile", "",
+			"write a CPU profile to <prefix>.cpu.pprof and a heap snapshot to\n<prefix>.heap.pprof for `go tool pprof` (empty = off)"),
 	}
 	fs.Var(&o.params, "param", "bind a parameter, e.g. -param max_migrates=3 (repeatable)")
 	return o
@@ -145,6 +152,15 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	stopProf, err := profiling.Start(*opts.profile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "cologne: %v\n", err)
+		}
+	}()
 	if *opts.clusterMode != "off" {
 		if err := runCluster(opts, res, cfg); err != nil {
 			fail("%v", err)
@@ -208,6 +224,7 @@ func runCluster(opts *cliOptions, res *analysis.Result, cfg core.Config) error {
 	rt := cluster.New(cluster.Options{
 		Mode:            mode,
 		Workers:         *opts.clusterWkrs,
+		Scheduling:      *opts.clusterSched,
 		Latency:         *opts.clusterLat,
 		BatchDeltas:     *opts.clusterBat,
 		CheckpointEvery: *opts.clusterCkpt,
@@ -240,6 +257,10 @@ func runCluster(opts *cliOptions, res *analysis.Result, cfg core.Config) error {
 		rt.Settle()
 		fmt.Printf("cluster: nodes=%d solves=%d solver-nodes=%d msgs=%d bytes=%d\n",
 			len(addrs), st.Solves, st.SolverNodes, rt.TotalWire().MsgsSent, rt.TotalWire().BytesSent)
+		fmt.Printf("epoch: exec=%v ground=%v solve=%v barrier=%v longest=%q (%v)\n",
+			st.ExecWall.Round(time.Microsecond), st.GroundWall.Round(time.Microsecond),
+			st.SolveWall.Round(time.Microsecond), st.BarrierWall.Round(time.Microsecond),
+			st.LongestItem, st.LongestWall.Round(time.Microsecond))
 	}
 	printClusterTables(rt, addrs, *opts.dump)
 	return nil

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/followsun"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -25,8 +26,20 @@ func main() {
 		maxTime  = flag.Duration("solver-max-time", 0, "per-COP time budget (0 = node budget only)")
 		seed     = flag.Int64("seed", 1, "topology/cost seed")
 		demanded = flag.Int64("demand-max", 10, "max initial allocation per demand location")
+		profile  = flag.String("profile", "", "write CPU/heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "followsun: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "followsun: %v\n", err)
+		}
+	}()
 
 	sizes := []int{2, 4, 6, 8, 10}
 	if *dcs > 0 {

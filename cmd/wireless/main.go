@@ -13,16 +13,29 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/profiling"
 	"repro/internal/wireless"
 )
 
 func main() {
 	var (
-		fig7  = flag.Bool("fig7", false, "run the Figure 7 policy variants instead of Figure 6")
-		seed  = flag.Int64("seed", 7, "flow/topology seed")
-		nodes = flag.Int64("solver-max-nodes", 20000, "per-COP search node budget")
+		fig7    = flag.Bool("fig7", false, "run the Figure 7 policy variants instead of Figure 6")
+		seed    = flag.Int64("seed", 7, "flow/topology seed")
+		nodes   = flag.Int64("solver-max-nodes", 20000, "per-COP search node budget")
+		profile = flag.String("profile", "", "write CPU/heap profiles to <prefix>.cpu.pprof / <prefix>.heap.pprof")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wireless: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "wireless: %v\n", err)
+		}
+	}()
 
 	p := wireless.DefaultParams()
 	p.Seed = *seed

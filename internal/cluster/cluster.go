@@ -57,6 +57,12 @@ type Options struct {
 	// (capped at 8), 1 forces sequential execution. Results in ModeSim are
 	// identical at any setting.
 	Workers int
+	// Scheduling selects the order items are started in within an epoch:
+	// SchedulingCost (the default) runs predicted-expensive items first so
+	// the long poles overlap the cheap tail, SchedulingFIFO keeps slice
+	// order. Pure scheduling — results are identical either way; only the
+	// epoch's wall time changes.
+	Scheduling string
 	// Latency is the simulated one-way link latency (ModeSim only).
 	Latency time.Duration
 	// BatchDeltas holds each item's outgoing deltas for the whole item and
@@ -123,6 +129,7 @@ type Runtime struct {
 	order   []string
 
 	epoch       int
+	costs       map[string]float64 // per-label EWMA of item wall seconds
 	history     []EpochStats
 	lastWire    map[string]transport.Stats
 	retiredWire transport.Stats // counters retired by restart-time resets
@@ -137,6 +144,7 @@ func New(o Options) *Runtime {
 	r := &Runtime{
 		opts:       o,
 		members:    map[string]*member{},
+		costs:      map[string]float64{},
 		lastWire:   map[string]transport.Stats{},
 		lastResync: map[string]core.ResyncStats{},
 	}
@@ -168,6 +176,14 @@ func (r *Runtime) Spawn(spec NodeSpec) (*core.Node, error) {
 	}
 	if r.opts.BatchDeltas {
 		spec.Config.BatchDeltas = true
+	}
+	if r.workerCap() > 1 {
+		// The epoch pool already runs one goroutine per core (capped); a
+		// per-node grounding pool nested inside each item would
+		// oversubscribe the scheduler and slow everything down. Grounding
+		// results are identical at any GroundWorkers setting (merged in
+		// rule order — see core.Config), so force the nested pools serial.
+		spec.Config.GroundWorkers = 1
 	}
 	n, err := core.NewNode(spec.Addr, spec.Program, spec.Config, r.nodeTransport())
 	if err != nil {

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled gates tests whose timing assertions (parallel speedup) are
+// distorted by the race detector's instrumentation.
+const raceEnabled = true

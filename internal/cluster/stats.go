@@ -1,6 +1,10 @@
 package cluster
 
-import "repro/internal/transport"
+import (
+	"time"
+
+	"repro/internal/transport"
+)
 
 // EpochStats aggregates one epoch's work: how much solving the items did
 // and how much traffic the cluster put on the wire. Wire counters come from
@@ -29,6 +33,24 @@ type EpochStats struct {
 	// against their peers, and the payload bytes of the resync rows frames
 	// that carried them (summed over all nodes; see docs/recovery.md).
 	ResyncRows, ResyncBytes int64
+	// Timing breakdown (see docs/distribution.md). ExecWall is the wall
+	// time of the concurrent phase — all items on the worker pool.
+	// GroundWall and SolveWall sum the items' solver-model-build and
+	// search times; with more than one worker their sum can exceed
+	// ExecWall, and the ratio is the epoch's effective parallelism.
+	// FlushWall sums the items' batched outbox encode/flush time (zero
+	// unless BatchDeltas). BarrierWall is the time the epoch barrier spent
+	// replaying staged messages into the simulated network (zero in
+	// ModeUDP).
+	ExecWall    time.Duration
+	GroundWall  time.Duration
+	SolveWall   time.Duration
+	FlushWall   time.Duration
+	BarrierWall time.Duration
+	// LongestItem is the label of the item with the largest wall time —
+	// the epoch's critical path — and LongestWall that wall time.
+	LongestItem string
+	LongestWall time.Duration
 }
 
 // History returns the per-epoch statistics recorded so far. Wire traffic

@@ -218,6 +218,11 @@ type SolveResult struct {
 	// unary, binary, generic, const), as classified at grounding time.
 	Shapes map[string]int
 	Stats  solver.Stats
+	// GroundWall is the wall time spent building (or incrementally
+	// patching) the solver model before the search started; the search
+	// itself is Stats.Elapsed. Cluster epoch statistics fold both into
+	// their per-epoch timing breakdown.
+	GroundWall time.Duration
 	// Ground reports how the model was built when incremental re-grounding
 	// is enabled (nil otherwise).
 	Ground *GroundInfo
@@ -263,6 +268,7 @@ func (n *Node) solveLocked(opts SolveOptions) (*SolveResult, error) {
 	if n.cfg.SolverIncremental {
 		return n.solveIncrementalLocked(opts)
 	}
+	groundStart := time.Now()
 	stream, err := streamingGround(n.cfg.GroundMode)
 	if err != nil {
 		return nil, err
@@ -292,6 +298,7 @@ func (n *Node) solveLocked(opts SolveOptions) (*SolveResult, error) {
 	if err := g.setGoal(); err != nil {
 		return nil, err
 	}
+	res.GroundWall = time.Since(groundStart)
 	return n.finishSolve(g, opts, res)
 }
 

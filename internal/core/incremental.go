@@ -37,6 +37,7 @@ package core
 
 import (
 	"os"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/colog"
@@ -358,6 +359,7 @@ func (n *Node) noteGroundDelta(tr delta) {
 // reuses, patches, or re-grounds against the cached model, then runs the
 // shared solve/materialize phase.
 func (n *Node) solveIncrementalLocked(opts SolveOptions) (*SolveResult, error) {
+	groundStart := time.Now()
 	stream, err := streamingGround(n.cfg.GroundMode)
 	if err != nil {
 		return nil, err
@@ -380,6 +382,7 @@ func (n *Node) solveIncrementalLocked(opts SolveOptions) (*SolveResult, error) {
 		n.LastSolveResult = res
 		return res, nil
 	}
+	res.GroundWall = time.Since(groundStart)
 	out, err := n.finishSolve(g, opts, res)
 	if err != nil {
 		n.ground = nil

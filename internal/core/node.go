@@ -375,7 +375,9 @@ func (n *Node) takeOutbox() []outMsg {
 
 // flush transmits buffered messages. Must be called without holding n.mu.
 // With Config.BatchDeltas, messages to the same destination coalesce into
-// one batch frame (delta order within a destination is preserved).
+// one batch frame (delta order within a destination is preserved). Payload
+// buffers return to the wire pool once the transport has consumed them
+// (Send must not retain the payload after it returns).
 func (n *Node) flush(out []outMsg) error {
 	if n.cfg.BatchDeltas && len(out) > 1 {
 		return n.flushBatched(out)
@@ -385,6 +387,7 @@ func (n *Node) flush(out []outMsg) error {
 		if err := n.tr.Send(n.Addr, m.to, m.payload); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		putWireBuf(m.payload)
 	}
 	return firstErr
 }
@@ -392,6 +395,9 @@ func (n *Node) flush(out []outMsg) error {
 // flushBatched groups the outbox per destination (in first-appearance
 // order) and sends the merged frames — usually one per destination, more
 // when the batch exceeds the per-frame budget (see MergeDeltaPayloads).
+// Every buffer is recycled exactly once: a multi-source batch frame is
+// recycled along with the sources it copied, while a pass-through frame
+// aliases its source and is recycled only as the frame.
 func (n *Node) flushBatched(out []outMsg) error {
 	var order []string
 	grouped := make(map[string][][]byte, 4)
@@ -403,12 +409,30 @@ func (n *Node) flushBatched(out []outMsg) error {
 	}
 	var firstErr error
 	for _, to := range order {
-		frames, err := MergeDeltaPayloads(grouped[to])
-		for _, frame := range frames {
-			if err != nil {
-				break
+		sources := grouped[to]
+		frames, counts, err := mergeDeltaFrames(sources)
+		if err != nil {
+			// Sources were not consumed into frames; recycle them directly.
+			for _, p := range sources {
+				putWireBuf(p)
 			}
-			err = n.tr.Send(n.Addr, to, frame)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		src := 0
+		for i, frame := range frames {
+			if err == nil {
+				err = n.tr.Send(n.Addr, to, frame)
+			}
+			putWireBuf(frame)
+			if counts[i] > 1 { // copied batch: sources still owned here
+				for _, p := range sources[src : src+counts[i]] {
+					putWireBuf(p)
+				}
+			}
+			src += counts[i]
 		}
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -462,6 +486,19 @@ func (n *Node) handleMessage(m transport.Message) {
 			}
 			return
 		}
+	}
+	if len(m.Payload) > 0 && m.Payload[0] == wireDeltaVersion {
+		// Unbatched frames dominate the receive path; decode without the
+		// slice detour.
+		wd, err := decodeDelta(m.Payload)
+		if err != nil {
+			n.LastError = err
+			return
+		}
+		if err := n.updateFrom(wd.Pred, wd.Vals, wd.Sign, m.From); err != nil {
+			n.LastError = err
+		}
+		return
 	}
 	wds, err := decodeDeltas(m.Payload)
 	if err != nil {

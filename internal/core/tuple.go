@@ -13,9 +13,42 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/colog"
 )
+
+// wireBufPool recycles encode buffers for delta frames and batch merges.
+// Every epoch used to allocate a fresh buffer per outgoing message; the
+// senders (Node.flush, Node.flushBatched, the staged epoch barrier) return
+// buffers here once the transport has consumed them. The Transport contract
+// makes this safe: Send must not retain the payload after it returns (the
+// sim transport copies at delivery scheduling, UDP writes synchronously,
+// loopback delivers synchronously).
+var wireBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// maxPooledWireBuf bounds the capacity kept in the pool; frames are capped
+// near maxBatchFrameBytes, so anything larger is an outlier not worth
+// retaining.
+const maxPooledWireBuf = 128 * 1024
+
+// getWireBuf returns an empty wire buffer with at least the given capacity.
+func getWireBuf(capacity int) []byte {
+	b := (*wireBufPool.Get().(*[]byte))[:0]
+	if cap(b) < capacity {
+		b = make([]byte, 0, capacity)
+	}
+	return b
+}
+
+// putWireBuf returns a buffer obtained from getWireBuf (or any buffer the
+// caller owns exclusively) to the pool. The caller must not touch b again.
+func putWireBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledWireBuf {
+		return
+	}
+	wireBufPool.Put(&b)
+}
 
 // Tuple is a ground fact: a predicate name plus constant values.
 type Tuple struct {
@@ -132,9 +165,11 @@ const wireResyncRowsVersion = 4
 // "malformed trailer" decode error) and the whole batch was lost.
 const maxBatchFrameBytes = 60 * 1024
 
-// encodeDelta serializes a tuple delta for the transport.
+// encodeDelta serializes a tuple delta for the transport. The returned
+// buffer comes from the wire pool; the sender recycles it with putWireBuf
+// once the transport has consumed it.
 func encodeDelta(pred string, vals []colog.Value, sign int) ([]byte, error) {
-	buf := make([]byte, 0, 16+len(pred)+12*len(vals))
+	buf := getWireBuf(16 + len(pred) + 12*len(vals))
 	buf = append(buf, wireDeltaVersion)
 	buf = appendWireString(buf, pred)
 	buf = binary.AppendVarint(buf, int64(sign))
@@ -233,15 +268,28 @@ func appendWireString(buf []byte, s string) []byte {
 // the returned frames. A single payload is returned unchanged, so batching
 // never makes a lone delta bigger.
 func MergeDeltaPayloads(payloads [][]byte) ([][]byte, error) {
+	frames, _, err := mergeDeltaFrames(payloads)
+	return frames, err
+}
+
+// mergeDeltaFrames is MergeDeltaPayloads with buffer-ownership bookkeeping:
+// counts[i] is the number of source payloads consumed into frames[i]. A
+// chunk of one passes the source through as the frame itself (counts[i] ==
+// 1, frames[i] aliases the source); larger chunks copy the sources into a
+// pool-backed batch frame. Callers that recycle buffers use counts to
+// return each source exactly once — an aliased pass-through must be
+// recycled as the frame, never again as a source.
+func mergeDeltaFrames(payloads [][]byte) ([][]byte, []int, error) {
 	if len(payloads) == 1 {
-		return payloads[:1], nil
+		return payloads[:1], []int{1}, nil
 	}
 	for _, p := range payloads {
 		if len(p) == 0 || p[0] != wireDeltaVersion {
-			return nil, fmt.Errorf("core: merging delta payloads: not a version-%d frame", wireDeltaVersion)
+			return nil, nil, fmt.Errorf("core: merging delta payloads: not a version-%d frame", wireDeltaVersion)
 		}
 	}
 	var frames [][]byte
+	var counts []int
 	for start := 0; start < len(payloads); {
 		size := 1 + binary.MaxVarintLen64
 		end := start
@@ -253,19 +301,21 @@ func MergeDeltaPayloads(payloads [][]byte) ([][]byte, error) {
 			// A chunk of one travels as the original version-1 frame; an
 			// oversized single delta cannot be split further.
 			frames = append(frames, payloads[start])
+			counts = append(counts, 1)
 			start = end
 			continue
 		}
-		buf := make([]byte, 0, size)
+		buf := getWireBuf(size)
 		buf = append(buf, wireBatchVersion)
 		buf = binary.AppendUvarint(buf, uint64(end-start))
 		for _, p := range payloads[start:end] {
 			buf = append(buf, p[1:]...)
 		}
 		frames = append(frames, buf)
+		counts = append(counts, end-start)
 		start = end
 	}
-	return frames, nil
+	return frames, counts, nil
 }
 
 // decodeDeltas deserializes a transport payload into its tuple deltas:
@@ -309,16 +359,31 @@ func decodeDeltas(payload []byte) ([]wireDelta, error) {
 	}
 }
 
-// decodeDelta deserializes a single-delta payload from the transport.
+// decodeDelta deserializes a single-delta payload from the transport
+// without the slice detour of decodeDeltas — version-1 frames are the
+// dominant unbatched case on the receive path.
 func decodeDelta(payload []byte) (wireDelta, error) {
-	wds, err := decodeDeltas(payload)
+	if len(payload) == 0 {
+		return wireDelta{}, fmt.Errorf("core: decoding delta: malformed header")
+	}
+	if payload[0] != wireDeltaVersion {
+		wds, err := decodeDeltas(payload)
+		if err != nil {
+			return wireDelta{}, err
+		}
+		if len(wds) != 1 {
+			return wireDelta{}, fmt.Errorf("core: decoding delta: %d deltas in frame, want 1", len(wds))
+		}
+		return wds[0], nil
+	}
+	wd, rest, err := decodeDeltaBody(payload[1:])
 	if err != nil {
 		return wireDelta{}, err
 	}
-	if len(wds) != 1 {
-		return wireDelta{}, fmt.Errorf("core: decoding delta: %d deltas in frame, want 1", len(wds))
+	if len(rest) != 0 {
+		return wireDelta{}, fmt.Errorf("core: decoding delta: malformed trailer")
 	}
-	return wds[0], nil
+	return wd, nil
 }
 
 // decodeDeltaBody parses one delta body (a version-1 frame minus its

@@ -1,0 +1,62 @@
+// Package profiling wraps runtime/pprof for the command-line binaries: one
+// call starts a CPU profile, the returned stop function ends it and writes
+// a heap snapshot next to it. Every binary exposes it the same way:
+//
+//	cologne -profile /tmp/solve -solve program.colog
+//	acloud  -profile /tmp/acloud
+//
+// which writes /tmp/solve.cpu.pprof and /tmp/solve.heap.pprof, ready for
+// `go tool pprof`. The epoch-executor tuning in this repo was driven by
+// exactly these captures; docs/tuning.md shows the workflow.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile writing to prefix+".cpu.pprof" and returns a
+// stop function that ends the profile and dumps a garbage-collected heap
+// snapshot to prefix+".heap.pprof". An empty prefix is a no-op: Start
+// returns a do-nothing stop function, so callers can wire the flag through
+// unconditionally.
+func Start(prefix string) (stop func() error, err error) {
+	if prefix == "" {
+		return func() error { return nil }, nil
+	}
+	cpuPath := prefix + ".cpu.pprof"
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: starting CPU profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		cerr := f.Close()
+		herr := writeHeap(prefix + ".heap.pprof")
+		if cerr != nil {
+			return cerr
+		}
+		return herr
+	}, nil
+}
+
+// writeHeap dumps a heap profile after a GC, so the snapshot shows live
+// retention rather than garbage awaiting collection.
+func writeHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("profiling: writing heap profile: %w", err)
+	}
+	return nil
+}

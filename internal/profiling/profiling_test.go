@@ -1,0 +1,49 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartEmptyPrefixIsNoop(t *testing.T) {
+	stop, err := Start("")
+	if err != nil {
+		t.Fatalf("Start(\"\"): %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "prof")
+	stop, err := Start(prefix)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU so the profile has samples to encode.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		st, err := os.Stat(prefix + suffix)
+		if err != nil {
+			t.Fatalf("missing profile %s: %v", suffix, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", suffix)
+		}
+	}
+}
+
+func TestStartBadPathFails(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "p")); err == nil {
+		t.Fatal("Start into a missing directory should fail")
+	}
+}

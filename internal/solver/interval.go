@@ -239,23 +239,27 @@ func stddevIv(args []*Expr, src ivSource) Interval {
 	if n == 0 {
 		return Point(0)
 	}
+	// Two passes over src.iv (a cached O(1) lookup for both the store and
+	// trial sources) instead of materializing a []Interval: this runs at
+	// every node of an objective-bearing search, so it must not allocate.
 	sumLo, sumHi := 0.0, 0.0
-	ivs := make([]Interval, len(args))
 	allFixed := true
-	for i, a := range args {
+	maxLo, minHi := math.Inf(-1), math.Inf(1)
+	for _, a := range args {
 		iv := src.iv(a)
-		ivs[i] = iv
 		sumLo += iv.Lo
 		sumHi += iv.Hi
 		if !iv.Fixed() {
 			allFixed = false
 		}
+		maxLo = math.Max(maxLo, iv.Lo)
+		minHi = math.Min(minHi, iv.Hi)
 	}
 	if allFixed {
 		mean := sumLo / n
 		variance := 0.0
-		for _, iv := range ivs {
-			d := iv.Lo - mean
+		for _, a := range args {
+			d := src.iv(a).Lo - mean
 			variance += d * d
 		}
 		variance /= n
@@ -267,15 +271,13 @@ func stddevIv(args []*Expr, src ivSource) Interval {
 	}
 	meanLo, meanHi := sumLo/n, sumHi/n
 	ub := 0.0
-	maxLo, minHi := math.Inf(-1), math.Inf(1)
-	for _, iv := range ivs {
+	for _, a := range args {
+		iv := src.iv(a)
 		dev := math.Max(iv.Hi-meanLo, meanHi-iv.Lo)
 		if dev < 0 {
 			dev = 0
 		}
 		ub += dev * dev
-		maxLo = math.Max(maxLo, iv.Lo)
-		minHi = math.Min(minHi, iv.Hi)
 	}
 	ub = math.Sqrt(ub / n)
 	lb := 0.0

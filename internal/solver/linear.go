@@ -163,10 +163,11 @@ type linearProps struct {
 	byVar [][]int // var ID -> constraint indices
 }
 
-func buildLinearProps(m *Model) *linearProps {
+func buildLinearProps(m *Model, minTerms int) *linearProps {
 	// The linear shapes were classified once by Model.Prepare (or the first
-	// Solve); both engines share that extraction.
-	p := m.prepare()
+	// Solve); both engines share that extraction and apply the same
+	// attachment threshold.
+	p := m.prepareWith(minTerms)
 	lp := &linearProps{byVar: make([][]int, len(m.vars))}
 	for _, ls := range p.lin {
 		idx := len(lp.cons)

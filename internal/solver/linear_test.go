@@ -93,7 +93,7 @@ func TestLinearPropagationCorrect(t *testing.T) {
 			obj[i] = m.Mul(m.ConstInt(int64(rng.Intn(7)-3)), m.VarExpr(v))
 		}
 		m.Minimize(m.Sum(obj...))
-		with := m.Solve(Options{})
+		with := m.Solve(Options{LinearMinTerms: 1})
 		without := m.Solve(Options{DisableLinear: true})
 		if (with.Status == StatusInfeasible) != (without.Status == StatusInfeasible) {
 			t.Fatalf("trial %d: feasibility differs: %v vs %v", trial, with.Status, without.Status)
@@ -131,7 +131,10 @@ func TestLinearPropagationPrunes(t *testing.T) {
 		m.Minimize(m.Sum(bin2...))
 		return m
 	}
-	with := build().Solve(Options{})
+	// LinearMinTerms: 1 attaches propagators to the 3-term exactly-one rows
+	// too; the default threshold intentionally leaves those to forward
+	// checking (see TestLinearMinTermsDefaultSkipsSmall).
+	with := build().Solve(Options{LinearMinTerms: 1})
 	without := build().Solve(Options{DisableLinear: true})
 	if with.Objective != without.Objective {
 		t.Fatalf("objectives differ: %v vs %v", with.Objective, without.Objective)
@@ -151,7 +154,7 @@ func TestLinearPropagationUnitForcing(t *testing.T) {
 	c := m.BoolVar("c")
 	m.Require(m.Eq(m.Sum(m.VarExpr(a), m.VarExpr(b), m.VarExpr(c)), m.Const(1)))
 	m.Require(m.Eq(m.VarExpr(a), m.Const(1)))
-	sol := m.Solve(Options{})
+	sol := m.Solve(Options{LinearMinTerms: 1})
 	if sol.Status != StatusOptimal {
 		t.Fatalf("status = %v", sol.Status)
 	}
@@ -161,5 +164,47 @@ func TestLinearPropagationUnitForcing(t *testing.T) {
 	// The whole search should need only a handful of nodes.
 	if sol.Stats.Nodes > 6 {
 		t.Fatalf("unit forcing too weak: %d nodes", sol.Stats.Nodes)
+	}
+}
+
+// TestLinearMinTermsDefaultSkipsSmall pins the attachment threshold: under
+// the default Options, linear constraints shorter than the built-in
+// threshold get no dedicated propagator (their traces match DisableLinear),
+// while constraints at or past the threshold still attach one. Results must
+// agree in every configuration regardless.
+func TestLinearMinTermsDefaultSkipsSmall(t *testing.T) {
+	build := func(n int) *Model {
+		m := NewModel()
+		row := make([]*Expr, n)
+		for i := range row {
+			row[i] = m.VarExpr(m.BoolVar("x"))
+		}
+		m.Require(m.Eq(m.Sum(row...), m.Const(1)))
+		m.Minimize(row[n-1])
+		return m
+	}
+	small := linearMinTermsDefault - 1
+	if def := build(small).Solve(Options{}); def.Status != StatusOptimal {
+		t.Fatalf("small default solve: %v", def.Status)
+	}
+	// Below threshold: default trace identical to DisableLinear.
+	def := build(small).Solve(Options{})
+	off := build(small).Solve(Options{DisableLinear: true})
+	if def.Stats.Nodes != off.Stats.Nodes || def.Objective != off.Objective {
+		t.Fatalf("below threshold should skip the propagator: %d vs %d nodes",
+			def.Stats.Nodes, off.Stats.Nodes)
+	}
+	// At threshold: the propagator attaches and matches the force-attach
+	// configuration exactly.
+	at := build(linearMinTermsDefault).Solve(Options{})
+	all := build(linearMinTermsDefault).Solve(Options{LinearMinTerms: 1})
+	if at.Stats.Nodes != all.Stats.Nodes || at.Objective != all.Objective {
+		t.Fatalf("at threshold should attach the propagator: %d vs %d nodes",
+			at.Stats.Nodes, all.Stats.Nodes)
+	}
+	// Explicit override below default also attaches.
+	forced := build(small).Solve(Options{LinearMinTerms: small})
+	if forced.Objective != def.Objective {
+		t.Fatalf("override objective differs: %v vs %v", forced.Objective, def.Objective)
 	}
 }

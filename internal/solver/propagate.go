@@ -79,9 +79,10 @@ type linRef struct {
 // constraints so classification is part of grounding; Solve falls back to
 // preparing lazily for hand-built models.
 type prepared struct {
-	nExpr int
-	nCons int
-	rev   int64
+	nExpr  int
+	nCons  int
+	rev    int64
+	linMin int // linear attachment threshold the lin/linByVar tables were built with
 
 	exprs     []*Expr   // expression nodes by ID (nil when unreachable)
 	parents   [][]int32 // expression ID -> parent expression IDs
@@ -97,17 +98,50 @@ type prepared struct {
 	shapes map[string]int // shape name -> constraint count
 }
 
-// prepare builds (or returns the cached) search metadata. The cache is
-// invalidated when constraints, variables, or expression nodes were added
-// since it was built; constants patched in place (Model.PatchConst) refresh
-// just the linear shapes that cover them. Not safe for concurrent use,
-// matching Require/Solve.
-func (m *Model) prepare() *prepared {
-	if m.prep != nil && m.prep.rev == m.rev && m.prep.nExpr == m.NumExprNodes() {
+// linearMinTermsDefault is the attachment threshold used when
+// Options.LinearMinTerms is zero: multi-term linear constraints with fewer
+// terms run under generic forward checking instead of a dedicated
+// propagator. Chosen from BenchmarkAblationLinearPropagation, where the
+// 3-term exactly-one sums' unit-forcing cuts ~36% of the nodes but the
+// propagator's update/trail bookkeeping eats the entire saving on both
+// engines, while wide capacity sums still win clearly.
+//
+// Single-term linears are exempt from the threshold (see linAttached): they
+// tighten a variable's domain once near the root for O(1) per-node upkeep,
+// and dropping them costs BenchmarkFollowSunPerLinkCOP ~40%.
+const linearMinTermsDefault = 4
+
+// resolveLinearMinTerms maps the Options field to an effective threshold.
+func resolveLinearMinTerms(n int) int {
+	if n <= 0 {
+		return linearMinTermsDefault
+	}
+	return n
+}
+
+// linAttached reports whether a recognized linear shape with the given term
+// count gets a dedicated propagator under threshold linMin.
+func linAttached(nTerms, linMin int) bool {
+	return nTerms == 1 || nTerms >= linMin
+}
+
+// prepare builds (or returns the cached) search metadata with the default
+// linear attachment threshold. The cache is invalidated when constraints,
+// variables, or expression nodes were added since it was built; constants
+// patched in place (Model.PatchConst) refresh just the linear shapes that
+// cover them. Not safe for concurrent use, matching Require/Solve.
+func (m *Model) prepare() *prepared { return m.prepareWith(0) }
+
+// prepareWith is prepare with an explicit Options.LinearMinTerms value; a
+// cached build with a different effective threshold is rebuilt (the linear
+// tables are threshold-dependent, the rest of the metadata is not).
+func (m *Model) prepareWith(minTerms int) *prepared {
+	linMin := resolveLinearMinTerms(minTerms)
+	if m.prep != nil && m.prep.rev == m.rev && m.prep.nExpr == m.NumExprNodes() && m.prep.linMin == linMin {
 		if len(m.patched) > 0 {
 			if !m.prep.refreshPatched(m) {
 				m.prep = nil
-				return m.prepare()
+				return m.prepareWith(minTerms)
 			}
 			m.patched = m.patched[:0]
 		}
@@ -118,6 +152,7 @@ func (m *Model) prepare() *prepared {
 		nExpr:  m.NumExprNodes(),
 		nCons:  len(m.constraints),
 		rev:    m.rev,
+		linMin: linMin,
 		shapes: map[string]int{},
 	}
 	p.exprs = make([]*Expr, p.nExpr)
@@ -168,7 +203,7 @@ func (m *Model) prepare() *prepared {
 		}
 		p.shapes[classifyShape(c, len(p.conVars[ci]))]++
 		terms, op, k, ok := extractLinear(c)
-		if !ok || len(terms) == 0 {
+		if !ok || len(terms) == 0 || !linAttached(len(terms), p.linMin) {
 			continue
 		}
 		li := int32(len(p.lin))
@@ -217,9 +252,10 @@ func (p *prepared) refreshPatched(m *Model) bool {
 		}
 		terms, op, k, ok := extractLinear(m.constraints[ci])
 		li, had := ciToLin[ci]
-		isLin := ok && len(terms) > 0
+		isLin := ok && len(terms) > 0 && linAttached(len(terms), p.linMin)
 		if isLin != had {
-			return false // shape appeared or vanished: rebuild
+			return false // shape appeared or vanished (or crossed the
+			// attachment threshold): rebuild
 		}
 		if !isLin {
 			continue // non-linear shapes read constants live
@@ -658,7 +694,7 @@ type esearcher struct {
 const maxPairTable = 4096 // largest root-domain product compiled to a table
 
 func (m *Model) solveEvent(state *searchState, sol *Solution) {
-	prep := m.prepare()
+	prep := m.prepareWith(state.opts.LinearMinTerms)
 	s := &esearcher{
 		searchState:  state,
 		prep:         prep,
@@ -671,7 +707,7 @@ func (m *Model) solveEvent(state *searchState, sol *Solution) {
 			s.assigned[vid] = false
 		}
 	}
-	if !state.opts.DisableLinear {
+	if !state.opts.DisableLinear && len(prep.lin) > 0 {
 		s.lin = newLinEngine(prep, s.st.dom)
 	}
 	if state.opts.Fixpoint {
@@ -751,7 +787,7 @@ func (s *esearcher) dfs(depth int) bool {
 	}
 	v := s.m.vars[vid]
 	complete := true
-	for _, val := range s.candidateValues(s.st.dom[vid], v) {
+	for _, val := range s.candidateValues(s.st.dom[vid], v, depth) {
 		if s.checkBudget() {
 			return false
 		}

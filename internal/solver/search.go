@@ -26,6 +26,14 @@ type searchState struct {
 	activity []float64 // per-variable conflict activity (activity ordering)
 	actInc   float64
 
+	// Dense warm-start hints (hintSet[vid] -> hintVal[vid]), resolved once
+	// from Options.Hints so the per-node candidate ordering does no map
+	// lookups, plus per-depth candidate-order scratch reused across sibling
+	// nodes (a fresh slice per node dominated hinted-search overhead).
+	hintVal []int64
+	hintSet []bool
+	valBufs [][]int64
+
 	stats    Stats
 	deadline time.Time
 	stopped  bool
@@ -47,6 +55,16 @@ func newSearchState(m *Model, opts Options, start time.Time) *searchState {
 	if opts.MaxTime > 0 {
 		s.deadline = start.Add(opts.MaxTime)
 	}
+	if len(opts.Hints) > 0 {
+		s.hintVal = make([]int64, len(m.vars))
+		s.hintSet = make([]bool, len(m.vars))
+		for vid, val := range opts.Hints {
+			if vid >= 0 && vid < len(m.vars) {
+				s.hintVal[vid] = val
+				s.hintSet[vid] = true
+			}
+		}
+	}
 	return s
 }
 
@@ -67,19 +85,30 @@ func (s *searchState) checkBudget() bool {
 }
 
 // candidateValues returns the values to branch on for v given its current
-// domain, hint first.
-func (s *searchState) candidateValues(dom Domain, v *Var) []int64 {
+// domain, hint first. depth selects the reusable ordering buffer: siblings
+// at one depth share it, recursion below uses deeper ones, so the reordered
+// list stays valid for the whole branching loop without allocating.
+//
+// Hints steer only the descent to the first incumbent: that descent is the
+// warm-start dive (it reproduces the hinted placement when feasible, and
+// backtracks past infeasible hint values). Once an incumbent exists the
+// search reverts to plain domain order — the hint's information survives in
+// the bound cut, and the per-node reordering cost drops to zero.
+func (s *searchState) candidateValues(dom Domain, v *Var, depth int) []int64 {
 	vals := dom.Values()
 	hint, hasHint := int64(0), false
-	if s.opts.Hints != nil {
-		if h, ok := s.opts.Hints[v.ID]; ok && dom.Contains(h) {
+	if s.hintSet != nil && !s.haveSol && s.hintSet[v.ID] {
+		if h := s.hintVal[v.ID]; dom.Contains(h) {
 			hint, hasHint = h, true
 		}
 	}
 	if !hasHint && s.opts.ValueOrder == nil {
 		return vals
 	}
-	ordered := make([]int64, 0, len(vals))
+	for len(s.valBufs) <= depth {
+		s.valBufs = append(s.valBufs, nil)
+	}
+	ordered := s.valBufs[depth][:0]
 	if hasHint {
 		ordered = append(ordered, hint)
 	}
@@ -89,6 +118,7 @@ func (s *searchState) candidateValues(dom Domain, v *Var) []int64 {
 		}
 		ordered = append(ordered, val)
 	}
+	s.valBufs[depth] = ordered
 	if s.opts.ValueOrder != nil {
 		ordered = s.opts.ValueOrder(v, ordered)
 	}
@@ -418,7 +448,9 @@ func (m *Model) solveLegacy(state *searchState, sol *Solution) {
 	}
 	s.buildIndexes()
 	if !state.opts.DisableLinear {
-		s.lp = buildLinearProps(m)
+		if lp := buildLinearProps(m, state.opts.LinearMinTerms); len(lp.cons) > 0 {
+			s.lp = lp
+		}
 	}
 
 	// Root-level consistency check.
@@ -486,7 +518,7 @@ func (s *searcher) dfs(depth int) bool {
 	}
 	v := s.m.vars[vid]
 	complete := true
-	for _, val := range s.candidateValues(s.ev.dom[vid], v) {
+	for _, val := range s.candidateValues(s.ev.dom[vid], v, depth) {
 		if s.checkBudget() {
 			return false
 		}

@@ -94,6 +94,17 @@ type Options struct {
 	// (bounds tightening on sum(c_i*x_i) op K constraints); used by the
 	// ablation benchmarks.
 	DisableLinear bool
+	// LinearMinTerms is the minimum number of terms a recognized
+	// multi-term linear constraint needs before a dedicated propagator is
+	// attached to it. Short sums are cheaper under plain forward checking
+	// than under the propagator's per-update bookkeeping, so small
+	// multi-term linears are skipped by default; single-term linears are
+	// always attached (they tighten a domain once near the root and are
+	// nearly free afterwards). 0 selects the built-in default threshold; 1
+	// attaches a propagator to every linear constraint (the pre-threshold
+	// behavior). Both engines apply the same threshold, keeping their
+	// traces aligned.
+	LinearMinTerms int
 	// DynamicOrder selects the branching variable dynamically by smallest
 	// current domain (dom heuristic) instead of the static
 	// smallest-initial-domain order. Pays off when propagation shrinks

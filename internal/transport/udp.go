@@ -33,7 +33,11 @@ func (a *atomicStats) snapshot() Stats {
 // update them lock-free, and NodeStats reads a consistent snapshot without
 // racing them (the benchmark harness polls counters while traffic flows).
 type UDP struct {
-	mu        sync.Mutex
+	// mu is read-locked on the per-message hot paths (Send, recvLoop,
+	// NodeStats do lookups only) and write-locked by the rare mutations
+	// (Register, failure injection, stats reset, Close), so concurrent
+	// senders on the epoch worker pool never serialize on the transport.
+	mu        sync.RWMutex
 	conns     map[string]*net.UDPConn
 	addrs     map[string]*net.UDPAddr
 	handlers  map[string]Handler
@@ -43,6 +47,9 @@ type UDP struct {
 	closed    bool
 	wg        sync.WaitGroup
 }
+
+// framePool recycles Send's scratch frame buffers across messages.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
 
 // NewUDP creates an empty UDP transport.
 func NewUDP() *UDP {
@@ -134,11 +141,11 @@ func (t *UDP) recvLoop(node string, conn *net.UDPConn) {
 		}
 		from := string(buf[1 : 1+fl])
 		payload := append([]byte(nil), buf[1+fl:n]...)
-		t.mu.Lock()
+		t.mu.RLock()
 		h := t.handlers[node]
 		st := t.stats[node]
 		down := t.downNodes[node] || t.downNodes[from] || t.downLinks[from+"->"+node]
-		t.mu.Unlock()
+		t.mu.RUnlock()
 		if down {
 			continue // lost to an injected failure
 		}
@@ -154,12 +161,12 @@ func (t *UDP) recvLoop(node string, conn *net.UDPConn) {
 
 // Send implements Transport.
 func (t *UDP) Send(from, to string, payload []byte) error {
-	t.mu.Lock()
+	t.mu.RLock()
 	dst, ok := t.addrs[to]
 	src := t.conns[from]
 	st := t.stats[from]
 	down := t.downNodes[from] || t.downNodes[to] || t.downLinks[from+"->"+to]
-	t.mu.Unlock()
+	t.mu.RUnlock()
 	if !ok {
 		return &ErrUnknownNode{Node: to}
 	}
@@ -175,7 +182,14 @@ func (t *UDP) Send(from, to string, payload []byte) error {
 		}
 		return nil
 	}
-	frame := make([]byte, 0, 1+len(from)+len(payload))
+	// The datagram write is synchronous, so the frame buffer can come from
+	// a pool and go straight back after the write — one less allocation per
+	// message on the wire hot path.
+	fp := framePool.Get().(*[]byte)
+	frame := (*fp)[:0]
+	if need := 1 + len(from) + len(payload); cap(frame) < need {
+		frame = make([]byte, 0, need)
+	}
 	frame = append(frame, byte(len(from)))
 	frame = append(frame, from...)
 	frame = append(frame, payload...)
@@ -191,6 +205,8 @@ func (t *UDP) Send(from, to string, payload []byte) error {
 			c.Close()
 		}
 	}
+	*fp = frame
+	framePool.Put(fp)
 	if err == nil && st != nil {
 		st.msgsSent.Add(1)
 		st.bytesSent.Add(int64(len(payload)))
@@ -200,9 +216,9 @@ func (t *UDP) Send(from, to string, payload []byte) error {
 
 // NodeStats implements Transport.
 func (t *UDP) NodeStats(node string) Stats {
-	t.mu.Lock()
+	t.mu.RLock()
 	st, ok := t.stats[node]
-	t.mu.Unlock()
+	t.mu.RUnlock()
 	if ok {
 		return st.snapshot()
 	}
