@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-diff fuzz fuzz-wire lint docs-check recovery-equivalence streaming-equivalence alloc-budget ci
+.PHONY: build test bench bench-json bench-diff fuzz fuzz-wire fuzz-wal wal-torture lint docs-check recovery-equivalence streaming-equivalence alloc-budget ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ bench:
 # fixed iteration count and write BENCH_<date>.json (ns/op, B/op, allocs/op,
 # and every custom metric). Compare files across commits to track the
 # speedup curve.
-BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve|BenchmarkCluster|BenchmarkResync|BenchmarkGroundPeakAlloc
+BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve|BenchmarkCluster|BenchmarkResync|BenchmarkGroundPeakAlloc|BenchmarkWALAppend|BenchmarkLogReplayRestart
 BENCHJSON_ITERS ?= 10
 BENCHJSON_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 bench-json:
@@ -48,6 +48,19 @@ fuzz:
 # outside {-1,+1} must be rejected at decode).
 fuzz-wire:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeDeltas -fuzztime=$(FUZZTIME) ./internal/core
+
+# Fixed-budget fuzz of the write-ahead-log record codec (corpus seeded from
+# real node logs; bad CRCs, lengths, and versions must be rejected without
+# panicking, and whatever decodes must re-encode canonically).
+fuzz-wal:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeWALRecord -fuzztime=$(FUZZTIME) ./internal/store
+
+# The WAL crash-point torture gate: kill a disk-backed node at every log
+# record boundary of a recorded run — torn mid-record writes and a torn
+# header included — restart it, and require convergence on exactly the
+# uninterrupted run's rows (see docs/storage.md).
+wal-torture:
+	$(GO) test -count=1 -run 'TestWALTorture' -v ./internal/cluster
 
 # The recovery-equivalence gate: kill/restart mid-run must converge to the
 # byte-identical tables, objectives, and solver traces of an uninterrupted
@@ -80,8 +93,10 @@ ci: lint build test docs-check
 	$(GO) test -count=1 -run 'TestClusterEquivalence' ./internal/acloud ./internal/followsun ./internal/wireless
 	$(GO) test -race -run TestCluster ./internal/cluster/...
 	$(GO) test -count=1 -run 'TestRecovery' ./internal/cluster ./internal/acloud ./internal/followsun ./internal/wireless
+	$(GO) test -count=1 -run 'TestWALTorture' ./internal/cluster
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=20s ./internal/colog
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeDeltas -fuzztime=20s ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeWALRecord -fuzztime=20s ./internal/store
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 lint:

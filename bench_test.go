@@ -7,6 +7,7 @@ package repro
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/programs"
 	"repro/internal/sim"
 	"repro/internal/solver"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/wireless"
 )
@@ -905,13 +907,10 @@ c1 total(@X,V) -> need(@X,N), V>=N.
 r1 got(@Y,X,D,V2) <- link(@X,Y), pick(@X,D,V), V2:=V.
 `
 
-// BenchmarkResync measures recovery cost on a decision-replicating ring:
-// after churned epochs a node is killed (its in-flight decisions lost) and
-// restarted from its periodic checkpoint, and the automatic anti-entropy
-// exchange pulls it back into alignment. Reported metrics: the
-// restart-to-converged latency and the rows/bytes the exchange pulled —
-// the recovery-cost numbers BENCH_*.json tracks across commits.
-func BenchmarkResync(b *testing.B) {
+// resyncBenchSpecs builds the 8-node decision-replicating ring specs the
+// recovery benchmark kills and restarts.
+func resyncBenchSpecs(b *testing.B) []cluster.NodeSpec {
+	b.Helper()
 	prog, err := colog.Parse(resyncBenchSrc)
 	if err != nil {
 		b.Fatal(err)
@@ -950,60 +949,171 @@ func BenchmarkResync(b *testing.B) {
 			},
 		}
 	}
-	const victim = "n2"
-	var restart time.Duration
-	var rows, bytes int64
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r := cluster.New(cluster.Options{Workers: 4, Latency: time.Millisecond, CheckpointEvery: 1})
-		if err := r.SpawnAll(specs); err != nil {
-			b.Fatal(err)
-		}
-		r.Settle()
-		solveAll := func() {
-			var eps []cluster.Item
-			for _, addr := range r.Addrs() {
-				n := r.Node(addr)
-				eps = append(eps, cluster.Item{
-					Label: "solve " + addr,
-					Nodes: []string{addr},
-					Run:   func() (*core.SolveResult, error) { return n.Solve(core.SolveOptions{}) },
-				})
-			}
-			if _, err := r.RunEpoch(eps); err != nil {
-				b.Fatal(err)
-			}
-		}
-		for epoch := 0; epoch < 2; epoch++ {
-			solveAll()
-			for j, addr := range r.Addrs() {
-				if err := r.Node(addr).Insert("need", colog.StringVal(addr), colog.IntVal(int64(5+epoch+j))); err != nil {
+	return specs
+}
+
+// BenchmarkResync measures recovery cost on a decision-replicating ring:
+// after churned epochs a node is killed (its in-flight decisions lost) and
+// restarted, and the automatic anti-entropy exchange pulls it back into
+// alignment. The variants compare the three recovery paths — reseed (no
+// durable state: full re-pull), checkpoint (restore the periodic snapshot,
+// pull the gap), and walreplay (store=disk: replay the local write-ahead
+// log, pull only the outage window). Reported metrics: the
+// restart-to-converged latency and the rows/bytes the exchange pulled —
+// the recovery-cost numbers BENCH_*.json tracks across commits.
+func BenchmarkResync(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		opts cluster.Options
+	}{
+		{"reseed", cluster.Options{Workers: 4, Latency: time.Millisecond}},
+		{"checkpoint", cluster.Options{Workers: 4, Latency: time.Millisecond, CheckpointEvery: 1}},
+		{"walreplay", cluster.Options{Workers: 4, Latency: time.Millisecond, Storage: "disk"}},
+	} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			specs := resyncBenchSpecs(b)
+			const victim = "n2"
+			var restart time.Duration
+			var rows, bytes, logBytes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := variant.opts
+				if opts.Storage == "disk" {
+					b.StopTimer()
+					opts.StorageDir = b.TempDir()
+					b.StartTimer()
+				}
+				r := cluster.New(opts)
+				if err := r.SpawnAll(specs); err != nil {
+					b.Fatal(err)
+				}
+				r.Settle()
+				solveAll := func() {
+					var eps []cluster.Item
+					for _, addr := range r.Addrs() {
+						n := r.Node(addr)
+						eps = append(eps, cluster.Item{
+							Label: "solve " + addr,
+							Nodes: []string{addr},
+							Run:   func() (*core.SolveResult, error) { return n.Solve(core.SolveOptions{}) },
+						})
+					}
+					if _, err := r.RunEpoch(eps); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for epoch := 0; epoch < 2; epoch++ {
+					solveAll()
+					for j, addr := range r.Addrs() {
+						if err := r.Node(addr).Insert("need", colog.StringVal(addr), colog.IntVal(int64(5+epoch+j))); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if err := r.StopNode(victim); err != nil {
+					b.Fatal(err)
+				}
+				r.Settle() // in-flight decisions to the victim are lost
+				start := time.Now()
+				if _, err := r.RestartNode(victim); err != nil {
+					b.Fatal(err)
+				}
+				restart += time.Since(start)
+				hist := r.History()
+				for _, st := range hist {
+					rows += st.ResyncRows
+					bytes += st.ResyncBytes
+					logBytes += st.LogBytes
+				}
+				if err := r.Close(); err != nil {
 					b.Fatal(err)
 				}
 			}
-		}
-		if err := r.StopNode(victim); err != nil {
-			b.Fatal(err)
-		}
-		r.Settle() // in-flight decisions to the victim are lost
-		start := time.Now()
-		if _, err := r.RestartNode(victim); err != nil {
-			b.Fatal(err)
-		}
-		restart += time.Since(start)
-		hist := r.History()
-		for _, st := range hist {
-			rows += st.ResyncRows
-			bytes += st.ResyncBytes
-		}
-		if err := r.Close(); err != nil {
+			n := float64(b.N)
+			b.ReportMetric(float64(restart.Microseconds())/n, "restart-to-converged-us")
+			b.ReportMetric(float64(rows)/n, "resync-rows")
+			b.ReportMetric(float64(bytes)/n, "resync-bytes")
+			b.ReportMetric(float64(logBytes)/n, "log-bytes")
+		})
+	}
+}
+
+// BenchmarkWALAppend measures the write-ahead log's append path on
+// update-record-sized payloads, with and without per-record fsync — the
+// per-transition durability overhead every visible state change pays under
+// store=disk.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 64) // a typical update record
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for _, variant := range []struct {
+		name  string
+		fsync bool
+	}{{"nosync", false}, {"fsync", true}} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			w, err := store.OpenWAL(filepath.Join(b.TempDir(), "wal.log"), variant.fsync)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLogReplayRestart measures a cold restart from the local log: a
+// disk-backed node records a keyed churn workload, then each iteration
+// rebuilds the node purely by replaying the write-ahead log — the
+// restart-latency half of the recovery trade BenchmarkResync prices in
+// resync rows.
+func BenchmarkLogReplayRestart(b *testing.B) {
+	src := `
+r1 hot(V,H,C) <- vm(V,H,C), C>50.
+r2 perHost(H,SUM<C>) <- hot(V,H,C).
+`
+	prog, err := colog.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ares, err := analysis.Analyze(prog, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.Open("disk", b.TempDir(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	cfg := core.Config{Keys: map[string][]int{"vm": {0}}, Storage: st}
+	node, err := core.NewNode("bench", ares, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		vm := colog.StringVal(fmt.Sprintf("vm%d", i%800))
+		host := colog.StringVal(fmt.Sprintf("h%d", i%16))
+		if err := node.Insert("vm", vm, host, colog.IntVal(int64(40+i%60))); err != nil {
 			b.Fatal(err)
 		}
 	}
-	n := float64(b.N)
-	b.ReportMetric(float64(restart.Microseconds())/n, "restart-to-converged-us")
-	b.ReportMetric(float64(rows)/n, "resync-rows")
-	b.ReportMetric(float64(bytes)/n, "resync-bytes")
+	records, logBytes := node.LogStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ReplayNode("bench", ares, cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(records), "log-records")
+	b.ReportMetric(float64(logBytes), "log-bytes")
 }
 
 // BenchmarkClusterScaling measures the epoch executor itself: eight nodes

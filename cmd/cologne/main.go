@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/colog"
 	"repro/internal/core"
 	"repro/internal/profiling"
+	"repro/internal/store"
 )
 
 // cliOptions holds every cologne flag; registerFlags wires them onto a
@@ -51,6 +53,9 @@ type cliOptions struct {
 	clusterCkpt  *int
 	clusterRsnc  *bool
 	clusterSched *string
+	storeKind    *string
+	storeDir     *string
+	storeFsync   *bool
 	profile      *string
 	params       paramFlags
 }
@@ -88,6 +93,12 @@ func registerFlags(fs *flag.FlagSet) *cliOptions {
 			"run the automatic anti-entropy digest exchange when a node\nrestarts, pulling the rows it missed while down (see docs/recovery.md)"),
 		clusterSched: fs.String("cluster-scheduling", "",
 			"epoch item scheduling policy: 'cost' (default; start\npredicted-expensive items first) or 'fifo' (item order); results are\nidentical either way"),
+		storeKind: fs.String("store", "memory",
+			"per-node storage backend: 'memory' (tables live in process memory)\nor 'disk' (every visible transition goes through an append-only\nwrite-ahead log and tables spill to disk; a restarted cluster node\nreplays its local log before resyncing — see docs/storage.md)"),
+		storeDir: fs.String("store-dir", "",
+			"directory for -store disk data, one subdirectory per node\n(default: a temporary directory removed on exit)"),
+		storeFsync: fs.Bool("store-fsync", false,
+			"fsync the write-ahead log after every record: full\npower-loss durability at a per-transition cost (default: rely on\nthe OS page cache; process crashes still lose nothing)"),
 		profile: fs.String("profile", "",
 			"write a CPU profile to <prefix>.cpu.pprof and a heap snapshot to\n<prefix>.heap.pprof for `go tool pprof` (empty = off)"),
 	}
@@ -105,6 +116,9 @@ func (o *cliOptions) config() (core.Config, error) {
 	}
 	if m := *o.clusterMode; m != "off" && m != "sim" && m != "udp" {
 		return core.Config{}, fmt.Errorf("unknown -cluster-mode %q (want off, sim, or udp)", m)
+	}
+	if s := *o.storeKind; s != "" && s != "memory" && s != "disk" {
+		return core.Config{}, fmt.Errorf("unknown -store %q (want memory or disk)", s)
 	}
 	return core.Config{
 		Params:            o.params.vals,
@@ -166,6 +180,23 @@ func main() {
 			fail("%v", err)
 		}
 		return
+	}
+	if *opts.storeKind == "disk" {
+		dir := *opts.storeDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "cologne-store-")
+			if err != nil {
+				fail("%v", err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		st, err := store.Open("disk", filepath.Join(dir, "local"), *opts.storeFsync)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer st.Close()
+		cfg.Storage = st
 	}
 	node, err := core.NewNode("local", res, cfg, nil)
 	if err != nil {
@@ -229,6 +260,9 @@ func runCluster(opts *cliOptions, res *analysis.Result, cfg core.Config) error {
 		BatchDeltas:     *opts.clusterBat,
 		CheckpointEvery: *opts.clusterCkpt,
 		DisableResync:   !*opts.clusterRsnc,
+		Storage:         *opts.storeKind,
+		StorageDir:      *opts.storeDir,
+		StorageFsync:    *opts.storeFsync,
 	})
 	defer rt.Close()
 	specs := make([]cluster.NodeSpec, len(addrs))

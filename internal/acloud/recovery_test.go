@@ -52,6 +52,41 @@ func TestRecoveryEquivalence(t *testing.T) {
 	}
 }
 
+// TestRecoveryDiskReplayEquivalence: the same crash with store=disk and no
+// checkpoints — the restarted data center rebuilds its state (vmRaw
+// catalog, keyed assignments, materialization memory, arrival-order seqs)
+// purely by replaying its local write-ahead log, and the following
+// intervals must solve identically to an uninterrupted run.
+func TestRecoveryDiskReplayEquivalence(t *testing.T) {
+	p := clusterTestParams()
+	plain, err := RunCluster(p, ACloud, clusterpkg.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := clusterpkg.Options{Workers: 4, Storage: "disk", StorageDir: t.TempDir()}
+	o.AfterEpoch = func(r *clusterpkg.Runtime, epoch int) error {
+		if epoch != 0 {
+			return nil
+		}
+		victim := r.Addrs()[1]
+		if err := r.StopNode(victim); err != nil {
+			return err
+		}
+		_, err := r.RestartNode(victim)
+		return err
+	}
+	recovered, err := RunCluster(p, ACloud, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.AvgStdev, recovered.AvgStdev) {
+		t.Fatalf("stdev series diverged:\nuninterrupted %v\nreplayed %v", plain.AvgStdev, recovered.AvgStdev)
+	}
+	if !reflect.DeepEqual(plain.Migrations, recovered.Migrations) {
+		t.Fatalf("migration series diverged:\nuninterrupted %v\nreplayed %v", plain.Migrations, recovered.Migrations)
+	}
+}
+
 // TestRecoveryEquivalenceUDP: the same crash with the cluster on real UDP
 // sockets. The per-DC work is local, so the series equality holds in
 // implementation mode too.

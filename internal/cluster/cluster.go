@@ -29,11 +29,14 @@ package cluster
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/transport"
 )
 
@@ -93,6 +96,22 @@ type Options struct {
 	// restart nodes (failure-injection scripts use it to crash a node
 	// between epochs). A returned error fails the RunEpoch call.
 	AfterEpoch func(r *Runtime, epoch int) error
+	// Storage selects the per-node storage backend: "" or "memory" keeps
+	// every node's state in RAM (the pre-storage behavior), "disk" gives
+	// each node a write-ahead delta log plus spill tables under its own
+	// subdirectory of StorageDir (see internal/store and docs/storage.md).
+	// With "disk", RestartNode rebuilds a failed node by replaying its
+	// local log before the anti-entropy resync, so resync pulls only the
+	// outage window instead of the node's whole history.
+	Storage string
+	// StorageDir is the root directory for "disk" storage; empty means a
+	// temporary directory that Close removes.
+	StorageDir string
+	// StorageFsync forces an fsync after every log append ("disk" only):
+	// the paper-grade durability guarantee, at a heavy per-update cost.
+	// Off, durability extends to what the OS has flushed — crash-consistent
+	// either way, since replay drops any torn tail.
+	StorageFsync bool
 }
 
 // NodeSpec describes how to build — and after a failure, rebuild — one
@@ -134,9 +153,15 @@ type Runtime struct {
 	lastWire    map[string]transport.Stats
 	retiredWire transport.Stats // counters retired by restart-time resets
 	lastResync  map[string]core.ResyncStats
+	lastLog     map[string][2]int64 // per-addr (records, bytes) log snapshots
 	inEpoch     bool
 	lastDrops   int64
 	started     time.Time // ModeUDP epoch for Now()
+
+	// Disk-storage root: opts.StorageDir, or a lazily created temp dir
+	// (ownStoreDir) that Close removes.
+	storeDir    string
+	ownStoreDir bool
 }
 
 // New creates an empty cluster runtime.
@@ -147,6 +172,7 @@ func New(o Options) *Runtime {
 		costs:      map[string]float64{},
 		lastWire:   map[string]transport.Stats{},
 		lastResync: map[string]core.ResyncStats{},
+		lastLog:    map[string][2]int64{},
 	}
 	if o.Mode == ModeUDP {
 		r.inner = transport.NewUDP()
@@ -184,6 +210,9 @@ func (r *Runtime) Spawn(spec NodeSpec) (*core.Node, error) {
 		// results are identical at any GroundWorkers setting (merged in
 		// rule order — see core.Config), so force the nested pools serial.
 		spec.Config.GroundWorkers = 1
+	}
+	if err := r.attachStorage(&spec); err != nil {
+		return nil, fmt.Errorf("cluster: storage for %s: %w", spec.Addr, err)
 	}
 	n, err := core.NewNode(spec.Addr, spec.Program, spec.Config, r.nodeTransport())
 	if err != nil {
@@ -281,5 +310,72 @@ func (r *Runtime) Settle() {
 	time.Sleep(50 * time.Millisecond)
 }
 
-// Close releases transport resources (UDP sockets).
-func (r *Runtime) Close() error { return r.inner.Close() }
+// attachStorage opens the node's storage backend per Options.Storage and
+// installs it in the spec's Config. The opened Store lives in the stored
+// spec, so a restart hands the same backend — the node's log and table
+// files — back to the rebuilt instance.
+func (r *Runtime) attachStorage(spec *NodeSpec) error {
+	switch r.opts.Storage {
+	case "", "memory":
+		return nil // per-node private memory backend, opened by the node
+	case "disk":
+	default:
+		return fmt.Errorf("unknown storage kind %q (want memory or disk)", r.opts.Storage)
+	}
+	if spec.Config.Storage != nil {
+		return nil // caller supplied a backend; keep it
+	}
+	if r.storeDir == "" {
+		if r.opts.StorageDir != "" {
+			r.storeDir = r.opts.StorageDir
+		} else {
+			dir, err := os.MkdirTemp("", "cologne-store-")
+			if err != nil {
+				return err
+			}
+			r.storeDir = dir
+			r.ownStoreDir = true
+		}
+	}
+	st, err := store.Open("disk", filepath.Join(r.storeDir, sanitizeAddr(spec.Addr)), r.opts.StorageFsync)
+	if err != nil {
+		return err
+	}
+	spec.Config.Storage = st
+	return nil
+}
+
+// sanitizeAddr maps a node address onto filesystem-safe characters (UDP
+// addresses contain colons).
+func sanitizeAddr(addr string) string {
+	out := make([]byte, len(addr))
+	for i := 0; i < len(addr); i++ {
+		c := addr[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// Close releases transport resources (UDP sockets), closes every node's
+// storage backend, and removes the storage root if the runtime created it.
+func (r *Runtime) Close() error {
+	err := r.inner.Close()
+	for _, m := range r.members {
+		if st := m.spec.Config.Storage; st != nil {
+			if cerr := st.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}
+	if r.ownStoreDir && r.storeDir != "" {
+		if rerr := os.RemoveAll(r.storeDir); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return err
+}

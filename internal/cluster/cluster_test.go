@@ -116,7 +116,7 @@ func dump(r *Runtime) string {
 		if n == nil {
 			continue
 		}
-		for _, pred := range []string{"pick", "got", "total", "cost"} {
+		for _, pred := range []string{"pick", "got", "total", "cost", "note"} {
 			for _, row := range n.Rows(pred) {
 				sb.WriteString(core.NewTuple(pred, row...).String())
 				sb.WriteByte('\n')

@@ -170,6 +170,7 @@ func (r *Runtime) RunEpoch(items []Item) (EpochStats, error) {
 	st.MsgsSent, st.BytesSent = d.MsgsSent, d.BytesSent
 	st.MsgsDropped = drops
 	st.ResyncRows, st.ResyncBytes = r.resyncDelta()
+	st.LogRecords, st.LogBytes = r.logDelta()
 	r.history = append(r.history, st)
 
 	// Periodic checkpointing: every node's quiescent post-epoch state

@@ -66,17 +66,41 @@ func (r *Runtime) RestartNode(addr string) (*core.Node, error) {
 	}
 	r.lastWire[addr] = transport.Stats{}
 	delete(r.lastResync, addr)
+	// r.lastLog is deliberately NOT reset: the WAL's record/byte counters
+	// are monotonic across restarts (the Store outlives the instance), so
+	// the snapshot stays valid and the epoch delta stays correct.
 
-	// Reconnect first so a reseeding node can ship its base facts to
-	// neighbors (a checkpoint restore sends nothing, but its resync will).
-	r.injector().SetNodeDown(addr, false)
-	n, err := r.restoreOrReseed(m)
-	if err != nil {
-		// A half-built instance may be registered on the transport; re-down
-		// the address so it receives no cluster traffic while the runtime
-		// still reports the node as stopped.
-		r.injector().SetNodeDown(addr, true)
-		return nil, fmt.Errorf("cluster: restarting %s: %w", addr, err)
+	var n *core.Node
+	if st := m.spec.Config.Storage; st != nil && st.Log() != nil {
+		// Durable-log path: replay the local write-ahead log while the node
+		// is still disconnected — replay must not transmit, and the injector
+		// blocks any stray delivery. Only then reconnect and re-inject base
+		// facts idempotently (a torn log may have lost some; re-inserts ship
+		// derivations to peers, so this runs after un-down). Anti-entropy
+		// afterwards pulls only the outage-window rows the log cannot know.
+		var err error
+		n, err = r.restoreOrReseed(m)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: restarting %s: %w", addr, err)
+		}
+		r.injector().SetNodeDown(addr, false)
+		if err := ensureBaseFacts(n, m.spec); err != nil {
+			r.injector().SetNodeDown(addr, true)
+			return nil, fmt.Errorf("cluster: restarting %s: reseeding after replay: %w", addr, err)
+		}
+	} else {
+		// Reconnect first so a reseeding node can ship its base facts to
+		// neighbors (a checkpoint restore sends nothing, but its resync will).
+		r.injector().SetNodeDown(addr, false)
+		var err error
+		n, err = r.restoreOrReseed(m)
+		if err != nil {
+			// A half-built instance may be registered on the transport; re-down
+			// the address so it receives no cluster traffic while the runtime
+			// still reports the node as stopped.
+			r.injector().SetNodeDown(addr, true)
+			return nil, fmt.Errorf("cluster: restarting %s: %w", addr, err)
+		}
 	}
 	m.node = n
 	m.down = false

@@ -21,7 +21,10 @@ func (r *Runtime) checkpointAll() error {
 		if m == nil || m.down {
 			continue
 		}
-		data, err := m.node.ExportCheckpoint()
+		// For nodes with a durable log the export doubles as a compaction:
+		// the log is atomically reduced to one checkpoint record, bounding
+		// replay time, and the spill files shed abandoned space.
+		data, err := m.node.CheckpointAndCompact()
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("cluster: checkpointing %s: %w", addr, err)
@@ -114,13 +117,18 @@ func (r *Runtime) resyncDelta() (rows, bytes int64) {
 }
 
 // restoreOrReseed builds the replacement instance for a restarted node:
-// from the latest checkpoint when one exists (state installed verbatim,
-// program facts not replayed), otherwise a fresh instance with only its
-// Seed facts.
+// by replaying its local write-ahead log when the node's storage backend
+// has one (the log subsumes checkpoints — compaction folds them in as
+// records), otherwise from the latest checkpoint when one exists (state
+// installed verbatim, program facts not replayed), otherwise a fresh
+// instance with only its Seed facts.
 func (r *Runtime) restoreOrReseed(m *member) (*core.Node, error) {
 	spec := m.spec
 	if r.opts.BatchDeltas {
 		spec.Config.BatchDeltas = true
+	}
+	if st := spec.Config.Storage; st != nil && st.Log() != nil {
+		return core.ReplayNode(spec.Addr, spec.Program, spec.Config, r.nodeTransport())
 	}
 	if m.checkpoint != nil {
 		return core.RestoreNode(spec.Addr, spec.Program, spec.Config, r.nodeTransport(), m.checkpoint)
@@ -135,4 +143,23 @@ func (r *Runtime) restoreOrReseed(m *member) (*core.Node, error) {
 		}
 	}
 	return n, nil
+}
+
+// ensureBaseFacts re-injects a replayed node's base facts — program facts
+// plus the spec's Seed — in idempotent-insert mode: rows the log replay
+// already restored are untouched (no count bump, no log record), rows a
+// torn log lost are re-inserted. Local base facts are the one input
+// anti-entropy cannot pull back from peers, so this closes the last gap in
+// crash recovery. Runs after the node is back up: re-inserted facts may
+// derive tuples addressed to peers.
+func ensureBaseFacts(n *core.Node, spec NodeSpec) error {
+	n.SetEnsureInserts(true)
+	defer n.SetEnsureInserts(false)
+	if err := n.InsertProgramFacts(); err != nil {
+		return err
+	}
+	if spec.Seed != nil {
+		return spec.Seed(n)
+	}
+	return nil
 }

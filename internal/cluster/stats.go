@@ -33,6 +33,10 @@ type EpochStats struct {
 	// against their peers, and the payload bytes of the resync rows frames
 	// that carried them (summed over all nodes; see docs/recovery.md).
 	ResyncRows, ResyncBytes int64
+	// LogRecords and LogBytes count the write-ahead-log appends in this
+	// epoch's window, summed over all nodes (zero unless Options.Storage
+	// selects a durable backend; see docs/storage.md).
+	LogRecords, LogBytes int64
 	// Timing breakdown (see docs/distribution.md). ExecWall is the wall
 	// time of the concurrent phase — all items on the worker pool.
 	// GroundWall and SolveWall sum the items' solver-model-build and
@@ -84,16 +88,39 @@ func (r *Runtime) closeWindow() {
 		// sees its own traffic.
 		r.wireDelta()
 		r.resyncDelta()
+		r.logDelta()
 		return
 	}
 	d, drops := r.wireDelta()
 	rows, bytes := r.resyncDelta()
+	logRecs, logBytes := r.logDelta()
 	last := &r.history[len(r.history)-1]
 	last.MsgsSent += d.MsgsSent
 	last.BytesSent += d.BytesSent
 	last.MsgsDropped += drops
 	last.ResyncRows += rows
 	last.ResyncBytes += bytes
+	last.LogRecords += logRecs
+	last.LogBytes += logBytes
+}
+
+// logDelta returns the summed write-ahead-log append counters accumulated
+// since the previous call and advances the per-node snapshots. The WAL's
+// counters are monotonic across restarts (the Store outlives node
+// instances), so snapshots are never reset.
+func (r *Runtime) logDelta() (records, bytes int64) {
+	for _, addr := range r.order {
+		m := r.members[addr]
+		if m == nil || m.node == nil {
+			continue
+		}
+		recs, b := m.node.LogStats()
+		prev := r.lastLog[addr]
+		records += recs - prev[0]
+		bytes += b - prev[1]
+		r.lastLog[addr] = [2]int64{recs, b}
+	}
+	return records, bytes
 }
 
 // wireDelta returns the per-node-summed traffic since the previous call

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/colog"
+	"repro/internal/store"
+)
+
+// The WAL torture suite: kill a node at every write-ahead-log record
+// boundary of a recorded run — including mid-record torn writes and a torn
+// file header — restart it, and require the cluster to converge on exactly
+// the visible rows of the uninterrupted run. The simulated transport is
+// deterministic, so re-driving the same script reproduces the recorded WAL
+// byte for byte; truncating it at offset N then simulates a crash whose
+// last durable write ended at N. Run standalone via `make wal-torture`.
+
+const tortureVictim = "n1"
+
+// tortureProgram is the ring program plus an accumulating replicated
+// relation, so the victim holds real remote state (notes from its upstream
+// neighbor) that a truncated log loses and recovery must restore.
+func tortureProgram(t *testing.T) *analysis.Result {
+	t.Helper()
+	prog, err := colog.Parse(testSrc + "r2 note(@Y,X,E) <- link(@X,Y), tick(@X,E).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func tortureRuntime(t *testing.T, res *analysis.Result) *Runtime {
+	t.Helper()
+	r := New(Options{Workers: 1, Latency: time.Millisecond, Storage: "disk", StorageDir: t.TempDir()})
+	for i := 0; i < 3; i++ {
+		if _, err := r.Spawn(ringSpec(res, i, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Settle()
+	return r
+}
+
+// torturePhase drives the recorded prefix of the script: two solve epochs
+// with churn on the victim's neighbors (never the victim — script inserts
+// on the victim itself are local base facts a torn log loses for good, by
+// design), and a checkpoint compaction between the epochs so the recorded
+// log exercises the checkpoint-record replay path too.
+func torturePhase(t *testing.T, r *Runtime) {
+	t.Helper()
+	churn := func(epoch int) {
+		for i, addr := range []string{"n0", "n2"} {
+			if err := r.Node(addr).Insert("need", sval(addr), ival(int64(4+epoch+i))); err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 3; k++ {
+				if err := r.Node(addr).Insert("tick", sval(addr), ival(int64(epoch*100+i*10+k))); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for epoch := 0; epoch < 3; epoch++ {
+		if _, err := r.RunEpoch(solveItems(r)); err != nil {
+			t.Fatal(err)
+		}
+		churn(epoch)
+		r.Advance(10 * time.Millisecond)
+		if epoch == 0 {
+			if err := r.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// tortureFinish is the shared script tail — a final re-solve and settle —
+// after which every node's visible state is a function of the converged
+// inputs, so reference and torture runs are comparable row for row.
+func tortureFinish(t *testing.T, r *Runtime) string {
+	t.Helper()
+	if _, err := r.RunEpoch(solveItems(r)); err != nil {
+		t.Fatal(err)
+	}
+	r.Settle()
+	return sortedDump(r)
+}
+
+// sortedDump is dump with the rows in canonical order: recovery pulls rows
+// back via anti-entropy in mirror order, so arrival-seq iteration order may
+// legitimately differ from the uninterrupted run; the visible row set must
+// not.
+func sortedDump(r *Runtime) string {
+	lines := strings.Split(strings.TrimRight(dump(r), "\n"), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// victimWAL reads the victim's write-ahead log file straight from disk.
+func victimWAL(t *testing.T, r *Runtime) (string, []byte) {
+	t.Helper()
+	path := r.members[tortureVictim].spec.Config.Storage.Log().Path()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// TestWALTortureCrashPoints is the crash-point CI gate (`make wal-torture`
+// runs it standalone). One reference run records the victim's WAL; then,
+// for a truncation offset at every record boundary, every mid-record
+// midpoint (a torn write), and inside the file header, a fresh cluster
+// re-runs the script, crashes the victim, cuts its log at the offset,
+// restarts it, and must converge on the reference rows.
+func TestWALTortureCrashPoints(t *testing.T) {
+	res := tortureProgram(t)
+
+	// Reference: the uninterrupted run.
+	refRT := tortureRuntime(t, res)
+	torturePhase(t, refRT)
+	ref := tortureFinish(t, refRT)
+	refRT.Close()
+
+	// Recording run: drive to the crash point, kill the victim, snapshot
+	// its WAL.
+	recRT := tortureRuntime(t, res)
+	torturePhase(t, recRT)
+	if err := recRT.StopNode(tortureVictim); err != nil {
+		t.Fatal(err)
+	}
+	recRT.Settle()
+	_, recorded := victimWAL(t, recRT)
+	recRT.Close()
+	if len(recorded) <= store.WALHeaderSize {
+		t.Fatalf("recorded WAL is empty (%d bytes)", len(recorded))
+	}
+
+	ends := store.WALRecordEnds(recorded)
+	if len(ends) < 4 {
+		t.Fatalf("recorded WAL has only %d record boundaries — script too small to torture", len(ends))
+	}
+	seen := map[int64]bool{}
+	var offsets []int64
+	add := func(o int64) {
+		if o >= 0 && o <= int64(len(recorded)) && !seen[o] {
+			seen[o] = true
+			offsets = append(offsets, o)
+		}
+	}
+	add(0) // empty file
+	add(4) // torn header
+	prev := int64(0)
+	for _, e := range ends {
+		if e > prev+1 {
+			add(prev + (e-prev)/2) // torn write inside the record
+		}
+		add(e) // clean boundary
+		prev = e
+	}
+	sort.Slice(offsets, func(i, j int) bool { return offsets[i] < offsets[j] })
+	if testing.Short() && len(offsets) > 12 {
+		var sampled []int64
+		for i, o := range offsets {
+			if i%4 == 0 || i == len(offsets)-1 {
+				sampled = append(sampled, o)
+			}
+		}
+		offsets = sampled
+	}
+	t.Logf("torturing %d truncation offsets over a %d-byte WAL (%d records)",
+		len(offsets), len(recorded), len(ends)-1)
+
+	for _, off := range offsets {
+		t.Run(fmt.Sprintf("truncate@%d", off), func(t *testing.T) {
+			r := tortureRuntime(t, res)
+			defer r.Close()
+			torturePhase(t, r)
+			if err := r.StopNode(tortureVictim); err != nil {
+				t.Fatal(err)
+			}
+			r.Settle()
+			path, data := victimWAL(t, r)
+			if !bytes.Equal(data, recorded) {
+				t.Fatalf("re-driven script produced a different WAL (%d bytes vs %d recorded) — offsets are meaningless",
+					len(data), len(recorded))
+			}
+			if err := os.Truncate(path, off); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.RestartNode(tortureVictim); err != nil {
+				t.Fatalf("restart after truncate@%d: %v", off, err)
+			}
+			if got := tortureFinish(t, r); got != ref {
+				t.Fatalf("truncate@%d diverged from the uninterrupted run:\n--- reference\n%s\n--- torture\n%s", off, ref, got)
+			}
+		})
+	}
+}

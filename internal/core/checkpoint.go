@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/colog"
+	"repro/internal/store"
 )
 
 const checkpointVersion = 1
@@ -28,6 +29,35 @@ const checkpointVersion = 1
 func (n *Node) ExportCheckpoint() ([]byte, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.exportCheckpointLocked()
+}
+
+// CheckpointAndCompact exports a checkpoint and — when the node has a
+// durable delta log — compacts the log down to a single checkpoint record,
+// truncating the replayable prefix, and reclaims table-file space. The
+// export, log reset, and compaction happen under one hold of the node
+// lock, so no transition can land between the exported state and the
+// truncated log (which would make replay skip it).
+func (n *Node) CheckpointAndCompact() ([]byte, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	data, err := n.exportCheckpointLocked()
+	if err != nil || n.wal == nil {
+		return data, err
+	}
+	rec := make([]byte, 0, len(data)+1)
+	rec = append(rec, walRecCheckpoint)
+	rec = append(rec, data...)
+	if err := n.wal.Reset(rec); err != nil {
+		return data, fmt.Errorf("core: compacting log of %s: %w", n.Addr, err)
+	}
+	if err := n.store.Compact(); err != nil {
+		return data, fmt.Errorf("core: compacting tables of %s: %w", n.Addr, err)
+	}
+	return data, nil
+}
+
+func (n *Node) exportCheckpointLocked() ([]byte, error) {
 	if n.draining || n.qhead < len(n.queue) || len(n.dirtyGroups) > 0 {
 		return nil, fmt.Errorf("core: checkpoint of %s: evaluation in progress", n.Addr)
 	}
@@ -48,17 +78,17 @@ func (n *Node) ExportCheckpoint() ([]byte, error) {
 		buf = appendWireString(buf, name)
 		buf = binary.AppendUvarint(buf, uint64(t.arity))
 		buf = binary.AppendUvarint(buf, t.nextSeq)
-		rows := make([]row, 0, len(t.rows))
-		for _, r := range t.rows {
+		rows := make([]store.Row, 0, t.rows.Len())
+		t.rows.Range(func(r store.Row) {
 			rows = append(rows, r)
-		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+		})
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Seq < rows[j].Seq })
 		buf = binary.AppendUvarint(buf, uint64(len(rows)))
 		for _, r := range rows {
-			buf = binary.AppendUvarint(buf, r.seq)
-			buf = binary.AppendUvarint(buf, uint64(r.count))
-			buf = binary.AppendUvarint(buf, uint64(r.base))
-			if buf, err = appendWireVals(buf, r.vals); err != nil {
+			buf = binary.AppendUvarint(buf, r.Seq)
+			buf = binary.AppendUvarint(buf, uint64(r.Count))
+			buf = binary.AppendUvarint(buf, uint64(r.Base))
+			if buf, err = appendWireVals(buf, r.Vals); err != nil {
 				return nil, fmt.Errorf("core: checkpoint of %s: table %s: %w", n.Addr, name, err)
 			}
 		}
@@ -192,7 +222,7 @@ func (n *Node) ImportCheckpoint(data []byte) error {
 
 	// Reset every table and the derived runtime state.
 	for _, t := range n.tables {
-		t.rows = map[string]row{}
+		t.rows.Clear()
 		t.nextSeq = 0
 		t.freedSeq = nil
 		t.dropIndexes()
@@ -267,7 +297,7 @@ func (n *Node) ImportCheckpoint(data []byte) error {
 				return fail("row arity")
 			}
 			t.keyScratch = t.appendRowKey(t.keyScratch[:0], vals)
-			t.rows[string(t.keyScratch)] = row{vals: vals, count: int(count), base: int(base), seq: seq}
+			t.rows.Put(t.keyScratch, store.Row{Vals: vals, Count: int(count), Base: int(base), Seq: seq})
 		}
 		nFreed, w := binary.Uvarint(rest)
 		if w <= 0 {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/colog"
+	"repro/internal/store"
 )
 
 // Counting-based incremental view maintenance is exact for non-recursive
@@ -195,11 +196,11 @@ func (n *Node) recomputeGroup(gi int) error {
 		if t == nil {
 			continue
 		}
-		for _, r := range t.rows {
-			if r.base > 0 {
-				work[p][valsKey(r.vals)] = r.vals
+		t.rows.Range(func(r store.Row) {
+			if r.Base > 0 {
+				work[p][valsKey(r.Vals)] = r.Vals
 			}
-		}
+		})
 	}
 	rowsOf := func(pred string) [][]colog.Value {
 		if m, in := work[pred]; in {
@@ -241,11 +242,12 @@ func (n *Node) recomputeGroup(gi int) error {
 		oldRows := map[string][]colog.Value{}
 		baseOf := map[string]int{}
 		seqOf := map[string]uint64{}
-		for _, r := range t.rows {
-			oldRows[valsKey(r.vals)] = r.vals
-			baseOf[valsKey(r.vals)] = r.base
-			seqOf[valsKey(r.vals)] = r.seq
-		}
+		t.rows.Range(func(r store.Row) {
+			k := valsKey(r.Vals)
+			oldRows[k] = r.Vals
+			baseOf[k] = r.Base
+			seqOf[k] = r.Seq
+		})
 		newRows := work[p]
 		// Fresh rows get arrival numbers in deterministic (sorted-key) order;
 		// surviving rows keep theirs.
@@ -260,16 +262,16 @@ func (n *Node) recomputeGroup(gi int) error {
 			seqOf[k] = t.nextSeq
 			t.nextSeq++
 		}
-		t.rows = map[string]row{}
+		t.rows.Clear()
 		t.dropIndexes()
 		t.dropScanCache()
 		for k, vals := range newRows {
-			t.rows[keyOf(vals, t.keyCols)] = row{
-				vals:  vals,
-				count: 1,
-				base:  baseOf[k],
-				seq:   seqOf[k],
-			}
+			t.rows.Put([]byte(keyOf(vals, t.keyCols)), store.Row{
+				Vals:  vals,
+				Count: 1,
+				Base:  baseOf[k],
+				Seq:   seqOf[k],
+			})
 		}
 		for k, vals := range oldRows {
 			if _, kept := newRows[k]; !kept {

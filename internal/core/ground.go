@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/analysis"
@@ -382,15 +383,30 @@ func (n *Node) finishSolve(g *grounder, opts SolveOptions, res *SolveResult) (*S
 	return res, nil
 }
 
+// matTable is one predicate's materialized solver output — the unit the
+// write-ahead log records per solve, in sorted predicate order, so a
+// replayed materialization installs tuples in exactly the live order.
+type matTable struct {
+	pred   string
+	tuples []Tuple
+}
+
 // materialize writes the optimization output back into the engine: var
 // tables receive the concrete assignments, the goal table the objective
 // value. Previous materializations of keyless tables are retracted first so
-// repeated solves replace rather than accumulate.
+// repeated solves replace rather than accumulate. The whole outcome is
+// logged as one solve record before it is applied, so a crash either
+// persists the full materialization or none of it.
 func (n *Node) materialize(g *grounder, res *SolveResult) error {
 	byPred := map[string][]Tuple{}
 	for _, a := range res.Assignments {
 		byPred[a.Pred] = append(byPred[a.Pred], Tuple{a.Pred, a.Vals})
 	}
+	mats := make([]matTable, 0, len(byPred))
+	for pred, tuples := range byPred {
+		mats = append(mats, matTable{pred: pred, tuples: tuples})
+	}
+	sort.Slice(mats, func(i, j int) bool { return mats[i].pred < mats[j].pred })
 	// Goal tuple.
 	var goalTuple *Tuple
 	if goal := n.res.Program.Goal; goal != nil && goal.Sense != colog.GoalSatisfy && res.HasGoal {
@@ -420,7 +436,15 @@ func (n *Node) materialize(g *grounder, res *SolveResult) error {
 		}
 	}
 
-	for pred, tuples := range byPred {
+	n.walSolve(mats, goalTuple)
+	return n.applyMaterialization(mats, goalTuple)
+}
+
+// applyMaterialization installs a solve outcome — shared between a live
+// materialize and log replay, so both take the identical delta sequence.
+func (n *Node) applyMaterialization(mats []matTable, goalTuple *Tuple) error {
+	for _, mt := range mats {
+		pred, tuples := mt.pred, mt.tuples
 		tbl := n.tables[pred]
 		// Unkeyed tables: retract the previous solve's output so repeated
 		// solves replace it, diffing against it first so rows the new

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/colog"
+	"repro/internal/store"
 	"repro/internal/transport"
 )
 
@@ -83,6 +84,15 @@ type Config struct {
 	// the cluster runtime enables at scale. Message-level traces (counts)
 	// differ from unbatched runs; table state and solve results do not.
 	BatchDeltas bool
+	// Storage selects the node's storage backend (see internal/store). Nil
+	// means a private in-memory backend — the pre-storage behavior. A
+	// backend with a write-ahead log (store.Open("disk", ...)) makes every
+	// visible transition durable: the node logs external updates, solver
+	// materializations, and resync outcomes, and ReplayNode can rebuild
+	// the node's exact state from the log alone. The same Store value must
+	// be handed back on restart — its table files and log are the node's
+	// persistent identity.
+	Storage store.Store
 }
 
 // NodeStats counts a node's evaluation work.
@@ -132,6 +142,20 @@ type Node struct {
 	// in-progress chunked resync sessions, and the pull counters.
 	repl replica
 
+	// Storage backend and its write-ahead delta log (nil log for the
+	// in-memory backend). During replay (see wal.go) the node re-executes
+	// its logged transitions with logging and transmission suppressed;
+	// replayRecs/replayPos form the record cursor that lets a replayed
+	// invokeSolver event consume the logged solver outcome instead of
+	// re-running the solver.
+	store      store.Store
+	wal        *store.WAL
+	replaying  bool
+	replayRecs [][]byte
+	replayPos  int
+	// ensure makes already-visible inserts a no-op (SetEnsureInserts).
+	ensure bool
+
 	// OnInvokeSolver, when non-nil, runs instead of the default Solve
 	// whenever an invokeSolver event fires.
 	OnInvokeSolver func(n *Node)
@@ -154,18 +178,8 @@ func NewNode(addr string, res *analysis.Result, cfg Config, tr transport.Transpo
 	}
 	// Load program facts addressed to this node (or unaddressed facts in
 	// centralized mode).
-	for _, f := range res.Program.Facts {
-		vals := make([]colog.Value, len(f.Atom.Args))
-		for i, a := range f.Atom.Args {
-			vals[i] = a.(*colog.ConstTerm).Val
-		}
-		ti := res.Tables[f.Atom.Pred]
-		if ti.LocCol >= 0 && vals[ti.LocCol].S != addr {
-			continue
-		}
-		if err := n.Insert(f.Atom.Pred, vals...); err != nil {
-			return nil, err
-		}
+	if err := n.InsertProgramFacts(); err != nil {
+		return nil, err
 	}
 	return n, nil
 }
@@ -209,16 +223,36 @@ func newNode(addr string, res *analysis.Result, cfg Config, tr transport.Transpo
 		aggs:             map[int]*aggState{},
 		lastMaterialized: map[string][]Tuple{},
 	}
+	st := cfg.Storage
+	if st == nil {
+		st = store.NewMemory()
+	}
+	n.store = st
+	n.wal = st.Log()
 	events := map[string]bool{InvokeSolverPred: true}
 	for _, e := range cfg.Events {
 		events[e] = true
 	}
 	keys := inferShipKeys(res, cfg.Keys, res.Program.Rules)
 	for name, ti := range res.Tables {
-		n.tables[name] = newTable(name, ti.Arity, keys[name], events[name])
+		rows, err := tableRows(st, name, ti.Arity, events[name])
+		if err != nil {
+			return nil, fmt.Errorf("core: opening table %s at %s: %w", name, addr, err)
+		}
+		n.tables[name] = newTable(name, ti.Arity, keys[name], events[name], rows)
 	}
 	if _, ok := n.tables[InvokeSolverPred]; !ok {
-		n.tables[InvokeSolverPred] = newTable(InvokeSolverPred, 0, nil, true)
+		n.tables[InvokeSolverPred] = newTable(InvokeSolverPred, 0, nil, true, store.NewMemTable())
+	}
+	if cfg.Storage != nil {
+		// A caller-supplied backend may be a survivor of a previous node
+		// generation (restart): its tables still hold the pre-crash rows.
+		// Every construction path starts from empty tables — NewNode
+		// re-inserts program facts, RestoreNode installs the checkpoint,
+		// ReplayNode re-executes the log.
+		for _, t := range n.tables {
+			t.rows.Clear()
+		}
 	}
 	n.dirtyGroups = map[int]bool{}
 	n.repl.init()
@@ -229,8 +263,29 @@ func newNode(addr string, res *analysis.Result, cfg Config, tr transport.Transpo
 	return n, nil
 }
 
+// tableRows picks the RowStore for a table: event tables are never stored
+// (their deltas stream through once), so they always get a throwaway
+// in-memory store; everything else comes from the backend.
+func tableRows(st store.Store, name string, arity int, event bool) (store.RowStore, error) {
+	if event {
+		return store.NewMemTable(), nil
+	}
+	return st.Table(name, arity)
+}
+
 // Stats returns evaluation counters.
 func (n *Node) Stats() NodeStats { return n.stats }
+
+// LogStats returns the cumulative record and byte counts appended to the
+// node's write-ahead delta log (zeros for the in-memory backend). The
+// counters are monotone across checkpoints/compactions and across node
+// generations sharing one backend, so interval deltas are meaningful.
+func (n *Node) LogStats() (records, bytes int64) {
+	if n.wal == nil {
+		return 0, 0
+	}
+	return n.wal.Stats()
+}
 
 // groundWorkers resolves the grounding worker-pool size.
 func (n *Node) groundWorkers() int {
@@ -318,6 +373,14 @@ func (n *Node) update(pred string, vals []colog.Value, sign int) error {
 // what each peer has asserted here (the state the anti-entropy resync
 // reconciles after a restart; see recovery.go).
 func (n *Node) updateFrom(pred string, vals []colog.Value, sign int, origin string) error {
+	return n.updateFromLogged(pred, vals, sign, origin, true)
+}
+
+// updateFromLogged is updateFrom with write-ahead logging switchable off:
+// resync application and log replay re-apply updates that are already
+// covered by an atomic resync record (or by the log itself) and must not
+// log them again.
+func (n *Node) updateFromLogged(pred string, vals []colog.Value, sign int, origin string, logIt bool) error {
 	n.mu.Lock()
 	t, ok := n.tables[pred]
 	if !ok {
@@ -327,6 +390,13 @@ func (n *Node) updateFrom(pred string, vals []colog.Value, sign int, origin stri
 	if len(vals) != t.arity {
 		n.mu.Unlock()
 		return everrf(pred, "arity mismatch: table has %d columns, got %d values", t.arity, len(vals))
+	}
+	if n.ensure && sign > 0 && !t.event && t.contains(vals) {
+		n.mu.Unlock()
+		return nil // idempotent re-injection: row already visible
+	}
+	if logIt {
+		n.walUpdate(pred, vals, sign, origin)
 	}
 	if origin != "" && !t.event {
 		n.repl.noteRecv(origin, pred, vals, sign)
@@ -602,16 +672,23 @@ func (n *Node) processTransition(tr delta, skipGroup int) error {
 }
 
 func (n *Node) fireInvokeSolver() {
+	// During replay the solver never runs: the log carries the outcome the
+	// live node materialized (a solve record, or nothing for an infeasible
+	// solve) bracketed by an invoke-done marker; replayInvoke consumes it.
+	if n.replaying {
+		n.replayInvoke()
+		return
+	}
 	if n.OnInvokeSolver != nil {
 		n.OnInvokeSolver(n)
-		return
-	}
-	res, err := n.solveLocked(SolveOptions{})
-	if err != nil {
+	} else if res, err := n.solveLocked(SolveOptions{}); err != nil {
 		n.LastError = err
-		return
+	} else {
+		n.LastSolveResult = res
 	}
-	n.LastSolveResult = res
+	// Close the log bracket even when the solve failed or was infeasible:
+	// replay must know the invoke finished without materializing.
+	n.walInvokeDone()
 }
 
 // route delivers a derived head tuple: locally enqueued when the location
@@ -625,6 +702,16 @@ func (n *Node) route(tuple Tuple, sign int) error {
 		if addr != n.Addr {
 			if n.tr == nil {
 				return everrf(tuple.Pred, "tuple addressed to %q but node has no transport", addr)
+			}
+			if n.replaying {
+				// Replayed derivations do not retransmit — the peers got the
+				// live sends (or will reconcile via resync) — but the sent
+				// mirror must be rebuilt: it is this node's memory of what it
+				// asserted remotely, and the divergence detector needs it.
+				if t := n.tables[tuple.Pred]; t != nil && !t.event {
+					n.repl.noteSent(addr, tuple.Pred, tuple.Vals, sign)
+				}
+				return nil
 			}
 			payload, err := encodeDelta(tuple.Pred, tuple.Vals, sign)
 			if err != nil {

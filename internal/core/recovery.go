@@ -665,13 +665,8 @@ func (n *Node) handleResyncRows(from string, payload []byte) error {
 	// Resolve the authoritative lists into concrete rows and compute the
 	// update plan under the lock; apply it after releasing (updateFrom
 	// re-locks per row, and applying can trigger sends).
-	type op struct {
-		pred  string
-		vals  []colog.Value
-		sign  int
-		times int
-	}
-	var plan []op
+	var plan []resyncOp
+	var recTables []resyncMirror
 	var firstErr error
 	for _, name := range tableOrder {
 		t := byName[name]
@@ -724,7 +719,7 @@ func (n *Node) handleResyncRows(from string, payload []byte) error {
 		// longer asserts.
 		for _, e := range next.entries {
 			if d := e.count - oldCount[e.key]; d > 0 {
-				plan = append(plan, op{name, e.vals, +1, d})
+				plan = append(plan, resyncOp{name, e.vals, +1, d})
 			}
 		}
 		for i := range cur.entries {
@@ -733,10 +728,20 @@ func (n *Node) handleResyncRows(from string, payload []byte) error {
 				continue
 			}
 			if d := e.count - newCount[e.key]; d > 0 {
-				plan = append(plan, op{name, e.vals, -1, d})
+				plan = append(plan, resyncOp{name, e.vals, -1, d})
 			}
 		}
 		n.repl.recv[from][name] = next
+		recTables = append(recTables, resyncMirror{name: name, entries: next.entries})
+	}
+	// Log the whole exchange — mirror installs plus the update plan — as
+	// one atomic record before applying. Logging the mirror without the
+	// plan's effects (or vice versa) would leave a replayed node believing
+	// the peer asserted rows its tables never received: the digests would
+	// match and the divergence would never heal. One record means a torn
+	// write drops both, and the stale mirror triggers a fresh pull.
+	if len(recTables)+len(plan) > 0 {
+		n.walResync(from, recTables, plan)
 	}
 	n.mu.Unlock()
 
@@ -744,7 +749,9 @@ func (n *Node) handleResyncRows(from string, payload []byte) error {
 	for _, o := range plan {
 		for i := 0; i < o.times; i++ {
 			// Origin is empty: the mirror has already been rebuilt above.
-			if err := n.updateFrom(o.pred, o.vals, o.sign, ""); err != nil && firstErr == nil {
+			// The ops are covered by the resync record; do not log them
+			// individually.
+			if err := n.updateFromLogged(o.pred, o.vals, o.sign, "", false); err != nil && firstErr == nil {
 				firstErr = err
 			}
 			applied++

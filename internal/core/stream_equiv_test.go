@@ -11,11 +11,14 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/colog"
 	"repro/internal/core"
+	"repro/internal/store"
 )
 
 // buildGroundModeNode parses a corpus program and builds one node with the
-// given grounding mode and incremental setting.
-func buildGroundModeNode(t *testing.T, name, mode string, incremental bool) *core.Node {
+// given grounding mode, incremental setting, and storage backend (nil for
+// the default in-memory one). The program and config are returned too so a
+// caller can rebuild the node later (the disk lane replays its log).
+func buildGroundModeNode(t *testing.T, name, mode string, incremental bool, st store.Store) (*core.Node, *analysis.Result, core.Config) {
 	t.Helper()
 	src, err := os.ReadFile(filepath.Join(corpusDir, name))
 	if err != nil {
@@ -29,16 +32,18 @@ func buildGroundModeNode(t *testing.T, name, mode string, incremental bool) *cor
 	if err != nil {
 		t.Fatalf("analyze: %v", err)
 	}
-	node, err := core.NewNode("local", res, core.Config{
+	cfg := core.Config{
 		SolverPropagate:   true,
 		Keys:              corpusKeys[name],
 		GroundMode:        mode,
 		SolverIncremental: incremental,
-	}, nil)
+		Storage:           st,
+	}
+	node, err := core.NewNode("local", res, cfg, nil)
 	if err != nil {
 		t.Fatalf("node: %v", err)
 	}
-	return node
+	return node, res, cfg
 }
 
 // TestStreamingGroundEquivalence drives random insert/delete/update churn
@@ -60,11 +65,21 @@ func TestStreamingGroundEquivalence(t *testing.T) {
 			continue
 		}
 		t.Run(ent.Name(), func(t *testing.T) {
-			mat := buildGroundModeNode(t, ent.Name(), "materialized", false)
-			str := buildGroundModeNode(t, ent.Name(), "streaming", false)
-			strInc := buildGroundModeNode(t, ent.Name(), "streaming", true)
-			nodes := []*core.Node{mat, str, strInc}
-			labels := []string{"materialized", "streaming", "streaming+incremental"}
+			mat, _, _ := buildGroundModeNode(t, ent.Name(), "materialized", false, nil)
+			str, _, _ := buildGroundModeNode(t, ent.Name(), "streaming", false, nil)
+			strInc, _, _ := buildGroundModeNode(t, ent.Name(), "streaming", true, nil)
+			// The storage dimension: the same churn through a disk-backed
+			// node must stay bit-identical to the in-memory lanes — the
+			// ordered key encoding preserves arrival-order seqs, so join
+			// enumeration and solver traces may not diverge.
+			diskStore, err := store.Open("disk", t.TempDir(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer diskStore.Close()
+			strDisk, diskRes, diskCfg := buildGroundModeNode(t, ent.Name(), "streaming", false, diskStore)
+			nodes := []*core.Node{mat, str, strInc, strDisk}
+			labels := []string{"materialized", "streaming", "streaming+incremental", "streaming+disk"}
 
 			rng := rand.New(rand.NewSource(int64(len(ent.Name()))*6133 + 17))
 			keys := corpusKeys[ent.Name()]
@@ -150,6 +165,33 @@ func TestStreamingGroundEquivalence(t *testing.T) {
 				for i := 1; i < len(nodes); i++ {
 					compareSolves(t, step, results[0], results[i])
 					compareNodes(t, step, nodes[0], nodes[i])
+				}
+			}
+
+			// Replay gate: rebuild the disk node purely from its write-ahead
+			// log and require the same tables, row for row and seq for seq
+			// (Rows iterates in arrival order). The snapshot comes first —
+			// replay reuses the same backend, clearing the live tables.
+			snap := map[string][][]colog.Value{}
+			names := strDisk.TableNames()
+			for _, pred := range names {
+				snap[pred] = strDisk.Rows(pred)
+			}
+			replayed, err := core.ReplayNode("local", diskRes, diskCfg, nil)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			for _, pred := range names {
+				want, got := snap[pred], replayed.Rows(pred)
+				if len(want) != len(got) {
+					t.Fatalf("replayed table %s: %d vs %d rows", pred, len(got), len(want))
+				}
+				for i := range want {
+					for j := range want[i] {
+						if !want[i][j].Equal(got[i][j]) {
+							t.Fatalf("replayed table %s row %d: %v vs %v", pred, i, got[i], want[i])
+						}
+					}
 				}
 			}
 		})

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/colog"
+)
+
+// The row-value codec reuses the wire codec's per-value layout (see
+// appendWireVals in internal/core/tuple.go): a uvarint value count, then
+// per value a kind byte followed by a varint int, 8-byte little-endian
+// float bits, uvarint-length string, or single bool byte. Keeping the two
+// codecs byte-identical means a spilled row costs exactly what the same
+// row costs on the wire, and the fuzz corpus for one exercises the other.
+
+func appendVals(buf []byte, vals []colog.Value) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	for _, v := range vals {
+		buf = append(buf, byte(v.Kind))
+		switch v.Kind {
+		case colog.KindInt:
+			buf = binary.AppendVarint(buf, v.I)
+		case colog.KindFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+		case colog.KindString:
+			buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+			buf = append(buf, v.S...)
+		case colog.KindBool:
+			b := byte(0)
+			if v.B {
+				b = 1
+			}
+			buf = append(buf, b)
+		default:
+			return nil, fmt.Errorf("store: unknown value kind %d", v.Kind)
+		}
+	}
+	return buf, nil
+}
+
+func readVals(rest []byte) ([]colog.Value, []byte, error) {
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("store: malformed value count")
+	}
+	rest = rest[n:]
+	vals := make([]colog.Value, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(rest) == 0 {
+			return nil, nil, fmt.Errorf("store: malformed value kind")
+		}
+		kind := colog.ValueKind(rest[0])
+		rest = rest[1:]
+		switch kind {
+		case colog.KindInt:
+			v, n := binary.Varint(rest)
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("store: malformed int value")
+			}
+			rest = rest[n:]
+			vals = append(vals, colog.IntVal(v))
+		case colog.KindFloat:
+			if len(rest) < 8 {
+				return nil, nil, fmt.Errorf("store: malformed float value")
+			}
+			vals = append(vals, colog.FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(rest))))
+			rest = rest[8:]
+		case colog.KindString:
+			sl, n := binary.Uvarint(rest)
+			if n <= 0 || sl > uint64(len(rest)-n) {
+				return nil, nil, fmt.Errorf("store: malformed string value")
+			}
+			vals = append(vals, colog.StringVal(string(rest[n:n+int(sl)])))
+			rest = rest[n+int(sl):]
+		case colog.KindBool:
+			if len(rest) == 0 {
+				return nil, nil, fmt.Errorf("store: malformed bool value")
+			}
+			vals = append(vals, colog.BoolVal(rest[0] != 0))
+			rest = rest[1:]
+		default:
+			return nil, nil, fmt.Errorf("store: malformed value kind")
+		}
+	}
+	return vals, rest, nil
+}

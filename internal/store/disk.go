@@ -1,0 +1,284 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/colog"
+)
+
+// diskStore is the durable backend: one write-ahead delta log per node
+// plus one spill file per table. The log is the only durable truth —
+// spill files are truncated on (re)open and rebuilt by replay — so table
+// writes never need syncing and the on-disk table format can stay a dumb
+// append-only heap of value records indexed from memory.
+type diskStore struct {
+	dir string
+	wal *WAL
+
+	mu     sync.Mutex
+	tables map[string]*diskTable
+	nextID int
+}
+
+func openDisk(dir string, fsync bool) (*diskStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: disk backend needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	wal, err := OpenWAL(filepath.Join(dir, "wal.log"), fsync)
+	if err != nil {
+		return nil, err
+	}
+	return &diskStore{dir: dir, wal: wal, tables: map[string]*diskTable{}}, nil
+}
+
+func (s *diskStore) Kind() string { return "disk" }
+
+func (s *diskStore) Log() *WAL { return s.wal }
+
+func (s *diskStore) Table(name string, arity int) (RowStore, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[name]; ok {
+		return t, nil
+	}
+	path := filepath.Join(s.dir, fmt.Sprintf("t%03d-%s.dat", s.nextID, sanitizeName(name)))
+	s.nextID++
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	t := &diskTable{f: f, meta: map[string]diskRowMeta{}}
+	s.tables[name] = t
+	return t, nil
+}
+
+func (s *diskStore) Compact() error {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s.mu.Unlock()
+	for _, name := range names {
+		s.mu.Lock()
+		t := s.tables[name]
+		s.mu.Unlock()
+		if err := t.compact(); err != nil {
+			return fmt.Errorf("store: compacting table %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (s *diskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, t := range s.tables {
+		if err := t.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := s.wal.Close(); err != nil && first != nil {
+		return first
+	} else if err != nil {
+		return err
+	}
+	return first
+}
+
+// sanitizeName maps a table name onto filename-safe characters.
+func sanitizeName(name string) string {
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			out[i] = c
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// diskRowMeta is the in-memory index entry for one spilled row: its
+// engine bookkeeping plus where its encoded values live in the spill file.
+type diskRowMeta struct {
+	seq         uint64
+	count, base int
+	off         int64
+	vlen        int32
+}
+
+// diskTable spills row values to an append-only file and keeps only the
+// per-key metadata in memory. Overwrites append a fresh value record and
+// repoint the index — abandoned space is reclaimed by compact(). Count
+// bumps go through SetCounts and touch no file bytes at all.
+//
+// The table carries its own lock because the file handle survives node
+// restarts: the replaying node generation reuses the same diskTable the
+// crashed generation wrote.
+type diskTable struct {
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+	meta map[string]diskRowMeta
+	err  error // sticky I/O error, surfaced by compact/close
+}
+
+func (t *diskTable) fail(err error) {
+	if t.err == nil {
+		t.err = err
+	}
+}
+
+func (t *diskTable) Get(key []byte) (Row, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.meta[string(key)]
+	if !ok {
+		return Row{}, false
+	}
+	vals, err := t.readValsAt(m)
+	if err != nil {
+		t.fail(err)
+		return Row{}, false
+	}
+	return Row{Seq: m.seq, Count: m.count, Base: m.base, Vals: vals}, true
+}
+
+func (t *diskTable) Put(key []byte, r Row) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buf, err := appendVals(nil, r.Vals)
+	if err != nil {
+		t.fail(err)
+		return
+	}
+	if _, err := t.f.WriteAt(buf, t.size); err != nil {
+		t.fail(err)
+		return
+	}
+	t.meta[string(key)] = diskRowMeta{
+		seq:   r.Seq,
+		count: r.Count,
+		base:  r.Base,
+		off:   t.size,
+		vlen:  int32(len(buf)),
+	}
+	t.size += int64(len(buf))
+}
+
+func (t *diskTable) SetCounts(key []byte, count, base int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if m, ok := t.meta[string(key)]; ok {
+		m.count, m.base = count, base
+		t.meta[string(key)] = m
+	}
+}
+
+func (t *diskTable) Delete(key []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.meta, string(key))
+}
+
+func (t *diskTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.meta)
+}
+
+func (t *diskTable) Range(fn func(Row)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, m := range t.meta {
+		vals, err := t.readValsAt(m)
+		if err != nil {
+			t.fail(err)
+			continue
+		}
+		fn(Row{Seq: m.seq, Count: m.count, Base: m.base, Vals: vals})
+	}
+}
+
+func (t *diskTable) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.f.Truncate(0); err != nil {
+		t.fail(err)
+		return
+	}
+	t.size = 0
+	t.meta = map[string]diskRowMeta{}
+}
+
+func (t *diskTable) readValsAt(m diskRowMeta) ([]colog.Value, error) {
+	buf := make([]byte, m.vlen)
+	if _, err := t.f.ReadAt(buf, m.off); err != nil {
+		return nil, err
+	}
+	vals, _, err := readVals(buf)
+	return vals, err
+}
+
+// compact rewrites the spill file with only the live rows, reclaiming the
+// space abandoned by overwrites and deletes.
+func (t *diskTable) compact() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	type liveRow struct {
+		key  string
+		meta diskRowMeta
+		buf  []byte
+	}
+	rows := make([]liveRow, 0, len(t.meta))
+	for key, m := range t.meta {
+		buf := make([]byte, m.vlen)
+		if _, err := t.f.ReadAt(buf, m.off); err != nil {
+			t.fail(err)
+			return err
+		}
+		rows = append(rows, liveRow{key: key, meta: m, buf: buf})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].meta.off < rows[j].meta.off })
+	if err := t.f.Truncate(0); err != nil {
+		t.fail(err)
+		return err
+	}
+	t.size = 0
+	for _, lr := range rows {
+		if _, err := t.f.WriteAt(lr.buf, t.size); err != nil {
+			t.fail(err)
+			return err
+		}
+		m := lr.meta
+		m.off = t.size
+		t.meta[lr.key] = m
+		t.size += int64(len(lr.buf))
+	}
+	return nil
+}
+
+func (t *diskTable) close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cerr := t.f.Close()
+	if t.err != nil {
+		return t.err
+	}
+	return cerr
+}

@@ -1,0 +1,74 @@
+package store
+
+// memTable is the in-memory RowStore: a plain map, exactly the structure
+// the engine's tables used before the backend split. Lookups and deletes
+// with a []byte key compile to the allocation-free map[string(b)] form.
+type memTable struct {
+	rows map[string]Row
+}
+
+// NewMemTable returns a standalone in-memory RowStore. The engine uses it
+// directly for event tables, which never persist (events are consumed, not
+// stored; their transitions still reach the log as updates).
+func NewMemTable() RowStore {
+	return &memTable{rows: map[string]Row{}}
+}
+
+func (t *memTable) Get(key []byte) (Row, bool) {
+	r, ok := t.rows[string(key)]
+	return r, ok
+}
+
+func (t *memTable) Put(key []byte, r Row) {
+	t.rows[string(key)] = r
+}
+
+func (t *memTable) SetCounts(key []byte, count, base int) {
+	if r, ok := t.rows[string(key)]; ok {
+		r.Count, r.Base = count, base
+		t.rows[string(key)] = r
+	}
+}
+
+func (t *memTable) Delete(key []byte) {
+	delete(t.rows, string(key))
+}
+
+func (t *memTable) Len() int { return len(t.rows) }
+
+func (t *memTable) Range(fn func(Row)) {
+	for _, r := range t.rows {
+		fn(r)
+	}
+}
+
+func (t *memTable) Clear() {
+	t.rows = map[string]Row{}
+}
+
+// memStore is the default backend: in-memory tables, no log.
+type memStore struct {
+	tables map[string]*memTable
+}
+
+// NewMemory returns the in-memory backend.
+func NewMemory() Store {
+	return &memStore{tables: map[string]*memTable{}}
+}
+
+func (s *memStore) Kind() string { return "memory" }
+
+func (s *memStore) Log() *WAL { return nil }
+
+func (s *memStore) Table(name string, arity int) (RowStore, error) {
+	if t, ok := s.tables[name]; ok {
+		return t, nil
+	}
+	t := &memTable{rows: map[string]Row{}}
+	s.tables[name] = t
+	return t, nil
+}
+
+func (s *memStore) Compact() error { return nil }
+
+func (s *memStore) Close() error { return nil }

@@ -1,0 +1,318 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/colog"
+)
+
+func vals(vs ...colog.Value) []colog.Value { return vs }
+
+func TestWALAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{{1, 2, 3}, {}, []byte("hello"), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := w.ReadRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("got %d records, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	recs, bs := w.Stats()
+	if recs != int64(len(payloads)) || bs <= 0 {
+		t.Fatalf("stats = (%d, %d)", recs, bs)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: same records, and appends resume at the boundary.
+	w2, err := OpenWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, err = w2.ReadRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("after reopen: got %d records, want %d", len(got), len(payloads))
+	}
+	if err := w2.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = w2.ReadRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(payloads)+1 || string(got[len(got)-1]) != "tail" {
+		t.Fatalf("append after reopen lost: %d records", len(got))
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][]byte{[]byte("one"), []byte("two"), []byte("three")} {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := WALRecordEnds(data)
+	if len(ends) != 4 { // header + 3 records
+		t.Fatalf("got %d boundaries, want 4", len(ends))
+	}
+	// Truncate mid-record (between boundary 2 and 3): the torn third
+	// record must be dropped and the file cut back to the boundary.
+	cut := ends[2] + (ends[3]-ends[2])/2
+	if err := os.Truncate(path, cut); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, err := w2.ReadRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("torn tail not dropped: %d records", len(got))
+	}
+	if fi, _ := os.Stat(path); fi.Size() != ends[2] {
+		t.Fatalf("file not truncated to boundary: %d != %d", fi.Size(), ends[2])
+	}
+}
+
+func TestWALTornHeaderRewritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append([]byte("x"))
+	w.Close()
+	// A crash can tear even the 8-byte header write.
+	if err := os.Truncate(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, err := w2.ReadRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("torn-header log should be empty, got %d records", len(got))
+	}
+	if err := w2.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = w2.ReadRecords(); err != nil || len(got) != 1 {
+		t.Fatalf("append after header rewrite: %v, %d records", err, len(got))
+	}
+}
+
+func TestWALWrongMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("notawal!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path, false); err == nil {
+		t.Fatal("expected error opening non-WAL file")
+	}
+}
+
+func TestWALResetCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := OpenWAL(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 10; i++ {
+		if err := w.Append(bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recsBefore, bytesBefore := w.Stats()
+	if err := w.Reset([]byte("checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.ReadRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0]) != "checkpoint" {
+		t.Fatalf("compacted log = %d records", len(got))
+	}
+	recsAfter, bytesAfter := w.Stats()
+	if recsAfter <= recsBefore || bytesAfter <= bytesBefore {
+		t.Fatalf("cumulative stats regressed: (%d,%d) -> (%d,%d)",
+			recsBefore, bytesBefore, recsAfter, bytesAfter)
+	}
+	// Appends continue after the compaction swap.
+	if err := w.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = w.ReadRecords(); err != nil || len(got) != 2 {
+		t.Fatalf("append after reset: %v, %d records", err, len(got))
+	}
+}
+
+func TestOpenDispatch(t *testing.T) {
+	if _, err := Open("bogus", "", false); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+	s, err := Open("memory", "", false)
+	if err != nil || s.Kind() != "memory" || s.Log() != nil {
+		t.Fatalf("memory open: %v", err)
+	}
+	d, err := Open("disk", t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Kind() != "disk" || d.Log() == nil {
+		t.Fatal("disk store must expose a log")
+	}
+	if _, err := Open("disk", "", false); err == nil {
+		t.Fatal("disk open without dir must fail")
+	}
+}
+
+// TestRowStoreEquivalence drives the memory and disk RowStores through the
+// same operation sequence and checks they agree at every step — the
+// backend-independence contract the engine's determinism rests on.
+func TestRowStoreEquivalence(t *testing.T) {
+	d, err := Open("disk", t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	mem := NewMemTable()
+	disk, err := d.Table("rows", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(step string) {
+		t.Helper()
+		if mem.Len() != disk.Len() {
+			t.Fatalf("%s: len %d != %d", step, mem.Len(), disk.Len())
+		}
+		collect := func(rs RowStore) []Row {
+			var out []Row
+			rs.Range(func(r Row) { out = append(out, r) })
+			sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+			return out
+		}
+		a, b := collect(mem), collect(disk)
+		for i := range a {
+			if a[i].Seq != b[i].Seq || a[i].Count != b[i].Count || a[i].Base != b[i].Base {
+				t.Fatalf("%s: row %d meta mismatch: %+v vs %+v", step, i, a[i], b[i])
+			}
+			if len(a[i].Vals) != len(b[i].Vals) {
+				t.Fatalf("%s: row %d arity mismatch", step, i)
+			}
+			for j := range a[i].Vals {
+				if !a[i].Vals[j].Equal(b[i].Vals[j]) {
+					t.Fatalf("%s: row %d val %d mismatch", step, i, j)
+				}
+			}
+		}
+	}
+
+	put := func(key string, r Row) {
+		mem.Put([]byte(key), r)
+		disk.Put([]byte(key), r)
+	}
+	put("a", Row{Seq: 1, Count: 1, Base: 1, Vals: vals(colog.StringVal("n1"), colog.IntVal(7), colog.BoolVal(true))})
+	put("b", Row{Seq: 2, Count: 2, Base: 0, Vals: vals(colog.StringVal("n2"), colog.FloatVal(2.5), colog.BoolVal(false))})
+	put("c", Row{Seq: 3, Count: 1, Base: 1, Vals: vals(colog.StringVal(""), colog.IntVal(-9), colog.IntVal(0))})
+	check("insert")
+
+	// Overwrite under the same key (keyed replacement keeps the key).
+	put("b", Row{Seq: 2, Count: 1, Base: 1, Vals: vals(colog.StringVal("n2"), colog.FloatVal(-3.25), colog.BoolVal(true))})
+	check("overwrite")
+
+	mem.SetCounts([]byte("a"), 5, 2)
+	disk.SetCounts([]byte("a"), 5, 2)
+	mem.SetCounts([]byte("zz"), 9, 9) // absent: no-op
+	disk.SetCounts([]byte("zz"), 9, 9)
+	check("setcounts")
+
+	if r, ok := disk.Get([]byte("a")); !ok || r.Count != 5 || r.Base != 2 {
+		t.Fatalf("disk Get after SetCounts: %+v ok=%v", r, ok)
+	}
+
+	mem.Delete([]byte("c"))
+	disk.Delete([]byte("c"))
+	check("delete")
+
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	check("compact")
+
+	mem.Clear()
+	disk.Clear()
+	check("clear")
+
+	put("d", Row{Seq: 9, Count: 1, Base: 1, Vals: vals(colog.IntVal(42))})
+	check("insert-after-clear")
+}
+
+func TestDiskTableSurvivesManyOverwrites(t *testing.T) {
+	d, err := Open("disk", t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	rs, err := d.Table("hot", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		rs.Put([]byte("k"), Row{Seq: 1, Count: 1, Base: 1, Vals: vals(colog.IntVal(int64(i)))})
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := rs.Get([]byte("k"))
+	if !ok || r.Vals[0].I != 499 {
+		t.Fatalf("after compaction: %+v ok=%v", r, ok)
+	}
+}

@@ -51,6 +51,44 @@ func TestRecoveryEquivalence(t *testing.T) {
 	}
 }
 
+// TestRecoveryDiskReplayEquivalence: the same mid-protocol crash with
+// store=disk and no checkpoints. The victim replays its local write-ahead
+// log — restoring its own assignment history and arrival-order seqs — and
+// the anti-entropy exchange pulls only the decisions dropped in flight
+// while it was down; the run must stay byte-identical to an uninterrupted
+// one.
+func TestRecoveryDiskReplayEquivalence(t *testing.T) {
+	p := clusterTestParams()
+	failAt := 5
+	plain, err := RunCluster(p, Distributed, cluster.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := cluster.Options{Workers: 4, Storage: "disk", StorageDir: t.TempDir()}
+	o.AfterEpoch = func(r *cluster.Runtime, epoch int) error {
+		if epoch != failAt {
+			return nil
+		}
+		victim := r.Addrs()[4] // the n04 grid center
+		if err := r.StopNode(victim); err != nil {
+			return err
+		}
+		r.Settle() // in-flight decisions addressed to the victim are lost
+		_, err := r.RestartNode(victim)
+		return err
+	}
+	recovered, err := RunCluster(p, Distributed, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.ThroughputMbps, recovered.ThroughputMbps) || plain.Interference != recovered.Interference {
+		t.Fatalf("assignment-derived series diverged:\nuninterrupted %+v\nreplayed %+v", plain, recovered)
+	}
+	if plain.SolverNodes != recovered.SolverNodes || plain.SolverNodes == 0 {
+		t.Fatalf("solver traces diverged: %d vs %d nodes", plain.SolverNodes, recovered.SolverNodes)
+	}
+}
+
 // TestRecoveryUDPConverges: the same crash over real UDP sockets. The
 // free-running mode has no byte-identity guarantee, but the assignment
 // must still converge complete and symmetric after the rejoin.
