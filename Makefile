@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-diff fuzz fuzz-wire fuzz-wal wal-torture lint docs-check recovery-equivalence streaming-equivalence alloc-budget ci
+.PHONY: build test bench bench-json bench-diff fuzz fuzz-wire fuzz-wal fuzz-churn wal-torture lint docs-check recovery-equivalence streaming-equivalence serving-soak alloc-budget ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ bench:
 # fixed iteration count and write BENCH_<date>.json (ns/op, B/op, allocs/op,
 # and every custom metric). Compare files across commits to track the
 # speedup curve.
-BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve|BenchmarkCluster|BenchmarkResync|BenchmarkGroundPeakAlloc|BenchmarkWALAppend|BenchmarkLogReplayRestart
+BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve|BenchmarkCluster|BenchmarkResync|BenchmarkGroundPeakAlloc|BenchmarkWALAppend|BenchmarkLogReplayRestart|BenchmarkServingChurn
 BENCHJSON_ITERS ?= 10
 BENCHJSON_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 bench-json:
@@ -55,6 +55,13 @@ fuzz-wire:
 fuzz-wal:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeWALRecord -fuzztime=$(FUZZTIME) ./internal/store
 
+# Fixed-budget fuzz of the churn-event frame codec (corpus recorded from a
+# real cmd/serve load-driver run; bad versions, ops, and torn frames must be
+# rejected without panicking, and whatever decodes must round-trip
+# losslessly).
+fuzz-churn:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeChurnEvent -fuzztime=$(FUZZTIME) ./internal/serve
+
 # The WAL crash-point torture gate: kill a disk-backed node at every log
 # record boundary of a recorded run — torn mid-record writes and a torn
 # header included — restart it, and require convergence on exactly the
@@ -73,6 +80,14 @@ recovery-equivalence:
 # (tables, objectives, solver-node traces; see docs/grounding.md).
 streaming-equivalence:
 	$(GO) test -count=1 -run 'TestStreamingGroundEquivalence' ./internal/core
+
+# The serving-soak gate: thousands of random churn events through the
+# serving runtime per scenario, with randomized batching and injected
+# deadline pressure; at every quiescent point the serving node must be
+# byte-identical to a batch re-solve over the same cumulative facts
+# (see docs/serving.md). Run under -race, as in CI.
+serving-soak:
+	$(GO) test -race -count=1 -run 'TestServingSoakEquivalence' ./internal/serve
 
 # The allocation-regression gate: streaming grounding's B/op on the
 # join-heavy BenchmarkGroundPeakAlloc workload must stay under the budget in
@@ -94,9 +109,11 @@ ci: lint build test docs-check
 	$(GO) test -race -run TestCluster ./internal/cluster/...
 	$(GO) test -count=1 -run 'TestRecovery' ./internal/cluster ./internal/acloud ./internal/followsun ./internal/wireless
 	$(GO) test -count=1 -run 'TestWALTorture' ./internal/cluster
+	$(GO) test -race -count=1 -run 'TestServingSoakEquivalence' ./internal/serve
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=20s ./internal/colog
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeDeltas -fuzztime=20s ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeWALRecord -fuzztime=20s ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeChurnEvent -fuzztime=20s ./internal/serve
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 lint:

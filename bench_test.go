@@ -7,6 +7,7 @@ package repro
 
 import (
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/followsun"
 	"repro/internal/programs"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/solver"
 	"repro/internal/store"
@@ -1221,6 +1223,89 @@ func BenchmarkClusterACloudScaled(b *testing.B) {
 			}
 			b.ReportMetric(res.MeanStdev, "cpu-stddev")
 			b.ReportMetric(res.MeanMigrations, "migrations/interval")
+		})
+	}
+}
+
+// ------------------------------------------------------- Serving runtime
+
+// BenchmarkServingChurn drives the continuous-serving runtime (PR 9) for
+// each paper scenario: a seeded churn stream is offered through the
+// admission queue and ticked under a node-count budget, exactly the
+// cmd/serve loop. Reported metrics are the serving SLOs: sustained
+// churn-events/sec and p50/p99 decision latency.
+func BenchmarkServingChurn(b *testing.B) {
+	builders := map[string]func(cfg serve.Config, seed int64) (*serve.Scenario, error){
+		"acloud": func(cfg serve.Config, seed int64) (*serve.Scenario, error) {
+			p := acloud.DefaultServingParams()
+			p.Seed = seed
+			return acloud.NewServing(p, cfg)
+		},
+		"followsun": func(cfg serve.Config, seed int64) (*serve.Scenario, error) {
+			p := followsun.DefaultServingParams()
+			p.Seed = seed
+			return followsun.NewServing(p, cfg)
+		},
+		"wireless": func(cfg serve.Config, seed int64) (*serve.Scenario, error) {
+			p := wireless.DefaultServingParams()
+			p.Seed = seed
+			return wireless.NewServing(p, cfg)
+		},
+	}
+	for _, name := range []string{"acloud", "followsun", "wireless"} {
+		build := builders[name]
+		b.Run(name, func(b *testing.B) {
+			const perIter = 200
+			cfg := serve.Config{QueueCap: 512, BatchMax: 64}
+			sc, err := build(cfg, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			// Seed burst + warmup tick outside the timed region.
+			for _, ev := range sc.Gen(rng, 20) {
+				if err := sc.Server.Offer(ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := sc.Server.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			events := 0
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, ev := range sc.Gen(rng, perIter) {
+					events++
+					for {
+						err := sc.Server.Offer(ev)
+						if err == nil {
+							break
+						}
+						if err != serve.ErrQueueFull {
+							b.Fatal(err)
+						}
+						if _, err := sc.Server.TickOnce(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if sc.Server.QueueDepth() >= cfg.BatchMax {
+						if _, err := sc.Server.TickOnce(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if _, err := sc.Server.Drain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			wall := time.Since(start)
+			st := sc.Server.StatsSnapshot()
+			b.ReportMetric(float64(events)/wall.Seconds(), "churn-events/sec")
+			b.ReportMetric(float64(st.LatencyPercentile(0.50).Microseconds())/1000, "p50-ms")
+			b.ReportMetric(float64(st.LatencyPercentile(0.99).Microseconds())/1000, "p99-ms")
+			b.ReportMetric(float64(st.DegradedTicks), "degraded-ticks")
 		})
 	}
 }

@@ -100,9 +100,9 @@ func cologneFlagNames(src string) map[string]bool {
 	return names
 }
 
-// docFlagRefs collects every cologne flag a markdown document mentions:
+// docFlagRefs collects every binary flag a markdown document mentions:
 // backticked bare flags anywhere, and -tokens on code-fence lines that
-// invoke cologne.
+// invoke cologne or the serve load driver.
 func docFlagRefs(md string) []string {
 	var refs []string
 	for _, m := range inlineFlagRe.FindAllStringSubmatch(md, -1) {
@@ -114,7 +114,7 @@ func docFlagRefs(md string) []string {
 			inFence = !inFence
 			continue
 		}
-		if !inFence || !strings.Contains(line, "cologne ") {
+		if !inFence || !(strings.Contains(line, "cologne ") || strings.Contains(line, "serve ")) {
 			continue
 		}
 		for _, m := range fenceFlagRe.FindAllStringSubmatch(line, -1) {
@@ -131,14 +131,26 @@ func main() {
 	}
 	var problems []string
 
-	// Flag drift: every flag the docs mention must exist in cologne's
-	// registered flag set. Skipped when the cologne source is absent (test
+	// Flag drift: every flag the docs mention must exist in the union of
+	// the registered flag sets of the flag-bearing binaries (cologne and
+	// the serve load driver). Skipped when both sources are absent (test
 	// fixtures, partial checkouts).
 	var knownFlags map[string]bool
-	if src, err := os.ReadFile(filepath.Join(root, "cmd", "cologne", "main.go")); err == nil {
-		knownFlags = cologneFlagNames(string(src))
-		if len(knownFlags) == 0 {
-			problems = append(problems, "cmd/cologne/main.go: no registered flags found (parser drift?)")
+	for _, binary := range []string{"cologne", "serve"} {
+		src, err := os.ReadFile(filepath.Join(root, "cmd", binary, "main.go"))
+		if err != nil {
+			continue
+		}
+		names := cologneFlagNames(string(src))
+		if len(names) == 0 {
+			problems = append(problems, fmt.Sprintf("cmd/%s/main.go: no registered flags found (parser drift?)", binary))
+			continue
+		}
+		if knownFlags == nil {
+			knownFlags = map[string]bool{}
+		}
+		for name := range names {
+			knownFlags[name] = true
 		}
 	}
 

@@ -1,0 +1,261 @@
+// Command serve is the continuous-serving load driver: it generates a
+// churn trace for one of the three paper scenarios (or replays a recorded
+// one), offers it to the serving runtime at a target rate, and reports
+// sustained throughput and decision-latency percentiles.
+//
+//	serve -scenario acloud -events 5000 -rate 2000
+//	serve -scenario all -tick-budget 5ms
+//	serve -scenario wireless -trace-out wireless.churn
+//
+// The trace file is a concatenation of framed churn events (the varint
+// wire codec of docs/serving.md); -trace-in replays such a file instead of
+// generating churn, and -corpus-out samples the generated frames into a Go
+// fuzz corpus directory (the committed FuzzDecodeChurnEvent corpus was
+// produced this way).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/acloud"
+	"repro/internal/followsun"
+	"repro/internal/serve"
+	"repro/internal/wireless"
+)
+
+// cliOptions holds every serve flag; registerFlags wires them onto a
+// FlagSet so tests (and docscheck) can exercise the flag surface without
+// running main.
+type cliOptions struct {
+	scenario   *string
+	events     *int
+	rate       *float64
+	queueCap   *int
+	batchMax   *int
+	tickBudget *time.Duration
+	seed       *int64
+	traceOut   *string
+	traceIn    *string
+	corpusOut  *string
+	jsonOut    *bool
+}
+
+func registerFlags(fs *flag.FlagSet) *cliOptions {
+	return &cliOptions{
+		scenario: fs.String("scenario", "all", "workload: acloud, followsun, wireless, or all"),
+		events:   fs.Int("events", 5000, "churn events to generate and offer"),
+		rate:     fs.Float64("rate", 0, "target offered churn rate in events/sec (0 = unthrottled)"),
+		queueCap: fs.Int("queue-cap", 512, "admission queue capacity (backpressure beyond it)"),
+		batchMax: fs.Int("batch-max", 64, "max churn events admitted per tick"),
+		tickBudget: fs.Duration("tick-budget", 0,
+			"per-tick solve deadline; past it the tick publishes the best\nincumbent with the degraded flag (0 = node-budget only)"),
+		seed:      fs.Int64("seed", 1, "churn generator seed"),
+		traceOut:  fs.String("trace-out", "", "write the generated churn trace to this file (framed events)"),
+		traceIn:   fs.String("trace-in", "", "replay a recorded churn trace instead of generating one"),
+		corpusOut: fs.String("corpus-out", "", "sample generated frames into this Go fuzz corpus directory"),
+		jsonOut:   fs.Bool("json", false, "print the per-scenario reports as JSON"),
+	}
+}
+
+// report is one scenario's serving-run outcome.
+type report struct {
+	Scenario       string        `json:"scenario"`
+	Events         int           `json:"events"`
+	Admitted       int           `json:"admitted"`
+	Coalesced      int           `json:"coalesced"`
+	Ticks          int           `json:"ticks"`
+	DegradedTicks  int           `json:"degraded_ticks"`
+	Wall           time.Duration `json:"wall_ns"`
+	EventsPerSec   float64       `json:"events_per_sec"`
+	P50            time.Duration `json:"p50_ns"`
+	P99            time.Duration `json:"p99_ns"`
+	FinalObjective float64       `json:"final_objective"`
+}
+
+func buildScenario(name string, o *cliOptions) (*serve.Scenario, error) {
+	cfg := serve.Config{
+		QueueCap:   *o.queueCap,
+		BatchMax:   *o.batchMax,
+		TickBudget: *o.tickBudget,
+	}
+	switch name {
+	case "acloud":
+		p := acloud.DefaultServingParams()
+		p.Seed = *o.seed
+		return acloud.NewServing(p, cfg)
+	case "followsun":
+		p := followsun.DefaultServingParams()
+		p.Seed = *o.seed
+		return followsun.NewServing(p, cfg)
+	case "wireless":
+		p := wireless.DefaultServingParams()
+		p.Seed = *o.seed
+		return wireless.NewServing(p, cfg)
+	}
+	return nil, fmt.Errorf("unknown scenario %q (want acloud, followsun, wireless, or all)", name)
+}
+
+// writeCorpus samples frames into Go fuzz corpus files: individual frames
+// plus one multi-frame chunk, named after the scenario.
+func writeCorpus(dir, scenario string, events []serve.Event) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writeEntry := func(name string, data []byte) error {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		return os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644)
+	}
+	max := 6
+	if len(events) < max {
+		max = len(events)
+	}
+	for i := 0; i < max; i++ {
+		frame, err := serve.EncodeTrace(events[i : i+1])
+		if err != nil {
+			return err
+		}
+		if err := writeEntry(fmt.Sprintf("%s-frame-%d", scenario, i), frame); err != nil {
+			return err
+		}
+	}
+	chunkLen := 16
+	if len(events) < chunkLen {
+		chunkLen = len(events)
+	}
+	chunk, err := serve.EncodeTrace(events[:chunkLen])
+	if err != nil {
+		return err
+	}
+	return writeEntry(scenario+"-chunk", chunk)
+}
+
+func runScenario(name string, o *cliOptions) (*report, error) {
+	sc, err := buildScenario(name, o)
+	if err != nil {
+		return nil, err
+	}
+	var events []serve.Event
+	if *o.traceIn != "" {
+		raw, err := os.ReadFile(*o.traceIn)
+		if err != nil {
+			return nil, err
+		}
+		if events, err = serve.DecodeTrace(raw); err != nil {
+			return nil, err
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*o.seed))
+		events = sc.Gen(rng, *o.events)
+	}
+	if *o.traceOut != "" {
+		path := *o.traceOut
+		if *o.scenario == "all" {
+			path += "." + name
+		}
+		raw, err := serve.EncodeTrace(events)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	if *o.corpusOut != "" {
+		if err := writeCorpus(*o.corpusOut, name, events); err != nil {
+			return nil, err
+		}
+	}
+
+	srv := sc.Server
+	var interval time.Duration
+	if *o.rate > 0 {
+		interval = time.Duration(float64(time.Second) / *o.rate)
+	}
+	start := time.Now()
+	for i, ev := range events {
+		if interval > 0 {
+			if next := start.Add(time.Duration(i) * interval); time.Now().Before(next) {
+				time.Sleep(time.Until(next))
+			}
+		}
+		for {
+			err := srv.Offer(ev)
+			if err == nil {
+				break
+			}
+			if err != serve.ErrQueueFull {
+				return nil, err
+			}
+			if _, err := srv.TickOnce(); err != nil {
+				return nil, err
+			}
+		}
+		if srv.QueueDepth() >= *o.batchMax {
+			if _, err := srv.TickOnce(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	last, err := srv.Drain()
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	st := srv.StatsSnapshot()
+	rep := &report{
+		Scenario:      name,
+		Events:        len(events),
+		Admitted:      st.EventsAdmitted,
+		Coalesced:     st.EventsCoalesced,
+		Ticks:         st.Ticks,
+		DegradedTicks: st.DegradedTicks,
+		Wall:          wall,
+		EventsPerSec:  float64(len(events)) / wall.Seconds(),
+		P50:           st.LatencyPercentile(0.50),
+		P99:           st.LatencyPercentile(0.99),
+	}
+	if last != nil {
+		rep.FinalObjective = last.Objective
+	}
+	return rep, nil
+}
+
+func main() {
+	o := registerFlags(flag.CommandLine)
+	flag.Parse()
+
+	names := []string{"acloud", "followsun", "wireless"}
+	if *o.scenario != "all" {
+		names = []string{*o.scenario}
+	}
+	var reports []*report
+	for _, name := range names {
+		rep, err := runScenario(name, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		reports = append(reports, rep)
+	}
+	if *o.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, r := range reports {
+		fmt.Printf("%-10s %6d events (%d admitted, %d coalesced) in %8.3fs  %9.0f ev/s  ticks %4d (%d degraded)  p50 %8s  p99 %8s  obj %.3f\n",
+			r.Scenario, r.Events, r.Admitted, r.Coalesced, r.Wall.Seconds(), r.EventsPerSec,
+			r.Ticks, r.DegradedTicks, r.P50, r.P99, r.FinalObjective)
+	}
+}

@@ -1,0 +1,183 @@
+package acloud
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/colog"
+	"repro/internal/core"
+	"repro/internal/programs"
+	"repro/internal/serve"
+)
+
+// ServingParams size the continuous-serving ACloud workload: one data
+// center whose VM population churns live (CPU readings, spawns, stops)
+// instead of being refreshed on the batch interval.
+type ServingParams struct {
+	Hosts     int   // hosting machines (default 3)
+	VMs       int   // initial VM population (default 10)
+	HostMemMB int64 // per-host memory (default 32768)
+	// MaxNodes bounds each tick's search. Serving configs use a node
+	// budget, never a wall-clock one: wall-clock stops are
+	// non-deterministic and would break quiescent-point byte-identity
+	// with the batch reference.
+	MaxNodes int64
+	Seed     int64
+}
+
+// DefaultServingParams returns a small always-feasible serving workload.
+func DefaultServingParams() ServingParams {
+	return ServingParams{Hosts: 3, VMs: 10, HostMemMB: 32 * 1024, MaxNodes: 4000, Seed: 1}
+}
+
+// servingConfig mirrors the batch harness's nodeConfig for a single
+// serving data center: incremental re-grounding and warm starts on, keyed
+// vmRaw so a CPU reading change is a keyed replace the incremental
+// grounder absorbs as a constant patch.
+func servingConfig(entry programs.Entry, maxNodes int64) core.Config {
+	cfg := entry.Config
+	cfg.SolverMaxNodes = maxNodes
+	cfg.SolverPropagate = true
+	cfg.SolverIncremental = true
+	cfg.SolverWarmStart = true
+	cfg.Keys = map[string][]int{
+		"vmRaw":  {0},
+		"origin": {0},
+		"vm":     {0},
+	}
+	return cfg
+}
+
+// servingVM is the churn generator's view of one live VM.
+type servingVM struct {
+	id   int
+	cpu  int64
+	mem  int64
+	live bool
+}
+
+// NewServing builds the ACloud serving scenario: a serving node and an
+// identically seeded batch reference, plus a churn generator producing
+// vmRaw updates (keyed replaces), spawns, and stops. Events keep every VM's
+// memory well under the host threshold, so the COP stays feasible at every
+// tick.
+func NewServing(p ServingParams, cfg serve.Config) (*serve.Scenario, error) {
+	if p.Hosts <= 0 || p.VMs <= 0 {
+		def := DefaultServingParams()
+		if p.Hosts <= 0 {
+			p.Hosts = def.Hosts
+		}
+		if p.VMs <= 0 {
+			p.VMs = def.VMs
+		}
+		if p.HostMemMB <= 0 {
+			p.HostMemMB = def.HostMemMB
+		}
+		if p.MaxNodes <= 0 {
+			p.MaxNodes = def.MaxNodes
+		}
+	}
+	entry := programs.ACloud(false, 0)
+	res := entry.Analyze()
+	nodeCfg := servingConfig(entry, p.MaxNodes)
+
+	build := func() (*core.Node, error) {
+		n, err := core.NewNode("dc0", res, nodeCfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		for h := 0; h < p.Hosts; h++ {
+			hid := hostName(h)
+			if err := n.Insert("host", colog.StringVal(hid), colog.IntVal(0), colog.IntVal(0)); err != nil {
+				return nil, err
+			}
+			if err := n.Insert("hostMemThres", colog.StringVal(hid), colog.IntVal(p.HostMemMB)); err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	}
+	node, err := build()
+	if err != nil {
+		return nil, err
+	}
+	shadow, err := build()
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Keys == nil {
+		cfg.Keys = map[string][]int{"vmRaw": {0}}
+	}
+	srv := serve.NewServer(node, cfg)
+
+	// Generator state: the live VM population. The initial population
+	// arrives through the stream itself (spawn events), so both nodes see
+	// every fact through the same path.
+	seedRng := rand.New(rand.NewSource(p.Seed))
+	vms := map[int]*servingVM{}
+	nextID := 0
+	spawn := func(rng *rand.Rand) serve.Event {
+		vm := &servingVM{
+			id:   nextID,
+			cpu:  25 + rng.Int63n(70), // above the cpu_floor filter
+			mem:  64 + rng.Int63n(128),
+			live: true,
+		}
+		nextID++
+		vms[vm.id] = vm
+		return serve.Event{Op: serve.OpInsert, Pred: "vmRaw", Vals: []colog.Value{
+			colog.StringVal(vmName(vm.id)), colog.IntVal(vm.cpu), colog.IntVal(vm.mem),
+		}}
+	}
+	liveIDs := func() []int {
+		ids := make([]int, 0, len(vms))
+		for id, vm := range vms {
+			if vm.live {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		return ids
+	}
+	gen := func(rng *rand.Rand, n int) []serve.Event {
+		events := make([]serve.Event, 0, n)
+		for len(events) < n {
+			ids := liveIDs()
+			switch {
+			case len(ids) < 2 || rng.Intn(10) == 0:
+				events = append(events, spawn(rng))
+			case rng.Intn(10) == 1 && len(ids) > 2:
+				// Stop a VM: retract its exact current tuple.
+				vm := vms[ids[rng.Intn(len(ids))]]
+				vm.live = false
+				events = append(events, serve.Event{Op: serve.OpDelete, Pred: "vmRaw", Vals: []colog.Value{
+					colog.StringVal(vmName(vm.id)), colog.IntVal(vm.cpu), colog.IntVal(vm.mem),
+				}})
+			default:
+				// CPU reading update: keyed replace on vmRaw.
+				vm := vms[ids[rng.Intn(len(ids))]]
+				vm.cpu = 25 + rng.Int63n(70)
+				events = append(events, serve.Event{Op: serve.OpInsert, Pred: "vmRaw", Vals: []colog.Value{
+					colog.StringVal(vmName(vm.id)), colog.IntVal(vm.cpu), colog.IntVal(vm.mem),
+				}})
+			}
+		}
+		return events
+	}
+	// Pre-generate the initial population as the first churn burst.
+	initial := make([]serve.Event, 0, p.VMs)
+	for i := 0; i < p.VMs; i++ {
+		initial = append(initial, spawn(seedRng))
+	}
+	first := true
+	wrapped := func(rng *rand.Rand, n int) []serve.Event {
+		if first {
+			first = false
+			return append(initial, gen(rng, n)...)
+		}
+		return gen(rng, n)
+	}
+
+	return &serve.Scenario{Name: "acloud", Server: srv, Shadow: shadow, Gen: wrapped}, nil
+}

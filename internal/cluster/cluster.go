@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -157,6 +158,12 @@ type Runtime struct {
 	inEpoch     bool
 	lastDrops   int64
 	started     time.Time // ModeUDP epoch for Now()
+
+	// Serving mode (serving.go): continuous-optimization servers attached
+	// to the runtime, ticked in attachment order by ServeRound.
+	serving        map[string]*serve.Server
+	servingOrder   []string
+	servingHistory []TickStats
 
 	// Disk-storage root: opts.StorageDir, or a lazily created temp dir
 	// (ownStoreDir) that Close removes.

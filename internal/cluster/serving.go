@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Serving mode turns the cluster runtime into a host for continuous-
+// optimization servers (internal/serve): each attached server owns one
+// node's admission queue and tick loop, and ServeRound ticks every server
+// once, in attachment order, recording a TickStats entry per round. The
+// round loop is deliberately sequential and deterministic — serving
+// equivalence (docs/serving.md) depends on a reproducible tick order, so
+// the concurrent epoch executor is not used here.
+
+// TickStats aggregates one serving round: every attached server ticked
+// once. Rates and percentiles cover just this round's ticks; cumulative
+// counters live in each server's serve.Stats.
+type TickStats struct {
+	// Round numbers serving rounds from zero per Runtime.
+	Round int
+	// Servers is how many attached servers ticked this round.
+	Servers int
+	// Events is the churn admitted into engines this round, summed over
+	// servers.
+	Events int
+	// EventsPerSec is Events over the round's wall time.
+	EventsPerSec float64
+	// QueueDepth sums the admission-queue depths after the round — churn
+	// the round could not admit under its batch caps.
+	QueueDepth int
+	// DegradedTicks counts this round's ticks that hit their budget and
+	// published an anytime incumbent instead of a completed solve.
+	DegradedTicks int
+	// P50 and P99 are decision-latency percentiles over this round's
+	// ticks (admission + grounding + search + publish, per server).
+	P50, P99 time.Duration
+	// Wall is the round's total wall time.
+	Wall time.Duration
+}
+
+// AttachServing registers a serving server under an address. The address
+// does not need to be a spawned cluster node — serving servers own their
+// nodes — but must be unique among attached servers.
+func (r *Runtime) AttachServing(addr string, srv *serve.Server) error {
+	if srv == nil {
+		return fmt.Errorf("cluster: nil serving server for %q", addr)
+	}
+	if r.serving == nil {
+		r.serving = map[string]*serve.Server{}
+	}
+	if _, dup := r.serving[addr]; dup {
+		return fmt.Errorf("cluster: serving server %q already attached", addr)
+	}
+	r.serving[addr] = srv
+	r.servingOrder = append(r.servingOrder, addr)
+	return nil
+}
+
+// ServingServer returns the server attached under addr, or nil.
+func (r *Runtime) ServingServer(addr string) *serve.Server {
+	return r.serving[addr]
+}
+
+// ServeRound ticks every attached server once, in attachment order, and
+// records the round's TickStats. Offer churn to the individual servers
+// between rounds; backpressured servers drain one batch per round.
+func (r *Runtime) ServeRound() (TickStats, error) {
+	if len(r.servingOrder) == 0 {
+		return TickStats{}, fmt.Errorf("cluster: no serving servers attached")
+	}
+	st := TickStats{Round: len(r.servingHistory), Servers: len(r.servingOrder)}
+	start := time.Now()
+	var lats []time.Duration
+	for _, addr := range r.servingOrder {
+		rep, err := r.serving[addr].TickOnce()
+		if err != nil {
+			return st, fmt.Errorf("cluster: serving tick %q: %w", addr, err)
+		}
+		st.Events += len(rep.Batch)
+		st.QueueDepth += rep.QueueDepth
+		if rep.Degraded {
+			st.DegradedTicks++
+		}
+		lats = append(lats, rep.Latency)
+	}
+	st.Wall = time.Since(start)
+	if st.Wall > 0 {
+		st.EventsPerSec = float64(st.Events) / st.Wall.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st.P50 = percentileDuration(lats, 0.50)
+	st.P99 = percentileDuration(lats, 0.99)
+	r.servingHistory = append(r.servingHistory, st)
+	return st, nil
+}
+
+// ServeDrain runs ServeRound until every attached server is quiescent:
+// queues empty and each server's last tick completed within budget.
+func (r *Runtime) ServeDrain() error {
+	for {
+		done := true
+		for _, addr := range r.servingOrder {
+			if !r.serving[addr].Quiescent() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		if _, err := r.ServeRound(); err != nil {
+			return err
+		}
+	}
+}
+
+// ServingHistory returns the per-round statistics recorded so far.
+func (r *Runtime) ServingHistory() []TickStats {
+	return append([]TickStats(nil), r.servingHistory...)
+}
+
+// percentileDuration reads the p-th percentile from an ascending-sorted
+// slice (nearest-rank, matching serve.Stats.LatencyPercentile).
+func percentileDuration(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

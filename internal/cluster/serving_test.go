@@ -1,0 +1,169 @@
+package cluster_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/acloud"
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/wireless"
+)
+
+// TestClusterServingRounds attaches two scenario servers to a runtime,
+// feeds them churn, and checks the per-round TickStats bookkeeping:
+// admitted events, queue depths, latency percentiles, and drain-to-
+// quiescence. The TestCluster name prefix puts it under the CI race gate.
+func TestClusterServingRounds(t *testing.T) {
+	r := cluster.New(cluster.Options{})
+	defer r.Close()
+
+	ap := acloud.DefaultServingParams()
+	asc, err := acloud.NewServing(ap, serve.Config{QueueCap: 256, BatchMax: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp := wireless.DefaultServingParams()
+	wsc, err := wireless.NewServing(wp, serve.Config{QueueCap: 256, BatchMax: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachServing("dc0", asc.Server); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachServing("manager", wsc.Server); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AttachServing("dc0", asc.Server); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+	if got := r.ServingServer("manager"); got != wsc.Server {
+		t.Fatal("ServingServer returned wrong server")
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	scenarios := []*serve.Scenario{asc, wsc}
+	totalOffered := 0
+	for round := 0; round < 6; round++ {
+		for _, sc := range scenarios {
+			for _, ev := range sc.Gen(rng, 10) {
+				if err := sc.Server.Offer(ev); err != nil {
+					t.Fatalf("offer: %v", err)
+				}
+				totalOffered++
+			}
+		}
+		st, err := r.ServeRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Round != round {
+			t.Fatalf("round numbered %d, want %d", st.Round, round)
+		}
+		if st.Servers != 2 {
+			t.Fatalf("round covered %d servers, want 2", st.Servers)
+		}
+		if st.Events == 0 {
+			t.Fatalf("round %d admitted nothing", round)
+		}
+		if st.P50 < 0 || st.P99 < st.P50 {
+			t.Fatalf("round %d percentiles inverted: p50=%v p99=%v", round, st.P50, st.P99)
+		}
+	}
+	if err := r.ServeDrain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		if !sc.Server.Quiescent() {
+			t.Fatal("server not quiescent after ServeDrain")
+		}
+		if sc.Server.QueueDepth() != 0 {
+			t.Fatal("queue not drained")
+		}
+	}
+	hist := r.ServingHistory()
+	if len(hist) < 6 {
+		t.Fatalf("history has %d rounds, want >= 6", len(hist))
+	}
+	admitted := 0
+	for _, st := range hist {
+		admitted += st.Events
+	}
+	stA, stW := asc.Server.StatsSnapshot(), wsc.Server.StatsSnapshot()
+	if got := stA.EventsAdmitted + stW.EventsAdmitted; got != admitted {
+		t.Fatalf("history sums %d admitted events, servers report %d", admitted, got)
+	}
+	if stA.EventsAdmitted+stA.EventsCoalesced+stW.EventsAdmitted+stW.EventsCoalesced != totalOffered {
+		t.Fatalf("offered %d events, servers account for %d admitted + %d coalesced",
+			totalOffered, stA.EventsAdmitted+stW.EventsAdmitted, stA.EventsCoalesced+stW.EventsCoalesced)
+	}
+}
+
+// TestClusterServingDegradedRounds injects deadline pressure through the
+// server's interrupt factory and checks that degraded ticks surface in the
+// round stats and block quiescence until a completed round lands.
+func TestClusterServingDegradedRounds(t *testing.T) {
+	pressure := true
+	cfg := serve.Config{
+		QueueCap: 256,
+		BatchMax: 32,
+		NextInterrupt: func() func() bool {
+			if !pressure {
+				return nil
+			}
+			return func() bool { return true }
+		},
+	}
+	p := acloud.DefaultServingParams()
+	sc, err := acloud.NewServing(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cluster.New(cluster.Options{})
+	defer r.Close()
+	if err := r.AttachServing("dc0", sc.Server); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	for _, ev := range sc.Gen(rng, 15) {
+		if err := sc.Server.Offer(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := r.ServeRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DegradedTicks != 1 {
+		t.Fatalf("pressured round recorded %d degraded ticks, want 1", st.DegradedTicks)
+	}
+	if sc.Server.Quiescent() {
+		t.Fatal("degraded server reported quiescent")
+	}
+	pressure = false
+	if err := r.ServeDrain(); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Server.Quiescent() {
+		t.Fatal("server not quiescent after pressure lifted")
+	}
+	hist := r.ServingHistory()
+	last := hist[len(hist)-1]
+	if last.DegradedTicks != 0 {
+		t.Fatal("final round still degraded")
+	}
+}
+
+// TestClusterServingEmpty checks the error paths: a round with no attached
+// servers fails, and attaching nil fails.
+func TestClusterServingEmpty(t *testing.T) {
+	r := cluster.New(cluster.Options{})
+	defer r.Close()
+	if _, err := r.ServeRound(); err == nil {
+		t.Fatal("ServeRound with no servers succeeded")
+	}
+	if err := r.AttachServing("x", nil); err == nil {
+		t.Fatal("nil server attached")
+	}
+}

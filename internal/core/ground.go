@@ -199,6 +199,20 @@ type SolveOptions struct {
 	FirstSolution bool
 	// ValueOrder optionally reorders candidate values per variable.
 	ValueOrder func(v *solver.Var, vals []int64) []int64
+	// Interrupt, when non-nil, is polled by the search at its budget-check
+	// cadence; the first true return stops the search with the best
+	// incumbent so far and marks the result Degraded. The serving runtime's
+	// per-tick deadline arrives through this hook. While the hook returns
+	// false the solver trace is identical to a run without it.
+	Interrupt func() bool
+	// DeferDegraded skips materialization when the solve was cut short by
+	// Interrupt: the result still carries the incumbent assignments, but
+	// tables, outbox, and the write-ahead log are left untouched, so the
+	// engine's delta/arrival-order state stays exactly what a batch node
+	// that never ran the degraded solve would hold. The serving runtime
+	// publishes such incumbents as an overlay and lets a later completed
+	// tick materialize; see docs/serving.md.
+	DeferDegraded bool
 }
 
 // Assignment is one concrete solver-variable tuple in a solve result.
@@ -227,6 +241,15 @@ type SolveResult struct {
 	// Ground reports how the model was built when incremental re-grounding
 	// is enabled (nil otherwise).
 	Ground *GroundInfo
+	// Degraded reports that SolveOptions.Interrupt cut the search short:
+	// the assignments are the best incumbent at the interrupt, not a
+	// completed (optimal or budget-exhausted) outcome. Config-level
+	// node/time budgets do not set it.
+	Degraded bool
+	// Materialized reports whether the outcome was written back into the
+	// engine's tables; false when DeferDegraded suppressed a degraded
+	// materialization (or the solve found nothing to materialize).
+	Materialized bool
 }
 
 // GroundInfo reports the incremental grounder's work for one solve.
@@ -332,6 +355,9 @@ func (n *Node) finishSolve(g *grounder, opts SolveOptions, res *SolveResult) (*S
 	if opts.ValueOrder != nil {
 		sopts.ValueOrder = opts.ValueOrder
 	}
+	if opts.Interrupt != nil {
+		sopts.Interrupt = opts.Interrupt
+	}
 	if opts.Hint != nil {
 		sopts.Hints = map[int]int64{}
 		for _, inst := range g.insts {
@@ -355,6 +381,7 @@ func (n *Node) finishSolve(g *grounder, opts SolveOptions, res *SolveResult) (*S
 	res.NumVars = g.model.NumVars()
 	res.NumCons = g.model.NumConstraints()
 	res.Stats = sol.Stats
+	res.Degraded = sol.Stats.Interrupted
 
 	if !sol.Feasible() {
 		n.LastSolveResult = res
@@ -376,9 +403,18 @@ func (n *Node) finishSolve(g *grounder, opts SolveOptions, res *SolveResult) (*S
 		}
 		res.Assignments = append(res.Assignments, Assignment{Pred: inst.pred, Vals: vals})
 	}
+	if opts.DeferDegraded && res.Degraded {
+		// A deadline-interrupted incumbent must not reach the tables: the
+		// insert/retract churn would advance arrival-order seqs and the
+		// WAL in a way no batch re-solve over the same facts reproduces.
+		// The caller publishes the incumbent as an overlay instead.
+		n.LastSolveResult = res
+		return res, nil
+	}
 	if err := n.materialize(g, res); err != nil {
 		return res, err
 	}
+	res.Materialized = true
 	n.LastSolveResult = res
 	return res, nil
 }

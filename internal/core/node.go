@@ -130,6 +130,12 @@ type Node struct {
 
 	lastMaterialized map[string][]Tuple
 
+	// lastDecisions is the decision snapshot published by the most recent
+	// Tick (see tick.go) — the baseline its successor diffs against. It
+	// advances on degraded ticks too, unlike lastMaterialized, which only
+	// completed solves touch.
+	lastDecisions []Assignment
+
 	// Incremental re-grounding state (cfg.SolverIncremental): the grounding
 	// cache of the previous solve, and the per-predicate net row changes
 	// accumulated since it was built. See incremental.go.

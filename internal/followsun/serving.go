@@ -1,0 +1,167 @@
+package followsun
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/colog"
+	"repro/internal/core"
+	"repro/internal/programs"
+	"repro/internal/serve"
+)
+
+// ServingParams size the continuous Follow-the-Sun serving workload: the
+// centralized formulation (one solver deciding migrations on every link at
+// once) fed by live allocation churn — the sun moving demand between data
+// centers as a curVm update stream instead of batch refreshes.
+type ServingParams struct {
+	DCs      int   // data centers on a ring (default 3)
+	Demands  int   // demand locations (default 2)
+	Capacity int64 // per-DC resource capacity (default 60)
+	AllocMax int64 // per-(DC, demand) allocation ceiling (default 5)
+	MaxNodes int64 // per-tick search budget (node-based; see acloud serving)
+	Seed     int64
+}
+
+// DefaultServingParams returns a small always-feasible serving workload.
+func DefaultServingParams() ServingParams {
+	return ServingParams{DCs: 3, Demands: 2, Capacity: 60, AllocMax: 5, MaxNodes: 3000, Seed: 1}
+}
+
+// NewServing builds the Follow-the-Sun serving scenario: serving node plus
+// batch reference running the centralized COP, and a churn generator
+// emitting curVm keyed replaces (demand shifting between data centers) and
+// commCost repricing. Allocations stay in [0, AllocMax] with
+// Demands*AllocMax far below Capacity, so every tick's COP is feasible.
+func NewServing(p ServingParams, cfg serve.Config) (*serve.Scenario, error) {
+	def := DefaultServingParams()
+	if p.DCs <= 0 {
+		p.DCs = def.DCs
+	}
+	if p.Demands <= 0 {
+		p.Demands = def.Demands
+	}
+	if p.Capacity <= 0 {
+		p.Capacity = def.Capacity
+	}
+	if p.AllocMax <= 0 {
+		p.AllocMax = def.AllocMax
+	}
+	if p.MaxNodes <= 0 {
+		p.MaxNodes = def.MaxNodes
+	}
+	entry := programs.FollowSunCentralized()
+	res := entry.Analyze()
+	nodeCfg := entry.Config
+	nodeCfg.SolverMaxNodes = p.MaxNodes
+	nodeCfg.SolverPropagate = true
+	nodeCfg.SolverIncremental = true
+	nodeCfg.SolverWarmStart = true
+	nodeCfg.Keys = map[string][]int{
+		"curVm":    {0, 1},
+		"commCost": {0, 1},
+		"opCost":   {0},
+		"resource": {0},
+	}
+
+	dcName := func(i int) string { return fmt.Sprintf("x%d", i) }
+	demName := func(i int) string { return fmt.Sprintf("d%d", i) }
+
+	build := func() (*core.Node, error) {
+		n, err := core.NewNode("sun", res, nodeCfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < p.DCs; i++ {
+			x := dcName(i)
+			if err := n.Insert("opCost", colog.StringVal(x), colog.IntVal(10)); err != nil {
+				return nil, err
+			}
+			if err := n.Insert("resource", colog.StringVal(x), colog.IntVal(p.Capacity)); err != nil {
+				return nil, err
+			}
+			// Ring links, both directions (rule c1 needs the reverse row).
+			// A 2-DC ring has one undirected link; skip the duplicate.
+			if p.DCs == 2 && i == 1 {
+				continue
+			}
+			y := dcName((i + 1) % p.DCs)
+			for _, pair := range [][2]string{{x, y}, {y, x}} {
+				if err := n.Insert("link", colog.StringVal(pair[0]), colog.StringVal(pair[1])); err != nil {
+					return nil, err
+				}
+				if err := n.Insert("migCost", colog.StringVal(pair[0]), colog.StringVal(pair[1]), colog.IntVal(12)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for d := 0; d < p.Demands; d++ {
+			if err := n.Insert("demand", colog.StringVal(demName(d))); err != nil {
+				return nil, err
+			}
+		}
+		return n, nil
+	}
+	node, err := build()
+	if err != nil {
+		return nil, err
+	}
+	shadow, err := build()
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Keys == nil {
+		cfg.Keys = map[string][]int{"curVm": {0, 1}, "commCost": {0, 1}}
+	}
+	srv := serve.NewServer(node, cfg)
+
+	// Generator state: current allocation and pricing per (DC, demand).
+	// Initial rows arrive through the stream so both nodes share one path.
+	type cell struct{ alloc, comm int64 }
+	state := map[[2]int]*cell{}
+	curVmEv := func(dc, d int, alloc int64) serve.Event {
+		return serve.Event{Op: serve.OpInsert, Pred: "curVm", Vals: []colog.Value{
+			colog.StringVal(dcName(dc)), colog.StringVal(demName(d)), colog.IntVal(alloc),
+		}}
+	}
+	commEv := func(dc, d int, c int64) serve.Event {
+		return serve.Event{Op: serve.OpInsert, Pred: "commCost", Vals: []colog.Value{
+			colog.StringVal(dcName(dc)), colog.StringVal(demName(d)), colog.IntVal(c),
+		}}
+	}
+	seedRng := rand.New(rand.NewSource(p.Seed))
+	var initial []serve.Event
+	for i := 0; i < p.DCs; i++ {
+		for d := 0; d < p.Demands; d++ {
+			c := &cell{alloc: seedRng.Int63n(p.AllocMax + 1), comm: 50 + seedRng.Int63n(51)}
+			state[[2]int{i, d}] = c
+			initial = append(initial, curVmEv(i, d, c.alloc), commEv(i, d, c.comm))
+		}
+	}
+	gen := func(rng *rand.Rand, n int) []serve.Event {
+		events := make([]serve.Event, 0, n)
+		for len(events) < n {
+			dc, d := rng.Intn(p.DCs), rng.Intn(p.Demands)
+			c := state[[2]int{dc, d}]
+			if rng.Intn(4) == 0 {
+				c.comm = 50 + rng.Int63n(51)
+				events = append(events, commEv(dc, d, c.comm))
+			} else {
+				c.alloc = rng.Int63n(p.AllocMax + 1)
+				events = append(events, curVmEv(dc, d, c.alloc))
+			}
+		}
+		return events
+	}
+	first := true
+	wrapped := func(rng *rand.Rand, n int) []serve.Event {
+		if first {
+			first = false
+			return append(initial, gen(rng, n)...)
+		}
+		return gen(rng, n)
+	}
+
+	return &serve.Scenario{Name: "followsun", Server: srv, Shadow: shadow, Gen: wrapped}, nil
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/colog"
+)
+
+// FuzzDecodeChurnEvent hammers the churn-frame decoder: arbitrary bytes —
+// wrong versions, bad ops, truncated predicates, torn value lists — must
+// come back as an error, never a panic or a hang, and every accepted
+// event must survive a re-encode/re-decode round trip losslessly (byte
+// canonicity is not required: varints tolerate non-minimal encodings, as
+// in the delta codec). The committed corpus under
+// testdata/fuzz/FuzzDecodeChurnEvent was recorded from a real cmd/serve
+// load-driver trace (one file per scenario).
+func FuzzDecodeChurnEvent(f *testing.F) {
+	seed := func(ev Event) {
+		if b, err := AppendEvent(nil, ev); err == nil {
+			f.Add(b)
+		}
+	}
+	seed(Event{Op: OpInsert, Pred: "vmRaw", Vals: []colog.Value{
+		colog.StringVal("vm0"), colog.IntVal(42), colog.IntVal(128),
+	}})
+	seed(Event{Op: OpDelete, Pred: "primaryUser", Vals: []colog.Value{
+		colog.StringVal("n00"), colog.IntVal(6),
+	}})
+	seed(Event{Op: OpInsert, Pred: "m", Vals: []colog.Value{
+		colog.FloatVal(-1.5), colog.BoolVal(false),
+	}})
+	// Mutated shapes: bad version, bad op, torn tail.
+	good, _ := AppendEvent(nil, Event{Op: OpInsert, Pred: "f", Vals: []colog.Value{colog.IntVal(7)}})
+	f.Add(append([]byte{99}, good[1:]...))
+	f.Add([]byte{churnFrameVersion, 'x', 1, 'f', 0})
+	f.Add(good[:len(good)-1])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, _, err := DecodeEvent(data)
+		if err != nil {
+			return
+		}
+		if ev.Op != OpInsert && ev.Op != OpDelete {
+			t.Fatalf("decoded invalid op %q", ev.Op)
+		}
+		if ev.Pred == "" {
+			t.Fatal("decoded empty predicate")
+		}
+		re, err := AppendEvent(nil, ev)
+		if err != nil {
+			t.Fatalf("decoded event does not re-encode: %v", err)
+		}
+		back, rest, err := DecodeEvent(re)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("re-decoding: %v (rest %d)", err, len(rest))
+		}
+		if back.String() != ev.String() {
+			t.Fatalf("round trip diverged: %s vs %s", back, ev)
+		}
+	})
+}

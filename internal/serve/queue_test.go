@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/colog"
+)
+
+func vmEv(op Op, id string, cpu int64) Event {
+	return Event{Op: op, Pred: "vmRaw", Vals: []colog.Value{
+		colog.StringVal(id), colog.IntVal(cpu), colog.IntVal(128),
+	}}
+}
+
+func queueServer(cap, batch int) *Server {
+	return NewServer(nil, Config{
+		QueueCap: cap,
+		BatchMax: batch,
+		Keys:     map[string][]int{"vmRaw": {0}},
+	})
+}
+
+func TestQueueCoalescesSameKeyOldestFirst(t *testing.T) {
+	s := queueServer(8, 8)
+	must := func(ev Event) {
+		t.Helper()
+		if err := s.Offer(ev); err != nil {
+			t.Fatalf("offer %s: %v", ev, err)
+		}
+	}
+	must(vmEv(OpInsert, "vm0", 30))
+	must(vmEv(OpInsert, "vm1", 40))
+	must(vmEv(OpInsert, "vm0", 55)) // coalesces into vm0's original slot
+	must(vmEv(OpInsert, "vm1", 70))
+
+	if got := s.QueueDepth(); got != 2 {
+		t.Fatalf("queue depth %d after coalescing, want 2", got)
+	}
+	batch := s.take()
+	if len(batch) != 2 {
+		t.Fatalf("batch size %d, want 2", len(batch))
+	}
+	// Oldest-first order preserved, payloads are the latest updates.
+	if batch[0].Vals[0].S != "vm0" || batch[0].Vals[1].I != 55 {
+		t.Fatalf("slot 0 = %s, want vm0@55", batch[0])
+	}
+	if batch[1].Vals[0].S != "vm1" || batch[1].Vals[1].I != 70 {
+		t.Fatalf("slot 1 = %s, want vm1@70", batch[1])
+	}
+	st := s.StatsSnapshot()
+	if st.EventsCoalesced != 2 {
+		t.Fatalf("coalesced %d, want 2", st.EventsCoalesced)
+	}
+}
+
+func TestQueueCoalescesAcrossOps(t *testing.T) {
+	s := queueServer(8, 8)
+	if err := s.Offer(vmEv(OpInsert, "vm0", 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Offer(vmEv(OpDelete, "vm0", 30)); err != nil {
+		t.Fatal(err)
+	}
+	batch := s.take()
+	if len(batch) != 1 || batch[0].Op != OpDelete {
+		t.Fatalf("delete did not coalesce over queued insert: %v", batch)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	s := queueServer(2, 2)
+	if err := s.Offer(vmEv(OpInsert, "vm0", 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Offer(vmEv(OpInsert, "vm1", 30)); err != nil {
+		t.Fatal(err)
+	}
+	// Full, new key: rejected.
+	if err := s.Offer(vmEv(OpInsert, "vm2", 30)); err != ErrQueueFull {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	// Full, existing key: still coalesces.
+	if err := s.Offer(vmEv(OpInsert, "vm1", 90)); err != nil {
+		t.Fatalf("coalescing under backpressure: %v", err)
+	}
+	st := s.StatsSnapshot()
+	if st.EventsRejected != 1 || st.EventsCoalesced != 1 {
+		t.Fatalf("stats %+v, want 1 rejected / 1 coalesced", st)
+	}
+	// Draining frees capacity and rebases coalescing slots.
+	if got := len(s.take()); got != 2 {
+		t.Fatalf("drained %d, want 2", got)
+	}
+	if err := s.Offer(vmEv(OpInsert, "vm2", 30)); err != nil {
+		t.Fatalf("offer after drain: %v", err)
+	}
+}
+
+func TestQueueBatchMaxRebasesIndex(t *testing.T) {
+	s := queueServer(8, 2)
+	for _, ev := range []Event{
+		vmEv(OpInsert, "vm0", 10),
+		vmEv(OpInsert, "vm1", 20),
+		vmEv(OpInsert, "vm2", 30),
+	} {
+		if err := s.Offer(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.take()); got != 2 {
+		t.Fatalf("batch %d, want BatchMax=2", got)
+	}
+	// vm2 is still queued; a same-key update must coalesce into its
+	// rebased slot, not clobber another event.
+	if err := s.Offer(vmEv(OpInsert, "vm2", 99)); err != nil {
+		t.Fatal(err)
+	}
+	batch := s.take()
+	if len(batch) != 1 || batch[0].Vals[0].S != "vm2" || batch[0].Vals[1].I != 99 {
+		t.Fatalf("rebased coalescing broken: %v", batch)
+	}
+}
+
+func TestUnkeyedPredicatesDoNotCoalesce(t *testing.T) {
+	s := queueServer(8, 8)
+	ev := Event{Op: OpInsert, Pred: "primaryUser", Vals: []colog.Value{
+		colog.StringVal("n00"), colog.IntVal(6),
+	}}
+	if err := s.Offer(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Offer(ev); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.QueueDepth(); got != 2 {
+		t.Fatalf("unkeyed events coalesced: depth %d", got)
+	}
+}

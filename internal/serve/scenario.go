@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Scenario couples a serving server with its batch reference: a second,
+// identically configured and seeded node that replays the same admitted
+// churn and solves only at the serving node's completed (non-degraded)
+// ticks. The soak and equivalence tests drive both in lockstep and demand
+// byte-identical state at every quiescent point. Each scenario package
+// (acloud, followsun, wireless) exposes a NewServing entrypoint returning
+// one.
+type Scenario struct {
+	Name   string
+	Server *Server
+	// Shadow is the batch reference node. It must be constructed exactly
+	// like the serving node: same program, config, and seed facts in the
+	// same insertion order.
+	Shadow *core.Node
+	// Gen generates the next n churn events; it owns whatever workload
+	// state it needs (live keys, value ranges) and must be deterministic
+	// in rng.
+	Gen func(rng *rand.Rand, n int) []Event
+}
+
+// ShadowApply replays one tick report onto the batch reference: the
+// admitted batch is applied unconditionally, and a completed tick is
+// mirrored by a batch Solve. Degraded ticks apply churn only — their
+// interrupted solve never materialized on the serving side, so the
+// reference must not solve either.
+func (sc *Scenario) ShadowApply(rep *TickReport) error {
+	for _, ev := range rep.Batch {
+		var err error
+		switch ev.Op {
+		case OpInsert:
+			err = sc.Shadow.Insert(ev.Pred, ev.Vals...)
+		case OpDelete:
+			err = sc.Shadow.Delete(ev.Pred, ev.Vals...)
+		}
+		if err != nil {
+			return fmt.Errorf("serve: shadow applying %s: %w", ev, err)
+		}
+	}
+	if rep.Degraded {
+		return nil
+	}
+	if _, err := sc.Shadow.Solve(core.SolveOptions{Hint: sc.Server.cfg.Hint}); err != nil {
+		return fmt.Errorf("serve: shadow solve: %w", err)
+	}
+	return nil
+}
+
+// VerifyEquivalent checks the serving node against the batch reference at
+// a quiescent point: byte-identical table dumps (contents and arrival
+// order), identical objective and status, and an identical solver trace
+// (node, failure, and solution counts). It returns a descriptive error on
+// the first divergence.
+func (sc *Scenario) VerifyEquivalent() error {
+	a, b := sc.Server.Node(), sc.Shadow
+	da, db := a.Dump(), b.Dump()
+	if da != db {
+		return fmt.Errorf("serve: %s: table state diverged:\nserving:\n%s\nbatch:\n%s", sc.Name, da, db)
+	}
+	ra, rb := a.LastSolveResult, b.LastSolveResult
+	if (ra == nil) != (rb == nil) {
+		return fmt.Errorf("serve: %s: solve result presence diverged", sc.Name)
+	}
+	if ra == nil {
+		return nil
+	}
+	if ra.Status != rb.Status || ra.Objective != rb.Objective {
+		return fmt.Errorf("serve: %s: outcome diverged: %v/%v vs %v/%v",
+			sc.Name, ra.Status, ra.Objective, rb.Status, rb.Objective)
+	}
+	if ra.Stats.Nodes != rb.Stats.Nodes ||
+		ra.Stats.Failures != rb.Stats.Failures ||
+		ra.Stats.Solutions != rb.Stats.Solutions {
+		return fmt.Errorf("serve: %s: solver trace diverged: %+v vs %+v",
+			sc.Name, ra.Stats, rb.Stats)
+	}
+	if ra.NumVars != rb.NumVars || ra.NumCons != rb.NumCons {
+		return fmt.Errorf("serve: %s: model shape diverged: %d/%d vars, %d/%d cons",
+			sc.Name, ra.NumVars, rb.NumVars, ra.NumCons, rb.NumCons)
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/colog"
+	"repro/internal/core"
+)
+
+// ErrQueueFull reports that the admission queue is at capacity and the
+// event could not be coalesced into an already-queued slot. Producers
+// handle it as backpressure: tick the server (or wait for the serving loop
+// to tick) and retry.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// Config tunes a Server.
+type Config struct {
+	// QueueCap bounds the admission queue (default 1024). An Offer beyond
+	// the cap that cannot coalesce returns ErrQueueFull.
+	QueueCap int
+	// BatchMax caps the events admitted into the engine per tick (default
+	// 256). The remainder stays queued for later ticks.
+	BatchMax int
+	// TickBudget is the per-tick solve deadline; at expiry the tick
+	// publishes the best incumbent with the degraded flag. Zero runs each
+	// solve to the node's configured budgets.
+	TickBudget time.Duration
+	// Keys declares the key columns of churn predicates, enabling
+	// oldest-first coalescing: a queued event is replaced in place by a
+	// newer event with the same (pred, key) instead of growing the queue.
+	// Predicates without an entry never coalesce.
+	Keys map[string][]int
+	// Hint forwards a warm-start hint to every tick's solve.
+	Hint func(pred string, vals []colog.Value) (int64, bool)
+	// NextInterrupt, when non-nil, is called at the start of each tick and
+	// may return an interrupt hook for that tick's solve — the soak tests
+	// inject synthetic deadline pressure through it. It overrides
+	// TickBudget for ticks where it returns non-nil.
+	NextInterrupt func() func() bool
+}
+
+// TickReport describes one serving tick.
+type TickReport struct {
+	// Batch is the churn admitted into the engine this tick, in queue
+	// (oldest-first, post-coalescing) order.
+	Batch []Event
+	// Degraded reports that the tick's deadline fired before the solve
+	// completed: Deltas carry the best incumbent, published as an overlay
+	// while the engine's tables keep the last completed state.
+	Degraded bool
+	// Solved reports that the tick produced a feasible decision snapshot.
+	Solved bool
+	// Deltas is the decision delta against the previous tick's published
+	// snapshot (empty when the placement is unchanged).
+	Deltas []core.DecisionDelta
+	// Objective is the goal value of the published snapshot.
+	Objective float64
+	// Latency is the wall time of the whole tick: admission, grounding,
+	// solve, publish.
+	Latency time.Duration
+	// QueueDepth is the admission-queue depth after the tick.
+	QueueDepth int
+	// Result is the underlying solve outcome.
+	Result *core.SolveResult
+}
+
+// Stats aggregates serving statistics across ticks.
+type Stats struct {
+	Ticks           int
+	DegradedTicks   int
+	EventsAdmitted  int
+	EventsCoalesced int
+	EventsRejected  int
+
+	latencies []time.Duration
+}
+
+// LatencyPercentile returns the p-quantile (0 < p <= 1) of per-tick
+// decision latency, 0 when no tick has run.
+func (s *Stats) LatencyPercentile(p float64) time.Duration {
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.latencies))
+	copy(sorted, s.latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Server wraps one Cologne node with the serving runtime: a bounded
+// coalescing admission queue feeding deadline-bounded ticks.
+type Server struct {
+	node *core.Node
+	cfg  Config
+
+	mu       sync.Mutex
+	queue    []Event
+	byKey    map[string]int // coalescing slot per (pred, key), index into queue
+	stats    Stats
+	ticked   bool
+	degraded bool // last tick hit its deadline
+}
+
+// NewServer wraps node. The node carries the program and its seed facts;
+// churn arrives through Offer and takes effect at the next tick.
+func NewServer(node *core.Node, cfg Config) *Server {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 256
+	}
+	return &Server{node: node, cfg: cfg, byKey: map[string]int{}}
+}
+
+// Node returns the underlying serving node (read-only use: Rows, Dump,
+// LastSolveResult). Mutating it outside the churn stream voids the
+// equivalence contract.
+func (s *Server) Node() *core.Node { return s.node }
+
+// coalesceKey returns the queue-coalescing key for an event on a keyed
+// churn predicate, or ok=false when the predicate does not coalesce.
+func (s *Server) coalesceKey(ev Event) (string, bool) {
+	cols, ok := s.cfg.Keys[ev.Pred]
+	if !ok {
+		return "", false
+	}
+	k := ev.Pred
+	for _, c := range cols {
+		if c < 0 || c >= len(ev.Vals) {
+			return "", false
+		}
+		k += "\x1f" + ev.Vals[c].Key()
+	}
+	return k, true
+}
+
+// Offer enqueues one churn event. Same-key events coalesce oldest-first:
+// the newer event replaces the queued one in its original queue position,
+// so admission order follows first arrival while the payload is always the
+// latest. A full queue with no coalescing slot returns ErrQueueFull.
+func (s *Server) Offer(ev Event) error {
+	if ev.Op != OpInsert && ev.Op != OpDelete {
+		return fmt.Errorf("serve: offer: bad op %q", ev.Op)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key, keyed := s.coalesceKey(ev)
+	if keyed {
+		if i, ok := s.byKey[key]; ok {
+			s.queue[i] = ev
+			s.stats.EventsCoalesced++
+			return nil
+		}
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		s.stats.EventsRejected++
+		return ErrQueueFull
+	}
+	if keyed {
+		s.byKey[key] = len(s.queue)
+	}
+	s.queue = append(s.queue, ev)
+	return nil
+}
+
+// QueueDepth returns the current admission-queue depth.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// take pops up to BatchMax events off the queue and rebases the
+// coalescing index.
+func (s *Server) take() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.queue)
+	if n > s.cfg.BatchMax {
+		n = s.cfg.BatchMax
+	}
+	batch := make([]Event, n)
+	copy(batch, s.queue[:n])
+	s.queue = append(s.queue[:0], s.queue[n:]...)
+	for k, i := range s.byKey {
+		if i < n {
+			delete(s.byKey, k)
+		} else {
+			s.byKey[k] = i - n
+		}
+	}
+	s.stats.EventsAdmitted += n
+	return batch
+}
+
+// TickOnce runs one serving tick under the configured budget: admit a
+// batch, apply it to the engine, re-ground + re-solve under the deadline,
+// publish the decision delta.
+func (s *Server) TickOnce() (*TickReport, error) {
+	var hook func() bool
+	if s.cfg.NextInterrupt != nil {
+		hook = s.cfg.NextInterrupt()
+	}
+	return s.tick(s.cfg.TickBudget, hook)
+}
+
+// Settle runs one tick with an unbounded solve budget and no injected
+// interrupt: the convergence tick that turns a degraded overlay back into
+// materialized optimal state.
+func (s *Server) Settle() (*TickReport, error) { return s.tick(0, nil) }
+
+func (s *Server) tick(budget time.Duration, hook func() bool) (*TickReport, error) {
+	start := time.Now()
+	batch := s.take()
+	for _, ev := range batch {
+		var err error
+		switch ev.Op {
+		case OpInsert:
+			err = s.node.Insert(ev.Pred, ev.Vals...)
+		case OpDelete:
+			err = s.node.Delete(ev.Pred, ev.Vals...)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: applying %s: %w", ev, err)
+		}
+	}
+	tr, err := s.node.Tick(core.TickOptions{Deadline: budget, Interrupt: hook, Hint: s.cfg.Hint})
+	if err != nil {
+		return nil, err
+	}
+	rep := &TickReport{
+		Batch:     batch,
+		Degraded:  tr.Degraded,
+		Solved:    tr.Result != nil && (tr.Result.Feasible() || tr.Result.NumVars == 0),
+		Deltas:    tr.Deltas,
+		Objective: tr.Objective,
+		Latency:   time.Since(start),
+		Result:    tr.Result,
+	}
+	s.mu.Lock()
+	s.stats.Ticks++
+	if rep.Degraded {
+		s.stats.DegradedTicks++
+	}
+	s.stats.latencies = append(s.stats.latencies, rep.Latency)
+	s.ticked = true
+	s.degraded = rep.Degraded
+	rep.QueueDepth = len(s.queue)
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// Quiescent reports whether the server is at a quiescent point: at least
+// one tick has run, the admission queue is drained, and the last tick
+// completed within budget. At such a point the serving node's state is
+// byte-identical to a batch re-solve over the same cumulative facts.
+func (s *Server) Quiescent() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ticked && len(s.queue) == 0 && !s.degraded
+}
+
+// Drain ticks with an unbounded budget until quiescent — queue empty and
+// the final solve completed — returning the last report.
+func (s *Server) Drain() (*TickReport, error) {
+	var rep *TickReport
+	for {
+		r, err := s.Settle()
+		if err != nil {
+			return rep, err
+		}
+		rep = r
+		if s.Quiescent() {
+			return rep, nil
+		}
+	}
+}
+
+// StatsSnapshot returns a copy of the aggregate serving statistics.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := s.stats
+	cp.latencies = append([]time.Duration(nil), s.stats.latencies...)
+	return cp
+}

@@ -1,0 +1,225 @@
+package serve_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/acloud"
+	"repro/internal/followsun"
+	"repro/internal/serve"
+	"repro/internal/wireless"
+)
+
+// scenarioBuilders constructs the three serving scenarios with a given
+// server config, smallest-useful sizes.
+func scenarioBuilders() map[string]func(cfg serve.Config, seed int64) (*serve.Scenario, error) {
+	return map[string]func(cfg serve.Config, seed int64) (*serve.Scenario, error){
+		"acloud": func(cfg serve.Config, seed int64) (*serve.Scenario, error) {
+			p := acloud.DefaultServingParams()
+			p.Seed = seed
+			return acloud.NewServing(p, cfg)
+		},
+		"followsun": func(cfg serve.Config, seed int64) (*serve.Scenario, error) {
+			p := followsun.DefaultServingParams()
+			p.Seed = seed
+			return followsun.NewServing(p, cfg)
+		},
+		"wireless": func(cfg serve.Config, seed int64) (*serve.Scenario, error) {
+			p := wireless.DefaultServingParams()
+			p.Seed = seed
+			return wireless.NewServing(p, cfg)
+		},
+	}
+}
+
+// drive runs the lockstep serving-vs-batch protocol: generate churn in
+// random chunks, offer it under backpressure, tick at random points, and
+// at every quiescent point demand byte-identical state between the serving
+// node and the batch reference. Returns the number of equivalence checks
+// that ran.
+func drive(t *testing.T, sc *serve.Scenario, rng *rand.Rand, totalEvents, maxChunk int) (checks, degraded int) {
+	t.Helper()
+	tick := func(settle bool) {
+		t.Helper()
+		var rep *serve.TickReport
+		var err error
+		if settle {
+			rep, err = sc.Server.Settle()
+		} else {
+			rep, err = sc.Server.TickOnce()
+		}
+		if err != nil {
+			t.Fatalf("%s: tick: %v", sc.Name, err)
+		}
+		if rep.Degraded {
+			degraded++
+		}
+		if err := sc.ShadowApply(rep); err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if sc.Server.Quiescent() {
+			if err := sc.VerifyEquivalent(); err != nil {
+				t.Fatalf("quiescent check %d: %v", checks, err)
+			}
+			checks++
+		}
+	}
+
+	offered := 0
+	for offered < totalEvents {
+		chunk := 1 + rng.Intn(maxChunk)
+		for _, ev := range sc.Gen(rng, chunk) {
+			offered++
+			for {
+				err := sc.Server.Offer(ev)
+				if err == nil {
+					break
+				}
+				if err != serve.ErrQueueFull {
+					t.Fatalf("%s: offer %s: %v", sc.Name, ev, err)
+				}
+				tick(false) // backpressure: drain a batch, then retry
+			}
+		}
+		tick(false)
+		if rng.Intn(3) == 0 {
+			tick(false) // occasional extra tick drains larger chunks
+		}
+	}
+	for !sc.Server.Quiescent() {
+		tick(true)
+	}
+	return checks, degraded
+}
+
+// TestServingScenarioEquivalence is the per-scenario smoke version of the
+// soak: a few hundred churn events, no deadline pressure, byte-identity at
+// every quiescent point.
+func TestServingScenarioEquivalence(t *testing.T) {
+	for name, build := range scenarioBuilders() {
+		t.Run(name, func(t *testing.T) {
+			sc, err := build(serve.Config{QueueCap: 128, BatchMax: 32}, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			checks, _ := drive(t, sc, rng, 300, 40)
+			if checks == 0 {
+				t.Fatal("no quiescent checkpoint was ever reached")
+			}
+			st := sc.Server.StatsSnapshot()
+			if st.Ticks == 0 || st.EventsAdmitted == 0 {
+				t.Fatalf("suspicious stats: %+v", st)
+			}
+		})
+	}
+}
+
+// TestServingDeadlinePublishesDegradedIncumbent is the deadline regression
+// gate: a tick whose solve exceeds its budget must come back within budget
+// + epsilon carrying the degraded flag and leave the engine's materialized
+// state untouched; the next idle (unbounded) tick must converge back to
+// the exact batch outcome.
+func TestServingDeadlinePublishesDegradedIncumbent(t *testing.T) {
+	fireNow := func() func() bool {
+		return func() bool { return true }
+	}
+	pressure := false
+	cfg := serve.Config{
+		QueueCap: 256,
+		BatchMax: 64,
+		NextInterrupt: func() func() bool {
+			if pressure {
+				return fireNow()
+			}
+			return nil
+		},
+	}
+	p := acloud.DefaultServingParams()
+	sc, err := acloud.NewServing(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+
+	// Establish a completed baseline.
+	for _, ev := range sc.Gen(rng, 20) {
+		if err := sc.Server.Offer(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := sc.Server.TickOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded {
+		t.Fatal("baseline tick unexpectedly degraded")
+	}
+	if err := sc.ShadowApply(rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.VerifyEquivalent(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn plus an interrupt that fires at the first budget poll: the
+	// tick must degrade, publish promptly, and leave tables alone.
+	for _, ev := range sc.Gen(rng, 10) {
+		if err := sc.Server.Offer(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := sc.Server.Node().Dump()
+	pressure = true
+	start := time.Now()
+	rep, err = sc.Server.TickOnce()
+	elapsed := time.Since(start)
+	pressure = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Fatal("over-budget tick did not set degraded")
+	}
+	if sc.Server.Quiescent() {
+		t.Fatal("degraded tick reported quiescent")
+	}
+	// Budget + epsilon: the interrupt fires at the first poll, so the
+	// whole tick is admission + grounding + one polling interval. The
+	// bound is generous for slow CI hosts but rules out a full search.
+	if elapsed > 2*time.Second {
+		t.Fatalf("degraded tick took %v", elapsed)
+	}
+	after := sc.Server.Node().Dump()
+	// The degraded incumbent is an overlay: materialized engine state
+	// (modulo the churn the tick admitted) must not contain solver output
+	// from the interrupted search. Applying the same churn to the shadow
+	// without solving must reproduce it byte for byte.
+	if err := sc.ShadowApply(rep); err != nil { // degraded: applies churn only
+		t.Fatal(err)
+	}
+	if shadowDump := sc.Shadow.Dump(); shadowDump != after {
+		t.Fatalf("degraded tick leaked solver state into the engine:\nbefore:\n%s\nafter:\n%s\nshadow:\n%s",
+			before, after, shadowDump)
+	}
+
+	// A subsequent idle tick with the full budget converges to the exact
+	// batch outcome.
+	rep, err = sc.Server.Settle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded {
+		t.Fatal("settle tick degraded")
+	}
+	if err := sc.ShadowApply(rep); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Server.Quiescent() {
+		t.Fatal("server not quiescent after settle")
+	}
+	if err := sc.VerifyEquivalent(); err != nil {
+		t.Fatalf("post-degradation convergence: %v", err)
+	}
+}

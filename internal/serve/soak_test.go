@@ -1,0 +1,63 @@
+package serve_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestServingSoakEquivalence is the serving-soak gate: thousands of random
+// churn events per scenario, randomized chunk and batch sizes, and injected
+// deadline pressure (interrupt hooks firing at random poll depths on a
+// third of the ticks). At every quiescent point — queue drained, last tick
+// completed — the serving node must be byte-identical to the batch
+// reference: same table contents in the same arrival order, same
+// objective, same solver trace. CI runs it under -race (the serving-soak
+// named gate, `make serving-soak`).
+func TestServingSoakEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode")
+	}
+	// Per-scenario event volume: 5k+ in total across the three scenarios.
+	volumes := map[string]int{
+		"acloud":    2500,
+		"followsun": 1500,
+		"wireless":  1500,
+	}
+	for name, build := range scenarioBuilders() {
+		t.Run(name, func(t *testing.T) {
+			pressureRng := rand.New(rand.NewSource(99))
+			cfg := serve.Config{
+				QueueCap: 512,
+				BatchMax: 48,
+				NextInterrupt: func() func() bool {
+					if pressureRng.Intn(3) != 0 {
+						return nil
+					}
+					// Fire after a random number of budget polls; depth 0
+					// interrupts before the first incumbent.
+					stopAfter := pressureRng.Intn(4)
+					polls := 0
+					return func() bool { polls++; return polls > stopAfter }
+				},
+			}
+			sc, err := build(cfg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1234))
+			checks, degraded := drive(t, sc, rng, volumes[name], 120)
+			if checks < 3 {
+				t.Fatalf("only %d quiescent checkpoints", checks)
+			}
+			if degraded == 0 {
+				t.Fatal("deadline pressure never produced a degraded tick; the soak is not exercising the anytime path")
+			}
+			st := sc.Server.StatsSnapshot()
+			t.Logf("%s: %d ticks (%d degraded), %d admitted, %d coalesced, %d checkpoints, p50=%v p99=%v",
+				name, st.Ticks, st.DegradedTicks, st.EventsAdmitted, st.EventsCoalesced,
+				checks, st.LatencyPercentile(0.50), st.LatencyPercentile(0.99))
+		})
+	}
+}

@@ -1,0 +1,117 @@
+// Package serve is the continuous-optimization serving runtime: it ingests
+// a live churn-event stream (fact inserts and deletes framed with the
+// engine's varint wire codec), admits batches under backpressure through a
+// bounded coalescing queue, and on each tick runs an incremental re-ground
+// + re-solve under a per-tick deadline with anytime semantics — at budget
+// expiry the best incumbent is published as a decision delta carrying a
+// degraded flag. At any quiescent point (queue drained, no deadline hit)
+// the serving node's tables, objective, and solver trace are byte-identical
+// to a batch re-solve over the same cumulative facts; see docs/serving.md.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/colog"
+	"repro/internal/core"
+)
+
+// churnFrameVersion tags each churn frame; it is distinct from the delta
+// codec's frame versions so a churn stream misrouted into the delta path
+// fails loudly rather than decoding as garbage.
+const churnFrameVersion = 1
+
+// Op is a churn-event operation.
+type Op byte
+
+const (
+	// OpInsert asserts a fact; on a keyed table it replaces the row with
+	// the same key (the engine's keyed-upsert semantics), which is how
+	// updates travel the stream.
+	OpInsert Op = '+'
+	// OpDelete retracts a fact by its full tuple.
+	OpDelete Op = '-'
+)
+
+// Event is one churn-stream event: a fact insert or delete against a base
+// table of the serving node's program.
+type Event struct {
+	Op   Op
+	Pred string
+	Vals []colog.Value
+}
+
+// String renders the event in delta notation for logs and test failures.
+func (e Event) String() string {
+	t := core.Tuple{Pred: e.Pred, Vals: e.Vals}
+	return string(e.Op) + t.String()
+}
+
+// AppendEvent appends one framed churn event: a version byte, the op byte,
+// the uvarint-length-prefixed predicate, then the kind-tagged value list —
+// the same primitives as the engine's delta frames, so a trace file is a
+// plain concatenation of self-delimiting frames.
+func AppendEvent(buf []byte, ev Event) ([]byte, error) {
+	if ev.Op != OpInsert && ev.Op != OpDelete {
+		return nil, fmt.Errorf("serve: encoding churn event: bad op %q", ev.Op)
+	}
+	if ev.Pred == "" {
+		return nil, fmt.Errorf("serve: encoding churn event: empty predicate")
+	}
+	buf = append(buf, churnFrameVersion, byte(ev.Op))
+	buf = core.AppendWireString(buf, ev.Pred)
+	return core.AppendWireValues(buf, ev.Vals)
+}
+
+// DecodeEvent parses one framed churn event and returns the remaining
+// bytes. It never panics on malformed input (FuzzDecodeChurnEvent pins
+// this) and rejects frames whose version, op, predicate, or value list is
+// malformed.
+func DecodeEvent(b []byte) (Event, []byte, error) {
+	if len(b) < 2 {
+		return Event{}, nil, fmt.Errorf("serve: churn frame truncated")
+	}
+	if b[0] != churnFrameVersion {
+		return Event{}, nil, fmt.Errorf("serve: not a version-%d churn frame (got %d)", churnFrameVersion, b[0])
+	}
+	op := Op(b[1])
+	if op != OpInsert && op != OpDelete {
+		return Event{}, nil, fmt.Errorf("serve: bad churn op %q", b[1])
+	}
+	pred, rest, ok := core.ReadWireString(b[2:])
+	if !ok || pred == "" {
+		return Event{}, nil, fmt.Errorf("serve: malformed churn predicate")
+	}
+	vals, rest, err := core.ReadWireValues(rest)
+	if err != nil {
+		return Event{}, nil, fmt.Errorf("serve: malformed churn values: %w", err)
+	}
+	return Event{Op: op, Pred: pred, Vals: vals}, rest, nil
+}
+
+// EncodeTrace frames a whole event sequence back to back — the load
+// driver's trace-file format.
+func EncodeTrace(events []Event) ([]byte, error) {
+	var buf []byte
+	var err error
+	for _, ev := range events {
+		if buf, err = AppendEvent(buf, ev); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// DecodeTrace parses a concatenation of churn frames to exhaustion.
+func DecodeTrace(b []byte) ([]Event, error) {
+	var events []Event
+	for len(b) > 0 {
+		ev, rest, err := DecodeEvent(b)
+		if err != nil {
+			return nil, fmt.Errorf("serve: trace frame %d: %w", len(events), err)
+		}
+		events = append(events, ev)
+		b = rest
+	}
+	return events, nil
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/colog"
+)
+
+func TestChurnCodecRoundTrip(t *testing.T) {
+	events := []Event{
+		{Op: OpInsert, Pred: "vmRaw", Vals: []colog.Value{
+			colog.StringVal("vm0"), colog.IntVal(42), colog.IntVal(128),
+		}},
+		{Op: OpDelete, Pred: "primaryUser", Vals: []colog.Value{
+			colog.StringVal("n00"), colog.IntVal(6),
+		}},
+		{Op: OpInsert, Pred: "curVm", Vals: []colog.Value{
+			colog.StringVal("x1"), colog.StringVal("d0"), colog.IntVal(-3),
+		}},
+		{Op: OpInsert, Pred: "mixed", Vals: []colog.Value{
+			colog.FloatVal(2.25), colog.BoolVal(true), colog.IntVal(0),
+		}},
+		{Op: OpInsert, Pred: "empty", Vals: nil},
+	}
+	buf, err := EncodeTrace(events)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeTrace(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i].String() != events[i].String() {
+			t.Fatalf("event %d: %s != %s", i, got[i], events[i])
+		}
+	}
+}
+
+func TestChurnDecodeRejectsMalformed(t *testing.T) {
+	good, err := AppendEvent(nil, Event{Op: OpInsert, Pred: "f", Vals: []colog.Value{colog.IntVal(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"version only":   {churnFrameVersion},
+		"bad version":    append([]byte{99}, good[1:]...),
+		"bad op":         {churnFrameVersion, 'x', 1, 'f', 0},
+		"truncated pred": good[:3],
+		"truncated vals": good[:len(good)-1],
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeEvent(b); err == nil {
+			t.Fatalf("%s: decode accepted malformed frame %v", name, b)
+		}
+	}
+}
+
+func TestChurnEncodeRejectsBadEvents(t *testing.T) {
+	if _, err := AppendEvent(nil, Event{Op: 'x', Pred: "f"}); err == nil {
+		t.Fatal("bad op accepted")
+	}
+	if _, err := AppendEvent(nil, Event{Op: OpInsert, Pred: ""}); err == nil {
+		t.Fatal("empty predicate accepted")
+	}
+}

@@ -34,9 +34,10 @@ type searchState struct {
 	hintSet []bool
 	valBufs [][]int64
 
-	stats    Stats
-	deadline time.Time
-	stopped  bool
+	stats       Stats
+	deadline    time.Time
+	stopped     bool
+	interrupted bool // Options.Interrupt fired (anytime stop)
 }
 
 func newSearchState(m *Model, opts Options, start time.Time) *searchState {
@@ -77,9 +78,16 @@ func (s *searchState) checkBudget() bool {
 		s.stopped = true
 		return true
 	}
-	if !s.deadline.IsZero() && s.stats.Nodes&0xFF == 0 && time.Now().After(s.deadline) {
-		s.stopped = true
-		return true
+	if s.stats.Nodes&0xFF == 0 {
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			s.stopped = true
+			return true
+		}
+		if s.opts.Interrupt != nil && s.opts.Interrupt() {
+			s.stopped = true
+			s.interrupted = true
+			return true
+		}
 	}
 	return false
 }
@@ -153,6 +161,11 @@ func (s *searchState) record(vals []int64) {
 	s.bestObj = obj
 	s.haveSol = true
 	s.stats.Solutions++
+	if s.opts.OnIncumbent != nil {
+		snap := make([]int64, len(vals))
+		copy(snap, vals)
+		s.opts.OnIncumbent(obj, snap)
+	}
 }
 
 // boundCut applies the branch-and-bound objective cut given the objective's
@@ -270,6 +283,7 @@ func (m *Model) solveOnce(opts Options, prev *searchState) (*Solution, *searchSt
 	sol := &Solution{Status: StatusUnknown}
 	defer func() {
 		state.stats.Elapsed = time.Since(start)
+		state.stats.Interrupted = state.interrupted
 		sol.Stats = state.stats
 	}()
 
@@ -311,6 +325,30 @@ func (m *Model) solveRestarts(opts Options) *Solution {
 	}
 	runOpts := opts
 	runOpts.Restarts = 0
+	// Each restarted run resets its own incumbent, so a later run may
+	// re-find a worse solution than an earlier run's best. The exposed
+	// incumbent stream must stay monotone across the whole sequence
+	// (anytime contract), so filter the per-run callbacks against the
+	// global best before forwarding.
+	if opts.OnIncumbent != nil {
+		user := opts.OnIncumbent
+		haveBest, bestObj := false, 0.0
+		const eps = 1e-9
+		runOpts.OnIncumbent = func(obj float64, vals []int64) {
+			if haveBest {
+				switch {
+				case m.objective == nil:
+					return
+				case m.sense == Minimize && obj >= bestObj-eps:
+					return
+				case m.sense == Maximize && obj <= bestObj+eps:
+					return
+				}
+			}
+			haveBest, bestObj = true, obj
+			user(obj, vals)
+		}
+	}
 
 	limit := int64(len(m.vars)) * 16
 	if limit < 256 {
@@ -349,12 +387,18 @@ func (m *Model) solveRestarts(opts Options) *Solution {
 		agg.Nodes += sol.Stats.Nodes
 		agg.Failures += sol.Stats.Failures
 		agg.Solutions += sol.Stats.Solutions
+		agg.Interrupted = agg.Interrupted || sol.Stats.Interrupted
 		if betterSolution(m.sense, m.objective != nil, sol, best) {
 			best = sol
 		}
 		if sol.Status == StatusOptimal || sol.Status == StatusInfeasible {
 			// Proved within the limit: the run's answer is exact.
 			best = sol
+			break
+		}
+		if sol.Stats.Interrupted {
+			// The external hook asked for the incumbent; don't start
+			// another run just to have it interrupted at its first node.
 			break
 		}
 		if opts.FirstSolution && sol.Feasible() {

@@ -142,6 +142,23 @@ type Options struct {
 	// it receives the variable and the default order and returns the order
 	// to use. Nil keeps the default ascending order (after any hint).
 	ValueOrder func(v *Var, vals []int64) []int64
+	// Interrupt, when non-nil, is an external budget hook polled at the
+	// same cadence as the wall-clock deadline check (every 256 search
+	// nodes). The first call that returns true stops the search with the
+	// best incumbent found so far (anytime semantics) and marks
+	// Stats.Interrupted. While the hook returns false the search trace is
+	// byte-identical to a run without the hook — installing it costs
+	// nothing until it fires. The serving runtime's per-tick deadline is
+	// this hook.
+	Interrupt func() bool
+	// OnIncumbent, when non-nil, is called synchronously each time the
+	// search accepts a strictly improving incumbent: the objective value
+	// and a snapshot of the assignment (indexed by Var.ID; the callback
+	// owns the slice). Across a whole Solve call — restart sequences
+	// included — the reported objectives are monotonically non-worsening,
+	// so the last snapshot received before a budget interrupt is exactly
+	// the solution the interrupted Solve returns.
+	OnIncumbent func(obj float64, vals []int64)
 }
 
 // Stats reports search effort.
@@ -150,6 +167,11 @@ type Stats struct {
 	Failures  int64         // dead ends (constraint violations or bound cuts)
 	Solutions int64         // incumbents found
 	Elapsed   time.Duration // wall-clock search time
+	// Interrupted reports that the Options.Interrupt hook stopped the
+	// search before it ran to completion. Node and wall-clock budget stops
+	// do not set it; callers distinguish "my deadline fired" from "the
+	// configured budget expired" with this flag.
+	Interrupted bool
 }
 
 // Solution is the result of a Solve call.

@@ -1,0 +1,117 @@
+package wireless
+
+import (
+	"math/rand"
+
+	"repro/internal/colog"
+	"repro/internal/core"
+	"repro/internal/programs"
+	"repro/internal/serve"
+)
+
+// ServingParams size the continuous channel-selection serving workload:
+// the centralized appendix A.2 program over a small grid, fed by live
+// primary-user churn (spectrum sensing reports arriving as a stream).
+type ServingParams struct {
+	W, H     int     // grid dimensions (default 2x2)
+	Channels []int64 // channel pool (default 1,6,11)
+	MaxNodes int64   // per-tick search budget (node-based)
+	Seed     int64
+}
+
+// DefaultServingParams returns a small always-feasible serving workload.
+func DefaultServingParams() ServingParams {
+	return ServingParams{W: 2, H: 2, Channels: []int64{1, 6, 11}, MaxNodes: 6000, Seed: 1}
+}
+
+// NewServing builds the wireless serving scenario: serving node plus batch
+// reference running the centralized channel-selection COP, and a churn
+// generator toggling each node's primary-user channel (delete the old
+// sensing report, insert the new one). At most one channel per grid node is
+// ever occupied, so with three channels and two radios per node the COP
+// stays feasible.
+func NewServing(p ServingParams, cfg serve.Config) (*serve.Scenario, error) {
+	def := DefaultServingParams()
+	if p.W <= 0 {
+		p.W = def.W
+	}
+	if p.H <= 0 {
+		p.H = def.H
+	}
+	if len(p.Channels) == 0 {
+		p.Channels = def.Channels
+	}
+	if p.MaxNodes <= 0 {
+		p.MaxNodes = def.MaxNodes
+	}
+	t := Grid(p.W, p.H)
+	entry := programs.WirelessCentralized(false, 5)
+	res := entry.Analyze()
+	nodeCfg := entry.Config
+	nodeCfg.SolverMaxNodes = p.MaxNodes
+	nodeCfg.SolverPropagate = true
+	nodeCfg.SolverIncremental = true
+	nodeCfg.SolverWarmStart = true
+
+	build := func() (*core.Node, error) {
+		n, err := core.NewNode("manager", res, nodeCfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range p.Channels {
+			if err := n.Insert("availChannel", colog.IntVal(c)); err != nil {
+				return nil, err
+			}
+		}
+		for _, nd := range t.Nodes {
+			if err := n.Insert("numInterface", colog.StringVal(string(nd)), colog.IntVal(2)); err != nil {
+				return nil, err
+			}
+		}
+		for _, l := range t.Links {
+			for _, pair := range [][2]NodeID{{l.A, l.B}, {l.B, l.A}} {
+				if err := n.Insert("link", colog.StringVal(string(pair[0])), colog.StringVal(string(pair[1]))); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return n, nil
+	}
+	node, err := build()
+	if err != nil {
+		return nil, err
+	}
+	shadow, err := build()
+	if err != nil {
+		return nil, err
+	}
+
+	srv := serve.NewServer(node, cfg)
+
+	// Generator state: the channel currently occupied by a primary user at
+	// each grid node (0 = none). Sensing churn retracts the old report and
+	// asserts the new one.
+	occupied := map[NodeID]int64{}
+	puEv := func(op serve.Op, nd NodeID, ch int64) serve.Event {
+		return serve.Event{Op: op, Pred: "primaryUser", Vals: []colog.Value{
+			colog.StringVal(string(nd)), colog.IntVal(ch),
+		}}
+	}
+	gen := func(rng *rand.Rand, n int) []serve.Event {
+		events := make([]serve.Event, 0, n)
+		for len(events) < n {
+			nd := t.Nodes[rng.Intn(len(t.Nodes))]
+			if old := occupied[nd]; old != 0 {
+				events = append(events, puEv(serve.OpDelete, nd, old))
+				occupied[nd] = 0
+				continue
+			}
+			ch := p.Channels[rng.Intn(len(p.Channels))]
+			occupied[nd] = ch
+			events = append(events, puEv(serve.OpInsert, nd, ch))
+		}
+		return events
+	}
+
+	return &serve.Scenario{Name: "wireless", Server: srv, Shadow: shadow, Gen: gen}, nil
+}
