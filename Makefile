@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-json bench-diff fuzz fuzz-wire fuzz-wal fuzz-churn wal-torture lint docs-check recovery-equivalence streaming-equivalence serving-soak alloc-budget ci
+.PHONY: build test bench bench-json bench-diff fuzz fuzz-wire fuzz-wal fuzz-churn fuzz-rollup wal-torture lint docs-check recovery-equivalence streaming-equivalence serving-soak alloc-budget shard-equivalence shard-smoke sharded-10k ci
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ bench:
 # fixed iteration count and write BENCH_<date>.json (ns/op, B/op, allocs/op,
 # and every custom metric). Compare files across commits to track the
 # speedup curve.
-BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve|BenchmarkCluster|BenchmarkResync|BenchmarkGroundPeakAlloc|BenchmarkWALAppend|BenchmarkLogReplayRestart|BenchmarkServingChurn
+BENCHJSON_BENCH ?= BenchmarkSolverACloudModel|BenchmarkFollowSunPerLinkCOP|BenchmarkEngineInsertFixpoint|BenchmarkAblation|BenchmarkACloudCompile|BenchmarkParseAnalyze|BenchmarkTickResolve|BenchmarkCluster|BenchmarkResync|BenchmarkGroundPeakAlloc|BenchmarkWALAppend|BenchmarkLogReplayRestart|BenchmarkServingChurn|BenchmarkSharded
 BENCHJSON_ITERS ?= 10
 BENCHJSON_OUT ?= BENCH_$(shell date +%Y-%m-%d).json
 bench-json:
@@ -62,6 +62,13 @@ fuzz-wal:
 fuzz-churn:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeChurnEvent -fuzztime=$(FUZZTIME) ./internal/serve
 
+# Fixed-budget fuzz of the shard rollup-frame codec (corpus captured live
+# from a real 4-shard run; bad magic, versions, torn varints, and trailing
+# bytes must be rejected without panicking, and whatever decodes must
+# round-trip bit-exactly, NaN objectives included).
+fuzz-rollup:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRollupFrame -fuzztime=$(FUZZTIME) ./internal/cluster
+
 # The WAL crash-point torture gate: kill a disk-backed node at every log
 # record boundary of a recorded run — torn mid-record writes and a torn
 # header included — restart it, and require convergence on exactly the
@@ -95,6 +102,26 @@ serving-soak:
 alloc-budget:
 	$(GO) test -count=1 -run 'TestGroundAllocBudget' .
 
+# The shard-equivalence gate: partitioning any scenario into key-range
+# shards with rollup aggregation must keep results byte-identical to the
+# unsharded run — and shard-count=1 must be byte-identical to no sharding
+# at all (see docs/sharding.md).
+shard-equivalence:
+	$(GO) test -count=1 -run 'TestShard|TestClusterShardEquivalence' ./internal/cluster ./internal/acloud ./internal/followsun ./internal/wireless
+
+# The multi-process smoke gate: three real OS processes over loopback UDP
+# negotiate a sharded wireless round in token lockstep; merged decisions
+# must match the single-process run link for link, and the rollup must fold
+# every shard.
+shard-smoke:
+	$(GO) test -count=1 -run 'TestShardMultiProcess' -v ./internal/wireless
+
+# The 10k-node scale gate: a 100x100 grid runs a capped sharded round
+# through the rollup tree, and hierarchical aggregation must cost fewer
+# cross-shard summary frames than all-pairs gossip. Heavy; env-gated.
+sharded-10k:
+	COLOGNE_SHARDED_10K=1 $(GO) test -count=1 -run 'TestSharded10kRound' -v -timeout 30m ./internal/wireless
+
 # Documentation gate: broken relative links and intra-document anchors in
 # README.md/docs/*.md and unformatted example Go files fail the build.
 docs-check:
@@ -110,10 +137,13 @@ ci: lint build test docs-check
 	$(GO) test -count=1 -run 'TestRecovery' ./internal/cluster ./internal/acloud ./internal/followsun ./internal/wireless
 	$(GO) test -count=1 -run 'TestWALTorture' ./internal/cluster
 	$(GO) test -race -count=1 -run 'TestServingSoakEquivalence' ./internal/serve
+	$(GO) test -count=1 -run 'TestShard|TestClusterShardEquivalence' ./internal/cluster ./internal/acloud ./internal/followsun ./internal/wireless
+	$(GO) test -count=1 -run 'TestShardMultiProcess' ./internal/wireless
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=20s ./internal/colog
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeDeltas -fuzztime=20s ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeWALRecord -fuzztime=20s ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeChurnEvent -fuzztime=20s ./internal/serve
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRollupFrame -fuzztime=20s ./internal/cluster
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 lint:

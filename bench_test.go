@@ -893,6 +893,50 @@ func BenchmarkClusterWirelessGrid(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedEpoch runs the 200-node wireless grid's concurrent
+// negotiation waves through the sharded runtime at 1, 2, and 4 key-range
+// shards under hierarchical rollup aggregation, plus the all-pairs gossip
+// ablation at 4 shards. Node decisions, solver traces, and node wire
+// counters are byte-identical at every setting (the shard-equivalence gate
+// pins that); agg-msgs is the acceptance number — the rollup tree costs
+// shards-1 frames per epoch where all-pairs costs shards*(shards-1).
+func BenchmarkShardedEpoch(b *testing.B) {
+	for _, c := range []struct {
+		shards int
+		agg    string
+	}{
+		{1, cluster.AggregationRollup},
+		{2, cluster.AggregationRollup},
+		{4, cluster.AggregationRollup},
+		{4, cluster.AggregationAllPairs},
+	} {
+		c := c
+		b.Run(fmt.Sprintf("shards=%d/agg=%s", c.shards, c.agg), func(b *testing.B) {
+			p := wireless.ScaledGridParams(20, 10)
+			var res *wireless.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = wireless.RunClusterWaves(p, cluster.Options{
+					Workers:     8,
+					Shards:      wireless.GridShardPlan(p.GridW, c.shards),
+					Aggregation: c.agg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			var msgs int64
+			for _, st := range res.WireStats {
+				msgs += st.MsgsSent
+			}
+			b.ReportMetric(float64(msgs), "msgs-sent")
+			b.ReportMetric(float64(res.AggMsgs), "agg-msgs")
+			b.ReportMetric(float64(res.AggBytes), "agg-bytes")
+			b.ReportMetric(float64(res.SolverNodes), "search-nodes")
+		})
+	}
+}
+
 // resyncBenchSrc is the miniature distributed COP the recovery benchmark
 // runs: per-node picks minimizing weighted cost under a demand floor, with
 // decisions replicated to the ring neighbor (the solve→replicate round

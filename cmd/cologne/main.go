@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -56,6 +57,10 @@ type cliOptions struct {
 	storeKind    *string
 	storeDir     *string
 	storeFsync   *bool
+	shardCount   *int
+	shardAgg     *string
+	shardID      *int
+	shardPeers   *string
 	profile      *string
 	params       paramFlags
 }
@@ -99,6 +104,14 @@ func registerFlags(fs *flag.FlagSet) *cliOptions {
 			"directory for -store disk data, one subdirectory per node\n(default: a temporary directory removed on exit)"),
 		storeFsync: fs.Bool("store-fsync", false,
 			"fsync the write-ahead log after every record: full\npower-loss durability at a per-transition cost (default: rely on\nthe OS page cache; process crashes still lose nothing)"),
+		shardCount: fs.Int("shard-count", 0,
+			"partition a clustered run's nodes into N key-range shards and\naggregate per-epoch summaries hierarchically (see docs/sharding.md);\n0 or 1 leaves the run unsharded"),
+		shardAgg: fs.String("shard-agg", "",
+			"epoch summary aggregation across shards: 'off' (default), 'rollup'\n(fanout tree, one frame per shard per epoch), or 'allpairs'\n(every shard broadcasts to every other; ablation baseline)"),
+		shardID: fs.Int("shard-id", 0,
+			"this process's shard in a multi-process deployment (used with\n-shard-peers; each process owns the nodes its shard covers)"),
+		shardPeers: fs.String("shard-peers", "",
+			"comma-separated UDP endpoints of every shard process, index =\nshard id; when set, cologne runs as one process of a multi-process\nsharded deployment and spawns only its own shard's engines"),
 		profile: fs.String("profile", "",
 			"write a CPU profile to <prefix>.cpu.pprof and a heap snapshot to\n<prefix>.heap.pprof for `go tool pprof` (empty = off)"),
 	}
@@ -119,6 +132,20 @@ func (o *cliOptions) config() (core.Config, error) {
 	}
 	if s := *o.storeKind; s != "" && s != "memory" && s != "disk" {
 		return core.Config{}, fmt.Errorf("unknown -store %q (want memory or disk)", s)
+	}
+	switch *o.shardAgg {
+	case "", cluster.AggregationOff, cluster.AggregationRollup, cluster.AggregationAllPairs:
+	default:
+		return core.Config{}, fmt.Errorf("unknown -shard-agg %q (want off, rollup, or allpairs)", *o.shardAgg)
+	}
+	if *o.shardCount < 0 {
+		return core.Config{}, fmt.Errorf("-shard-count must be >= 0")
+	}
+	if *o.shardID != 0 && *o.shardPeers == "" {
+		return core.Config{}, fmt.Errorf("-shard-id needs -shard-peers (the shard endpoint list)")
+	}
+	if *o.shardPeers != "" && *o.storeKind == "disk" {
+		return core.Config{}, fmt.Errorf("-shard-peers supports -store memory only")
 	}
 	return core.Config{
 		Params:            o.params.vals,
@@ -175,6 +202,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cologne: %v\n", err)
 		}
 	}()
+	if *opts.shardPeers != "" {
+		if err := runShardProcess(opts, res, cfg); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
 	if *opts.clusterMode != "off" {
 		if err := runCluster(opts, res, cfg); err != nil {
 			fail("%v", err)
@@ -263,12 +296,20 @@ func runCluster(opts *cliOptions, res *analysis.Result, cfg core.Config) error {
 		Storage:         *opts.storeKind,
 		StorageDir:      *opts.storeDir,
 		StorageFsync:    *opts.storeFsync,
+		Shards:          cluster.IndexRanges(addrs, *opts.shardCount),
+		Aggregation:     *opts.shardAgg,
 	})
 	defer rt.Close()
+	// Facts load through the Seed hook, which SpawnAll defers until every
+	// node is registered: a base fact can fire a localized rule whose head
+	// ships to a peer, so loading at construction would race registration.
+	cfg.DeferFacts = true
 	specs := make([]cluster.NodeSpec, len(addrs))
 	for i, addr := range addrs {
-		// NewNode loads the program facts addressed to each instance.
-		specs[i] = cluster.NodeSpec{Addr: addr, Program: res, Config: cfg}
+		specs[i] = cluster.NodeSpec{
+			Addr: addr, Program: res, Config: cfg,
+			Seed: func(n *core.Node) error { return n.InsertProgramFacts() },
+		}
 	}
 	if err := rt.SpawnAll(specs); err != nil {
 		return err
@@ -297,6 +338,149 @@ func runCluster(opts *cliOptions, res *analysis.Result, cfg core.Config) error {
 			st.LongestItem, st.LongestWall.Round(time.Microsecond))
 	}
 	printClusterTables(rt, addrs, *opts.dump)
+	return nil
+}
+
+// shardBarrier is the minimal control plane of a multi-process cologne
+// run: processes mark phases ("hello", "seeded", "done") with rebroadcast
+// control frames until every shard has been seen in that phase.
+type shardBarrier struct {
+	mu   sync.Mutex
+	seen map[string]map[int]bool
+}
+
+func (b *shardBarrier) handle(req []byte) []byte {
+	fields := strings.Fields(string(req))
+	if len(fields) != 2 {
+		return nil
+	}
+	id, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil
+	}
+	b.mu.Lock()
+	m := b.seen[fields[0]]
+	if m == nil {
+		m = map[int]bool{}
+		b.seen[fields[0]] = m
+	}
+	m[id] = true
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *shardBarrier) count(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.seen[name])
+}
+
+// runShardProcess executes the program as one process of a multi-process
+// sharded deployment (-shard-id / -shard-peers): the node set is derived
+// from the program's fact locations exactly as in single-process cluster
+// mode, partitioned into key ranges, and this process spawns only the
+// engines of its own shard. Fact loading is deferred behind a hello
+// barrier so cross-shard deltas never race a peer's bring-up; every
+// process then runs the same single solve epoch, and per-shard summaries
+// fold across processes by the configured aggregation (default rollup).
+func runShardProcess(opts *cliOptions, res *analysis.Result, cfg core.Config) error {
+	addrs := clusterAddrs(res)
+	if len(addrs) == 0 {
+		return fmt.Errorf("sharded mode needs @-located facts to derive the node set (see docs/sharding.md)")
+	}
+	endpoints := strings.Split(*opts.shardPeers, ",")
+	agg := *opts.shardAgg
+	if agg == "" {
+		agg = cluster.AggregationRollup
+	}
+	cfg.DeferFacts = true
+	rt, err := cluster.NewMultiProcess(cluster.Options{
+		Workers:        *opts.clusterWkrs,
+		Scheduling:     *opts.clusterSched,
+		BatchDeltas:    *opts.clusterBat,
+		Shards:         cluster.IndexRanges(addrs, len(endpoints)),
+		Aggregation:    agg,
+		ShardID:        *opts.shardID,
+		ShardEndpoints: endpoints,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	bar := &shardBarrier{seen: map[string]map[int]bool{}}
+	tr := rt.ShardTransport()
+	tr.SetControlHandler(bar.handle)
+
+	var local []string
+	for _, addr := range addrs {
+		node, err := rt.Spawn(cluster.NodeSpec{Addr: addr, Program: res, Config: cfg})
+		if err != nil {
+			return err
+		}
+		if node != nil {
+			local = append(local, addr)
+		}
+	}
+	barrier := func(name string) error {
+		deadline := time.Now().Add(30 * time.Second)
+		for bar.count(name) < len(endpoints) {
+			for s := range endpoints {
+				tr.SendControl(s, []byte(fmt.Sprintf("%s %d", name, *opts.shardID))) //nolint:errcheck — rebroadcast heals drops
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("shard %d: %s barrier timed out (%d/%d shards up)",
+					*opts.shardID, name, bar.count(name), len(endpoints))
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return nil
+	}
+	const settle = 200 * time.Millisecond
+
+	// Every shard's endpoint and node registrations are up before any
+	// shard loads facts; then every shard is fully seeded before anyone
+	// solves against the replicated state.
+	if err := barrier("hello"); err != nil {
+		return err
+	}
+	for _, addr := range local {
+		if err := rt.Node(addr).InsertProgramFacts(); err != nil {
+			return fmt.Errorf("seeding %s: %w", addr, err)
+		}
+	}
+	if err := barrier("seeded"); err != nil {
+		return err
+	}
+	time.Sleep(settle)
+
+	if *opts.solve {
+		items := make([]cluster.Item, len(local))
+		for i, addr := range local {
+			node := rt.Node(addr)
+			items[i] = cluster.Item{
+				Label: "solve " + addr,
+				Nodes: []string{addr},
+				Run:   func() (*core.SolveResult, error) { return node.Solve(core.SolveOptions{}) },
+			}
+		}
+		st, err := rt.RunEpoch(items)
+		if err != nil {
+			return err
+		}
+		time.Sleep(settle)
+		msgs, bytes := tr.RemoteWire()
+		fmt.Printf("shard %d/%d: nodes=%d solves=%d solver-nodes=%d remote-msgs=%d remote-bytes=%d\n",
+			*opts.shardID, len(endpoints), len(local), st.Solves, st.SolverNodes, msgs, bytes)
+		if sum, ok := rt.ClusterSummary(); ok {
+			fmt.Printf("cluster: shards=%d members=%d solves=%d solver-nodes=%d objective=%g\n",
+				sum.Folded, sum.Members, sum.Solves, sum.SolverNodes, sum.Objective)
+		}
+	}
+	if err := barrier("done"); err != nil {
+		return err
+	}
+	time.Sleep(settle)
+	printClusterTables(rt, local, *opts.dump)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"flag"
+	"net"
 	"testing"
 
 	"repro/internal/analysis"
@@ -130,5 +131,80 @@ func TestSolverEngineFlagValues(t *testing.T) {
 	}
 	if _, err := opts2.config(); err == nil {
 		t.Fatal("unknown engine accepted")
+	}
+}
+
+// TestShardFlagsDocumented pins the sharding flags the CLI must expose and
+// document in -help (docs/sharding.md and docscheck rely on them).
+func TestShardFlagsDocumented(t *testing.T) {
+	fs := flag.NewFlagSet("cologne", flag.ContinueOnError)
+	registerFlags(fs)
+	for _, name := range []string{"shard-count", "shard-agg", "shard-id", "shard-peers"} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+		if f.Usage == "" {
+			t.Fatalf("flag -%s has no help text", name)
+		}
+	}
+}
+
+// TestShardFlagValidation rejects inconsistent sharding flag combinations.
+func TestShardFlagValidation(t *testing.T) {
+	for _, tc := range [][]string{
+		{"-shard-agg", "telepathy"},
+		{"-shard-count", "-1"},
+		{"-shard-id", "2"},
+		{"-shard-peers", "127.0.0.1:1,127.0.0.1:2", "-store", "disk"},
+	} {
+		fs := flag.NewFlagSet("cologne", flag.ContinueOnError)
+		opts := registerFlags(fs)
+		if err := fs.Parse(tc); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opts.config(); err == nil {
+			t.Fatalf("flags %v accepted", tc)
+		}
+	}
+}
+
+// TestRunShardProcessSingle drives the multi-process entry point with a
+// single shard over a real loopback UDP endpoint: the barriers self-satisfy,
+// facts load after the hello barrier, and the solve epoch completes a
+// cluster rollup covering the whole (one-shard) deployment.
+func TestRunShardProcessSingle(t *testing.T) {
+	src := `
+r1 echo(@Y,R) <- link(@X,Y), data(@X,R).
+link("b","a").
+link("a","b").
+data("a",1).
+`
+	prog, err := colog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := c.LocalAddr().String()
+	c.Close()
+
+	fs := flag.NewFlagSet("cologne", flag.ContinueOnError)
+	opts := registerFlags(fs)
+	if err := fs.Parse([]string{"-solve", "-shard-peers", ep}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := opts.config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runShardProcess(opts, res, cfg); err != nil {
+		t.Fatal(err)
 	}
 }

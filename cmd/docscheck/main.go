@@ -114,7 +114,7 @@ func docFlagRefs(md string) []string {
 			inFence = !inFence
 			continue
 		}
-		if !inFence || !(strings.Contains(line, "cologne ") || strings.Contains(line, "serve ")) {
+		if !inFence || !(strings.Contains(line, "cologne ") || strings.Contains(line, "serve ") || strings.Contains(line, "loadgen ")) {
 			continue
 		}
 		for _, m := range fenceFlagRe.FindAllStringSubmatch(line, -1) {
@@ -136,7 +136,7 @@ func main() {
 	// the serve load driver). Skipped when both sources are absent (test
 	// fixtures, partial checkouts).
 	var knownFlags map[string]bool
-	for _, binary := range []string{"cologne", "serve"} {
+	for _, binary := range []string{"cologne", "serve", "loadgen"} {
 		src, err := os.ReadFile(filepath.Join(root, "cmd", binary, "main.go"))
 		if err != nil {
 			continue

@@ -1,0 +1,302 @@
+// Command loadgen is the multi-process load driver for a sharded cologne
+// deployment (see docs/sharding.md): it replays policy-lookup queries
+// against the shard processes' UDP endpoints — the same "lookup <node>"
+// control frames the deployment answers from its published decision
+// snapshots — and reports throughput, latency quantiles, and wire bytes.
+//
+// The parent process forks -procs copies of itself (each a -worker), every
+// worker opens one plain UDP socket per shard and replays its slice of the
+// query stream, routing each query to the shard that owns the target node.
+// The merged report prints as text or, with -json, as a single JSON object
+// for the bench-json pipeline:
+//
+//	loadgen -endpoints 127.0.0.1:7001,127.0.0.1:7002 -grid 100x100 -procs 4 -queries 2000 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/quantile"
+	"repro/internal/transport"
+	"repro/internal/wireless"
+)
+
+type loadOptions struct {
+	endpoints *string
+	grid      *string
+	queries   *int
+	procs     *int
+	timeout   *time.Duration
+	seed      *int64
+	jsonOut   *bool
+	worker    *bool
+}
+
+func registerFlags(fs *flag.FlagSet) *loadOptions {
+	return &loadOptions{
+		endpoints: fs.String("endpoints", "",
+			"comma-separated UDP endpoints of the shard processes, index =\nshard id (matches the deployment's -shard-peers list)"),
+		grid: fs.String("grid", "3x3",
+			"WxH grid of the target deployment; queries draw node names from\nit and route to the shard owning each node's column strip"),
+		queries: fs.Int("queries", 200, "total queries across all workers"),
+		procs:   fs.Int("procs", 2, "worker OS processes to fork"),
+		timeout: fs.Duration("query-timeout", 500*time.Millisecond, "per-query reply deadline"),
+		seed:    fs.Int64("seed", 1, "query stream seed (workers derive per-worker streams)"),
+		jsonOut: fs.Bool("json", false, "emit the merged report as one JSON object (bench-json pipeline)"),
+		worker:  fs.Bool("worker", false, "internal: run as one forked load worker"),
+	}
+}
+
+// loadReport is one worker's (and, merged, the whole run's) result.
+type loadReport struct {
+	Queries  int `json:"queries"`
+	Hits     int `json:"hits"`
+	Misses   int `json:"misses"`
+	Timeouts int `json:"timeouts"`
+	// ElapsedMicros is the worker's wall time; merged reports keep the
+	// slowest worker (the run's critical path).
+	ElapsedMicros int64   `json:"elapsed_us"`
+	BytesSent     int64   `json:"bytes_sent"`
+	BytesRecv     int64   `json:"bytes_recv"`
+	LatencyMicros []int64 `json:"latency_us"`
+}
+
+// parseGrid splits a "WxH" grid spec.
+func parseGrid(s string) (w, h int, err error) {
+	ws, hs, ok := strings.Cut(s, "x")
+	if ok {
+		w, err = strconv.Atoi(ws)
+		if err == nil {
+			h, err = strconv.Atoi(hs)
+		}
+	}
+	if !ok || err != nil || w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("loadgen: bad -grid %q (want WxH, e.g. 100x100)", s)
+	}
+	return w, h, nil
+}
+
+// runWorker replays one worker's query slice against the shard endpoints
+// over plain UDP sockets.
+func runWorker(o *loadOptions) (*loadReport, error) {
+	endpoints := strings.Split(*o.endpoints, ",")
+	w, h, err := parseGrid(*o.grid)
+	if err != nil {
+		return nil, err
+	}
+	plan := wireless.GridShardPlan(w, len(endpoints))
+	conns := make([]*net.UDPConn, len(endpoints))
+	for i, ep := range endpoints {
+		addr, err := net.ResolveUDPAddr("udp", ep)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: endpoint %q: %w", ep, err)
+		}
+		c, err := net.DialUDP("udp", nil, addr)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	rep := &loadReport{Queries: *o.queries}
+	rng := rand.New(rand.NewSource(*o.seed))
+	buf := make([]byte, 64*1024)
+	start := time.Now()
+	for q := 0; q < *o.queries; q++ {
+		node := fmt.Sprintf("n%02d", rng.Intn(w*h))
+		conn := conns[plan.Of(node)]
+		req := transport.EncodeShardControl([]byte("lookup " + node))
+		sent := time.Now()
+		if _, err := conn.Write(req); err != nil {
+			return nil, err
+		}
+		rep.BytesSent += int64(len(req))
+		conn.SetReadDeadline(time.Now().Add(*o.timeout)) //nolint:errcheck — deadline on a fresh socket
+		n, err := conn.Read(buf)
+		lat := time.Since(sent)
+		if err != nil {
+			rep.Timeouts++
+			continue
+		}
+		rep.BytesRecv += int64(n)
+		rep.LatencyMicros = append(rep.LatencyMicros, lat.Microseconds())
+		payload, err := transport.DecodeShardReply(buf[:n])
+		if err != nil || string(payload) == "none" {
+			rep.Misses++
+		} else {
+			rep.Hits++
+		}
+	}
+	rep.ElapsedMicros = time.Since(start).Microseconds()
+	return rep, nil
+}
+
+// mergeReports folds worker reports: counts and bytes add, elapsed keeps
+// the slowest worker, latency samples concatenate.
+func mergeReports(reps []*loadReport) *loadReport {
+	m := &loadReport{}
+	for _, r := range reps {
+		m.Queries += r.Queries
+		m.Hits += r.Hits
+		m.Misses += r.Misses
+		m.Timeouts += r.Timeouts
+		m.BytesSent += r.BytesSent
+		m.BytesRecv += r.BytesRecv
+		if r.ElapsedMicros > m.ElapsedMicros {
+			m.ElapsedMicros = r.ElapsedMicros
+		}
+		m.LatencyMicros = append(m.LatencyMicros, r.LatencyMicros...)
+	}
+	return m
+}
+
+// runParent forks the workers, each replaying an equal share of the query
+// stream with its own seed, and merges their JSON reports.
+func runParent(o *loadOptions) (*loadReport, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	procs := *o.procs
+	if procs < 1 {
+		procs = 1
+	}
+	per := (*o.queries + procs - 1) / procs
+	cmds := make([]*exec.Cmd, procs)
+	outs := make([]strings.Builder, procs)
+	for i := 0; i < procs; i++ {
+		cmd := exec.Command(exe,
+			"-worker",
+			"-endpoints", *o.endpoints,
+			"-grid", *o.grid,
+			"-queries", strconv.Itoa(per),
+			"-query-timeout", o.timeout.String(),
+			"-seed", strconv.FormatInt(*o.seed+int64(i)*7919, 10),
+		)
+		cmd.Stdout = &outs[i]
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		cmds[i] = cmd
+	}
+	reps := make([]*loadReport, procs)
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			return nil, fmt.Errorf("loadgen: worker %d: %w", i, err)
+		}
+		reps[i] = &loadReport{}
+		if err := json.Unmarshal([]byte(outs[i].String()), reps[i]); err != nil {
+			return nil, fmt.Errorf("loadgen: worker %d report: %w", i, err)
+		}
+	}
+	return mergeReports(reps), nil
+}
+
+// latency converts stored microsecond samples for the quantile helper.
+func latency(m *loadReport, p float64) time.Duration {
+	ds := make([]time.Duration, len(m.LatencyMicros))
+	for i, us := range m.LatencyMicros {
+		ds[i] = time.Duration(us) * time.Microsecond
+	}
+	return quantile.Durations(ds, p)
+}
+
+// summary is the merged run report in its printable/bench-json shape.
+type summary struct {
+	Benchmark string  `json:"benchmark"`
+	Shards    int     `json:"shards"`
+	Procs     int     `json:"procs"`
+	Queries   int     `json:"queries"`
+	Hits      int     `json:"hits"`
+	Misses    int     `json:"misses"`
+	Timeouts  int     `json:"timeouts"`
+	QPS       float64 `json:"qps"`
+	P50Micros int64   `json:"p50_us"`
+	P99Micros int64   `json:"p99_us"`
+	BytesSent int64   `json:"bytes_sent"`
+	BytesRecv int64   `json:"bytes_recv"`
+}
+
+func summarize(o *loadOptions, m *loadReport) summary {
+	qps := 0.0
+	if m.ElapsedMicros > 0 {
+		qps = float64(m.Queries) / (float64(m.ElapsedMicros) / 1e6)
+	}
+	return summary{
+		Benchmark: "LoadgenLookup",
+		Shards:    len(strings.Split(*o.endpoints, ",")),
+		Procs:     *o.procs,
+		Queries:   m.Queries,
+		Hits:      m.Hits,
+		Misses:    m.Misses,
+		Timeouts:  m.Timeouts,
+		QPS:       qps,
+		P50Micros: latency(m, 0.50).Microseconds(),
+		P99Micros: latency(m, 0.99).Microseconds(),
+		BytesSent: m.BytesSent,
+		BytesRecv: m.BytesRecv,
+	}
+}
+
+func main() {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	o := registerFlags(fs)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: loadgen -endpoints host:port,... [flags]\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+	if *o.endpoints == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	if _, _, err := parseGrid(*o.grid); err != nil {
+		fail("%v", err)
+	}
+	if *o.worker {
+		rep, err := runWorker(o)
+		if err != nil {
+			fail("%v", err)
+		}
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			fail("%v", err)
+		}
+		os.Stdout.Write(blob)
+		return
+	}
+	merged, err := runParent(o)
+	if err != nil {
+		fail("%v", err)
+	}
+	s := summarize(o, merged)
+	if *o.jsonOut {
+		blob, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println(string(blob))
+		return
+	}
+	fmt.Printf("loadgen: shards=%d procs=%d queries=%d hits=%d misses=%d timeouts=%d\n",
+		s.Shards, s.Procs, s.Queries, s.Hits, s.Misses, s.Timeouts)
+	fmt.Printf("loadgen: qps=%.0f p50=%v p99=%v sent=%dB recv=%dB\n",
+		s.QPS, time.Duration(s.P50Micros)*time.Microsecond, time.Duration(s.P99Micros)*time.Microsecond,
+		s.BytesSent, s.BytesRecv)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestParseGrid(t *testing.T) {
+	w, h, err := parseGrid("100x40")
+	if err != nil || w != 100 || h != 40 {
+		t.Fatalf("parseGrid(100x40) = %d,%d,%v", w, h, err)
+	}
+	for _, bad := range []string{"", "3", "x", "0x3", "3x0", "-1x4", "3x3x3"} {
+		if _, _, err := parseGrid(bad); err == nil {
+			t.Fatalf("parseGrid(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMergeReports(t *testing.T) {
+	m := mergeReports([]*loadReport{
+		{Queries: 3, Hits: 2, Misses: 1, ElapsedMicros: 50, BytesSent: 10, LatencyMicros: []int64{1, 2, 3}},
+		{Queries: 2, Timeouts: 2, ElapsedMicros: 90, BytesRecv: 7},
+	})
+	if m.Queries != 5 || m.Hits != 2 || m.Misses != 1 || m.Timeouts != 2 {
+		t.Fatalf("counts = %+v", m)
+	}
+	if m.ElapsedMicros != 90 || m.BytesSent != 10 || m.BytesRecv != 7 || len(m.LatencyMicros) != 3 {
+		t.Fatalf("fold = %+v", m)
+	}
+}
+
+// TestWorkerRoundTrip runs the worker's query loop against a real ShardUDP
+// endpoint whose control handler answers lookups like a shard process does:
+// published links for n00, "none" for everything else.
+func TestWorkerRoundTrip(t *testing.T) {
+	tr, err := transport.NewShardUDP(0, []string{"127.0.0.1:0"}, func(string) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.SetControlHandler(func(req []byte) []byte {
+		q := string(req)
+		if !strings.HasPrefix(q, "lookup ") {
+			return nil
+		}
+		if strings.TrimPrefix(q, "lookup ") == "n00" {
+			return []byte("n00-n01=3")
+		}
+		return []byte("none")
+	})
+
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	o := registerFlags(fs)
+	if err := fs.Parse([]string{
+		"-endpoints", tr.Endpoint(),
+		"-grid", "2x2",
+		"-queries", "40",
+		"-query-timeout", "2s",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runWorker(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Timeouts != 0 {
+		t.Fatalf("%d queries timed out against a live endpoint", rep.Timeouts)
+	}
+	if rep.Hits == 0 || rep.Misses == 0 || rep.Hits+rep.Misses != 40 {
+		t.Fatalf("hits=%d misses=%d, want both non-zero summing to 40", rep.Hits, rep.Misses)
+	}
+	if len(rep.LatencyMicros) != 40 || rep.BytesSent == 0 || rep.BytesRecv == 0 {
+		t.Fatalf("samples=%d sent=%d recv=%d", len(rep.LatencyMicros), rep.BytesSent, rep.BytesRecv)
+	}
+	s := summarize(o, rep)
+	if s.Shards != 1 || s.QPS <= 0 || s.P99Micros < s.P50Micros {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+// TestLoadgenFlagsDocumented pins the load-driver flag surface the docs
+// reference (docscheck validates docs/sharding.md against it).
+func TestLoadgenFlagsDocumented(t *testing.T) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	registerFlags(fs)
+	for _, name := range []string{"endpoints", "grid", "queries", "procs", "query-timeout", "json"} {
+		f := fs.Lookup(name)
+		if f == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+		if f.Usage == "" {
+			t.Fatalf("flag -%s has no help text", name)
+		}
+	}
+}

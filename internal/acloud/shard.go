@@ -1,0 +1,29 @@
+package acloud
+
+import (
+	"fmt"
+
+	clusterpkg "repro/internal/cluster"
+)
+
+// DCShardPlan partitions the data centers into contiguous index ranges:
+// dc<i> belongs to shard i*shards/dcs. The ACloud COPs are per-DC
+// independent, so any partition is traffic-free — index ranges keep each
+// shard's working set a dense slice of the trace, which is what a
+// per-region deployment of the paper's controller would look like.
+// Addresses outside the dc<i> scheme map to shard 0.
+func DCShardPlan(dcs, shards int) clusterpkg.ShardPlan {
+	return clusterpkg.ShardPlan{
+		Count: shards,
+		Of: func(addr string) int {
+			var i int
+			if _, err := fmt.Sscanf(addr, "dc%d", &i); err != nil || i < 0 || dcs <= 0 {
+				return 0
+			}
+			if i >= dcs {
+				i = dcs - 1
+			}
+			return i * shards / dcs
+		},
+	}
+}

@@ -1,0 +1,43 @@
+package acloud
+
+import (
+	"reflect"
+	"testing"
+
+	clusterpkg "repro/internal/cluster"
+)
+
+// TestClusterShardEquivalence: sharding the data centers by index range
+// with rollup aggregation must not change the trace-driven results — the
+// per-DC COPs are independent, so the partition only adds the aggregator's
+// own frames.
+func TestClusterShardEquivalence(t *testing.T) {
+	p := clusterTestParams()
+	plain, err := RunCluster(p, ACloud, clusterpkg.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := RunCluster(p, ACloud, clusterpkg.Options{
+		Workers:     4,
+		Shards:      DCShardPlan(p.DCs, 2),
+		Aggregation: clusterpkg.AggregationRollup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.AvgStdev, sharded.AvgStdev) {
+		t.Fatalf("stdev series diverged:\nplain %v\nsharded %v", plain.AvgStdev, sharded.AvgStdev)
+	}
+	if !reflect.DeepEqual(plain.Migrations, sharded.Migrations) {
+		t.Fatalf("migration series diverged:\nplain %v\nsharded %v", plain.Migrations, sharded.Migrations)
+	}
+}
+
+func TestDCShardPlan(t *testing.T) {
+	plan := DCShardPlan(6, 3)
+	for addr, want := range map[string]int{"dc0": 0, "dc1": 0, "dc2": 1, "dc3": 1, "dc4": 2, "dc5": 2, "dc9": 2} {
+		if got := plan.Of(addr); got != want {
+			t.Fatalf("plan(%s) = %d, want %d", addr, got, want)
+		}
+	}
+}

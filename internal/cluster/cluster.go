@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -113,6 +114,24 @@ type Options struct {
 	// Off, durability extends to what the OS has flushed — crash-consistent
 	// either way, since replay drops any torn tail.
 	StorageFsync bool
+	// Shards partitions the node address space into key-range shards (see
+	// docs/sharding.md). The zero value is one implicit shard, which keeps
+	// every run byte-identical to the pre-sharding runtime.
+	Shards ShardPlan
+	// Aggregation selects how per-shard epoch summaries reach the
+	// cluster-level rollup: "" or AggregationOff (none, the default),
+	// AggregationRollup (fanout tree, one frame per shard per epoch), or
+	// AggregationAllPairs (every shard to every shard — the gossip baseline
+	// rollup is measured against).
+	Aggregation string
+	// AggFanout is the rollup tree's fanout; values below 2 mean 4.
+	AggFanout int
+	// ShardID and ShardEndpoints configure multi-process operation through
+	// NewMultiProcess: ShardEndpoints lists every shard's UDP endpoint
+	// (index = shard id) and ShardID selects this process's entry. New
+	// ignores both.
+	ShardID        int
+	ShardEndpoints []string
 }
 
 // NodeSpec describes how to build — and after a failure, rebuild — one
@@ -132,6 +151,8 @@ type member struct {
 	spec NodeSpec
 	node *core.Node
 	down bool
+	// shard is the node's owning shard under Options.Shards (0 unsharded).
+	shard int
 	// checkpoint is the node's most recent exported state (nil before the
 	// first checkpoint).
 	checkpoint []byte
@@ -159,6 +180,17 @@ type Runtime struct {
 	lastDrops   int64
 	started     time.Time // ModeUDP epoch for Now()
 
+	// Sharding (shard.go, rollup.go): the multi-process transport (nil in
+	// single-process modes), the addresses owned by peer processes, the
+	// locally-hosted epoch aggregators, and the rollup state they feed.
+	shardUDP        *transport.ShardUDP
+	remote          map[string]int // addr -> owning shard, multi-process only
+	aggs            map[int]*shardAgg
+	lastAggWire     map[string]transport.Stats
+	rollupMu        sync.Mutex
+	rollupLatest    *ShardSummary
+	rollupFrameHook func(frame []byte) // test hook: observes encoded rollup frames
+
 	// Serving mode (serving.go): continuous-optimization servers attached
 	// to the runtime, ticked in attachment order by ServeRound.
 	serving        map[string]*serve.Server
@@ -171,24 +203,38 @@ type Runtime struct {
 	ownStoreDir bool
 }
 
+// newRuntime allocates the transport-independent runtime state shared by
+// New and NewMultiProcess.
+func newRuntime(o Options) *Runtime {
+	return &Runtime{
+		opts:        o,
+		members:     map[string]*member{},
+		remote:      map[string]int{},
+		costs:       map[string]float64{},
+		lastWire:    map[string]transport.Stats{},
+		lastResync:  map[string]core.ResyncStats{},
+		lastLog:     map[string][2]int64{},
+		lastAggWire: map[string]transport.Stats{},
+	}
+}
+
+// startClock begins the wall-clock epoch for free-running (non-simulated)
+// modes.
+func (r *Runtime) startClock() { r.started = time.Now() }
+
 // New creates an empty cluster runtime.
 func New(o Options) *Runtime {
-	r := &Runtime{
-		opts:       o,
-		members:    map[string]*member{},
-		costs:      map[string]float64{},
-		lastWire:   map[string]transport.Stats{},
-		lastResync: map[string]core.ResyncStats{},
-		lastLog:    map[string][2]int64{},
-	}
+	r := newRuntime(o)
 	if o.Mode == ModeUDP {
 		r.inner = transport.NewUDP()
-		r.started = time.Now()
+		r.startClock()
+		r.ensureAggregators()
 		return r
 	}
 	r.sched = sim.NewScheduler()
 	r.inner = transport.NewSim(r.sched, o.Latency)
 	r.staged = &stagedTransport{inner: r.inner}
+	r.ensureAggregators()
 	return r
 }
 
@@ -202,10 +248,21 @@ func (r *Runtime) nodeTransport() transport.Transport {
 }
 
 // Spawn builds the node described by spec, registers it on the cluster
-// transport, runs spec.Seed, and adds it to the cluster.
+// transport, runs spec.Seed, and adds it to the cluster. In multi-process
+// mode a spec whose shard belongs to a peer process is recorded as remote
+// and skipped — Spawn returns (nil, nil) and cross-shard traffic to it is
+// routed over the shard transport.
 func (r *Runtime) Spawn(spec NodeSpec) (*core.Node, error) {
 	if _, dup := r.members[spec.Addr]; dup {
 		return nil, fmt.Errorf("cluster: duplicate node address %q", spec.Addr)
+	}
+	shard := r.opts.Shards.of(spec.Addr)
+	if r.shardUDP != nil && shard != r.opts.ShardID {
+		if prev, dup := r.remote[spec.Addr]; dup && prev != shard {
+			return nil, fmt.Errorf("cluster: remote node %q re-registered on shard %d (was %d)", spec.Addr, shard, prev)
+		}
+		r.remote[spec.Addr] = shard
+		return nil, nil
 	}
 	if r.opts.BatchDeltas {
 		spec.Config.BatchDeltas = true
@@ -230,7 +287,7 @@ func (r *Runtime) Spawn(spec NodeSpec) (*core.Node, error) {
 			return nil, fmt.Errorf("cluster: seeding %s: %w", spec.Addr, err)
 		}
 	}
-	r.members[spec.Addr] = &member{spec: spec, node: n}
+	r.members[spec.Addr] = &member{spec: spec, node: n, shard: shard}
 	r.order = append(r.order, spec.Addr)
 	return n, nil
 }
@@ -251,12 +308,15 @@ func (r *Runtime) SpawnAll(specs []NodeSpec) error {
 		if err != nil {
 			return err
 		}
+		if n == nil {
+			continue // remote spec (multi-process mode): a peer seeds it
+		}
 		// Keep the original Seed in the stored spec so RestartNode replays it.
 		r.members[spec.Addr].spec.Seed = seeds[i]
 		nodes[i] = n
 	}
 	for i, seed := range seeds {
-		if seed == nil {
+		if seed == nil || nodes[i] == nil {
 			continue
 		}
 		if err := seed(nodes[i]); err != nil {

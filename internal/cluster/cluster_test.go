@@ -32,7 +32,7 @@ c1 total(@X,V) -> need(@X,N), V>=N.
 r1 got(@Y,X,D,V2) <- link(@X,Y), pick(@X,D,V), V2:=V.
 `
 
-func testProgram(t *testing.T) *analysis.Result {
+func testProgram(t testing.TB) *analysis.Result {
 	t.Helper()
 	prog, err := colog.Parse(testSrc)
 	if err != nil {
@@ -78,7 +78,7 @@ func ringSpec(res *analysis.Result, i, n int) NodeSpec {
 	}
 }
 
-func buildRing(t *testing.T, o Options, n int) *Runtime {
+func buildRing(t testing.TB, o Options, n int) *Runtime {
 	t.Helper()
 	r := New(o)
 	res := testProgram(t)

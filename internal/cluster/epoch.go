@@ -68,6 +68,10 @@ func (r *Runtime) RunEpoch(items []Item) (EpochStats, error) {
 	if err != nil {
 		return EpochStats{}, err
 	}
+	aggMode, err := r.aggKind()
+	if err != nil {
+		return EpochStats{}, err
+	}
 	owner := map[string]int{}
 	for i, it := range items {
 		if len(it.Nodes) == 0 {
@@ -76,6 +80,10 @@ func (r *Runtime) RunEpoch(items []Item) (EpochStats, error) {
 		for _, addr := range it.Nodes {
 			m := r.members[addr]
 			if m == nil {
+				if shard, remote := r.remote[addr]; remote {
+					return EpochStats{}, fmt.Errorf("cluster: item %d (%s) names node %q owned by shard %d (this process is shard %d)",
+						i, it.Label, addr, shard, r.opts.ShardID)
+				}
 				return EpochStats{}, fmt.Errorf("cluster: item %d (%s) names unknown node %q", i, it.Label, addr)
 			}
 			if m.down {
@@ -166,12 +174,24 @@ func (r *Runtime) RunEpoch(items []Item) (EpochStats, error) {
 			st.ConstsPatched += res.Ground.ConstsPatched
 		}
 	}
-	d, drops := r.wireDelta()
+	var perShard []transport.Stats
+	if aggMode != AggregationOff {
+		perShard = make([]transport.Stats, r.opts.Shards.shardCount())
+	}
+	d, drops := r.wireDelta(perShard)
 	st.MsgsSent, st.BytesSent = d.MsgsSent, d.BytesSent
 	st.MsgsDropped = drops
 	st.ResyncRows, st.ResyncBytes = r.resyncDelta()
 	st.LogRecords, st.LogBytes = r.logDelta()
+	st.Shards = r.opts.Shards.shardCount()
 	r.history = append(r.history, st)
+
+	// Per-shard epoch summaries feed the hierarchical rollup. Their
+	// aggregator traffic is windowed like settle traffic: folded into this
+	// epoch's history entry when the window next closes.
+	if aggMode != AggregationOff {
+		r.emitShardSummaries(r.shardSummaries(st, items, results, perShard))
+	}
 
 	// Periodic checkpointing: every node's quiescent post-epoch state
 	// becomes the restart point for failures until the next checkpoint.

@@ -1,0 +1,377 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Aggregation policies for Options.Aggregation. They control how the
+// per-shard epoch summaries reach the cluster-level rollup:
+//
+//   - off: no summaries, no aggregator traffic — the pre-sharding behavior,
+//     and the default.
+//   - rollup: hierarchical aggregation over a fanout tree rooted at shard 0.
+//     Each shard folds its own summary with its children's and forwards ONE
+//     frame to its parent, so an epoch costs N-1 cross-shard frames total.
+//   - allpairs: the gossip baseline the paper's all-to-all exchange would
+//     produce — every shard broadcasts its summary to every other shard,
+//     N*(N-1) frames per epoch. Exists to measure what rollup saves.
+const (
+	AggregationOff      = "off"
+	AggregationRollup   = "rollup"
+	AggregationAllPairs = "allpairs"
+)
+
+// aggKind normalizes Options.Aggregation, rejecting unknown values.
+func (r *Runtime) aggKind() (string, error) {
+	switch r.opts.Aggregation {
+	case "", AggregationOff:
+		return AggregationOff, nil
+	case AggregationRollup:
+		return AggregationRollup, nil
+	case AggregationAllPairs:
+		return AggregationAllPairs, nil
+	}
+	return "", fmt.Errorf("cluster: unknown aggregation %q (want %q, %q, or %q)",
+		r.opts.Aggregation, AggregationOff, AggregationRollup, AggregationAllPairs)
+}
+
+// aggFanout resolves the rollup tree's fanout (default 4).
+func (r *Runtime) aggFanout() int {
+	if r.opts.AggFanout < 2 {
+		return 4
+	}
+	return r.opts.AggFanout
+}
+
+// aggParent returns shard s's parent in the rollup tree (s > 0).
+func (r *Runtime) aggParent(s int) int { return (s - 1) / r.aggFanout() }
+
+// aggChildCount returns how many children shard s has in the rollup tree.
+func (r *Runtime) aggChildCount(s int) int {
+	f := r.aggFanout()
+	n := r.opts.Shards.shardCount()
+	first := f*s + 1
+	if first >= n {
+		return 0
+	}
+	last := f*s + f
+	if last >= n {
+		last = n - 1
+	}
+	return last - first + 1
+}
+
+// ShardSummary is one epoch's objective/health rollup for a set of shards.
+// Leaves carry a single shard's numbers (Folded == 1); interior tree nodes
+// fold their children in, and the frame that reaches shard 0 covers the
+// whole cluster (Folded == shard count). Shard and Epoch identify the
+// folding shard and the epoch; everything else is additive.
+type ShardSummary struct {
+	// Shard is the shard that produced (or last folded) this summary.
+	Shard int
+	// Epoch is the epoch the summary describes.
+	Epoch int
+	// Folded counts how many shards' summaries this frame folds (>= 1).
+	Folded int
+	// Members counts the live nodes hosted by the folded shards.
+	Members int
+	// Items, Solves, SolverNodes, and ConstsPatched fold the epoch's
+	// executor statistics for the folded shards' items.
+	Items         int
+	Solves        int
+	SolverNodes   int64
+	ConstsPatched int
+	// Objective sums the goal values of the folded shards' solves.
+	Objective float64
+	// MsgsSent and BytesSent count the folded shards' node wire traffic in
+	// the epoch window (aggregator traffic excluded).
+	MsgsSent, BytesSent int64
+}
+
+// Fold adds o's counters into s, keeping s's Shard and Epoch identity.
+func (s *ShardSummary) Fold(o ShardSummary) {
+	s.Folded += o.Folded
+	s.Members += o.Members
+	s.Items += o.Items
+	s.Solves += o.Solves
+	s.SolverNodes += o.SolverNodes
+	s.ConstsPatched += o.ConstsPatched
+	s.Objective += o.Objective
+	s.MsgsSent += o.MsgsSent
+	s.BytesSent += o.BytesSent
+}
+
+// Rollup frame wire format: [magic 'R'][version 1], then the counters as
+// varints (uvarint for non-negatives), then the objective as 8 fixed
+// little-endian bytes of its IEEE-754 bits — floats do not round-trip
+// through integer varints.
+const (
+	rollupMagic   = 'R'
+	rollupVersion = 1
+)
+
+// EncodeRollupFrame serializes a summary into a rollup frame.
+func EncodeRollupFrame(s ShardSummary) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, rollupMagic, rollupVersion)
+	for _, v := range []int64{
+		int64(s.Shard), int64(s.Epoch), int64(s.Folded), int64(s.Members),
+		int64(s.Items), int64(s.Solves), s.SolverNodes, int64(s.ConstsPatched),
+		s.MsgsSent, s.BytesSent,
+	} {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(s.Objective))
+	return b
+}
+
+// DecodeRollupFrame parses a rollup frame, rejecting bad magic or version,
+// truncated or oversized counters, and trailing garbage.
+func DecodeRollupFrame(frame []byte) (ShardSummary, error) {
+	var s ShardSummary
+	if len(frame) < 2 || frame[0] != rollupMagic {
+		return s, fmt.Errorf("cluster: not a rollup frame")
+	}
+	if frame[1] != rollupVersion {
+		return s, fmt.Errorf("cluster: rollup frame version %d, want %d", frame[1], rollupVersion)
+	}
+	b := frame[2:]
+	fields := []*int64{nil, nil, nil, nil, nil, nil, &s.SolverNodes, nil, &s.MsgsSent, &s.BytesSent}
+	ints := []*int{&s.Shard, &s.Epoch, &s.Folded, &s.Members, &s.Items, &s.Solves, nil, &s.ConstsPatched, nil, nil}
+	for i := range fields {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return ShardSummary{}, fmt.Errorf("cluster: rollup frame truncated at field %d", i)
+		}
+		if v > math.MaxInt64 {
+			return ShardSummary{}, fmt.Errorf("cluster: rollup field %d overflows", i)
+		}
+		b = b[n:]
+		if fields[i] != nil {
+			*fields[i] = int64(v)
+		} else {
+			if v > math.MaxInt {
+				return ShardSummary{}, fmt.Errorf("cluster: rollup field %d overflows int", i)
+			}
+			*ints[i] = int(v)
+		}
+	}
+	if len(b) != 8 {
+		return ShardSummary{}, fmt.Errorf("cluster: rollup frame objective: %d trailing bytes, want 8", len(b))
+	}
+	s.Objective = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	return s, nil
+}
+
+// aggPending accumulates one epoch's summaries at one aggregator until the
+// expected count arrives.
+type aggPending struct {
+	sum ShardSummary
+	got int
+}
+
+// shardAgg is one shard's epoch aggregator: a transport endpoint at
+// AggAddr(shard) that folds the shard's own summary with inbound frames
+// and, once complete, forwards the fold up the tree (rollup) or records it
+// (shard 0).
+type shardAgg struct {
+	r     *Runtime
+	shard int
+
+	mu      sync.Mutex
+	pending map[int]*aggPending
+}
+
+// ensureAggregators registers this runtime's aggregators on the transport:
+// all shards' in single-process modes, only the local shard's in
+// multi-process mode. No-op when aggregation is off (or invalid — RunEpoch
+// reports that).
+func (r *Runtime) ensureAggregators() {
+	kind, err := r.aggKind()
+	if err != nil || kind == AggregationOff {
+		return
+	}
+	count := r.opts.Shards.shardCount()
+	r.aggs = map[int]*shardAgg{}
+	for s := 0; s < count; s++ {
+		if r.shardUDP != nil && s != r.opts.ShardID {
+			continue
+		}
+		a := &shardAgg{r: r, shard: s, pending: map[int]*aggPending{}}
+		r.aggs[s] = a
+		// Register on the inner transport, not the staging wrapper: the
+		// aggregators run outside the epoch's item phase.
+		r.inner.Register(AggAddr(s), a.handle)
+	}
+}
+
+// aggExpected is how many summaries complete an epoch at one aggregator:
+// its own plus one per child subtree (rollup), or one per shard (allpairs —
+// own deposit plus every peer's broadcast).
+func (r *Runtime) aggExpected(shard int) int {
+	kind, _ := r.aggKind()
+	if kind == AggregationAllPairs {
+		return r.opts.Shards.shardCount()
+	}
+	return 1 + r.aggChildCount(shard)
+}
+
+// handle is the aggregator's transport handler: decode and fold.
+func (a *shardAgg) handle(m transport.Message) {
+	sum, err := DecodeRollupFrame(m.Payload)
+	if err != nil {
+		return // a corrupt frame costs one epoch's rollup, never the run
+	}
+	a.add(sum)
+}
+
+// add folds one summary into the epoch's pending fold; completing the fold
+// records it (shard 0) or forwards it to the parent aggregator (rollup).
+func (a *shardAgg) add(sum ShardSummary) {
+	a.mu.Lock()
+	p := a.pending[sum.Epoch]
+	if p == nil {
+		p = &aggPending{sum: ShardSummary{Shard: a.shard, Epoch: sum.Epoch}}
+		a.pending[sum.Epoch] = p
+	}
+	p.sum.Fold(sum)
+	p.got++
+	done := p.got >= a.r.aggExpected(a.shard)
+	var complete ShardSummary
+	if done {
+		complete = p.sum
+		delete(a.pending, sum.Epoch)
+		// Drop stale partial folds (lost frames in multi-process mode) so
+		// the pending map stays bounded.
+		for e := range a.pending {
+			if e < sum.Epoch-8 {
+				delete(a.pending, e)
+			}
+		}
+	}
+	a.mu.Unlock()
+	if !done {
+		return
+	}
+	kind, _ := a.r.aggKind()
+	if a.shard == 0 || kind == AggregationAllPairs {
+		// In allpairs every shard completes the full fold; only record it
+		// where this process can see it.
+		if a.shard == 0 || a.r.shardUDP != nil {
+			a.r.recordRollup(complete)
+		}
+		if a.shard != 0 {
+			return
+		}
+	}
+	if a.shard != 0 && kind == AggregationRollup {
+		a.r.sendRollup(a.shard, a.r.aggParent(a.shard), complete)
+	}
+}
+
+// sendRollup ships a folded summary from one aggregator to another.
+func (r *Runtime) sendRollup(from, to int, sum ShardSummary) {
+	sum.Shard = from
+	frame := EncodeRollupFrame(sum)
+	if r.rollupFrameHook != nil {
+		r.rollupFrameHook(frame)
+	}
+	// Best-effort: a lost rollup frame costs one epoch's summary, and the
+	// pending-map pruning forgets the partial fold.
+	_ = r.inner.Send(AggAddr(from), AggAddr(to), frame)
+}
+
+// recordRollup stores the latest completed cluster-level summary.
+func (r *Runtime) recordRollup(sum ShardSummary) {
+	r.rollupMu.Lock()
+	if r.rollupLatest == nil || sum.Epoch >= r.rollupLatest.Epoch {
+		cp := sum
+		r.rollupLatest = &cp
+	}
+	r.rollupMu.Unlock()
+}
+
+// ClusterSummary returns the most recent completed cluster-level epoch
+// summary, and whether one has completed. With rollup aggregation it
+// completes at shard 0's aggregator once the fold has drained through the
+// tree (after the epoch's sends settle); with allpairs, at every shard.
+func (r *Runtime) ClusterSummary() (ShardSummary, bool) {
+	r.rollupMu.Lock()
+	defer r.rollupMu.Unlock()
+	if r.rollupLatest == nil {
+		return ShardSummary{}, false
+	}
+	return *r.rollupLatest, true
+}
+
+// emitShardSummaries deposits each locally-hosted shard's epoch summary
+// into its aggregator and, under allpairs, broadcasts it to every peer
+// aggregator. Called at the end of RunEpoch.
+func (r *Runtime) emitShardSummaries(sums []ShardSummary) {
+	kind, _ := r.aggKind()
+	for i := range sums {
+		a := r.aggs[sums[i].Shard]
+		if a == nil {
+			continue // not hosted by this process
+		}
+		if kind == AggregationAllPairs {
+			for peer := 0; peer < r.opts.Shards.shardCount(); peer++ {
+				if peer == sums[i].Shard {
+					continue
+				}
+				r.sendRollup(sums[i].Shard, peer, sums[i])
+			}
+		}
+		a.add(sums[i])
+	}
+}
+
+// shardSummaries splits one epoch's statistics into per-shard summaries.
+// Wire counters come from the per-shard wire delta; solver counters are
+// attributed to the shard of each item's first node (scenario shard plans
+// keep items shard-local, so this is exact for them).
+func (r *Runtime) shardSummaries(st EpochStats, items []Item, results []*core.SolveResult, perShard []transport.Stats) []ShardSummary {
+	count := r.opts.Shards.shardCount()
+	sums := make([]ShardSummary, count)
+	for s := range sums {
+		sums[s] = ShardSummary{Shard: s, Epoch: st.Epoch, Folded: 1}
+		if s < len(perShard) {
+			sums[s].MsgsSent = perShard[s].MsgsSent
+			sums[s].BytesSent = perShard[s].BytesSent
+		}
+	}
+	for _, addr := range r.order {
+		m := r.members[addr]
+		if m == nil || m.down || m.node == nil {
+			continue
+		}
+		sums[m.shard].Members++
+	}
+	for i := range items {
+		if len(items[i].Nodes) == 0 {
+			continue
+		}
+		m := r.members[items[i].Nodes[0]]
+		if m == nil {
+			continue
+		}
+		sums[m.shard].Items++
+		res := results[i]
+		if res == nil {
+			continue
+		}
+		sums[m.shard].Solves++
+		sums[m.shard].SolverNodes += res.Stats.Nodes
+		sums[m.shard].Objective += res.Objective
+		if res.Ground != nil {
+			sums[m.shard].ConstsPatched += res.Ground.ConstsPatched
+		}
+	}
+	return sums
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeRollupFrame hammers the rollup-frame decoder: arbitrary bytes —
+// wrong magic, wrong version, truncated varints, torn objective bits,
+// trailing garbage — must come back as an error, never a panic, and every
+// accepted frame must survive an encode/decode round trip bit-exactly
+// (byte canonicity is not required: varints tolerate non-minimal
+// encodings, as in the delta and churn codecs).
+// The seed corpus is captured live from a real sharded run: a 4-shard ring
+// under rollup aggregation with the frame hook recording every aggregator
+// frame that crosses shards.
+func FuzzDecodeRollupFrame(f *testing.F) {
+	// Real frames: run two epochs of the standard test ring under a 4-shard
+	// rollup tree and record the actual frames the aggregators exchange.
+	r := shardedRing(f, Options{
+		Workers: 2, Latency: time.Millisecond,
+		Shards: ShardPlan{Count: 4}, Aggregation: AggregationRollup, AggFanout: 2,
+	}, 8)
+	defer r.Close()
+	var captured [][]byte
+	r.rollupFrameHook = func(frame []byte) {
+		captured = append(captured, append([]byte(nil), frame...))
+	}
+	for epoch := 0; epoch < 2; epoch++ {
+		if _, err := r.RunEpoch(solveItems(r)); err != nil {
+			f.Fatal(err)
+		}
+		r.Settle()
+	}
+	if len(captured) == 0 {
+		f.Fatal("sharded run produced no rollup frames to seed the corpus")
+	}
+	for _, frame := range captured {
+		f.Add(frame)
+	}
+
+	// Synthetic shapes: extreme fields, non-finite objectives, and mutations
+	// of a good frame (bad magic, bad version, torn tail, trailing byte).
+	f.Add(EncodeRollupFrame(ShardSummary{}))
+	f.Add(EncodeRollupFrame(ShardSummary{
+		Shard: 1 << 20, Epoch: math.MaxInt32, Folded: 7, Members: 10_000,
+		Items: 1, Solves: 2, SolverNodes: math.MaxInt64,
+		ConstsPatched: 3, Objective: math.Inf(-1), MsgsSent: 1, BytesSent: 1 << 40,
+	}))
+	good := EncodeRollupFrame(ShardSummary{Shard: 2, Epoch: 5, Objective: math.NaN()})
+	f.Add(append([]byte{'X'}, good[1:]...))
+	f.Add(append([]byte{good[0], 99}, good[2:]...))
+	f.Add(good[:len(good)-3])
+	f.Add(append(append([]byte(nil), good...), 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sum, err := DecodeRollupFrame(data)
+		if err != nil {
+			return
+		}
+		re := EncodeRollupFrame(sum)
+		back, err := DecodeRollupFrame(re)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-decode: %v", err)
+		}
+		// Compare through objective bits so NaN round trips count as equal.
+		a, b := sum, back
+		ab, bb := math.Float64bits(a.Objective), math.Float64bits(b.Objective)
+		a.Objective, b.Objective = 0, 0
+		if a != b || ab != bb {
+			t.Fatalf("round trip diverged:\n%+v\n%+v", sum, back)
+		}
+	})
+}

@@ -2,9 +2,9 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
+	"repro/internal/quantile"
 	"repro/internal/serve"
 )
 
@@ -91,9 +91,8 @@ func (r *Runtime) ServeRound() (TickStats, error) {
 	if st.Wall > 0 {
 		st.EventsPerSec = float64(st.Events) / st.Wall.Seconds()
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	st.P50 = percentileDuration(lats, 0.50)
-	st.P99 = percentileDuration(lats, 0.99)
+	st.P50 = quantile.Durations(lats, 0.50)
+	st.P99 = quantile.Durations(lats, 0.99)
 	r.servingHistory = append(r.servingHistory, st)
 	return st, nil
 }
@@ -121,20 +120,4 @@ func (r *Runtime) ServeDrain() error {
 // ServingHistory returns the per-round statistics recorded so far.
 func (r *Runtime) ServingHistory() []TickStats {
 	return append([]TickStats(nil), r.servingHistory...)
-}
-
-// percentileDuration reads the p-th percentile from an ascending-sorted
-// slice (nearest-rank, matching serve.Stats.LatencyPercentile).
-func percentileDuration(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p*float64(len(sorted))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/transport"
+)
+
+// ShardPlan partitions the cluster's node addresses into key-range shards.
+// Scenario packages derive the plan from their locality structure —
+// wireless grids shard spatially by column ranges, acloud by data-center
+// index ranges, followsun by ring segments (see each package's
+// ShardPlanFor and docs/sharding.md). The zero value is a single implicit
+// shard, which leaves every run byte-identical to the unsharded runtime.
+type ShardPlan struct {
+	// Count is the number of shards; 0 and 1 both mean a single shard.
+	Count int
+	// Of maps a node address onto its owning shard in [0, Count). Nil maps
+	// everything onto shard 0. The function must be pure and must agree
+	// across the processes of a multi-process deployment.
+	Of func(addr string) int
+}
+
+// shardCount resolves the plan to at least one shard.
+func (p ShardPlan) shardCount() int {
+	if p.Count < 1 {
+		return 1
+	}
+	return p.Count
+}
+
+// of resolves an address, clamping stray values into range.
+func (p ShardPlan) of(addr string) int {
+	if p.Of == nil {
+		return 0
+	}
+	s := p.Of(addr)
+	if s < 0 {
+		return 0
+	}
+	if n := p.shardCount(); s >= n {
+		return n - 1
+	}
+	return s
+}
+
+// IndexRanges returns a ShardPlan splitting a known address list into
+// contiguous index ranges (the generic key-range partition cologne uses
+// when a program has no scenario-specific locality). Addresses must be in
+// their canonical (sorted) order; unknown addresses map to shard 0.
+func IndexRanges(addrs []string, count int) ShardPlan {
+	idx := make(map[string]int, len(addrs))
+	for i, a := range addrs {
+		idx[a] = i
+	}
+	n := len(addrs)
+	return ShardPlan{
+		Count: count,
+		Of: func(addr string) int {
+			i, ok := idx[addr]
+			if !ok || n == 0 {
+				return 0
+			}
+			return i * count / n
+		},
+	}
+}
+
+// aggAddrPrefix namespaces the per-shard aggregator addresses on the
+// transport; the '!' keeps them out of any scenario's node-address space.
+const aggAddrPrefix = "!shard/"
+
+// AggAddr is the transport address of shard s's epoch aggregator.
+func AggAddr(s int) string { return aggAddrPrefix + strconv.Itoa(s) }
+
+// shardOfAddr maps any transport address — scenario node or aggregator —
+// onto its owning shard. The ShardUDP transport routes with it.
+func (r *Runtime) shardOfAddr(addr string) int {
+	if rest, ok := strings.CutPrefix(addr, aggAddrPrefix); ok {
+		if s, err := strconv.Atoi(rest); err == nil && s >= 0 && s < r.opts.Shards.shardCount() {
+			return s
+		}
+		return 0
+	}
+	return r.opts.Shards.of(addr)
+}
+
+// LocalShard returns the shard this runtime instance hosts in a
+// multi-process deployment, or -1 when the runtime hosts every shard
+// (single-process modes).
+func (r *Runtime) LocalShard() int {
+	if r.shardUDP == nil {
+		return -1
+	}
+	return r.opts.ShardID
+}
+
+// ShardTransport returns the multi-process shard transport, or nil in
+// single-process modes. Harnesses use it for the out-of-band control
+// channel (startup barriers, lockstep tokens, load-driver queries).
+func (r *Runtime) ShardTransport() *transport.ShardUDP { return r.shardUDP }
+
+// RemoteShard reports the owning shard of an address this process does not
+// host, and whether the address is such a remote node.
+func (r *Runtime) RemoteShard(addr string) (int, bool) {
+	s, ok := r.remote[addr]
+	return s, ok
+}
+
+// NewMultiProcess builds a runtime hosting exactly one shard of a
+// multi-process deployment: Options.ShardEndpoints lists every shard's UDP
+// endpoint ("host:port", index = shard id) and Options.ShardID selects
+// this process's entry. Nodes whose plan shard differs from ShardID are
+// skipped at Spawn (they belong to a peer process) and cross-shard deltas
+// flow over the routed shard transport. The runtime free-runs like ModeUDP
+// — no epoch barrier, wall-clock time.
+func NewMultiProcess(o Options) (*Runtime, error) {
+	if len(o.ShardEndpoints) == 0 {
+		return nil, fmt.Errorf("cluster: multi-process mode needs shard endpoints")
+	}
+	if o.Shards.Count == 0 {
+		o.Shards.Count = len(o.ShardEndpoints)
+	}
+	if o.Shards.Count != len(o.ShardEndpoints) {
+		return nil, fmt.Errorf("cluster: shard count %d != endpoint count %d", o.Shards.Count, len(o.ShardEndpoints))
+	}
+	if o.ShardID < 0 || o.ShardID >= len(o.ShardEndpoints) {
+		return nil, fmt.Errorf("cluster: shard id %d outside endpoint list (len %d)", o.ShardID, len(o.ShardEndpoints))
+	}
+	if o.Storage != "" && o.Storage != "memory" {
+		return nil, fmt.Errorf("cluster: multi-process mode does not support %q storage yet", o.Storage)
+	}
+	r := newRuntime(o)
+	tr, err := transport.NewShardUDP(o.ShardID, o.ShardEndpoints, r.shardOfAddr)
+	if err != nil {
+		return nil, err
+	}
+	r.shardUDP = tr
+	r.inner = tr
+	r.startClock()
+	r.ensureAggregators()
+	return r, nil
+}

@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestRollupFrameRoundTrip(t *testing.T) {
+	cases := []ShardSummary{
+		{},
+		{Shard: 3, Epoch: 17, Folded: 4, Members: 10000, Items: 125, Solves: 125,
+			SolverNodes: 1 << 40, ConstsPatched: 7, Objective: -123.456, MsgsSent: 99, BytesSent: 1 << 33},
+		{Objective: math.Inf(1)},
+		{Objective: math.NaN()},
+	}
+	for i, want := range cases {
+		frame := EncodeRollupFrame(want)
+		got, err := DecodeRollupFrame(frame)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		// NaN-safe equality: compare the objective by bits, the rest directly.
+		gotBits, wantBits := math.Float64bits(got.Objective), math.Float64bits(want.Objective)
+		got.Objective, want.Objective = 0, 0
+		if got != want || gotBits != wantBits {
+			t.Fatalf("case %d: round trip mismatch:\n got %+v (obj bits %x)\nwant %+v (obj bits %x)",
+				i, got, gotBits, want, wantBits)
+		}
+	}
+
+	bad := [][]byte{
+		nil,
+		{'R'},
+		{'X', rollupVersion},
+		{'R', 99},
+		EncodeRollupFrame(ShardSummary{})[:5],  // truncated varints
+		EncodeRollupFrame(ShardSummary{})[:12], // truncated objective
+		append(EncodeRollupFrame(ShardSummary{}), 0),            // trailing byte
+		append([]byte{'R', rollupVersion}, make([]byte, 90)...), // zero varints, oversized tail
+	}
+	for i, frame := range bad {
+		if _, err := DecodeRollupFrame(frame); err == nil {
+			t.Fatalf("bad frame %d decoded without error", i)
+		}
+	}
+}
+
+func TestShardPlanIndexRanges(t *testing.T) {
+	addrs := []string{"a", "b", "c", "d", "e"}
+	plan := IndexRanges(addrs, 2)
+	want := map[string]int{"a": 0, "b": 0, "c": 0, "d": 1, "e": 1}
+	for addr, shard := range want {
+		if got := plan.of(addr); got != shard {
+			t.Fatalf("plan.of(%q) = %d, want %d", addr, got, shard)
+		}
+	}
+	if got := plan.of("unknown"); got != 0 {
+		t.Fatalf("unknown address mapped to shard %d, want 0", got)
+	}
+	// Stray Of values clamp into range rather than crashing the runtime.
+	wild := ShardPlan{Count: 3, Of: func(string) int { return 99 }}
+	if got := wild.of("x"); got != 2 {
+		t.Fatalf("overflowing Of clamped to %d, want 2", got)
+	}
+}
+
+// shardedRing builds the standard test ring under a shard plan.
+func shardedRing(t testing.TB, o Options, n int) *Runtime {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("n%d", i)
+	}
+	if o.Shards.Of == nil {
+		o.Shards = IndexRanges(addrs, o.Shards.Count)
+	}
+	return buildRing(t, o, n)
+}
+
+// TestShardRollupAggregation: a 4-shard ring under rollup aggregation must
+// (1) keep node state byte-identical to the unsharded run, (2) complete a
+// cluster-level summary covering every shard, and (3) cost exactly N-1
+// aggregator frames per epoch — the hierarchical fold, not all-pairs
+// gossip.
+func TestShardRollupAggregation(t *testing.T) {
+	plain := buildRing(t, Options{Workers: 2, Latency: time.Millisecond}, 8)
+	var plainNodes int64
+	for epoch := 0; epoch < 2; epoch++ {
+		st, err := plain.RunEpoch(solveItems(plain))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainNodes += st.SolverNodes
+		plain.Settle()
+	}
+
+	r := shardedRing(t, Options{
+		Workers: 2, Latency: time.Millisecond,
+		Shards: ShardPlan{Count: 4}, Aggregation: AggregationRollup, AggFanout: 2,
+	}, 8)
+	var mu sync.Mutex
+	var objective float64
+	var shardNodes int64
+	for epoch := 0; epoch < 2; epoch++ {
+		items := solveItems(r)
+		for i := range items {
+			run := items[i].Run
+			items[i].Run = func() (*core.SolveResult, error) {
+				res, err := run()
+				if res != nil {
+					mu.Lock()
+					objective += res.Objective
+					mu.Unlock()
+				}
+				return res, err
+			}
+		}
+		objective = 0
+		st, err := r.RunEpoch(items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardNodes += st.SolverNodes
+		r.Settle()
+		if epoch == 0 {
+			// The first epoch replicates fresh picks, so its completed
+			// summary must show node wire traffic (epoch 1 re-solves a
+			// converged ring and may legitimately send nothing).
+			sum0, ok := r.ClusterSummary()
+			if !ok || sum0.Epoch != 0 {
+				t.Fatalf("epoch 0 summary not completed after settle: %+v ok=%v", sum0, ok)
+			}
+			if sum0.MsgsSent == 0 {
+				t.Fatal("epoch 0 summary shows no node wire traffic on a replicating ring")
+			}
+		}
+	}
+
+	if got, want := dump(r), dump(plain); got != want {
+		t.Fatalf("sharded run diverged from unsharded state:\n--- sharded\n%s--- plain\n%s", got, want)
+	}
+	if shardNodes != plainNodes {
+		t.Fatalf("solver nodes diverged: sharded=%d plain=%d", shardNodes, plainNodes)
+	}
+
+	sum, ok := r.ClusterSummary()
+	if !ok {
+		t.Fatal("no cluster summary completed")
+	}
+	if sum.Epoch != 1 || sum.Folded != 4 || sum.Members != 8 || sum.Solves != 8 {
+		t.Fatalf("summary = %+v, want epoch 1 folding 4 shards, 8 members, 8 solves", sum)
+	}
+	if math.Abs(sum.Objective-objective) > 1e-9 {
+		t.Fatalf("summary objective %v != summed node objectives %v", sum.Objective, objective)
+	}
+
+	hist := r.History()
+	var aggMsgs int64
+	for _, st := range hist {
+		aggMsgs += st.AggMsgs
+		if st.Shards != 4 {
+			t.Fatalf("epoch %d ran under %d shards, want 4", st.Epoch, st.Shards)
+		}
+	}
+	// Fanout-2 tree over 4 shards: shards 1..3 each forward one frame per
+	// epoch (shard 0 is the root) — 3 frames per epoch, 6 over two epochs.
+	if aggMsgs != 6 {
+		t.Fatalf("rollup cost %d aggregator frames over 2 epochs, want 6 (N-1 per epoch)", aggMsgs)
+	}
+}
+
+// TestShardAllPairsBaseline: the gossip baseline must cost N*(N-1) frames
+// per epoch and reach the same completed summary — it exists so the
+// benchmark has something honest to compare rollup against.
+func TestShardAllPairsBaseline(t *testing.T) {
+	r := shardedRing(t, Options{
+		Workers: 2, Latency: time.Millisecond,
+		Shards: ShardPlan{Count: 4}, Aggregation: AggregationAllPairs,
+	}, 8)
+	if _, err := r.RunEpoch(solveItems(r)); err != nil {
+		t.Fatal(err)
+	}
+	r.Settle()
+	sum, ok := r.ClusterSummary()
+	if !ok {
+		t.Fatal("no cluster summary completed")
+	}
+	if sum.Folded != 4 || sum.Members != 8 {
+		t.Fatalf("summary = %+v, want 4 shards folded over 8 members", sum)
+	}
+	hist := r.History()
+	var aggMsgs int64
+	for _, st := range hist {
+		aggMsgs += st.AggMsgs
+	}
+	if aggMsgs != 12 {
+		t.Fatalf("allpairs cost %d aggregator frames, want 12 (N*(N-1))", aggMsgs)
+	}
+}
+
+// TestShardCountOneIdentity pins the acceptance criterion that a sharded
+// run at shard-count=1 is byte-identical to today's unsharded runs: same
+// table dumps, same solver work, same wire counters, and zero aggregator
+// traffic (the single shard is its own rollup root).
+func TestShardCountOneIdentity(t *testing.T) {
+	run := func(o Options) (string, []EpochStats) {
+		r := buildRing(t, o, 6)
+		for epoch := 0; epoch < 3; epoch++ {
+			if _, err := r.RunEpoch(solveItems(r)); err != nil {
+				t.Fatal(err)
+			}
+			r.Advance(10 * time.Millisecond)
+		}
+		r.Settle()
+		return dump(r), r.History()
+	}
+	plainDump, plainHist := run(Options{Workers: 4, Latency: time.Millisecond})
+	shardDump, shardHist := run(Options{
+		Workers: 4, Latency: time.Millisecond,
+		Shards: ShardPlan{Count: 1}, Aggregation: AggregationRollup,
+	})
+	if plainDump != shardDump {
+		t.Fatalf("shard-count=1 diverged from unsharded state:\n--- plain\n%s--- sharded\n%s", plainDump, shardDump)
+	}
+	if len(plainHist) != len(shardHist) {
+		t.Fatalf("history length diverged: %d vs %d", len(plainHist), len(shardHist))
+	}
+	for i := range plainHist {
+		p, s := plainHist[i], shardHist[i]
+		if p.MsgsSent != s.MsgsSent || p.BytesSent != s.BytesSent || p.SolverNodes != s.SolverNodes {
+			t.Fatalf("epoch %d counters diverged: plain=%+v sharded=%+v", i, p, s)
+		}
+		if s.AggMsgs != 0 || s.AggBytes != 0 {
+			t.Fatalf("epoch %d: single-shard rollup put %d frames (%d bytes) on the aggregator wire, want none",
+				i, s.AggMsgs, s.AggBytes)
+		}
+	}
+}
+
+// TestShardEmptyEpoch: multi-process shards run one epoch per global
+// negotiation slot even when they own no item in the slot, so epoch
+// numbers stay aligned for the rollup. An empty epoch must be legal and
+// must still emit the shard's summary.
+func TestShardEmptyEpoch(t *testing.T) {
+	r := shardedRing(t, Options{
+		Latency: time.Millisecond,
+		Shards:  ShardPlan{Count: 2}, Aggregation: AggregationRollup,
+	}, 4)
+	if _, err := r.RunEpoch(nil); err != nil {
+		t.Fatal(err)
+	}
+	r.Settle()
+	sum, ok := r.ClusterSummary()
+	if !ok {
+		t.Fatal("empty epoch completed no summary")
+	}
+	if sum.Epoch != 0 || sum.Folded != 2 || sum.Items != 0 || sum.Members != 4 {
+		t.Fatalf("summary = %+v, want epoch 0, 2 shards, 0 items, 4 members", sum)
+	}
+}
+
+func TestShardUnknownAggregationRejected(t *testing.T) {
+	r := buildRing(t, Options{Latency: time.Millisecond, Aggregation: "telepathy"}, 2)
+	if _, err := r.RunEpoch(solveItems(r)); err == nil {
+		t.Fatal("unknown aggregation policy accepted")
+	}
+}

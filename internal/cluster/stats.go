@@ -37,6 +37,13 @@ type EpochStats struct {
 	// epoch's window, summed over all nodes (zero unless Options.Storage
 	// selects a durable backend; see docs/storage.md).
 	LogRecords, LogBytes int64
+	// Shards is the shard count the epoch ran under (1 unsharded).
+	Shards int
+	// AggMsgs and AggBytes count the epoch-summary frames exchanged between
+	// shard aggregators in this epoch's window (zero with aggregation off).
+	// Node wire traffic above never includes them; the rollup-vs-allpairs
+	// benchmark compares exactly these counters (see docs/sharding.md).
+	AggMsgs, AggBytes int64
 	// Timing breakdown (see docs/distribution.md). ExecWall is the wall
 	// time of the concurrent phase — all items on the worker pool.
 	// GroundWall and SolveWall sum the items' solver-model-build and
@@ -86,14 +93,16 @@ func (r *Runtime) closeWindow() {
 		// Pre-epoch traffic (seeding, initial replication) has no epoch to
 		// belong to; wireDelta still advances the snapshot so epoch 0 only
 		// sees its own traffic.
-		r.wireDelta()
+		r.wireDelta(nil)
 		r.resyncDelta()
 		r.logDelta()
+		r.aggDelta()
 		return
 	}
-	d, drops := r.wireDelta()
+	d, drops := r.wireDelta(nil)
 	rows, bytes := r.resyncDelta()
 	logRecs, logBytes := r.logDelta()
+	aggMsgs, aggBytes := r.aggDelta()
 	last := &r.history[len(r.history)-1]
 	last.MsgsSent += d.MsgsSent
 	last.BytesSent += d.BytesSent
@@ -102,6 +111,8 @@ func (r *Runtime) closeWindow() {
 	last.ResyncBytes += bytes
 	last.LogRecords += logRecs
 	last.LogBytes += logBytes
+	last.AggMsgs += aggMsgs
+	last.AggBytes += aggBytes
 }
 
 // logDelta returns the summed write-ahead-log append counters accumulated
@@ -124,17 +135,24 @@ func (r *Runtime) logDelta() (records, bytes int64) {
 }
 
 // wireDelta returns the per-node-summed traffic since the previous call
-// and advances the snapshot.
-func (r *Runtime) wireDelta() (transport.Stats, int64) {
+// and advances the snapshot. A non-nil perShard (length = shard count)
+// additionally receives each shard's slice of the delta, attributed by the
+// sending node's shard.
+func (r *Runtime) wireDelta(perShard []transport.Stats) (transport.Stats, int64) {
 	var d transport.Stats
 	for _, addr := range r.order {
 		cur := r.inner.NodeStats(addr)
 		prev := r.lastWire[addr]
-		d.MsgsSent += cur.MsgsSent - prev.MsgsSent
-		d.BytesSent += cur.BytesSent - prev.BytesSent
+		sent, bytes := cur.MsgsSent-prev.MsgsSent, cur.BytesSent-prev.BytesSent
+		d.MsgsSent += sent
+		d.BytesSent += bytes
 		d.MsgsReceived += cur.MsgsReceived - prev.MsgsReceived
 		d.BytesReceived += cur.BytesReceived - prev.BytesReceived
 		r.lastWire[addr] = cur
+		if m := r.members[addr]; m != nil && m.shard < len(perShard) {
+			perShard[m.shard].MsgsSent += sent
+			perShard[m.shard].BytesSent += bytes
+		}
 	}
 	var drops int64
 	if st, ok := r.inner.(*transport.Sim); ok {
@@ -142,4 +160,22 @@ func (r *Runtime) wireDelta() (transport.Stats, int64) {
 		r.lastDrops = st.DroppedMsgs()
 	}
 	return d, drops
+}
+
+// aggDelta returns the aggregator-to-aggregator traffic since the previous
+// call and advances the snapshot. Aggregator addresses live outside
+// r.order, so node wire counters never double-count these frames.
+func (r *Runtime) aggDelta() (msgs, bytes int64) {
+	if r.aggs == nil {
+		return 0, 0
+	}
+	for s := 0; s < r.opts.Shards.shardCount(); s++ {
+		addr := AggAddr(s)
+		cur := r.inner.NodeStats(addr)
+		prev := r.lastAggWire[addr]
+		msgs += cur.MsgsSent - prev.MsgsSent
+		bytes += cur.BytesSent - prev.BytesSent
+		r.lastAggWire[addr] = cur
+	}
+	return msgs, bytes
 }

@@ -93,6 +93,12 @@ type Config struct {
 	// be handed back on restart — its table files and log are the node's
 	// persistent identity.
 	Storage store.Store
+	// DeferFacts skips the program-fact load inside NewNode; the caller
+	// must invoke InsertProgramFacts itself once every peer the facts'
+	// derivations may reach is registered. Multi-process sharded runs need
+	// this: a shard that loaded facts while a peer process was still
+	// spawning would ship deltas to endpoints with no handler yet.
+	DeferFacts bool
 }
 
 // NodeStats counts a node's evaluation work.
@@ -183,9 +189,12 @@ func NewNode(addr string, res *analysis.Result, cfg Config, tr transport.Transpo
 		return nil, err
 	}
 	// Load program facts addressed to this node (or unaddressed facts in
-	// centralized mode).
-	if err := n.InsertProgramFacts(); err != nil {
-		return nil, err
+	// centralized mode), unless the caller defers them for multi-process
+	// bring-up.
+	if !cfg.DeferFacts {
+		if err := n.InsertProgramFacts(); err != nil {
+			return nil, err
+		}
 	}
 	return n, nil
 }

@@ -1,0 +1,28 @@
+package followsun
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// RingShardPlan partitions the Follow-the-Sun ring into contiguous
+// segments: dc<i> belongs to shard i*shards/dcs. Negotiation links connect
+// ring neighbors (plus a few chords), so contiguous segments are the
+// key-range partition that keeps all but the segment-boundary links
+// shard-internal. Addresses outside the dc<i> scheme map to shard 0.
+func RingShardPlan(dcs, shards int) cluster.ShardPlan {
+	return cluster.ShardPlan{
+		Count: shards,
+		Of: func(addr string) int {
+			var i int
+			if _, err := fmt.Sscanf(addr, "dc%d", &i); err != nil || i < 0 || dcs <= 0 {
+				return 0
+			}
+			if i >= dcs {
+				i = dcs - 1
+			}
+			return i * shards / dcs
+		},
+	}
+}

@@ -1,0 +1,46 @@
+package followsun
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestClusterShardEquivalence: segmenting the ring with rollup aggregation
+// must keep the negotiation byte-identical — cost series, migrations,
+// solver traces, and per-node wire counters — to the unsharded run.
+func TestClusterShardEquivalence(t *testing.T) {
+	p := clusterTestParams()
+	plain, err := RunCluster(p, cluster.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := RunCluster(p, cluster.Options{
+		Workers:     4,
+		Shards:      RingShardPlan(p.NumDCs, 2),
+		Aggregation: cluster.AggregationRollup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Points, sharded.Points) {
+		t.Fatalf("cost series diverged:\nplain %v\nsharded %v", plain.Points, sharded.Points)
+	}
+	if plain.FinalCost != sharded.FinalCost || plain.TotalMigrations != sharded.TotalMigrations ||
+		plain.SolverNodes != sharded.SolverNodes || plain.SolverNodes == 0 {
+		t.Fatalf("summary diverged:\nplain %+v\nsharded %+v", plain, sharded)
+	}
+	if !reflect.DeepEqual(plain.WireStats, sharded.WireStats) {
+		t.Fatalf("wire traces diverged:\nplain %v\nsharded %v", plain.WireStats, sharded.WireStats)
+	}
+}
+
+func TestRingShardPlan(t *testing.T) {
+	plan := RingShardPlan(8, 2)
+	for addr, want := range map[string]int{"dc00": 0, "dc03": 0, "dc04": 1, "dc07": 1} {
+		if got := plan.Of(addr); got != want {
+			t.Fatalf("plan(%s) = %d, want %d", addr, got, want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package quantile
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDurationsNearestRank(t *testing.T) {
+	vals := []time.Duration{5, 1, 4, 2, 3} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 2}, // int(0.5*5)-1 = 1 -> sorted[1]
+		{0.99, 4}, // int(0.99*5)-1 = 3 -> sorted[3]
+		{1.00, 5},
+		{0.01, 1}, // clamped to index 0
+	}
+	for _, c := range cases {
+		if got := Durations(vals, c.p); got != c.want {
+			t.Errorf("Durations(p=%g) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if vals[0] != 5 {
+		t.Fatalf("Durations mutated its input: %v", vals)
+	}
+	if got := Durations(nil, 0.5); got != 0 {
+		t.Fatalf("Durations(nil) = %d, want 0", got)
+	}
+}
+
+func TestSortedDurations(t *testing.T) {
+	sorted := []time.Duration{10, 20, 30, 40}
+	if got := SortedDurations(sorted, 0.5); got != 20 {
+		t.Fatalf("SortedDurations(0.5) = %d, want 20", got)
+	}
+	if got := SortedDurations(nil, 0.5); got != 0 {
+		t.Fatalf("SortedDurations(nil) = %d, want 0", got)
+	}
+}
+
+func TestFloat64s(t *testing.T) {
+	vals := []float64{9, 7, 8}
+	if got := Float64s(vals, 0.5); got != 7 {
+		t.Fatalf("Float64s(0.5) = %g, want 7", got)
+	}
+	if got := Float64s(vals, 1.0); got != 9 {
+		t.Fatalf("Float64s(1.0) = %g, want 9", got)
+	}
+	if got := Float64s(nil, 0.5); got != 0 {
+		t.Fatalf("Float64s(nil) = %g, want 0", got)
+	}
+}

@@ -3,12 +3,12 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/colog"
 	"repro/internal/core"
+	"repro/internal/quantile"
 )
 
 // ErrQueueFull reports that the admission queue is at capacity and the
@@ -80,22 +80,10 @@ type Stats struct {
 }
 
 // LatencyPercentile returns the p-quantile (0 < p <= 1) of per-tick
-// decision latency, 0 when no tick has run.
+// decision latency, 0 when no tick has run (nearest-rank, via the shared
+// quantile helper every latency surface uses).
 func (s *Stats) LatencyPercentile(p float64) time.Duration {
-	if len(s.latencies) == 0 {
-		return 0
-	}
-	sorted := make([]time.Duration, len(s.latencies))
-	copy(sorted, s.latencies)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p*float64(len(sorted))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return quantile.Durations(s.latencies, p)
 }
 
 // Server wraps one Cologne node with the serving runtime: a bounded

@@ -1,0 +1,325 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Shard frame kinds, the first byte of every datagram on a shard endpoint.
+// A shard endpoint multiplexes many nodes onto one socket, so — unlike the
+// per-node UDP transport — the destination address travels in the frame.
+const (
+	// shardFrameNode carries a node-to-node payload:
+	// [kind][u8 fromLen][from][u8 toLen][to][payload].
+	shardFrameNode = 0x01
+	// shardFrameControl carries an out-of-band control request:
+	// [kind][payload]. The control handler's non-nil response is written
+	// back to the datagram's source address as a shardFrameReply.
+	shardFrameControl = 0x02
+	// shardFrameReply carries a control response: [kind][payload].
+	shardFrameReply = 0x03
+)
+
+// ShardUDP is the routed multi-process transport: node → shard → process
+// endpoint. Each OS process owns one shard's engines and binds exactly one
+// UDP socket (its entry in the shared endpoint list); messages between two
+// locally-owned nodes are delivered synchronously in process, and messages
+// to nodes of another shard are framed and sent to that shard's endpoint
+// over loopback/LAN. The shard-of function is the key-range partition the
+// cluster layer derives from the scenario (see docs/sharding.md).
+//
+// Besides node traffic, a shard endpoint answers control frames: small
+// out-of-band request/reply datagrams the multi-process harnesses use for
+// startup barriers, lockstep tokens, and load-driver policy lookups.
+type ShardUDP struct {
+	shardID int
+	of      func(addr string) int
+	peers   []*net.UDPAddr
+	conn    *net.UDPConn
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	stats    map[string]*atomicStats
+	control  func(req []byte) []byte
+	closed   bool
+	wg       sync.WaitGroup
+
+	remoteMsgs  atomic.Int64 // cross-shard node frames sent by this process
+	remoteBytes atomic.Int64 // their payload bytes (excluding framing)
+	dropped     atomic.Int64 // inbound frames for unregistered local nodes
+}
+
+// NewShardUDP binds endpoints[shardID] and starts the receive loop. The
+// endpoint list is shared by every process of the deployment ("host:port"
+// per shard, loopback or LAN); of maps a node address onto the shard that
+// owns it and must agree across processes.
+func NewShardUDP(shardID int, endpoints []string, of func(addr string) int) (*ShardUDP, error) {
+	if shardID < 0 || shardID >= len(endpoints) {
+		return nil, fmt.Errorf("transport: shard id %d outside endpoint list (len %d)", shardID, len(endpoints))
+	}
+	if of == nil {
+		return nil, fmt.Errorf("transport: shard transport needs a shard-of function")
+	}
+	peers := make([]*net.UDPAddr, len(endpoints))
+	for i, ep := range endpoints {
+		addr, err := net.ResolveUDPAddr("udp", ep)
+		if err != nil {
+			return nil, fmt.Errorf("transport: shard %d endpoint %q: %w", i, ep, err)
+		}
+		peers[i] = addr
+	}
+	conn, err := net.ListenUDP("udp", peers[shardID])
+	if err != nil {
+		return nil, fmt.Errorf("transport: binding shard %d endpoint %q: %w", shardID, endpoints[shardID], err)
+	}
+	t := &ShardUDP{
+		shardID:  shardID,
+		of:       of,
+		peers:    peers,
+		conn:     conn,
+		handlers: map[string]Handler{},
+		stats:    map[string]*atomicStats{},
+	}
+	t.wg.Add(1)
+	go t.recvLoop()
+	return t, nil
+}
+
+// ShardID returns the shard this process owns.
+func (t *ShardUDP) ShardID() int { return t.shardID }
+
+// Shards returns the deployment's shard count (the endpoint list length).
+func (t *ShardUDP) Shards() int { return len(t.peers) }
+
+// Endpoint returns the bound local address — the concrete port when the
+// configured endpoint was ":0" (tests, ephemeral deployments).
+func (t *ShardUDP) Endpoint() string { return t.conn.LocalAddr().String() }
+
+// Register implements Transport: the node becomes locally owned and
+// reachable from every shard.
+func (t *ShardUDP) Register(node string, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[node] = h
+	if t.stats[node] == nil {
+		t.stats[node] = &atomicStats{}
+	}
+}
+
+// SetControlHandler installs the out-of-band control handler. Each request
+// frame is dispatched on its own goroutine (a slow policy lookup must not
+// stall node-delta delivery); a non-nil response is written back to the
+// requesting address as a reply frame.
+func (t *ShardUDP) SetControlHandler(h func(req []byte) []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.control = h
+}
+
+// Send implements Transport. Messages between two locally-owned nodes are
+// delivered synchronously (the loopback fast path — no datagram, no copy
+// onto the wire); messages to remote nodes are framed and sent to the
+// owning shard's endpoint.
+func (t *ShardUDP) Send(from, to string, payload []byte) error {
+	if len(from) > 255 || len(to) > 255 {
+		return fmt.Errorf("transport: node name too long (%q -> %q)", from, to)
+	}
+	t.mu.RLock()
+	h, local := t.handlers[to]
+	st := t.stats[from]
+	rst := t.stats[to]
+	t.mu.RUnlock()
+	if st == nil {
+		t.mu.Lock()
+		if t.stats[from] == nil {
+			t.stats[from] = &atomicStats{}
+		}
+		st = t.stats[from]
+		t.mu.Unlock()
+	}
+	st.msgsSent.Add(1)
+	st.bytesSent.Add(int64(len(payload)))
+	if local {
+		// The local handler contract matches Loopback: the payload is only
+		// valid for the duration of the call, and core nodes copy what they
+		// keep — but the epoch executor recycles encode buffers after Send,
+		// so hand the handler a copy.
+		if rst != nil {
+			rst.msgsReceived.Add(1)
+			rst.bytesReceived.Add(int64(len(payload)))
+		}
+		h(Message{From: from, To: to, Payload: append([]byte(nil), payload...)})
+		return nil
+	}
+	shard := t.of(to)
+	if shard < 0 || shard >= len(t.peers) {
+		return fmt.Errorf("transport: node %q maps to shard %d outside 0..%d", to, shard, len(t.peers)-1)
+	}
+	if shard == t.shardID {
+		return &ErrUnknownNode{Node: to}
+	}
+	frame := make([]byte, 0, 3+len(from)+len(to)+len(payload))
+	frame = append(frame, shardFrameNode, byte(len(from)))
+	frame = append(frame, from...)
+	frame = append(frame, byte(len(to)))
+	frame = append(frame, to...)
+	frame = append(frame, payload...)
+	if _, err := t.conn.WriteToUDP(frame, t.peers[shard]); err != nil {
+		return err
+	}
+	t.remoteMsgs.Add(1)
+	t.remoteBytes.Add(int64(len(payload)))
+	return nil
+}
+
+// SendControl sends a fire-and-forget control frame to a shard endpoint.
+// A frame addressed to this process's own shard is dispatched directly to
+// the local control handler.
+func (t *ShardUDP) SendControl(shard int, payload []byte) error {
+	if shard < 0 || shard >= len(t.peers) {
+		return fmt.Errorf("transport: control to shard %d outside 0..%d", shard, len(t.peers)-1)
+	}
+	if shard == t.shardID {
+		t.mu.RLock()
+		h := t.control
+		t.mu.RUnlock()
+		if h != nil {
+			req := append([]byte(nil), payload...)
+			go h(req)
+		}
+		return nil
+	}
+	frame := make([]byte, 0, 1+len(payload))
+	frame = append(frame, shardFrameControl)
+	frame = append(frame, payload...)
+	_, err := t.conn.WriteToUDP(frame, t.peers[shard])
+	return err
+}
+
+// EncodeShardControl frames a control request for a shard endpoint, for
+// clients that speak to the cluster over a plain UDP socket (the load
+// driver's query workers).
+func EncodeShardControl(payload []byte) []byte {
+	return append([]byte{shardFrameControl}, payload...)
+}
+
+// DecodeShardReply strips the reply framing from a datagram received in
+// answer to an EncodeShardControl request.
+func DecodeShardReply(frame []byte) ([]byte, error) {
+	if len(frame) < 1 || frame[0] != shardFrameReply {
+		return nil, fmt.Errorf("transport: not a shard control reply")
+	}
+	return frame[1:], nil
+}
+
+func (t *ShardUDP) recvLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, src, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if n < 1 {
+			continue
+		}
+		switch buf[0] {
+		case shardFrameNode:
+			t.deliverNode(buf[1:n])
+		case shardFrameControl:
+			t.mu.RLock()
+			h := t.control
+			t.mu.RUnlock()
+			if h == nil {
+				continue
+			}
+			req := append([]byte(nil), buf[1:n]...)
+			srcCopy := *src
+			// Own goroutine: a slow control request (a query waiting out a
+			// solve) must not stall node-delta delivery on this socket.
+			go func() {
+				resp := h(req)
+				if resp == nil {
+					return
+				}
+				reply := append([]byte{shardFrameReply}, resp...)
+				t.conn.WriteToUDP(reply, &srcCopy)
+			}()
+		default:
+			t.dropped.Add(1)
+		}
+	}
+}
+
+// deliverNode parses and delivers one node frame (sans kind byte).
+func (t *ShardUDP) deliverNode(b []byte) {
+	if len(b) < 2 {
+		t.dropped.Add(1)
+		return
+	}
+	fl := int(b[0])
+	if 1+fl+1 > len(b) {
+		t.dropped.Add(1)
+		return
+	}
+	from := string(b[1 : 1+fl])
+	tl := int(b[1+fl])
+	if 2+fl+tl > len(b) {
+		t.dropped.Add(1)
+		return
+	}
+	to := string(b[2+fl : 2+fl+tl])
+	payload := append([]byte(nil), b[2+fl+tl:]...)
+	t.mu.RLock()
+	h := t.handlers[to]
+	st := t.stats[to]
+	t.mu.RUnlock()
+	if h == nil {
+		t.dropped.Add(1)
+		return
+	}
+	if st != nil {
+		st.msgsReceived.Add(1)
+		st.bytesReceived.Add(int64(len(payload)))
+	}
+	h(Message{From: from, To: to, Payload: payload})
+}
+
+// NodeStats implements Transport.
+func (t *ShardUDP) NodeStats(node string) Stats {
+	t.mu.RLock()
+	st, ok := t.stats[node]
+	t.mu.RUnlock()
+	if ok {
+		return st.snapshot()
+	}
+	return Stats{}
+}
+
+// RemoteWire returns the cross-shard node traffic this process has put on
+// the wire: frames sent to other shard endpoints and their payload bytes.
+// Local (same-process) deliveries are excluded — this is exactly the
+// traffic that would cross the network in a scaled-out deployment.
+func (t *ShardUDP) RemoteWire() (msgs, bytes int64) {
+	return t.remoteMsgs.Load(), t.remoteBytes.Load()
+}
+
+// DroppedFrames counts inbound frames discarded for an unknown kind,
+// truncated framing, or an unregistered destination node.
+func (t *ShardUDP) DroppedFrames() int64 { return t.dropped.Load() }
+
+// Close implements Transport.
+func (t *ShardUDP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.conn.Close()
+	t.wg.Wait()
+	return nil
+}

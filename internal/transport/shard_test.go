@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeUDPEndpoints reserves n distinct loopback ports by binding and
+// releasing them. A tiny window exists where another process could grab a
+// released port; fine for tests.
+func freeUDPEndpoints(t testing.TB, n int) []string {
+	t.Helper()
+	eps := make([]string, n)
+	conns := make([]*net.UDPConn, n)
+	for i := 0; i < n; i++ {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		eps[i] = c.LocalAddr().String()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return eps
+}
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// evenOdd shards node addresses "a0","a1",... by their numeric suffix.
+func evenOdd(addr string) int {
+	var i int
+	fmt.Sscanf(addr, "a%d", &i)
+	return i % 2
+}
+
+func TestShardUDPLocalAndRemoteDelivery(t *testing.T) {
+	eps := freeUDPEndpoints(t, 2)
+	t0, err := NewShardUDP(0, eps, evenOdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	t1, err := NewShardUDP(1, eps, evenOdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+
+	var mu sync.Mutex
+	got := map[string][]string{}
+	recorder := func(tr *ShardUDP, node string) {
+		tr.Register(node, func(m Message) {
+			mu.Lock()
+			got[node] = append(got[node], m.From+":"+string(m.Payload))
+			mu.Unlock()
+		})
+	}
+	recorder(t0, "a0")
+	recorder(t0, "a2")
+	recorder(t1, "a1")
+
+	// Local delivery: a0 -> a2 stays inside process 0, synchronously.
+	if err := t0.Send("a0", "a2", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	local := len(got["a2"])
+	mu.Unlock()
+	if local != 1 {
+		t.Fatalf("local delivery not synchronous: got %d messages", local)
+	}
+	if msgs, _ := t0.RemoteWire(); msgs != 0 {
+		t.Fatalf("local delivery counted as remote wire: %d msgs", msgs)
+	}
+
+	// Remote delivery: a0 -> a1 crosses to process 1's endpoint.
+	if err := t0.Send("a0", "a1", []byte("yy")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "remote delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got["a1"]) == 1
+	})
+	mu.Lock()
+	if got["a1"][0] != "a0:yy" {
+		t.Fatalf("remote payload corrupted: %q", got["a1"][0])
+	}
+	mu.Unlock()
+	if msgs, bytes := t0.RemoteWire(); msgs != 1 || bytes != 2 {
+		t.Fatalf("remote wire counters = (%d, %d), want (1, 2)", msgs, bytes)
+	}
+	st := t0.NodeStats("a0")
+	if st.MsgsSent != 2 || st.BytesSent != 3 {
+		t.Fatalf("sender stats = %+v, want 2 msgs / 3 bytes", st)
+	}
+	if rst := t1.NodeStats("a1"); rst.MsgsReceived != 1 {
+		t.Fatalf("receiver stats = %+v, want 1 received", rst)
+	}
+
+	// Unregistered local destination: ErrUnknownNode, like the UDP transport.
+	if err := t0.Send("a0", "a4", nil); err == nil {
+		t.Fatal("send to unregistered locally-owned node succeeded")
+	}
+}
+
+func TestShardUDPControlRoundTrip(t *testing.T) {
+	eps := freeUDPEndpoints(t, 2)
+	t0, err := NewShardUDP(0, eps, evenOdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	t1, err := NewShardUDP(1, eps, evenOdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+
+	t1.SetControlHandler(func(req []byte) []byte {
+		return append([]byte("echo:"), req...)
+	})
+
+	// Raw-socket client (the load-driver shape): frame a request, read the
+	// reply off its own socket.
+	client, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	dst, err := net.ResolveUDPAddr("udp", eps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.WriteToUDP(EncodeShardControl([]byte("ping")), dst); err != nil {
+		t.Fatal(err)
+	}
+	client.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1024)
+	n, _, err := client.ReadFromUDP(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeShardReply(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:ping" {
+		t.Fatalf("control reply = %q, want %q", resp, "echo:ping")
+	}
+
+	// Shard-to-shard fire-and-forget control, including the local loop.
+	var mu sync.Mutex
+	var seen []string
+	t0.SetControlHandler(func(req []byte) []byte {
+		mu.Lock()
+		seen = append(seen, string(req))
+		mu.Unlock()
+		return nil
+	})
+	if err := t1.SendControl(0, []byte("tok 1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t0.SendControl(0, []byte("tok 2")); err != nil { // own shard
+		t.Fatal(err)
+	}
+	waitFor(t, "control frames", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen) == 2
+	})
+}

@@ -93,7 +93,10 @@ func RunClusterWaves(p Params, o cluster.Options) (*Result, error) {
 
 	prev := Assignment{}
 	for pass := 0; pass < maxInt(1, p.Passes); pass++ {
-		for _, wave := range waves(passOrder(topo, p, pass)) {
+		for w, wave := range waves(passOrder(topo, p, pass)) {
+			if p.WaveLimit > 0 && w >= p.WaveLimit {
+				break
+			}
 			items := make([]cluster.Item, len(wave))
 			for i, l := range wave {
 				items[i] = negotiationItem(rt, l)
@@ -209,6 +212,8 @@ func runtimeNodes(rt *cluster.Runtime, t *Topology) map[NodeID]*core.Node {
 func finishDistributed(rt *cluster.Runtime, t *Topology, res *Result) {
 	for _, st := range rt.History() {
 		res.SolverNodes += st.SolverNodes
+		res.AggMsgs += st.AggMsgs
+		res.AggBytes += st.AggBytes
 	}
 	res.Convergence = rt.Now()
 	res.WireStats = map[string]transport.Stats{}

@@ -80,6 +80,12 @@ type Params struct {
 	SolverIncremental bool
 	SolverWarmStart   bool
 	Passes            int // distributed refinement passes
+	// WaveLimit caps the negotiation waves per pass in RunClusterWaves
+	// (0 = all waves). The 10k-node scale gates use it to run a full
+	// first-wave round — every node spawned, seeded, and replicating, the
+	// maximal disjoint link set negotiating — without paying for the long
+	// sequential tail of residual waves.
+	WaveLimit int
 
 	Seed int64
 }
@@ -119,6 +125,10 @@ type Result struct {
 	// WireStats holds each node's transport counters after a distributed
 	// run (the Figure 6/7 per-node overhead, unnormalized).
 	WireStats map[string]transport.Stats
+	// AggMsgs and AggBytes count the cross-shard epoch-summary frames of a
+	// sharded run (zero unsharded or with aggregation off); the
+	// rollup-vs-allpairs benchmarks compare exactly these.
+	AggMsgs, AggBytes int64
 }
 
 // Run evaluates one protocol across the configured rate sweep.

@@ -1,0 +1,27 @@
+package wireless
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// GridShardPlan partitions a W x H grid spatially: node n(y*w+x) belongs to
+// the shard owning its x column (shard = x*shards/w), so each shard is a
+// vertical strip of the grid. Negotiation is link-local, which makes
+// vertical strips the key-range partition that keeps most negotiation
+// traffic (initiator, peer, and two-hop neighborhood) inside one shard —
+// only the strip borders cross shards. Addresses outside the n<idx> scheme
+// map to shard 0.
+func GridShardPlan(w, shards int) cluster.ShardPlan {
+	return cluster.ShardPlan{
+		Count: shards,
+		Of: func(addr string) int {
+			var i int
+			if _, err := fmt.Sscanf(addr, "n%d", &i); err != nil || i < 0 || w <= 0 {
+				return 0
+			}
+			return (i % w) * shards / w
+		},
+	}
+}

@@ -1,0 +1,56 @@
+package wireless
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestSharded10kRound is the 10k-node scale gate (env-gated: set
+// COLOGNE_SHARDED_10K=1, or run `make sharded-10k`): the generated 100x100
+// grid runs a wave-capped negotiation round through the sharded runtime
+// under both aggregation policies. The acceptance numbers are the
+// cross-shard summary frames: the hierarchical rollup must complete
+// cluster summaries at a fraction of all-pairs gossip's frame count while
+// producing identical decisions and solver traces.
+func TestSharded10kRound(t *testing.T) {
+	if os.Getenv("COLOGNE_SHARDED_10K") == "" {
+		t.Skip("10k-node scale gate; set COLOGNE_SHARDED_10K=1 (or `make sharded-10k`) to run")
+	}
+	p := ScaledGridParams(100, 100)
+	p.Rates = []float64{1.0}
+	p.WaveLimit = 2 // two concurrent waves of the round; the full pass is hours
+	const shards = 8
+
+	run := func(agg string) *Result {
+		t.Helper()
+		res, err := RunClusterWaves(p, cluster.Options{
+			Shards:      GridShardPlan(p.GridW, shards),
+			Aggregation: agg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	rollup := run(cluster.AggregationRollup)
+	allpairs := run(cluster.AggregationAllPairs)
+
+	if rollup.SolverNodes == 0 || rollup.SolverNodes != allpairs.SolverNodes {
+		t.Fatalf("solver traces diverged across aggregation policies: rollup %d, all-pairs %d",
+			rollup.SolverNodes, allpairs.SolverNodes)
+	}
+	if rollup.Interference != allpairs.Interference {
+		t.Fatalf("decisions diverged: interference %d vs %d", rollup.Interference, allpairs.Interference)
+	}
+	if rollup.AggMsgs == 0 || allpairs.AggMsgs == 0 {
+		t.Fatalf("aggregation frames missing: rollup %d, all-pairs %d", rollup.AggMsgs, allpairs.AggMsgs)
+	}
+	if rollup.AggMsgs >= allpairs.AggMsgs {
+		t.Fatalf("hierarchical rollup (%d frames) did not beat all-pairs gossip (%d frames)",
+			rollup.AggMsgs, allpairs.AggMsgs)
+	}
+	t.Logf("10k round: %d shards, rollup agg-msgs=%d (%d bytes) vs all-pairs agg-msgs=%d (%d bytes), solver-nodes=%d",
+		shards, rollup.AggMsgs, rollup.AggBytes, allpairs.AggMsgs, allpairs.AggBytes, rollup.SolverNodes)
+}

@@ -1,0 +1,76 @@
+package wireless
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestGridShardPlan(t *testing.T) {
+	// 4-wide grid, 2 shards: columns 0-1 -> shard 0, columns 2-3 -> shard 1.
+	plan := GridShardPlan(4, 2)
+	for addr, want := range map[string]int{"n00": 0, "n01": 0, "n02": 1, "n03": 1, "n05": 0, "n07": 1} {
+		if got := plan.Of(addr); got != want {
+			t.Fatalf("plan(%s) = %d, want %d", addr, got, want)
+		}
+	}
+	if got := plan.Of("!shard/1"); got != 0 {
+		t.Fatalf("non-node address mapped to shard %d, want 0", got)
+	}
+}
+
+// TestClusterShardEquivalence pins the sharding acceptance criterion on the
+// wireless scenario: partitioning the grid into spatial shards with rollup
+// aggregation changes nothing about the run — assignments, solver traces,
+// and per-node wire counters all stay byte-identical to the unsharded wave
+// schedule; the shards only add the separately-counted aggregator frames.
+func TestClusterShardEquivalence(t *testing.T) {
+	p := ScaledGridParams(5, 4)
+	plain, err := RunClusterWaves(p, cluster.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2} {
+		sharded, err := RunClusterWaves(p, cluster.Options{
+			Workers:     4,
+			Shards:      GridShardPlan(p.GridW, shards),
+			Aggregation: cluster.AggregationRollup,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain.ThroughputMbps, sharded.ThroughputMbps) || plain.Interference != sharded.Interference {
+			t.Fatalf("shards=%d: assignment-derived series diverged:\nplain %+v\nsharded %+v", shards, plain, sharded)
+		}
+		if plain.SolverNodes != sharded.SolverNodes || plain.SolverNodes == 0 {
+			t.Fatalf("shards=%d: solver nodes = %d, want %d", shards, sharded.SolverNodes, plain.SolverNodes)
+		}
+		if !reflect.DeepEqual(plain.WireStats, sharded.WireStats) {
+			t.Fatalf("shards=%d: wire traces diverged:\nplain %v\nsharded %v", shards, plain.WireStats, sharded.WireStats)
+		}
+	}
+}
+
+// TestClusterWavesWaveLimit: the scale gates cap the waves per pass; the
+// capped run negotiates exactly the first wave's links.
+func TestClusterWavesWaveLimit(t *testing.T) {
+	p := ScaledGridParams(5, 4)
+	p.WaveLimit = 1
+	p.Passes = 1
+	res, err := RunClusterWaves(p, cluster.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := Grid(p.GridW, p.GridH)
+	first := waves(passOrder(topo, p, 0))[0]
+	if res.SolverNodes == 0 {
+		t.Fatal("no solver work recorded")
+	}
+	if got := res.PerNodeKBps; got < 0 {
+		t.Fatalf("negative wire rate %v", got)
+	}
+	if len(first) == 0 || len(first) >= len(topo.Links) {
+		t.Fatalf("first wave has %d links of %d — not a strict prefix", len(first), len(topo.Links))
+	}
+}

@@ -1,0 +1,352 @@
+package wireless
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/programs"
+)
+
+// This file is the multi-process deployment harness: RunShardProcess is
+// what each OS process of a sharded wireless run executes (`cologne
+// -shard-id N -shard-peers ...` and the multi-process smoke gate both call
+// it). The processes bring the deployment up in three phases — register
+// every local node, barrier until every shard is reachable, then seed — and
+// afterwards negotiate in token lockstep: a control-frame token walks the
+// global negotiation order so exactly one shard negotiates per slot while
+// every other shard runs an empty epoch to keep epoch numbers (and the
+// rollup) aligned. See docs/sharding.md.
+
+// ShardProcessConfig configures one process of a multi-process wireless
+// deployment.
+type ShardProcessConfig struct {
+	// ShardID and Endpoints mirror cluster.Options: Endpoints lists every
+	// shard's UDP endpoint (index = shard id), ShardID picks this process.
+	ShardID   int
+	Endpoints []string
+	// Aggregation is the epoch-summary policy (default rollup).
+	Aggregation string
+	// Interval is the real-time settle window after each negotiation slot,
+	// long enough for the decision to replicate across processes before the
+	// next slot's solve reads it (default 30ms).
+	Interval time.Duration
+	// Timeout bounds each barrier and token wait (default 20s).
+	Timeout time.Duration
+}
+
+// ShardProcessReport is one process's contribution to a sharded run.
+type ShardProcessReport struct {
+	ShardID int
+	// Epochs is how many epochs (negotiation slots) the process ran.
+	Epochs int
+	// Assignment maps "a-b" link names to the negotiated channel, as
+	// materialized on this process's locally-owned nodes.
+	Assignment map[string]int64
+	// RemoteMsgs and RemoteBytes count the cross-shard node frames this
+	// process put on the wire — the traffic that would cross the network in
+	// a scaled-out deployment.
+	RemoteMsgs, RemoteBytes int64
+	// Summary is the completed cluster-level rollup this process observed
+	// (under rollup aggregation only shard 0 sees one).
+	Summary *cluster.ShardSummary
+}
+
+// shardProc tracks the control-plane state: barriers and the lockstep token.
+type shardProc struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	hello  map[int]bool
+	seeded map[int]bool
+	done   map[int]bool
+	token  int
+
+	pubMu     sync.Mutex
+	published map[string]int64 // link -> channel snapshot for lookups
+}
+
+func newShardProc() *shardProc {
+	p := &shardProc{
+		hello:  map[int]bool{},
+		seeded: map[int]bool{},
+		done:   map[int]bool{},
+		// token 0 is implicitly granted once seeding completes; the map
+		// tracks the highest token seen so rebroadcasts heal lost frames.
+		published: map[string]int64{},
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// handle is the shard transport's control handler. Frames are plain text:
+// "hello <shard>", "seeded <shard>", "tok <k>", "done <shard>" drive the
+// lockstep; "lookup <node>" is the load-driver query answered from the
+// published decision snapshot.
+func (s *shardProc) handle(req []byte) []byte {
+	fields := strings.Fields(string(req))
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case "hello", "seeded", "done":
+		if len(fields) != 2 {
+			return nil
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil
+		}
+		s.mu.Lock()
+		map[string]map[int]bool{"hello": s.hello, "seeded": s.seeded, "done": s.done}[fields[0]][id] = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	case "tok":
+		if len(fields) != 2 {
+			return nil
+		}
+		k, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil
+		}
+		s.mu.Lock()
+		if k > s.token {
+			s.token = k
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+	case "lookup":
+		if len(fields) != 2 {
+			return nil
+		}
+		return []byte(s.lookup(fields[1]))
+	}
+	return nil
+}
+
+// lookup renders the published channels of every link the node
+// participates in, sorted for determinism: "a-b=c;..." ("none" when the
+// node has no published links here).
+func (s *shardProc) lookup(node string) string {
+	s.pubMu.Lock()
+	var hits []string
+	for link, ch := range s.published {
+		a, b, ok := strings.Cut(link, "-")
+		if ok && (a == node || b == node) {
+			hits = append(hits, fmt.Sprintf("%s=%d", link, ch))
+		}
+	}
+	s.pubMu.Unlock()
+	if len(hits) == 0 {
+		return "none"
+	}
+	sort.Strings(hits)
+	return strings.Join(hits, ";")
+}
+
+// publish refreshes the lookup snapshot from the locally-owned nodes.
+func (s *shardProc) publish(rt *cluster.Runtime, t *Topology, local []NodeID) {
+	snap := map[string]int64{}
+	for _, n := range local {
+		node := rt.Node(string(n))
+		if node == nil {
+			continue
+		}
+		for _, row := range node.Rows("assign") {
+			if NodeID(row[0].S) != n {
+				continue
+			}
+			snap[orient(n, NodeID(row[1].S)).String()] = row[2].I
+		}
+	}
+	s.pubMu.Lock()
+	s.published = snap
+	s.pubMu.Unlock()
+}
+
+// RunShardProcess executes one shard of a multi-process wireless
+// deployment end to end: build the (deterministic) topology, bring the
+// shard's nodes up behind the hello barrier, seed, then walk the global
+// negotiation order in token lockstep. Every process of the deployment
+// must be started with the same Params and Endpoints.
+func RunShardProcess(p Params, cfg ShardProcessConfig) (*ShardProcessReport, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 20 * time.Second
+	}
+	if cfg.Aggregation == "" {
+		cfg.Aggregation = cluster.AggregationRollup
+	}
+	shards := len(cfg.Endpoints)
+	topo := Grid(p.GridW, p.GridH)
+	rng := rand.New(rand.NewSource(p.Seed))
+	if p.RestrictedChannels {
+		restrictChannels(topo, p.Channels, rng)
+	}
+	plan := GridShardPlan(p.GridW, shards)
+
+	rt, err := cluster.NewMultiProcess(cluster.Options{
+		Shards:         plan,
+		Aggregation:    cfg.Aggregation,
+		ShardID:        cfg.ShardID,
+		ShardEndpoints: cfg.Endpoints,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	proc := newShardProc()
+	tr := rt.ShardTransport()
+	tr.SetControlHandler(proc.handle)
+
+	// Phase 1 — register every local node, seeds deferred: a seed fact can
+	// replicate to a node of another process, so no shard may seed until
+	// every shard has registered its nodes.
+	entry := programs.WirelessDistributed(p.FMindiff, p.TwoHopCost)
+	ares := entry.Analyze()
+	var local []NodeID
+	for _, n := range topo.Nodes {
+		spec := cluster.NodeSpec{
+			Addr:    string(n),
+			Program: ares,
+			Config:  distributedConfig(p, entry),
+		}
+		node, err := rt.Spawn(spec)
+		if err != nil {
+			return nil, err
+		}
+		if node != nil {
+			local = append(local, n)
+		}
+	}
+
+	broadcast := func(msg string) {
+		for s := 0; s < shards; s++ {
+			tr.SendControl(s, []byte(msg)) //nolint:errcheck — barriers rebroadcast
+		}
+	}
+	barrier := func(name string, seen map[int]bool) error {
+		deadline := time.Now().Add(cfg.Timeout)
+		for {
+			broadcast(fmt.Sprintf("%s %d", name, cfg.ShardID))
+			proc.mu.Lock()
+			ok := len(seen) == shards
+			proc.mu.Unlock()
+			if ok {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				proc.mu.Lock()
+				got := len(seen)
+				proc.mu.Unlock()
+				return fmt.Errorf("wireless: shard %d: %s barrier timed out (%d/%d shards)", cfg.ShardID, name, got, shards)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// Phase 2 — hello barrier: every shard's endpoint is up and its nodes
+	// registered.
+	if err := barrier("hello", proc.hello); err != nil {
+		return nil, err
+	}
+
+	// Phase 3 — seed the local nodes; cross-shard seed deltas now route to
+	// live handlers. A second barrier keeps fast shards from negotiating
+	// against half-seeded peers.
+	for _, n := range local {
+		if err := seedWirelessNode(rt.Node(string(n)), topo, p, n); err != nil {
+			return nil, fmt.Errorf("wireless: seeding %s: %w", n, err)
+		}
+	}
+	if err := barrier("seeded", proc.seeded); err != nil {
+		return nil, err
+	}
+	time.Sleep(cfg.Interval) // let seed replication drain
+
+	// Token lockstep over the global negotiation order. The owner of slot k
+	// negotiates; every other shard runs an empty epoch k so the per-epoch
+	// rollup folds one summary from every shard. The owner then settles and
+	// advances the token. Waiters rebroadcast their token to heal drops.
+	waitToken := func(k int) error {
+		deadline := time.Now().Add(cfg.Timeout)
+		proc.mu.Lock()
+		defer proc.mu.Unlock()
+		for proc.token < k {
+			proc.mu.Unlock()
+			broadcast(fmt.Sprintf("tok %d", k-1))
+			time.Sleep(5 * time.Millisecond)
+			proc.mu.Lock()
+			if proc.token >= k {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("wireless: shard %d: token %d timed out at %d", cfg.ShardID, k, proc.token)
+			}
+		}
+		return nil
+	}
+
+	slot := 0
+	for pass := 0; pass < maxInt(1, p.Passes); pass++ {
+		for _, l := range passOrder(topo, p, pass) {
+			if err := waitToken(slot); err != nil {
+				return nil, err
+			}
+			initiator, _ := initiatorOf(l)
+			if plan.Of(string(initiator)) == cfg.ShardID {
+				if _, err := rt.RunEpoch([]cluster.Item{negotiationItem(rt, l)}); err != nil {
+					return nil, err
+				}
+				proc.publish(rt, topo, local)
+				time.Sleep(cfg.Interval)
+				broadcast(fmt.Sprintf("tok %d", slot+1))
+			} else {
+				if _, err := rt.RunEpoch(nil); err != nil {
+					return nil, err
+				}
+			}
+			slot++
+		}
+	}
+	if err := waitToken(slot); err != nil {
+		return nil, err
+	}
+	proc.publish(rt, topo, local)
+
+	// Final barrier, then a settle window so the last slot's rollup frames
+	// reach the root before the report is cut.
+	if err := barrier("done", proc.done); err != nil {
+		return nil, err
+	}
+	time.Sleep(cfg.Interval)
+
+	rep := &ShardProcessReport{
+		ShardID:    cfg.ShardID,
+		Epochs:     slot,
+		Assignment: map[string]int64{},
+	}
+	for _, n := range local {
+		node := rt.Node(string(n))
+		if node == nil {
+			continue
+		}
+		for _, row := range node.Rows("assign") {
+			if NodeID(row[0].S) != n {
+				continue
+			}
+			rep.Assignment[orient(n, NodeID(row[1].S)).String()] = row[2].I
+		}
+	}
+	rep.RemoteMsgs, rep.RemoteBytes = tr.RemoteWire()
+	if sum, ok := rt.ClusterSummary(); ok {
+		rep.Summary = &sum
+	}
+	return rep, nil
+}

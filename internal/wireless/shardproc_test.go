@@ -1,0 +1,184 @@
+package wireless
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// smokeShardParams is the deployment both the parent gate and the helper
+// children run: a 3x3 grid, one pass, deterministic solver budgets.
+func smokeShardParams() Params {
+	p := DefaultParams()
+	p.GridW, p.GridH = 3, 3
+	p.SolverMaxNodes = 6000
+	p.SolverMaxTime = 0 // node budget only: deterministic
+	p.Passes = 1
+	return p
+}
+
+// TestShardProcessHelper is not a test: it is the body of one OS process of
+// the multi-process smoke gate, re-executed from TestShardMultiProcess with
+// the WIRELESS_SHARD_* environment set.
+func TestShardProcessHelper(t *testing.T) {
+	if os.Getenv("WIRELESS_SHARD_HELPER") != "1" {
+		t.Skip("helper process for TestShardMultiProcess")
+	}
+	id, err := strconv.Atoi(os.Getenv("WIRELESS_SHARD_ID"))
+	if err != nil {
+		t.Fatalf("bad WIRELESS_SHARD_ID: %v", err)
+	}
+	endpoints := strings.Split(os.Getenv("WIRELESS_SHARD_ENDPOINTS"), ",")
+	rep, err := RunShardProcess(smokeShardParams(), ShardProcessConfig{
+		ShardID:   id,
+		Endpoints: endpoints,
+	})
+	if err != nil {
+		t.Fatalf("shard %d: %v", id, err)
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(os.Getenv("WIRELESS_SHARD_OUT"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reserveEndpoints picks n distinct loopback UDP ports by binding and
+// releasing them.
+func reserveEndpoints(t *testing.T, n int) []string {
+	t.Helper()
+	eps := make([]string, n)
+	conns := make([]*net.UDPConn, n)
+	for i := range eps {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		eps[i] = c.LocalAddr().String()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return eps
+}
+
+// TestShardMultiProcess is the multi-process smoke gate: three real OS
+// processes, each owning one shard of a 3x3 wireless grid over loopback
+// UDP, negotiate a full round in token lockstep. The merged decisions must
+// be equivalent to the single-process run of the same schedule, every
+// cross-shard link must have crossed the wire, and shard 0 must complete a
+// rollup folding all three shards.
+func TestShardMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes, skipped in -short")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smokeShardParams()
+	const shards = 3
+	eps := reserveEndpoints(t, shards)
+	dir := t.TempDir()
+
+	outs := make([]string, shards)
+	cmds := make([]*exec.Cmd, shards)
+	for i := 0; i < shards; i++ {
+		outs[i] = filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		cmd := exec.Command(exe, "-test.run", "^TestShardProcessHelper$", "-test.timeout", "90s")
+		cmd.Env = append(os.Environ(),
+			"WIRELESS_SHARD_HELPER=1",
+			"WIRELESS_SHARD_ID="+strconv.Itoa(i),
+			"WIRELESS_SHARD_ENDPOINTS="+strings.Join(eps, ","),
+			"WIRELESS_SHARD_OUT="+outs[i],
+		)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[i] = cmd
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("shard process %d failed: %v", i, err)
+		}
+	}
+
+	// Merge the per-process decisions, requiring cross-shard agreement on
+	// replicated links.
+	topo := Grid(p.GridW, p.GridH)
+	merged := Assignment{}
+	var reps [shards]*ShardProcessReport
+	for i := range outs {
+		blob, err := os.ReadFile(outs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(blob, &reps[i]); err != nil {
+			t.Fatal(err)
+		}
+		for link, ch := range reps[i].Assignment {
+			a, b, _ := strings.Cut(link, "-")
+			l := orient(NodeID(a), NodeID(b))
+			if prev, seen := merged[l]; seen && prev != ch {
+				t.Fatalf("shards disagree on %s: %d vs %d", link, prev, ch)
+			}
+			merged[l] = ch
+		}
+	}
+	for _, l := range topo.Links {
+		if _, ok := merged[l]; !ok {
+			merged[l] = 1
+		}
+	}
+
+	// Reference: the identical negotiation schedule in one simulated
+	// process.
+	rt, err := newDistributedCluster(topo, p, cluster.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	for _, l := range passOrder(topo, p, 0) {
+		if _, err := rt.RunEpoch([]cluster.Item{negotiationItem(rt, l)}); err != nil {
+			t.Fatal(err)
+		}
+		rt.Advance(p.NegotiationInterval)
+	}
+	want := collectAssignment(topo, runtimeNodes(rt, topo))
+	if !reflect.DeepEqual(merged, want) {
+		t.Fatalf("multi-process decisions diverged from single-process run:\nmulti %v\nsingle %v", merged, want)
+	}
+
+	// Cross-shard negotiation traffic must actually have crossed the wire,
+	// and the rollup must have folded every shard at the root.
+	var remote int64
+	for i := range reps {
+		remote += reps[i].RemoteMsgs
+		if reps[i].Epochs != len(topo.Links) {
+			t.Fatalf("shard %d ran %d epochs, want %d", i, reps[i].Epochs, len(topo.Links))
+		}
+	}
+	if remote == 0 {
+		t.Fatal("no cross-shard frames on the wire in a 3-process run")
+	}
+	if reps[0].Summary == nil {
+		t.Fatal("shard 0 completed no cluster rollup")
+	}
+	if reps[0].Summary.Folded != shards || reps[0].Summary.Members != len(topo.Nodes) {
+		t.Fatalf("rollup = %+v, want %d shards folded over %d members", reps[0].Summary, shards, len(topo.Nodes))
+	}
+}

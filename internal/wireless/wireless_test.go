@@ -58,6 +58,30 @@ func TestShortestPath(t *testing.T) {
 	}
 }
 
+// The hop-count BFS fast path must return exactly the paths the weighted
+// Dijkstra produces on unit weights — same hops, same tie-breaks — since
+// every figure and the 10k scale gate route through it.
+func TestRouteHopPathsMatchDijkstra(t *testing.T) {
+	topo := Grid(9, 7)
+	rng := rand.New(rand.NewSource(11))
+	flows := topo.RandomFlows(60, rng)
+	fast := make([]Flow, len(flows))
+	copy(fast, flows)
+	topo.routeHopPaths(fast)
+	for i, f := range flows {
+		want := topo.shortestPath(f.Src, f.Dst, func(Link) float64 { return 1 })
+		got := fast[i].Path
+		if len(got) != len(want) {
+			t.Fatalf("flow %s->%s: got %d hops, want %d", f.Src, f.Dst, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("flow %s->%s hop %d: got %v, want %v", f.Src, f.Dst, j, got[j], want[j])
+			}
+		}
+	}
+}
+
 func TestGreedyColoringAvoidsAdjacentConflicts(t *testing.T) {
 	topo := Grid(3, 3)
 	a := GreedyColoring(topo, []int64{1, 6, 11}, 5, true)
